@@ -1,0 +1,63 @@
+// Ablation: Buffer Benefit Model vs the two trivial policies — buffer
+// everything (HiNFS-WB) and buffer nothing (PMFS ~ always-eager) — on the
+// sync-heavy workloads where the model matters (paper §5.3's HiNFS-WB rows).
+
+#include "bench/bench_common.h"
+#include "src/workloads/macro.h"
+#include "src/workloads/trace.h"
+
+using namespace hinfs;
+
+int main() {
+  PrintBenchHeader("Ablation", "eager/lazy classification: model vs always-lazy vs always-eager");
+
+  const FsKind kinds[] = {FsKind::kHinfs, FsKind::kHinfsWb, FsKind::kPmfs};
+  const char* labels[] = {"model(HiNFS)", "always-lazy", "always-eager"};
+
+  std::printf("[TPCC trace] replay time\n");
+  {
+    TraceProfile profile = TpccTraceProfile();
+    profile.num_ops = 25000;
+    const auto trace = SynthesizeTrace(profile);
+    for (size_t i = 0; i < 3; i++) {
+      auto bed = MakeTestBed(kinds[i], PaperBedConfig(512ull << 20, 6ull << 20));
+      if (!bed.ok()) {
+        return 1;
+      }
+      auto bd = ReplayTrace((*bed)->vfs.get(), trace);
+      if (!bd.ok()) {
+        std::fprintf(stderr, "%s\n", bd.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("  %-14s %8.1f ms (write %6.1f, fsync %6.1f)\n", labels[i],
+                  bd->TotalNs() / 1e6, bd->write_ns / 1e6, bd->fsync_ns / 1e6);
+      std::fflush(stdout);
+      (void)(*bed)->vfs->Unmount();
+    }
+  }
+
+  std::printf("[varmail] ops/s\n");
+  for (size_t i = 0; i < 3; i++) {
+    FilebenchConfig cfg = PaperFilebenchConfig();
+    cfg.io_size = 16 * 1024;
+    auto result = RunPersonalityOn(kinds[i], Personality::kVarmail, PaperBedConfig(), cfg);
+    if (!result.ok()) {
+      return 1;
+    }
+    std::printf("  %-14s %8.0f ops/s\n", labels[i], result->OpsPerSec());
+    std::fflush(stdout);
+  }
+
+  std::printf("[fileserver] ops/s (lazy-friendly: model should match always-lazy)\n");
+  for (size_t i = 0; i < 3; i++) {
+    auto result = RunPersonalityOn(kinds[i], Personality::kFileserver, PaperBedConfig(),
+                                   PaperFilebenchConfig());
+    if (!result.ok()) {
+      return 1;
+    }
+    std::printf("  %-14s %8.0f ops/s\n", labels[i], result->OpsPerSec());
+    std::fflush(stdout);
+  }
+  std::printf("\nexpected: the model tracks the better trivial policy on each workload\n");
+  return 0;
+}

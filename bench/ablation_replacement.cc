@@ -1,0 +1,63 @@
+// Ablation: LRW vs FIFO buffer replacement. The paper argues LRW captures the
+// write locality of file system workloads; FIFO evicts hot blocks and loses
+// coalescing.
+
+#include "bench/bench_common.h"
+#include "src/hinfs/hinfs_fs.h"
+
+using namespace hinfs;
+
+int main() {
+  PrintBenchHeader("Ablation", "buffer replacement policy: LRW (paper) vs FIFO");
+
+  struct PolicyRow {
+    HinfsOptions::Replacement policy;
+    const char* name;
+  };
+  const PolicyRow policies[] = {{HinfsOptions::Replacement::kLrw, "LRW"},
+                                {HinfsOptions::Replacement::kFifo, "FIFO"},
+                                {HinfsOptions::Replacement::kLfu, "LFU"},
+                                {HinfsOptions::Replacement::kArc, "ARC"},
+                                {HinfsOptions::Replacement::kTwoQ, "2Q"}};
+
+  std::printf("%-14s %-8s %12s %12s %12s\n", "workload", "policy", "ops/s", "hit-rate",
+              "wb-blocks");
+  // A rewrite-heavy skewed random-write load: replacement policy decides how
+  // much write coalescing the buffer achieves before eviction.
+  for (double theta : {0.5, 0.7}) {
+    for (const PolicyRow& row : policies) {
+      TestBedConfig bed_cfg = PaperBedConfig();
+      bed_cfg.hinfs.buffer_bytes = 4ull << 20;  // 1/8 of the 32 MB file
+      bed_cfg.hinfs.replacement = row.policy;
+
+      auto bed = MakeTestBed(FsKind::kHinfs, bed_cfg);
+      if (!bed.ok()) {
+        return 1;
+      }
+      FioConfig cfg;
+      cfg.file_bytes = 32ull << 20;
+      cfg.io_size = 4096;
+      cfg.write_fraction = 1.0;
+      cfg.locality_theta = theta;
+      cfg.duration_ms = BenchDurationMs();
+      auto result = RunFioRandRw((*bed)->vfs.get(), cfg);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s: %s\n", row.name, result.status().ToString().c_str());
+        return 1;
+      }
+      auto* fs = static_cast<HinfsFs*>((*bed)->fs.get());
+      const uint64_t hits = fs->buffer().buffer_hits();
+      const uint64_t misses = fs->buffer().buffer_misses();
+      char label[32];
+      std::snprintf(label, sizeof(label), "randw-%.1f", theta);
+      std::printf("%-14s %-8s %12.0f %11.1f%% %12llu\n", label, row.name, result->OpsPerSec(),
+                  hits + misses > 0 ? 100.0 * hits / (hits + misses) : 0.0,
+                  static_cast<unsigned long long>(fs->buffer().writeback_blocks()));
+      std::fflush(stdout);
+      (void)(*bed)->vfs->Unmount();
+    }
+  }
+  std::printf("\nexpected: recency/frequency-aware policies (LRW/LFU/ARC) beat FIFO on\n"
+              "skewed workloads; the paper's LRW is competitive at far lower complexity\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Fig. 7: overall filebench throughput of the five file systems, normalized
+// to PMFS. The headline result: HiNFS wins everywhere (up to +184 % on
+// fileserver in the paper), matches PMFS on webserver/varmail, and the NVMMBD
+// baselines lose except on webproxy.
+
+#include "bench/bench_common.h"
+
+using namespace hinfs;
+
+int main() {
+  PrintBenchHeader("Fig. 7", "overall filebench throughput normalized to PMFS");
+
+  const FsKind kinds[] = {FsKind::kPmfs, FsKind::kExt4Dax, FsKind::kExt2Nvmmbd,
+                          FsKind::kExt4Nvmmbd, FsKind::kHinfs};
+  const Personality personalities[] = {Personality::kFileserver, Personality::kWebserver,
+                                       Personality::kWebproxy, Personality::kVarmail};
+
+  std::printf("%-12s", "workload");
+  for (FsKind kind : kinds) {
+    std::printf(" %13s", FsKindName(kind));
+  }
+  std::printf("\n");
+
+  for (Personality p : personalities) {
+    FilebenchConfig cfg = PaperFilebenchConfig();
+    if (p == Personality::kVarmail) {
+      cfg.io_size = 16 * 1024;  // mail-sized appends
+    }
+    double pmfs_ops = 0;
+    std::printf("%-12s", PersonalityName(p));
+    for (FsKind kind : kinds) {
+      auto result = RunPersonalityOn(kind, p, PaperBedConfig(), cfg);
+      if (!result.ok()) {
+        std::fprintf(stderr, "\n%s/%s: %s\n", PersonalityName(p), FsKindName(kind),
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      const double ops = result->OpsPerSec();
+      if (kind == FsKind::kPmfs) {
+        pmfs_ops = ops;
+      }
+      std::printf(" %8.0f(%4.2f)", ops, pmfs_ops > 0 ? ops / pmfs_ops : 0.0);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper shape: HiNFS >= all on every workload; big win on fileserver;\n"
+              "~PMFS on webserver/varmail; NVMMBD baselines behind except webproxy\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fig. 9: fileserver throughput and NVMM write bytes vs I/O size —
+// HiNFS vs HiNFS-NCLFW vs PMFS. CLFW's fine-grained fetch/writeback pays off
+// for sub-block unaligned I/O and converges above 4 KB.
+
+#include "bench/bench_common.h"
+
+using namespace hinfs;
+
+int main() {
+  PrintBenchHeader("Fig. 9", "fileserver vs I/O size: CLFW ablation (throughput + NVMM bytes)");
+
+  const FsKind kinds[] = {FsKind::kPmfs, FsKind::kHinfsNclfw, FsKind::kHinfs};
+  std::printf("%-8s", "iosize");
+  for (FsKind kind : kinds) {
+    std::printf(" %12s %14s", FsKindName(kind), "nvmmMB");
+  }
+  std::printf("\n");
+
+  for (size_t io_size : {size_t{64}, size_t{512}, size_t{1024}, size_t{4096}, size_t{16384},
+                         size_t{65536}, size_t{1 << 20}}) {
+    char label[32];
+    if (io_size >= (1 << 20)) {
+      std::snprintf(label, sizeof(label), "%zuM", io_size >> 20);
+    } else if (io_size >= 1024) {
+      std::snprintf(label, sizeof(label), "%zuK", io_size >> 10);
+    } else {
+      std::snprintf(label, sizeof(label), "%zuB", io_size);
+    }
+    std::printf("%-8s", label);
+    for (FsKind kind : kinds) {
+      FilebenchConfig cfg = PaperFilebenchConfig();
+      cfg.io_size = io_size;
+      uint64_t nvmm_bytes = 0;
+      auto result = RunPersonalityOn(kind, Personality::kFileserver, PaperBedConfig(), cfg,
+                                     &nvmm_bytes);
+      if (!result.ok()) {
+        std::fprintf(stderr, "\n%s: %s\n", FsKindName(kind),
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      std::printf(" %12.0f %14.1f", result->OpsPerSec(),
+                  static_cast<double>(nvmm_bytes) / (1 << 20));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper shape: HiNFS > HiNFS-NCLFW (up to ~30%%) below 4 KB with a large\n"
+              "drop in NVMM write size; the gap closes at block-aligned sizes >= 4 KB;\n"
+              "HiNFS-PMFS gap grows with I/O size\n");
+  return 0;
+}

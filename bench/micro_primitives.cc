@@ -1,0 +1,136 @@
+// Micro-benchmarks (google-benchmark) of the primitives the figure benches
+// compose: persistent vs volatile NVMM stores, DRAM Block Index operations,
+// Cacheline Bitmap math, journal transactions, buffered vs direct block writes.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/fs/pmfs/journal.h"
+#include "src/hinfs/btree.h"
+#include "src/hinfs/cacheline_bitmap.h"
+#include "src/hinfs/dram_buffer.h"
+#include "src/nvmm/nvmm_device.h"
+
+namespace hinfs {
+namespace {
+
+NvmmConfig SpinConfig(size_t bytes = 64 << 20) {
+  NvmmConfig cfg;
+  cfg.size_bytes = bytes;
+  cfg.latency_mode = LatencyMode::kSpin;
+  cfg.write_latency_ns = 200;
+  return cfg;
+}
+
+void BM_NvmmVolatileStore(benchmark::State& state) {
+  NvmmDevice dev(SpinConfig());
+  std::vector<uint8_t> buf(state.range(0), 0x5a);
+  uint64_t off = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dev.Store(off, buf.data(), buf.size()));
+    off = (off + 4096) % (32 << 20);
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_NvmmVolatileStore)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_NvmmPersistentStore(benchmark::State& state) {
+  NvmmDevice dev(SpinConfig());
+  std::vector<uint8_t> buf(state.range(0), 0x5a);
+  uint64_t off = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dev.StorePersistent(off, buf.data(), buf.size()));
+    off = (off + 4096) % (32 << 20);
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_NvmmPersistentStore)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    BTreeMap<uint64_t> tree;
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); i++) {
+      tree.Insert(rng.Next() % 100000, i);
+    }
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_BTreeFind(benchmark::State& state) {
+  BTreeMap<uint64_t> tree;
+  Rng rng(2);
+  for (int i = 0; i < 10000; i++) {
+    tree.Insert(rng.Next() % 100000, i);
+  }
+  Rng probe(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Find(probe.Next() % 100000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeFind);
+
+void BM_LineMask(benchmark::State& state) {
+  Rng rng(4);
+  for (auto _ : state) {
+    const size_t off = rng.Below(4000);
+    benchmark::DoNotOptimize(LineMaskFor(off, 4096 - off));
+    benchmark::DoNotOptimize(FullLineMaskFor(off, 4096 - off));
+  }
+}
+BENCHMARK(BM_LineMask);
+
+void BM_JournalTransaction(benchmark::State& state) {
+  NvmmDevice dev(SpinConfig());
+  Journal journal(&dev, 4096, 4 << 20);
+  (void)journal.Format();
+  for (auto _ : state) {
+    Transaction txn = journal.Begin();
+    (void)txn.LogOldValue(16 << 20, state.range(0));
+    (void)txn.Commit();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JournalTransaction)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_BufferedWrite(benchmark::State& state) {
+  NvmmDevice dev(SpinConfig(256 << 20));
+  HinfsOptions opts;
+  opts.buffer_bytes = 64 << 20;
+  DramBufferManager mgr(&dev, opts, [](uint64_t, uint64_t fb) -> Result<uint64_t> {
+    return (64ull << 20) + fb * kBlockSize;
+  });
+  std::vector<uint8_t> buf(state.range(0), 0x11);
+  Rng rng(5);
+  for (auto _ : state) {
+    const uint64_t fb = rng.Below(4096);
+    benchmark::DoNotOptimize(
+        mgr.Write(1, fb, 0, buf.data(), buf.size(), kNoNvmmAddr));
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_BufferedWrite)->Arg(64)->Arg(4096);
+
+void BM_DirectWrite(benchmark::State& state) {
+  NvmmDevice dev(SpinConfig(256 << 20));
+  std::vector<uint8_t> buf(state.range(0), 0x11);
+  Rng rng(6);
+  for (auto _ : state) {
+    const uint64_t off = rng.Below(4096) * kBlockSize;
+    benchmark::DoNotOptimize(dev.StorePersistent(off, buf.data(), buf.size()));
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_DirectWrite)->Arg(64)->Arg(4096);
+
+}  // namespace
+}  // namespace hinfs
+
+BENCHMARK_MAIN();

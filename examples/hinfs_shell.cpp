@@ -1,0 +1,248 @@
+// hinfs_shell: an interactive shell over a HiNFS instance on emulated NVMM.
+// Demonstrates the full public API surface, plus live buffer/device
+// introspection and the offline fsck.
+//
+//   ./build/examples/hinfs_shell            # interactive
+//   echo "mkdir /a; write /a/f hello; cat /a/f; stat /a/f; df" | ./build/examples/hinfs_shell
+//
+// Commands: ls [path], cat <path>, write <path> <text>, append <path> <text>,
+//           mkdir <path>, rm <path>, rmdir <path>, mv <from> <to>,
+//           stat <path>, truncate <path> <size>, fsync <path>, sync,
+//           df, buf, fsck, help, quit
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/fs/pmfs/fsck.h"
+#include "src/hinfs/hinfs_fs.h"
+#include "src/vfs/vfs.h"
+
+using namespace hinfs;
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  ls [path]              list directory\n"
+      "  cat <path>             print file contents\n"
+      "  write <path> <text>    create/overwrite file (lazy-persistent)\n"
+      "  append <path> <text>   append to file\n"
+      "  mkdir/rm/rmdir/mv      namespace operations\n"
+      "  stat <path>            inode attributes\n"
+      "  truncate <path> <n>    resize file\n"
+      "  fsync <path>           make one file durable\n"
+      "  sync                   flush the whole buffer\n"
+      "  df                     device + space usage\n"
+      "  buf                    DRAM write-buffer statistics\n"
+      "  fsck                   offline consistency check (flushes first)\n"
+      "  help, quit\n");
+}
+
+int RunCommand(Vfs& vfs, HinfsFs& fs, NvmmDevice& nvmm, const std::vector<std::string>& args) {
+  const std::string& cmd = args[0];
+  auto need = [&](size_t n) {
+    if (args.size() < n + 1) {
+      std::printf("error: %s needs %zu argument(s)\n", cmd.c_str(), n);
+      return false;
+    }
+    return true;
+  };
+
+  if (cmd == "help") {
+    PrintHelp();
+  } else if (cmd == "ls") {
+    const std::string path = args.size() > 1 ? args[1] : "/";
+    auto entries = vfs.ReadDir(path);
+    if (!entries.ok()) {
+      std::printf("error: %s\n", entries.status().ToString().c_str());
+      return 1;
+    }
+    for (const DirEntry& e : *entries) {
+      std::printf("%c %8llu  %s\n", e.type == FileType::kDirectory ? 'd' : '-',
+                  (unsigned long long)e.ino, e.name.c_str());
+    }
+  } else if (cmd == "cat") {
+    if (!need(1)) {
+      return 1;
+    }
+    auto content = vfs.ReadFileToString(args[1]);
+    if (!content.ok()) {
+      std::printf("error: %s\n", content.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", content->c_str());
+  } else if (cmd == "write" || cmd == "append") {
+    if (!need(2)) {
+      return 1;
+    }
+    std::string text = args[2];
+    for (size_t i = 3; i < args.size(); i++) {
+      text += " " + args[i];
+    }
+    Status st;
+    if (cmd == "write") {
+      st = vfs.WriteFile(args[1], text);
+    } else {
+      Result<int> fd = vfs.Open(args[1], kWrOnly | kCreate | kAppend);
+      st = fd.ok() ? vfs.Write(*fd, text.data(), text.size()).status() : fd.status();
+      if (fd.ok()) {
+        (void)vfs.Close(*fd);
+      }
+    }
+    std::printf("%s\n", st.ToString().c_str());
+  } else if (cmd == "mkdir") {
+    if (!need(1)) {
+      return 1;
+    }
+    std::printf("%s\n", vfs.Mkdir(args[1]).ToString().c_str());
+  } else if (cmd == "rm") {
+    if (!need(1)) {
+      return 1;
+    }
+    std::printf("%s\n", vfs.Unlink(args[1]).ToString().c_str());
+  } else if (cmd == "rmdir") {
+    if (!need(1)) {
+      return 1;
+    }
+    std::printf("%s\n", vfs.Rmdir(args[1]).ToString().c_str());
+  } else if (cmd == "mv") {
+    if (!need(2)) {
+      return 1;
+    }
+    std::printf("%s\n", vfs.Rename(args[1], args[2]).ToString().c_str());
+  } else if (cmd == "stat") {
+    if (!need(1)) {
+      return 1;
+    }
+    auto attr = vfs.Stat(args[1]);
+    if (!attr.ok()) {
+      std::printf("error: %s\n", attr.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("ino=%llu type=%s size=%llu nlink=%u\n", (unsigned long long)attr->ino,
+                attr->type == FileType::kDirectory ? "dir" : "file",
+                (unsigned long long)attr->size, attr->nlink);
+  } else if (cmd == "truncate") {
+    if (!need(2)) {
+      return 1;
+    }
+    auto fd = vfs.Open(args[1], kRdWr);
+    if (!fd.ok()) {
+      std::printf("error: %s\n", fd.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", vfs.Ftruncate(*fd, std::stoull(args[2])).ToString().c_str());
+    (void)vfs.Close(*fd);
+  } else if (cmd == "fsync") {
+    if (!need(1)) {
+      return 1;
+    }
+    auto fd = vfs.Open(args[1], kRdWr);
+    if (!fd.ok()) {
+      std::printf("error: %s\n", fd.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", vfs.Fsync(*fd).ToString().c_str());
+    (void)vfs.Close(*fd);
+  } else if (cmd == "sync") {
+    std::printf("%s\n", vfs.SyncFs().ToString().c_str());
+  } else if (cmd == "df") {
+    std::printf("nvmm: %zu MB device, %llu free data blocks, %llu MB flushed, %llu MB loaded\n",
+                nvmm.size() >> 20, (unsigned long long)fs.free_data_blocks(),
+                (unsigned long long)(nvmm.flushed_bytes() >> 20),
+                (unsigned long long)(nvmm.loaded_bytes() >> 20));
+  } else if (cmd == "buf") {
+    auto& b = fs.buffer();
+    std::printf("buffer: %zu/%zu frames free, hits=%llu misses=%llu wb=%llu blocks "
+                "(%llu lines), fetched=%llu lines, stalls=%llu\n",
+                b.free_blocks(), b.capacity_blocks(), (unsigned long long)b.buffer_hits(),
+                (unsigned long long)b.buffer_misses(),
+                (unsigned long long)b.writeback_blocks(),
+                (unsigned long long)b.writeback_lines(),
+                (unsigned long long)b.fetched_lines(), (unsigned long long)b.stall_count());
+    std::printf("model:  eager=%llu lazy=%llu decisions=%llu accuracy=%.1f%%\n",
+                (unsigned long long)fs.stats().Get(kStatEagerWrites),
+                (unsigned long long)fs.stats().Get(kStatLazyWrites),
+                (unsigned long long)fs.checker().decisions(),
+                fs.checker().AccuracyRate() * 100.0);
+  } else if (cmd == "fsck") {
+    if (Status st = vfs.SyncFs(); !st.ok()) {
+      std::printf("sync: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    auto report = FsckPmfs(&nvmm);
+    if (!report.ok()) {
+      std::printf("fsck failed: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", report->Summary().c_str());
+    for (const std::string& e : report->errors) {
+      std::printf("  E %s\n", e.c_str());
+    }
+    for (const std::string& w : report->warnings) {
+      std::printf("  W %s\n", w.c_str());
+    }
+  } else {
+    std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  NvmmConfig ncfg;
+  ncfg.size_bytes = 256ull << 20;
+  ncfg.latency_mode = LatencyMode::kSpin;
+  NvmmDevice nvmm(ncfg);
+  HinfsOptions hopts;
+  hopts.buffer_bytes = 32ull << 20;
+  auto fs = HinfsFs::Format(&nvmm, hopts);
+  if (!fs.ok()) {
+    std::fprintf(stderr, "format: %s\n", fs.status().ToString().c_str());
+    return 1;
+  }
+  Vfs vfs(fs->get());
+  std::printf("HiNFS shell on a %zu MB emulated NVMM device. Type 'help'.\n",
+              nvmm.size() >> 20);
+
+  std::string line;
+  while (true) {
+    std::printf("hinfs> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) {
+      break;
+    }
+    // Allow ';'-separated command lists for scripting.
+    std::stringstream commands(line);
+    std::string one;
+    bool quit = false;
+    while (std::getline(commands, one, ';')) {
+      std::stringstream ss(one);
+      std::vector<std::string> args;
+      std::string tok;
+      while (ss >> tok) {
+        args.push_back(tok);
+      }
+      if (args.empty()) {
+        continue;
+      }
+      if (args[0] == "quit" || args[0] == "exit") {
+        quit = true;
+        break;
+      }
+      (void)RunCommand(vfs, **fs, nvmm, args);
+    }
+    if (quit) {
+      break;
+    }
+  }
+  (void)vfs.Unmount();
+  std::printf("bye\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// mail_server: a varmail-style scenario (the paper's motivating eager-persistent
+// workload) run on both HiNFS and PMFS, showing that HiNFS's Buffer Benefit
+// Model routes fsync-bound appends directly to NVMM — matching PMFS instead of
+// paying double copies — while still buffering the mailbox compaction rewrite.
+//
+//   ./build/examples/mail_server
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/workloads/fs_setup.h"
+
+using namespace hinfs;
+
+namespace {
+
+// Deliver `n` messages: append to a mailbox file + fsync each (mail servers
+// must not lose accepted mail).
+Status DeliverMail(Vfs* vfs, int n, uint64_t* elapsed_ns) {
+  std::string msg(2048, 'm');
+  const uint64_t start = MonotonicNowNs();
+  for (int i = 0; i < n; i++) {
+    const std::string box = "/mail/user" + std::to_string(i % 8);
+    HINFS_ASSIGN_OR_RETURN(int fd, vfs->Open(box, kWrOnly | kCreate | kAppend));
+    HINFS_RETURN_IF_ERROR(vfs->Write(fd, msg.data(), msg.size()).status());
+    HINFS_RETURN_IF_ERROR(vfs->Fsync(fd));
+    HINFS_RETURN_IF_ERROR(vfs->Close(fd));
+  }
+  *elapsed_ns = MonotonicNowNs() - start;
+  return OkStatus();
+}
+
+// Compact a mailbox: rewrite it in place several times (lazy-persistent work
+// that coalesces in the DRAM buffer).
+Status CompactMailboxes(Vfs* vfs, int rounds, uint64_t* elapsed_ns) {
+  std::string blob(128 * 1024, 'c');
+  const uint64_t start = MonotonicNowNs();
+  for (int r = 0; r < rounds; r++) {
+    for (int u = 0; u < 8; u++) {
+      const std::string box = "/mail/user" + std::to_string(u);
+      HINFS_ASSIGN_OR_RETURN(int fd, vfs->Open(box, kWrOnly | kTrunc));
+      HINFS_RETURN_IF_ERROR(vfs->Write(fd, blob.data(), blob.size()).status());
+      HINFS_RETURN_IF_ERROR(vfs->Close(fd));
+    }
+  }
+  *elapsed_ns = MonotonicNowNs() - start;
+  return OkStatus();
+}
+
+int RunScenario(FsKind kind) {
+  TestBedConfig cfg;
+  cfg.nvmm.size_bytes = 256ull << 20;
+  cfg.nvmm.latency_mode = LatencyMode::kSpin;
+  cfg.hinfs.buffer_bytes = 32ull << 20;
+  auto bed = MakeTestBed(kind, cfg);
+  if (!bed.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", bed.status().ToString().c_str());
+    return 1;
+  }
+  Vfs* vfs = (*bed)->vfs.get();
+  if (!vfs->Mkdir("/mail").ok()) {
+    return 1;
+  }
+
+  uint64_t deliver_ns = 0;
+  uint64_t compact_ns = 0;
+  if (Status st = DeliverMail(vfs, 200, &deliver_ns); !st.ok()) {
+    std::fprintf(stderr, "deliver: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (Status st = CompactMailboxes(vfs, 10, &compact_ns); !st.ok()) {
+    std::fprintf(stderr, "compact: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-12s deliver(200 msgs+fsync): %6.2f ms   compact(10 rounds): %6.2f ms",
+              FsKindName(kind), deliver_ns / 1e6, compact_ns / 1e6);
+  std::printf("   [eager=%llu lazy=%llu]\n",
+              static_cast<unsigned long long>((*bed)->fs->stats().Get(kStatEagerWrites)),
+              static_cast<unsigned long long>((*bed)->fs->stats().Get(kStatLazyWrites)));
+  return (*bed)->vfs->Unmount().ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("varmail-style mail server: append+fsync deliveries vs buffered compaction\n\n");
+  int rc = 0;
+  rc |= RunScenario(FsKind::kPmfs);
+  rc |= RunScenario(FsKind::kHinfs);
+  rc |= RunScenario(FsKind::kHinfsWb);
+  std::printf(
+      "\nExpected shape: delivery is NVMM-bound on every FS (eager-persistent appends);\n"
+      "compaction is much faster on HiNFS (write coalescing in DRAM); HiNFS-WB pays\n"
+      "double copies on delivery because it buffers the fsync-bound appends too.\n");
+  return rc;
+}

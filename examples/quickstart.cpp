@@ -1,0 +1,82 @@
+// Quickstart: format HiNFS on an emulated NVMM device, do file I/O through
+// the Vfs, and inspect what the NVMM-aware write buffer did.
+//
+//   ./build/examples/quickstart
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/hinfs/hinfs_fs.h"
+#include "src/vfs/vfs.h"
+
+using namespace hinfs;
+
+int main() {
+  // 1. An emulated NVMM device: 256 MB, 200 ns extra write latency per
+  //    flushed cacheline, 1 GB/s write bandwidth (the paper's defaults).
+  NvmmConfig nvmm_cfg;
+  nvmm_cfg.size_bytes = 256ull << 20;
+  nvmm_cfg.latency_mode = LatencyMode::kSpin;
+  nvmm_cfg.write_latency_ns = 200;
+  NvmmDevice nvmm(nvmm_cfg);
+
+  // 2. Format HiNFS with a 32 MB DRAM write buffer.
+  HinfsOptions hopts;
+  hopts.buffer_bytes = 32ull << 20;
+  auto fs = HinfsFs::Format(&nvmm, hopts);
+  if (!fs.ok()) {
+    std::fprintf(stderr, "format failed: %s\n", fs.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. POSIX-like I/O through the Vfs. (Counters reset so they show the I/O
+  //    below, not the formatting traffic.)
+  nvmm.ResetCounters();
+  Vfs vfs(fs->get());
+  if (Status st = vfs.Mkdir("/docs"); !st.ok()) {
+    std::fprintf(stderr, "mkdir: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // A lazy-persistent write: lands in the DRAM buffer, hiding NVMM latency.
+  std::string draft(64 * 1024, 'd');
+  if (Status st = vfs.WriteFile("/docs/draft.txt", draft); !st.ok()) {
+    std::fprintf(stderr, "write: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote 64 KB lazily; NVMM bytes flushed so far: %llu (metadata only)\n",
+              static_cast<unsigned long long>(nvmm.flushed_bytes()));
+
+  // fsync makes it durable: the buffer drains to NVMM.
+  auto fd = vfs.Open("/docs/draft.txt", kRdWr);
+  if (!fd.ok() || !vfs.Fsync(*fd).ok()) {
+    std::fprintf(stderr, "fsync failed\n");
+    return 1;
+  }
+  std::printf("after fsync: NVMM bytes flushed: %llu\n",
+              static_cast<unsigned long long>(nvmm.flushed_bytes()));
+  (void)vfs.Close(*fd);
+
+  // Reads are direct (single copy), merged from DRAM and NVMM.
+  auto content = vfs.ReadFileToString("/docs/draft.txt");
+  if (!content.ok() || content->size() != draft.size()) {
+    std::fprintf(stderr, "read back failed\n");
+    return 1;
+  }
+  std::printf("read back %zu bytes OK\n", content->size());
+
+  // Buffer statistics.
+  auto& buf = (*fs)->buffer();
+  std::printf("buffer: capacity=%zu blocks, hits=%llu, misses=%llu, writebacks=%llu blocks\n",
+              buf.capacity_blocks(), static_cast<unsigned long long>(buf.buffer_hits()),
+              static_cast<unsigned long long>(buf.buffer_misses()),
+              static_cast<unsigned long long>(buf.writeback_blocks()));
+
+  if (Status st = vfs.Unmount(); !st.ok()) {
+    std::fprintf(stderr, "unmount: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("unmounted cleanly\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// trace_replay: synthesize one of the paper's trace profiles and replay it on
+// a chosen file system, printing the Fig. 12-style per-op time breakdown.
+//
+//   ./build/examples/trace_replay [usr0|usr1|lasr|facebook|tpcc] \
+//                                 [pmfs|hinfs|hinfs-wb|ext4dax|ext2|ext4]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/workloads/fs_setup.h"
+#include "src/workloads/trace.h"
+
+using namespace hinfs;
+
+namespace {
+
+TraceProfile ProfileByName(const std::string& name) {
+  if (name == "usr1") {
+    return Usr1Profile();
+  }
+  if (name == "lasr") {
+    return LasrProfile();
+  }
+  if (name == "facebook") {
+    return FacebookProfile();
+  }
+  if (name == "tpcc") {
+    return TpccTraceProfile();
+  }
+  return Usr0Profile();
+}
+
+FsKind KindByName(const std::string& name) {
+  if (name == "pmfs") {
+    return FsKind::kPmfs;
+  }
+  if (name == "hinfs-wb") {
+    return FsKind::kHinfsWb;
+  }
+  if (name == "ext4dax") {
+    return FsKind::kExt4Dax;
+  }
+  if (name == "ext2") {
+    return FsKind::kExt2Nvmmbd;
+  }
+  if (name == "ext4") {
+    return FsKind::kExt4Nvmmbd;
+  }
+  return FsKind::kHinfs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string profile_name = argc > 1 ? argv[1] : "usr0";
+  const std::string fs_name = argc > 2 ? argv[2] : "hinfs";
+
+  TraceProfile profile = ProfileByName(profile_name);
+  profile.num_ops = 30000;
+  const auto trace = SynthesizeTrace(profile);
+  const auto fsync_stats = ComputeFsyncBytes(trace);
+  std::printf("trace %-9s: %zu ops, %.1f%% fsync bytes (Fig. 2 property)\n",
+              profile.name.c_str(), trace.size(), fsync_stats.Percent());
+
+  TestBedConfig cfg;
+  cfg.nvmm.size_bytes = 512ull << 20;
+  cfg.nvmm.latency_mode = LatencyMode::kSpin;
+  cfg.hinfs.buffer_bytes = 64ull << 20;
+  auto bed = MakeTestBed(KindByName(fs_name), cfg);
+  if (!bed.ok()) {
+    std::fprintf(stderr, "setup: %s\n", bed.status().ToString().c_str());
+    return 1;
+  }
+
+  auto breakdown = ReplayTrace((*bed)->vfs.get(), trace);
+  if (!breakdown.ok()) {
+    std::fprintf(stderr, "replay: %s\n", breakdown.status().ToString().c_str());
+    return 1;
+  }
+
+  const double total_ms = breakdown->TotalNs() / 1e6;
+  std::printf("replayed on %-12s total %8.2f ms\n", FsKindName(KindByName(fs_name)), total_ms);
+  std::printf("  read:   %8.2f ms (%4.1f%%)\n", breakdown->read_ns / 1e6,
+              100.0 * breakdown->read_ns / breakdown->TotalNs());
+  std::printf("  write:  %8.2f ms (%4.1f%%)\n", breakdown->write_ns / 1e6,
+              100.0 * breakdown->write_ns / breakdown->TotalNs());
+  std::printf("  fsync:  %8.2f ms (%4.1f%%)\n", breakdown->fsync_ns / 1e6,
+              100.0 * breakdown->fsync_ns / breakdown->TotalNs());
+  std::printf("  unlink: %8.2f ms (%4.1f%%)\n", breakdown->unlink_ns / 1e6,
+              100.0 * breakdown->unlink_ns / breakdown->TotalNs());
+  return (*bed)->vfs->Unmount().ok() ? 0 : 1;
+}

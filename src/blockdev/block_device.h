@@ -1,0 +1,31 @@
+// BlockDevice: the generic block layer interface traditional file systems sit on.
+
+#ifndef SRC_BLOCKDEV_BLOCK_DEVICE_H_
+#define SRC_BLOCKDEV_BLOCK_DEVICE_H_
+
+#include <cstdint>
+
+#include "src/common/constants.h"
+#include "src/common/status.h"
+
+namespace hinfs {
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  virtual uint64_t num_blocks() const = 0;
+  uint64_t size_bytes() const { return num_blocks() * kBlockSize; }
+
+  // Whole-block transfer, the unit of the generic block layer.
+  virtual Status ReadBlock(uint64_t block, void* dst) = 0;
+  virtual Status WriteBlock(uint64_t block, const void* src) = 0;
+
+  // Ensures previously completed writes are durable (a RAM-disk style device
+  // may implement this as a no-op if writes are durable on completion).
+  virtual Status Sync() = 0;
+};
+
+}  // namespace hinfs
+
+#endif  // SRC_BLOCKDEV_BLOCK_DEVICE_H_

@@ -1,0 +1,35 @@
+#include "src/blockdev/nvmm_block_device.h"
+
+namespace hinfs {
+
+NvmmBlockDevice::NvmmBlockDevice(NvmmDevice* nvmm, uint64_t first_byte, uint64_t num_blocks,
+                                 const NvmmBlockDeviceConfig& config)
+    : nvmm_(nvmm), first_byte_(first_byte), num_blocks_(num_blocks), config_(config) {}
+
+Status NvmmBlockDevice::CheckBlock(uint64_t block) const {
+  if (block >= num_blocks_) {
+    return Status(ErrorCode::kOutOfRange, "block beyond device");
+  }
+  return OkStatus();
+}
+
+Status NvmmBlockDevice::ReadBlock(uint64_t block, void* dst) {
+  HINFS_RETURN_IF_ERROR(CheckBlock(block));
+  nvmm_->latency().Charge(config_.block_layer_overhead_ns);
+  return nvmm_->Load(first_byte_ + block * kBlockSize, dst, kBlockSize);
+}
+
+Status NvmmBlockDevice::WriteBlock(uint64_t block, const void* src) {
+  HINFS_RETURN_IF_ERROR(CheckBlock(block));
+  nvmm_->latency().Charge(config_.block_layer_overhead_ns);
+  // A brd-style RAM disk write is durable when the request completes, so the
+  // copy into NVMM pays full persistence cost here.
+  return nvmm_->StorePersistent(first_byte_ + block * kBlockSize, src, kBlockSize);
+}
+
+Status NvmmBlockDevice::Sync() {
+  // Writes are durable on completion (see WriteBlock); nothing is pending.
+  return OkStatus();
+}
+
+}  // namespace hinfs

@@ -1,0 +1,50 @@
+// NvmmBlockDevice: the paper's NVMMBD emulator — an NVMM region exposed through
+// the generic block layer, as a modified brd (Linux RAM disk) driver would be.
+//
+// Every request pays a fixed software overhead modeling the generic block layer
+// (request setup, bio handling, plug/unplug); writes then copy through to NVMM
+// with full persistence cost. This is the substrate the EXT2/EXT4+NVMMBD
+// baselines run on, and the overhead it adds is exactly what Figs. 7/10/12/13
+// show being unable to amortize on memory-speed storage.
+
+#ifndef SRC_BLOCKDEV_NVMM_BLOCK_DEVICE_H_
+#define SRC_BLOCKDEV_NVMM_BLOCK_DEVICE_H_
+
+#include <memory>
+
+#include "src/blockdev/block_device.h"
+#include "src/nvmm/nvmm_device.h"
+
+namespace hinfs {
+
+struct NvmmBlockDeviceConfig {
+  // Per-request software overhead of the generic block layer. ~1.5 us is in
+  // line with published measurements of the Linux block layer on RAM disks.
+  uint64_t block_layer_overhead_ns = 1500;
+};
+
+class NvmmBlockDevice : public BlockDevice {
+ public:
+  // The device does not own `nvmm`; one NVMM region may back several partitions.
+  NvmmBlockDevice(NvmmDevice* nvmm, uint64_t first_byte, uint64_t num_blocks,
+                  const NvmmBlockDeviceConfig& config = {});
+
+  uint64_t num_blocks() const override { return num_blocks_; }
+  Status ReadBlock(uint64_t block, void* dst) override;
+  Status WriteBlock(uint64_t block, const void* src) override;
+  Status Sync() override;
+
+  NvmmDevice* nvmm() { return nvmm_; }
+
+ private:
+  Status CheckBlock(uint64_t block) const;
+
+  NvmmDevice* nvmm_;
+  uint64_t first_byte_;
+  uint64_t num_blocks_;
+  NvmmBlockDeviceConfig config_;
+};
+
+}  // namespace hinfs
+
+#endif  // SRC_BLOCKDEV_NVMM_BLOCK_DEVICE_H_

@@ -1,0 +1,35 @@
+#include "src/common/clock.h"
+
+#include <chrono>
+
+namespace hinfs {
+namespace {
+
+thread_local uint64_t g_sim_now_ns = 0;
+
+}  // namespace
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+void SpinFor(uint64_t ns) {
+  if (ns == 0) {
+    return;
+  }
+  const uint64_t deadline = MonotonicNowNs() + ns;
+  while (MonotonicNowNs() < deadline) {
+    // Busy wait, matching the paper's emulator ("a software spin loop that ...
+    // spins until the counter reaches the intended delay").
+  }
+}
+
+uint64_t SimClock::ThreadNowNs() { return g_sim_now_ns; }
+
+void SimClock::Advance(uint64_t ns) { g_sim_now_ns += ns; }
+
+void SimClock::ResetThread() { g_sim_now_ns = 0; }
+
+}  // namespace hinfs

@@ -1,0 +1,43 @@
+// Time sources for the emulators and benchmarks.
+//
+// Two notions of time coexist in this repository:
+//  - Wall time (MonotonicNowNs, SpinFor): used when the NVMM emulator runs in "spin"
+//    mode, which mirrors the paper's RDTSCP spin-loop latency injection.
+//  - Simulated time (SimClock): a per-thread virtual nanosecond counter used in
+//    "virtual" latency mode, so unit tests can assert exact cost accounting and
+//    benches can run deterministically on noisy machines.
+
+#ifndef SRC_COMMON_CLOCK_H_
+#define SRC_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace hinfs {
+
+// Current monotonic wall-clock time in nanoseconds.
+uint64_t MonotonicNowNs();
+
+// Busy-spins for approximately `ns` nanoseconds. This is the userspace equivalent
+// of the paper's RDTSCP spin loop: it burns CPU rather than yielding, because the
+// delay being modeled (an NVMM write completing) would stall the CPU pipeline in
+// the same way.
+void SpinFor(uint64_t ns);
+
+// Per-thread simulated clock. Each thread accumulates virtual nanoseconds as the
+// emulator charges it for operations. Threads' clocks are independent; shared
+// resources (e.g. NVMM write bandwidth) are arbitrated by the BandwidthLimiter.
+class SimClock {
+ public:
+  // Virtual nanoseconds accumulated by the calling thread.
+  static uint64_t ThreadNowNs();
+
+  // Advances the calling thread's virtual clock.
+  static void Advance(uint64_t ns);
+
+  // Resets the calling thread's virtual clock to zero (test setup).
+  static void ResetThread();
+};
+
+}  // namespace hinfs
+
+#endif  // SRC_COMMON_CLOCK_H_

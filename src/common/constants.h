@@ -1,0 +1,26 @@
+// Geometry constants shared by every layer of the stack.
+
+#ifndef SRC_COMMON_CONSTANTS_H_
+#define SRC_COMMON_CONSTANTS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hinfs {
+
+// Processor cacheline size; the granularity of clflush, of the Cacheline Bitmap,
+// and of CLFW fetch/writeback.
+inline constexpr size_t kCachelineSize = 64;
+
+// File system / DRAM buffer block size (paper default: 4 KB).
+inline constexpr size_t kBlockSize = 4096;
+
+// Cachelines per block: the width of the Cacheline Bitmap (64 -> one uint64_t).
+inline constexpr size_t kLinesPerBlock = kBlockSize / kCachelineSize;
+static_assert(kLinesPerBlock == 64, "Cacheline bitmap is sized as a single uint64_t");
+
+inline constexpr uint64_t kInvalidBlock = UINT64_MAX;
+
+}  // namespace hinfs
+
+#endif  // SRC_COMMON_CONSTANTS_H_

@@ -1,0 +1,78 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace hinfs {
+namespace {
+
+int BucketFor(uint64_t value) {
+  if (value == 0) {
+    return 0;
+  }
+  int b = 63 - std::countl_zero(value);
+  return std::min(b, Histogram::kBuckets - 1);
+}
+
+}  // namespace
+
+void Histogram::Record(uint64_t value_ns) {
+  buckets_[BucketFor(value_ns)]++;
+  count_++;
+  sum_ += value_ns;
+  min_ = std::min(min_, value_ns);
+  max_ = std::max(max_, value_ns);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kBuckets; i++) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; i++) {
+    seen += buckets_[i];
+    if (seen > target) {
+      // Midpoint of bucket [2^i, 2^(i+1)).
+      const uint64_t lo = i == 0 ? 0 : (1ull << i);
+      return lo + (lo >> 1);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "n=%llu mean=%.0fns p50=%lluns p99=%lluns max=%lluns",
+                static_cast<unsigned long long>(count_), Mean(),
+                static_cast<unsigned long long>(Percentile(0.50)),
+                static_cast<unsigned long long>(Percentile(0.99)),
+                static_cast<unsigned long long>(max_ == 0 && count_ == 0 ? 0 : max_));
+  return buf;
+}
+
+}  // namespace hinfs

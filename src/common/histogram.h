@@ -1,0 +1,44 @@
+// Log-bucketed latency histogram used by the benchmark harness.
+
+#ifndef SRC_COMMON_HISTOGRAM_H_
+#define SRC_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace hinfs {
+
+// Power-of-two bucketed histogram of nanosecond samples: bucket i covers
+// [2^i, 2^(i+1)). Cheap enough to sit on the hot path of every workload op.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 48;
+
+  void Record(uint64_t value_ns);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+
+  // Approximate quantile (q in [0, 1]) from the bucket boundaries.
+  uint64_t Percentile(double q) const;
+
+  // One-line summary: "n=... mean=... p50=... p99=... max=...".
+  std::string Summary() const;
+
+ private:
+  std::array<uint64_t, kBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+}  // namespace hinfs
+
+#endif  // SRC_COMMON_HISTOGRAM_H_

@@ -1,0 +1,35 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace hinfs {
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = uninitialized; read HINFS_LOG on first use.
+
+int InitLevel() {
+  const char* env = std::getenv("HINFS_LOG");
+  return env == nullptr ? static_cast<int>(LogLevel::kOff) : std::atoi(env);
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = InitLevel();
+    g_level.store(v);
+  }
+  return static_cast<LogLevel>(v);
+}
+
+namespace internal {
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(GetLogLevel()) >= static_cast<int>(level);
+}
+}  // namespace internal
+
+}  // namespace hinfs

@@ -1,0 +1,38 @@
+// Minimal leveled logging. Off by default; enabled via HinfsSetLogLevel or the
+// HINFS_LOG environment variable (0=off, 1=error, 2=info, 3=debug).
+
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <cstdio>
+
+namespace hinfs {
+
+enum class LogLevel : int {
+  kOff = 0,
+  kError = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+bool LogEnabled(LogLevel level);
+}  // namespace internal
+
+#define HINFS_LOG(level, fmt, ...)                                              \
+  do {                                                                          \
+    if (::hinfs::internal::LogEnabled(level)) {                                 \
+      std::fprintf(stderr, "[hinfs] " fmt "\n", ##__VA_ARGS__);                 \
+    }                                                                           \
+  } while (0)
+
+#define HINFS_LOG_ERROR(fmt, ...) HINFS_LOG(::hinfs::LogLevel::kError, "E " fmt, ##__VA_ARGS__)
+#define HINFS_LOG_INFO(fmt, ...) HINFS_LOG(::hinfs::LogLevel::kInfo, "I " fmt, ##__VA_ARGS__)
+#define HINFS_LOG_DEBUG(fmt, ...) HINFS_LOG(::hinfs::LogLevel::kDebug, "D " fmt, ##__VA_ARGS__)
+
+}  // namespace hinfs
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,59 @@
+// Result<T>: a value-or-Status return type (the library's StatusOr analogue).
+
+#ifndef SRC_COMMON_RESULT_H_
+#define SRC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace hinfs {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error Status keeps call sites terse:
+  //   Result<int> F() { if (bad) { return Status(ErrorCode::kNotFound); } return 42; }
+  Result(T value) : status_(OkStatus()), value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) { assert(!status_.ok()); }
+  Result(ErrorCode code) : status_(code) { assert(code != ErrorCode::kOk); }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define HINFS_ASSIGN_OR_RETURN(lhs, expr)  \
+  auto HINFS_CONCAT_(_res_, __LINE__) = (expr);                 \
+  if (!HINFS_CONCAT_(_res_, __LINE__).ok()) {                   \
+    return HINFS_CONCAT_(_res_, __LINE__).status();             \
+  }                                                             \
+  lhs = std::move(HINFS_CONCAT_(_res_, __LINE__).value())
+
+#define HINFS_CONCAT_INNER_(a, b) a##b
+#define HINFS_CONCAT_(a, b) HINFS_CONCAT_INNER_(a, b)
+
+}  // namespace hinfs
+
+#endif  // SRC_COMMON_RESULT_H_

@@ -1,0 +1,20 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+namespace hinfs {
+
+uint64_t Rng::Skewed(uint64_t n, double theta) {
+  if (n == 0) {
+    return 0;
+  }
+  // Power-law transform of a uniform variate: small indices are sampled with
+  // much higher probability than large ones, concentrating (1 - theta) of the
+  // mass on roughly the first theta fraction of the keyspace.
+  const double u = NextDouble();
+  const double exponent = 1.0 / (1.0 - theta);
+  auto idx = static_cast<uint64_t>(std::pow(u, exponent) * static_cast<double>(n));
+  return idx >= n ? n - 1 : idx;
+}
+
+}  // namespace hinfs

@@ -1,0 +1,65 @@
+// Deterministic pseudo-random number generation for workload generators.
+//
+// A small xoshiro256** implementation is used instead of <random> engines so that
+// workload generators are fast, seed-stable across platforms, and cheap to copy.
+
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace hinfs {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding, the reference initialization for xoshiro.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  uint64_t Between(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // True with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  // Zipf-like skewed index in [0, n): used to model the high I/O skewness the
+  // paper cites for file system workloads. theta in (0, 1); higher is more skewed.
+  // Implemented as a cheap power-law transform rather than exact Zipf sampling,
+  // which is sufficient for generating locality.
+  uint64_t Skewed(uint64_t n, double theta);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace hinfs
+
+#endif  // SRC_COMMON_RNG_H_

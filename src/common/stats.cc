@@ -1,0 +1,47 @@
+#include "src/common/stats.h"
+
+#include "src/common/clock.h"
+
+namespace hinfs {
+
+void StatsRegistry::Add(const std::string& name, uint64_t delta) {
+  Counter(name)->fetch_add(delta, std::memory_order_relaxed);
+}
+
+std::atomic<uint64_t>* StatsRegistry::Counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &counters_[name];
+}
+
+uint64_t StatsRegistry::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.load(std::memory_order_relaxed);
+}
+
+void StatsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, cell] : counters_) {
+    cell.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::pair<std::string, uint64_t>> StatsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, cell] : counters_) {
+    out.emplace_back(name, cell.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+ScopedTimer::ScopedTimer(std::atomic<uint64_t>* cell) : cell_(cell), start_ns_(MonotonicNowNs()) {}
+
+ScopedTimer::~ScopedTimer() {
+  if (cell_ != nullptr) {
+    cell_->fetch_add(MonotonicNowNs() - start_ns_, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace hinfs

@@ -1,0 +1,78 @@
+// StatsRegistry: named counters and timers used to reproduce the paper's
+// perf-based time breakdowns (Fig. 1 and Fig. 12) from inside the file systems.
+//
+// Every file system in this repository charges time to one of a small set of
+// categories at the copy sites themselves:
+//   read_access_ns  - copying data storage -> user buffer
+//   write_access_ns - copying data user buffer -> storage (incl. persistence flushes)
+//   fsync_ns        - time spent inside synchronization operations
+//   other_ns        - everything else (lookup, allocation, index maintenance, ...)
+// plus byte counters (nvmm_write_bytes etc.) used by Fig. 9.
+
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hinfs {
+
+class StatsRegistry {
+ public:
+  // Adds `delta` to counter `name`, creating it on first use. Thread-safe;
+  // counter lookup is amortized by the caller caching the returned pointer.
+  void Add(const std::string& name, uint64_t delta);
+
+  // Returns a stable pointer to the counter cell for hot-path use.
+  std::atomic<uint64_t>* Counter(const std::string& name);
+
+  uint64_t Get(const std::string& name) const;
+  void Reset();
+
+  // Sorted (name, value) snapshot for reporting.
+  std::vector<std::pair<std::string, uint64_t>> Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  // std::map keeps pointers stable across inserts (node-based), which Counter()
+  // relies on.
+  std::map<std::string, std::atomic<uint64_t>> counters_;
+};
+
+// RAII timer that adds elapsed wall nanoseconds to a counter cell on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::atomic<uint64_t>* cell);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::atomic<uint64_t>* cell_;
+  uint64_t start_ns_;
+};
+
+// Well-known counter names shared by all file systems.
+inline constexpr char kStatReadAccessNs[] = "read_access_ns";
+inline constexpr char kStatWriteAccessNs[] = "write_access_ns";
+inline constexpr char kStatFsyncNs[] = "fsync_ns";
+inline constexpr char kStatOtherNs[] = "other_ns";
+inline constexpr char kStatUnlinkNs[] = "unlink_ns";
+inline constexpr char kStatNvmmWriteBytes[] = "nvmm_write_bytes";
+inline constexpr char kStatNvmmReadBytes[] = "nvmm_read_bytes";
+inline constexpr char kStatDramBufferHits[] = "dram_buffer_hits";
+inline constexpr char kStatDramBufferMisses[] = "dram_buffer_misses";
+inline constexpr char kStatWritebackBlocks[] = "writeback_blocks";
+inline constexpr char kStatEagerWrites[] = "eager_writes";
+inline constexpr char kStatLazyWrites[] = "lazy_writes";
+inline constexpr char kStatFsyncBytes[] = "fsync_bytes";
+inline constexpr char kStatWrittenBytes[] = "written_bytes";
+
+}  // namespace hinfs
+
+#endif  // SRC_COMMON_STATS_H_

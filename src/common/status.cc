@@ -1,0 +1,59 @@
+#include "src/common/status.h"
+
+namespace hinfs {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kNotFound:
+      return "not found";
+    case ErrorCode::kExists:
+      return "already exists";
+    case ErrorCode::kNotDir:
+      return "not a directory";
+    case ErrorCode::kIsDir:
+      return "is a directory";
+    case ErrorCode::kNotEmpty:
+      return "directory not empty";
+    case ErrorCode::kNoSpace:
+      return "no space";
+    case ErrorCode::kNoMemory:
+      return "out of memory";
+    case ErrorCode::kInvalidArgument:
+      return "invalid argument";
+    case ErrorCode::kBadFd:
+      return "bad file descriptor";
+    case ErrorCode::kOutOfRange:
+      return "out of range";
+    case ErrorCode::kTooManyOpenFiles:
+      return "too many open files";
+    case ErrorCode::kNameTooLong:
+      return "name too long";
+    case ErrorCode::kReadOnly:
+      return "read-only file system";
+    case ErrorCode::kBusy:
+      return "busy";
+    case ErrorCode::kCorrupt:
+      return "corrupt";
+    case ErrorCode::kNotSupported:
+      return "not supported";
+    case ErrorCode::kIoError:
+      return "i/o error";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "ok";
+  }
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace hinfs

@@ -1,0 +1,77 @@
+// Status: error-code based result reporting used throughout the repository.
+//
+// This library does not use exceptions (os-systems convention). Fallible functions
+// return Status, or Result<T> (see src/common/result.h) when they produce a value.
+
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hinfs {
+
+// Error codes deliberately mirror the POSIX errors a kernel file system would
+// return to the VFS, plus a few emulator-specific conditions.
+enum class ErrorCode : int32_t {
+  kOk = 0,
+  kNotFound,         // ENOENT
+  kExists,           // EEXIST
+  kNotDir,           // ENOTDIR
+  kIsDir,            // EISDIR
+  kNotEmpty,         // ENOTEMPTY
+  kNoSpace,          // ENOSPC
+  kNoMemory,         // ENOMEM
+  kInvalidArgument,  // EINVAL
+  kBadFd,            // EBADF
+  kOutOfRange,       // out-of-bounds device or file access
+  kTooManyOpenFiles, // EMFILE
+  kNameTooLong,      // ENAMETOOLONG
+  kReadOnly,         // EROFS
+  kBusy,             // EBUSY
+  kCorrupt,          // on-"disk" structure failed validation
+  kNotSupported,     // operation not implemented by this file system
+  kIoError,          // generic device failure (fault injection)
+};
+
+// Human-readable name of an error code ("kNoSpace" -> "no space").
+std::string_view ErrorCodeName(ErrorCode code);
+
+// A Status is an ErrorCode plus an optional context message. Statuses are cheap
+// to copy in the common (OK) case: OK carries no message allocation.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  explicit Status(ErrorCode code) : code_(code) {}
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "not found: /a/b" style rendering for logs and test failures.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+#define HINFS_RETURN_IF_ERROR(expr)        \
+  do {                                     \
+    ::hinfs::Status _st = (expr);          \
+    if (!_st.ok()) {                       \
+      return _st;                          \
+    }                                      \
+  } while (0)
+
+}  // namespace hinfs
+
+#endif  // SRC_COMMON_STATUS_H_

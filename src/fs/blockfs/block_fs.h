@@ -1,0 +1,167 @@
+// BlockFs: the traditional block-based file system baseline.
+//
+// One implementation yields three of the paper's comparison systems:
+//   journal=off, dax=off  ->  "EXT2 + NVMMBD"  (no journaling, page cache)
+//   journal=on,  dax=off  ->  "EXT4 + NVMMBD"  (ordered-mode metadata journal)
+//   journal=on,  dax=on   ->  "EXT4-DAX"       (data direct to NVMM, metadata
+//                                               still cache-oriented)
+//
+// Layout (4 KB blocks):
+//   [ super | journal | inode table | inode bitmap | block bitmap | data ... ]
+//
+// Classic ext2 addressing: 10 direct pointers, one single-indirect, one
+// double-indirect block. All metadata and (in non-DAX mode) all data pass
+// through the PageCache, so every cached read is the double copy the paper's
+// Fig. 3(a) shows, and every buffered write is copied again at
+// writeback/fsync time.
+//
+// The ordered-mode journal batches dirty metadata blocks in DRAM and writes
+// descriptor + data + commit blocks to the journal area at each commit point
+// (fsync, sync, unmount), replaying committed transactions at mount.
+
+#ifndef SRC_FS_BLOCKFS_BLOCK_FS_H_
+#define SRC_FS_BLOCKFS_BLOCK_FS_H_
+
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "src/blockdev/block_device.h"
+#include "src/nvmm/nvmm_device.h"
+#include "src/pagecache/page_cache.h"
+#include "src/vfs/file_system.h"
+
+namespace hinfs {
+
+struct BlockFsOptions {
+  bool journal = false;       // ext4-like metadata journaling (ordered mode)
+  bool dax = false;           // EXT4-DAX: data bypasses the page cache
+  uint64_t max_inodes = 1ull << 16;
+  uint64_t journal_blocks = 1024;  // 4 MB journal
+  size_t page_cache_pages = 0;     // 0 = unlimited
+  // Required when dax=true: the NVMM device backing the block device, for
+  // direct data access.
+  NvmmDevice* dax_nvmm = nullptr;
+  uint64_t dax_nvmm_base = 0;  // byte offset of device block 0 on dax_nvmm
+};
+
+class BlockFs : public FileSystem {
+ public:
+  static Result<std::unique_ptr<BlockFs>> Format(BlockDevice* dev, const BlockFsOptions& options);
+  static Result<std::unique_ptr<BlockFs>> Mount(BlockDevice* dev, const BlockFsOptions& options);
+
+  ~BlockFs() override = default;
+
+  std::string Name() const override;
+
+  Result<uint64_t> Lookup(uint64_t dir_ino, std::string_view name) override;
+  Result<uint64_t> Create(uint64_t dir_ino, std::string_view name, FileType type) override;
+  Status Unlink(uint64_t dir_ino, std::string_view name) override;
+  Status Rename(uint64_t old_dir, std::string_view old_name, uint64_t new_dir,
+                std::string_view new_name) override;
+  Result<std::vector<DirEntry>> ReadDir(uint64_t dir_ino) override;
+  Result<InodeAttr> GetAttr(uint64_t ino) override;
+
+  Result<size_t> Read(uint64_t ino, uint64_t offset, void* dst, size_t len) override;
+  Result<size_t> Write(uint64_t ino, uint64_t offset, const void* src, size_t len,
+                       bool sync) override;
+  Status Truncate(uint64_t ino, uint64_t new_size) override;
+  Status Fsync(uint64_t ino) override;
+  Status SyncFs() override;
+  Status DropCaches() override;
+  Status Unmount() override;
+
+  const PageCache& page_cache() const { return *cache_; }
+
+ private:
+  // On-device structures.
+  struct Super {
+    uint64_t magic;
+    uint64_t total_blocks;
+    uint64_t journal_start;   // block number
+    uint64_t journal_blocks;
+    uint64_t inode_table_start;
+    uint64_t max_inodes;
+    uint64_t inode_bitmap_start;
+    uint64_t block_bitmap_start;
+    uint64_t data_start;       // first data block
+    uint64_t data_blocks;
+    uint64_t checkpoint_seq;   // journal transactions <= this are checkpointed
+    uint64_t clean_unmount;
+  };
+
+  static constexpr size_t kDirectPtrs = 10;
+  struct DiskInode {
+    uint64_t ino;  // 0 = free
+    uint8_t type;
+    uint8_t pad[3];
+    uint32_t nlink;
+    uint64_t size;
+    uint64_t mtime_ns;
+    uint64_t direct[kDirectPtrs];
+    uint64_t indirect;
+    uint64_t dindirect;
+  };
+  static_assert(sizeof(DiskInode) == 128);
+
+  BlockFs(BlockDevice* dev, const BlockFsOptions& options);
+  Status InitFormat();
+  Status InitMount();
+  Status ReplayJournal();
+
+  // Metadata block I/O through the page cache, recording journal dirtiness.
+  Status ReadMeta(uint64_t block, size_t offset, void* dst, size_t len);
+  Status WriteMeta(uint64_t block, size_t offset, const void* src, size_t len);
+
+  uint64_t InodeBlock(uint64_t ino) const;
+  size_t InodeOffsetInBlock(uint64_t ino) const;
+  Result<DiskInode> LoadInodeLocked(uint64_t ino);
+  Status StoreInodeLocked(const DiskInode& inode);
+
+  Result<uint64_t> AllocBlockLocked();
+  Status FreeBlockLocked(uint64_t block);
+  Result<uint64_t> AllocInoLocked();
+  Status FreeInoLocked(uint64_t ino);
+
+  // File-block mapping; allocates when `alloc` (returns 0 for holes otherwise).
+  Result<uint64_t> MapLocked(DiskInode& inode, uint64_t file_block, bool alloc);
+  Status FreeFileBlocksLocked(DiskInode& inode, uint64_t from_block, bool discard_pages);
+
+  // Directory helpers (operate on directory file data through the data path).
+  Result<uint64_t> FindDirentLocked(DiskInode& dir, std::string_view name, uint64_t* out_ino,
+                                    FileType* out_type);
+  Status AddDirentLocked(DiskInode& dir, std::string_view name, uint64_t ino, FileType type);
+  Status UnlinkLocked(uint64_t dir_ino, std::string_view name);
+
+  // Data-path helpers.
+  Status ReadDataLocked(DiskInode& inode, uint64_t offset, void* dst, size_t len);
+  Status WriteDataLocked(DiskInode& inode, uint64_t offset, const void* src, size_t len);
+  Status SyncFileDataLocked(DiskInode& inode);
+
+  // Journal commit: flush the accumulated dirty metadata block list to the
+  // journal area (descriptor + block copies + commit), then mark them
+  // checkpointable. No-op when journaling is off.
+  Status CommitJournalLocked();
+  Status CheckpointLocked();
+
+  BlockDevice* dev_;
+  BlockFsOptions options_;
+  Super sb_{};
+  std::unique_ptr<PageCache> cache_;
+
+  std::mutex mu_;  // one big lock, as coarse as early ext2
+  std::vector<uint8_t> block_bitmap_;  // DRAM mirrors
+  std::vector<uint8_t> inode_bitmap_;
+  uint64_t block_hint_ = 0;
+  uint64_t free_data_blocks_ = 0;
+
+  // Journaling state.
+  std::set<uint64_t> dirty_meta_blocks_;
+  uint64_t journal_head_ = 0;  // next journal block to write
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace hinfs
+
+#endif  // SRC_FS_BLOCKFS_BLOCK_FS_H_

@@ -1,0 +1,87 @@
+#include "src/fs/pmfs/allocator.h"
+
+#include <cstring>
+
+namespace hinfs {
+
+BlockAllocator::BlockAllocator(NvmmDevice* nvmm, uint64_t bitmap_off, uint64_t num_blocks)
+    : nvmm_(nvmm), bitmap_off_(bitmap_off), num_blocks_(num_blocks),
+      mirror_((num_blocks + 7) / 8, 0) {}
+
+Status BlockAllocator::Format() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(mirror_.begin(), mirror_.end(), 0);
+  // Block 0 is reserved forever: block number 0 is the radix tree's "hole"
+  // sentinel, so it must never back real data.
+  if (num_blocks_ > 0) {
+    mirror_[0] |= 1;
+  }
+  HINFS_RETURN_IF_ERROR(nvmm_->StorePersistent(bitmap_off_, mirror_.data(), mirror_.size()));
+  free_count_ = num_blocks_ > 0 ? num_blocks_ - 1 : 0;
+  hint_ = 1;
+  return OkStatus();
+}
+
+Status BlockAllocator::LoadFromNvmm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  HINFS_RETURN_IF_ERROR(nvmm_->Load(bitmap_off_, mirror_.data(), mirror_.size()));
+  free_count_ = 0;
+  for (uint64_t b = 0; b < num_blocks_; b++) {
+    if ((mirror_[b / 8] & (1u << (b % 8))) == 0) {
+      free_count_++;
+    }
+  }
+  hint_ = 0;
+  return OkStatus();
+}
+
+uint64_t BlockAllocator::free_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_count_;
+}
+
+Status BlockAllocator::SetBitPersistent(Transaction& txn, uint64_t block, bool value) {
+  const uint64_t byte_addr = bitmap_off_ + block / 8;
+  // Undo-log the bitmap byte, then update it in place.
+  HINFS_RETURN_IF_ERROR(txn.LogOldValue(byte_addr, 1));
+  uint8_t byte = mirror_[block / 8];
+  if (value) {
+    byte |= static_cast<uint8_t>(1u << (block % 8));
+  } else {
+    byte &= static_cast<uint8_t>(~(1u << (block % 8)));
+  }
+  mirror_[block / 8] = byte;
+  return nvmm_->StorePersistent(byte_addr, &byte, 1);
+}
+
+Result<uint64_t> BlockAllocator::Alloc(Transaction& txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_count_ == 0) {
+    return Status(ErrorCode::kNoSpace, "no free data blocks");
+  }
+  for (uint64_t i = 0; i < num_blocks_; i++) {
+    const uint64_t b = (hint_ + i) % num_blocks_;
+    if ((mirror_[b / 8] & (1u << (b % 8))) == 0) {
+      HINFS_RETURN_IF_ERROR(SetBitPersistent(txn, b, true));
+      hint_ = b + 1;
+      free_count_--;
+      return b;
+    }
+  }
+  return Status(ErrorCode::kNoSpace, "bitmap scan found no free block");
+}
+
+Status BlockAllocator::Free(Transaction& txn, uint64_t block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (block >= num_blocks_) {
+    return Status(ErrorCode::kOutOfRange, "free of invalid block");
+  }
+  if ((mirror_[block / 8] & (1u << (block % 8))) == 0) {
+    return Status(ErrorCode::kInvalidArgument, "double free");
+  }
+  HINFS_RETURN_IF_ERROR(SetBitPersistent(txn, block, false));
+  free_count_++;
+  return OkStatus();
+}
+
+}  // namespace hinfs

@@ -1,0 +1,56 @@
+// Persistent block allocator: a bitmap on NVMM with a DRAM mirror for fast
+// scanning. Bitmap updates are journaled by the caller's transaction so that
+// allocation is atomic with the metadata that references the block.
+
+#ifndef SRC_FS_PMFS_ALLOCATOR_H_
+#define SRC_FS_PMFS_ALLOCATOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/fs/pmfs/journal.h"
+#include "src/nvmm/nvmm_device.h"
+
+namespace hinfs {
+
+class BlockAllocator {
+ public:
+  // The bitmap (one bit per data block) lives at `bitmap_off` on `nvmm`.
+  BlockAllocator(NvmmDevice* nvmm, uint64_t bitmap_off, uint64_t num_blocks);
+
+  // Zeroes the bitmap (format time).
+  Status Format();
+
+  // Rebuilds the DRAM mirror from NVMM (mount time, after journal recovery).
+  Status LoadFromNvmm();
+
+  // Allocates one data block; the bitmap byte's old value is undo-logged into
+  // `txn` before being set, making the allocation atomic with the caller's
+  // other metadata updates. Returns the block number.
+  Result<uint64_t> Alloc(Transaction& txn);
+
+  // Frees a block (journaled like Alloc).
+  Status Free(Transaction& txn, uint64_t block);
+
+  uint64_t num_blocks() const { return num_blocks_; }
+  uint64_t free_blocks() const;
+
+ private:
+  Status SetBitPersistent(Transaction& txn, uint64_t block, bool value);
+
+  NvmmDevice* nvmm_;
+  uint64_t bitmap_off_;
+  uint64_t num_blocks_;
+
+  mutable std::mutex mu_;
+  std::vector<uint8_t> mirror_;  // DRAM copy of the bitmap
+  uint64_t hint_ = 0;            // next-fit scan position
+  uint64_t free_count_ = 0;
+};
+
+}  // namespace hinfs
+
+#endif  // SRC_FS_PMFS_ALLOCATOR_H_

@@ -1,0 +1,295 @@
+#include "src/fs/pmfs/fsck.h"
+
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/fs/pmfs/layout.h"
+#include "src/vfs/file_system.h"
+
+namespace hinfs {
+namespace {
+
+uint64_t RadixCapacityBlocks(uint8_t height) {
+  uint64_t cap = 1;
+  for (uint8_t i = 0; i < height; i++) {
+    cap *= kRadixFanout;
+  }
+  return cap;
+}
+
+class Checker {
+ public:
+  explicit Checker(NvmmDevice* nvmm) : nvmm_(nvmm) {}
+
+  Result<FsckReport> Run() {
+    HINFS_RETURN_IF_ERROR(CheckSuperblock());
+    HINFS_RETURN_IF_ERROR(LoadBitmap());
+    HINFS_RETURN_IF_ERROR(CheckInodes());
+    HINFS_RETURN_IF_ERROR(CheckDirectoryTree());
+    CheckLinkCounts();
+    CheckBitmapAccounting();
+    return std::move(report_);
+  }
+
+ private:
+  void Error(std::string msg) { report_.errors.push_back(std::move(msg)); }
+  void Warn(std::string msg) { report_.warnings.push_back(std::move(msg)); }
+
+  Status CheckSuperblock() {
+    HINFS_RETURN_IF_ERROR(nvmm_->Load(0, &sb_, sizeof(sb_)));
+    if (sb_.magic != kPmfsMagic) {
+      Error("superblock: bad magic");
+      return Status(ErrorCode::kCorrupt, "bad magic");
+    }
+    if (sb_.device_bytes > nvmm_->size()) {
+      Error("superblock: device_bytes exceeds device");
+    }
+    if (sb_.data_off + sb_.data_blocks * kBlockSize > nvmm_->size()) {
+      Error("superblock: data area exceeds device");
+      return Status(ErrorCode::kCorrupt, "geometry");
+    }
+    if (sb_.inode_table_off + sb_.max_inodes * sizeof(PmfsInode) > sb_.bitmap_off) {
+      Error("superblock: inode table overlaps bitmap");
+    }
+    return OkStatus();
+  }
+
+  Status LoadBitmap() {
+    bitmap_.resize((sb_.data_blocks + 7) / 8);
+    HINFS_RETURN_IF_ERROR(nvmm_->Load(sb_.bitmap_off, bitmap_.data(), bitmap_.size()));
+    for (uint64_t b = 0; b < sb_.data_blocks; b++) {
+      if (BitSet(b)) {
+        report_.allocated_blocks++;
+      }
+    }
+    return OkStatus();
+  }
+
+  bool BitSet(uint64_t block) const { return (bitmap_[block / 8] >> (block % 8)) & 1; }
+
+  // Claims a block for `ino`; reports double-use and unallocated references.
+  void Claim(uint64_t block, uint64_t ino, const char* what) {
+    char buf[128];
+    if (block >= sb_.data_blocks) {
+      std::snprintf(buf, sizeof(buf), "ino %llu: %s block %llu out of bounds",
+                    (unsigned long long)ino, what, (unsigned long long)block);
+      Error(buf);
+      return;
+    }
+    if (!BitSet(block)) {
+      std::snprintf(buf, sizeof(buf), "ino %llu: %s block %llu not marked allocated",
+                    (unsigned long long)ino, what, (unsigned long long)block);
+      Error(buf);
+    }
+    auto [it, inserted] = owner_.emplace(block, ino);
+    if (!inserted) {
+      std::snprintf(buf, sizeof(buf), "block %llu referenced by both ino %llu and ino %llu",
+                    (unsigned long long)block, (unsigned long long)it->second,
+                    (unsigned long long)ino);
+      Error(buf);
+      return;
+    }
+    report_.referenced_blocks++;
+  }
+
+  Status WalkRadix(uint64_t ino, uint64_t node, uint8_t height) {
+    Claim(node, ino, height > 0 ? "radix node" : "data");
+    if (height == 0 || node >= sb_.data_blocks) {
+      return OkStatus();
+    }
+    std::vector<uint64_t> slots(kRadixFanout);
+    HINFS_RETURN_IF_ERROR(
+        nvmm_->Load(sb_.data_off + node * kBlockSize, slots.data(), kBlockSize));
+    for (uint64_t child : slots) {
+      if (child != 0) {
+        HINFS_RETURN_IF_ERROR(WalkRadix(ino, child, static_cast<uint8_t>(height - 1)));
+      }
+    }
+    return OkStatus();
+  }
+
+  Status CheckInodes() {
+    char buf[128];
+    for (uint64_t ino = 1; ino <= sb_.max_inodes; ino++) {
+      PmfsInode inode;
+      HINFS_RETURN_IF_ERROR(
+          nvmm_->Load(sb_.inode_table_off + (ino - 1) * sizeof(PmfsInode), &inode,
+                      sizeof(inode)));
+      if (inode.ino == 0) {
+        continue;
+      }
+      if (inode.ino != ino) {
+        std::snprintf(buf, sizeof(buf), "inode slot %llu holds ino %llu",
+                      (unsigned long long)ino, (unsigned long long)inode.ino);
+        Error(buf);
+        continue;
+      }
+      report_.live_inodes++;
+      inodes_[ino] = inode;
+      if (inode.type == static_cast<uint8_t>(FileType::kDirectory)) {
+        report_.directories++;
+      } else if (inode.type == static_cast<uint8_t>(FileType::kRegular)) {
+        report_.regular_files++;
+      } else {
+        std::snprintf(buf, sizeof(buf), "ino %llu: invalid type %u", (unsigned long long)ino,
+                      inode.type);
+        Error(buf);
+      }
+      if (inode.radix_height > 4) {
+        std::snprintf(buf, sizeof(buf), "ino %llu: implausible radix height %u",
+                      (unsigned long long)ino, inode.radix_height);
+        Error(buf);
+        continue;
+      }
+      const uint64_t capacity_bytes = RadixCapacityBlocks(inode.radix_height) * kBlockSize;
+      if (inode.radix_height > 0 && inode.size > capacity_bytes) {
+        std::snprintf(buf, sizeof(buf), "ino %llu: size %llu exceeds tree capacity %llu",
+                      (unsigned long long)ino, (unsigned long long)inode.size,
+                      (unsigned long long)capacity_bytes);
+        Error(buf);
+      }
+      if (inode.radix_height > 0) {
+        HINFS_RETURN_IF_ERROR(WalkRadix(ino, inode.radix_root, inode.radix_height));
+      }
+    }
+    if (inodes_.count(kRootIno) == 0) {
+      Error("root inode missing");
+      return Status(ErrorCode::kCorrupt, "no root");
+    }
+    if (inodes_[kRootIno].type != static_cast<uint8_t>(FileType::kDirectory)) {
+      Error("root inode is not a directory");
+    }
+    return OkStatus();
+  }
+
+  // Reads a directory's dirents via its radix tree.
+  Status ForEachDirent(const PmfsInode& dir,
+                       const std::function<void(const PmfsDirent&)>& fn) {
+    const uint64_t nblocks = dir.size / kBlockSize;
+    std::vector<uint8_t> block(kBlockSize);
+    for (uint64_t fb = 0; fb < nblocks; fb++) {
+      // Manual radix walk (read-only).
+      uint64_t node = dir.radix_root;
+      bool hole = dir.radix_height == 0;
+      for (int level = dir.radix_height - 1; level >= 0 && !hole; level--) {
+        const uint64_t slot = (fb / RadixCapacityBlocks(static_cast<uint8_t>(level))) %
+                              kRadixFanout;
+        uint64_t next = 0;
+        if (node < sb_.data_blocks) {
+          HINFS_RETURN_IF_ERROR(nvmm_->Load(
+              sb_.data_off + node * kBlockSize + slot * sizeof(uint64_t), &next, sizeof(next)));
+        }
+        node = next;
+        hole = node == 0;
+      }
+      if (hole) {
+        continue;
+      }
+      HINFS_RETURN_IF_ERROR(
+          nvmm_->Load(sb_.data_off + node * kBlockSize, block.data(), kBlockSize));
+      const auto* entries = reinterpret_cast<const PmfsDirent*>(block.data());
+      for (size_t i = 0; i < kBlockSize / sizeof(PmfsDirent); i++) {
+        if (entries[i].ino != 0) {
+          fn(entries[i]);
+        }
+      }
+    }
+    return OkStatus();
+  }
+
+  Status CheckDirectoryTree() {
+    char buf[160];
+    for (const auto& [ino, inode] : inodes_) {
+      if (inode.type != static_cast<uint8_t>(FileType::kDirectory)) {
+        continue;
+      }
+      Status st = ForEachDirent(inode, [&](const PmfsDirent& d) {
+        if (d.name_len == 0 || d.name_len > kMaxDirentName) {
+          std::snprintf(buf, sizeof(buf), "dir %llu: dirent with bad name length %u",
+                        (unsigned long long)ino, d.name_len);
+          Error(buf);
+        }
+        auto it = inodes_.find(d.ino);
+        if (it == inodes_.end()) {
+          std::snprintf(buf, sizeof(buf), "dir %llu: dirent '%.*s' points to dead ino %llu",
+                        (unsigned long long)ino, d.name_len, d.name,
+                        (unsigned long long)d.ino);
+          Error(buf);
+          return;
+        }
+        if (d.type != it->second.type) {
+          std::snprintf(buf, sizeof(buf), "dir %llu: dirent '%.*s' type mismatch",
+                        (unsigned long long)ino, d.name_len, d.name);
+          Error(buf);
+        }
+        refcount_[d.ino]++;
+      });
+      HINFS_RETURN_IF_ERROR(st);
+    }
+    return OkStatus();
+  }
+
+  void CheckLinkCounts() {
+    char buf[128];
+    for (const auto& [ino, inode] : inodes_) {
+      if (ino == kRootIno) {
+        continue;
+      }
+      const uint64_t refs = refcount_.count(ino) != 0 ? refcount_[ino] : 0;
+      if (refs == 0) {
+        std::snprintf(buf, sizeof(buf), "ino %llu is allocated but unreachable",
+                      (unsigned long long)ino);
+        Error(buf);
+      } else if (refs > 1 &&
+                 inode.type == static_cast<uint8_t>(FileType::kDirectory)) {
+        std::snprintf(buf, sizeof(buf), "directory ino %llu has %llu parents",
+                      (unsigned long long)ino, (unsigned long long)refs);
+        Error(buf);
+      }
+    }
+  }
+
+  void CheckBitmapAccounting() {
+    // Block 0 is the reserved hole sentinel and never referenced.
+    uint64_t reserved = sb_.data_blocks > 0 && BitSet(0) && owner_.count(0) == 0 ? 1 : 0;
+    if (report_.allocated_blocks >= report_.referenced_blocks + reserved) {
+      report_.leaked_blocks =
+          report_.allocated_blocks - report_.referenced_blocks - reserved;
+      if (report_.leaked_blocks > 0) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "%llu allocated block(s) are unreferenced (leak)",
+                      (unsigned long long)report_.leaked_blocks);
+        Warn(buf);
+      }
+    }
+  }
+
+  NvmmDevice* nvmm_;
+  PmfsSuperblock sb_{};
+  std::vector<uint8_t> bitmap_;
+  std::map<uint64_t, PmfsInode> inodes_;
+  std::map<uint64_t, uint64_t> owner_;     // block -> owning ino
+  std::map<uint64_t, uint64_t> refcount_;  // ino -> dirent references
+  FsckReport report_;
+};
+
+}  // namespace
+
+std::string FsckReport::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s: %llu inode(s) (%llu dir, %llu file), %llu referenced block(s), "
+                "%llu allocated, %llu leaked, %zu error(s), %zu warning(s)",
+                clean() ? "clean" : "CORRUPT", (unsigned long long)live_inodes,
+                (unsigned long long)directories, (unsigned long long)regular_files,
+                (unsigned long long)referenced_blocks, (unsigned long long)allocated_blocks,
+                (unsigned long long)leaked_blocks, errors.size(), warnings.size());
+  return buf;
+}
+
+Result<FsckReport> FsckPmfs(NvmmDevice* nvmm) { return Checker(nvmm).Run(); }
+
+}  // namespace hinfs

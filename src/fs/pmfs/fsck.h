@@ -1,0 +1,47 @@
+// Offline consistency checker for PmfsFs/HinfsFs images.
+//
+// Validates the on-NVMM invariants the journal is supposed to maintain:
+//   - superblock geometry is self-consistent and in-bounds;
+//   - every live inode's radix tree references only in-bounds, allocated,
+//     uniquely-owned data blocks, and its size fits the tree height;
+//   - the directory tree is a tree: every dirent points to a live inode, every
+//     non-root live inode is reachable by exactly its link count;
+//   - the block bitmap agrees with the union of all references (leaked blocks
+//     are reported as warnings, double-use as errors).
+//
+// Run it against a quiesced image (after Unmount(), or after Mount() recovery
+// on a crashed image).
+
+#ifndef SRC_FS_PMFS_FSCK_H_
+#define SRC_FS_PMFS_FSCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/nvmm/nvmm_device.h"
+
+namespace hinfs {
+
+struct FsckReport {
+  std::vector<std::string> errors;    // invariant violations
+  std::vector<std::string> warnings;  // leaks and oddities that lose no data
+
+  uint64_t live_inodes = 0;
+  uint64_t directories = 0;
+  uint64_t regular_files = 0;
+  uint64_t referenced_blocks = 0;  // data + radix node blocks
+  uint64_t allocated_blocks = 0;   // per the bitmap
+  uint64_t leaked_blocks = 0;      // allocated but unreferenced
+
+  bool clean() const { return errors.empty(); }
+  std::string Summary() const;
+};
+
+// Checks the PMFS/HiNFS image on `nvmm`. Read-only.
+Result<FsckReport> FsckPmfs(NvmmDevice* nvmm);
+
+}  // namespace hinfs
+
+#endif  // SRC_FS_PMFS_FSCK_H_

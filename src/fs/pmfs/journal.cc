@@ -1,0 +1,186 @@
+#include "src/fs/pmfs/journal.h"
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace hinfs {
+
+Journal::Journal(NvmmDevice* nvmm, uint64_t ring_off, uint64_t ring_bytes)
+    : nvmm_(nvmm), ring_off_(ring_off), capacity_(ring_bytes / sizeof(JournalEntry)) {}
+
+Status Journal::Format() {
+  std::lock_guard<std::mutex> lock(mu_);
+  JournalEntry zero{};
+  for (uint64_t i = 0; i < capacity_; i++) {
+    HINFS_RETURN_IF_ERROR(
+        nvmm_->StorePersistent(ring_off_ + i * sizeof(JournalEntry), &zero, sizeof(zero)));
+  }
+  head_ = 0;
+  generation_ = 1;
+  next_txn_id_ = 1;
+  return OkStatus();
+}
+
+Transaction Journal::Begin() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Admission control near the ring end: a wrap retires the whole current
+  // generation at once, which is only safe with no live transactions. Rather
+  // than letting appenders block each other at the wrap point (deadlock), new
+  // transactions drain here; the active ones finish inside the margin between
+  // drain_threshold and capacity, and the wrap happens with active_txns_ == 0.
+  const uint64_t drain_threshold = DrainThreshold();
+  wrap_cv_.wait(lock, [&] { return head_ < drain_threshold || active_txns_ == 0; });
+  if (head_ >= drain_threshold && active_txns_ == 0) {
+    head_ = 0;
+    generation_++;
+  }
+  active_txns_++;
+  return Transaction(this, next_txn_id_++);
+}
+
+uint64_t Journal::DrainThreshold() const {
+  // The margin must comfortably hold the remaining appends of every already-
+  // admitted transaction (typical transactions log well under 100 entries).
+  const uint64_t margin = std::min(capacity_ / 2, std::max<uint64_t>(capacity_ / 4, 4096));
+  return capacity_ > margin ? capacity_ - margin : 1;
+}
+
+Status Journal::AppendEntry(const JournalEntry& proto, bool is_commit) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (head_ == capacity_) {
+    // Backstop for a pathological transaction that overran the entire drain
+    // margin on its own: it cannot retire its own live undo entries.
+    if (active_txns_ <= 1) {
+      head_ = 0;
+      generation_++;
+    } else {
+      wrap_cv_.wait(lock, [this] { return active_txns_ <= 1 || head_ < capacity_; });
+      if (head_ == capacity_) {
+        head_ = 0;
+        generation_++;
+      }
+    }
+  }
+  JournalEntry e = proto;
+  e.generation = generation_;
+  e.valid = 0;
+  const uint64_t addr = ring_off_ + head_ * sizeof(JournalEntry);
+  head_++;
+
+  // Write the entry body first, then set the valid flag with a second store to
+  // the same cacheline. Same-cacheline stores are not reordered, so a torn
+  // entry is always detectable as valid != generation.
+  HINFS_RETURN_IF_ERROR(nvmm_->Store(addr, &e, sizeof(e)));
+  const uint32_t valid = e.generation;
+  HINFS_RETURN_IF_ERROR(
+      nvmm_->Store(addr + offsetof(JournalEntry, valid), &valid, sizeof(valid)));
+  HINFS_RETURN_IF_ERROR(nvmm_->Flush(addr, sizeof(e)));
+  nvmm_->Fence();
+  if (is_commit) {
+    active_txns_--;
+    wrap_cv_.notify_all();
+  }
+  return OkStatus();
+}
+
+Status Journal::AppendUndo(uint64_t txn_id, uint64_t addr, size_t len) {
+  // Split the old value into payload-sized chunks.
+  uint64_t cur = addr;
+  size_t remaining = len;
+  while (remaining > 0) {
+    const size_t chunk = remaining < kJournalEntryPayload ? remaining : kJournalEntryPayload;
+    JournalEntry e{};
+    e.txn_id = txn_id;
+    e.addr = cur;
+    e.len = static_cast<uint16_t>(chunk);
+    e.type = kJournalUndo;
+    HINFS_RETURN_IF_ERROR(nvmm_->Load(cur, e.data, chunk));
+    HINFS_RETURN_IF_ERROR(AppendEntry(e, /*is_commit=*/false));
+    cur += chunk;
+    remaining -= chunk;
+  }
+  return OkStatus();
+}
+
+Status Journal::AppendCommit(uint64_t txn_id) {
+  JournalEntry e{};
+  e.txn_id = txn_id;
+  e.type = kJournalCommit;
+  return AppendEntry(e, /*is_commit=*/true);
+}
+
+Result<uint64_t> Journal::Recover() {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // Pass 1: read all entries, find the live generation (the max generation with
+  // a matching valid flag), and collect committed transaction ids.
+  std::vector<JournalEntry> entries(capacity_);
+  uint32_t live_gen = 0;
+  for (uint64_t i = 0; i < capacity_; i++) {
+    HINFS_RETURN_IF_ERROR(
+        nvmm_->Load(ring_off_ + i * sizeof(JournalEntry), &entries[i], sizeof(JournalEntry)));
+    const JournalEntry& e = entries[i];
+    if (e.generation != 0 && e.valid == e.generation && e.generation > live_gen) {
+      live_gen = e.generation;
+    }
+  }
+
+  std::set<uint64_t> committed;
+  uint64_t max_txn = 0;
+  for (const JournalEntry& e : entries) {
+    if (e.generation != live_gen || e.valid != e.generation) {
+      continue;
+    }
+    max_txn = std::max(max_txn, e.txn_id);
+    if (e.type == kJournalCommit) {
+      committed.insert(e.txn_id);
+    }
+  }
+
+  // Pass 2: undo uncommitted transactions in reverse append order so earlier
+  // old values win if a region was logged twice.
+  std::set<uint64_t> rolled_back;
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    const JournalEntry& e = *it;
+    if (e.generation != live_gen || e.valid != e.generation || e.type != kJournalUndo) {
+      continue;
+    }
+    if (committed.count(e.txn_id) != 0) {
+      continue;
+    }
+    HINFS_RETURN_IF_ERROR(nvmm_->StorePersistent(e.addr, e.data, e.len));
+    rolled_back.insert(e.txn_id);
+  }
+
+  // Invalidate the processed entries so a second recovery (or a crash before
+  // the first post-mount wrap) cannot replay them, then reset the ring.
+  {
+    JournalEntry zero{};
+    for (uint64_t i = 0; i < capacity_; i++) {
+      if (entries[i].generation != 0) {
+        HINFS_RETURN_IF_ERROR(
+            nvmm_->StorePersistent(ring_off_ + i * sizeof(JournalEntry), &zero, sizeof(zero)));
+      }
+    }
+  }
+  head_ = 0;
+  generation_ = live_gen + 1;
+  next_txn_id_ = max_txn + 1;
+  active_txns_ = 0;
+  if (!rolled_back.empty()) {
+    HINFS_LOG_INFO("journal recovery rolled back %zu transaction(s)", rolled_back.size());
+  }
+  return static_cast<uint64_t>(rolled_back.size());
+}
+
+Status Transaction::LogOldValue(uint64_t addr, size_t len) {
+  return journal_->AppendUndo(id_, addr, len);
+}
+
+Status Transaction::Commit() { return journal_->AppendCommit(id_); }
+
+}  // namespace hinfs

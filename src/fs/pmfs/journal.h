@@ -1,0 +1,116 @@
+// Undo journal with cacheline-sized log entries, modeled on PMFS's logging.
+//
+// Protocol (undo logging):
+//   1. Begin() a transaction.
+//   2. LogOldValue(addr, len): append entries holding the *current* NVMM content
+//      of the metadata about to be modified; entries are flushed before the
+//      caller performs its in-place updates.
+//   3. Caller performs in-place metadata updates with StorePersistent.
+//   4. Commit(): append+flush a commit entry.
+// Recovery: scan the ring; transactions with no commit entry have their logged
+// old values copied back (undoing partial updates); committed transactions are
+// left alone. The ring is then reset.
+//
+// Each 64-byte entry carries a `valid` flag written as the last 4 bytes of the
+// cacheline. Writes within one cacheline are never reordered by the processor
+// (the architectural guarantee the paper leans on), so an entry whose valid
+// flag equals the generation tag is guaranteed complete.
+//
+// HiNFS's ordered data mode is built on top: HinfsFs persists the data blocks
+// tracked by a transaction handle before calling Commit(), so the commit record
+// never becomes durable before the data it orders against (paper §4.1).
+
+#ifndef SRC_FS_PMFS_JOURNAL_H_
+#define SRC_FS_PMFS_JOURNAL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "src/common/status.h"
+#include "src/nvmm/nvmm_device.h"
+
+namespace hinfs {
+
+// One cacheline-sized journal entry.
+struct JournalEntry {
+  uint64_t txn_id;
+  uint64_t addr;       // NVMM byte address whose old content is logged
+  uint16_t len;        // bytes of old content in data[] (0 for commit entries)
+  uint16_t type;       // JournalEntryType
+  uint32_t reserved;
+  uint8_t data[32];
+  uint32_t generation;  // ring generation tag
+  uint32_t valid;       // written last; equals generation when entry is complete
+};
+static_assert(sizeof(JournalEntry) == kCachelineSize);
+
+enum JournalEntryType : uint16_t {
+  kJournalUndo = 1,
+  kJournalCommit = 2,
+};
+
+inline constexpr size_t kJournalEntryPayload = sizeof(JournalEntry::data);
+
+class Journal;
+
+// Handle for one metadata transaction. Obtained from Journal::Begin().
+class Transaction {
+ public:
+  // Logs the current NVMM content of [addr, addr+len) so a crash before
+  // Commit() restores it. Must be called before the in-place update.
+  Status LogOldValue(uint64_t addr, size_t len);
+
+  // Marks the transaction durable. After Commit() returns, the in-place
+  // updates are the recovery outcome.
+  Status Commit();
+
+  uint64_t id() const { return id_; }
+
+ private:
+  friend class Journal;
+  Transaction(Journal* journal, uint64_t id) : journal_(journal), id_(id) {}
+
+  Journal* journal_;
+  uint64_t id_;
+};
+
+class Journal {
+ public:
+  // The journal ring lives at [ring_off, ring_off + ring_bytes) on `nvmm`.
+  Journal(NvmmDevice* nvmm, uint64_t ring_off, uint64_t ring_bytes);
+
+  // Initializes an empty ring (format time).
+  Status Format();
+
+  // Scans the ring and undoes every uncommitted transaction (mount time).
+  // Returns the number of transactions rolled back.
+  Result<uint64_t> Recover();
+
+  Transaction Begin();
+
+  // Internal (used by Transaction).
+  Status AppendUndo(uint64_t txn_id, uint64_t addr, size_t len);
+  Status AppendCommit(uint64_t txn_id);
+
+  uint64_t capacity_entries() const { return capacity_; }
+
+ private:
+  Status AppendEntry(const JournalEntry& proto, bool is_commit);
+  uint64_t DrainThreshold() const;
+
+  NvmmDevice* nvmm_;
+  uint64_t ring_off_;
+  uint64_t capacity_;  // entries in the ring
+
+  std::mutex mu_;
+  std::condition_variable wrap_cv_;
+  uint64_t active_txns_ = 0;
+  uint64_t next_txn_id_ = 1;
+  uint64_t head_ = 0;        // next slot to write
+  uint32_t generation_ = 1;  // bumped each time the ring wraps
+};
+
+}  // namespace hinfs
+
+#endif  // SRC_FS_PMFS_JOURNAL_H_

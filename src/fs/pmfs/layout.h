@@ -1,0 +1,69 @@
+// On-NVMM layout of PmfsFs (and therefore of HinfsFs, which shares it).
+//
+//   [ superblock | journal | inode table | block bitmap | data blocks ... ]
+//
+// All structures are PODs written in place. Multi-field metadata updates are
+// protected by the undo journal (src/fs/pmfs/journal.h); single 8-byte fields
+// (size, mtime) are updated with atomic in-place stores followed by
+// flush+fence, as PMFS does.
+
+#ifndef SRC_FS_PMFS_LAYOUT_H_
+#define SRC_FS_PMFS_LAYOUT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/constants.h"
+
+namespace hinfs {
+
+inline constexpr uint64_t kPmfsMagic = 0x504d465348694e46ull;  // "PMFSHiNF"
+
+// Persistent superblock, in the first cachelines of the device region.
+struct PmfsSuperblock {
+  uint64_t magic;
+  uint64_t device_bytes;
+  uint64_t journal_off;      // byte offset of the journal ring
+  uint64_t journal_bytes;
+  uint64_t inode_table_off;  // byte offset of the inode table
+  uint64_t max_inodes;
+  uint64_t bitmap_off;       // byte offset of the data-block bitmap
+  uint64_t data_off;         // byte offset of data block 0
+  uint64_t data_blocks;      // number of data blocks
+  uint64_t clean_unmount;    // 1 if the last unmount flushed everything
+};
+static_assert(sizeof(PmfsSuperblock) <= 2 * kCachelineSize);
+
+// Persistent inode: two cachelines.
+struct PmfsInode {
+  uint64_t ino;          // 0 = free slot
+  uint8_t type;          // FileType
+  uint8_t radix_height;  // 0 = empty file, N = N-level radix tree
+  uint16_t reserved0;
+  uint32_t nlink;
+  uint64_t size;          // file size in bytes (atomic 8-byte updates)
+  uint64_t radix_root;    // data-area block number of the radix root (or 0 = none)
+  uint64_t mtime_ns;
+  uint64_t last_sync_ns;  // HiNFS: last synchronization time of this file
+  uint64_t reserved[10];
+};
+static_assert(sizeof(PmfsInode) == 2 * kCachelineSize);
+
+// Maximum stored name length (name is not NUL-terminated on "disk").
+inline constexpr size_t kMaxDirentName = 54;
+
+// Persistent directory entry: one cacheline. A zero ino marks a free slot.
+struct PmfsDirent {
+  uint64_t ino;
+  uint8_t type;
+  uint8_t name_len;
+  char name[kMaxDirentName];
+};
+static_assert(sizeof(PmfsDirent) == kCachelineSize);
+
+// Radix tree node: one block of 512 pointers (data-area block numbers; 0 = hole).
+inline constexpr size_t kRadixFanout = kBlockSize / sizeof(uint64_t);
+
+}  // namespace hinfs
+
+#endif  // SRC_FS_PMFS_LAYOUT_H_

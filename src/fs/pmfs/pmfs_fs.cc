@@ -1,0 +1,845 @@
+#include "src/fs/pmfs/pmfs_fs.h"
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+
+#include "src/common/clock.h"
+#include "src/common/logging.h"
+
+namespace hinfs {
+namespace {
+
+// Number of file blocks addressable by a radix tree of height h.
+uint64_t RadixCapacity(uint8_t height) {
+  uint64_t cap = 1;
+  for (uint8_t i = 0; i < height; i++) {
+    cap *= kRadixFanout;
+  }
+  return cap;
+}
+
+uint64_t AlignUp(uint64_t v, uint64_t a) { return (v + a - 1) / a * a; }
+
+}  // namespace
+
+PmfsFs::PmfsFs(NvmmDevice* nvmm) : nvmm_(nvmm) {}
+
+Result<std::unique_ptr<PmfsFs>> PmfsFs::Format(NvmmDevice* nvmm, const PmfsOptions& options) {
+  std::unique_ptr<PmfsFs> fs(new PmfsFs(nvmm));
+  HINFS_RETURN_IF_ERROR(fs->InitFormat(options));
+  return fs;
+}
+
+Result<std::unique_ptr<PmfsFs>> PmfsFs::Mount(NvmmDevice* nvmm) {
+  std::unique_ptr<PmfsFs> fs(new PmfsFs(nvmm));
+  HINFS_RETURN_IF_ERROR(fs->InitMount());
+  return fs;
+}
+
+Status PmfsFs::InitFormat(const PmfsOptions& options) {
+  const uint64_t dev_bytes = nvmm_->size();
+
+  PmfsSuperblock sb{};
+  sb.magic = kPmfsMagic;
+  sb.device_bytes = dev_bytes;
+  sb.journal_off = AlignUp(sizeof(PmfsSuperblock), kBlockSize);
+  sb.journal_bytes = options.journal_bytes;
+  sb.inode_table_off = AlignUp(sb.journal_off + sb.journal_bytes, kBlockSize);
+  sb.max_inodes = options.max_inodes;
+  sb.bitmap_off = AlignUp(sb.inode_table_off + sb.max_inodes * sizeof(PmfsInode), kBlockSize);
+
+  // Solve for the number of data blocks that fit after the bitmap.
+  const uint64_t bitmap_budget_end = dev_bytes;
+  uint64_t data_blocks = (bitmap_budget_end - sb.bitmap_off) / kBlockSize;
+  uint64_t bitmap_bytes;
+  uint64_t data_off;
+  while (true) {
+    bitmap_bytes = (data_blocks + 7) / 8;
+    data_off = AlignUp(sb.bitmap_off + bitmap_bytes, kBlockSize);
+    if (data_off + data_blocks * kBlockSize <= dev_bytes) {
+      break;
+    }
+    data_blocks--;
+    if (data_blocks == 0) {
+      return Status(ErrorCode::kNoSpace, "device too small to format");
+    }
+  }
+  sb.data_off = data_off;
+  sb.data_blocks = data_blocks;
+  sb.clean_unmount = 0;
+  sb_ = sb;
+
+  journal_ = std::make_unique<Journal>(nvmm_, sb.journal_off, sb.journal_bytes);
+  HINFS_RETURN_IF_ERROR(journal_->Format());
+  alloc_ = std::make_unique<BlockAllocator>(nvmm_, sb.bitmap_off, sb.data_blocks);
+  HINFS_RETURN_IF_ERROR(alloc_->Format());
+
+  // Zero the inode table.
+  {
+    PmfsInode zero{};
+    for (uint64_t i = 0; i < sb.max_inodes; i++) {
+      HINFS_RETURN_IF_ERROR(
+          nvmm_->StorePersistent(sb.inode_table_off + i * sizeof(PmfsInode), &zero, sizeof(zero)));
+    }
+  }
+
+  // Create the root directory in slot 0 (ino 1).
+  {
+    PmfsInode root{};
+    root.ino = kRootIno;
+    root.type = static_cast<uint8_t>(FileType::kDirectory);
+    root.nlink = 2;
+    root.mtime_ns = MonotonicNowNs();
+    HINFS_RETURN_IF_ERROR(nvmm_->StorePersistent(InodeAddr(kRootIno), &root, sizeof(root)));
+  }
+
+  HINFS_RETURN_IF_ERROR(nvmm_->StorePersistent(0, &sb_, sizeof(sb_)));
+
+  free_inos_.clear();
+  for (uint64_t ino = sb.max_inodes; ino >= 2; ino--) {
+    free_inos_.push_back(ino);
+  }
+  return OkStatus();
+}
+
+Status PmfsFs::InitMount() {
+  HINFS_RETURN_IF_ERROR(nvmm_->Load(0, &sb_, sizeof(sb_)));
+  if (sb_.magic != kPmfsMagic) {
+    return Status(ErrorCode::kCorrupt, "bad superblock magic");
+  }
+  journal_ = std::make_unique<Journal>(nvmm_, sb_.journal_off, sb_.journal_bytes);
+  HINFS_ASSIGN_OR_RETURN(uint64_t rolled_back, journal_->Recover());
+  (void)rolled_back;
+  alloc_ = std::make_unique<BlockAllocator>(nvmm_, sb_.bitmap_off, sb_.data_blocks);
+  HINFS_RETURN_IF_ERROR(alloc_->LoadFromNvmm());
+
+  // Rebuild the free-inode list by scanning the table.
+  free_inos_.clear();
+  for (uint64_t ino = sb_.max_inodes; ino >= 2; ino--) {
+    PmfsInode inode;
+    HINFS_RETURN_IF_ERROR(nvmm_->Load(InodeAddr(ino), &inode, sizeof(inode)));
+    if (inode.ino == 0) {
+      free_inos_.push_back(ino);
+    }
+  }
+  return OkStatus();
+}
+
+// --- inode helpers -----------------------------------------------------------
+
+uint64_t PmfsFs::InodeAddr(uint64_t ino) const {
+  return sb_.inode_table_off + (ino - 1) * sizeof(PmfsInode);
+}
+
+Result<PmfsInode> PmfsFs::LoadInode(uint64_t ino) {
+  if (ino == 0 || ino > sb_.max_inodes) {
+    return Status(ErrorCode::kInvalidArgument, "bad inode number");
+  }
+  PmfsInode inode;
+  HINFS_RETURN_IF_ERROR(nvmm_->Load(InodeAddr(ino), &inode, sizeof(inode)));
+  if (inode.ino != ino) {
+    return Status(ErrorCode::kNotFound, "stale inode");
+  }
+  return inode;
+}
+
+Status PmfsFs::UpdateInodeU64(uint64_t ino, size_t field_offset, uint64_t value) {
+  // 8-byte aligned in-place update: atomic on the emulated device, persistent
+  // after flush+fence. This is PMFS's cheap path for size/mtime. imeta_mu_
+  // orders it against the whole-cacheline read-modify-write updates done by
+  // radix growth, which may run on a writeback thread.
+  std::lock_guard<std::mutex> lock(imeta_mu_);
+  return nvmm_->StorePersistent(InodeAddr(ino) + field_offset, &value, sizeof(value));
+}
+
+Result<uint64_t> PmfsFs::AllocInode(Transaction& txn, FileType type) {
+  uint64_t ino;
+  {
+    std::lock_guard<std::mutex> lock(ino_mu_);
+    if (free_inos_.empty()) {
+      return Status(ErrorCode::kNoSpace, "out of inodes");
+    }
+    ino = free_inos_.back();
+    free_inos_.pop_back();
+  }
+  // Log the (free) slot so a crash before commit returns it to zero, then
+  // initialize it in place.
+  HINFS_RETURN_IF_ERROR(txn.LogOldValue(InodeAddr(ino), sizeof(PmfsInode)));
+  PmfsInode inode{};
+  inode.ino = ino;
+  inode.type = static_cast<uint8_t>(type);
+  inode.nlink = type == FileType::kDirectory ? 2 : 1;
+  inode.mtime_ns = MonotonicNowNs();
+  HINFS_RETURN_IF_ERROR(nvmm_->StorePersistent(InodeAddr(ino), &inode, sizeof(inode)));
+  return ino;
+}
+
+// --- radix block index ---------------------------------------------------------
+
+Result<uint64_t> PmfsFs::MapBlock(const PmfsInode& inode, uint64_t file_block) {
+  if (inode.radix_height == 0 || file_block >= RadixCapacity(inode.radix_height)) {
+    return 0;
+  }
+  uint64_t node = inode.radix_root;
+  for (int level = inode.radix_height - 1; level >= 0; level--) {
+    if (node == 0) {
+      return 0;
+    }
+    const uint64_t slot = (file_block / RadixCapacity(static_cast<uint8_t>(level))) % kRadixFanout;
+    uint64_t next;
+    HINFS_RETURN_IF_ERROR(
+        nvmm_->Load(DataBlockAddr(node) + slot * sizeof(uint64_t), &next, sizeof(next)));
+    node = next;
+  }
+  return node;
+}
+
+Result<uint64_t> PmfsFs::MapBlockAlloc(Transaction& txn, uint64_t ino, PmfsInode& inode,
+                                       uint64_t file_block) {
+  std::lock_guard<std::mutex> map_lock(map_mu_);
+  // Another thread (a writeback allocation) may have grown the tree since the
+  // caller loaded the inode: refresh the mapping fields.
+  {
+    PmfsInode fresh;
+    HINFS_RETURN_IF_ERROR(nvmm_->Load(InodeAddr(ino), &fresh, kCachelineSize));
+    inode.radix_root = fresh.radix_root;
+    inode.radix_height = fresh.radix_height;
+  }
+
+  // Grow the tree until file_block is addressable.
+  while (inode.radix_height == 0 || file_block >= RadixCapacity(inode.radix_height)) {
+    HINFS_ASSIGN_OR_RETURN(uint64_t new_root, alloc_->Alloc(txn));
+    // Fresh radix nodes start zeroed (all holes).
+    static const std::vector<uint8_t> kZeroBlock(kBlockSize, 0);
+    HINFS_RETURN_IF_ERROR(nvmm_->StorePersistent(DataBlockAddr(new_root), kZeroBlock.data(),
+                                                 kBlockSize));
+    if (inode.radix_height > 0) {
+      // Old root becomes slot 0 of the new root.
+      const uint64_t old_root = inode.radix_root;
+      HINFS_RETURN_IF_ERROR(
+          nvmm_->StorePersistent(DataBlockAddr(new_root), &old_root, sizeof(old_root)));
+    }
+    // Journal + update the inode's root/height fields via a fresh
+    // read-modify-write so concurrent 8-byte field updates are not clobbered.
+    {
+      std::lock_guard<std::mutex> ilock(imeta_mu_);
+      PmfsInode fresh;
+      HINFS_RETURN_IF_ERROR(nvmm_->Load(InodeAddr(ino), &fresh, kCachelineSize));
+      HINFS_RETURN_IF_ERROR(txn.LogOldValue(InodeAddr(ino), kCachelineSize));
+      fresh.radix_root = new_root;
+      fresh.radix_height = static_cast<uint8_t>(inode.radix_height + 1);
+      HINFS_RETURN_IF_ERROR(nvmm_->StorePersistent(InodeAddr(ino), &fresh, kCachelineSize));
+    }
+    inode.radix_root = new_root;
+    inode.radix_height++;
+  }
+
+  // Walk down, allocating interior nodes and the leaf data block as needed.
+  uint64_t node = inode.radix_root;
+  for (int level = inode.radix_height - 1; level >= 0; level--) {
+    const uint64_t slot = (file_block / RadixCapacity(static_cast<uint8_t>(level))) % kRadixFanout;
+    const uint64_t slot_addr = DataBlockAddr(node) + slot * sizeof(uint64_t);
+    uint64_t next;
+    HINFS_RETURN_IF_ERROR(nvmm_->Load(slot_addr, &next, sizeof(next)));
+    if (next == 0) {
+      HINFS_ASSIGN_OR_RETURN(next, alloc_->Alloc(txn));
+      if (level > 0) {
+        static const std::vector<uint8_t> kZeroBlock(kBlockSize, 0);
+        HINFS_RETURN_IF_ERROR(
+            nvmm_->StorePersistent(DataBlockAddr(next), kZeroBlock.data(), kBlockSize));
+      }
+      HINFS_RETURN_IF_ERROR(txn.LogOldValue(slot_addr, sizeof(next)));
+      HINFS_RETURN_IF_ERROR(nvmm_->StorePersistent(slot_addr, &next, sizeof(next)));
+    }
+    node = next;
+  }
+  return node;
+}
+
+Status PmfsFs::FreeBlocksFrom(Transaction& txn, uint64_t ino, PmfsInode& inode,
+                              uint64_t from_block) {
+  std::lock_guard<std::mutex> map_lock(map_mu_);
+  if (inode.radix_height == 0) {
+    return OkStatus();
+  }
+
+  // Collect data blocks >= from_block and, when freeing from 0, the interior
+  // nodes as well. Interior pointers are zeroed (journaled) only for partial
+  // truncation; on whole-file frees the tree is dropped wholesale.
+  struct Walker {
+    PmfsFs* fs;
+    Transaction* txn;
+    uint64_t from_block;
+    bool free_everything;
+
+    Status Walk(uint64_t node, uint8_t height, uint64_t base) {
+      const uint64_t child_span = RadixCapacity(static_cast<uint8_t>(height - 1));
+      for (uint64_t slot = 0; slot < kRadixFanout; slot++) {
+        const uint64_t child_base = base + slot * child_span;
+        const uint64_t slot_addr = fs->DataBlockAddr(node) + slot * sizeof(uint64_t);
+        uint64_t child;
+        HINFS_RETURN_IF_ERROR(fs->nvmm_->Load(slot_addr, &child, sizeof(child)));
+        if (child == 0) {
+          continue;
+        }
+        if (child_base + child_span <= from_block) {
+          // Entirely below the truncation point, but may contain blocks above
+          // it at deeper levels only if spans overlap -- they don't; skip.
+          continue;
+        }
+        if (height == 1) {
+          if (child_base >= from_block) {
+            HINFS_RETURN_IF_ERROR(fs->alloc_->Free(*txn, child));
+            if (!free_everything) {
+              const uint64_t zero = 0;
+              HINFS_RETURN_IF_ERROR(txn->LogOldValue(slot_addr, sizeof(zero)));
+              HINFS_RETURN_IF_ERROR(fs->nvmm_->StorePersistent(slot_addr, &zero, sizeof(zero)));
+            }
+          }
+          continue;
+        }
+        HINFS_RETURN_IF_ERROR(Walk(child, static_cast<uint8_t>(height - 1), child_base));
+        if (free_everything) {
+          HINFS_RETURN_IF_ERROR(fs->alloc_->Free(*txn, child));
+        }
+      }
+      return OkStatus();
+    }
+  };
+
+  const bool free_everything = from_block == 0;
+  Walker walker{this, &txn, from_block, free_everything};
+  HINFS_RETURN_IF_ERROR(walker.Walk(inode.radix_root, inode.radix_height, 0));
+  if (free_everything) {
+    HINFS_RETURN_IF_ERROR(alloc_->Free(txn, inode.radix_root));
+    std::lock_guard<std::mutex> ilock(imeta_mu_);
+    PmfsInode fresh;
+    HINFS_RETURN_IF_ERROR(nvmm_->Load(InodeAddr(ino), &fresh, kCachelineSize));
+    HINFS_RETURN_IF_ERROR(txn.LogOldValue(InodeAddr(ino), kCachelineSize));
+    fresh.radix_root = 0;
+    fresh.radix_height = 0;
+    HINFS_RETURN_IF_ERROR(nvmm_->StorePersistent(InodeAddr(ino), &fresh, kCachelineSize));
+    inode.radix_root = 0;
+    inode.radix_height = 0;
+  }
+  return OkStatus();
+}
+
+Result<uint64_t> PmfsFs::EnsureDataBlockAddr(uint64_t ino, uint64_t file_block) {
+  HINFS_ASSIGN_OR_RETURN(PmfsInode inode, LoadInode(ino));
+  HINFS_ASSIGN_OR_RETURN(uint64_t existing, MapBlock(inode, file_block));
+  if (existing != 0) {
+    return DataBlockAddr(existing);
+  }
+  Transaction txn = journal_->Begin();
+  Result<uint64_t> blk = MapBlockAlloc(txn, ino, inode, file_block);
+  Status commit_st = txn.Commit();
+  if (!blk.ok()) {
+    return blk.status();
+  }
+  HINFS_RETURN_IF_ERROR(commit_st);
+  return DataBlockAddr(*blk);
+}
+
+// --- directory helpers ---------------------------------------------------------
+
+Result<uint64_t> PmfsFs::FindDirent(const PmfsInode& dir, std::string_view name,
+                                    PmfsDirent* out) {
+  const uint64_t nblocks = dir.size / kBlockSize;
+  std::vector<uint8_t> block(kBlockSize);
+  for (uint64_t fb = 0; fb < nblocks; fb++) {
+    HINFS_ASSIGN_OR_RETURN(uint64_t data_block, MapBlock(dir, fb));
+    if (data_block == 0) {
+      continue;
+    }
+    HINFS_RETURN_IF_ERROR(nvmm_->Load(DataBlockAddr(data_block), block.data(), kBlockSize));
+    const auto* entries = reinterpret_cast<const PmfsDirent*>(block.data());
+    for (size_t i = 0; i < kBlockSize / sizeof(PmfsDirent); i++) {
+      const PmfsDirent& d = entries[i];
+      if (d.ino != 0 && d.name_len == name.size() &&
+          std::memcmp(d.name, name.data(), name.size()) == 0) {
+        *out = d;
+        return fb * kBlockSize + i * sizeof(PmfsDirent);
+      }
+    }
+  }
+  return Status(ErrorCode::kNotFound, std::string(name));
+}
+
+Status PmfsFs::AddDirent(Transaction& txn, uint64_t dir_ino, PmfsInode& dir,
+                         std::string_view name, uint64_t ino, FileType type) {
+  if (name.empty() || name.size() > kMaxDirentName) {
+    return Status(ErrorCode::kNameTooLong, std::string(name));
+  }
+
+  PmfsDirent dirent{};
+  dirent.ino = ino;
+  dirent.type = static_cast<uint8_t>(type);
+  dirent.name_len = static_cast<uint8_t>(name.size());
+  std::memcpy(dirent.name, name.data(), name.size());
+
+  // Look for a free slot in the existing directory blocks.
+  const uint64_t nblocks = dir.size / kBlockSize;
+  std::vector<uint8_t> block(kBlockSize);
+  for (uint64_t fb = 0; fb < nblocks; fb++) {
+    HINFS_ASSIGN_OR_RETURN(uint64_t data_block, MapBlock(dir, fb));
+    if (data_block == 0) {
+      continue;
+    }
+    HINFS_RETURN_IF_ERROR(nvmm_->Load(DataBlockAddr(data_block), block.data(), kBlockSize));
+    const auto* entries = reinterpret_cast<const PmfsDirent*>(block.data());
+    for (size_t i = 0; i < kBlockSize / sizeof(PmfsDirent); i++) {
+      if (entries[i].ino == 0) {
+        const uint64_t addr = DataBlockAddr(data_block) + i * sizeof(PmfsDirent);
+        HINFS_RETURN_IF_ERROR(txn.LogOldValue(addr, sizeof(PmfsDirent)));
+        return nvmm_->StorePersistent(addr, &dirent, sizeof(dirent));
+      }
+    }
+  }
+
+  // Extend the directory by one block.
+  HINFS_ASSIGN_OR_RETURN(uint64_t data_block, MapBlockAlloc(txn, dir_ino, dir, nblocks));
+  static const std::vector<uint8_t> kZeroBlock(kBlockSize, 0);
+  HINFS_RETURN_IF_ERROR(nvmm_->StorePersistent(DataBlockAddr(data_block), kZeroBlock.data(),
+                                               kBlockSize));
+  HINFS_RETURN_IF_ERROR(nvmm_->StorePersistent(DataBlockAddr(data_block), &dirent, sizeof(dirent)));
+  dir.size += kBlockSize;
+  HINFS_RETURN_IF_ERROR(txn.LogOldValue(InodeAddr(dir_ino) + offsetof(PmfsInode, size), 8));
+  return UpdateInodeU64(dir_ino, offsetof(PmfsInode, size), dir.size);
+}
+
+Status PmfsFs::ClearDirentAt(Transaction& txn, const PmfsInode& dir, uint64_t dirent_off) {
+  HINFS_ASSIGN_OR_RETURN(uint64_t data_block, MapBlock(dir, dirent_off / kBlockSize));
+  if (data_block == 0) {
+    return Status(ErrorCode::kCorrupt, "dirent block is a hole");
+  }
+  const uint64_t addr = DataBlockAddr(data_block) + dirent_off % kBlockSize;
+  HINFS_RETURN_IF_ERROR(txn.LogOldValue(addr, sizeof(PmfsDirent)));
+  PmfsDirent zero{};
+  return nvmm_->StorePersistent(addr, &zero, sizeof(zero));
+}
+
+Result<bool> PmfsFs::DirIsEmpty(const PmfsInode& dir) {
+  const uint64_t nblocks = dir.size / kBlockSize;
+  std::vector<uint8_t> block(kBlockSize);
+  for (uint64_t fb = 0; fb < nblocks; fb++) {
+    HINFS_ASSIGN_OR_RETURN(uint64_t data_block, MapBlock(dir, fb));
+    if (data_block == 0) {
+      continue;
+    }
+    HINFS_RETURN_IF_ERROR(nvmm_->Load(DataBlockAddr(data_block), block.data(), kBlockSize));
+    const auto* entries = reinterpret_cast<const PmfsDirent*>(block.data());
+    for (size_t i = 0; i < kBlockSize / sizeof(PmfsDirent); i++) {
+      if (entries[i].ino != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// --- namespace operations -------------------------------------------------------
+
+Result<uint64_t> PmfsFs::Lookup(uint64_t dir_ino, std::string_view name) {
+  std::shared_lock lock(ns_mu_);
+  HINFS_ASSIGN_OR_RETURN(PmfsInode dir, LoadInode(dir_ino));
+  if (dir.type != static_cast<uint8_t>(FileType::kDirectory)) {
+    return Status(ErrorCode::kNotDir);
+  }
+  PmfsDirent dirent;
+  HINFS_ASSIGN_OR_RETURN(uint64_t off, FindDirent(dir, name, &dirent));
+  (void)off;
+  return dirent.ino;
+}
+
+Result<uint64_t> PmfsFs::Create(uint64_t dir_ino, std::string_view name, FileType type) {
+  std::unique_lock lock(ns_mu_);
+  HINFS_ASSIGN_OR_RETURN(PmfsInode dir, LoadInode(dir_ino));
+  if (dir.type != static_cast<uint8_t>(FileType::kDirectory)) {
+    return Status(ErrorCode::kNotDir);
+  }
+  PmfsDirent existing;
+  if (FindDirent(dir, name, &existing).ok()) {
+    return Status(ErrorCode::kExists, std::string(name));
+  }
+
+  Transaction txn = journal_->Begin();
+  Result<uint64_t> ino = AllocInode(txn, type);
+  if (!ino.ok()) {
+    // The transaction must still be closed so the journal's active count drops.
+    (void)txn.Commit();
+    return ino.status();
+  }
+  Status st = AddDirent(txn, dir_ino, dir, name, *ino, type);
+  HINFS_RETURN_IF_ERROR(txn.Commit());
+  HINFS_RETURN_IF_ERROR(st);
+  HINFS_RETURN_IF_ERROR(UpdateInodeU64(dir_ino, offsetof(PmfsInode, mtime_ns), MonotonicNowNs()));
+  return *ino;
+}
+
+Status PmfsFs::FreeFileLocked(uint64_t ino) {
+  HINFS_ASSIGN_OR_RETURN(PmfsInode inode, LoadInode(ino));
+  Transaction txn = journal_->Begin();
+  Status st = FreeBlocksFrom(txn, ino, inode, 0);
+  if (st.ok()) {
+    // Clear the inode slot (first cacheline is enough: the ino field gates it).
+    st = txn.LogOldValue(InodeAddr(ino), kCachelineSize);
+  }
+  if (st.ok()) {
+    PmfsInode zero{};
+    st = nvmm_->StorePersistent(InodeAddr(ino), &zero, kCachelineSize);
+  }
+  HINFS_RETURN_IF_ERROR(txn.Commit());
+  HINFS_RETURN_IF_ERROR(st);
+  std::lock_guard<std::mutex> ilock(ino_mu_);
+  free_inos_.push_back(ino);
+  return OkStatus();
+}
+
+Status PmfsFs::UnlinkLocked(uint64_t dir_ino, std::string_view name) {
+  HINFS_ASSIGN_OR_RETURN(PmfsInode dir, LoadInode(dir_ino));
+  if (dir.type != static_cast<uint8_t>(FileType::kDirectory)) {
+    return Status(ErrorCode::kNotDir);
+  }
+  PmfsDirent dirent;
+  HINFS_ASSIGN_OR_RETURN(uint64_t dirent_off, FindDirent(dir, name, &dirent));
+
+  HINFS_ASSIGN_OR_RETURN(PmfsInode child, LoadInode(dirent.ino));
+  if (child.type == static_cast<uint8_t>(FileType::kDirectory)) {
+    HINFS_ASSIGN_OR_RETURN(bool empty, DirIsEmpty(child));
+    if (!empty) {
+      return Status(ErrorCode::kNotEmpty, std::string(name));
+    }
+  }
+
+  // Remove the name first (its own transaction), then drop the file. A crash
+  // between the two leaks the inode, which matches ordered-metadata semantics
+  // (never exposes a corrupt name).
+  {
+    Transaction txn = journal_->Begin();
+    Status st = ClearDirentAt(txn, dir, dirent_off);
+    HINFS_RETURN_IF_ERROR(txn.Commit());
+    HINFS_RETURN_IF_ERROR(st);
+  }
+
+  std::unique_lock data_lock(StripeFor(dirent.ino));
+  HINFS_RETURN_IF_ERROR(FreeFileLocked(dirent.ino));
+  data_lock.unlock();
+
+  return UpdateInodeU64(dir_ino, offsetof(PmfsInode, mtime_ns), MonotonicNowNs());
+}
+
+Status PmfsFs::Unlink(uint64_t dir_ino, std::string_view name) {
+  ScopedTimer t(stats_.Counter(kStatUnlinkNs));
+  std::unique_lock lock(ns_mu_);
+  return UnlinkLocked(dir_ino, name);
+}
+
+Status PmfsFs::Rename(uint64_t old_dir, std::string_view old_name, uint64_t new_dir,
+                      std::string_view new_name) {
+  std::unique_lock lock(ns_mu_);
+  HINFS_ASSIGN_OR_RETURN(PmfsInode from_dir, LoadInode(old_dir));
+  PmfsDirent dirent;
+  HINFS_ASSIGN_OR_RETURN(uint64_t dirent_off, FindDirent(from_dir, old_name, &dirent));
+
+  HINFS_ASSIGN_OR_RETURN(PmfsInode to_dir, LoadInode(new_dir));
+  PmfsDirent target;
+  if (FindDirent(to_dir, new_name, &target).ok()) {
+    HINFS_RETURN_IF_ERROR(UnlinkLocked(new_dir, new_name));
+    // Directory inodes may have moved size; reload.
+    HINFS_ASSIGN_OR_RETURN(to_dir, LoadInode(new_dir));
+    HINFS_ASSIGN_OR_RETURN(from_dir, LoadInode(old_dir));
+    HINFS_ASSIGN_OR_RETURN(dirent_off, FindDirent(from_dir, old_name, &dirent));
+  }
+
+  Transaction txn = journal_->Begin();
+  Status st = ClearDirentAt(txn, from_dir, dirent_off);
+  if (st.ok()) {
+    st = AddDirent(txn, new_dir, to_dir, new_name, dirent.ino,
+                   static_cast<FileType>(dirent.type));
+  }
+  HINFS_RETURN_IF_ERROR(txn.Commit());
+  return st;
+}
+
+Result<std::vector<DirEntry>> PmfsFs::ReadDir(uint64_t dir_ino) {
+  std::shared_lock lock(ns_mu_);
+  HINFS_ASSIGN_OR_RETURN(PmfsInode dir, LoadInode(dir_ino));
+  if (dir.type != static_cast<uint8_t>(FileType::kDirectory)) {
+    return Status(ErrorCode::kNotDir);
+  }
+  std::vector<DirEntry> out;
+  const uint64_t nblocks = dir.size / kBlockSize;
+  std::vector<uint8_t> block(kBlockSize);
+  for (uint64_t fb = 0; fb < nblocks; fb++) {
+    HINFS_ASSIGN_OR_RETURN(uint64_t data_block, MapBlock(dir, fb));
+    if (data_block == 0) {
+      continue;
+    }
+    HINFS_RETURN_IF_ERROR(nvmm_->Load(DataBlockAddr(data_block), block.data(), kBlockSize));
+    const auto* entries = reinterpret_cast<const PmfsDirent*>(block.data());
+    for (size_t i = 0; i < kBlockSize / sizeof(PmfsDirent); i++) {
+      const PmfsDirent& d = entries[i];
+      if (d.ino != 0) {
+        DirEntry e;
+        e.name.assign(d.name, d.name_len);
+        e.ino = d.ino;
+        e.type = static_cast<FileType>(d.type);
+        out.push_back(std::move(e));
+      }
+    }
+  }
+  return out;
+}
+
+Result<InodeAttr> PmfsFs::GetAttr(uint64_t ino) {
+  std::shared_lock lock(StripeFor(ino));
+  HINFS_ASSIGN_OR_RETURN(PmfsInode inode, LoadInode(ino));
+  InodeAttr attr;
+  attr.ino = ino;
+  attr.type = static_cast<FileType>(inode.type);
+  attr.size = inode.size;
+  attr.nlink = inode.nlink;
+  attr.mtime_ns = inode.mtime_ns;
+  return attr;
+}
+
+// --- data operations -------------------------------------------------------------
+
+Status PmfsFs::ReadFromNvmm(const PmfsInode& inode, uint64_t offset, void* dst, size_t len) {
+  auto* out = static_cast<uint8_t*>(dst);
+  uint64_t cur = offset;
+  size_t remaining = len;
+  while (remaining > 0) {
+    const uint64_t fb = cur / kBlockSize;
+    const size_t in_block = cur % kBlockSize;
+    const size_t chunk = std::min(remaining, kBlockSize - in_block);
+    HINFS_ASSIGN_OR_RETURN(uint64_t data_block, MapBlock(inode, fb));
+    if (data_block == 0) {
+      std::memset(out, 0, chunk);  // hole
+    } else {
+      HINFS_RETURN_IF_ERROR(nvmm_->Load(DataBlockAddr(data_block) + in_block, out, chunk));
+    }
+    out += chunk;
+    cur += chunk;
+    remaining -= chunk;
+  }
+  return OkStatus();
+}
+
+Result<size_t> PmfsFs::Read(uint64_t ino, uint64_t offset, void* dst, size_t len) {
+  std::shared_lock lock(StripeFor(ino));
+  HINFS_ASSIGN_OR_RETURN(PmfsInode inode, LoadInode(ino));
+  if (inode.type != static_cast<uint8_t>(FileType::kRegular)) {
+    return Status(ErrorCode::kIsDir);
+  }
+  if (offset >= inode.size) {
+    return static_cast<size_t>(0);
+  }
+  const size_t n = static_cast<size_t>(std::min<uint64_t>(len, inode.size - offset));
+  {
+    ScopedTimer t(stats_.Counter(kStatReadAccessNs));
+    HINFS_RETURN_IF_ERROR(ReadFromNvmm(inode, offset, dst, n));
+  }
+  return n;
+}
+
+Status PmfsFs::WriteToNvmm(uint64_t ino, PmfsInode& inode, uint64_t offset, const void* src,
+                           size_t len) {
+  const auto* in = static_cast<const uint8_t*>(src);
+  uint64_t cur = offset;
+  size_t remaining = len;
+  std::optional<Transaction> txn;  // started lazily on first allocation
+
+  Status st = OkStatus();
+  while (remaining > 0 && st.ok()) {
+    const uint64_t fb = cur / kBlockSize;
+    const size_t in_block = cur % kBlockSize;
+    const size_t chunk = std::min(remaining, kBlockSize - in_block);
+
+    uint64_t data_block;
+    {
+      Result<uint64_t> mapped = MapBlock(inode, fb);
+      if (!mapped.ok()) {
+        st = mapped.status();
+        break;
+      }
+      data_block = *mapped;
+    }
+    bool fresh = false;
+    if (data_block == 0) {
+      if (!txn.has_value()) {
+        txn.emplace(journal_->Begin());
+      }
+      // Allocation can legitimately fail (ENOSPC); fall through so the open
+      // transaction is still committed (partial allocations roll forward,
+      // the file is simply shorter).
+      Result<uint64_t> allocated = MapBlockAlloc(*txn, ino, inode, fb);
+      if (!allocated.ok()) {
+        st = allocated.status();
+        break;
+      }
+      data_block = *allocated;
+      fresh = true;
+    }
+
+    const uint64_t addr = DataBlockAddr(data_block);
+    if (fresh && chunk < kBlockSize) {
+      // Zero the uncovered portions of a newly allocated, partially
+      // overwritten block so holes read back as zeros.
+      static const std::vector<uint8_t> kZeroBlock(kBlockSize, 0);
+      if (st.ok() && in_block > 0) {
+        st = nvmm_->StorePersistent(addr, kZeroBlock.data(), in_block);
+      }
+      const size_t tail = in_block + chunk;
+      if (st.ok() && tail < kBlockSize) {
+        st = nvmm_->StorePersistent(addr + tail, kZeroBlock.data(), kBlockSize - tail);
+      }
+    }
+
+    if (st.ok()) {
+      // The direct write access the paper measures: user buffer -> NVMM with
+      // full persistence cost, on the critical path.
+      ScopedTimer t(stats_.Counter(kStatWriteAccessNs));
+      st = nvmm_->StorePersistent(addr + in_block, in, chunk);
+    }
+
+    in += chunk;
+    cur += chunk;
+    remaining -= chunk;
+  }
+
+  if (txn.has_value()) {
+    HINFS_RETURN_IF_ERROR(txn->Commit());
+  }
+  HINFS_RETURN_IF_ERROR(st);
+  if (offset + len > inode.size) {
+    inode.size = offset + len;
+    HINFS_RETURN_IF_ERROR(UpdateInodeU64(ino, offsetof(PmfsInode, size), inode.size));
+  }
+  inode.mtime_ns = MonotonicNowNs();
+  HINFS_RETURN_IF_ERROR(UpdateInodeU64(ino, offsetof(PmfsInode, mtime_ns), inode.mtime_ns));
+  stats_.Add(kStatWrittenBytes, len);
+  return OkStatus();
+}
+
+Result<size_t> PmfsFs::Write(uint64_t ino, uint64_t offset, const void* src, size_t len,
+                             bool sync) {
+  (void)sync;  // PMFS writes are always eager-persistent.
+  std::unique_lock lock(StripeFor(ino));
+  HINFS_ASSIGN_OR_RETURN(PmfsInode inode, LoadInode(ino));
+  if (inode.type != static_cast<uint8_t>(FileType::kRegular)) {
+    return Status(ErrorCode::kIsDir);
+  }
+  HINFS_RETURN_IF_ERROR(WriteToNvmm(ino, inode, offset, src, len));
+  return len;
+}
+
+Status PmfsFs::Truncate(uint64_t ino, uint64_t new_size) {
+  std::unique_lock lock(StripeFor(ino));
+  HINFS_ASSIGN_OR_RETURN(PmfsInode inode, LoadInode(ino));
+  if (inode.type != static_cast<uint8_t>(FileType::kRegular)) {
+    return Status(ErrorCode::kIsDir);
+  }
+  if (new_size < inode.size) {
+    const uint64_t from_block = (new_size + kBlockSize - 1) / kBlockSize;
+    Transaction txn = journal_->Begin();
+    Status st = FreeBlocksFrom(txn, ino, inode, from_block);
+    HINFS_RETURN_IF_ERROR(txn.Commit());
+    HINFS_RETURN_IF_ERROR(st);
+    // Zero the tail of the (kept) boundary block so a later extension of the
+    // file reads zeros there, not stale data.
+    const size_t tail_off = new_size % kBlockSize;
+    if (tail_off != 0) {
+      HINFS_ASSIGN_OR_RETURN(uint64_t blk, MapBlock(inode, new_size / kBlockSize));
+      if (blk != 0) {
+        static const std::vector<uint8_t> kZeroBlock(kBlockSize, 0);
+        HINFS_RETURN_IF_ERROR(nvmm_->StorePersistent(DataBlockAddr(blk) + tail_off,
+                                                     kZeroBlock.data(), kBlockSize - tail_off));
+      }
+    }
+  }
+  HINFS_RETURN_IF_ERROR(UpdateInodeU64(ino, offsetof(PmfsInode, size), new_size));
+  return UpdateInodeU64(ino, offsetof(PmfsInode, mtime_ns), MonotonicNowNs());
+}
+
+Status PmfsFs::Fsync(uint64_t ino) {
+  ScopedTimer t(stats_.Counter(kStatFsyncNs));
+  std::shared_lock lock(StripeFor(ino));
+  HINFS_RETURN_IF_ERROR(LoadInode(ino).status());
+  // PMFS persists data at write time; fsync only needs an ordering fence.
+  nvmm_->Fence();
+  return OkStatus();
+}
+
+Status PmfsFs::SyncFs() {
+  nvmm_->Fence();
+  return OkStatus();
+}
+
+Status PmfsFs::Unmount() {
+  nvmm_->Fence();
+  uint64_t clean = 1;
+  return nvmm_->StorePersistent(offsetof(PmfsSuperblock, clean_unmount), &clean, sizeof(clean));
+}
+
+// --- mmap -------------------------------------------------------------------------
+
+Result<uint8_t*> PmfsFs::Mmap(uint64_t ino, uint64_t offset, size_t len) {
+  if (offset % kBlockSize != 0 || len == 0) {
+    return Status(ErrorCode::kInvalidArgument, "mmap range must be block-aligned");
+  }
+  std::unique_lock lock(StripeFor(ino));
+  HINFS_ASSIGN_OR_RETURN(PmfsInode inode, LoadInode(ino));
+
+  // Allocate any missing blocks, then require physical contiguity so a single
+  // pointer can cover the range (a kernel would map scattered pages; see
+  // DESIGN.md for this documented userspace restriction).
+  const uint64_t first_fb = offset / kBlockSize;
+  const uint64_t last_fb = (offset + len - 1) / kBlockSize;
+  Transaction txn = journal_->Begin();
+  uint64_t first_block = 0;
+  Status st = OkStatus();
+  for (uint64_t fb = first_fb; fb <= last_fb && st.ok(); fb++) {
+    Result<uint64_t> blk = MapBlockAlloc(txn, ino, inode, fb);
+    if (!blk.ok()) {
+      st = blk.status();
+      break;
+    }
+    if (fb == first_fb) {
+      first_block = *blk;
+    } else if (*blk != first_block + (fb - first_fb)) {
+      st = Status(ErrorCode::kNotSupported, "mmap range not physically contiguous");
+    }
+  }
+  HINFS_RETURN_IF_ERROR(txn.Commit());
+  HINFS_RETURN_IF_ERROR(st);
+  if (offset + len > inode.size) {
+    inode.size = offset + len;
+    HINFS_RETURN_IF_ERROR(UpdateInodeU64(ino, offsetof(PmfsInode, size), inode.size));
+  }
+  return nvmm_->DirectPointer(DataBlockAddr(first_block), len);
+}
+
+Status PmfsFs::Munmap(uint64_t ino) {
+  (void)ino;
+  return OkStatus();
+}
+
+Status PmfsFs::Msync(uint64_t ino, uint64_t offset, size_t len) {
+  std::shared_lock lock(StripeFor(ino));
+  HINFS_ASSIGN_OR_RETURN(PmfsInode inode, LoadInode(ino));
+  const uint64_t first_fb = offset / kBlockSize;
+  const uint64_t last_fb = len == 0 ? first_fb : (offset + len - 1) / kBlockSize;
+  for (uint64_t fb = first_fb; fb <= last_fb; fb++) {
+    HINFS_ASSIGN_OR_RETURN(uint64_t data_block, MapBlock(inode, fb));
+    if (data_block != 0) {
+      HINFS_RETURN_IF_ERROR(nvmm_->Flush(DataBlockAddr(data_block), kBlockSize));
+    }
+  }
+  nvmm_->Fence();
+  return OkStatus();
+}
+
+}  // namespace hinfs

@@ -1,0 +1,155 @@
+// PmfsFs: the PMFS baseline — an NVMM-native file system with direct access.
+//
+// Faithful to the published PMFS design at the level this reproduction needs:
+//  - data and metadata live on NVMM; no page cache, no block layer;
+//  - read(2)/write(2) copy directly between the user buffer and NVMM; writes use
+//    the nocache persistent-store path (store + clflush + fence per extent);
+//  - metadata updates are made consistent with a cacheline-granularity undo
+//    journal; single 8-byte fields (size, mtime) use atomic in-place updates;
+//  - per-file block index is a radix tree of 4 KB nodes (512-way) on NVMM.
+//
+// HinfsFs (src/hinfs/hinfs_fs.h) subclasses this and replaces the data paths
+// with the NVMM-aware write buffer, exactly as the original HiNFS was built on
+// PMFS inside the kernel.
+
+#ifndef SRC_FS_PMFS_PMFS_FS_H_
+#define SRC_FS_PMFS_PMFS_FS_H_
+
+#include <array>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "src/fs/pmfs/allocator.h"
+#include "src/fs/pmfs/journal.h"
+#include "src/fs/pmfs/layout.h"
+#include "src/nvmm/nvmm_device.h"
+#include "src/vfs/file_system.h"
+
+namespace hinfs {
+
+struct PmfsOptions {
+  uint64_t max_inodes = 1ull << 16;
+  uint64_t journal_bytes = 4ull << 20;
+};
+
+class PmfsFs : public FileSystem {
+ public:
+  // Creates a fresh file system on `nvmm` and mounts it.
+  static Result<std::unique_ptr<PmfsFs>> Format(NvmmDevice* nvmm, const PmfsOptions& options = {});
+
+  // Mounts an existing file system, running journal recovery.
+  static Result<std::unique_ptr<PmfsFs>> Mount(NvmmDevice* nvmm);
+
+  ~PmfsFs() override = default;
+
+  std::string Name() const override { return "pmfs"; }
+
+  Result<uint64_t> Lookup(uint64_t dir_ino, std::string_view name) override;
+  Result<uint64_t> Create(uint64_t dir_ino, std::string_view name, FileType type) override;
+  Status Unlink(uint64_t dir_ino, std::string_view name) override;
+  Status Rename(uint64_t old_dir, std::string_view old_name, uint64_t new_dir,
+                std::string_view new_name) override;
+  Result<std::vector<DirEntry>> ReadDir(uint64_t dir_ino) override;
+  Result<InodeAttr> GetAttr(uint64_t ino) override;
+
+  Result<size_t> Read(uint64_t ino, uint64_t offset, void* dst, size_t len) override;
+  Result<size_t> Write(uint64_t ino, uint64_t offset, const void* src, size_t len,
+                       bool sync) override;
+  Status Truncate(uint64_t ino, uint64_t new_size) override;
+  Status Fsync(uint64_t ino) override;
+  Status SyncFs() override;
+  Status Unmount() override;
+
+  Result<uint8_t*> Mmap(uint64_t ino, uint64_t offset, size_t len) override;
+  Status Munmap(uint64_t ino) override;
+  Status Msync(uint64_t ino, uint64_t offset, size_t len) override;
+
+  NvmmDevice* nvmm() { return nvmm_; }
+  uint64_t free_data_blocks() const { return alloc_->free_blocks(); }
+
+ protected:
+  explicit PmfsFs(NvmmDevice* nvmm);
+
+  Status InitFormat(const PmfsOptions& options);
+  Status InitMount();
+
+  // --- locking -----------------------------------------------------------------
+  // Namespace lock: exclusive for create/unlink/rename, shared for lookup/readdir.
+  // File-data stripe locks: keyed by ino; exclusive for write/truncate/fsync,
+  // shared for read. Lock order: ns_mu_ before stripe.
+  static constexpr size_t kLockStripes = 64;
+  std::shared_mutex& StripeFor(uint64_t ino) { return stripes_[ino % kLockStripes]; }
+
+  // --- inode helpers -------------------------------------------------------------
+  uint64_t InodeAddr(uint64_t ino) const;
+  Result<PmfsInode> LoadInode(uint64_t ino);
+  // Atomic 8-byte in-place persistent update of one inode field.
+  Status UpdateInodeU64(uint64_t ino, size_t field_offset, uint64_t value);
+  Result<uint64_t> AllocInode(Transaction& txn, FileType type);
+
+  // --- radix block index ------------------------------------------------------
+  uint64_t DataBlockAddr(uint64_t data_block) const {
+    return sb_.data_off + data_block * kBlockSize;
+  }
+  // Returns the data block backing file block `file_block`, or 0 for a hole.
+  Result<uint64_t> MapBlock(const PmfsInode& inode, uint64_t file_block);
+  // Like MapBlock but allocates missing radix nodes and the data block.
+  // `inode` is updated (root/height) and persisted via `txn`.
+  Result<uint64_t> MapBlockAlloc(Transaction& txn, uint64_t ino, PmfsInode& inode,
+                                 uint64_t file_block);
+  // Frees all data blocks and radix nodes at or above `from_block`.
+  Status FreeBlocksFrom(Transaction& txn, uint64_t ino, PmfsInode& inode, uint64_t from_block);
+
+  // Resolves (ino, file_block) to an NVMM byte address, allocating the block
+  // (own transaction) if absent. Used by HiNFS's writeback path, which runs
+  // without the file's stripe lock; MapBlockAlloc/inode updates are internally
+  // serialized by map_mu_/imeta_mu_ so this is safe concurrently with
+  // foreground writes.
+  Result<uint64_t> EnsureDataBlockAddr(uint64_t ino, uint64_t file_block);
+
+  // --- directory helpers --------------------------------------------------------
+  // Returns the byte offset (within the directory file) of the dirent for
+  // `name`, loading it into `out`.
+  Result<uint64_t> FindDirent(const PmfsInode& dir, std::string_view name, PmfsDirent* out);
+  Status AddDirent(Transaction& txn, uint64_t dir_ino, PmfsInode& dir, std::string_view name,
+                   uint64_t ino, FileType type);
+  Status ClearDirentAt(Transaction& txn, const PmfsInode& dir, uint64_t dirent_off);
+  Result<bool> DirIsEmpty(const PmfsInode& dir);
+  // Unlink with ns_mu_ already held (used by Rename's replace path).
+  Status UnlinkLocked(uint64_t dir_ino, std::string_view name);
+
+  // --- data-path helpers (shared with HinfsFs) --------------------------------
+  // Copies [offset, offset+len) of the file from NVMM into dst. Holes read as
+  // zeros. Does not lock; caller holds the stripe.
+  Status ReadFromNvmm(const PmfsInode& inode, uint64_t offset, void* dst, size_t len);
+  // Writes into NVMM with persistence, allocating blocks as needed; updates
+  // inode size/mtime. Does not lock. When zero_fill is true, newly allocated
+  // blocks have their uncovered portions zeroed.
+  Status WriteToNvmm(uint64_t ino, PmfsInode& inode, uint64_t offset, const void* src, size_t len);
+  // Drops a whole file: frees blocks and the inode slot. ns_mu_ held.
+  Status FreeFileLocked(uint64_t ino);
+
+  NvmmDevice* nvmm_;
+  PmfsSuperblock sb_{};
+  std::unique_ptr<Journal> journal_;
+  std::unique_ptr<BlockAllocator> alloc_;
+
+  std::shared_mutex ns_mu_;
+  std::array<std::shared_mutex, kLockStripes> stripes_;
+
+  // Serializes radix-tree mutation (map_mu_) and inode cacheline read-modify-
+  // write updates (imeta_mu_) between foreground threads and HiNFS's
+  // writeback engine, which runs without stripe locks. Order: map_mu_ before
+  // imeta_mu_.
+  std::mutex map_mu_;
+  std::mutex imeta_mu_;
+
+  std::mutex ino_mu_;
+  std::vector<uint64_t> free_inos_;
+};
+
+}  // namespace hinfs
+
+#endif  // SRC_FS_PMFS_PMFS_FS_H_

@@ -1,0 +1,122 @@
+#include "src/hinfs/benefit_model.h"
+
+#include <bit>
+
+namespace hinfs {
+
+void EagerPersistenceChecker::RecordWrite(uint64_t ino, uint64_t file_block,
+                                          uint32_t lines_written, uint64_t line_mask) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FileState& fs = files_[ino];
+  GhostBlock& gb = fs.blocks[file_block];
+  if (gb.n_cw == 0) {
+    fs.touched.push_back(file_block);
+  }
+  gb.n_cw += lines_written;
+  gb.ghost_dirty |= line_mask;
+}
+
+bool EagerPersistenceChecker::ShouldGoDirect(uint64_t ino, uint64_t file_block,
+                                             uint64_t now_ns) {
+  if (!options_.eager_checker) {
+    return false;  // HiNFS-WB: buffer everything
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto fit = files_.find(ino);
+  if (fit == files_.end()) {
+    return false;
+  }
+  if (fit->second.force_eager) {
+    return true;
+  }
+  // Decay: Eager-Persistent reverts to Lazy-Persistent when the file has not
+  // seen a synchronization operation for eager_decay_ms.
+  const uint64_t decay_ns = options_.eager_decay_ms * 1'000'000ull;
+  const uint64_t file_last_sync_ns = fit->second.last_sync_ns;
+  const bool sync_fresh =
+      file_last_sync_ns != 0 && now_ns - file_last_sync_ns <= decay_ns;
+
+  auto bit = fit->second.blocks.find(file_block);
+  if (bit == fit->second.blocks.end() || !bit->second.has_prev) {
+    // A block that has never been through a sync evaluation (typically a
+    // fresh append block) inherits the file's recent majority verdict.
+    return fit->second.eager_bias && sync_fresh;
+  }
+  if (!bit->second.eager) {
+    return false;
+  }
+  if (!sync_fresh) {
+    bit->second.eager = false;
+    return false;
+  }
+  return true;
+}
+
+void EagerPersistenceChecker::OnFsync(uint64_t ino, uint64_t now_ns) {
+  if (!options_.eager_checker) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto fit = files_.find(ino);
+  if (fit == files_.end()) {
+    return;
+  }
+  fit->second.last_sync_ns = now_ns;
+  const uint64_t l_dram = options_.dram_write_ns_per_line;
+  uint64_t eager_now = 0;
+  uint64_t lazy_now = 0;
+  for (uint64_t block : fit->second.touched) {
+    GhostBlock& gb = fit->second.blocks[block];
+    if (gb.n_cw == 0) {
+      continue;  // already handled (duplicate touch entry)
+    }
+    const uint64_t n_cw = gb.n_cw;
+    const uint64_t n_cf = static_cast<uint64_t>(std::popcount(gb.ghost_dirty));
+    // Inequality (1): buffering wins iff total DRAM-write + sync-flush time is
+    // below the direct-to-NVMM write time.
+    const bool satisfied = n_cw * l_dram + n_cf * l_nvmm_ns_ < n_cw * l_nvmm_ns_;
+    decisions_++;
+    if (gb.has_prev) {
+      paired_++;
+      if (gb.prev_satisfied == satisfied) {
+        accurate_++;
+      }
+    }
+    gb.has_prev = true;
+    gb.prev_satisfied = satisfied;
+    gb.eager = !satisfied;
+    if (satisfied) {
+      lazy_marks_++;
+      lazy_now++;
+    } else {
+      eager_marks_++;
+      eager_now++;
+    }
+    gb.n_cw = 0;
+    gb.ghost_dirty = 0;
+  }
+  fit->second.touched.clear();
+  if (eager_now + lazy_now > 0) {
+    fit->second.eager_bias = eager_now > lazy_now;
+  }
+}
+
+void EagerPersistenceChecker::ForceEager(uint64_t ino) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[ino].force_eager = true;
+}
+
+void EagerPersistenceChecker::ClearForceEager(uint64_t ino) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(ino);
+  if (it != files_.end()) {
+    it->second.force_eager = false;
+  }
+}
+
+void EagerPersistenceChecker::Forget(uint64_t ino) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.erase(ino);
+}
+
+}  // namespace hinfs

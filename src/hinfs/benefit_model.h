@@ -1,0 +1,109 @@
+// EagerPersistenceChecker: the paper's Eager-Persistent Write Checker built on
+// the Buffer Benefit Model and a ghost buffer (paper §3.3.2).
+//
+// Per data block (DRAM-resident state only, one decision bit plus ghost
+// counters):
+//   N_cw = cacheline writes to the block between two synchronization ops,
+//   N_cf = cacheline flushes the sync itself would perform — measured on the
+//          ghost buffer, which assumes every write was buffered but keeps only
+//          index metadata (a dirty-line bitmap), no data.
+// At each fsync the model evaluates
+//   N_cw * L_dram + N_cf * L_nvmm  <  N_cw * L_nvmm            (Inequality 1)
+// Blocks violating it are marked Eager-Persistent: subsequent asynchronous
+// writes to them go straight to NVMM. The state decays back to Lazy-Persistent
+// after `eager_decay_ms` without a sync, implemented by consulting the file's
+// last-sync time at write time (not by scanning).
+//
+// The checker also records the Fig. 6 accuracy metric: a block's evaluation is
+// "accurate" when consecutive syncs reach the same satisfied/violated verdict.
+
+#ifndef SRC_HINFS_BENEFIT_MODEL_H_
+#define SRC_HINFS_BENEFIT_MODEL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/hinfs/hinfs_options.h"
+
+namespace hinfs {
+
+class EagerPersistenceChecker {
+ public:
+  EagerPersistenceChecker(const HinfsOptions& options, uint64_t nvmm_write_latency_ns)
+      : options_(options), l_nvmm_ns_(nvmm_write_latency_ns) {}
+
+  // Records a write of `lines_written` cachelines covering `line_mask` within
+  // (ino, file_block) in the ghost buffer. Call for every file write, lazy or
+  // eager.
+  void RecordWrite(uint64_t ino, uint64_t file_block, uint32_t lines_written,
+                   uint64_t line_mask);
+
+  // Decision for an asynchronous write: true if the block is currently in the
+  // Eager-Persistent state (and its file's sync activity is fresh enough —
+  // the last-sync time lives here in DRAM, like the paper's field in the
+  // kernel VFS inode).
+  bool ShouldGoDirect(uint64_t ino, uint64_t file_block, uint64_t now_ns);
+
+  // Evaluates Inequality (1) for every ghost block of `ino` touched since its
+  // previous sync, updating block states, the file's last-sync time, and the
+  // accuracy statistics.
+  void OnFsync(uint64_t ino, uint64_t now_ns);
+
+  // mmap forces all of a file's blocks eager until munmap (paper §4.2).
+  void ForceEager(uint64_t ino);
+  void ClearForceEager(uint64_t ino);
+
+  // Drops all state for a file (unlink).
+  void Forget(uint64_t ino);
+
+  // Fig. 6 statistics. A block contributes to the accuracy rate only once it
+  // has a previous sync verdict to compare against (the paper's metric pairs
+  // consecutive synchronization operations of the same block).
+  uint64_t decisions() const { return decisions_; }
+  uint64_t paired_decisions() const { return paired_; }
+  uint64_t accurate_decisions() const { return accurate_; }
+  double AccuracyRate() const {
+    return paired_ == 0 ? 1.0 : static_cast<double>(accurate_) / static_cast<double>(paired_);
+  }
+
+  uint64_t eager_marks() const { return eager_marks_; }
+  uint64_t lazy_marks() const { return lazy_marks_; }
+
+ private:
+  struct GhostBlock {
+    uint32_t n_cw = 0;        // cacheline writes since last sync
+    uint64_t ghost_dirty = 0; // dirty-line bitmap in the ghost buffer
+    bool eager = false;
+    bool has_prev = false;
+    bool prev_satisfied = false;
+  };
+  struct FileState {
+    std::unordered_map<uint64_t, GhostBlock> blocks;
+    // Blocks written since the last sync: OnFsync only evaluates these, so a
+    // sync costs O(dirtied blocks), not O(file size).
+    std::vector<uint64_t> touched;
+    bool force_eager = false;
+    // Majority verdict of the file's most recent sync: newly created blocks
+    // (appends) inherit it, so an append-fsync file routes fresh blocks
+    // directly to NVMM, as the paper's varmail analysis requires.
+    bool eager_bias = false;
+    uint64_t last_sync_ns = 0;
+  };
+
+  HinfsOptions options_;
+  uint64_t l_nvmm_ns_;
+
+  std::mutex mu_;
+  std::unordered_map<uint64_t, FileState> files_;
+  uint64_t decisions_ = 0;
+  uint64_t paired_ = 0;
+  uint64_t accurate_ = 0;
+  uint64_t eager_marks_ = 0;
+  uint64_t lazy_marks_ = 0;
+};
+
+}  // namespace hinfs
+
+#endif  // SRC_HINFS_BENEFIT_MODEL_H_

@@ -1,0 +1,262 @@
+// BTreeMap: an in-DRAM B+tree keyed by uint64_t.
+//
+// The paper's DRAM Block Index is "per-file B-tree in DRAM, one of the best
+// options for indexing large amounts of possibly sparse data". This is that
+// structure: leaves hold (file-block -> value) pairs and are chained for
+// in-order scans; interior nodes hold separator keys.
+
+#ifndef SRC_HINFS_BTREE_H_
+#define SRC_HINFS_BTREE_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace hinfs {
+
+template <typename V>
+class BTreeMap {
+ public:
+  static constexpr int kFanout = 16;  // max children per interior node
+  static constexpr int kLeafCap = 16;
+
+  BTreeMap() = default;
+  ~BTreeMap() { Clear(); }
+
+  BTreeMap(const BTreeMap&) = delete;
+  BTreeMap& operator=(const BTreeMap&) = delete;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Returns a pointer to the value for `key`, or nullptr.
+  V* Find(uint64_t key) {
+    Leaf* leaf = FindLeaf(key);
+    if (leaf == nullptr) {
+      return nullptr;
+    }
+    int i = LowerBound(leaf->keys, leaf->count, key);
+    if (i < leaf->count && leaf->keys[i] == key) {
+      return &leaf->values[i];
+    }
+    return nullptr;
+  }
+
+  // Inserts or overwrites; returns a pointer to the stored value.
+  V* Insert(uint64_t key, V value) {
+    if (root_ == nullptr) {
+      auto* leaf = new Leaf();
+      leaf->keys[0] = key;
+      leaf->values[0] = std::move(value);
+      leaf->count = 1;
+      root_ = leaf;
+      height_ = 0;
+      size_ = 1;
+      first_leaf_ = leaf;
+      return &leaf->values[0];
+    }
+    SplitInfo split;
+    V* slot = InsertRec(root_, height_, key, std::move(value), &split);
+    if (split.happened) {
+      auto* new_root = new Interior();
+      new_root->keys[0] = split.key;
+      new_root->children[0] = root_;
+      new_root->children[1] = split.right;
+      new_root->count = 2;
+      root_ = new_root;
+      height_++;
+    }
+    return slot;
+  }
+
+  // Removes `key`; returns true if it was present. (Leaves are allowed to
+  // underflow — this index deletes in bulk via Clear()/eviction, so rebalance
+  // complexity buys nothing here; empty leaves are unlinked.)
+  bool Erase(uint64_t key) {
+    Leaf* leaf = FindLeaf(key);
+    if (leaf == nullptr) {
+      return false;
+    }
+    int i = LowerBound(leaf->keys, leaf->count, key);
+    if (i >= leaf->count || leaf->keys[i] != key) {
+      return false;
+    }
+    for (int j = i; j + 1 < leaf->count; j++) {
+      leaf->keys[j] = leaf->keys[j + 1];
+      leaf->values[j] = std::move(leaf->values[j + 1]);
+    }
+    leaf->count--;
+    size_--;
+    return true;
+  }
+
+  // Calls fn(key, value&) for every element in key order. fn returning false
+  // stops the scan.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (Leaf* leaf = first_leaf_; leaf != nullptr; leaf = leaf->next) {
+      for (int i = 0; i < leaf->count; i++) {
+        if (!fn(leaf->keys[i], leaf->values[i])) {
+          return;
+        }
+      }
+    }
+  }
+
+  void Clear() {
+    if (root_ != nullptr) {
+      DeleteRec(root_, height_);
+      root_ = nullptr;
+    }
+    first_leaf_ = nullptr;
+    size_ = 0;
+    height_ = 0;
+  }
+
+ private:
+  struct Leaf {
+    uint64_t keys[kLeafCap];
+    V values[kLeafCap];
+    int count = 0;
+    Leaf* next = nullptr;
+  };
+  struct Interior {
+    uint64_t keys[kFanout];  // keys[i] = smallest key under children[i+1]
+    void* children[kFanout + 1];
+    int count = 0;  // number of children
+  };
+  struct SplitInfo {
+    bool happened = false;
+    uint64_t key = 0;
+    void* right = nullptr;
+  };
+
+  static int LowerBound(const uint64_t* keys, int n, uint64_t key) {
+    return static_cast<int>(std::lower_bound(keys, keys + n, key) - keys);
+  }
+
+  Leaf* FindLeaf(uint64_t key) {
+    if (root_ == nullptr) {
+      return nullptr;
+    }
+    void* node = root_;
+    for (int h = height_; h > 0; h--) {
+      auto* in = static_cast<Interior*>(node);
+      int i = LowerBound(in->keys, in->count - 1, key + 1);  // child index
+      node = in->children[i];
+    }
+    return static_cast<Leaf*>(node);
+  }
+
+  V* InsertRec(void* node, int h, uint64_t key, V value, SplitInfo* split) {
+    if (h == 0) {
+      auto* leaf = static_cast<Leaf*>(node);
+      int i = LowerBound(leaf->keys, leaf->count, key);
+      if (i < leaf->count && leaf->keys[i] == key) {
+        leaf->values[i] = std::move(value);
+        return &leaf->values[i];
+      }
+      if (leaf->count < kLeafCap) {
+        for (int j = leaf->count; j > i; j--) {
+          leaf->keys[j] = leaf->keys[j - 1];
+          leaf->values[j] = std::move(leaf->values[j - 1]);
+        }
+        leaf->keys[i] = key;
+        leaf->values[i] = std::move(value);
+        leaf->count++;
+        size_++;
+        return &leaf->values[i];
+      }
+      // Split the leaf.
+      auto* right = new Leaf();
+      const int mid = kLeafCap / 2;
+      for (int j = mid; j < kLeafCap; j++) {
+        right->keys[j - mid] = leaf->keys[j];
+        right->values[j - mid] = std::move(leaf->values[j]);
+      }
+      right->count = kLeafCap - mid;
+      leaf->count = mid;
+      right->next = leaf->next;
+      leaf->next = right;
+      split->happened = true;
+      split->key = right->keys[0];
+      split->right = right;
+      size_++;
+      if (key >= right->keys[0]) {
+        return RawLeafInsert(right, key, std::move(value));
+      }
+      return RawLeafInsert(leaf, key, std::move(value));
+    }
+
+    auto* in = static_cast<Interior*>(node);
+    int i = LowerBound(in->keys, in->count - 1, key + 1);
+    SplitInfo child_split;
+    V* slot = InsertRec(in->children[i], h - 1, key, std::move(value), &child_split);
+    if (!child_split.happened) {
+      return slot;
+    }
+    if (in->count <= kFanout) {
+      for (int j = in->count - 1; j > i; j--) {
+        in->keys[j] = in->keys[j - 1];
+        in->children[j + 1] = in->children[j];
+      }
+      in->keys[i] = child_split.key;
+      in->children[i + 1] = child_split.right;
+      in->count++;
+      if (in->count <= kFanout) {
+        return slot;
+      }
+      // Overfull: split the interior node.
+      auto* right = new Interior();
+      const int mid = in->count / 2;  // children going right: count - mid
+      right->count = in->count - mid;
+      for (int j = 0; j < right->count; j++) {
+        right->children[j] = in->children[mid + j];
+      }
+      for (int j = 0; j + 1 < right->count; j++) {
+        right->keys[j] = in->keys[mid + j];
+      }
+      split->happened = true;
+      split->key = in->keys[mid - 1];
+      split->right = right;
+      in->count = mid;
+    }
+    return slot;
+  }
+
+  // Insert into a leaf known to have room (post-split fixup path).
+  V* RawLeafInsert(Leaf* leaf, uint64_t key, V value) {
+    int i = LowerBound(leaf->keys, leaf->count, key);
+    for (int j = leaf->count; j > i; j--) {
+      leaf->keys[j] = leaf->keys[j - 1];
+      leaf->values[j] = std::move(leaf->values[j - 1]);
+    }
+    leaf->keys[i] = key;
+    leaf->values[i] = std::move(value);
+    leaf->count++;
+    return &leaf->values[i];
+  }
+
+  void DeleteRec(void* node, int h) {
+    if (h == 0) {
+      delete static_cast<Leaf*>(node);
+      return;
+    }
+    auto* in = static_cast<Interior*>(node);
+    for (int i = 0; i < in->count; i++) {
+      DeleteRec(in->children[i], h - 1);
+    }
+    delete in;
+  }
+
+  void* root_ = nullptr;
+  Leaf* first_leaf_ = nullptr;
+  int height_ = 0;  // 0 = root is a leaf
+  size_t size_ = 0;
+};
+
+}  // namespace hinfs
+
+#endif  // SRC_HINFS_BTREE_H_

@@ -1,0 +1,74 @@
+// Cacheline Bitmap helpers: 64 cachelines per 4 KB block, one bit per line.
+//
+// The paper tracks, for every DRAM buffer block, which cachelines hold data in
+// DRAM (valid) and which of those were modified (dirty). Reads merge DRAM and
+// NVMM by runs of identical bits ("a single memcpy operation is used to copy
+// the data in the consecutive cachelines the corresponding bits of which have
+// the same value"); writebacks flush dirty runs only (CLFW).
+
+#ifndef SRC_HINFS_CACHELINE_BITMAP_H_
+#define SRC_HINFS_CACHELINE_BITMAP_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "src/common/constants.h"
+
+namespace hinfs {
+
+// Bits [first_line, last_line] inclusive, for the lines covering
+// [offset, offset + len) within a block.
+inline uint64_t LineMaskFor(size_t offset, size_t len) {
+  if (len == 0) {
+    return 0;
+  }
+  const size_t first = offset / kCachelineSize;
+  const size_t last = (offset + len - 1) / kCachelineSize;
+  const uint64_t upto_last = last == 63 ? ~0ull : ((1ull << (last + 1)) - 1);
+  const uint64_t below_first = (1ull << first) - 1;
+  return upto_last & ~below_first;
+}
+
+// Mask of lines *fully covered* by [offset, offset+len) — these need no
+// fetch-before-write under CLFW.
+inline uint64_t FullLineMaskFor(size_t offset, size_t len) {
+  if (len == 0) {
+    return 0;
+  }
+  const size_t first_full = (offset + kCachelineSize - 1) / kCachelineSize;
+  const size_t end_full = (offset + len) / kCachelineSize;  // exclusive
+  if (end_full <= first_full) {
+    return 0;
+  }
+  uint64_t mask = end_full >= 64 ? ~0ull : ((1ull << end_full) - 1);
+  mask &= ~((1ull << first_full) - 1);
+  return mask;
+}
+
+// A maximal run of consecutive set bits within `mask` starting at or after
+// `from`; returns false when no bits remain.
+struct LineRun {
+  size_t first_line;
+  size_t count;
+};
+inline bool NextRun(uint64_t mask, size_t from, LineRun* run) {
+  if (from >= 64) {
+    return false;
+  }
+  uint64_t m = mask >> from << from;  // clear bits below `from`
+  if (m == 0) {
+    return false;
+  }
+  const size_t start = static_cast<size_t>(std::countr_zero(m));
+  uint64_t shifted = m >> start;
+  const size_t len = static_cast<size_t>(std::countr_one(shifted));
+  run->first_line = start;
+  run->count = len;
+  return true;
+}
+
+inline int CountLines(uint64_t mask) { return std::popcount(mask); }
+
+}  // namespace hinfs
+
+#endif  // SRC_HINFS_CACHELINE_BITMAP_H_

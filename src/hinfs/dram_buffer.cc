@@ -1,0 +1,685 @@
+#include "src/hinfs/dram_buffer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "src/common/clock.h"
+#include "src/hinfs/cacheline_bitmap.h"
+
+namespace hinfs {
+
+DramBufferManager::DramBufferManager(NvmmDevice* nvmm, const HinfsOptions& options,
+                                     EnsureBlockFn ensure_block)
+    : nvmm_(nvmm),
+      options_(options),
+      ensure_block_(std::move(ensure_block)),
+      capacity_blocks_(std::max<size_t>(options.buffer_bytes / kBlockSize, 4)),
+      pool_(new uint8_t[capacity_blocks_ * kBlockSize]) {
+  low_blocks_ = std::max<size_t>(1, static_cast<size_t>(capacity_blocks_ * options.low_watermark));
+  high_blocks_ =
+      std::max<size_t>(2, static_cast<size_t>(capacity_blocks_ * options.high_watermark));
+  free_frames_.reserve(capacity_blocks_);
+  for (size_t i = 0; i < capacity_blocks_; i++) {
+    free_frames_.push_back(static_cast<uint32_t>(capacity_blocks_ - 1 - i));
+  }
+}
+
+DramBufferManager::~DramBufferManager() { StopBackgroundWriteback(); }
+
+void DramBufferManager::StartBackgroundWriteback() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!threads_.empty()) {
+    return;
+  }
+  stop_ = false;
+  for (int i = 0; i < options_.writeback_threads; i++) {
+    threads_.emplace_back([this] { WritebackThread(); });
+  }
+}
+
+void DramBufferManager::StopBackgroundWriteback() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wb_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+  threads_.clear();
+}
+
+size_t DramBufferManager::free_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_frames_.size();
+}
+
+// --- residency lists --------------------------------------------------------------
+
+void DramBufferManager::ListUnlink(EntryList& list, Entry* e) {
+  e->lrw_prev->lrw_next = e->lrw_next;
+  e->lrw_next->lrw_prev = e->lrw_prev;
+  e->lrw_prev = e->lrw_next = nullptr;
+  list.size--;
+}
+
+void DramBufferManager::ListPushMru(EntryList& list, Entry* e) {
+  // Tail of the list (head.prev) is the most-recently-written position.
+  e->lrw_prev = list.head.lrw_prev;
+  e->lrw_next = &list.head;
+  list.head.lrw_prev->lrw_next = e;
+  list.head.lrw_prev = e;
+  list.size++;
+}
+
+// --- replacement policy hooks ------------------------------------------------------
+
+void DramBufferManager::GhostTrimLocked(std::list<uint64_t>& fifo,
+                                        std::unordered_set<uint64_t>& set, size_t limit) {
+  while (fifo.size() > limit) {
+    set.erase(fifo.front());
+    fifo.pop_front();
+  }
+}
+
+void DramBufferManager::OnInsertLocked(Entry* e) {
+  e->freq = 1;
+  const uint64_t key = GhostKey(*e);
+  switch (options_.replacement) {
+    case HinfsOptions::Replacement::kArc:
+      // ARC: a ghost hit means this block was recently evicted; adapt p and
+      // admit straight into the frequent list.
+      if (b1_.erase(key) > 0) {
+        const size_t delta =
+            std::max<size_t>(1, b2_.size() / std::max<size_t>(b1_.size(), 1));
+        arc_p_ = std::min(capacity_blocks_, arc_p_ + delta);
+        e->arc_list = 2;
+        ListPushMru(t2_, e);
+        return;
+      }
+      if (b2_.erase(key) > 0) {
+        const size_t delta =
+            std::max<size_t>(1, b1_.size() / std::max<size_t>(b2_.size(), 1));
+        arc_p_ = arc_p_ > delta ? arc_p_ - delta : 0;
+        e->arc_list = 2;
+        ListPushMru(t2_, e);
+        return;
+      }
+      break;
+    case HinfsOptions::Replacement::kTwoQ:
+      // 2Q: a block seen in the A1out ghost queue is hot — admit into Am (t2_).
+      if (b1_.erase(key) > 0) {
+        e->arc_list = 2;
+        ListPushMru(t2_, e);
+        return;
+      }
+      break;
+    default:
+      break;
+  }
+  e->arc_list = 1;
+  ListPushMru(t1_, e);
+}
+
+void DramBufferManager::OnWriteHitLocked(Entry* e) {
+  e->freq++;
+  switch (options_.replacement) {
+    case HinfsOptions::Replacement::kLrw:
+      ListUnlink(t1_, e);
+      ListPushMru(t1_, e);
+      break;
+    case HinfsOptions::Replacement::kFifo:
+    case HinfsOptions::Replacement::kLfu:
+      break;  // FIFO: position fixed; LFU: the freq bump is the update
+    case HinfsOptions::Replacement::kArc:
+      // A re-reference promotes to (or refreshes within) T2.
+      if (e->arc_list == 1) {
+        ListUnlink(t1_, e);
+        e->arc_list = 2;
+      } else {
+        ListUnlink(t2_, e);
+      }
+      ListPushMru(t2_, e);
+      break;
+    case HinfsOptions::Replacement::kTwoQ:
+      // 2Q: re-references inside the probationary A1in queue do NOT promote
+      // (that is the point of A1in: correlated re-writes stay probationary);
+      // re-references in Am refresh its LRU position.
+      if (e->arc_list == 2) {
+        ListUnlink(t2_, e);
+        ListPushMru(t2_, e);
+      }
+      break;
+  }
+}
+
+void DramBufferManager::GhostRecordLocked(Entry* e) {
+  const uint64_t key = GhostKey(*e);
+  if (options_.replacement == HinfsOptions::Replacement::kArc) {
+    if (e->arc_list == 1) {
+      if (b1_.insert(key).second) {
+        b1_fifo_.push_back(key);
+      }
+    } else {
+      if (b2_.insert(key).second) {
+        b2_fifo_.push_back(key);
+      }
+    }
+    GhostTrimLocked(b1_fifo_, b1_, capacity_blocks_);
+    GhostTrimLocked(b2_fifo_, b2_, capacity_blocks_);
+    return;
+  }
+  if (options_.replacement == HinfsOptions::Replacement::kTwoQ && e->arc_list == 1) {
+    // Only A1in victims enter the A1out ghost queue (Kout = capacity / 2).
+    if (b1_.insert(key).second) {
+      b1_fifo_.push_back(key);
+    }
+    GhostTrimLocked(b1_fifo_, b1_, std::max<size_t>(1, capacity_blocks_ / 2));
+  }
+}
+
+std::vector<DramBufferManager::Entry*> DramBufferManager::PickVictimsLocked(size_t want) {
+  std::vector<Entry*> victims;
+  if (want == 0) {
+    return victims;
+  }
+  auto take_from = [&](EntryList& list) {
+    for (Entry* e = list.head.lrw_next; e != &list.head && victims.size() < want;
+         e = e->lrw_next) {
+      if (!e->writing) {
+        e->writing = true;
+        GhostRecordLocked(e);
+        victims.push_back(e);
+      }
+    }
+  };
+
+  switch (options_.replacement) {
+    case HinfsOptions::Replacement::kLrw:
+    case HinfsOptions::Replacement::kFifo:
+      take_from(t1_);
+      break;
+    case HinfsOptions::Replacement::kLfu: {
+      // Least-frequently-written first; ties broken by write recency.
+      std::vector<Entry*> candidates;
+      for (Entry* e = t1_.head.lrw_next; e != &t1_.head; e = e->lrw_next) {
+        if (!e->writing) {
+          candidates.push_back(e);
+        }
+      }
+      const size_t n = std::min(want, candidates.size());
+      std::partial_sort(candidates.begin(), candidates.begin() + n, candidates.end(),
+                        [](const Entry* a, const Entry* b) {
+                          if (a->freq != b->freq) {
+                            return a->freq < b->freq;
+                          }
+                          return a->last_written_ns < b->last_written_ns;
+                        });
+      for (size_t i = 0; i < n; i++) {
+        candidates[i]->writing = true;
+        victims.push_back(candidates[i]);
+      }
+      break;
+    }
+    case HinfsOptions::Replacement::kTwoQ: {
+      // 2Q: evict from the probationary A1in while it exceeds its share
+      // (Kin = 25 % of the cache), recording victims in the A1out ghost
+      // queue; otherwise evict the LRU of Am.
+      const size_t kin = std::max<size_t>(1, capacity_blocks_ / 4);
+      while (victims.size() < want) {
+        const size_t before = victims.size();
+        if (t1_.size > kin || t2_.size == 0) {
+          take_from(t1_);
+          if (victims.size() == before) {
+            take_from(t2_);
+          }
+        } else {
+          take_from(t2_);
+          if (victims.size() == before) {
+            take_from(t1_);
+          }
+        }
+        if (victims.size() == before) {
+          break;
+        }
+      }
+      break;
+    }
+    case HinfsOptions::Replacement::kArc: {
+      // REPLACE: shrink T1 while it exceeds the adaptive target p, else T2.
+      while (victims.size() < want) {
+        const size_t before = victims.size();
+        if (t1_.size > arc_p_ && t1_.size > 0) {
+          take_from(t1_);
+          if (victims.size() == before) {
+            take_from(t2_);
+          }
+        } else {
+          take_from(t2_);
+          if (victims.size() == before) {
+            take_from(t1_);
+          }
+        }
+        if (victims.size() == before) {
+          break;  // everything evictable is already in flight
+        }
+        // take_from may overshoot the per-iteration intent; the loop exits via
+        // the want bound either way.
+      }
+      break;
+    }
+  }
+  return victims;
+}
+
+// --- index ----------------------------------------------------------------------
+
+DramBufferManager::Entry* DramBufferManager::FindLocked(uint64_t ino, uint64_t file_block) {
+  auto it = index_.find(ino);
+  if (it == index_.end()) {
+    return nullptr;
+  }
+  Entry** slot = it->second->Find(file_block);
+  return slot == nullptr ? nullptr : *slot;
+}
+
+Result<DramBufferManager::Entry*> DramBufferManager::CreateLocked(
+    std::unique_lock<std::mutex>& lock, uint64_t ino, uint64_t file_block, uint64_t nvmm_addr) {
+  while (free_frames_.empty()) {
+    stalls_++;
+    wb_cv_.notify_all();
+    if (threads_.empty()) {
+      // No background engine (unit tests, or stopped during unmount): reclaim
+      // one victim inline.
+      std::vector<Entry*> victims = PickVictimsLocked(1);
+      if (victims.empty()) {
+        return Status(ErrorCode::kNoMemory, "buffer exhausted with all frames in flight");
+      }
+      lock.unlock();
+      HINFS_RETURN_IF_ERROR(FlushEntries(std::move(victims)));
+      lock.lock();
+      continue;
+    }
+    free_cv_.wait(lock, [this] { return !free_frames_.empty() || stop_; });
+    if (stop_ && free_frames_.empty()) {
+      return Status(ErrorCode::kBusy, "buffer shutting down");
+    }
+  }
+
+  auto* e = new Entry();
+  e->ino = ino;
+  e->file_block = file_block;
+  e->nvmm_addr = nvmm_addr;
+  e->dram_index = free_frames_.back();
+  free_frames_.pop_back();
+  resident_++;
+  if (nvmm_addr == kNoNvmmAddr) {
+    // A block with no NVMM backing is a hole: its correct content is zeros, so
+    // the whole frame is valid from the start.
+    std::memset(DataFor(*e), 0, kBlockSize);
+    e->valid = ~0ull;
+  }
+  auto it = index_.find(ino);
+  if (it == index_.end()) {
+    it = index_.emplace(ino, std::make_unique<BTreeMap<Entry*>>()).first;
+  }
+  it->second->Insert(file_block, e);
+  OnInsertLocked(e);
+  return e;
+}
+
+void DramBufferManager::DetachLocked(Entry* e) {
+  auto it = index_.find(e->ino);
+  if (it != index_.end()) {
+    it->second->Erase(e->file_block);
+    if (it->second->empty()) {
+      index_.erase(it);
+    }
+  }
+  ListUnlink(e->arc_list == 2 ? t2_ : t1_, e);
+  free_frames_.push_back(e->dram_index);
+  resident_--;
+  delete e;
+}
+
+// --- data paths -----------------------------------------------------------------
+
+Result<uint32_t> DramBufferManager::Write(uint64_t ino, uint64_t file_block, size_t offset,
+                                          const void* src, size_t len, uint64_t nvmm_addr) {
+  if (offset + len > kBlockSize || len == 0) {
+    return Status(ErrorCode::kInvalidArgument, "buffered write crosses block");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+
+  Entry* e;
+  while (true) {
+    e = FindLocked(ino, file_block);
+    if (e == nullptr) {
+      misses_++;
+      HINFS_ASSIGN_OR_RETURN(e, CreateLocked(lock, ino, file_block, nvmm_addr));
+      break;
+    }
+    if (!e->writing) {
+      hits_++;
+      OnWriteHitLocked(e);
+      break;
+    }
+    // The block is mid-writeback: wait for the flush to retire it, then buffer
+    // the write in a fresh frame.
+    write_done_cv_.wait(lock);
+  }
+  if (e->nvmm_addr == kNoNvmmAddr && nvmm_addr != kNoNvmmAddr) {
+    e->nvmm_addr = nvmm_addr;
+  }
+
+  const uint64_t touch = LineMaskFor(offset, len);
+  if (options_.clfw) {
+    // CLFW: fetch only the partially-overwritten lines that are not yet valid.
+    const uint64_t partial = touch & ~FullLineMaskFor(offset, len);
+    uint64_t need_fetch = partial & ~e->valid;
+    LineRun run;
+    size_t from = 0;
+    while (NextRun(need_fetch, from, &run)) {
+      uint8_t* dst = DataFor(*e) + run.first_line * kCachelineSize;
+      if (e->nvmm_addr != kNoNvmmAddr) {
+        HINFS_RETURN_IF_ERROR(nvmm_->Load(e->nvmm_addr + run.first_line * kCachelineSize, dst,
+                                          run.count * kCachelineSize));
+      } else {
+        std::memset(dst, 0, run.count * kCachelineSize);
+      }
+      fetched_lines_ += run.count;
+      from = run.first_line + run.count;
+    }
+    e->valid |= touch;
+    e->dirty |= touch;
+  } else {
+    // HiNFS-NCLFW: whole-block fetch-before-write and whole-block writeback.
+    if (e->valid != ~0ull) {
+      if (e->nvmm_addr != kNoNvmmAddr) {
+        HINFS_RETURN_IF_ERROR(nvmm_->Load(e->nvmm_addr, DataFor(*e), kBlockSize));
+      } else {
+        std::memset(DataFor(*e), 0, kBlockSize);
+      }
+      fetched_lines_ += kLinesPerBlock;
+      e->valid = ~0ull;
+    }
+    e->dirty = ~0ull;
+  }
+
+  std::memcpy(DataFor(*e) + offset, src, len);
+  e->last_written_ns = MonotonicNowNs();
+  return static_cast<uint32_t>(CountLines(touch));
+}
+
+Result<bool> DramBufferManager::Read(uint64_t ino, uint64_t file_block, size_t offset, void* dst,
+                                     size_t len, uint64_t nvmm_addr) {
+  if (offset + len > kBlockSize) {
+    return Status(ErrorCode::kInvalidArgument, "buffered read crosses block");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  Entry* e = FindLocked(ino, file_block);
+  if (e == nullptr) {
+    return false;
+  }
+
+  // Merge: valid lines from DRAM, the rest from NVMM (or zeros for holes), one
+  // memcpy per run of identically-sourced lines.
+  auto* out = static_cast<uint8_t*>(dst);
+  size_t cur = offset;
+  const size_t end = offset + len;
+  while (cur < end) {
+    const size_t line = cur / kCachelineSize;
+    const bool in_dram = (e->valid >> line) & 1;
+    size_t run_end_line = line;
+    while (run_end_line + 1 < kLinesPerBlock &&
+           run_end_line + 1 <= (end - 1) / kCachelineSize &&
+           (((e->valid >> (run_end_line + 1)) & 1) != 0) == in_dram) {
+      run_end_line++;
+    }
+    const size_t run_end = std::min(end, (run_end_line + 1) * kCachelineSize);
+    const size_t chunk = run_end - cur;
+    if (in_dram) {
+      std::memcpy(out, DataFor(*e) + cur, chunk);
+    } else if (e->nvmm_addr != kNoNvmmAddr) {
+      HINFS_RETURN_IF_ERROR(nvmm_->Load(e->nvmm_addr + cur, out, chunk));
+    } else if (nvmm_addr != kNoNvmmAddr) {
+      HINFS_RETURN_IF_ERROR(nvmm_->Load(nvmm_addr + cur, out, chunk));
+    } else {
+      std::memset(out, 0, chunk);
+    }
+    out += chunk;
+    cur = run_end;
+  }
+  return true;
+}
+
+bool DramBufferManager::Contains(uint64_t ino, uint64_t file_block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindLocked(ino, file_block) != nullptr;
+}
+
+// --- flushing -------------------------------------------------------------------
+
+Result<uint32_t> DramBufferManager::FlushEntryData(Entry* e) {
+  uint64_t flush_mask = e->dirty;
+  if (e->nvmm_addr == kNoNvmmAddr) {
+    if (e->dirty == 0) {
+      return 0u;  // clean hole; nothing to persist
+    }
+    Result<uint64_t> ensured = ensure_block_(e->ino, e->file_block);
+    if (!ensured.ok()) {
+      if (ensured.status().code() == ErrorCode::kNotFound) {
+        // The file was unlinked while this block waited for writeback: its
+        // data is dropped, exactly like any other write to a deleted file.
+        return 0u;
+      }
+      return ensured.status();
+    }
+    const uint64_t addr = *ensured;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      e->nvmm_addr = addr;
+    }
+    // A freshly allocated NVMM block contains garbage: persist the full frame
+    // (the non-dirty lines are the zeros this hole is defined to contain).
+    flush_mask = ~0ull;
+  }
+  if (flush_mask == 0) {
+    return 0u;
+  }
+
+  uint32_t lines = 0;
+  LineRun run;
+  size_t from = 0;
+  while (NextRun(flush_mask, from, &run)) {
+    const size_t off = run.first_line * kCachelineSize;
+    const size_t bytes = run.count * kCachelineSize;
+    HINFS_RETURN_IF_ERROR(nvmm_->Store(e->nvmm_addr + off, DataFor(*e) + off, bytes));
+    HINFS_RETURN_IF_ERROR(nvmm_->Flush(e->nvmm_addr + off, bytes));
+    lines += static_cast<uint32_t>(run.count);
+    from = run.first_line + run.count;
+  }
+  nvmm_->Fence();
+  return lines;
+}
+
+Status DramBufferManager::FlushEntries(std::vector<Entry*> victims) {
+  uint64_t lines = 0;
+  Status st = OkStatus();
+  for (Entry* e : victims) {
+    Result<uint32_t> flushed = FlushEntryData(e);
+    if (!flushed.ok()) {
+      st = flushed.status();
+      break;
+    }
+    lines += *flushed;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Entry* e : victims) {
+      DetachLocked(e);
+    }
+    writeback_blocks_ += victims.size();
+    writeback_lines_ += lines;
+  }
+  free_cv_.notify_all();
+  write_done_cv_.notify_all();
+  return st;
+}
+
+Status DramBufferManager::FlushFile(uint64_t ino) {
+  while (true) {
+    std::vector<Entry*> victims;
+    bool any_in_flight = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      auto it = index_.find(ino);
+      if (it == index_.end()) {
+        return OkStatus();
+      }
+      it->second->ForEach([&](uint64_t, Entry*& e) {
+        if (e->writing) {
+          any_in_flight = true;
+        } else {
+          e->writing = true;
+          victims.push_back(e);
+        }
+        return true;
+      });
+      if (victims.empty() && any_in_flight) {
+        write_done_cv_.wait(lock);
+        continue;
+      }
+    }
+    if (victims.empty()) {
+      return OkStatus();
+    }
+    HINFS_RETURN_IF_ERROR(FlushEntries(std::move(victims)));
+  }
+}
+
+Status DramBufferManager::FlushBlock(uint64_t ino, uint64_t file_block) {
+  while (true) {
+    std::vector<Entry*> victims;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      Entry* e = FindLocked(ino, file_block);
+      if (e == nullptr) {
+        return OkStatus();
+      }
+      if (e->writing) {
+        write_done_cv_.wait(lock);
+        continue;
+      }
+      e->writing = true;
+      victims.push_back(e);
+    }
+    return FlushEntries(std::move(victims));
+  }
+}
+
+Status DramBufferManager::FlushAll() {
+  while (true) {
+    std::vector<Entry*> victims;
+    bool any_in_flight = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (auto& [ino, tree] : index_) {
+        tree->ForEach([&](uint64_t, Entry*& e) {
+          if (e->writing) {
+            any_in_flight = true;
+          } else {
+            e->writing = true;
+            victims.push_back(e);
+          }
+          return true;
+        });
+      }
+      if (victims.empty() && any_in_flight) {
+        write_done_cv_.wait(lock);
+        continue;
+      }
+    }
+    if (victims.empty()) {
+      return OkStatus();
+    }
+    HINFS_RETURN_IF_ERROR(FlushEntries(std::move(victims)));
+  }
+}
+
+Status DramBufferManager::DiscardFile(uint64_t ino, uint64_t from_block) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    auto it = index_.find(ino);
+    if (it == index_.end()) {
+      return OkStatus();
+    }
+    std::vector<Entry*> drop;
+    bool any_in_flight = false;
+    it->second->ForEach([&](uint64_t block, Entry*& e) {
+      if (block < from_block) {
+        return true;
+      }
+      if (e->writing) {
+        any_in_flight = true;
+      } else {
+        drop.push_back(e);
+      }
+      return true;
+    });
+    for (Entry* e : drop) {
+      DetachLocked(e);  // writes to deleted files are simply dropped
+    }
+    if (!drop.empty()) {
+      free_cv_.notify_all();
+    }
+    if (!any_in_flight) {
+      return OkStatus();
+    }
+    write_done_cv_.wait(lock);
+  }
+}
+
+// --- background engine -------------------------------------------------------------
+
+void DramBufferManager::WritebackThread() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    wb_cv_.wait_for(lock, std::chrono::milliseconds(options_.writeback_period_ms), [this] {
+      return stop_ || free_frames_.size() < low_blocks_;
+    });
+    if (stop_) {
+      break;
+    }
+
+    // Phase 1: reclaim in policy order until free > High_f.
+    std::vector<Entry*> victims;
+    if (free_frames_.size() < high_blocks_) {
+      victims = PickVictimsLocked(high_blocks_ - free_frames_.size());
+    }
+
+    // Phase 2: write back blocks that have been dirty for longer than the
+    // staleness bound (paper: 30 s).
+    const uint64_t now = MonotonicNowNs();
+    const uint64_t stale_ns = options_.staleness_ms * 1'000'000ull;
+    for (EntryList* list : {&t1_, &t2_}) {
+      for (Entry* e = list->head.lrw_next; e != &list->head; e = e->lrw_next) {
+        if (!e->writing && now - e->last_written_ns > stale_ns) {
+          e->writing = true;
+          GhostRecordLocked(e);
+          victims.push_back(e);
+        }
+      }
+    }
+
+    if (victims.empty()) {
+      continue;
+    }
+    lock.unlock();
+    (void)FlushEntries(std::move(victims));
+    lock.lock();
+  }
+}
+
+}  // namespace hinfs

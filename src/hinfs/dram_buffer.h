@@ -1,0 +1,198 @@
+// DramBufferManager: the NVMM-aware Write Buffer (paper §3.2).
+//
+// Owns a pool of 4 KB DRAM blocks, the per-file DRAM Block Index (a B+tree of
+// file-block -> buffer entry, paper Fig. 5), the Cacheline Bitmaps, the LRW
+// replacement list, and the background writeback threads.
+//
+// Mechanisms reproduced from the paper:
+//  - LRW (Least Recently Written) victim selection; written blocks move to the
+//    MRW position.
+//  - Cacheline Level Fetch/Writeback (CLFW): a partially-overwritten line of a
+//    non-resident block fetches only that line from NVMM; writeback flushes
+//    only dirty lines. With clfw=false (HiNFS-NCLFW) fetch and writeback are
+//    whole-block.
+//  - Background writeback: wakes when free blocks < Low_f (5 %), reclaims from
+//    the LRW end until free > High_f (20 %), then writes back blocks dirty for
+//    longer than 30 s; also wakes every 5 s. Foreground writers stall only when
+//    the pool is exhausted.
+//
+// NVMM block allocation for never-written blocks is deferred to writeback time
+// via the EnsureBlockFn callback (keeping allocation off the lazy-write
+// critical path); a crash before writeback leaves a file-system-level hole,
+// preserving ordered-mode semantics.
+
+#ifndef SRC_HINFS_DRAM_BUFFER_H_
+#define SRC_HINFS_DRAM_BUFFER_H_
+
+#include <condition_variable>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/hinfs/btree.h"
+#include "src/hinfs/hinfs_options.h"
+#include "src/nvmm/nvmm_device.h"
+
+namespace hinfs {
+
+// Sentinel: the buffered block has no backing NVMM block yet.
+inline constexpr uint64_t kNoNvmmAddr = UINT64_MAX;
+
+class DramBufferManager {
+ public:
+  // Resolves (ino, file_block) to the byte address of a (possibly freshly
+  // allocated) NVMM data block. Called from writeback context; must be safe
+  // without the caller's file locks.
+  using EnsureBlockFn = std::function<Result<uint64_t>(uint64_t ino, uint64_t file_block)>;
+
+  DramBufferManager(NvmmDevice* nvmm, const HinfsOptions& options, EnsureBlockFn ensure_block);
+  ~DramBufferManager();
+
+  void StartBackgroundWriteback();
+  void StopBackgroundWriteback();
+
+  // Buffered (lazy-persistent) write of [offset, offset+len) within one file
+  // block. `nvmm_addr` is the block's current NVMM address or kNoNvmmAddr.
+  // Returns the number of cacheline writes performed (N_cw input to the
+  // Buffer Benefit Model). Blocks if the pool is exhausted until writeback
+  // frees space.
+  Result<uint32_t> Write(uint64_t ino, uint64_t file_block, size_t offset, const void* src,
+                         size_t len, uint64_t nvmm_addr);
+
+  // If (ino, file_block) is buffered, copies [offset, offset+len) into dst,
+  // merging DRAM and NVMM by Cacheline Bitmap runs, and returns true.
+  // Returns false when not buffered (caller reads NVMM directly).
+  Result<bool> Read(uint64_t ino, uint64_t file_block, size_t offset, void* dst, size_t len,
+                    uint64_t nvmm_addr);
+
+  bool Contains(uint64_t ino, uint64_t file_block);
+
+  // Flushes and evicts all buffered blocks of `ino` (fsync / mmap). Waits for
+  // in-flight background writeback of the same file.
+  Status FlushFile(uint64_t ino);
+
+  // Flushes and evicts one block (the paper's case-(1) consistency rule:
+  // an O_SYNC write to a buffered block updates DRAM, then evicts).
+  Status FlushBlock(uint64_t ino, uint64_t file_block);
+
+  // Flushes everything (sync(2) / unmount).
+  Status FlushAll();
+
+  // Drops buffered blocks of `ino` with file_block >= from_block without
+  // writing them back (unlink / truncate: deleted data never reaches NVMM).
+  Status DiscardFile(uint64_t ino, uint64_t from_block = 0);
+
+  // --- introspection ---------------------------------------------------------
+  size_t capacity_blocks() const { return capacity_blocks_; }
+  size_t free_blocks() const;
+  uint64_t buffer_hits() const { return hits_; }
+  uint64_t buffer_misses() const { return misses_; }
+  uint64_t writeback_blocks() const { return writeback_blocks_; }
+  uint64_t writeback_lines() const { return writeback_lines_; }
+  uint64_t fetched_lines() const { return fetched_lines_; }
+  uint64_t stall_count() const { return stalls_; }
+
+ private:
+  struct Entry {
+    uint64_t ino = 0;
+    uint64_t file_block = 0;
+    uint64_t nvmm_addr = kNoNvmmAddr;
+    uint64_t valid = 0;  // lines present in DRAM
+    uint64_t dirty = 0;  // lines modified since fetch
+    uint32_t dram_index = 0;
+    bool writing = false;  // being flushed by a writeback thread
+    uint64_t last_written_ns = 0;
+    uint32_t freq = 0;     // write-reference count (LFU)
+    uint8_t arc_list = 1;  // ARC: 1 = T1 (recent), 2 = T2 (frequent)
+    Entry* lrw_prev = nullptr;  // residency list: head = eviction end, tail = MRW
+    Entry* lrw_next = nullptr;
+  };
+
+  struct EntryList {
+    Entry head;  // sentinel
+    size_t size = 0;
+    EntryList() {
+      head.lrw_prev = &head;
+      head.lrw_next = &head;
+    }
+  };
+
+  uint8_t* DataFor(const Entry& e) { return pool_.get() + size_t{e.dram_index} * kBlockSize; }
+
+  // All helpers below require mu_ held.
+  Entry* FindLocked(uint64_t ino, uint64_t file_block);
+  Result<Entry*> CreateLocked(std::unique_lock<std::mutex>& lock, uint64_t ino,
+                              uint64_t file_block, uint64_t nvmm_addr);
+  void DetachLocked(Entry* e);  // removes from index + lists and frees the frame
+  static void ListUnlink(EntryList& list, Entry* e);
+  static void ListPushMru(EntryList& list, Entry* e);
+
+  // Replacement-policy hooks.
+  void OnInsertLocked(Entry* e);
+  void OnWriteHitLocked(Entry* e);
+  // Picks up to `want` evictable (non-writing) entries in policy order and
+  // marks them writing.
+  std::vector<Entry*> PickVictimsLocked(size_t want);
+  static uint64_t GhostKey(const Entry& e) { return (e.ino << 32) ^ e.file_block; }
+  void GhostRecordLocked(Entry* e);
+  void GhostTrimLocked(std::list<uint64_t>& fifo, std::unordered_set<uint64_t>& set,
+                       size_t limit);
+
+  // Flush one entry's dirty lines to NVMM. Called WITHOUT mu_ held; the entry
+  // must be marked writing. Returns lines flushed.
+  Result<uint32_t> FlushEntryData(Entry* e);
+
+  // Collects victims (marks writing) under the lock, flushes them outside it,
+  // then detaches them. Shared by foreground flush and the background engine.
+  Status FlushEntries(std::vector<Entry*> victims);
+
+  void WritebackThread();
+
+  NvmmDevice* nvmm_;
+  HinfsOptions options_;
+  EnsureBlockFn ensure_block_;
+  size_t capacity_blocks_;
+  size_t low_blocks_;
+  size_t high_blocks_;
+
+  std::unique_ptr<uint8_t[]> pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable free_cv_;   // signaled when frames are freed
+  std::condition_variable wb_cv_;     // wakes the background threads
+  std::condition_variable write_done_cv_;  // signaled when a flush completes
+  std::vector<uint32_t> free_frames_;
+  std::unordered_map<uint64_t, std::unique_ptr<BTreeMap<Entry*>>> index_;  // per-file B+tree
+  // Residency lists. LRW/FIFO/LFU use t1_ only; ARC splits entries into
+  // t1_ (seen once) and t2_ (seen again) with ghost lists b1_/b2_ steering the
+  // adaptive target p_ (T1's share of the cache).
+  EntryList t1_;
+  EntryList t2_;
+  std::list<uint64_t> b1_fifo_;
+  std::list<uint64_t> b2_fifo_;
+  std::unordered_set<uint64_t> b1_;
+  std::unordered_set<uint64_t> b2_;
+  size_t arc_p_ = 0;
+  size_t resident_ = 0;
+
+  std::vector<std::thread> threads_;
+  bool stop_ = false;
+
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t writeback_blocks_ = 0;
+  uint64_t writeback_lines_ = 0;
+  uint64_t fetched_lines_ = 0;
+  uint64_t stalls_ = 0;
+};
+
+}  // namespace hinfs
+
+#endif  // SRC_HINFS_DRAM_BUFFER_H_

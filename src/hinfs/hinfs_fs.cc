@@ -1,0 +1,268 @@
+#include "src/hinfs/hinfs_fs.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/clock.h"
+#include "src/hinfs/cacheline_bitmap.h"
+
+namespace hinfs {
+
+HinfsFs::HinfsFs(NvmmDevice* nvmm, const HinfsOptions& options)
+    : PmfsFs(nvmm), options_(options) {}
+
+HinfsFs::~HinfsFs() {
+  if (buffer_ != nullptr) {
+    buffer_->StopBackgroundWriteback();
+  }
+}
+
+std::string HinfsFs::Name() const {
+  if (!options_.eager_checker) {
+    return "hinfs-wb";
+  }
+  if (!options_.clfw) {
+    return "hinfs-nclfw";
+  }
+  return "hinfs";
+}
+
+void HinfsFs::InitBuffer() {
+  checker_ = std::make_unique<EagerPersistenceChecker>(options_,
+                                                       nvmm_->latency().write_latency_ns());
+  buffer_ = std::make_unique<DramBufferManager>(
+      nvmm_, options_,
+      [this](uint64_t ino, uint64_t file_block) { return EnsureDataBlockAddr(ino, file_block); });
+  buffer_->StartBackgroundWriteback();
+}
+
+Result<std::unique_ptr<HinfsFs>> HinfsFs::Format(NvmmDevice* nvmm, const HinfsOptions& options,
+                                                 const PmfsOptions& pmfs_options) {
+  std::unique_ptr<HinfsFs> fs(new HinfsFs(nvmm, options));
+  HINFS_RETURN_IF_ERROR(fs->InitFormat(pmfs_options));
+  fs->InitBuffer();
+  return fs;
+}
+
+Result<std::unique_ptr<HinfsFs>> HinfsFs::Mount(NvmmDevice* nvmm, const HinfsOptions& options) {
+  std::unique_ptr<HinfsFs> fs(new HinfsFs(nvmm, options));
+  HINFS_RETURN_IF_ERROR(fs->InitMount());
+  fs->InitBuffer();
+  return fs;
+}
+
+// --- read path --------------------------------------------------------------------
+
+Result<size_t> HinfsFs::Read(uint64_t ino, uint64_t offset, void* dst, size_t len) {
+  std::shared_lock lock(StripeFor(ino));
+  HINFS_ASSIGN_OR_RETURN(PmfsInode inode, LoadInode(ino));
+  if (inode.type != static_cast<uint8_t>(FileType::kRegular)) {
+    return Status(ErrorCode::kIsDir);
+  }
+  if (offset >= inode.size) {
+    return static_cast<size_t>(0);
+  }
+  const size_t n = static_cast<size_t>(std::min<uint64_t>(len, inode.size - offset));
+
+  ScopedTimer t(stats_.Counter(kStatReadAccessNs));
+  auto* out = static_cast<uint8_t*>(dst);
+  uint64_t cur = offset;
+  size_t remaining = n;
+  while (remaining > 0) {
+    const uint64_t fb = cur / kBlockSize;
+    const size_t in_block = cur % kBlockSize;
+    const size_t chunk = std::min(remaining, kBlockSize - in_block);
+
+    HINFS_ASSIGN_OR_RETURN(uint64_t blk, MapBlock(inode, fb));
+    const uint64_t nvmm_addr = blk == 0 ? kNoNvmmAddr : DataBlockAddr(blk);
+    HINFS_ASSIGN_OR_RETURN(bool buffered,
+                           buffer_->Read(ino, fb, in_block, out, chunk, nvmm_addr));
+    if (!buffered) {
+      // Direct read from NVMM (or zeros for a hole): the single-copy path.
+      if (blk == 0) {
+        std::memset(out, 0, chunk);
+      } else {
+        HINFS_RETURN_IF_ERROR(nvmm_->Load(nvmm_addr + in_block, out, chunk));
+      }
+    }
+    out += chunk;
+    cur += chunk;
+    remaining -= chunk;
+  }
+  return n;
+}
+
+// --- write path --------------------------------------------------------------------
+
+Status HinfsFs::WriteChunk(uint64_t ino, PmfsInode& inode, bool eager, bool sync_case1,
+                           uint64_t offset, const void* src, size_t len) {
+  const uint64_t fb = offset / kBlockSize;
+  const size_t in_block = offset % kBlockSize;
+
+  if (eager) {
+    stats_.Add(kStatEagerWrites, 1);
+    if (sync_case1 && buffer_->Contains(ino, fb)) {
+      // Consistency rule for case (1): the block is buffered, so write the
+      // DRAM copy and explicitly evict it before returning (paper §3.3.2).
+      // Case (2) needs no check: eager-marked blocks were evicted at the
+      // marking sync, so NVMM already holds their latest data.
+      HINFS_ASSIGN_OR_RETURN(uint64_t blk, MapBlock(inode, fb));
+      const uint64_t nvmm_addr = blk == 0 ? kNoNvmmAddr : DataBlockAddr(blk);
+      HINFS_RETURN_IF_ERROR(
+          buffer_->Write(ino, fb, in_block, src, len, nvmm_addr).status());
+      HINFS_RETURN_IF_ERROR(buffer_->FlushBlock(ino, fb));
+      // Size/mtime accounting still goes through the direct path below? No:
+      // the buffered write holds the data; update size here.
+      if (offset + len > inode.size) {
+        inode.size = offset + len;
+        HINFS_RETURN_IF_ERROR(UpdateInodeU64(ino, offsetof(PmfsInode, size), inode.size));
+      }
+      return OkStatus();
+    }
+    // Direct single-copy write to NVMM with full persistence (inherited PMFS
+    // path, which also maintains size/mtime).
+    return WriteToNvmm(ino, inode, offset, src, len);
+  }
+
+  stats_.Add(kStatLazyWrites, 1);
+  HINFS_ASSIGN_OR_RETURN(uint64_t blk, MapBlock(inode, fb));
+  const uint64_t nvmm_addr = blk == 0 ? kNoNvmmAddr : DataBlockAddr(blk);
+  {
+    ScopedTimer t(stats_.Counter(kStatWriteAccessNs));
+    HINFS_RETURN_IF_ERROR(buffer_->Write(ino, fb, in_block, src, len, nvmm_addr).status());
+  }
+  // Metadata is not buffered: size extension is persisted immediately. A crash
+  // before writeback leaves a hole (zeros), which is consistent.
+  if (offset + len > inode.size) {
+    inode.size = offset + len;
+    HINFS_RETURN_IF_ERROR(UpdateInodeU64(ino, offsetof(PmfsInode, size), inode.size));
+  }
+  return OkStatus();
+}
+
+Result<size_t> HinfsFs::Write(uint64_t ino, uint64_t offset, const void* src, size_t len,
+                              bool sync) {
+  std::unique_lock lock(StripeFor(ino));
+  HINFS_ASSIGN_OR_RETURN(PmfsInode inode, LoadInode(ino));
+  if (inode.type != static_cast<uint8_t>(FileType::kRegular)) {
+    return Status(ErrorCode::kIsDir);
+  }
+
+  const uint64_t now = MonotonicNowNs();
+  const auto* in = static_cast<const uint8_t*>(src);
+  uint64_t cur = offset;
+  size_t remaining = len;
+  while (remaining > 0) {
+    const uint64_t fb = cur / kBlockSize;
+    const size_t in_block = cur % kBlockSize;
+    const size_t chunk = std::min(remaining, kBlockSize - in_block);
+
+    // Feed the ghost buffer (it assumes every write is buffered), then ask the
+    // Eager-Persistent Write Checker which mode this chunk takes.
+    const uint64_t mask = LineMaskFor(in_block, chunk);
+    checker_->RecordWrite(ino, fb, static_cast<uint32_t>(CountLines(mask)), mask);
+    const bool eager = sync || checker_->ShouldGoDirect(ino, fb, now);
+    HINFS_RETURN_IF_ERROR(WriteChunk(ino, inode, eager, sync, cur, in, chunk));
+
+    in += chunk;
+    cur += chunk;
+    remaining -= chunk;
+  }
+
+  inode.mtime_ns = now;
+  HINFS_RETURN_IF_ERROR(UpdateInodeU64(ino, offsetof(PmfsInode, mtime_ns), now));
+  stats_.Add(kStatWrittenBytes, len);
+  return len;
+}
+
+// --- synchronization ----------------------------------------------------------------
+
+Status HinfsFs::Fsync(uint64_t ino) {
+  ScopedTimer t(stats_.Counter(kStatFsyncNs));
+  std::unique_lock lock(StripeFor(ino));
+  HINFS_ASSIGN_OR_RETURN(PmfsInode inode, LoadInode(ino));
+  (void)inode;
+
+  // Evaluate the Buffer Benefit Model on this sync's ghost counters, then
+  // persist and evict the file's buffered blocks. Eviction is what lets
+  // case-(2) eager writes go direct afterwards: NVMM provably holds the
+  // latest data from this point. The last-sync time is volatile bookkeeping
+  // (the paper stores it in the kernel VFS inode), kept inside the checker.
+  checker_->OnFsync(ino, MonotonicNowNs());
+  const uint64_t lines_before = buffer_->writeback_lines();
+  HINFS_RETURN_IF_ERROR(buffer_->FlushFile(ino));
+  stats_.Add(kStatFsyncBytes, (buffer_->writeback_lines() - lines_before) * kCachelineSize);
+  nvmm_->Fence();
+  return OkStatus();
+}
+
+Status HinfsFs::SyncFs() {
+  HINFS_RETURN_IF_ERROR(buffer_->FlushAll());
+  return PmfsFs::SyncFs();
+}
+
+Status HinfsFs::Unmount() {
+  // Quiesce the engine, then flush every dirty DRAM block to NVMM (paper:
+  // "HiNFS flushes all the DRAM blocks to the NVMM when unmounting").
+  buffer_->StopBackgroundWriteback();
+  HINFS_RETURN_IF_ERROR(buffer_->FlushAll());
+  return PmfsFs::Unmount();
+}
+
+// --- namespace / mmap ----------------------------------------------------------------
+
+Status HinfsFs::Unlink(uint64_t dir_ino, std::string_view name) {
+  // Resolve the target so its buffered blocks can be dropped without being
+  // written back (writes to deleted files never reach NVMM), and so stale
+  // buffer/ghost state cannot leak onto a recycled inode number.
+  Result<uint64_t> target = Lookup(dir_ino, name);
+  bool regular = false;
+  if (target.ok()) {
+    HINFS_ASSIGN_OR_RETURN(InodeAttr attr, GetAttr(*target));
+    regular = attr.type == FileType::kRegular;
+    if (regular) {
+      HINFS_RETURN_IF_ERROR(buffer_->DiscardFile(*target));
+      checker_->Forget(*target);
+    }
+  }
+  HINFS_RETURN_IF_ERROR(PmfsFs::Unlink(dir_ino, name));
+  if (regular) {
+    // A racing writer with an open fd may have re-buffered blocks between the
+    // discard above and the unlink; drop them so a recycled inode number never
+    // observes stale buffer or ghost state.
+    HINFS_RETURN_IF_ERROR(buffer_->DiscardFile(*target));
+    checker_->Forget(*target);
+  }
+  return OkStatus();
+}
+
+Status HinfsFs::Truncate(uint64_t ino, uint64_t new_size) {
+  const uint64_t from_block = (new_size + kBlockSize - 1) / kBlockSize;
+  HINFS_RETURN_IF_ERROR(buffer_->DiscardFile(ino, from_block));
+  if (new_size % kBlockSize != 0) {
+    // Flush the buffered boundary block so the base truncate's tail zeroing
+    // lands on the authoritative (NVMM) copy.
+    HINFS_RETURN_IF_ERROR(buffer_->FlushBlock(ino, new_size / kBlockSize));
+  }
+  return PmfsFs::Truncate(ino, new_size);
+}
+
+Result<uint8_t*> HinfsFs::Mmap(uint64_t ino, uint64_t offset, size_t len) {
+  // Flush all dirty DRAM blocks of the file, then pin it Eager-Persistent for
+  // the duration of the mapping (paper §4.2) so file writes stay coherent with
+  // the direct mapping.
+  HINFS_RETURN_IF_ERROR(buffer_->FlushFile(ino));
+  checker_->ForceEager(ino);
+  Result<uint8_t*> ptr = PmfsFs::Mmap(ino, offset, len);
+  if (!ptr.ok()) {
+    checker_->ClearForceEager(ino);
+  }
+  return ptr;
+}
+
+Status HinfsFs::Munmap(uint64_t ino) {
+  checker_->ClearForceEager(ino);
+  return PmfsFs::Munmap(ino);
+}
+
+}  // namespace hinfs

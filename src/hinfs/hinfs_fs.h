@@ -1,0 +1,69 @@
+// HinfsFs: the paper's contribution — PMFS plus the NVMM-aware Write Buffer.
+//
+// Data-path policy (paper §3):
+//  - lazy-persistent writes are buffered in DRAM (DramBufferManager) and
+//    persisted in background, hiding NVMM's long write latency;
+//  - eager-persistent writes (O_SYNC / sync-mount, or blocks the Buffer
+//    Benefit Model marked Eager-Persistent) go directly to NVMM, avoiding the
+//    double copy;
+//  - reads are direct from both DRAM and NVMM, merged per Cacheline Bitmap;
+//  - metadata is never buffered: PMFS's journaled paths are inherited as-is,
+//    and file size/mtime remain persistent at write time, so a crash after a
+//    lazy write exposes a file-system-level hole (zeros), never garbage
+//    (ordered-mode semantics with writeback-deferred block allocation).
+
+#ifndef SRC_HINFS_HINFS_FS_H_
+#define SRC_HINFS_HINFS_FS_H_
+
+#include <memory>
+
+#include "src/fs/pmfs/pmfs_fs.h"
+#include "src/hinfs/benefit_model.h"
+#include "src/hinfs/dram_buffer.h"
+#include "src/hinfs/hinfs_options.h"
+
+namespace hinfs {
+
+class HinfsFs : public PmfsFs {
+ public:
+  static Result<std::unique_ptr<HinfsFs>> Format(NvmmDevice* nvmm, const HinfsOptions& options,
+                                                 const PmfsOptions& pmfs_options = {});
+  static Result<std::unique_ptr<HinfsFs>> Mount(NvmmDevice* nvmm, const HinfsOptions& options);
+
+  ~HinfsFs() override;
+
+  std::string Name() const override;
+
+  Result<size_t> Read(uint64_t ino, uint64_t offset, void* dst, size_t len) override;
+  Result<size_t> Write(uint64_t ino, uint64_t offset, const void* src, size_t len,
+                       bool sync) override;
+  Status Truncate(uint64_t ino, uint64_t new_size) override;
+  Status Fsync(uint64_t ino) override;
+  Status Unlink(uint64_t dir_ino, std::string_view name) override;
+  Status SyncFs() override;
+  Status Unmount() override;
+
+  Result<uint8_t*> Mmap(uint64_t ino, uint64_t offset, size_t len) override;
+  Status Munmap(uint64_t ino) override;
+
+  DramBufferManager& buffer() { return *buffer_; }
+  EagerPersistenceChecker& checker() { return *checker_; }
+  const HinfsOptions& options() const { return options_; }
+
+ private:
+  HinfsFs(NvmmDevice* nvmm, const HinfsOptions& options);
+  void InitBuffer();
+
+  // Writes one within-block chunk. `eager` routes it directly to NVMM (via the
+  // inherited persistent-write path) or into the DRAM buffer.
+  Status WriteChunk(uint64_t ino, PmfsInode& inode, bool eager, bool sync_case1, uint64_t offset,
+                    const void* src, size_t len);
+
+  HinfsOptions options_;
+  std::unique_ptr<DramBufferManager> buffer_;
+  std::unique_ptr<EagerPersistenceChecker> checker_;
+};
+
+}  // namespace hinfs
+
+#endif  // SRC_HINFS_HINFS_FS_H_

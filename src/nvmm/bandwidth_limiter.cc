@@ -1,0 +1,68 @@
+#include "src/nvmm/bandwidth_limiter.h"
+
+#include <algorithm>
+
+#include "src/common/clock.h"
+
+namespace hinfs {
+namespace {
+
+// Token bucket burst capacity: one "row buffer write" worth of slack so that
+// single small writes never wait when the device is idle.
+constexpr double kBurstBytes = 64.0 * 1024;
+
+}  // namespace
+
+BandwidthLimiter::BandwidthLimiter(LatencyMode mode, uint64_t bytes_per_sec)
+    : mode_(mode), bytes_per_sec_(bytes_per_sec), last_refill_ns_(MonotonicNowNs()) {
+  tokens_ = kBurstBytes;
+}
+
+void BandwidthLimiter::set_bytes_per_sec(uint64_t bps) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bytes_per_sec_ = bps;
+}
+
+void BandwidthLimiter::Acquire(uint64_t bytes) {
+  if (bytes_per_sec_ == 0 || bytes == 0 || mode_ == LatencyMode::kNone) {
+    return;
+  }
+
+  if (mode_ == LatencyMode::kVirtual) {
+    // Deterministic single-server queue in simulated time.
+    const uint64_t service_ns = bytes * 1'000'000'000ull / bytes_per_sec_;
+    uint64_t end;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const uint64_t start = std::max(SimClock::ThreadNowNs(), server_free_ns_);
+      end = start + service_ns;
+      server_free_ns_ = end;
+    }
+    if (end > SimClock::ThreadNowNs()) {
+      SimClock::Advance(end - SimClock::ThreadNowNs());
+    }
+    return;
+  }
+
+  // Spin mode: wall-clock token bucket.
+  const auto need = static_cast<double>(bytes);
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const uint64_t now = MonotonicNowNs();
+      const double refill = static_cast<double>(now - last_refill_ns_) *
+                            static_cast<double>(bytes_per_sec_) / 1e9;
+      tokens_ = std::min(tokens_ + refill, kBurstBytes + need);
+      last_refill_ns_ = now;
+      if (tokens_ >= need) {
+        tokens_ -= need;
+        return;
+      }
+    }
+    // Not enough bandwidth yet: spin a little, matching the paper's queued
+    // NVMM writer threads.
+    SpinFor(100);
+  }
+}
+
+}  // namespace hinfs

@@ -1,0 +1,48 @@
+// BandwidthLimiter: models NVMM's limited write bandwidth (paper default 1 GB/s,
+// ~1/8 of DRAM bandwidth).
+//
+// The paper caps the number of concurrently-writing threads; we model the same
+// effect as a shared bandwidth pipe that writer threads serialize through:
+//   kSpin mode    - a wall-clock token bucket; writers spin until their bytes fit.
+//   kVirtual mode - a deterministic single-server queue in simulated time:
+//                   start = max(thread_now, server_free); server_free = start + bytes/BW.
+// Both make background writeback traffic compete with foreground eager-persistent
+// writes, the effect Figs. 7-9 of the paper depend on (see DESIGN.md §1).
+
+#ifndef SRC_NVMM_BANDWIDTH_LIMITER_H_
+#define SRC_NVMM_BANDWIDTH_LIMITER_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "src/nvmm/latency_model.h"
+
+namespace hinfs {
+
+class BandwidthLimiter {
+ public:
+  // bytes_per_sec == 0 disables limiting entirely.
+  BandwidthLimiter(LatencyMode mode, uint64_t bytes_per_sec);
+
+  // Blocks (spin mode) or advances the caller's SimClock (virtual mode) until
+  // `bytes` of NVMM write bandwidth have been consumed.
+  void Acquire(uint64_t bytes);
+
+  uint64_t bytes_per_sec() const { return bytes_per_sec_; }
+  void set_bytes_per_sec(uint64_t bps);
+
+ private:
+  LatencyMode mode_;
+  uint64_t bytes_per_sec_;
+
+  std::mutex mu_;
+  // Spin mode token bucket state.
+  double tokens_ = 0;
+  uint64_t last_refill_ns_ = 0;
+  // Virtual mode single-server queue state.
+  uint64_t server_free_ns_ = 0;
+};
+
+}  // namespace hinfs
+
+#endif  // SRC_NVMM_BANDWIDTH_LIMITER_H_

@@ -1,0 +1,20 @@
+#include "src/nvmm/latency_model.h"
+
+#include "src/common/clock.h"
+
+namespace hinfs {
+
+void LatencyModel::Charge(uint64_t ns) const {
+  switch (mode_) {
+    case LatencyMode::kNone:
+      break;
+    case LatencyMode::kSpin:
+      SpinFor(ns);
+      break;
+    case LatencyMode::kVirtual:
+      SimClock::Advance(ns);
+      break;
+  }
+}
+
+}  // namespace hinfs

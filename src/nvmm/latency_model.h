@@ -1,0 +1,49 @@
+// LatencyModel: injects NVMM write latency, mirroring the paper's emulator.
+//
+// The paper's emulator adds a configurable spin delay after each clflush to model
+// NVMM's slower writes relative to DRAM (default 200 ns), and leaves loads
+// unpenalized. This class reproduces that, with three modes:
+//   kSpin    - real busy-wait delay (the paper's mechanism; bench default)
+//   kVirtual - the delay is charged to the calling thread's SimClock instead of
+//              being slept; deterministic, used by unit tests
+//   kNone    - no delay (functional tests that don't care about timing)
+
+#ifndef SRC_NVMM_LATENCY_MODEL_H_
+#define SRC_NVMM_LATENCY_MODEL_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace hinfs {
+
+enum class LatencyMode {
+  kNone,
+  kSpin,
+  kVirtual,
+};
+
+class LatencyModel {
+ public:
+  LatencyModel(LatencyMode mode, uint64_t write_latency_ns)
+      : mode_(mode), write_latency_ns_(write_latency_ns) {}
+
+  LatencyMode mode() const { return mode_; }
+  uint64_t write_latency_ns() const { return write_latency_ns_.load(std::memory_order_relaxed); }
+
+  // Benches sweep this (Fig. 11) without rebuilding the device.
+  void set_write_latency_ns(uint64_t ns) { write_latency_ns_.store(ns, std::memory_order_relaxed); }
+
+  // Charges one NVMM cacheline-flush delay to the calling thread.
+  void ChargeFlush() { Charge(write_latency_ns()); }
+
+  // Charges an arbitrary delay (used by the block layer's software overhead).
+  void Charge(uint64_t ns) const;
+
+ private:
+  LatencyMode mode_;
+  std::atomic<uint64_t> write_latency_ns_;
+};
+
+}  // namespace hinfs
+
+#endif  // SRC_NVMM_LATENCY_MODEL_H_

@@ -1,0 +1,114 @@
+// NvmmDevice: software emulator for byte-addressable non-volatile main memory.
+//
+// Mirrors the paper's emulator (itself based on Mnemosyne's): NVMM is backed by
+// DRAM; each flushed cacheline pays a configurable extra write latency (default
+// 200 ns) and consumes write bandwidth (default 1 GB/s); loads pay nothing extra.
+//
+// Persistence semantics: a Store() lands in the "CPU cache" (the volatile image)
+// and is NOT durable until the covering cachelines are Flush()ed. When crash
+// simulation is enabled, the device keeps a shadow image holding only flushed
+// content; SimulateCrash() discards the volatile image so tests can observe
+// exactly what a power failure would have preserved.
+
+#ifndef SRC_NVMM_NVMM_DEVICE_H_
+#define SRC_NVMM_NVMM_DEVICE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "src/common/constants.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/nvmm/bandwidth_limiter.h"
+#include "src/nvmm/latency_model.h"
+
+namespace hinfs {
+
+// Which cacheline-flush instruction the platform provides. The paper's
+// hardware only had CLFLUSH (strictly ordered: each flush pays the full NVMM
+// write latency serially) and explicitly leaves CLFLUSHOPT/CLWB unevaluated
+// ("these approaches are still unavailable in existing hardware"). This
+// emulator models them as an extension: optimized flushes to distinct lines
+// overlap, so a multi-line Flush() pays the write latency once (the fence
+// drains them in parallel) plus bandwidth for every line.
+enum class FlushInstruction {
+  kClflush,     // serialized per line (paper baseline)
+  kClflushopt,  // unordered flushes, overlapped latency
+  kClwb,        // like clflushopt but retains the line in cache (same timing here)
+};
+
+struct NvmmConfig {
+  size_t size_bytes = 64ull << 20;
+  LatencyMode latency_mode = LatencyMode::kSpin;
+  uint64_t write_latency_ns = 200;                  // paper default
+  uint64_t write_bandwidth_bytes_per_sec = 1ull << 30;  // 1 GB/s, paper default
+  FlushInstruction flush_instruction = FlushInstruction::kClflush;
+  bool track_persistence = false;  // enable the shadow image for crash tests
+};
+
+class NvmmDevice {
+ public:
+  explicit NvmmDevice(const NvmmConfig& config);
+
+  NvmmDevice(const NvmmDevice&) = delete;
+  NvmmDevice& operator=(const NvmmDevice&) = delete;
+
+  size_t size() const { return size_; }
+
+  // Load: NVMM -> caller buffer. No extra latency (paper assumption: DRAM and
+  // NVMM have the same read performance).
+  Status Load(uint64_t offset, void* dst, size_t len);
+
+  // Store: caller buffer -> NVMM volatile image (i.e., into the CPU cache).
+  // Not durable until Flush() covers the written cachelines.
+  Status Store(uint64_t offset, const void* src, size_t len);
+
+  // Flush: clflush the cachelines covering [offset, offset+len). Charges one
+  // NVMM write latency per line plus bandwidth, and (when tracking) copies the
+  // lines into the shadow persistent image.
+  Status Flush(uint64_t offset, size_t len);
+
+  // Fence: store barrier (mfence). A timing no-op in this emulator; flushes take
+  // effect at Flush() time. Kept in the API so call sites express the same
+  // ordering discipline as the kernel code.
+  void Fence();
+
+  // StorePersistent = Store + Flush + Fence: the movnt/nocache-style path that
+  // PMFS uses for data copies (copy_from_user_inatomic_nocache).
+  Status StorePersistent(uint64_t offset, const void* src, size_t len);
+
+  // Direct pointer into the volatile image, for DAX-style mmap access. Callers
+  // using this path are responsible for their own Flush() calls.
+  Result<uint8_t*> DirectPointer(uint64_t offset, size_t len);
+
+  // Crash simulation: discard all unflushed stores. Only valid when
+  // track_persistence was enabled.
+  Status SimulateCrash();
+
+  // Emulation knobs (swept by Fig. 11 benches).
+  LatencyModel& latency() { return latency_; }
+  BandwidthLimiter& bandwidth() { return bandwidth_; }
+
+  // Cumulative traffic counters (Fig. 9's "NVMM write size" series).
+  uint64_t flushed_bytes() const { return flushed_bytes_.load(std::memory_order_relaxed); }
+  uint64_t loaded_bytes() const { return loaded_bytes_.load(std::memory_order_relaxed); }
+  void ResetCounters();
+
+ private:
+  Status CheckRange(uint64_t offset, size_t len) const;
+
+  size_t size_;
+  FlushInstruction flush_instruction_;
+  LatencyModel latency_;
+  BandwidthLimiter bandwidth_;
+  std::unique_ptr<uint8_t[]> volatile_image_;
+  std::unique_ptr<uint8_t[]> shadow_image_;  // null unless track_persistence
+  std::atomic<uint64_t> flushed_bytes_{0};
+  std::atomic<uint64_t> loaded_bytes_{0};
+};
+
+}  // namespace hinfs
+
+#endif  // SRC_NVMM_NVMM_DEVICE_H_

@@ -1,0 +1,161 @@
+#include "src/pagecache/page_cache.h"
+
+#include <cstring>
+
+namespace hinfs {
+
+PageCache::PageCache(BlockDevice* device, const PageCacheConfig& config)
+    : device_(device), config_(config) {}
+
+PageCache::~PageCache() {
+  // Callers are expected to SyncAll() before destruction; destructor does not
+  // write back (mirrors losing the page cache without sync).
+}
+
+size_t PageCache::resident_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pages_.size();
+}
+
+void PageCache::TouchLocked(uint64_t block, Page& page) {
+  lru_.erase(page.lru_pos);
+  lru_.push_front(block);
+  page.lru_pos = lru_.begin();
+}
+
+Result<PageCache::Page*> PageCache::GetPageLocked(uint64_t block, bool fill_from_device) {
+  auto it = pages_.find(block);
+  if (it != pages_.end()) {
+    hits_++;
+    TouchLocked(block, it->second);
+    return &it->second;
+  }
+  misses_++;
+  HINFS_RETURN_IF_ERROR(EvictIfNeededLocked());
+
+  Page page;
+  page.data.reset(new uint8_t[kBlockSize]);
+  if (fill_from_device) {
+    HINFS_RETURN_IF_ERROR(device_->ReadBlock(block, page.data.get()));
+  } else {
+    std::memset(page.data.get(), 0, kBlockSize);
+  }
+  lru_.push_front(block);
+  page.lru_pos = lru_.begin();
+  auto [inserted, ok] = pages_.emplace(block, std::move(page));
+  (void)ok;
+  return &inserted->second;
+}
+
+Status PageCache::EvictIfNeededLocked() {
+  if (config_.capacity_pages == 0) {
+    return OkStatus();
+  }
+  while (pages_.size() >= config_.capacity_pages) {
+    const uint64_t victim = lru_.back();
+    auto it = pages_.find(victim);
+    if (it->second.dirty) {
+      HINFS_RETURN_IF_ERROR(WritebackLocked(victim, it->second));
+    }
+    lru_.pop_back();
+    pages_.erase(it);
+  }
+  return OkStatus();
+}
+
+Status PageCache::WritebackLocked(uint64_t block, Page& page) {
+  HINFS_RETURN_IF_ERROR(device_->WriteBlock(block, page.data.get()));
+  page.dirty = false;
+  dirty_count_--;
+  writebacks_++;
+  return OkStatus();
+}
+
+Status PageCache::ThrottleDirtyLocked() {
+  if (config_.max_dirty_pages == 0 || dirty_count_ <= config_.max_dirty_pages) {
+    return OkStatus();
+  }
+  // Foreground throttling: write back the least-recently-used dirty pages
+  // until back under 3/4 of the limit (hysteresis).
+  const size_t target = config_.max_dirty_pages * 3 / 4;
+  for (auto it = lru_.rbegin(); it != lru_.rend() && dirty_count_ > target; ++it) {
+    auto pit = pages_.find(*it);
+    if (pit != pages_.end() && pit->second.dirty) {
+      HINFS_RETURN_IF_ERROR(WritebackLocked(*it, pit->second));
+    }
+  }
+  return OkStatus();
+}
+
+Status PageCache::Read(uint64_t block, size_t offset, void* dst, size_t len) {
+  if (offset + len > kBlockSize) {
+    return Status(ErrorCode::kInvalidArgument, "page cache read crosses page");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  HINFS_ASSIGN_OR_RETURN(Page * page, GetPageLocked(block, /*fill_from_device=*/true));
+  std::memcpy(dst, page->data.get() + offset, len);  // second copy: page -> user
+  return OkStatus();
+}
+
+Status PageCache::Write(uint64_t block, size_t offset, const void* src, size_t len) {
+  if (offset + len > kBlockSize) {
+    return Status(ErrorCode::kInvalidArgument, "page cache write crosses page");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // Fetch-before-write: a partial write to a non-resident page must read the
+  // whole page from the device first.
+  const bool full_overwrite = offset == 0 && len == kBlockSize;
+  HINFS_ASSIGN_OR_RETURN(Page * page, GetPageLocked(block, /*fill_from_device=*/!full_overwrite));
+  std::memcpy(page->data.get() + offset, src, len);  // first copy: user -> page
+  if (!page->dirty) {
+    page->dirty = true;
+    dirty_count_++;
+  }
+  return ThrottleDirtyLocked();
+}
+
+Status PageCache::SyncPage(uint64_t block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pages_.find(block);
+  if (it == pages_.end() || !it->second.dirty) {
+    return OkStatus();
+  }
+  return WritebackLocked(block, it->second);
+}
+
+Status PageCache::SyncAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [block, page] : pages_) {
+    if (page.dirty) {
+      HINFS_RETURN_IF_ERROR(WritebackLocked(block, page));
+    }
+  }
+  return OkStatus();
+}
+
+void PageCache::Discard(uint64_t block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pages_.find(block);
+  if (it == pages_.end()) {
+    return;
+  }
+  if (it->second.dirty) {
+    dirty_count_--;
+  }
+  lru_.erase(it->second.lru_pos);
+  pages_.erase(it);
+}
+
+Status PageCache::DropAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [block, page] : pages_) {
+    if (page.dirty) {
+      HINFS_RETURN_IF_ERROR(WritebackLocked(block, page));
+    }
+  }
+  pages_.clear();
+  lru_.clear();
+  return OkStatus();
+}
+
+}  // namespace hinfs

@@ -1,0 +1,100 @@
+// PageCache: emulation of the OS page cache that block-based file systems
+// (the EXT2/EXT4+NVMMBD baselines) copy through.
+//
+// Every cached read is a double copy (device -> page, page -> user) and every
+// buffered write is a double copy on the way out (user -> page, page -> device
+// at writeback/sync time). The HiNFS paper's Fig. 3(a) architecture.
+//
+// Pages are keyed by device block number, managed with an LRU list and a dirty
+// set; eviction writes back dirty pages; SyncAll()/SyncRange() provide the
+// fsync path for the file systems above.
+
+#ifndef SRC_PAGECACHE_PAGE_CACHE_H_
+#define SRC_PAGECACHE_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/blockdev/block_device.h"
+#include "src/common/constants.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace hinfs {
+
+struct PageCacheConfig {
+  // Maximum number of resident 4 KB pages (0 = unlimited).
+  size_t capacity_pages = 0;
+  // Foreground dirty throttling, like the kernel's dirty_ratio: once more than
+  // this many pages are dirty, the writing task synchronously writes back the
+  // oldest dirty pages (0 = unlimited).
+  size_t max_dirty_pages = 0;
+};
+
+class PageCache {
+ public:
+  PageCache(BlockDevice* device, const PageCacheConfig& config = {});
+  ~PageCache();
+
+  // Copies `len` bytes at byte offset `offset` within device block `block` into
+  // `dst`, faulting the page in from the device if absent (the read-path double
+  // copy).
+  Status Read(uint64_t block, size_t offset, void* dst, size_t len);
+
+  // Copies user data into the cached page, marking it dirty. Partial-page
+  // writes to non-resident pages fault the whole page in first (the
+  // fetch-before-write behaviour the paper contrasts CLFW against).
+  Status Write(uint64_t block, size_t offset, const void* src, size_t len);
+
+  // Writes back a single page if dirty.
+  Status SyncPage(uint64_t block);
+
+  // Writes back all dirty pages (file system sync / unmount).
+  Status SyncAll();
+
+  // Drops a clean or dirty page without writeback (file deletion: writes to
+  // short-lived files never reach the device).
+  void Discard(uint64_t block);
+
+  // Writes back everything and drops all pages (echo 3 > drop_caches; the
+  // paper clears the OS page cache before each benchmark).
+  Status DropAll();
+
+  // Counters for tests and benches.
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t writebacks() const { return writebacks_; }
+  size_t resident_pages() const;
+
+ private:
+  struct Page {
+    std::unique_ptr<uint8_t[]> data;
+    bool dirty = false;
+    std::list<uint64_t>::iterator lru_pos;
+  };
+
+  // All private helpers assume mu_ is held.
+  Result<Page*> GetPageLocked(uint64_t block, bool fill_from_device);
+  Status EvictIfNeededLocked();
+  Status ThrottleDirtyLocked();
+  Status WritebackLocked(uint64_t block, Page& page);
+  void TouchLocked(uint64_t block, Page& page);
+
+  BlockDevice* device_;
+  PageCacheConfig config_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Page> pages_;
+  std::list<uint64_t> lru_;  // front = most recently used
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t writebacks_ = 0;
+  size_t dirty_count_ = 0;
+};
+
+}  // namespace hinfs
+
+#endif  // SRC_PAGECACHE_PAGE_CACHE_H_

@@ -1,0 +1,117 @@
+// FileSystem: the interface every file system in this repository implements
+// (PmfsFs, HinfsFs, BlockFs). It plays the role the kernel VFS's inode/file
+// operations play for the in-kernel original: the Vfs layer (src/vfs/vfs.h)
+// resolves paths and file descriptors and then calls into this interface by
+// inode number.
+
+#ifndef SRC_VFS_FILE_SYSTEM_H_
+#define SRC_VFS_FILE_SYSTEM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+
+namespace hinfs {
+
+enum class FileType : uint8_t {
+  kRegular = 1,
+  kDirectory = 2,
+};
+
+struct InodeAttr {
+  uint64_t ino = 0;
+  FileType type = FileType::kRegular;
+  uint64_t size = 0;
+  uint32_t nlink = 0;
+  uint64_t mtime_ns = 0;
+};
+
+struct DirEntry {
+  std::string name;
+  uint64_t ino = 0;
+  FileType type = FileType::kRegular;
+};
+
+// Inode number of the root directory in every file system here.
+inline constexpr uint64_t kRootIno = 1;
+
+// Maximum file name component length (fits the 64-byte on-"disk" dirent).
+inline constexpr size_t kMaxNameLen = 53;
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  virtual std::string Name() const = 0;
+
+  // --- namespace operations -------------------------------------------------
+  virtual Result<uint64_t> Lookup(uint64_t dir_ino, std::string_view name) = 0;
+  virtual Result<uint64_t> Create(uint64_t dir_ino, std::string_view name, FileType type) = 0;
+  // Removes a regular file (decrementing nlink, freeing at zero) or an empty
+  // directory.
+  virtual Status Unlink(uint64_t dir_ino, std::string_view name) = 0;
+  virtual Status Rename(uint64_t old_dir, std::string_view old_name, uint64_t new_dir,
+                        std::string_view new_name) = 0;
+  virtual Result<std::vector<DirEntry>> ReadDir(uint64_t dir_ino) = 0;
+  virtual Result<InodeAttr> GetAttr(uint64_t ino) = 0;
+
+  // --- data operations --------------------------------------------------------
+  // Read returns the number of bytes read (short at EOF).
+  virtual Result<size_t> Read(uint64_t ino, uint64_t offset, void* dst, size_t len) = 0;
+  // Write extends the file as needed. `sync` reflects O_SYNC / mount-sync: the
+  // write must be durable on return (an eager-persistent write, case (1) of the
+  // paper's definition).
+  virtual Result<size_t> Write(uint64_t ino, uint64_t offset, const void* src, size_t len,
+                               bool sync) = 0;
+  virtual Status Truncate(uint64_t ino, uint64_t new_size) = 0;
+  // fsync(2): all data and metadata of `ino` durable on return.
+  virtual Status Fsync(uint64_t ino) = 0;
+
+  // --- whole-FS operations ----------------------------------------------------
+  // sync(2)-style full flush.
+  virtual Status SyncFs() = 0;
+  // drop_caches analogue: flush and invalidate any volatile caching so the
+  // next reads are cold (the paper clears the OS page cache before runs).
+  // No-op for NVMM-native file systems, which have no read cache.
+  virtual Status DropCaches() { return OkStatus(); }
+  // Flushes everything and quiesces background work. The FS must be remountable
+  // from the same device afterwards.
+  virtual Status Unmount() = 0;
+
+  // --- memory-mapped I/O -------------------------------------------------------
+  // Direct mmap support (NVMM-aware file systems). Returns a pointer covering
+  // [offset, offset+len) of the file, which must be block-aligned and already
+  // allocated. Default: not supported (block-based baselines).
+  virtual Result<uint8_t*> Mmap(uint64_t ino, uint64_t offset, size_t len) {
+    (void)ino;
+    (void)offset;
+    (void)len;
+    return Status(ErrorCode::kNotSupported, "mmap");
+  }
+  virtual Status Munmap(uint64_t ino) {
+    (void)ino;
+    return Status(ErrorCode::kNotSupported, "munmap");
+  }
+  // msync: persist mmap stores (flush + fence over the mapped range).
+  virtual Status Msync(uint64_t ino, uint64_t offset, size_t len) {
+    (void)ino;
+    (void)offset;
+    (void)len;
+    return Status(ErrorCode::kNotSupported, "msync");
+  }
+
+  // Time-breakdown and traffic counters (Fig. 1 / Fig. 12 instrumentation).
+  StatsRegistry& stats() { return stats_; }
+
+ protected:
+  StatsRegistry stats_;
+};
+
+}  // namespace hinfs
+
+#endif  // SRC_VFS_FILE_SYSTEM_H_

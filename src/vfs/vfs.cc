@@ -1,0 +1,365 @@
+#include "src/vfs/vfs.h"
+
+#include <algorithm>
+
+namespace hinfs {
+namespace {
+
+// Dentry cache key: dir ino rendered into the name (cheap, collision-free).
+std::string DcacheKey(uint64_t dir_ino, std::string_view name) {
+  std::string key = std::to_string(dir_ino);
+  key.push_back('/');
+  key.append(name);
+  return key;
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> SplitPath(std::string_view path) {
+  if (path.empty() || path[0] != '/') {
+    return Status(ErrorCode::kInvalidArgument, "path must be absolute");
+  }
+  std::vector<std::string> parts;
+  size_t i = 1;
+  while (i < path.size()) {
+    size_t j = path.find('/', i);
+    if (j == std::string_view::npos) {
+      j = path.size();
+    }
+    if (j > i) {
+      std::string_view comp = path.substr(i, j - i);
+      if (comp.size() > kMaxNameLen) {
+        return Status(ErrorCode::kNameTooLong, std::string(comp));
+      }
+      if (comp == "." || comp == "..") {
+        return Status(ErrorCode::kInvalidArgument, "dot components not supported");
+      }
+      parts.emplace_back(comp);
+    }
+    i = j + 1;
+  }
+  return parts;
+}
+
+Vfs::Vfs(FileSystem* fs, bool sync_mount) : fs_(fs), sync_mount_(sync_mount) {}
+
+Vfs::~Vfs() = default;
+
+Result<uint64_t> Vfs::LookupCached(uint64_t dir_ino, std::string_view name) {
+  const std::string key = DcacheKey(dir_ino, name);
+  {
+    std::shared_lock lock(dcache_mu_);
+    auto it = dcache_.find(key);
+    if (it != dcache_.end()) {
+      return it->second;
+    }
+  }
+  HINFS_ASSIGN_OR_RETURN(uint64_t ino, fs_->Lookup(dir_ino, name));
+  {
+    std::unique_lock lock(dcache_mu_);
+    dcache_[key] = ino;
+  }
+  return ino;
+}
+
+void Vfs::InvalidateDentry(uint64_t dir_ino, std::string_view name) {
+  std::unique_lock lock(dcache_mu_);
+  dcache_.erase(DcacheKey(dir_ino, name));
+}
+
+Result<uint64_t> Vfs::Resolve(std::string_view path) {
+  HINFS_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  uint64_t ino = kRootIno;
+  for (const std::string& comp : parts) {
+    HINFS_ASSIGN_OR_RETURN(ino, LookupCached(ino, comp));
+  }
+  return ino;
+}
+
+Result<uint64_t> Vfs::ResolveParent(std::string_view path, std::string* leaf) {
+  HINFS_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  if (parts.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "path has no final component");
+  }
+  *leaf = parts.back();
+  uint64_t ino = kRootIno;
+  for (size_t i = 0; i + 1 < parts.size(); i++) {
+    HINFS_ASSIGN_OR_RETURN(ino, LookupCached(ino, parts[i]));
+  }
+  return ino;
+}
+
+Result<int> Vfs::Open(std::string_view path, uint32_t flags) {
+  std::string leaf;
+  HINFS_ASSIGN_OR_RETURN(uint64_t dir_ino, ResolveParent(path, &leaf));
+
+  uint64_t ino;
+  Result<uint64_t> looked = LookupCached(dir_ino, leaf);
+  if (looked.ok()) {
+    ino = *looked;
+  } else if (looked.status().code() == ErrorCode::kNotFound && (flags & kCreate) != 0) {
+    Result<uint64_t> created = fs_->Create(dir_ino, leaf, FileType::kRegular);
+    if (!created.ok()) {
+      return created.status();
+    }
+    ino = *created;
+  } else {
+    return looked.status();
+  }
+
+  HINFS_ASSIGN_OR_RETURN(InodeAttr attr, fs_->GetAttr(ino));
+  if (attr.type == FileType::kDirectory) {
+    return Status(ErrorCode::kIsDir, std::string(path));
+  }
+  if ((flags & kTrunc) != 0 && attr.size > 0) {
+    HINFS_RETURN_IF_ERROR(fs_->Truncate(ino, 0));
+    attr.size = 0;
+  }
+
+  FdEntry e;
+  e.ino = ino;
+  e.flags = flags;
+  e.offset = (flags & kAppend) != 0 ? attr.size : 0;
+
+  std::lock_guard<std::mutex> lock(fd_mu_);
+  const int fd = next_fd_++;
+  fds_[fd] = e;
+  return fd;
+}
+
+Status Vfs::Close(int fd) {
+  std::lock_guard<std::mutex> lock(fd_mu_);
+  return fds_.erase(fd) != 0 ? OkStatus() : Status(ErrorCode::kBadFd);
+}
+
+Result<size_t> Vfs::Read(int fd, void* dst, size_t len) {
+  FdEntry e;
+  {
+    std::lock_guard<std::mutex> lock(fd_mu_);
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) {
+      return Status(ErrorCode::kBadFd);
+    }
+    e = it->second;
+  }
+  HINFS_ASSIGN_OR_RETURN(size_t n, fs_->Read(e.ino, e.offset, dst, len));
+  {
+    std::lock_guard<std::mutex> lock(fd_mu_);
+    auto it = fds_.find(fd);
+    if (it != fds_.end()) {
+      it->second.offset = e.offset + n;
+    }
+  }
+  return n;
+}
+
+Result<size_t> Vfs::Pread(int fd, void* dst, size_t len, uint64_t offset) {
+  uint64_t ino;
+  {
+    std::lock_guard<std::mutex> lock(fd_mu_);
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) {
+      return Status(ErrorCode::kBadFd);
+    }
+    ino = it->second.ino;
+  }
+  return fs_->Read(ino, offset, dst, len);
+}
+
+Result<size_t> Vfs::WriteInternal(FdEntry& e, const void* src, size_t len, uint64_t offset,
+                                  bool advance) {
+  const bool sync = sync_mount_ || (e.flags & kSync) != 0;
+  HINFS_ASSIGN_OR_RETURN(size_t n, fs_->Write(e.ino, offset, src, len, sync));
+  if (advance) {
+    e.offset = offset + n;
+  }
+  return n;
+}
+
+Result<size_t> Vfs::Write(int fd, const void* src, size_t len) {
+  std::unique_lock<std::mutex> lock(fd_mu_);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return Status(ErrorCode::kBadFd);
+  }
+  FdEntry e = it->second;
+  uint64_t offset = e.offset;
+  if ((e.flags & kAppend) != 0) {
+    lock.unlock();
+    HINFS_ASSIGN_OR_RETURN(InodeAttr attr, fs_->GetAttr(e.ino));
+    offset = attr.size;
+    lock.lock();
+    it = fds_.find(fd);
+    if (it == fds_.end()) {
+      return Status(ErrorCode::kBadFd);
+    }
+  }
+  lock.unlock();
+  HINFS_ASSIGN_OR_RETURN(size_t n, WriteInternal(e, src, len, offset, /*advance=*/true));
+  lock.lock();
+  it = fds_.find(fd);
+  if (it != fds_.end()) {
+    it->second.offset = offset + n;
+  }
+  return n;
+}
+
+Result<size_t> Vfs::Pwrite(int fd, const void* src, size_t len, uint64_t offset) {
+  FdEntry e;
+  {
+    std::lock_guard<std::mutex> lock(fd_mu_);
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) {
+      return Status(ErrorCode::kBadFd);
+    }
+    e = it->second;
+  }
+  return WriteInternal(e, src, len, offset, /*advance=*/false);
+}
+
+Result<uint64_t> Vfs::Seek(int fd, uint64_t offset) {
+  std::lock_guard<std::mutex> lock(fd_mu_);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return Status(ErrorCode::kBadFd);
+  }
+  it->second.offset = offset;
+  return offset;
+}
+
+Status Vfs::Fsync(int fd) {
+  uint64_t ino;
+  {
+    std::lock_guard<std::mutex> lock(fd_mu_);
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) {
+      return Status(ErrorCode::kBadFd);
+    }
+    ino = it->second.ino;
+  }
+  return fs_->Fsync(ino);
+}
+
+Status Vfs::Ftruncate(int fd, uint64_t size) {
+  uint64_t ino;
+  {
+    std::lock_guard<std::mutex> lock(fd_mu_);
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) {
+      return Status(ErrorCode::kBadFd);
+    }
+    ino = it->second.ino;
+  }
+  return fs_->Truncate(ino, size);
+}
+
+Result<InodeAttr> Vfs::Fstat(int fd) {
+  uint64_t ino;
+  {
+    std::lock_guard<std::mutex> lock(fd_mu_);
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) {
+      return Status(ErrorCode::kBadFd);
+    }
+    ino = it->second.ino;
+  }
+  return fs_->GetAttr(ino);
+}
+
+Status Vfs::Mkdir(std::string_view path) {
+  std::string leaf;
+  HINFS_ASSIGN_OR_RETURN(uint64_t dir_ino, ResolveParent(path, &leaf));
+  Result<uint64_t> created = fs_->Create(dir_ino, leaf, FileType::kDirectory);
+  return created.ok() ? OkStatus() : created.status();
+}
+
+Status Vfs::Rmdir(std::string_view path) {
+  std::string leaf;
+  HINFS_ASSIGN_OR_RETURN(uint64_t dir_ino, ResolveParent(path, &leaf));
+  InvalidateDentry(dir_ino, leaf);
+  HINFS_RETURN_IF_ERROR(fs_->Unlink(dir_ino, leaf));
+  InvalidateDentry(dir_ino, leaf);
+  return OkStatus();
+}
+
+Status Vfs::Unlink(std::string_view path) {
+  std::string leaf;
+  HINFS_ASSIGN_OR_RETURN(uint64_t dir_ino, ResolveParent(path, &leaf));
+  // Invalidate on both sides of the FS call: before, so concurrent lookups
+  // re-resolve; after, so a lookup that raced the unlink does not leave a
+  // stale entry behind.
+  InvalidateDentry(dir_ino, leaf);
+  HINFS_RETURN_IF_ERROR(fs_->Unlink(dir_ino, leaf));
+  InvalidateDentry(dir_ino, leaf);
+  return OkStatus();
+}
+
+Status Vfs::Rename(std::string_view from, std::string_view to) {
+  std::string from_leaf;
+  std::string to_leaf;
+  HINFS_ASSIGN_OR_RETURN(uint64_t from_dir, ResolveParent(from, &from_leaf));
+  HINFS_ASSIGN_OR_RETURN(uint64_t to_dir, ResolveParent(to, &to_leaf));
+  InvalidateDentry(from_dir, from_leaf);
+  InvalidateDentry(to_dir, to_leaf);
+  HINFS_RETURN_IF_ERROR(fs_->Rename(from_dir, from_leaf, to_dir, to_leaf));
+  InvalidateDentry(from_dir, from_leaf);
+  InvalidateDentry(to_dir, to_leaf);
+  return OkStatus();
+}
+
+Result<InodeAttr> Vfs::Stat(std::string_view path) {
+  HINFS_ASSIGN_OR_RETURN(uint64_t ino, Resolve(path));
+  return fs_->GetAttr(ino);
+}
+
+Result<std::vector<DirEntry>> Vfs::ReadDir(std::string_view path) {
+  HINFS_ASSIGN_OR_RETURN(uint64_t ino, Resolve(path));
+  return fs_->ReadDir(ino);
+}
+
+bool Vfs::Exists(std::string_view path) { return Resolve(path).ok(); }
+
+Status Vfs::SyncFs() { return fs_->SyncFs(); }
+
+Status Vfs::Unmount() {
+  {
+    std::lock_guard<std::mutex> lock(fd_mu_);
+    fds_.clear();
+  }
+  {
+    std::unique_lock lock(dcache_mu_);
+    dcache_.clear();
+  }
+  return fs_->Unmount();
+}
+
+Status Vfs::WriteFile(std::string_view path, std::string_view contents) {
+  HINFS_ASSIGN_OR_RETURN(int fd, Open(path, kCreate | kWrOnly | kTrunc));
+  Result<size_t> n = Write(fd, contents.data(), contents.size());
+  Status close_st = Close(fd);
+  if (!n.ok()) {
+    return n.status();
+  }
+  if (*n != contents.size()) {
+    return Status(ErrorCode::kIoError, "short write");
+  }
+  return close_st;
+}
+
+Result<std::string> Vfs::ReadFileToString(std::string_view path) {
+  HINFS_ASSIGN_OR_RETURN(InodeAttr attr, Stat(path));
+  HINFS_ASSIGN_OR_RETURN(int fd, Open(path, kRdOnly));
+  std::string out(attr.size, '\0');
+  Result<size_t> n = Read(fd, out.data(), out.size());
+  Status close_st = Close(fd);
+  if (!n.ok()) {
+    return n.status();
+  }
+  out.resize(*n);
+  if (!close_st.ok()) {
+    return close_st;
+  }
+  return out;
+}
+
+}  // namespace hinfs

@@ -1,0 +1,113 @@
+// Vfs: POSIX-like syscall front-end over a mounted FileSystem.
+//
+// Provides path resolution with a dentry cache (the kernel dcache analogue),
+// a file-descriptor table with per-fd offsets and open flags, and the syscall
+// surface the workloads use: open/close/read/write/pread/pwrite/fsync/unlink/
+// mkdir/rmdir/rename/stat/readdir/truncate.
+
+#ifndef SRC_VFS_VFS_H_
+#define SRC_VFS_VFS_H_
+
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/vfs/file_system.h"
+
+namespace hinfs {
+
+// open(2) flag bits (subset the workloads need).
+enum OpenFlags : uint32_t {
+  kRdOnly = 0x0,
+  kWrOnly = 0x1,
+  kRdWr = 0x2,
+  kCreate = 0x40,
+  kTrunc = 0x200,
+  kAppend = 0x400,
+  kSync = 0x1000,  // O_SYNC: every write is eager-persistent
+};
+
+class Vfs {
+ public:
+  // Mounts `fs` at "/". `sync_mount` makes every write on this mount
+  // eager-persistent (mount -o sync).
+  explicit Vfs(FileSystem* fs, bool sync_mount = false);
+  ~Vfs();
+
+  Vfs(const Vfs&) = delete;
+  Vfs& operator=(const Vfs&) = delete;
+
+  // --- fd-based API -----------------------------------------------------------
+  Result<int> Open(std::string_view path, uint32_t flags);
+  Status Close(int fd);
+  // Sequential read/write advancing the fd offset.
+  Result<size_t> Read(int fd, void* dst, size_t len);
+  Result<size_t> Write(int fd, const void* src, size_t len);
+  // Positional read/write (offset is explicit; fd offset unchanged).
+  Result<size_t> Pread(int fd, void* dst, size_t len, uint64_t offset);
+  Result<size_t> Pwrite(int fd, const void* src, size_t len, uint64_t offset);
+  Result<uint64_t> Seek(int fd, uint64_t offset);
+  Status Fsync(int fd);
+  Status Ftruncate(int fd, uint64_t size);
+  Result<InodeAttr> Fstat(int fd);
+
+  // --- path-based API -----------------------------------------------------------
+  Status Mkdir(std::string_view path);
+  Status Rmdir(std::string_view path);
+  Status Unlink(std::string_view path);
+  Status Rename(std::string_view from, std::string_view to);
+  Result<InodeAttr> Stat(std::string_view path);
+  Result<std::vector<DirEntry>> ReadDir(std::string_view path);
+  bool Exists(std::string_view path);
+
+  // --- whole-FS ----------------------------------------------------------------
+  Status SyncFs();
+  // Flushes and unmounts; all fds are invalidated.
+  Status Unmount();
+
+  FileSystem* fs() { return fs_; }
+
+  // Convenience for tests: write/read an entire small file by path.
+  Status WriteFile(std::string_view path, std::string_view contents);
+  Result<std::string> ReadFileToString(std::string_view path);
+
+ private:
+  struct FdEntry {
+    uint64_t ino = 0;
+    uint32_t flags = 0;
+    uint64_t offset = 0;
+  };
+
+  // Resolves `path` to an inode; with `want_parent`, resolves the parent
+  // directory and returns the final component in `leaf`.
+  Result<uint64_t> Resolve(std::string_view path);
+  Result<uint64_t> ResolveParent(std::string_view path, std::string* leaf);
+  Result<uint64_t> LookupCached(uint64_t dir_ino, std::string_view name);
+  void InvalidateDentry(uint64_t dir_ino, std::string_view name);
+
+  Result<size_t> WriteInternal(FdEntry& e, const void* src, size_t len, uint64_t offset,
+                               bool advance);
+
+  FileSystem* fs_;
+  bool sync_mount_;
+
+  std::mutex fd_mu_;
+  std::unordered_map<int, FdEntry> fds_;
+  int next_fd_ = 3;
+
+  // Dentry cache: (dir_ino, name) -> child ino. Positive entries only.
+  std::shared_mutex dcache_mu_;
+  std::unordered_map<std::string, uint64_t> dcache_;
+};
+
+// Splits "/a/b/c" into {"a", "b", "c"}; rejects empty components and names
+// longer than kMaxNameLen.
+Result<std::vector<std::string>> SplitPath(std::string_view path);
+
+}  // namespace hinfs
+
+#endif  // SRC_VFS_VFS_H_

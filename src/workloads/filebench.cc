@@ -1,0 +1,496 @@
+#include "src/workloads/filebench.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+
+namespace hinfs {
+namespace {
+
+// Shared, mutable file population. Deletion claims a name under the lock so
+// two threads never unlink the same file; readers racing a deletion simply
+// tolerate kNotFound.
+class FileSet {
+ public:
+  void Add(std::string path) {
+    std::lock_guard<std::mutex> lock(mu_);
+    files_.push_back(std::move(path));
+  }
+
+  // Random (optionally skewed) pick; empty string when the set is empty.
+  std::string Pick(Rng& rng, double theta) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (files_.empty()) {
+      return {};
+    }
+    const size_t i = theta > 0 ? rng.Skewed(files_.size(), theta) : rng.Below(files_.size());
+    return files_[i];
+  }
+
+  // Removes and returns a random victim (for deletion).
+  std::string Claim(Rng& rng) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (files_.size() <= 2) {
+      return {};  // keep a minimum population
+    }
+    const size_t i = rng.Below(files_.size());
+    std::string out = std::move(files_[i]);
+    files_[i] = std::move(files_.back());
+    files_.pop_back();
+    return out;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return files_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> files_;
+};
+
+std::string DirPath(const FilebenchConfig& cfg, size_t file_index) {
+  return "/d" + std::to_string(file_index / cfg.dir_width);
+}
+
+std::string FilePath(const FilebenchConfig& cfg, size_t file_index) {
+  return DirPath(cfg, file_index) + "/f" + std::to_string(file_index);
+}
+
+// Ignorable errors for racing threads: the file was deleted or recreated
+// between the pick and the operation (kIsDir: a stale dentry resolved to a
+// recycled inode number that is now a directory).
+bool Benign(const Status& st) {
+  return st.code() == ErrorCode::kNotFound || st.code() == ErrorCode::kExists ||
+         st.code() == ErrorCode::kIsDir;
+}
+
+struct Ctx {
+  Vfs* vfs;
+  const FilebenchConfig* cfg;
+  FileSet* files;
+  std::atomic<uint64_t>* next_name;
+  uint64_t deadline_ns;
+
+  std::atomic<uint64_t> ops{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> bytes_written{0};
+  std::atomic<uint64_t> fsyncs{0};
+};
+
+// --- reusable flowops -------------------------------------------------------------
+
+Status ReadWholeFile(Ctx& ctx, const std::string& path, std::vector<uint8_t>& buf) {
+  Result<int> fd = ctx.vfs->Open(path, kRdOnly);
+  if (!fd.ok()) {
+    return Benign(fd.status()) ? OkStatus() : fd.status();
+  }
+  ctx.ops++;
+  while (true) {
+    Result<size_t> n = ctx.vfs->Read(*fd, buf.data(), buf.size());
+    if (!n.ok()) {
+      (void)ctx.vfs->Close(*fd);
+      // The file can be deleted out from under the open fd by another worker.
+      return Benign(n.status()) ? OkStatus() : n.status();
+    }
+    ctx.bytes_read += *n;
+    if (*n < buf.size()) {
+      break;
+    }
+  }
+  ctx.ops += 2;  // read + close flowops
+  return ctx.vfs->Close(*fd);
+}
+
+Status WriteWholeFile(Ctx& ctx, const std::string& path, size_t total,
+                      const std::vector<uint8_t>& payload) {
+  Result<int> fd = ctx.vfs->Open(path, kWrOnly | kCreate | kTrunc);
+  if (!fd.ok()) {
+    return Benign(fd.status()) ? OkStatus() : fd.status();
+  }
+  ctx.ops++;
+  size_t written = 0;
+  while (written < total) {
+    const size_t chunk = std::min(payload.size(), total - written);
+    Result<size_t> n = ctx.vfs->Write(*fd, payload.data(), chunk);
+    if (!n.ok()) {
+      (void)ctx.vfs->Close(*fd);
+      return Benign(n.status()) ? OkStatus() : n.status();
+    }
+    written += *n;
+    ctx.bytes_written += *n;
+  }
+  ctx.ops += 2;
+  return ctx.vfs->Close(*fd);
+}
+
+Status AppendFile(Ctx& ctx, const std::string& path, size_t len,
+                  const std::vector<uint8_t>& payload, bool fsync_after) {
+  Result<int> fd = ctx.vfs->Open(path, kWrOnly | kAppend);
+  if (!fd.ok()) {
+    return Benign(fd.status()) ? OkStatus() : fd.status();
+  }
+  Result<size_t> n = ctx.vfs->Write(*fd, payload.data(), std::min(len, payload.size()));
+  if (!n.ok()) {
+    (void)ctx.vfs->Close(*fd);
+    return Benign(n.status()) ? OkStatus() : n.status();
+  }
+  ctx.bytes_written += *n;
+  ctx.ops += 2;
+  if (fsync_after) {
+    Status st = ctx.vfs->Fsync(*fd);
+    if (!st.ok()) {
+      (void)ctx.vfs->Close(*fd);
+      return Benign(st) ? OkStatus() : st;
+    }
+    ctx.fsyncs++;
+    ctx.ops++;
+  }
+  ctx.ops++;
+  return ctx.vfs->Close(*fd);
+}
+
+Status DeleteFile(Ctx& ctx, Rng& rng) {
+  std::string victim = ctx.files->Claim(rng);
+  if (victim.empty()) {
+    return OkStatus();
+  }
+  Status st = ctx.vfs->Unlink(victim);
+  if (!st.ok() && !Benign(st)) {
+    return st;
+  }
+  ctx.ops++;
+  return OkStatus();
+}
+
+Status CreateNewFile(Ctx& ctx, size_t size, const std::vector<uint8_t>& payload) {
+  const uint64_t id = ctx.next_name->fetch_add(1);
+  const std::string dir = "/d" + std::to_string(id % 16 + 1000);
+  if (!ctx.vfs->Exists(dir)) {
+    Status st = ctx.vfs->Mkdir(dir);
+    if (!st.ok() && !Benign(st)) {
+      return st;
+    }
+  }
+  const std::string path = dir + "/n" + std::to_string(id);
+  HINFS_RETURN_IF_ERROR(WriteWholeFile(ctx, path, size, payload));
+  ctx.files->Add(path);
+  return OkStatus();
+}
+
+// --- personalities ------------------------------------------------------------------
+
+// writewholefile without O_TRUNC (filebench semantics): in-place rewrite of an
+// existing file in io_size chunks — the op that gives CLFW and write
+// coalescing their workload.
+Status RewriteWholeFile(Ctx& ctx, const std::string& path, const std::vector<uint8_t>& payload) {
+  Result<InodeAttr> attr = ctx.vfs->Stat(path);
+  if (!attr.ok()) {
+    return Benign(attr.status()) ? OkStatus() : attr.status();
+  }
+  Result<int> fd = ctx.vfs->Open(path, kWrOnly);
+  if (!fd.ok()) {
+    return Benign(fd.status()) ? OkStatus() : fd.status();
+  }
+  ctx.ops++;
+  uint64_t off = 0;
+  while (off < attr->size) {
+    const size_t chunk = std::min<uint64_t>(payload.size(), attr->size - off);
+    Result<size_t> n = ctx.vfs->Pwrite(*fd, payload.data(), chunk, off);
+    if (!n.ok()) {
+      (void)ctx.vfs->Close(*fd);
+      return Benign(n.status()) ? OkStatus() : n.status();
+    }
+    ctx.bytes_written += *n;
+    off += *n;
+  }
+  ctx.ops += 2;
+  return ctx.vfs->Close(*fd);
+}
+
+Status FileserverLoop(Ctx& ctx, int thread) {
+  Rng rng(ctx.cfg->seed * 977 + thread);
+  std::vector<uint8_t> payload(ctx.cfg->io_size);
+  FillPattern(payload, thread);
+  std::vector<uint8_t> readbuf(std::max(ctx.cfg->io_size, ctx.cfg->mean_file_size));
+
+  while (MonotonicNowNs() < ctx.deadline_ns) {
+    HINFS_RETURN_IF_ERROR(CreateNewFile(ctx, ctx.cfg->mean_file_size, payload));
+    std::string f = ctx.files->Pick(rng, ctx.cfg->locality_theta);
+    if (!f.empty()) {
+      HINFS_RETURN_IF_ERROR(RewriteWholeFile(ctx, f, payload));
+    }
+    f = ctx.files->Pick(rng, ctx.cfg->locality_theta);
+    if (!f.empty()) {
+      HINFS_RETURN_IF_ERROR(AppendFile(ctx, f, ctx.cfg->io_size, payload, false));
+    }
+    f = ctx.files->Pick(rng, ctx.cfg->locality_theta);
+    if (!f.empty()) {
+      HINFS_RETURN_IF_ERROR(ReadWholeFile(ctx, f, readbuf));
+    }
+    HINFS_RETURN_IF_ERROR(DeleteFile(ctx, rng));
+    f = ctx.files->Pick(rng, ctx.cfg->locality_theta);
+    if (!f.empty()) {
+      Result<InodeAttr> attr = ctx.vfs->Stat(f);
+      if (!attr.ok() && !Benign(attr.status())) {
+        return attr.status();
+      }
+      ctx.ops++;
+    }
+  }
+  return OkStatus();
+}
+
+Status WebserverLoop(Ctx& ctx, int thread) {
+  Rng rng(ctx.cfg->seed * 1301 + thread);
+  std::vector<uint8_t> payload(std::max<size_t>(ctx.cfg->io_size / 64, 4096));
+  FillPattern(payload, thread);
+  std::vector<uint8_t> readbuf(std::max(ctx.cfg->io_size, ctx.cfg->mean_file_size));
+  const std::string log = "/weblog" + std::to_string(thread);
+  HINFS_RETURN_IF_ERROR(ctx.vfs->WriteFile(log, "init"));
+
+  while (MonotonicNowNs() < ctx.deadline_ns) {
+    for (int i = 0; i < 10 && MonotonicNowNs() < ctx.deadline_ns; i++) {
+      std::string f = ctx.files->Pick(rng, ctx.cfg->locality_theta);
+      if (!f.empty()) {
+        HINFS_RETURN_IF_ERROR(ReadWholeFile(ctx, f, readbuf));
+      }
+    }
+    HINFS_RETURN_IF_ERROR(AppendFile(ctx, log, payload.size(), payload, false));
+  }
+  return OkStatus();
+}
+
+Status WebproxyLoop(Ctx& ctx, int thread) {
+  Rng rng(ctx.cfg->seed * 1511 + thread);
+  std::vector<uint8_t> payload(ctx.cfg->io_size);
+  FillPattern(payload, thread);
+  std::vector<uint8_t> readbuf(std::max(ctx.cfg->io_size, ctx.cfg->mean_file_size));
+  const std::string log = "/proxylog" + std::to_string(thread);
+  HINFS_RETURN_IF_ERROR(ctx.vfs->WriteFile(log, "init"));
+  // Webproxy exhibits strong locality and short-lived cache objects.
+  const double theta = std::max(ctx.cfg->locality_theta, 0.6);
+
+  while (MonotonicNowNs() < ctx.deadline_ns) {
+    HINFS_RETURN_IF_ERROR(DeleteFile(ctx, rng));
+    HINFS_RETURN_IF_ERROR(CreateNewFile(ctx, ctx.cfg->mean_file_size, payload));
+    for (int i = 0; i < 5 && MonotonicNowNs() < ctx.deadline_ns; i++) {
+      std::string f = ctx.files->Pick(rng, theta);
+      if (!f.empty()) {
+        HINFS_RETURN_IF_ERROR(ReadWholeFile(ctx, f, readbuf));
+      }
+    }
+    HINFS_RETURN_IF_ERROR(AppendFile(ctx, log, std::min<size_t>(payload.size(), 16384), payload,
+                                     false));
+  }
+  return OkStatus();
+}
+
+Status VarmailLoop(Ctx& ctx, int thread) {
+  Rng rng(ctx.cfg->seed * 2003 + thread);
+  std::vector<uint8_t> payload(ctx.cfg->io_size);
+  FillPattern(payload, thread);
+  std::vector<uint8_t> readbuf(std::max(ctx.cfg->io_size, ctx.cfg->mean_file_size) * 2);
+
+  while (MonotonicNowNs() < ctx.deadline_ns) {
+    // deletefile
+    HINFS_RETURN_IF_ERROR(DeleteFile(ctx, rng));
+    // createfile; appendfile; fsync; close
+    {
+      const uint64_t id = ctx.next_name->fetch_add(1);
+      const std::string path = "/d0/m" + std::to_string(id);
+      Result<int> fd = ctx.vfs->Open(path, kWrOnly | kCreate);
+      if (fd.ok()) {
+        Result<size_t> n = ctx.vfs->Write(*fd, payload.data(), payload.size());
+        if (!n.ok() && !Benign(n.status())) {
+          return n.status();
+        }
+        if (n.ok()) {
+          ctx.bytes_written += *n;
+          HINFS_RETURN_IF_ERROR(ctx.vfs->Fsync(*fd));
+          ctx.fsyncs++;
+        }
+        HINFS_RETURN_IF_ERROR(ctx.vfs->Close(*fd));
+        ctx.files->Add(path);
+        ctx.ops += 4;
+      }
+    }
+    // openfile; readwholefile; appendfile; fsync; close
+    {
+      std::string f = ctx.files->Pick(rng, ctx.cfg->locality_theta);
+      if (!f.empty()) {
+        Result<int> fd = ctx.vfs->Open(f, kRdWr | kAppend);
+        if (fd.ok()) {
+          Result<size_t> n = ctx.vfs->Pread(*fd, readbuf.data(), readbuf.size(), 0);
+          if (n.ok()) {
+            ctx.bytes_read += *n;
+          } else if (!Benign(n.status())) {
+            return n.status();
+          }
+          Result<size_t> w = ctx.vfs->Write(*fd, payload.data(), payload.size());
+          if (w.ok()) {
+            ctx.bytes_written += *w;
+            Status sync_st = ctx.vfs->Fsync(*fd);
+            if (!sync_st.ok() && !Benign(sync_st)) {
+              return sync_st;
+            }
+            ctx.fsyncs++;
+          } else if (!Benign(w.status())) {
+            return w.status();
+          }
+          HINFS_RETURN_IF_ERROR(ctx.vfs->Close(*fd));
+          ctx.ops += 5;
+        }
+      }
+    }
+    // openfile; readwholefile; close
+    {
+      std::string f = ctx.files->Pick(rng, ctx.cfg->locality_theta);
+      if (!f.empty()) {
+        HINFS_RETURN_IF_ERROR(ReadWholeFile(ctx, f, readbuf));
+      }
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+const char* PersonalityName(Personality p) {
+  switch (p) {
+    case Personality::kFileserver:
+      return "fileserver";
+    case Personality::kWebserver:
+      return "webserver";
+    case Personality::kWebproxy:
+      return "webproxy";
+    case Personality::kVarmail:
+      return "varmail";
+  }
+  return "?";
+}
+
+Status PrepareFileset(Vfs* vfs, const FilebenchConfig& config) {
+  Rng rng(config.seed);
+  std::vector<uint8_t> payload(std::max<size_t>(config.mean_file_size, 4096));
+  FillPattern(payload, config.seed);
+
+  const size_t ndirs = (config.nfiles + config.dir_width - 1) / config.dir_width;
+  for (size_t d = 0; d < std::max<size_t>(ndirs, 1); d++) {
+    HINFS_RETURN_IF_ERROR(vfs->Mkdir("/d" + std::to_string(d)));
+  }
+  for (size_t i = 0; i < config.nfiles; i++) {
+    const std::string path = FilePath(config, i);
+    // Sizes uniform in [0.5, 1.5] x mean, like filebench's gamma sizing.
+    const size_t size = config.mean_file_size / 2 +
+                        rng.Below(std::max<size_t>(config.mean_file_size, 2));
+    HINFS_ASSIGN_OR_RETURN(int fd, vfs->Open(path, kWrOnly | kCreate));
+    size_t written = 0;
+    while (written < size) {
+      const size_t chunk = std::min(payload.size(), size - written);
+      HINFS_ASSIGN_OR_RETURN(size_t n, vfs->Write(fd, payload.data(), chunk));
+      written += n;
+    }
+    HINFS_RETURN_IF_ERROR(vfs->Close(fd));
+  }
+  return OkStatus();
+}
+
+Result<WorkloadResult> RunFilebench(Vfs* vfs, Personality personality,
+                                    const FilebenchConfig& config) {
+  FileSet files;
+  for (size_t i = 0; i < config.nfiles; i++) {
+    files.Add(FilePath(config, i));
+  }
+  std::atomic<uint64_t> next_name{0};
+
+  Ctx ctx;
+  ctx.vfs = vfs;
+  ctx.cfg = &config;
+  ctx.files = &files;
+  ctx.next_name = &next_name;
+  ctx.deadline_ns = MonotonicNowNs() + config.duration_ms * 1'000'000ull;
+
+  const uint64_t start = MonotonicNowNs();
+  Status st = RunThreads(config.threads, [&](int thread) {
+    switch (personality) {
+      case Personality::kFileserver:
+        return FileserverLoop(ctx, thread);
+      case Personality::kWebserver:
+        return WebserverLoop(ctx, thread);
+      case Personality::kWebproxy:
+        return WebproxyLoop(ctx, thread);
+      case Personality::kVarmail:
+        return VarmailLoop(ctx, thread);
+    }
+    return OkStatus();
+  });
+  HINFS_RETURN_IF_ERROR(st);
+
+  WorkloadResult result;
+  result.ops = ctx.ops.load();
+  result.bytes_read = ctx.bytes_read.load();
+  result.bytes_written = ctx.bytes_written.load();
+  result.fsyncs = ctx.fsyncs.load();
+  result.seconds = static_cast<double>(MonotonicNowNs() - start) / 1e9;
+  return result;
+}
+
+Result<WorkloadResult> RunFioRandRw(Vfs* vfs, const FioConfig& config) {
+  const std::string path = "/fiofile";
+  {
+    std::vector<uint8_t> payload(1 << 20);
+    FillPattern(payload, config.seed);
+    HINFS_ASSIGN_OR_RETURN(int fd, vfs->Open(path, kWrOnly | kCreate | kTrunc));
+    size_t written = 0;
+    while (written < config.file_bytes) {
+      const size_t chunk = std::min(payload.size(), config.file_bytes - written);
+      HINFS_ASSIGN_OR_RETURN(size_t n, vfs->Write(fd, payload.data(), chunk));
+      written += n;
+    }
+    HINFS_RETURN_IF_ERROR(vfs->Close(fd));
+  }
+
+  std::atomic<uint64_t> ops{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> bytes_written{0};
+  const uint64_t deadline = MonotonicNowNs() + config.duration_ms * 1'000'000ull;
+  const uint64_t start = MonotonicNowNs();
+
+  Status st = RunThreads(config.threads, [&](int thread) -> Status {
+    Rng rng(config.seed * 31 + thread);
+    std::vector<uint8_t> buf(config.io_size);
+    FillPattern(buf, thread);
+    HINFS_ASSIGN_OR_RETURN(int fd, vfs->Open(path, kRdWr));
+    const uint64_t slots = std::max<uint64_t>(config.file_bytes / config.io_size, 1);
+    while (MonotonicNowNs() < deadline) {
+      const uint64_t slot = config.locality_theta > 0
+                                ? rng.Skewed(slots, config.locality_theta)
+                                : rng.Below(slots);
+      const uint64_t offset = slot * config.io_size;
+      if (rng.Chance(config.write_fraction)) {
+        HINFS_ASSIGN_OR_RETURN(size_t n, vfs->Pwrite(fd, buf.data(), buf.size(), offset));
+        bytes_written += n;
+      } else {
+        HINFS_ASSIGN_OR_RETURN(size_t n, vfs->Pread(fd, buf.data(), buf.size(), offset));
+        bytes_read += n;
+      }
+      ops++;
+    }
+    return vfs->Close(fd);
+  });
+  HINFS_RETURN_IF_ERROR(st);
+
+  WorkloadResult result;
+  result.ops = ops.load();
+  result.bytes_read = bytes_read.load();
+  result.bytes_written = bytes_written.load();
+  result.seconds = static_cast<double>(MonotonicNowNs() - start) / 1e9;
+  return result;
+}
+
+}  // namespace hinfs

@@ -1,0 +1,59 @@
+// Filebench-style micro-workload personalities (Table 1 of the paper):
+//   Fileserver - creates, deletes, appends, whole-file reads and writes
+//   Webserver  - whole-file reads plus log appends (read-intensive)
+//   Webproxy   - create-write-close / open-read-close / delete with strong
+//                locality and short-lived files, plus log appends
+//   Varmail    - create-append-fsync / read-append-fsync / reads / deletes
+// plus a fio-like random read/write generator used for the Fig. 1 breakdown.
+
+#ifndef SRC_WORKLOADS_FILEBENCH_H_
+#define SRC_WORKLOADS_FILEBENCH_H_
+
+#include "src/workloads/workload.h"
+
+namespace hinfs {
+
+enum class Personality {
+  kFileserver,
+  kWebserver,
+  kWebproxy,
+  kVarmail,
+};
+
+const char* PersonalityName(Personality p);
+
+struct FilebenchConfig {
+  size_t nfiles = 200;
+  size_t dir_width = 20;          // files per directory
+  size_t mean_file_size = 128 * 1024;
+  size_t io_size = 1 << 20;       // mean I/O size (paper default: 1 MB)
+  int threads = 1;
+  uint64_t duration_ms = 300;
+  uint64_t seed = 42;
+  double locality_theta = 0.2;    // file-choice skew (webproxy uses ~0.6)
+};
+
+// Creates the directory tree and initial file population on `vfs`.
+Status PrepareFileset(Vfs* vfs, const FilebenchConfig& config);
+
+// Runs one personality for config.duration_ms across config.threads threads.
+// PrepareFileset must have been called on the same configuration.
+Result<WorkloadResult> RunFilebench(Vfs* vfs, Personality personality,
+                                    const FilebenchConfig& config);
+
+// fio-style random R/W over one preallocated file, read:write = 1:2 by
+// default (the Fig. 1 microbenchmark).
+struct FioConfig {
+  size_t file_bytes = 32ull << 20;
+  size_t io_size = 4096;
+  double write_fraction = 2.0 / 3.0;
+  double locality_theta = 0;  // 0 = uniform offsets; > 0 = skewed (hot blocks)
+  int threads = 1;
+  uint64_t duration_ms = 300;
+  uint64_t seed = 7;
+};
+Result<WorkloadResult> RunFioRandRw(Vfs* vfs, const FioConfig& config);
+
+}  // namespace hinfs
+
+#endif  // SRC_WORKLOADS_FILEBENCH_H_

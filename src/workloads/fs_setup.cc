@@ -1,0 +1,93 @@
+#include "src/workloads/fs_setup.h"
+
+#include "src/fs/blockfs/block_fs.h"
+#include "src/fs/pmfs/pmfs_fs.h"
+
+namespace hinfs {
+
+const char* FsKindName(FsKind kind) {
+  switch (kind) {
+    case FsKind::kPmfs:
+      return "PMFS";
+    case FsKind::kExt4Dax:
+      return "EXT4-DAX";
+    case FsKind::kExt2Nvmmbd:
+      return "EXT2+NVMMBD";
+    case FsKind::kExt4Nvmmbd:
+      return "EXT4+NVMMBD";
+    case FsKind::kHinfs:
+      return "HiNFS";
+    case FsKind::kHinfsNclfw:
+      return "HiNFS-NCLFW";
+    case FsKind::kHinfsWb:
+      return "HiNFS-WB";
+    case FsKind::kHinfsFifo:
+      return "HiNFS-FIFO";
+  }
+  return "?";
+}
+
+TestBed::~TestBed() {
+  // File system first (flushes into devices), then devices.
+  vfs.reset();
+  fs.reset();
+  blockdev.reset();
+  nvmm.reset();
+}
+
+Result<std::unique_ptr<TestBed>> MakeTestBed(FsKind kind, const TestBedConfig& config) {
+  auto bed = std::make_unique<TestBed>();
+  bed->kind = kind;
+  bed->nvmm = std::make_unique<NvmmDevice>(config.nvmm);
+
+  HinfsOptions hopts = config.hinfs;
+  switch (kind) {
+    case FsKind::kPmfs: {
+      HINFS_ASSIGN_OR_RETURN(auto fs, PmfsFs::Format(bed->nvmm.get(), config.pmfs));
+      bed->fs = std::move(fs);
+      break;
+    }
+    case FsKind::kHinfsNclfw:
+      hopts.clfw = false;
+      [[fallthrough]];
+    case FsKind::kHinfs: {
+      HINFS_ASSIGN_OR_RETURN(auto fs, HinfsFs::Format(bed->nvmm.get(), hopts, config.pmfs));
+      bed->fs = std::move(fs);
+      break;
+    }
+    case FsKind::kHinfsWb: {
+      hopts.eager_checker = false;
+      HINFS_ASSIGN_OR_RETURN(auto fs, HinfsFs::Format(bed->nvmm.get(), hopts, config.pmfs));
+      bed->fs = std::move(fs);
+      break;
+    }
+    case FsKind::kHinfsFifo: {
+      hopts.replacement = HinfsOptions::Replacement::kFifo;
+      HINFS_ASSIGN_OR_RETURN(auto fs, HinfsFs::Format(bed->nvmm.get(), hopts, config.pmfs));
+      bed->fs = std::move(fs);
+      break;
+    }
+    case FsKind::kExt4Dax:
+    case FsKind::kExt2Nvmmbd:
+    case FsKind::kExt4Nvmmbd: {
+      const uint64_t blocks = config.nvmm.size_bytes / kBlockSize;
+      bed->blockdev = std::make_unique<NvmmBlockDevice>(bed->nvmm.get(), /*first_byte=*/0, blocks);
+      BlockFsOptions opts;
+      opts.journal = kind != FsKind::kExt2Nvmmbd;
+      opts.dax = kind == FsKind::kExt4Dax;
+      opts.max_inodes = config.pmfs.max_inodes;
+      opts.page_cache_pages = config.page_cache_pages;
+      if (opts.dax) {
+        opts.dax_nvmm = bed->nvmm.get();
+        opts.dax_nvmm_base = 0;
+      }
+      HINFS_ASSIGN_OR_RETURN(auto fs, BlockFs::Format(bed->blockdev.get(), opts));
+      bed->fs = std::move(fs);
+      break;
+    }
+  }
+  bed->vfs = std::make_unique<Vfs>(bed->fs.get(), config.sync_mount);
+  return bed;
+}
+
+}  // namespace hinfs

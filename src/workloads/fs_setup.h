@@ -1,0 +1,53 @@
+// TestBed: constructs any of the paper's five file-system configurations
+// (Table 3) plus the HiNFS ablations, with their emulated devices.
+
+#ifndef SRC_WORKLOADS_FS_SETUP_H_
+#define SRC_WORKLOADS_FS_SETUP_H_
+
+#include <memory>
+#include <string>
+
+#include "src/blockdev/nvmm_block_device.h"
+#include "src/hinfs/hinfs_fs.h"
+#include "src/nvmm/nvmm_device.h"
+#include "src/vfs/vfs.h"
+
+namespace hinfs {
+
+enum class FsKind {
+  kPmfs,        // PMFS: direct access (baseline all figures normalize to)
+  kExt4Dax,     // EXT4 + DAX patch
+  kExt2Nvmmbd,  // ext2 on the NVMM block device (no journal)
+  kExt4Nvmmbd,  // ext4 on the NVMM block device (ordered journal)
+  kHinfs,       // this paper
+  kHinfsNclfw,  // HiNFS without Cacheline Level Fetch/Writeback (Fig. 9)
+  kHinfsWb,     // HiNFS buffering every write (no checker; Figs. 12-13)
+  kHinfsFifo,   // HiNFS with FIFO instead of LRW replacement (ablation)
+};
+
+const char* FsKindName(FsKind kind);
+
+struct TestBedConfig {
+  NvmmConfig nvmm;                 // device geometry + latency model
+  HinfsOptions hinfs;              // buffer size etc. (HiNFS variants)
+  PmfsOptions pmfs;                // inode count, journal size
+  size_t page_cache_pages = 0;     // NVMMBD baselines: OS page cache capacity
+  bool sync_mount = false;
+};
+
+// A fully wired file system + VFS on freshly formatted emulated devices.
+struct TestBed {
+  std::unique_ptr<NvmmDevice> nvmm;
+  std::unique_ptr<NvmmBlockDevice> blockdev;  // only for block-based kinds
+  std::unique_ptr<FileSystem> fs;
+  std::unique_ptr<Vfs> vfs;
+  FsKind kind;
+
+  ~TestBed();
+};
+
+Result<std::unique_ptr<TestBed>> MakeTestBed(FsKind kind, const TestBedConfig& config);
+
+}  // namespace hinfs
+
+#endif  // SRC_WORKLOADS_FS_SETUP_H_

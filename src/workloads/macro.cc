@@ -1,0 +1,265 @@
+#include "src/workloads/macro.h"
+
+#include <algorithm>
+
+#include "src/common/clock.h"
+#include "src/common/constants.h"
+#include "src/common/rng.h"
+
+namespace hinfs {
+namespace {
+
+std::string PmPath(size_t i) { return "/pm/f" + std::to_string(i); }
+
+}  // namespace
+
+// --- Postmark ---------------------------------------------------------------------
+
+Result<WorkloadResult> RunPostmark(Vfs* vfs, const PostmarkConfig& config) {
+  Rng rng(config.seed);
+  std::vector<uint8_t> payload(config.max_size);
+  FillPattern(payload, config.seed);
+  std::vector<uint8_t> readbuf(config.max_size * 4);
+
+  WorkloadResult result;
+  const uint64_t start = MonotonicNowNs();
+  HINFS_RETURN_IF_ERROR(vfs->Mkdir("/pm"));
+
+  // Phase 1: create the pool.
+  std::vector<size_t> live;
+  size_t next_id = 0;
+  auto create_one = [&]() -> Status {
+    const size_t id = next_id++;
+    const size_t size = rng.Between(config.min_size, config.max_size);
+    HINFS_ASSIGN_OR_RETURN(int fd, vfs->Open(PmPath(id), kWrOnly | kCreate));
+    HINFS_ASSIGN_OR_RETURN(size_t n, vfs->Write(fd, payload.data(), size));
+    result.bytes_written += n;
+    HINFS_RETURN_IF_ERROR(vfs->Close(fd));
+    live.push_back(id);
+    result.ops++;
+    return OkStatus();
+  };
+  for (size_t i = 0; i < config.nfiles; i++) {
+    HINFS_RETURN_IF_ERROR(create_one());
+  }
+
+  // Phase 2: transactions.
+  for (size_t t = 0; t < config.transactions; t++) {
+    // Read or append a random live file.
+    if (!live.empty()) {
+      const size_t id = live[rng.Below(live.size())];
+      if (rng.NextDouble() < config.read_bias) {
+        HINFS_ASSIGN_OR_RETURN(int fd, vfs->Open(PmPath(id), kRdOnly));
+        HINFS_ASSIGN_OR_RETURN(size_t n, vfs->Read(fd, readbuf.data(), readbuf.size()));
+        result.bytes_read += n;
+        HINFS_RETURN_IF_ERROR(vfs->Close(fd));
+      } else {
+        HINFS_ASSIGN_OR_RETURN(int fd, vfs->Open(PmPath(id), kWrOnly | kAppend));
+        HINFS_ASSIGN_OR_RETURN(size_t n, vfs->Write(fd, payload.data(), config.io_size));
+        result.bytes_written += n;
+        HINFS_RETURN_IF_ERROR(vfs->Close(fd));
+      }
+      result.ops++;
+    }
+    // Create or delete.
+    if (rng.NextDouble() < config.create_bias || live.size() <= 2) {
+      HINFS_RETURN_IF_ERROR(create_one());
+    } else {
+      const size_t slot = rng.Below(live.size());
+      const size_t id = live[slot];
+      live[slot] = live.back();
+      live.pop_back();
+      HINFS_RETURN_IF_ERROR(vfs->Unlink(PmPath(id)));
+      result.ops++;
+    }
+  }
+
+  // Phase 3: delete everything.
+  for (size_t id : live) {
+    HINFS_RETURN_IF_ERROR(vfs->Unlink(PmPath(id)));
+    result.ops++;
+  }
+  result.seconds = static_cast<double>(MonotonicNowNs() - start) / 1e9;
+  return result;
+}
+
+// --- TPC-C lite --------------------------------------------------------------------
+
+Result<WorkloadResult> RunTpcc(Vfs* vfs, const TpccConfig& config) {
+  Rng rng(config.seed);
+  std::vector<uint8_t> page(kBlockSize);
+  FillPattern(page, config.seed);
+  std::vector<uint8_t> wal_rec(config.wal_record_bytes);
+  FillPattern(wal_rec, config.seed + 1);
+
+  WorkloadResult result;
+  const uint64_t start = MonotonicNowNs();
+  HINFS_RETURN_IF_ERROR(vfs->Mkdir("/tpcc"));
+
+  // Load phase: one table file per warehouse plus the WAL.
+  const size_t pages = config.warehouses * config.table_pages_per_wh;
+  HINFS_ASSIGN_OR_RETURN(int table_fd, vfs->Open("/tpcc/table", kRdWr | kCreate));
+  for (size_t p = 0; p < pages; p++) {
+    HINFS_ASSIGN_OR_RETURN(size_t n, vfs->Write(table_fd, page.data(), page.size()));
+    result.bytes_written += n;
+  }
+  HINFS_ASSIGN_OR_RETURN(int wal_fd, vfs->Open("/tpcc/wal", kWrOnly | kCreate | kAppend));
+
+  // Transactions: read-modify-write pages, then durable WAL commit.
+  for (size_t t = 0; t < config.transactions; t++) {
+    for (size_t p = 0; p < config.pages_per_txn; p++) {
+      const uint64_t pageno = rng.Skewed(pages, 0.4);
+      HINFS_ASSIGN_OR_RETURN(
+          size_t rn, vfs->Pread(table_fd, page.data(), page.size(), pageno * kBlockSize));
+      result.bytes_read += rn;
+      page[0] = static_cast<uint8_t>(t);  // "modify"
+      HINFS_ASSIGN_OR_RETURN(
+          size_t wn, vfs->Pwrite(table_fd, page.data(), page.size(), pageno * kBlockSize));
+      result.bytes_written += wn;
+    }
+    HINFS_ASSIGN_OR_RETURN(size_t wn, vfs->Write(wal_fd, wal_rec.data(), wal_rec.size()));
+    result.bytes_written += wn;
+    HINFS_RETURN_IF_ERROR(vfs->Fsync(wal_fd));
+    result.fsyncs++;
+    result.ops++;
+
+    if ((t + 1) % config.checkpoint_every == 0) {
+      HINFS_RETURN_IF_ERROR(vfs->Fsync(table_fd));
+      result.fsyncs++;
+    }
+  }
+  HINFS_RETURN_IF_ERROR(vfs->Close(table_fd));
+  HINFS_RETURN_IF_ERROR(vfs->Close(wal_fd));
+  // Final checkpoint: the database shuts down durably (also charges any
+  // still-buffered table pages, so short runs don't hide deferred work).
+  HINFS_RETURN_IF_ERROR(vfs->SyncFs());
+  result.seconds = static_cast<double>(MonotonicNowNs() - start) / 1e9;
+  return result;
+}
+
+// --- kernel tree -----------------------------------------------------------------------
+
+namespace {
+
+std::string SrcPath(size_t d, size_t f) {
+  return "/src/d" + std::to_string(d) + "/f" + std::to_string(f) + ".c";
+}
+std::string HeaderPath(size_t h) { return "/include/h" + std::to_string(h) + ".h"; }
+std::string ObjPath(size_t d, size_t f) {
+  return "/obj/d" + std::to_string(d) + "_f" + std::to_string(f) + ".o";
+}
+
+}  // namespace
+
+Status BuildKernelTree(Vfs* vfs, const KernelTreeConfig& config) {
+  Rng rng(config.seed);
+  std::vector<uint8_t> payload(std::max(config.mean_source_bytes, config.mean_header_bytes) * 2);
+  FillPattern(payload, config.seed);
+
+  HINFS_RETURN_IF_ERROR(vfs->Mkdir("/src"));
+  HINFS_RETURN_IF_ERROR(vfs->Mkdir("/include"));
+  HINFS_RETURN_IF_ERROR(vfs->Mkdir("/obj"));
+  for (size_t h = 0; h < config.headers; h++) {
+    const size_t size = config.mean_header_bytes / 2 + rng.Below(config.mean_header_bytes);
+    HINFS_ASSIGN_OR_RETURN(int fd, vfs->Open(HeaderPath(h), kWrOnly | kCreate));
+    HINFS_RETURN_IF_ERROR(vfs->Write(fd, payload.data(), size).status());
+    HINFS_RETURN_IF_ERROR(vfs->Close(fd));
+  }
+  for (size_t d = 0; d < config.dirs; d++) {
+    HINFS_RETURN_IF_ERROR(vfs->Mkdir("/src/d" + std::to_string(d)));
+    for (size_t f = 0; f < config.files_per_dir; f++) {
+      const size_t size = config.mean_source_bytes / 2 + rng.Below(config.mean_source_bytes);
+      HINFS_ASSIGN_OR_RETURN(int fd, vfs->Open(SrcPath(d, f), kWrOnly | kCreate));
+      HINFS_RETURN_IF_ERROR(vfs->Write(fd, payload.data(), size).status());
+      HINFS_RETURN_IF_ERROR(vfs->Close(fd));
+    }
+  }
+  return OkStatus();
+}
+
+Result<WorkloadResult> RunKernelGrep(Vfs* vfs, const KernelTreeConfig& config) {
+  WorkloadResult result;
+  std::vector<uint8_t> buf(1 << 20);
+  const uint64_t start = MonotonicNowNs();
+
+  auto scan = [&](const std::string& path) -> Status {
+    HINFS_ASSIGN_OR_RETURN(int fd, vfs->Open(path, kRdOnly));
+    while (true) {
+      HINFS_ASSIGN_OR_RETURN(size_t n, vfs->Read(fd, buf.data(), buf.size()));
+      result.bytes_read += n;
+      // "grep": look for a pattern that is never present.
+      if (std::search(buf.begin(), buf.begin() + n, std::begin("HINFS_NEEDLE"),
+                      std::end("HINFS_NEEDLE") - 1) != buf.begin() + n) {
+        return Status(ErrorCode::kCorrupt, "needle unexpectedly found");
+      }
+      if (n < buf.size()) {
+        break;
+      }
+    }
+    result.ops++;
+    return vfs->Close(fd);
+  };
+
+  for (size_t h = 0; h < config.headers; h++) {
+    HINFS_RETURN_IF_ERROR(scan(HeaderPath(h)));
+  }
+  for (size_t d = 0; d < config.dirs; d++) {
+    for (size_t f = 0; f < config.files_per_dir; f++) {
+      HINFS_RETURN_IF_ERROR(scan(SrcPath(d, f)));
+    }
+  }
+  result.seconds = static_cast<double>(MonotonicNowNs() - start) / 1e9;
+  return result;
+}
+
+Result<WorkloadResult> RunKernelMake(Vfs* vfs, const KernelTreeConfig& config) {
+  Rng rng(config.seed + 7);
+  WorkloadResult result;
+  std::vector<uint8_t> buf(1 << 20);
+  const uint64_t start = MonotonicNowNs();
+
+  for (size_t d = 0; d < config.dirs; d++) {
+    for (size_t f = 0; f < config.files_per_dir; f++) {
+      // "Compile": read the source and a handful of headers...
+      HINFS_ASSIGN_OR_RETURN(int src, vfs->Open(SrcPath(d, f), kRdOnly));
+      HINFS_ASSIGN_OR_RETURN(size_t sn, vfs->Read(src, buf.data(), buf.size()));
+      result.bytes_read += sn;
+      HINFS_RETURN_IF_ERROR(vfs->Close(src));
+      for (int h = 0; h < 5; h++) {
+        HINFS_ASSIGN_OR_RETURN(int hdr, vfs->Open(HeaderPath(rng.Below(config.headers)), kRdOnly));
+        HINFS_ASSIGN_OR_RETURN(size_t hn, vfs->Read(hdr, buf.data(), buf.size()));
+        result.bytes_read += hn;
+        HINFS_RETURN_IF_ERROR(vfs->Close(hdr));
+      }
+      // ...then write the object file (~1.5x the source size), lazily.
+      const size_t obj_size = sn + sn / 2 + 64;
+      HINFS_ASSIGN_OR_RETURN(int obj, vfs->Open(ObjPath(d, f), kWrOnly | kCreate | kTrunc));
+      HINFS_ASSIGN_OR_RETURN(size_t on, vfs->Write(obj, buf.data(), obj_size));
+      result.bytes_written += on;
+      HINFS_RETURN_IF_ERROR(vfs->Close(obj));
+      result.ops++;
+    }
+  }
+
+  // "Link": concatenate all objects into one image.
+  HINFS_ASSIGN_OR_RETURN(int image, vfs->Open("/obj/vmlinux", kWrOnly | kCreate | kTrunc));
+  for (size_t d = 0; d < config.dirs; d++) {
+    for (size_t f = 0; f < config.files_per_dir; f++) {
+      HINFS_ASSIGN_OR_RETURN(int obj, vfs->Open(ObjPath(d, f), kRdOnly));
+      HINFS_ASSIGN_OR_RETURN(size_t n, vfs->Read(obj, buf.data(), buf.size()));
+      result.bytes_read += n;
+      HINFS_RETURN_IF_ERROR(vfs->Close(obj));
+      HINFS_ASSIGN_OR_RETURN(size_t wn, vfs->Write(image, buf.data(), n));
+      result.bytes_written += wn;
+    }
+  }
+  HINFS_RETURN_IF_ERROR(vfs->Close(image));
+  result.ops++;
+  // No drain here: like real make, the benchmark measures elapsed build time;
+  // object writeback continues in background afterwards (the paper's Fig. 13
+  // measures make's elapsed time the same way).
+  result.seconds = static_cast<double>(MonotonicNowNs() - start) / 1e9;
+  return result;
+}
+
+}  // namespace hinfs

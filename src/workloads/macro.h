@@ -1,0 +1,62 @@
+// Macrobenchmarks (Table 1): Postmark, a TPC-C-style OLTP load, Kernel-Grep,
+// and Kernel-Make. Each reports elapsed time, the metric Fig. 13 normalizes.
+
+#ifndef SRC_WORKLOADS_MACRO_H_
+#define SRC_WORKLOADS_MACRO_H_
+
+#include "src/workloads/workload.h"
+
+namespace hinfs {
+
+// --- Postmark ------------------------------------------------------------------
+// Create a pool of small files, run read/append + create/delete transactions,
+// then delete everything. Mail/web-service style: many short-lived files.
+struct PostmarkConfig {
+  size_t nfiles = 300;
+  size_t min_size = 512;
+  size_t max_size = 16 * 1024;
+  size_t transactions = 1500;
+  size_t io_size = 4096;
+  double read_bias = 0.5;    // read vs append inside a transaction
+  double create_bias = 0.5;  // create vs delete inside a transaction
+  uint64_t seed = 11;
+};
+Result<WorkloadResult> RunPostmark(Vfs* vfs, const PostmarkConfig& config);
+
+// --- TPC-C-lite -----------------------------------------------------------------
+// A miniature OLTP engine: a heap table file plus a write-ahead log. Each
+// transaction reads and rewrites a few table pages, appends a WAL record, and
+// fsyncs the WAL (the >90 % fsync-byte behaviour of Fig. 2).
+struct TpccConfig {
+  size_t warehouses = 3;
+  size_t table_pages_per_wh = 256;  // 1 MB per warehouse
+  size_t transactions = 600;
+  size_t pages_per_txn = 6;
+  size_t wal_record_bytes = 512;
+  size_t checkpoint_every = 100;  // table fsync cadence
+  uint64_t seed = 12;
+};
+Result<WorkloadResult> RunTpcc(Vfs* vfs, const TpccConfig& config);
+
+// --- Kernel tree workloads ---------------------------------------------------------
+struct KernelTreeConfig {
+  size_t dirs = 24;
+  size_t files_per_dir = 16;
+  size_t mean_source_bytes = 8 * 1024;
+  size_t headers = 40;
+  size_t mean_header_bytes = 12 * 1024;
+  uint64_t seed = 13;
+};
+// Builds /src/dN/fM.c and /include/hK.h.
+Status BuildKernelTree(Vfs* vfs, const KernelTreeConfig& config);
+
+// Kernel-Grep: scan every file for an absent pattern (read-only).
+Result<WorkloadResult> RunKernelGrep(Vfs* vfs, const KernelTreeConfig& config);
+
+// Kernel-Make: per source file, read it plus a few headers and write an object
+// file; finally link (concatenate objects into one image).
+Result<WorkloadResult> RunKernelMake(Vfs* vfs, const KernelTreeConfig& config);
+
+}  // namespace hinfs
+
+#endif  // SRC_WORKLOADS_MACRO_H_

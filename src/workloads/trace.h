@@ -1,0 +1,97 @@
+// Syscall-level trace synthesis and replay.
+//
+// The paper replays FIU Usr0/Usr1, LASR, and MobiBench Facebook system-call
+// traces (read/write/unlink/fsync). Those traces are not redistributable, so
+// SynthesizeTrace generates op streams with the properties the paper's results
+// depend on — op mix, I/O size distribution, write locality, and the fsync-
+// byte fractions shown in Fig. 2 — from published workload descriptions
+// (see DESIGN.md §1). ReplayTrace executes a trace against a Vfs and returns
+// the per-op-type time breakdown of Fig. 12.
+
+#ifndef SRC_WORKLOADS_TRACE_H_
+#define SRC_WORKLOADS_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/workloads/workload.h"
+
+namespace hinfs {
+
+enum class TraceOpType : uint8_t {
+  kRead,
+  kWrite,
+  kUnlink,
+  kFsync,
+};
+
+struct TraceOp {
+  TraceOpType type;
+  uint32_t file;    // file id; path is derived as /tN
+  uint64_t offset;  // read/write
+  uint32_t size;    // read/write
+};
+
+struct TraceProfile {
+  std::string name;
+  size_t num_files = 64;
+  size_t num_ops = 20000;
+  double read_frac = 0.4;    // of all ops
+  double unlink_frac = 0.01; // of all ops (victim is recreated on next write)
+  // Fsync cadence: after a write, with probability 1/fsync_period the written
+  // file is fsynced. 0 disables fsyncs entirely.
+  double fsync_period = 0;
+  // Fraction of files that ever see fsyncs (sync-active files).
+  double fsync_file_frac = 1.0;
+  size_t mean_io = 8192;
+  size_t max_file_bytes = 1 << 20;
+  double append_frac = 0.5;     // writes that append vs overwrite in place
+  double locality_theta = 0.4;  // skew of file and offset choice
+  uint64_t seed = 1;
+};
+
+// The five trace profiles evaluated in the paper.
+TraceProfile Usr0Profile();
+TraceProfile Usr1Profile();
+TraceProfile LasrProfile();
+TraceProfile FacebookProfile();
+TraceProfile TpccTraceProfile();
+
+std::vector<TraceOp> SynthesizeTrace(const TraceProfile& profile);
+
+// Text serialization ("R|W|U|F <file> <offset> <size>" per line) so synthetic
+// traces can be saved, inspected, and external syscall traces replayed.
+std::string TraceToText(const std::vector<TraceOp>& trace);
+Result<std::vector<TraceOp>> TraceFromText(std::string_view text);
+
+// Fig. 2: bytes that are still dirty at an fsync (and therefore must be
+// persisted eagerly) vs. total bytes written.
+struct FsyncByteStats {
+  uint64_t total_written = 0;
+  uint64_t fsync_bytes = 0;
+  double Percent() const {
+    return total_written == 0 ? 0 : 100.0 * static_cast<double>(fsync_bytes) /
+                                        static_cast<double>(total_written);
+  }
+};
+FsyncByteStats ComputeFsyncBytes(const std::vector<TraceOp>& trace);
+
+// Fig. 12: per-op-type execution time of a replay. `drain_ns` is a final
+// SyncFs that pushes still-buffered lazy writes out — the steady-state work a
+// short replay window would otherwise hide (the paper's 60 s runs reach
+// steady state naturally).
+struct TraceBreakdown {
+  uint64_t read_ns = 0;
+  uint64_t write_ns = 0;
+  uint64_t unlink_ns = 0;
+  uint64_t fsync_ns = 0;
+  uint64_t drain_ns = 0;
+  uint64_t ops = 0;
+  uint64_t TotalNs() const { return read_ns + write_ns + unlink_ns + fsync_ns + drain_ns; }
+};
+Result<TraceBreakdown> ReplayTrace(Vfs* vfs, const std::vector<TraceOp>& trace,
+                                   bool drain_at_end = true);
+
+}  // namespace hinfs
+
+#endif  // SRC_WORKLOADS_TRACE_H_

@@ -1,0 +1,35 @@
+#include "src/workloads/workload.h"
+
+#include <mutex>
+#include <thread>
+
+namespace hinfs {
+
+Status RunThreads(int threads, const std::function<Status(int)>& body) {
+  std::vector<std::thread> pool;
+  std::mutex mu;
+  Status first_error = OkStatus();
+  for (int i = 0; i < threads; i++) {
+    pool.emplace_back([&, i] {
+      Status st = body(i);
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (first_error.ok()) {
+          first_error = st;
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  return first_error;
+}
+
+void FillPattern(std::vector<uint8_t>& buf, uint64_t seed) {
+  for (size_t i = 0; i < buf.size(); i++) {
+    buf[i] = static_cast<uint8_t>((seed * 131 + i * 7) & 0xff);
+  }
+}
+
+}  // namespace hinfs

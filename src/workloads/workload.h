@@ -1,0 +1,35 @@
+// Shared workload plumbing: results, thread runner, dataset helpers.
+
+#ifndef SRC_WORKLOADS_WORKLOAD_H_
+#define SRC_WORKLOADS_WORKLOAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/vfs/vfs.h"
+
+namespace hinfs {
+
+struct WorkloadResult {
+  uint64_t ops = 0;           // flowops completed (filebench-style accounting)
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t fsyncs = 0;
+  double seconds = 0;
+
+  double OpsPerSec() const { return seconds > 0 ? static_cast<double>(ops) / seconds : 0; }
+};
+
+// Runs `body(thread_index)` on `threads` std::threads and returns after join.
+// Each body returns its op count; per-thread failures surface as a Status.
+Status RunThreads(int threads, const std::function<Status(int)>& body);
+
+// Fills `buf` with a deterministic byte pattern (payload for writes).
+void FillPattern(std::vector<uint8_t>& buf, uint64_t seed);
+
+}  // namespace hinfs
+
+#endif  // SRC_WORKLOADS_WORKLOAD_H_

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "src/hinfs/benefit_model.h"
+#include "src/hinfs/cacheline_bitmap.h"
+
+namespace hinfs {
+namespace {
+
+HinfsOptions Opts() {
+  HinfsOptions o;
+  o.dram_write_ns_per_line = 15;
+  o.eager_decay_ms = 1000;  // 1 s decay for tests
+  return o;
+}
+
+constexpr uint64_t kLNvmm = 200;
+
+TEST(BenefitModelTest, FreshBlocksAreLazy) {
+  EagerPersistenceChecker c(Opts(), kLNvmm);
+  EXPECT_FALSE(c.ShouldGoDirect(1, 0, /*now=*/0));
+}
+
+TEST(BenefitModelTest, WriteOnceThenSyncGoesEager) {
+  EagerPersistenceChecker c(Opts(), kLNvmm);
+  // One full-block write, then sync: N_cw = 64, N_cf = 64.
+  // 64*15 + 64*200 >= 64*200 -> inequality violated -> Eager-Persistent.
+  c.RecordWrite(1, 0, 64, ~0ull);
+  c.OnFsync(1, 1);
+  EXPECT_TRUE(c.ShouldGoDirect(1, 0, /*now=*/1));
+  EXPECT_EQ(c.eager_marks(), 1u);
+}
+
+TEST(BenefitModelTest, CoalescedWritesStayLazy) {
+  EagerPersistenceChecker c(Opts(), kLNvmm);
+  // Four overwrites of the same block before a sync: N_cw = 256, N_cf = 64.
+  // 256*15 + 64*200 = 16640 < 256*200 = 51200 -> satisfied -> lazy.
+  for (int i = 0; i < 4; i++) {
+    c.RecordWrite(1, 0, 64, ~0ull);
+  }
+  c.OnFsync(1, 1);
+  EXPECT_FALSE(c.ShouldGoDirect(1, 0, 1));
+  EXPECT_EQ(c.lazy_marks(), 1u);
+}
+
+TEST(BenefitModelTest, EagerStateDecaysWithoutSyncs) {
+  EagerPersistenceChecker c(Opts(), kLNvmm);
+  c.RecordWrite(1, 0, 64, ~0ull);
+  c.OnFsync(1, 1);
+  const uint64_t sync_time = 1;
+  EXPECT_TRUE(c.ShouldGoDirect(1, 0, sync_time + 1000));
+  // 2 s after the last sync (decay is 1 s): back to lazy.
+  const uint64_t late = sync_time + 2'000'000'000ull;
+  EXPECT_FALSE(c.ShouldGoDirect(1, 0, late));
+}
+
+TEST(BenefitModelTest, DecayedStateStaysLazyUntilNextSync) {
+  EagerPersistenceChecker c(Opts(), kLNvmm);
+  c.RecordWrite(1, 0, 64, ~0ull);
+  c.OnFsync(1, 1);
+  (void)c.ShouldGoDirect(1, 0, 3'000'000'000ull);  // triggers decay
+  // Even with a fresh last_sync timestamp the block stays lazy until OnFsync
+  // re-evaluates it.
+  EXPECT_FALSE(c.ShouldGoDirect(1, 0, 3'000'000'001ull));
+}
+
+TEST(BenefitModelTest, AccuracyTracksConsecutiveAgreement) {
+  EagerPersistenceChecker c(Opts(), kLNvmm);
+  // Sync 1: eager verdict (no previous -> not accurate, not counted as hit).
+  c.RecordWrite(1, 0, 64, ~0ull);
+  c.OnFsync(1, 1);
+  // Sync 2: same single-write pattern -> same verdict -> accurate.
+  c.RecordWrite(1, 0, 64, ~0ull);
+  c.OnFsync(1, 1);
+  // Sync 3: heavily coalesced -> verdict flips -> inaccurate.
+  for (int i = 0; i < 8; i++) {
+    c.RecordWrite(1, 0, 64, ~0ull);
+  }
+  c.OnFsync(1, 1);
+  EXPECT_EQ(c.decisions(), 3u);
+  EXPECT_EQ(c.paired_decisions(), 2u);  // syncs 2 and 3 have predecessors
+  EXPECT_EQ(c.accurate_decisions(), 1u);
+  EXPECT_DOUBLE_EQ(c.AccuracyRate(), 0.5);
+}
+
+TEST(BenefitModelTest, UntouchedBlocksNotEvaluated) {
+  EagerPersistenceChecker c(Opts(), kLNvmm);
+  c.RecordWrite(1, 0, 64, ~0ull);
+  c.OnFsync(1, 1);
+  c.OnFsync(1, 1);  // nothing written since -> no new decision
+  EXPECT_EQ(c.decisions(), 1u);
+}
+
+TEST(BenefitModelTest, PerBlockIndependence) {
+  EagerPersistenceChecker c(Opts(), kLNvmm);
+  c.RecordWrite(1, 0, 64, ~0ull);  // block 0: once -> eager
+  for (int i = 0; i < 8; i++) {
+    c.RecordWrite(1, 1, 64, ~0ull);  // block 1: coalesced -> lazy
+  }
+  c.OnFsync(1, 1);
+  EXPECT_TRUE(c.ShouldGoDirect(1, 0, 1));
+  EXPECT_FALSE(c.ShouldGoDirect(1, 1, 1));
+}
+
+TEST(BenefitModelTest, PartialLineWritesCountGhostDirtyOnce) {
+  EagerPersistenceChecker c(Opts(), kLNvmm);
+  // 16 writes of the same single line: N_cw = 16, N_cf = 1.
+  // 16*15 + 200 = 440 < 16*200 -> lazy.
+  for (int i = 0; i < 16; i++) {
+    c.RecordWrite(1, 0, 1, 0x1);
+  }
+  c.OnFsync(1, 1);
+  EXPECT_FALSE(c.ShouldGoDirect(1, 0, 1));
+}
+
+TEST(BenefitModelTest, CheckerDisabledBuffersEverything) {
+  HinfsOptions o = Opts();
+  o.eager_checker = false;  // HiNFS-WB
+  EagerPersistenceChecker c(o, kLNvmm);
+  c.RecordWrite(1, 0, 64, ~0ull);
+  c.OnFsync(1, 1);
+  EXPECT_FALSE(c.ShouldGoDirect(1, 0, 1));
+  EXPECT_EQ(c.decisions(), 0u);
+}
+
+TEST(BenefitModelTest, FreshBlocksInheritFileBias) {
+  EagerPersistenceChecker c(Opts(), kLNvmm);
+  // Train the file eager (append-fsync pattern on blocks 0..2).
+  for (uint64_t b = 0; b < 3; b++) {
+    c.RecordWrite(1, b, 64, ~0ull);
+  }
+  c.OnFsync(1, 1);
+  // A brand-new block (an append) goes direct because the file is sync-biased.
+  EXPECT_TRUE(c.ShouldGoDirect(1, 99, 1));
+  // ...but only while the file's sync activity is fresh (decay applies).
+  EXPECT_FALSE(c.ShouldGoDirect(1, 99, 5'000'000'000ull));
+}
+
+TEST(BenefitModelTest, LazyBiasKeepsFreshBlocksBuffered) {
+  EagerPersistenceChecker c(Opts(), kLNvmm);
+  for (uint64_t b = 0; b < 3; b++) {
+    for (int i = 0; i < 8; i++) {
+      c.RecordWrite(1, b, 64, ~0ull);  // heavy coalescing -> lazy verdicts
+    }
+  }
+  c.OnFsync(1, 1);
+  EXPECT_FALSE(c.ShouldGoDirect(1, 99, 1));
+}
+
+TEST(BenefitModelTest, ForceEagerForMmap) {
+  EagerPersistenceChecker c(Opts(), kLNvmm);
+  c.ForceEager(5);
+  EXPECT_TRUE(c.ShouldGoDirect(5, 123, 1));
+  c.ClearForceEager(5);
+  EXPECT_FALSE(c.ShouldGoDirect(5, 123, 1));
+}
+
+TEST(BenefitModelTest, ForgetDropsState) {
+  EagerPersistenceChecker c(Opts(), kLNvmm);
+  c.RecordWrite(7, 0, 64, ~0ull);
+  c.OnFsync(7, 1);
+  EXPECT_TRUE(c.ShouldGoDirect(7, 0, 1));
+  c.Forget(7);
+  EXPECT_FALSE(c.ShouldGoDirect(7, 0, 1));
+}
+
+TEST(BenefitModelTest, HigherNvmmLatencyFavorsBuffering) {
+  // At L_nvmm = 50 and L_dram = 15, even 2x coalescing fails the inequality:
+  // 128*15 + 64*50 = 5120 >= 128*50 = 6400? 5120 < 6400 -> satisfied. Use a
+  // tighter case: 1.2x coalescing.
+  EagerPersistenceChecker slow(Opts(), 800);
+  EagerPersistenceChecker fast(Opts(), 17);
+  // Single write + 13 extra lines rewritten.
+  slow.RecordWrite(1, 0, 77, ~0ull);
+  fast.RecordWrite(1, 0, 77, ~0ull);
+  slow.OnFsync(1, 1);
+  fast.OnFsync(1, 1);
+  // 77*15 + 64*800 vs 77*800: 52355 < 61600 -> lazy at 800 ns.
+  EXPECT_FALSE(slow.ShouldGoDirect(1, 0, 1));
+  // 77*15 + 64*17 = 2243 >= 77*17 = 1309 -> eager at 17 ns.
+  EXPECT_TRUE(fast.ShouldGoDirect(1, 0, 1));
+}
+
+}  // namespace
+}  // namespace hinfs

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/blockdev/nvmm_block_device.h"
+#include "src/fs/blockfs/block_fs.h"
+#include "src/vfs/vfs.h"
+
+namespace hinfs {
+namespace {
+
+struct Mode {
+  bool journal;
+  bool dax;
+  const char* name;
+};
+
+class BlockFsTest : public ::testing::TestWithParam<Mode> {
+ protected:
+  BlockFsTest() {
+    NvmmConfig cfg;
+    cfg.size_bytes = 64 << 20;
+    cfg.latency_mode = LatencyMode::kNone;
+    nvmm_ = std::make_unique<NvmmDevice>(cfg);
+    dev_ = std::make_unique<NvmmBlockDevice>(nvmm_.get(), 0, (64 << 20) / kBlockSize);
+    opts_.journal = GetParam().journal;
+    opts_.dax = GetParam().dax;
+    opts_.max_inodes = 2048;
+    if (opts_.dax) {
+      opts_.dax_nvmm = nvmm_.get();
+      opts_.dax_nvmm_base = 0;
+    }
+    auto fs = BlockFs::Format(dev_.get(), opts_);
+    EXPECT_TRUE(fs.ok()) << fs.status().ToString();
+    fs_ = std::move(*fs);
+    vfs_ = std::make_unique<Vfs>(fs_.get());
+  }
+
+  void Remount() {
+    vfs_.reset();
+    fs_.reset();
+    auto fs = BlockFs::Mount(dev_.get(), opts_);
+    ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+    fs_ = std::move(*fs);
+    vfs_ = std::make_unique<Vfs>(fs_.get());
+  }
+
+  std::unique_ptr<NvmmDevice> nvmm_;
+  std::unique_ptr<NvmmBlockDevice> dev_;
+  BlockFsOptions opts_;
+  std::unique_ptr<BlockFs> fs_;
+  std::unique_ptr<Vfs> vfs_;
+};
+
+TEST_P(BlockFsTest, WriteReadRoundTrip) {
+  ASSERT_TRUE(vfs_->WriteFile("/f", "block data").ok());
+  auto content = vfs_->ReadFileToString("/f");
+  ASSERT_TRUE(content.ok()) << content.status().ToString();
+  EXPECT_EQ(*content, "block data");
+}
+
+TEST_P(BlockFsTest, DirectoriesAndNesting) {
+  ASSERT_TRUE(vfs_->Mkdir("/d").ok());
+  ASSERT_TRUE(vfs_->Mkdir("/d/e").ok());
+  ASSERT_TRUE(vfs_->WriteFile("/d/e/f", "deep").ok());
+  auto content = vfs_->ReadFileToString("/d/e/f");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "deep");
+  auto entries = vfs_->ReadDir("/d");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 1u);
+}
+
+TEST_P(BlockFsTest, LargeFileUsesIndirectBlocks) {
+  // > 10 direct blocks (40 KB) exercises the indirect path; > 2 MB + 40 KB
+  // would use double-indirect.
+  const size_t total = 300 * 1024;
+  std::vector<uint8_t> payload(8192);
+  for (size_t i = 0; i < payload.size(); i++) {
+    payload[i] = static_cast<uint8_t>(i);
+  }
+  auto fd = vfs_->Open("/big", kWrOnly | kCreate);
+  ASSERT_TRUE(fd.ok());
+  for (size_t off = 0; off < total; off += payload.size()) {
+    ASSERT_TRUE(vfs_->Write(*fd, payload.data(), payload.size()).ok());
+  }
+  ASSERT_TRUE(vfs_->Close(*fd).ok());
+  fd = vfs_->Open("/big", kRdOnly);
+  ASSERT_TRUE(fd.ok());
+  uint8_t out[64];
+  auto n = vfs_->Pread(*fd, out, 64, 123 * 1024);
+  ASSERT_TRUE(n.ok());
+  for (int i = 0; i < 64; i++) {
+    EXPECT_EQ(out[i], payload[(123 * 1024 + i) % payload.size()]);
+  }
+}
+
+TEST_P(BlockFsTest, DoubleIndirectFile) {
+  const size_t total = (2 << 20) + 256 * 1024;
+  std::vector<uint8_t> payload(1 << 16, 0x3c);
+  auto fd = vfs_->Open("/huge", kWrOnly | kCreate);
+  ASSERT_TRUE(fd.ok());
+  for (size_t off = 0; off < total; off += payload.size()) {
+    ASSERT_TRUE(vfs_->Write(*fd, payload.data(), payload.size()).ok());
+  }
+  ASSERT_TRUE(vfs_->Close(*fd).ok());
+  auto attr = vfs_->Stat("/huge");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_GE(attr->size, total);
+  fd = vfs_->Open("/huge", kRdOnly);
+  uint8_t out[8];
+  auto n = vfs_->Pread(*fd, out, 8, total - 8);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(out[0], 0x3c);
+}
+
+TEST_P(BlockFsTest, UnlinkFreesAndForgets) {
+  ASSERT_TRUE(vfs_->WriteFile("/victim", std::string(50000, 'v')).ok());
+  ASSERT_TRUE(vfs_->Unlink("/victim").ok());
+  EXPECT_FALSE(vfs_->Exists("/victim"));
+  // Space is reusable.
+  ASSERT_TRUE(vfs_->WriteFile("/again", std::string(50000, 'w')).ok());
+}
+
+TEST_P(BlockFsTest, TruncateShrinks) {
+  ASSERT_TRUE(vfs_->WriteFile("/t", std::string(100000, 't')).ok());
+  auto fd = vfs_->Open("/t", kRdWr);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_->Ftruncate(*fd, 10).ok());
+  auto attr = vfs_->Fstat(*fd);
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->size, 10u);
+}
+
+TEST_P(BlockFsTest, RenameWorks) {
+  ASSERT_TRUE(vfs_->WriteFile("/a", "renamed").ok());
+  ASSERT_TRUE(vfs_->Rename("/a", "/b").ok());
+  auto content = vfs_->ReadFileToString("/b");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "renamed");
+}
+
+TEST_P(BlockFsTest, FsyncAndRemount) {
+  ASSERT_TRUE(vfs_->WriteFile("/durable", "must survive").ok());
+  auto fd = vfs_->Open("/durable", kRdOnly);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_->Fsync(*fd).ok());
+  ASSERT_TRUE(vfs_->Close(*fd).ok());
+  ASSERT_TRUE(vfs_->Unmount().ok());
+  Remount();
+  auto content = vfs_->ReadFileToString("/durable");
+  ASSERT_TRUE(content.ok()) << content.status().ToString();
+  EXPECT_EQ(*content, "must survive");
+}
+
+TEST_P(BlockFsTest, UnmountFlushesDirtyPages) {
+  ASSERT_TRUE(vfs_->WriteFile("/lazy", std::string(20000, 'l')).ok());
+  ASSERT_TRUE(vfs_->Unmount().ok());
+  Remount();
+  auto content = vfs_->ReadFileToString("/lazy");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content->size(), 20000u);
+}
+
+TEST_P(BlockFsTest, HolesReadZero) {
+  auto fd = vfs_->Open("/sparse", kRdWr | kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_->Pwrite(*fd, "x", 1, 50000).ok());
+  char out[10] = {1};
+  auto n = vfs_->Pread(*fd, out, 10, 0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(out[0], 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, BlockFsTest,
+                         ::testing::Values(Mode{false, false, "ext2"},
+                                           Mode{true, false, "ext4"},
+                                           Mode{true, true, "ext4dax"}),
+                         [](const auto& info) { return info.param.name; });
+
+// Journal-specific behaviour.
+TEST(BlockFsJournalTest, CommittedMetadataSurvivesPageCacheLoss) {
+  NvmmConfig cfg;
+  cfg.size_bytes = 32 << 20;
+  cfg.latency_mode = LatencyMode::kNone;
+  cfg.track_persistence = true;
+  NvmmDevice nvmm(cfg);
+  NvmmBlockDevice dev(&nvmm, 0, (32 << 20) / kBlockSize);
+  BlockFsOptions opts;
+  opts.journal = true;
+  opts.max_inodes = 512;
+
+  {
+    auto fs = BlockFs::Format(&dev, opts);
+    ASSERT_TRUE(fs.ok());
+    Vfs vfs(fs->get());
+    ASSERT_TRUE(vfs.WriteFile("/j", "journaled").ok());
+    auto fd = vfs.Open("/j", kRdOnly);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(vfs.Fsync(*fd).ok());  // data pages + journal commit
+    // Crash: the page cache (DRAM) vanishes; only device writes survive.
+  }
+  ASSERT_TRUE(nvmm.SimulateCrash().ok());
+
+  auto fs = BlockFs::Mount(&dev, opts);
+  ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+  Vfs vfs(fs->get());
+  auto content = vfs.ReadFileToString("/j");
+  ASSERT_TRUE(content.ok()) << content.status().ToString();
+  EXPECT_EQ(*content, "journaled");
+}
+
+TEST(BlockFsJournalTest, UnsyncedDataLostOnCrash) {
+  NvmmConfig cfg;
+  cfg.size_bytes = 32 << 20;
+  cfg.latency_mode = LatencyMode::kNone;
+  cfg.track_persistence = true;
+  NvmmDevice nvmm(cfg);
+  NvmmBlockDevice dev(&nvmm, 0, (32 << 20) / kBlockSize);
+  BlockFsOptions opts;
+  opts.journal = true;
+  opts.max_inodes = 512;
+
+  {
+    auto fs = BlockFs::Format(&dev, opts);
+    ASSERT_TRUE(fs.ok());
+    Vfs vfs(fs->get());
+    ASSERT_TRUE(vfs.WriteFile("/gone", "never synced").ok());
+    // No fsync, no unmount: everything sits in the page cache.
+  }
+  ASSERT_TRUE(nvmm.SimulateCrash().ok());
+
+  auto fs = BlockFs::Mount(&dev, opts);
+  ASSERT_TRUE(fs.ok());
+  Vfs vfs(fs->get());
+  EXPECT_FALSE(vfs.Exists("/gone"));
+}
+
+}  // namespace
+}  // namespace hinfs

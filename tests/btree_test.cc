@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/rng.h"
+#include "src/hinfs/btree.h"
+
+namespace hinfs {
+namespace {
+
+TEST(BTreeTest, EmptyFinds) {
+  BTreeMap<int> t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.Find(0), nullptr);
+  EXPECT_FALSE(t.Erase(0));
+}
+
+TEST(BTreeTest, SingleElement) {
+  BTreeMap<int> t;
+  t.Insert(5, 50);
+  ASSERT_NE(t.Find(5), nullptr);
+  EXPECT_EQ(*t.Find(5), 50);
+  EXPECT_EQ(t.Find(4), nullptr);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(BTreeTest, OverwriteKeepsSize) {
+  BTreeMap<int> t;
+  t.Insert(5, 50);
+  t.Insert(5, 99);
+  EXPECT_EQ(*t.Find(5), 99);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(BTreeTest, SequentialInsertAndScan) {
+  BTreeMap<int> t;
+  for (int i = 0; i < 1000; i++) {
+    t.Insert(static_cast<uint64_t>(i), i * 2);
+  }
+  EXPECT_EQ(t.size(), 1000u);
+  uint64_t expect = 0;
+  t.ForEach([&](uint64_t k, int& v) {
+    EXPECT_EQ(k, expect);
+    EXPECT_EQ(v, static_cast<int>(k) * 2);
+    expect++;
+    return true;
+  });
+  EXPECT_EQ(expect, 1000u);
+}
+
+TEST(BTreeTest, ReverseInsert) {
+  BTreeMap<int> t;
+  for (int i = 999; i >= 0; i--) {
+    t.Insert(static_cast<uint64_t>(i), i);
+  }
+  for (int i = 0; i < 1000; i++) {
+    ASSERT_NE(t.Find(static_cast<uint64_t>(i)), nullptr) << i;
+  }
+}
+
+TEST(BTreeTest, SparseKeys) {
+  BTreeMap<int> t;
+  for (uint64_t i = 0; i < 500; i++) {
+    t.Insert(i * 1'000'003, static_cast<int>(i));
+  }
+  for (uint64_t i = 0; i < 500; i++) {
+    ASSERT_NE(t.Find(i * 1'000'003), nullptr);
+    EXPECT_EQ(t.Find(i * 1'000'003 + 1), nullptr);
+  }
+}
+
+TEST(BTreeTest, EraseHalf) {
+  BTreeMap<int> t;
+  for (uint64_t i = 0; i < 600; i++) {
+    t.Insert(i, static_cast<int>(i));
+  }
+  for (uint64_t i = 0; i < 600; i += 2) {
+    EXPECT_TRUE(t.Erase(i));
+  }
+  EXPECT_EQ(t.size(), 300u);
+  for (uint64_t i = 0; i < 600; i++) {
+    if (i % 2 == 0) {
+      EXPECT_EQ(t.Find(i), nullptr);
+    } else {
+      ASSERT_NE(t.Find(i), nullptr);
+    }
+  }
+}
+
+TEST(BTreeTest, ForEachEarlyStop) {
+  BTreeMap<int> t;
+  for (uint64_t i = 0; i < 100; i++) {
+    t.Insert(i, 1);
+  }
+  int visited = 0;
+  t.ForEach([&](uint64_t, int&) { return ++visited < 10; });
+  EXPECT_EQ(visited, 10);
+}
+
+TEST(BTreeTest, ClearThenReuse) {
+  BTreeMap<int> t;
+  for (uint64_t i = 0; i < 200; i++) {
+    t.Insert(i, 1);
+  }
+  t.Clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.Find(10), nullptr);
+  t.Insert(7, 70);
+  EXPECT_EQ(*t.Find(7), 70);
+}
+
+// Property test: random mixed workload against std::map.
+class BTreePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BTreePropertyTest, MatchesStdMap) {
+  Rng rng(GetParam());
+  BTreeMap<uint64_t> t;
+  std::map<uint64_t, uint64_t> ref;
+  for (int step = 0; step < 20000; step++) {
+    const uint64_t key = rng.Below(2000);
+    const double roll = rng.NextDouble();
+    if (roll < 0.5) {
+      const uint64_t val = rng.Next();
+      t.Insert(key, val);
+      ref[key] = val;
+    } else if (roll < 0.75) {
+      EXPECT_EQ(t.Erase(key), ref.erase(key) > 0) << "key " << key;
+    } else {
+      uint64_t* found = t.Find(key);
+      auto it = ref.find(key);
+      if (it == ref.end()) {
+        EXPECT_EQ(found, nullptr) << "key " << key;
+      } else {
+        ASSERT_NE(found, nullptr) << "key " << key;
+        EXPECT_EQ(*found, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(t.size(), ref.size());
+  // Final full-order comparison.
+  auto it = ref.begin();
+  t.ForEach([&](uint64_t k, uint64_t& v) {
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+    return true;
+  });
+  EXPECT_EQ(it, ref.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreePropertyTest,
+                         ::testing::Values(1, 2, 3, 17, 99, 12345, 777777, 424242));
+
+}  // namespace
+}  // namespace hinfs

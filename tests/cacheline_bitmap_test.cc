@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "src/hinfs/cacheline_bitmap.h"
+
+namespace hinfs {
+namespace {
+
+TEST(LineMaskTest, SingleByte) {
+  EXPECT_EQ(LineMaskFor(0, 1), 0x1ull);
+  EXPECT_EQ(LineMaskFor(63, 1), 0x1ull);
+  EXPECT_EQ(LineMaskFor(64, 1), 0x2ull);
+  EXPECT_EQ(LineMaskFor(4095, 1), 1ull << 63);
+}
+
+TEST(LineMaskTest, PaperExample) {
+  // A write to bytes 0..112 touches lines 0 and 1.
+  EXPECT_EQ(LineMaskFor(0, 112), 0x3ull);
+  // Line 0 (0..64) is fully covered; line 1 (64..128) only partially.
+  EXPECT_EQ(FullLineMaskFor(0, 112), 0x1ull);
+}
+
+TEST(LineMaskTest, WholeBlock) {
+  EXPECT_EQ(LineMaskFor(0, 4096), ~0ull);
+  EXPECT_EQ(FullLineMaskFor(0, 4096), ~0ull);
+}
+
+TEST(LineMaskTest, EmptyLen) {
+  EXPECT_EQ(LineMaskFor(100, 0), 0u);
+  EXPECT_EQ(FullLineMaskFor(100, 0), 0u);
+}
+
+TEST(LineMaskTest, UnalignedMiddle) {
+  // [100, 300): lines 1..4 touched; lines 2..3 fully covered ([128,256)).
+  EXPECT_EQ(LineMaskFor(100, 200), 0b11110ull);
+  EXPECT_EQ(FullLineMaskFor(100, 200), 0b01100ull);
+}
+
+TEST(LineMaskTest, SubLineWriteHasNoFullLines) {
+  EXPECT_EQ(FullLineMaskFor(10, 20), 0u);
+  EXPECT_EQ(LineMaskFor(10, 20), 0x1ull);
+}
+
+TEST(LineMaskTest, AlignedLineIsFull) {
+  EXPECT_EQ(FullLineMaskFor(64, 64), 0x2ull);
+  EXPECT_EQ(LineMaskFor(64, 64), 0x2ull);
+}
+
+TEST(NextRunTest, FindsRuns) {
+  LineRun run;
+  // mask = lines 1,2,3 and 6.
+  const uint64_t mask = 0b1001110;
+  ASSERT_TRUE(NextRun(mask, 0, &run));
+  EXPECT_EQ(run.first_line, 1u);
+  EXPECT_EQ(run.count, 3u);
+  ASSERT_TRUE(NextRun(mask, run.first_line + run.count, &run));
+  EXPECT_EQ(run.first_line, 6u);
+  EXPECT_EQ(run.count, 1u);
+  EXPECT_FALSE(NextRun(mask, run.first_line + run.count, &run));
+}
+
+TEST(NextRunTest, EmptyMask) {
+  LineRun run;
+  EXPECT_FALSE(NextRun(0, 0, &run));
+}
+
+TEST(NextRunTest, FullMask) {
+  LineRun run;
+  ASSERT_TRUE(NextRun(~0ull, 0, &run));
+  EXPECT_EQ(run.first_line, 0u);
+  EXPECT_EQ(run.count, 64u);
+  EXPECT_FALSE(NextRun(~0ull, 64, &run));
+}
+
+TEST(NextRunTest, HighBit) {
+  LineRun run;
+  ASSERT_TRUE(NextRun(1ull << 63, 0, &run));
+  EXPECT_EQ(run.first_line, 63u);
+  EXPECT_EQ(run.count, 1u);
+}
+
+TEST(CountLinesTest, Counts) {
+  EXPECT_EQ(CountLines(0), 0);
+  EXPECT_EQ(CountLines(~0ull), 64);
+  EXPECT_EQ(CountLines(0b1011), 3);
+}
+
+// Property: every offset/len combination decomposes consistently.
+class MaskPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MaskPropertyTest, FullSubsetOfTouched) {
+  const size_t offset = GetParam();
+  for (size_t len = 1; offset + len <= kBlockSize; len += 97) {
+    const uint64_t touch = LineMaskFor(offset, len);
+    const uint64_t full = FullLineMaskFor(offset, len);
+    EXPECT_EQ(full & ~touch, 0u) << offset << "+" << len;
+    // Touched lines must cover exactly ceil/floor boundaries.
+    EXPECT_EQ(CountLines(touch),
+              static_cast<int>((offset + len - 1) / kCachelineSize - offset / kCachelineSize + 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, MaskPropertyTest,
+                         ::testing::Values(0, 1, 63, 64, 65, 100, 2048, 4030));
+
+}  // namespace
+}  // namespace hinfs

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "src/common/clock.h"
+#include "src/common/histogram.h"
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+
+namespace hinfs {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), ErrorCode::kOk);
+  EXPECT_EQ(st.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesMessage) {
+  Status st(ErrorCode::kNotFound, "/a/b");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.ToString(), "not found: /a/b");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kIoError); c++) {
+    EXPECT_NE(ErrorCodeName(static_cast<ErrorCode>(c)), "unknown");
+  }
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return Status(ErrorCode::kNoSpace); };
+  auto wrapper = [&]() -> Status {
+    HINFS_RETURN_IF_ERROR(fails());
+    return OkStatus();
+  };
+  EXPECT_EQ(wrapper().code(), ErrorCode::kNoSpace);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status(ErrorCode::kBadFd);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kBadFd);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnUnwraps) {
+  auto make = []() -> Result<std::string> { return std::string("hi"); };
+  auto use = [&]() -> Result<size_t> {
+    HINFS_ASSIGN_OR_RETURN(std::string s, make());
+    return s.size();
+  };
+  ASSERT_TRUE(use().ok());
+  EXPECT_EQ(*use(), 2u);
+}
+
+TEST(ClockTest, MonotonicAdvances) {
+  const uint64_t a = MonotonicNowNs();
+  const uint64_t b = MonotonicNowNs();
+  EXPECT_LE(a, b);
+}
+
+TEST(ClockTest, SpinForWaitsRoughly) {
+  const uint64_t start = MonotonicNowNs();
+  SpinFor(100'000);  // 100 us
+  EXPECT_GE(MonotonicNowNs() - start, 100'000u);
+}
+
+TEST(SimClockTest, PerThreadAccounting) {
+  SimClock::ResetThread();
+  SimClock::Advance(500);
+  EXPECT_EQ(SimClock::ThreadNowNs(), 500u);
+  std::thread other([] {
+    SimClock::ResetThread();
+    EXPECT_EQ(SimClock::ThreadNowNs(), 0u);
+    SimClock::Advance(7);
+    EXPECT_EQ(SimClock::ThreadNowNs(), 7u);
+  });
+  other.join();
+  EXPECT_EQ(SimClock::ThreadNowNs(), 500u);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, BelowInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(RngTest, BetweenInclusive) {
+  Rng rng(2);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; i++) {
+    const uint64_t v = rng.Between(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all values hit
+}
+
+TEST(RngTest, SkewedConcentratesMass) {
+  Rng rng(3);
+  int low_half = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; i++) {
+    if (rng.Skewed(1000, 0.6) < 500) {
+      low_half++;
+    }
+  }
+  // With strong skew, far more than half the picks land in the low half.
+  EXPECT_GT(low_half, n * 7 / 10);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(4);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  h.Record(100);
+  h.Record(200);
+  h.Record(300);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 600u);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 300u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 200.0);
+}
+
+TEST(HistogramTest, EmptyIsSafe) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+  EXPECT_FALSE(h.Summary().empty());
+}
+
+TEST(HistogramTest, PercentileMonotone) {
+  Histogram h;
+  Rng rng(5);
+  for (int i = 0; i < 10000; i++) {
+    h.Record(rng.Below(1'000'000));
+  }
+  EXPECT_LE(h.Percentile(0.1), h.Percentile(0.5));
+  EXPECT_LE(h.Percentile(0.5), h.Percentile(0.99));
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a;
+  Histogram b;
+  a.Record(10);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+}
+
+TEST(StatsTest, CountersAccumulate) {
+  StatsRegistry stats;
+  stats.Add("x", 3);
+  stats.Add("x", 4);
+  EXPECT_EQ(stats.Get("x"), 7u);
+  EXPECT_EQ(stats.Get("missing"), 0u);
+}
+
+TEST(StatsTest, CounterPointerStable) {
+  StatsRegistry stats;
+  auto* cell = stats.Counter("hot");
+  for (int i = 0; i < 100; i++) {
+    stats.Add("filler" + std::to_string(i), 1);
+  }
+  EXPECT_EQ(cell, stats.Counter("hot"));
+}
+
+TEST(StatsTest, ScopedTimerAddsTime) {
+  StatsRegistry stats;
+  {
+    ScopedTimer t(stats.Counter("t"));
+    SpinFor(50'000);
+  }
+  EXPECT_GE(stats.Get("t"), 50'000u);
+}
+
+TEST(StatsTest, SnapshotSortedAndReset) {
+  StatsRegistry stats;
+  stats.Add("b", 1);
+  stats.Add("a", 2);
+  auto snap = stats.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first, "a");
+  stats.Reset();
+  EXPECT_EQ(stats.Get("a"), 0u);
+}
+
+TEST(StatsTest, ConcurrentAdds) {
+  StatsRegistry stats;
+  auto* cell = stats.Counter("c");
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 4; t++) {
+    pool.emplace_back([cell] {
+      for (int i = 0; i < 10000; i++) {
+        cell->fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : pool) {
+    t.join();
+  }
+  EXPECT_EQ(stats.Get("c"), 40000u);
+}
+
+}  // namespace
+}  // namespace hinfs

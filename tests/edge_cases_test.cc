@@ -1,0 +1,236 @@
+// Edge cases: resource exhaustion, deep index trees, boundary sizes — the
+// conditions a downstream user hits first in production.
+
+#include <gtest/gtest.h>
+
+#include "src/fs/pmfs/fsck.h"
+#include "src/fs/pmfs/pmfs_fs.h"
+#include "src/hinfs/hinfs_fs.h"
+#include "src/vfs/vfs.h"
+
+namespace hinfs {
+namespace {
+
+TEST(NoSpaceTest, PmfsFailsGracefullyAndStaysConsistent) {
+  NvmmConfig cfg;
+  cfg.size_bytes = 8 << 20;  // tiny device
+  cfg.latency_mode = LatencyMode::kNone;
+  NvmmDevice nvmm(cfg);
+  PmfsOptions opts;
+  opts.max_inodes = 256;
+  opts.journal_bytes = 256 * 1024;
+  auto fs = PmfsFs::Format(&nvmm, opts);
+  ASSERT_TRUE(fs.ok());
+  Vfs vfs(fs->get());
+
+  // Fill the device until writes fail.
+  std::vector<uint8_t> chunk(64 * 1024, 0x44);
+  Status last = OkStatus();
+  int files = 0;
+  for (; files < 1000; files++) {
+    auto fd = vfs.Open("/fill" + std::to_string(files), kWrOnly | kCreate);
+    if (!fd.ok()) {
+      last = fd.status();
+      break;
+    }
+    bool full = false;
+    for (int c = 0; c < 8; c++) {
+      Result<size_t> n = vfs.Write(*fd, chunk.data(), chunk.size());
+      if (!n.ok()) {
+        last = n.status();
+        full = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(vfs.Close(*fd).ok());
+    if (full) {
+      break;
+    }
+  }
+  EXPECT_EQ(last.code(), ErrorCode::kNoSpace);
+  EXPECT_GT(files, 10);
+
+  // Deleting reclaims space and the FS works again.
+  ASSERT_TRUE(vfs.Unlink("/fill0").ok());
+  ASSERT_TRUE(vfs.WriteFile("/after", std::string(10000, 'a')).ok());
+  ASSERT_TRUE(vfs.Unmount().ok());
+
+  auto report = FsckPmfs(&nvmm);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->clean()) << report->Summary();
+}
+
+TEST(NoSpaceTest, HinfsWritebackSurfacesNoSpace) {
+  NvmmConfig cfg;
+  cfg.size_bytes = 8 << 20;
+  cfg.latency_mode = LatencyMode::kNone;
+  NvmmDevice nvmm(cfg);
+  HinfsOptions hopts;
+  hopts.buffer_bytes = 1 << 20;
+  PmfsOptions popts;
+  popts.max_inodes = 256;
+  popts.journal_bytes = 256 * 1024;
+  auto fs = HinfsFs::Format(&nvmm, hopts, popts);
+  ASSERT_TRUE(fs.ok());
+  Vfs vfs(fs->get());
+
+  // Buffered writes can exceed free NVMM; the failure must surface at fsync
+  // (allocation happens at writeback), not corrupt anything.
+  std::vector<uint8_t> chunk(64 * 1024, 0x55);
+  Status failure = OkStatus();
+  for (int f = 0; f < 1000 && failure.ok(); f++) {
+    auto fd = vfs.Open("/fill" + std::to_string(f), kWrOnly | kCreate);
+    if (!fd.ok()) {
+      failure = fd.status();
+      break;
+    }
+    for (int c = 0; c < 4 && failure.ok(); c++) {
+      Result<size_t> n = vfs.Write(*fd, chunk.data(), chunk.size());
+      if (!n.ok()) {
+        failure = n.status();
+      }
+    }
+    if (failure.ok()) {
+      failure = vfs.Fsync(*fd);
+    }
+    (void)vfs.Close(*fd);
+  }
+  EXPECT_EQ(failure.code(), ErrorCode::kNoSpace);
+}
+
+TEST(InodeExhaustionTest, CreateFailsCleanly) {
+  NvmmConfig cfg;
+  cfg.size_bytes = 32 << 20;
+  cfg.latency_mode = LatencyMode::kNone;
+  NvmmDevice nvmm(cfg);
+  PmfsOptions opts;
+  opts.max_inodes = 20;
+  auto fs = PmfsFs::Format(&nvmm, opts);
+  ASSERT_TRUE(fs.ok());
+  Vfs vfs(fs->get());
+  Status last = OkStatus();
+  int created = 0;
+  for (int i = 0; i < 50; i++) {
+    Status st = vfs.WriteFile("/i" + std::to_string(i), "x");
+    if (!st.ok()) {
+      last = st;
+      break;
+    }
+    created++;
+  }
+  EXPECT_EQ(last.code(), ErrorCode::kNoSpace);
+  EXPECT_EQ(created, 19);  // root uses one slot
+  // Unlink frees a slot for reuse.
+  ASSERT_TRUE(vfs.Unlink("/i0").ok());
+  EXPECT_TRUE(vfs.WriteFile("/again", "y").ok());
+}
+
+TEST(DeepRadixTest, HeightThreeFileWorks) {
+  // > 512 * 512 blocks needs radix height 3: write sparse points across a
+  // multi-GB logical range (allocating only a few blocks).
+  NvmmConfig cfg;
+  cfg.size_bytes = 64 << 20;
+  cfg.latency_mode = LatencyMode::kNone;
+  NvmmDevice nvmm(cfg);
+  auto fs = PmfsFs::Format(&nvmm, {});
+  ASSERT_TRUE(fs.ok());
+  Vfs vfs(fs->get());
+  auto fd = vfs.Open("/sparse", kRdWr | kCreate);
+  ASSERT_TRUE(fd.ok());
+
+  const uint64_t offsets[] = {0ull, 4096ull * 511, 4096ull * 512, 4096ull * 512 * 300,
+                              4096ull * 512 * 512 + 12345};
+  for (uint64_t off : offsets) {
+    const uint64_t tag = off ^ 0xabcdef;
+    ASSERT_TRUE(vfs.Pwrite(*fd, &tag, 8, off).ok()) << off;
+  }
+  for (uint64_t off : offsets) {
+    uint64_t tag = 0;
+    auto n = vfs.Pread(*fd, &tag, 8, off);
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(tag, off ^ 0xabcdef) << off;
+  }
+  // The space between the points reads as zeros.
+  uint64_t zero = 1;
+  ASSERT_TRUE(vfs.Pread(*fd, &zero, 8, 4096ull * 512 * 100).ok());
+  EXPECT_EQ(zero, 0u);
+  auto attr = vfs.Fstat(*fd);
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->size, offsets[4] + 8);
+}
+
+TEST(BoundaryTest, WritesAtExactBlockEdges) {
+  NvmmConfig cfg;
+  cfg.size_bytes = 32 << 20;
+  cfg.latency_mode = LatencyMode::kNone;
+  NvmmDevice nvmm(cfg);
+  HinfsOptions hopts;
+  hopts.buffer_bytes = 1 << 20;
+  auto fs = HinfsFs::Format(&nvmm, hopts);
+  ASSERT_TRUE(fs.ok());
+  Vfs vfs(fs->get());
+  auto fd = vfs.Open("/edges", kRdWr | kCreate);
+  ASSERT_TRUE(fd.ok());
+
+  // One-byte writes straddling every interesting boundary.
+  for (uint64_t off : {uint64_t{0}, uint64_t{63}, uint64_t{64}, uint64_t{4095}, uint64_t{4096},
+                       uint64_t{4097}, uint64_t{8191}, uint64_t{8192}}) {
+    const auto b = static_cast<uint8_t>(off & 0x7f);
+    ASSERT_TRUE(vfs.Pwrite(*fd, &b, 1, off).ok()) << off;
+  }
+  ASSERT_TRUE(vfs.Fsync(*fd).ok());
+  for (uint64_t off : {uint64_t{0}, uint64_t{63}, uint64_t{64}, uint64_t{4095}, uint64_t{4096},
+                       uint64_t{4097}, uint64_t{8191}, uint64_t{8192}}) {
+    uint8_t b = 0xff;
+    auto n = vfs.Pread(*fd, &b, 1, off);
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(b, static_cast<uint8_t>(off & 0x7f)) << off;
+  }
+  // A write spanning two blocks exactly.
+  std::vector<uint8_t> span(kBlockSize * 2, 0xee);
+  ASSERT_TRUE(vfs.Pwrite(*fd, span.data(), span.size(), kBlockSize / 2).ok());
+  uint8_t probe;
+  ASSERT_TRUE(vfs.Pread(*fd, &probe, 1, kBlockSize / 2 + span.size() - 1).ok());
+  EXPECT_EQ(probe, 0xee);
+}
+
+TEST(BoundaryTest, ZeroLengthOps) {
+  NvmmConfig cfg;
+  cfg.size_bytes = 16 << 20;
+  cfg.latency_mode = LatencyMode::kNone;
+  NvmmDevice nvmm(cfg);
+  auto fs = PmfsFs::Format(&nvmm, {});
+  ASSERT_TRUE(fs.ok());
+  Vfs vfs(fs->get());
+  auto fd = vfs.Open("/z", kRdWr | kCreate);
+  ASSERT_TRUE(fd.ok());
+  auto w = vfs.Write(*fd, "", 0);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(*w, 0u);
+  char buf[1];
+  auto r = vfs.Read(*fd, buf, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 0u);
+  auto attr = vfs.Fstat(*fd);
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->size, 0u);
+}
+
+TEST(BoundaryTest, MaxNameLengthAccepted) {
+  NvmmConfig cfg;
+  cfg.size_bytes = 16 << 20;
+  cfg.latency_mode = LatencyMode::kNone;
+  NvmmDevice nvmm(cfg);
+  auto fs = PmfsFs::Format(&nvmm, {});
+  ASSERT_TRUE(fs.ok());
+  Vfs vfs(fs->get());
+  const std::string name(kMaxNameLen, 'n');
+  ASSERT_TRUE(vfs.WriteFile("/" + name, "max").ok());
+  auto content = vfs.ReadFileToString("/" + name);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "max");
+  EXPECT_FALSE(vfs.WriteFile("/" + name + "n", "over").ok());
+}
+
+}  // namespace
+}  // namespace hinfs

@@ -1,0 +1,182 @@
+// Integration matrix: every file system in Table 3 (plus ablations) must
+// behave identically at the VFS level. A randomized op stream is checked
+// against an in-memory reference model.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "src/common/rng.h"
+#include "src/workloads/fs_setup.h"
+#include "src/workloads/workload.h"
+
+namespace hinfs {
+namespace {
+
+TestBedConfig SmallConfig() {
+  TestBedConfig cfg;
+  cfg.nvmm.size_bytes = 64 << 20;
+  cfg.nvmm.latency_mode = LatencyMode::kNone;
+  cfg.hinfs.buffer_bytes = 2 << 20;
+  cfg.hinfs.writeback_period_ms = 20;
+  cfg.pmfs.max_inodes = 4096;
+  return cfg;
+}
+
+class FsMatrixTest : public ::testing::TestWithParam<FsKind> {};
+
+TEST_P(FsMatrixTest, BasicLifecycle) {
+  auto bed = MakeTestBed(GetParam(), SmallConfig());
+  ASSERT_TRUE(bed.ok()) << bed.status().ToString();
+  Vfs* vfs = (*bed)->vfs.get();
+
+  ASSERT_TRUE(vfs->Mkdir("/dir").ok());
+  ASSERT_TRUE(vfs->WriteFile("/dir/file", "contents").ok());
+  auto content = vfs->ReadFileToString("/dir/file");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "contents");
+  ASSERT_TRUE(vfs->Rename("/dir/file", "/dir/renamed").ok());
+  EXPECT_FALSE(vfs->Exists("/dir/file"));
+  ASSERT_TRUE(vfs->Unlink("/dir/renamed").ok());
+  ASSERT_TRUE(vfs->Rmdir("/dir").ok());
+  ASSERT_TRUE(vfs->Unmount().ok());
+}
+
+TEST_P(FsMatrixTest, FsyncDurableAndReadable) {
+  auto bed = MakeTestBed(GetParam(), SmallConfig());
+  ASSERT_TRUE(bed.ok());
+  Vfs* vfs = (*bed)->vfs.get();
+  auto fd = vfs->Open("/f", kRdWr | kCreate);
+  ASSERT_TRUE(fd.ok());
+  std::vector<uint8_t> data(30000, 0x33);
+  ASSERT_TRUE(vfs->Write(*fd, data.data(), data.size()).ok());
+  ASSERT_TRUE(vfs->Fsync(*fd).ok());
+  uint8_t out[16];
+  auto n = vfs->Pread(*fd, out, 16, 29984);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 16u);
+  EXPECT_EQ(out[0], 0x33);
+}
+
+TEST_P(FsMatrixTest, RandomOpsMatchReferenceModel) {
+  auto bed = MakeTestBed(GetParam(), SmallConfig());
+  ASSERT_TRUE(bed.ok());
+  Vfs* vfs = (*bed)->vfs.get();
+
+  // Reference model: path -> contents.
+  std::map<std::string, std::string> model;
+  Rng rng(2024);
+  std::vector<uint8_t> payload(64 * 1024);
+  FillPattern(payload, 1);
+
+  for (int step = 0; step < 800; step++) {
+    const int file_id = static_cast<int>(rng.Below(12));
+    const std::string path = "/r" + std::to_string(file_id);
+    const double roll = rng.NextDouble();
+
+    if (roll < 0.35) {
+      // pwrite at a random offset.
+      const size_t len = 1 + rng.Below(20000);
+      const uint64_t max_base =
+          model.count(path) != 0 ? model[path].size() : 0;
+      const uint64_t offset = rng.Below(max_base + 4096);
+      auto fd = vfs->Open(path, kRdWr | kCreate);
+      ASSERT_TRUE(fd.ok());
+      ASSERT_TRUE(vfs->Pwrite(*fd, payload.data(), len, offset).ok());
+      ASSERT_TRUE(vfs->Close(*fd).ok());
+      std::string& ref = model[path];
+      if (ref.size() < offset + len) {
+        ref.resize(offset + len, '\0');
+      }
+      std::memcpy(ref.data() + offset, payload.data(), len);
+    } else if (roll < 0.55) {
+      // Full read + compare.
+      auto it = model.find(path);
+      auto content = vfs->ReadFileToString(path);
+      if (it == model.end()) {
+        EXPECT_FALSE(content.ok()) << path;
+      } else {
+        ASSERT_TRUE(content.ok()) << path << ": " << content.status().ToString();
+        ASSERT_EQ(content->size(), it->second.size()) << path << " step " << step;
+        EXPECT_EQ(*content, it->second) << path << " step " << step;
+      }
+    } else if (roll < 0.65) {
+      // Random-range read + compare.
+      auto it = model.find(path);
+      if (it != model.end() && !it->second.empty()) {
+        const uint64_t offset = rng.Below(it->second.size());
+        const size_t len = 1 + rng.Below(8192);
+        auto fd = vfs->Open(path, kRdOnly);
+        ASSERT_TRUE(fd.ok());
+        std::vector<char> out(len);
+        auto n = vfs->Pread(*fd, out.data(), len, offset);
+        ASSERT_TRUE(n.ok());
+        const size_t expect = std::min<size_t>(len, it->second.size() - offset);
+        ASSERT_EQ(*n, expect);
+        EXPECT_EQ(std::memcmp(out.data(), it->second.data() + offset, expect), 0)
+            << path << " step " << step;
+        ASSERT_TRUE(vfs->Close(*fd).ok());
+      }
+    } else if (roll < 0.75) {
+      // Truncate to random size.
+      auto it = model.find(path);
+      if (it != model.end()) {
+        const uint64_t new_size = rng.Below(it->second.size() + 2000);
+        auto fd = vfs->Open(path, kRdWr);
+        ASSERT_TRUE(fd.ok());
+        ASSERT_TRUE(vfs->Ftruncate(*fd, new_size).ok());
+        ASSERT_TRUE(vfs->Close(*fd).ok());
+        it->second.resize(new_size, '\0');
+      }
+    } else if (roll < 0.85) {
+      // fsync.
+      if (model.count(path) != 0) {
+        auto fd = vfs->Open(path, kRdWr);
+        ASSERT_TRUE(fd.ok());
+        ASSERT_TRUE(vfs->Fsync(*fd).ok());
+        ASSERT_TRUE(vfs->Close(*fd).ok());
+      }
+    } else if (roll < 0.93) {
+      // Append.
+      if (model.count(path) != 0) {
+        const size_t len = 1 + rng.Below(10000);
+        auto fd = vfs->Open(path, kWrOnly | kAppend);
+        ASSERT_TRUE(fd.ok());
+        ASSERT_TRUE(vfs->Write(*fd, payload.data(), len).ok());
+        ASSERT_TRUE(vfs->Close(*fd).ok());
+        model[path].append(reinterpret_cast<char*>(payload.data()), len);
+      }
+    } else {
+      // Unlink.
+      Status st = vfs->Unlink(path);
+      EXPECT_EQ(st.ok(), model.erase(path) > 0) << path << " step " << step;
+    }
+  }
+
+  // Final verification of every surviving file.
+  for (const auto& [path, ref] : model) {
+    auto content = vfs->ReadFileToString(path);
+    ASSERT_TRUE(content.ok()) << path;
+    EXPECT_EQ(*content, ref) << path;
+  }
+  ASSERT_TRUE(vfs->Unmount().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFs, FsMatrixTest,
+                         ::testing::Values(FsKind::kPmfs, FsKind::kExt4Dax, FsKind::kExt2Nvmmbd,
+                                           FsKind::kExt4Nvmmbd, FsKind::kHinfs,
+                                           FsKind::kHinfsNclfw, FsKind::kHinfsWb,
+                                           FsKind::kHinfsFifo),
+                         [](const auto& info) {
+                           std::string name = FsKindName(info.param);
+                           for (char& c : name) {
+                             if (c == '+' || c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace hinfs

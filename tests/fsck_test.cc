@@ -1,0 +1,239 @@
+// Fsck: clean images verify; injected corruption is detected precisely.
+
+#include <gtest/gtest.h>
+
+#include "src/fs/pmfs/fsck.h"
+#include "src/fs/pmfs/layout.h"
+#include "src/fs/pmfs/pmfs_fs.h"
+#include "src/hinfs/hinfs_fs.h"
+#include "src/vfs/vfs.h"
+
+namespace hinfs {
+namespace {
+
+class FsckTest : public ::testing::Test {
+ protected:
+  FsckTest() {
+    NvmmConfig cfg;
+    cfg.size_bytes = 32 << 20;
+    cfg.latency_mode = LatencyMode::kNone;
+    nvmm_ = std::make_unique<NvmmDevice>(cfg);
+    PmfsOptions opts;
+    opts.max_inodes = 512;
+    opts.journal_bytes = 1 << 20;
+    auto fs = PmfsFs::Format(nvmm_.get(), opts);
+    EXPECT_TRUE(fs.ok());
+    fs_ = std::move(*fs);
+    vfs_ = std::make_unique<Vfs>(fs_.get());
+  }
+
+  void Populate() {
+    ASSERT_TRUE(vfs_->Mkdir("/dir").ok());
+    ASSERT_TRUE(vfs_->WriteFile("/dir/a", std::string(10000, 'a')).ok());
+    ASSERT_TRUE(vfs_->WriteFile("/dir/b", "tiny").ok());
+    ASSERT_TRUE(vfs_->WriteFile("/top", std::string(300000, 't')).ok());
+    ASSERT_TRUE(vfs_->Unmount().ok());
+  }
+
+  PmfsSuperblock LoadSb() {
+    PmfsSuperblock sb;
+    EXPECT_TRUE(nvmm_->Load(0, &sb, sizeof(sb)).ok());
+    return sb;
+  }
+
+  std::unique_ptr<NvmmDevice> nvmm_;
+  std::unique_ptr<PmfsFs> fs_;
+  std::unique_ptr<Vfs> vfs_;
+};
+
+TEST_F(FsckTest, CleanImagePasses) {
+  Populate();
+  auto report = FsckPmfs(nvmm_.get());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->clean()) << report->Summary();
+  EXPECT_EQ(report->directories, 2u);  // root + /dir
+  EXPECT_EQ(report->regular_files, 3u);
+  EXPECT_EQ(report->leaked_blocks, 0u) << report->Summary();
+}
+
+TEST_F(FsckTest, EmptyFileSystemIsClean) {
+  ASSERT_TRUE(vfs_->Unmount().ok());
+  auto report = FsckPmfs(nvmm_.get());
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->clean());
+  EXPECT_EQ(report->live_inodes, 1u);  // root only
+}
+
+TEST_F(FsckTest, HinfsImageAfterWorkIsClean) {
+  NvmmConfig cfg;
+  cfg.size_bytes = 32 << 20;
+  cfg.latency_mode = LatencyMode::kNone;
+  NvmmDevice nvmm(cfg);
+  HinfsOptions hopts;
+  hopts.buffer_bytes = 2 << 20;
+  PmfsOptions popts;
+  popts.max_inodes = 512;
+  auto fs = HinfsFs::Format(&nvmm, hopts, popts);
+  ASSERT_TRUE(fs.ok());
+  {
+    Vfs vfs(fs->get());
+    ASSERT_TRUE(vfs.Mkdir("/d").ok());
+    for (int i = 0; i < 30; i++) {
+      ASSERT_TRUE(vfs.WriteFile("/d/f" + std::to_string(i), std::string(5000 + i, 'x')).ok());
+    }
+    for (int i = 0; i < 10; i++) {
+      ASSERT_TRUE(vfs.Unlink("/d/f" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE(vfs.Unmount().ok());
+  }
+  auto report = FsckPmfs(&nvmm);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->clean()) << report->Summary();
+  EXPECT_EQ(report->regular_files, 20u);
+}
+
+TEST_F(FsckTest, DetectsBadMagic) {
+  Populate();
+  const uint64_t garbage = 0xdeadbeef;
+  ASSERT_TRUE(nvmm_->StorePersistent(0, &garbage, 8).ok());
+  auto report = FsckPmfs(nvmm_.get());
+  EXPECT_FALSE(report.ok());
+}
+
+TEST_F(FsckTest, DetectsDanglingDirent) {
+  Populate();
+  // Kill /dir/b's inode behind fsck's back: its dirent now dangles.
+  auto sb = LoadSb();
+  for (uint64_t ino = 2; ino <= sb.max_inodes; ino++) {
+    PmfsInode inode;
+    ASSERT_TRUE(
+        nvmm_->Load(sb.inode_table_off + (ino - 1) * sizeof(PmfsInode), &inode, sizeof(inode))
+            .ok());
+    if (inode.ino == ino && inode.size == 4) {  // /dir/b
+      PmfsInode zero{};
+      ASSERT_TRUE(
+          nvmm_->StorePersistent(sb.inode_table_off + (ino - 1) * sizeof(PmfsInode), &zero,
+                                 sizeof(zero))
+              .ok());
+      break;
+    }
+  }
+  auto report = FsckPmfs(nvmm_.get());
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->clean());
+}
+
+TEST_F(FsckTest, DetectsUnallocatedReference) {
+  Populate();
+  // Clear a bitmap byte: blocks still referenced by radix trees become
+  // "not allocated".
+  auto sb = LoadSb();
+  const uint8_t zero = 0;
+  ASSERT_TRUE(nvmm_->StorePersistent(sb.bitmap_off + 1, &zero, 1).ok());
+  auto report = FsckPmfs(nvmm_.get());
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->clean());
+}
+
+TEST_F(FsckTest, DetectsDoubleUse) {
+  Populate();
+  // Point /top's radix root at /dir/a's: their blocks become double-owned.
+  auto sb = LoadSb();
+  uint64_t first_root = 0;
+  for (uint64_t ino = 2; ino <= sb.max_inodes; ino++) {
+    PmfsInode inode;
+    ASSERT_TRUE(
+        nvmm_->Load(sb.inode_table_off + (ino - 1) * sizeof(PmfsInode), &inode, sizeof(inode))
+            .ok());
+    if (inode.ino != ino || inode.type != static_cast<uint8_t>(FileType::kRegular) ||
+        inode.radix_height == 0) {
+      continue;
+    }
+    if (first_root == 0) {
+      first_root = inode.radix_root;
+    } else if (inode.radix_height == 1) {
+      ASSERT_TRUE(nvmm_->StorePersistent(
+                      sb.inode_table_off + (ino - 1) * sizeof(PmfsInode) +
+                          offsetof(PmfsInode, radix_root),
+                      &first_root, 8)
+                      .ok());
+      break;
+    }
+  }
+  auto report = FsckPmfs(nvmm_.get());
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->clean());
+}
+
+TEST_F(FsckTest, DetectsLeakedBlocks) {
+  Populate();
+  // Mark a far-away free block as allocated: nothing references it.
+  auto sb = LoadSb();
+  const uint64_t victim = sb.data_blocks - 2;
+  uint8_t byte;
+  ASSERT_TRUE(nvmm_->Load(sb.bitmap_off + victim / 8, &byte, 1).ok());
+  byte |= static_cast<uint8_t>(1u << (victim % 8));
+  ASSERT_TRUE(nvmm_->StorePersistent(sb.bitmap_off + victim / 8, &byte, 1).ok());
+  auto report = FsckPmfs(nvmm_.get());
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->clean());  // leaks lose no data
+  EXPECT_GE(report->leaked_blocks, 1u);
+  EXPECT_FALSE(report->warnings.empty());
+}
+
+TEST_F(FsckTest, DetectsOversizedFile) {
+  Populate();
+  // Inflate /dir/b's size past its radix capacity.
+  auto sb = LoadSb();
+  for (uint64_t ino = 2; ino <= sb.max_inodes; ino++) {
+    PmfsInode inode;
+    ASSERT_TRUE(
+        nvmm_->Load(sb.inode_table_off + (ino - 1) * sizeof(PmfsInode), &inode, sizeof(inode))
+            .ok());
+    if (inode.ino == ino && inode.size == 4) {
+      const uint64_t huge = 1ull << 40;
+      ASSERT_TRUE(nvmm_->StorePersistent(
+                      sb.inode_table_off + (ino - 1) * sizeof(PmfsInode) +
+                          offsetof(PmfsInode, size),
+                      &huge, 8)
+                      .ok());
+      break;
+    }
+  }
+  auto report = FsckPmfs(nvmm_.get());
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->clean());
+}
+
+TEST_F(FsckTest, CleanAfterCrashRecovery) {
+  NvmmConfig cfg;
+  cfg.size_bytes = 32 << 20;
+  cfg.latency_mode = LatencyMode::kNone;
+  cfg.track_persistence = true;
+  NvmmDevice nvmm(cfg);
+  PmfsOptions opts;
+  opts.max_inodes = 512;
+  {
+    auto fs = PmfsFs::Format(&nvmm, opts);
+    ASSERT_TRUE(fs.ok());
+    Vfs vfs(fs->get());
+    for (int i = 0; i < 40; i++) {
+      ASSERT_TRUE(vfs.WriteFile("/f" + std::to_string(i), std::string(3000, 'z')).ok());
+    }
+    for (int i = 0; i < 15; i++) {
+      ASSERT_TRUE(vfs.Unlink("/f" + std::to_string(i)).ok());
+    }
+    // Crash without unmount.
+  }
+  ASSERT_TRUE(nvmm.SimulateCrash().ok());
+  // Mount runs journal recovery and must leave a consistent image.
+  auto fs = PmfsFs::Mount(&nvmm);
+  ASSERT_TRUE(fs.ok());
+  ASSERT_TRUE((*fs)->Unmount().ok());
+  auto report = FsckPmfs(&nvmm);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->clean()) << report->Summary();
+}
+
+}  // namespace
+}  // namespace hinfs

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/hinfs/hinfs_fs.h"
+#include "src/vfs/vfs.h"
+
+namespace hinfs {
+namespace {
+
+class HinfsFsTest : public ::testing::Test {
+ protected:
+  void Build(HinfsOptions hopts) {
+    NvmmConfig cfg;
+    cfg.size_bytes = 64 << 20;
+    cfg.latency_mode = LatencyMode::kNone;
+    nvmm_ = std::make_unique<NvmmDevice>(cfg);
+    PmfsOptions popts;
+    popts.max_inodes = 4096;
+    popts.journal_bytes = 1 << 20;
+    auto fs = HinfsFs::Format(nvmm_.get(), hopts, popts);
+    ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+    fs_ = std::move(*fs);
+    vfs_ = std::make_unique<Vfs>(fs_.get());
+  }
+
+  void SetUp() override {
+    HinfsOptions hopts;
+    hopts.buffer_bytes = 4 << 20;
+    hopts.writeback_period_ms = 100000;  // effectively manual writeback
+    hopts.staleness_ms = 1000000;
+    Build(hopts);
+  }
+
+  std::unique_ptr<NvmmDevice> nvmm_;
+  std::unique_ptr<HinfsFs> fs_;
+  std::unique_ptr<Vfs> vfs_;
+};
+
+TEST_F(HinfsFsTest, WriteReadThroughBuffer) {
+  ASSERT_TRUE(vfs_->WriteFile("/f", "lazy data").ok());
+  auto content = vfs_->ReadFileToString("/f");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "lazy data");
+  EXPECT_GT(fs_->stats().Get(kStatLazyWrites), 0u);
+  EXPECT_EQ(fs_->stats().Get(kStatEagerWrites), 0u);
+}
+
+TEST_F(HinfsFsTest, LazyWriteDefersNvmmTraffic) {
+  nvmm_->ResetCounters();
+  std::vector<uint8_t> data(64 * 1024, 0x6b);
+  auto fd = vfs_->Open("/lazy", kWrOnly | kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_->Write(*fd, data.data(), data.size()).ok());
+  // Only metadata (inode updates, allocation) touched NVMM; the 64 KB payload
+  // did not.
+  EXPECT_LT(nvmm_->flushed_bytes(), data.size() / 4);
+  ASSERT_TRUE(vfs_->Fsync(*fd).ok());
+  EXPECT_GE(nvmm_->flushed_bytes(), data.size());
+}
+
+TEST_F(HinfsFsTest, SyncOpenWritesAreEager) {
+  auto fd = vfs_->Open("/sync", kWrOnly | kCreate | kSync);
+  ASSERT_TRUE(fd.ok());
+  std::vector<uint8_t> data(8192, 0x4d);
+  nvmm_->ResetCounters();
+  ASSERT_TRUE(vfs_->Write(*fd, data.data(), data.size()).ok());
+  EXPECT_GE(nvmm_->flushed_bytes(), data.size());
+  EXPECT_GT(fs_->stats().Get(kStatEagerWrites), 0u);
+}
+
+TEST_F(HinfsFsTest, ReadMergesBufferAndNvmm) {
+  // Write a block eagerly (via O_SYNC), then overwrite part of it lazily.
+  {
+    auto fd = vfs_->Open("/m", kWrOnly | kCreate | kSync);
+    ASSERT_TRUE(fd.ok());
+    std::vector<uint8_t> base(kBlockSize, 0xaa);
+    ASSERT_TRUE(vfs_->Write(*fd, base.data(), base.size()).ok());
+    ASSERT_TRUE(vfs_->Close(*fd).ok());
+  }
+  {
+    auto fd = vfs_->Open("/m", kWrOnly);
+    ASSERT_TRUE(fd.ok());
+    std::vector<uint8_t> patch(64, 0xbb);
+    ASSERT_TRUE(vfs_->Pwrite(*fd, patch.data(), patch.size(), 128).ok());
+    ASSERT_TRUE(vfs_->Close(*fd).ok());
+  }
+  auto content = vfs_->ReadFileToString("/m");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(static_cast<uint8_t>((*content)[0]), 0xaa);
+  EXPECT_EQ(static_cast<uint8_t>((*content)[128]), 0xbb);
+  EXPECT_EQ(static_cast<uint8_t>((*content)[192]), 0xaa);
+}
+
+TEST_F(HinfsFsTest, FsyncEvictsBufferedBlocks) {
+  ASSERT_TRUE(vfs_->WriteFile("/e", std::string(10000, 'e')).ok());
+  auto attr = vfs_->Stat("/e");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_TRUE(fs_->buffer().Contains(attr->ino, 0));
+  auto fd = vfs_->Open("/e", kRdOnly);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_->Fsync(*fd).ok());
+  EXPECT_FALSE(fs_->buffer().Contains(attr->ino, 0));
+}
+
+TEST_F(HinfsFsTest, RepeatedFsyncMarksBlocksEager) {
+  // Append-then-fsync (varmail style): after the first sync the model marks
+  // the blocks eager, and subsequent writes go direct.
+  auto fd = vfs_->Open("/mail", kWrOnly | kCreate | kAppend);
+  ASSERT_TRUE(fd.ok());
+  std::vector<uint8_t> msg(kBlockSize, 'm');
+  for (int i = 0; i < 4; i++) {
+    ASSERT_TRUE(vfs_->Write(*fd, msg.data(), msg.size()).ok());
+    ASSERT_TRUE(vfs_->Fsync(*fd).ok());
+  }
+  // Appends hit fresh blocks each time; blocks written once then synced are
+  // marked eager. Overwrite one of those already-synced blocks:
+  nvmm_->ResetCounters();
+  const uint64_t eager_before = fs_->stats().Get(kStatEagerWrites);
+  ASSERT_TRUE(vfs_->Pwrite(*fd, msg.data(), msg.size(), 0).ok());
+  EXPECT_GT(fs_->stats().Get(kStatEagerWrites), eager_before);
+  EXPECT_GE(nvmm_->flushed_bytes(), msg.size());
+}
+
+TEST_F(HinfsFsTest, UnlinkDropsBufferedWrites) {
+  std::vector<uint8_t> data(128 * 1024, 0x77);
+  auto fd = vfs_->Open("/shortlived", kWrOnly | kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_->Write(*fd, data.data(), data.size()).ok());
+  ASSERT_TRUE(vfs_->Close(*fd).ok());
+  nvmm_->ResetCounters();
+  ASSERT_TRUE(vfs_->Unlink("/shortlived").ok());
+  // The 128 KB of buffered data was never written to NVMM (only metadata
+  // journaling traffic appears).
+  EXPECT_LT(nvmm_->flushed_bytes(), 16 * 1024u);
+}
+
+TEST_F(HinfsFsTest, TruncateDiscardsBufferedTail) {
+  std::vector<uint8_t> data(32 * 1024, 0x55);
+  auto fd = vfs_->Open("/t", kWrOnly | kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_->Write(*fd, data.data(), data.size()).ok());
+  ASSERT_TRUE(vfs_->Ftruncate(*fd, 4096).ok());
+  auto attr = vfs_->Fstat(*fd);
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->size, 4096u);
+  EXPECT_FALSE(fs_->buffer().Contains(attr->ino, 2));
+  // Remaining content intact.
+  uint8_t out[64];
+  auto n = vfs_->Pread(*fd, out, 64, 0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(out[0], 0x55);
+}
+
+TEST_F(HinfsFsTest, UnmountFlushesAndRemounts) {
+  ASSERT_TRUE(vfs_->WriteFile("/persist", std::string(20000, 'p')).ok());
+  ASSERT_TRUE(vfs_->Unmount().ok());
+  fs_.reset();
+
+  HinfsOptions hopts;
+  hopts.buffer_bytes = 4 << 20;
+  auto fs = HinfsFs::Mount(nvmm_.get(), hopts);
+  ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+  fs_ = std::move(*fs);
+  vfs_ = std::make_unique<Vfs>(fs_.get());
+  auto content = vfs_->ReadFileToString("/persist");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content->size(), 20000u);
+  EXPECT_EQ((*content)[0], 'p');
+}
+
+TEST_F(HinfsFsTest, SyncFsFlushesEverything) {
+  for (int i = 0; i < 5; i++) {
+    ASSERT_TRUE(vfs_->WriteFile("/s" + std::to_string(i), std::string(5000, 's')).ok());
+  }
+  ASSERT_TRUE(vfs_->SyncFs().ok());
+  for (int i = 0; i < 5; i++) {
+    auto attr = vfs_->Stat("/s" + std::to_string(i));
+    ASSERT_TRUE(attr.ok());
+    EXPECT_FALSE(fs_->buffer().Contains(attr->ino, 0));
+  }
+}
+
+TEST_F(HinfsFsTest, MmapFlushesAndPinsEager) {
+  ASSERT_TRUE(vfs_->WriteFile("/map", std::string(kBlockSize, 'm')).ok());
+  auto attr = vfs_->Stat("/map");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_TRUE(fs_->buffer().Contains(attr->ino, 0));
+  auto ptr = fs_->Mmap(attr->ino, 0, kBlockSize);
+  ASSERT_TRUE(ptr.ok()) << ptr.status().ToString();
+  EXPECT_FALSE(fs_->buffer().Contains(attr->ino, 0));  // flushed + evicted
+  EXPECT_EQ((*ptr)[0], 'm');
+  // While mapped, file writes are eager (stay coherent with the mapping).
+  auto fd = vfs_->Open("/map", kWrOnly);
+  ASSERT_TRUE(fd.ok());
+  const char c = 'X';
+  ASSERT_TRUE(vfs_->Pwrite(*fd, &c, 1, 0).ok());
+  EXPECT_EQ((*ptr)[0], 'X');  // visible through the direct mapping
+  ASSERT_TRUE(fs_->Munmap(attr->ino).ok());
+}
+
+TEST_F(HinfsFsTest, HolesThroughBufferReadZero) {
+  auto fd = vfs_->Open("/holes", kRdWr | kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_->Pwrite(*fd, "tail", 4, 5 * kBlockSize).ok());
+  char out[8] = {1, 1};
+  auto n = vfs_->Pread(*fd, out, 8, kBlockSize);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(out[0], 0);
+  // After fsync (buffer drained) the hole is still zero.
+  ASSERT_TRUE(vfs_->Fsync(*fd).ok());
+  n = vfs_->Pread(*fd, out, 8, kBlockSize);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(out[0], 0);
+}
+
+TEST_F(HinfsFsTest, LargeLazyFileFlushedCorrectly) {
+  const size_t total = 3 << 20;  // crosses radix height 2
+  std::vector<uint8_t> payload(1 << 16);
+  for (size_t i = 0; i < payload.size(); i++) {
+    payload[i] = static_cast<uint8_t>(i * 13);
+  }
+  auto fd = vfs_->Open("/big", kWrOnly | kCreate);
+  ASSERT_TRUE(fd.ok());
+  for (size_t off = 0; off < total; off += payload.size()) {
+    ASSERT_TRUE(vfs_->Write(*fd, payload.data(), payload.size()).ok());
+  }
+  ASSERT_TRUE(vfs_->Fsync(*fd).ok());
+  ASSERT_TRUE(vfs_->Close(*fd).ok());
+
+  fd = vfs_->Open("/big", kRdOnly);
+  ASSERT_TRUE(fd.ok());
+  uint8_t out[256];
+  for (uint64_t off : {uint64_t{0}, uint64_t{(1 << 20) + 4096}, uint64_t{total - 256}}) {
+    auto n = vfs_->Pread(*fd, out, 256, off);
+    ASSERT_TRUE(n.ok());
+    ASSERT_EQ(*n, 256u);
+    for (int i = 0; i < 256; i++) {
+      ASSERT_EQ(out[i], payload[(off + i) % payload.size()]) << off << "+" << i;
+    }
+  }
+}
+
+TEST_F(HinfsFsTest, HinfsWbBuffersEverything) {
+  HinfsOptions hopts;
+  hopts.buffer_bytes = 4 << 20;
+  hopts.eager_checker = false;
+  Build(hopts);
+  EXPECT_EQ(fs_->Name(), "hinfs-wb");
+  auto fd = vfs_->Open("/wb", kWrOnly | kCreate | kAppend);
+  ASSERT_TRUE(fd.ok());
+  std::vector<uint8_t> msg(kBlockSize, 'w');
+  for (int i = 0; i < 3; i++) {
+    ASSERT_TRUE(vfs_->Write(*fd, msg.data(), msg.size()).ok());
+    ASSERT_TRUE(vfs_->Fsync(*fd).ok());
+  }
+  // Even after repeated syncs, writes keep going through the buffer.
+  ASSERT_TRUE(vfs_->Pwrite(*fd, msg.data(), msg.size(), 0).ok());
+  EXPECT_EQ(fs_->stats().Get(kStatEagerWrites), 0u);
+}
+
+TEST_F(HinfsFsTest, BufferSmallerThanFileStillCorrect) {
+  HinfsOptions hopts;
+  hopts.buffer_bytes = 32 * kBlockSize;  // 128 KB buffer
+  hopts.writeback_period_ms = 5;
+  Build(hopts);
+  const size_t total = 1 << 20;  // 1 MB file through a 128 KB buffer
+  std::vector<uint8_t> payload(1 << 14);
+  for (size_t i = 0; i < payload.size(); i++) {
+    payload[i] = static_cast<uint8_t>(i * 31);
+  }
+  auto fd = vfs_->Open("/spill", kWrOnly | kCreate);
+  ASSERT_TRUE(fd.ok());
+  for (size_t off = 0; off < total; off += payload.size()) {
+    ASSERT_TRUE(vfs_->Write(*fd, payload.data(), payload.size()).ok());
+  }
+  ASSERT_TRUE(vfs_->Close(*fd).ok());
+  auto content = vfs_->ReadFileToString("/spill");
+  ASSERT_TRUE(content.ok());
+  ASSERT_EQ(content->size(), total);
+  for (size_t i = 0; i < total; i += 4097) {
+    ASSERT_EQ(static_cast<uint8_t>((*content)[i]), payload[i % payload.size()]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace hinfs

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/nvmm/nvmm_device.h"
+
+namespace hinfs {
+namespace {
+
+NvmmConfig FastConfig(size_t bytes = 1 << 20) {
+  NvmmConfig cfg;
+  cfg.size_bytes = bytes;
+  cfg.latency_mode = LatencyMode::kNone;
+  return cfg;
+}
+
+TEST(NvmmDeviceTest, StoreLoadRoundTrip) {
+  NvmmDevice dev(FastConfig());
+  const char msg[] = "hello nvmm";
+  ASSERT_TRUE(dev.Store(4096, msg, sizeof(msg)).ok());
+  char out[sizeof(msg)] = {};
+  ASSERT_TRUE(dev.Load(4096, out, sizeof(msg)).ok());
+  EXPECT_STREQ(out, msg);
+}
+
+TEST(NvmmDeviceTest, OutOfRangeRejected) {
+  NvmmDevice dev(FastConfig(4096));
+  char b[8];
+  EXPECT_EQ(dev.Load(4095, b, 8).code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(dev.Store(4096, b, 1).code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(dev.Flush(1ull << 40, 1).code(), ErrorCode::kOutOfRange);
+  EXPECT_TRUE(dev.Load(4088, b, 8).ok());  // exactly at the edge
+}
+
+TEST(NvmmDeviceTest, FlushCountsWholeCachelines) {
+  NvmmDevice dev(FastConfig());
+  dev.ResetCounters();
+  // 1 byte spanning one line -> 64 flushed bytes.
+  ASSERT_TRUE(dev.Flush(10, 1).ok());
+  EXPECT_EQ(dev.flushed_bytes(), 64u);
+  // Range [60, 70) spans two lines -> +128.
+  ASSERT_TRUE(dev.Flush(60, 10).ok());
+  EXPECT_EQ(dev.flushed_bytes(), 64u + 128u);
+}
+
+TEST(NvmmDeviceTest, ZeroLengthFlushIsNoop) {
+  NvmmDevice dev(FastConfig());
+  ASSERT_TRUE(dev.Flush(0, 0).ok());
+  EXPECT_EQ(dev.flushed_bytes(), 0u);
+}
+
+TEST(NvmmDeviceTest, LoadedBytesCounted) {
+  NvmmDevice dev(FastConfig());
+  char b[100];
+  ASSERT_TRUE(dev.Load(0, b, 100).ok());
+  EXPECT_EQ(dev.loaded_bytes(), 100u);
+}
+
+TEST(NvmmDeviceTest, DirectPointerSeesStores) {
+  NvmmDevice dev(FastConfig());
+  const uint32_t v = 0xdeadbeef;
+  ASSERT_TRUE(dev.Store(128, &v, sizeof(v)).ok());
+  auto ptr = dev.DirectPointer(128, 4);
+  ASSERT_TRUE(ptr.ok());
+  EXPECT_EQ(std::memcmp(*ptr, &v, 4), 0);
+}
+
+TEST(NvmmDeviceTest, VirtualLatencyChargedPerLine) {
+  NvmmConfig cfg = FastConfig();
+  cfg.latency_mode = LatencyMode::kVirtual;
+  cfg.write_latency_ns = 200;
+  cfg.write_bandwidth_bytes_per_sec = 0;  // isolate latency
+  NvmmDevice dev(cfg);
+  SimClock::ResetThread();
+  ASSERT_TRUE(dev.Flush(0, 4096).ok());  // 64 lines
+  EXPECT_EQ(SimClock::ThreadNowNs(), 64u * 200u);
+}
+
+TEST(NvmmDeviceTest, VirtualBandwidthQueues) {
+  NvmmConfig cfg = FastConfig();
+  cfg.latency_mode = LatencyMode::kVirtual;
+  cfg.write_latency_ns = 0;
+  cfg.write_bandwidth_bytes_per_sec = 1'000'000'000;  // 1 GB/s = 1 byte/ns
+  NvmmDevice dev(cfg);
+  SimClock::ResetThread();
+  ASSERT_TRUE(dev.Flush(0, 4096).ok());
+  // 4096 bytes at 1 B/ns.
+  EXPECT_EQ(SimClock::ThreadNowNs(), 4096u);
+  ASSERT_TRUE(dev.Flush(0, 4096).ok());
+  EXPECT_EQ(SimClock::ThreadNowNs(), 8192u);
+}
+
+TEST(NvmmDeviceTest, SpinLatencyTakesRealTime) {
+  NvmmConfig cfg = FastConfig();
+  cfg.latency_mode = LatencyMode::kSpin;
+  cfg.write_latency_ns = 2000;
+  cfg.write_bandwidth_bytes_per_sec = 0;
+  NvmmDevice dev(cfg);
+  const uint64_t start = MonotonicNowNs();
+  ASSERT_TRUE(dev.Flush(0, 64 * 10).ok());  // 10 lines x 2 us
+  EXPECT_GE(MonotonicNowNs() - start, 20'000u);
+}
+
+TEST(NvmmDeviceTest, LatencySweepTakesEffect) {
+  NvmmConfig cfg = FastConfig();
+  cfg.latency_mode = LatencyMode::kVirtual;
+  cfg.write_bandwidth_bytes_per_sec = 0;
+  NvmmDevice dev(cfg);
+  dev.latency().set_write_latency_ns(800);
+  SimClock::ResetThread();
+  ASSERT_TRUE(dev.Flush(0, 64).ok());
+  EXPECT_EQ(SimClock::ThreadNowNs(), 800u);
+}
+
+TEST(NvmmDeviceTest, ClflushoptOverlapsFlushLatency) {
+  NvmmConfig cfg = FastConfig();
+  cfg.latency_mode = LatencyMode::kVirtual;
+  cfg.write_latency_ns = 200;
+  cfg.write_bandwidth_bytes_per_sec = 0;
+  cfg.flush_instruction = FlushInstruction::kClflushopt;
+  NvmmDevice dev(cfg);
+  SimClock::ResetThread();
+  ASSERT_TRUE(dev.Flush(0, 4096).ok());  // 64 lines overlap to one latency
+  EXPECT_EQ(SimClock::ThreadNowNs(), 200u);
+}
+
+TEST(NvmmDeviceTest, ClwbSameTimingAsClflushopt) {
+  NvmmConfig cfg = FastConfig();
+  cfg.latency_mode = LatencyMode::kVirtual;
+  cfg.write_latency_ns = 300;
+  cfg.write_bandwidth_bytes_per_sec = 0;
+  cfg.flush_instruction = FlushInstruction::kClwb;
+  NvmmDevice dev(cfg);
+  SimClock::ResetThread();
+  ASSERT_TRUE(dev.Flush(0, 64 * 8).ok());
+  EXPECT_EQ(SimClock::ThreadNowNs(), 300u);
+}
+
+TEST(NvmmDeviceTest, ClwbStillPersists) {
+  NvmmConfig cfg = FastConfig();
+  cfg.track_persistence = true;
+  cfg.flush_instruction = FlushInstruction::kClwb;
+  cfg.latency_mode = LatencyMode::kNone;
+  NvmmDevice dev(cfg);
+  const uint64_t v = 11;
+  ASSERT_TRUE(dev.StorePersistent(128, &v, 8).ok());
+  ASSERT_TRUE(dev.SimulateCrash().ok());
+  uint64_t out = 0;
+  ASSERT_TRUE(dev.Load(128, &out, 8).ok());
+  EXPECT_EQ(out, 11u);
+}
+
+// --- crash simulation ----------------------------------------------------------
+
+NvmmConfig TrackingConfig() {
+  NvmmConfig cfg = FastConfig();
+  cfg.track_persistence = true;
+  return cfg;
+}
+
+TEST(NvmmCrashTest, UnflushedStoresAreLost) {
+  NvmmDevice dev(TrackingConfig());
+  const uint64_t v = 0x1122334455667788ull;
+  ASSERT_TRUE(dev.Store(0, &v, 8).ok());
+  ASSERT_TRUE(dev.SimulateCrash().ok());
+  uint64_t out = 1;
+  ASSERT_TRUE(dev.Load(0, &out, 8).ok());
+  EXPECT_EQ(out, 0u);  // store never flushed -> lost
+}
+
+TEST(NvmmCrashTest, FlushedStoresSurvive) {
+  NvmmDevice dev(TrackingConfig());
+  const uint64_t v = 42;
+  ASSERT_TRUE(dev.StorePersistent(0, &v, 8).ok());
+  ASSERT_TRUE(dev.SimulateCrash().ok());
+  uint64_t out = 0;
+  ASSERT_TRUE(dev.Load(0, &out, 8).ok());
+  EXPECT_EQ(out, 42u);
+}
+
+TEST(NvmmCrashTest, FlushGranularityIsCacheline) {
+  NvmmDevice dev(TrackingConfig());
+  const uint64_t a = 7;
+  const uint64_t b = 9;
+  ASSERT_TRUE(dev.Store(0, &a, 8).ok());     // line 0
+  ASSERT_TRUE(dev.Store(64, &b, 8).ok());    // line 1
+  ASSERT_TRUE(dev.Flush(0, 8).ok());         // flush line 0 only
+  ASSERT_TRUE(dev.SimulateCrash().ok());
+  uint64_t out = 0;
+  ASSERT_TRUE(dev.Load(0, &out, 8).ok());
+  EXPECT_EQ(out, 7u);
+  ASSERT_TRUE(dev.Load(64, &out, 8).ok());
+  EXPECT_EQ(out, 0u);  // line 1 never flushed
+}
+
+TEST(NvmmCrashTest, CrashWithoutTrackingRejected) {
+  NvmmDevice dev(FastConfig());
+  EXPECT_EQ(dev.SimulateCrash().code(), ErrorCode::kNotSupported);
+}
+
+TEST(NvmmCrashTest, PartialLineFlushPersistsWholeLine) {
+  NvmmDevice dev(TrackingConfig());
+  const uint64_t a = 3;
+  const uint64_t b = 5;
+  ASSERT_TRUE(dev.Store(0, &a, 8).ok());
+  ASSERT_TRUE(dev.Store(8, &b, 8).ok());  // same cacheline
+  ASSERT_TRUE(dev.Flush(0, 1).ok());      // flushing any byte flushes the line
+  ASSERT_TRUE(dev.SimulateCrash().ok());
+  uint64_t out = 0;
+  ASSERT_TRUE(dev.Load(8, &out, 8).ok());
+  EXPECT_EQ(out, 5u);
+}
+
+}  // namespace
+}  // namespace hinfs

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/blockdev/nvmm_block_device.h"
+#include "src/common/clock.h"
+#include "src/pagecache/page_cache.h"
+
+namespace hinfs {
+namespace {
+
+class PageCacheTest : public ::testing::Test {
+ protected:
+  PageCacheTest() {
+    NvmmConfig cfg;
+    cfg.size_bytes = 4 << 20;
+    cfg.latency_mode = LatencyMode::kNone;
+    nvmm_ = std::make_unique<NvmmDevice>(cfg);
+    dev_ = std::make_unique<NvmmBlockDevice>(nvmm_.get(), 0, (4 << 20) / kBlockSize);
+  }
+
+  std::unique_ptr<NvmmDevice> nvmm_;
+  std::unique_ptr<NvmmBlockDevice> dev_;
+};
+
+TEST_F(PageCacheTest, WriteThenReadHits) {
+  PageCache cache(dev_.get());
+  const char data[] = "cached";
+  ASSERT_TRUE(cache.Write(3, 100, data, sizeof(data)).ok());
+  char out[sizeof(data)] = {};
+  ASSERT_TRUE(cache.Read(3, 100, out, sizeof(data)).ok());
+  EXPECT_STREQ(out, data);
+  EXPECT_GE(cache.hits(), 1u);
+}
+
+TEST_F(PageCacheTest, DirtyDataNotOnDeviceUntilSync) {
+  PageCache cache(dev_.get());
+  const uint64_t v = 77;
+  ASSERT_TRUE(cache.Write(5, 0, &v, 8).ok());
+  std::vector<uint8_t> raw(kBlockSize);
+  ASSERT_TRUE(dev_->ReadBlock(5, raw.data()).ok());
+  uint64_t on_disk;
+  std::memcpy(&on_disk, raw.data(), 8);
+  EXPECT_EQ(on_disk, 0u);  // still only in cache
+  ASSERT_TRUE(cache.SyncPage(5).ok());
+  ASSERT_TRUE(dev_->ReadBlock(5, raw.data()).ok());
+  std::memcpy(&on_disk, raw.data(), 8);
+  EXPECT_EQ(on_disk, 77u);
+}
+
+TEST_F(PageCacheTest, ReadFaultsFromDevice) {
+  std::vector<uint8_t> block(kBlockSize, 0xab);
+  ASSERT_TRUE(dev_->WriteBlock(9, block.data()).ok());
+  PageCache cache(dev_.get());
+  uint8_t out[16] = {};
+  ASSERT_TRUE(cache.Read(9, 512, out, 16).ok());
+  EXPECT_EQ(out[0], 0xab);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST_F(PageCacheTest, PartialWriteFetchesBeforeWrite) {
+  std::vector<uint8_t> block(kBlockSize, 0xcd);
+  ASSERT_TRUE(dev_->WriteBlock(2, block.data()).ok());
+  PageCache cache(dev_.get());
+  const uint8_t zero = 0;
+  ASSERT_TRUE(cache.Write(2, 0, &zero, 1).ok());  // partial write
+  uint8_t out;
+  ASSERT_TRUE(cache.Read(2, 1, &out, 1).ok());
+  EXPECT_EQ(out, 0xcd);  // neighbouring byte preserved by fetch-before-write
+}
+
+TEST_F(PageCacheTest, FullOverwriteSkipsFetch) {
+  PageCache cache(dev_.get());
+  std::vector<uint8_t> page(kBlockSize, 0x11);
+  ASSERT_TRUE(cache.Write(7, 0, page.data(), kBlockSize).ok());
+  EXPECT_EQ(cache.misses(), 1u);
+  // The miss did not read the device (full overwrite): loaded_bytes stays 0.
+  EXPECT_EQ(nvmm_->loaded_bytes(), 0u);
+}
+
+TEST_F(PageCacheTest, EvictionWritesBackDirty) {
+  PageCacheConfig cfg;
+  cfg.capacity_pages = 4;
+  PageCache cache(dev_.get(), cfg);
+  std::vector<uint8_t> page(kBlockSize);
+  for (uint64_t b = 0; b < 8; b++) {
+    page[0] = static_cast<uint8_t>(b + 1);
+    ASSERT_TRUE(cache.Write(b, 0, page.data(), kBlockSize).ok());
+  }
+  EXPECT_LE(cache.resident_pages(), 4u);
+  EXPECT_GE(cache.writebacks(), 4u);
+  // Early pages were evicted and must be readable from the device.
+  std::vector<uint8_t> raw(kBlockSize);
+  ASSERT_TRUE(dev_->ReadBlock(0, raw.data()).ok());
+  EXPECT_EQ(raw[0], 1);
+}
+
+TEST_F(PageCacheTest, DiscardDropsWithoutWriteback) {
+  PageCache cache(dev_.get());
+  const uint64_t v = 123;
+  ASSERT_TRUE(cache.Write(4, 0, &v, 8).ok());
+  cache.Discard(4);
+  EXPECT_EQ(cache.writebacks(), 0u);
+  ASSERT_TRUE(cache.SyncAll().ok());
+  std::vector<uint8_t> raw(kBlockSize);
+  ASSERT_TRUE(dev_->ReadBlock(4, raw.data()).ok());
+  uint64_t on_disk;
+  std::memcpy(&on_disk, raw.data(), 8);
+  EXPECT_EQ(on_disk, 0u);  // discarded write never reached the device
+}
+
+TEST_F(PageCacheTest, SyncAllFlushesEverything) {
+  PageCache cache(dev_.get());
+  const uint64_t v = 9;
+  for (uint64_t b = 0; b < 10; b++) {
+    ASSERT_TRUE(cache.Write(b, 0, &v, 8).ok());
+  }
+  ASSERT_TRUE(cache.SyncAll().ok());
+  EXPECT_EQ(cache.writebacks(), 10u);
+  // Second SyncAll has nothing to do.
+  ASSERT_TRUE(cache.SyncAll().ok());
+  EXPECT_EQ(cache.writebacks(), 10u);
+}
+
+TEST_F(PageCacheTest, DirtyThrottlingWritesBackForeground) {
+  PageCacheConfig cfg;
+  cfg.max_dirty_pages = 8;
+  PageCache cache(dev_.get(), cfg);
+  const uint64_t v = 1;
+  for (uint64_t b = 0; b < 20; b++) {
+    ASSERT_TRUE(cache.Write(b, 0, &v, 8).ok());
+  }
+  // The throttle kicked in before 20 dirty pages accumulated.
+  EXPECT_GE(cache.writebacks(), 6u);
+  // Everything is still readable and pages stay resident (only cleaned).
+  EXPECT_EQ(cache.resident_pages(), 20u);
+}
+
+TEST_F(PageCacheTest, DropAllFlushesAndEmpties) {
+  PageCache cache(dev_.get());
+  const uint64_t v = 31;
+  ASSERT_TRUE(cache.Write(6, 0, &v, 8).ok());
+  ASSERT_TRUE(cache.DropAll().ok());
+  EXPECT_EQ(cache.resident_pages(), 0u);
+  // The dirty page reached the device before being dropped.
+  std::vector<uint8_t> raw(kBlockSize);
+  ASSERT_TRUE(dev_->ReadBlock(6, raw.data()).ok());
+  uint64_t on_disk;
+  std::memcpy(&on_disk, raw.data(), 8);
+  EXPECT_EQ(on_disk, 31u);
+  // Next read is a miss (cold cache).
+  uint8_t out[8];
+  ASSERT_TRUE(cache.Read(6, 0, out, 8).ok());
+  EXPECT_EQ(cache.misses(), 2u);  // initial write + post-drop read
+}
+
+TEST_F(PageCacheTest, CrossPageAccessRejected) {
+  PageCache cache(dev_.get());
+  char buf[128];
+  EXPECT_EQ(cache.Read(0, kBlockSize - 10, buf, 128).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(cache.Write(0, kBlockSize - 10, buf, 128).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(PageCacheTest, BlockLayerOverheadCharged) {
+  // With virtual latency, each block-device request charges the software
+  // overhead to the calling thread.
+  NvmmConfig cfg;
+  cfg.size_bytes = 1 << 20;
+  cfg.latency_mode = LatencyMode::kVirtual;
+  cfg.write_latency_ns = 0;
+  cfg.write_bandwidth_bytes_per_sec = 0;
+  NvmmDevice nvmm(cfg);
+  NvmmBlockDeviceConfig bcfg;
+  bcfg.block_layer_overhead_ns = 1500;
+  NvmmBlockDevice dev(&nvmm, 0, 16, bcfg);
+  SimClock::ResetThread();
+  std::vector<uint8_t> page(kBlockSize);
+  ASSERT_TRUE(dev.ReadBlock(0, page.data()).ok());
+  EXPECT_EQ(SimClock::ThreadNowNs(), 1500u);
+}
+
+}  // namespace
+}  // namespace hinfs

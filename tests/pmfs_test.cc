@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/common/rng.h"
+#include "src/fs/pmfs/pmfs_fs.h"
+#include "src/vfs/vfs.h"
+
+namespace hinfs {
+namespace {
+
+class PmfsTest : public ::testing::Test {
+ protected:
+  PmfsTest() {
+    NvmmConfig cfg;
+    cfg.size_bytes = 64 << 20;
+    cfg.latency_mode = LatencyMode::kNone;
+    nvmm_ = std::make_unique<NvmmDevice>(cfg);
+    PmfsOptions opts;
+    opts.max_inodes = 4096;
+    opts.journal_bytes = 1 << 20;
+    auto fs = PmfsFs::Format(nvmm_.get(), opts);
+    EXPECT_TRUE(fs.ok()) << fs.status().ToString();
+    fs_ = std::move(*fs);
+    vfs_ = std::make_unique<Vfs>(fs_.get());
+  }
+
+  std::unique_ptr<NvmmDevice> nvmm_;
+  std::unique_ptr<PmfsFs> fs_;
+  std::unique_ptr<Vfs> vfs_;
+};
+
+TEST_F(PmfsTest, WriteReadSmallFile) {
+  ASSERT_TRUE(vfs_->WriteFile("/a", "hello world").ok());
+  auto content = vfs_->ReadFileToString("/a");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "hello world");
+}
+
+TEST_F(PmfsTest, MissingFileNotFound) {
+  EXPECT_EQ(vfs_->Stat("/missing").status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(vfs_->Open("/missing", kRdOnly).status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(PmfsTest, CreateRequiresFlag) {
+  EXPECT_FALSE(vfs_->Open("/new", kWrOnly).ok());
+  EXPECT_TRUE(vfs_->Open("/new", kWrOnly | kCreate).ok());
+}
+
+TEST_F(PmfsTest, MkdirAndNestedFiles) {
+  ASSERT_TRUE(vfs_->Mkdir("/dir").ok());
+  ASSERT_TRUE(vfs_->Mkdir("/dir/sub").ok());
+  ASSERT_TRUE(vfs_->WriteFile("/dir/sub/f", "data").ok());
+  auto attr = vfs_->Stat("/dir/sub/f");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->size, 4u);
+  EXPECT_EQ(attr->type, FileType::kRegular);
+  auto dattr = vfs_->Stat("/dir/sub");
+  ASSERT_TRUE(dattr.ok());
+  EXPECT_EQ(dattr->type, FileType::kDirectory);
+}
+
+TEST_F(PmfsTest, ReadDirListsEntries) {
+  ASSERT_TRUE(vfs_->Mkdir("/d").ok());
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(vfs_->WriteFile("/d/f" + std::to_string(i), "x").ok());
+  }
+  auto entries = vfs_->ReadDir("/d");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 10u);
+}
+
+TEST_F(PmfsTest, UnlinkRemoves) {
+  ASSERT_TRUE(vfs_->WriteFile("/gone", "bye").ok());
+  const uint64_t free_before = fs_->free_data_blocks();
+  ASSERT_TRUE(vfs_->Unlink("/gone").ok());
+  EXPECT_FALSE(vfs_->Exists("/gone"));
+  EXPECT_GT(fs_->free_data_blocks(), free_before);  // blocks reclaimed
+}
+
+TEST_F(PmfsTest, UnlinkNonEmptyDirRejected) {
+  ASSERT_TRUE(vfs_->Mkdir("/d").ok());
+  ASSERT_TRUE(vfs_->WriteFile("/d/f", "x").ok());
+  EXPECT_EQ(vfs_->Rmdir("/d").code(), ErrorCode::kNotEmpty);
+  ASSERT_TRUE(vfs_->Unlink("/d/f").ok());
+  EXPECT_TRUE(vfs_->Rmdir("/d").ok());
+}
+
+TEST_F(PmfsTest, DuplicateCreateRejected) {
+  ASSERT_TRUE(vfs_->Mkdir("/d").ok());
+  EXPECT_EQ(vfs_->Mkdir("/d").code(), ErrorCode::kExists);
+}
+
+TEST_F(PmfsTest, AppendGrowsFile) {
+  ASSERT_TRUE(vfs_->WriteFile("/log", "aaaa").ok());
+  auto fd = vfs_->Open("/log", kWrOnly | kAppend);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_->Write(*fd, "bbbb", 4).ok());
+  ASSERT_TRUE(vfs_->Close(*fd).ok());
+  auto content = vfs_->ReadFileToString("/log");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "aaaabbbb");
+}
+
+TEST_F(PmfsTest, PwritePreadAtOffsets) {
+  auto fd = vfs_->Open("/f", kRdWr | kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_->Pwrite(*fd, "XYZ", 3, 100).ok());
+  char out[3];
+  auto n = vfs_->Pread(*fd, out, 3, 100);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 3u);
+  EXPECT_EQ(std::memcmp(out, "XYZ", 3), 0);
+}
+
+TEST_F(PmfsTest, HolesReadAsZeros) {
+  auto fd = vfs_->Open("/sparse", kRdWr | kCreate);
+  ASSERT_TRUE(fd.ok());
+  // Write far beyond the start: blocks 0..N stay holes.
+  ASSERT_TRUE(vfs_->Pwrite(*fd, "end", 3, 10 * kBlockSize).ok());
+  char out[16] = {1, 1, 1};
+  auto n = vfs_->Pread(*fd, out, 16, 0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 16u);
+  for (int i = 0; i < 16; i++) {
+    EXPECT_EQ(out[i], 0) << i;
+  }
+}
+
+TEST_F(PmfsTest, LargeFileCrossesRadixLevels) {
+  // > 2 MB forces radix height 2 (512 blocks per level-1 node).
+  const size_t total = 5 << 20;
+  std::vector<uint8_t> payload(1 << 16);
+  Rng rng(9);
+  for (auto& b : payload) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  auto fd = vfs_->Open("/big", kWrOnly | kCreate);
+  ASSERT_TRUE(fd.ok());
+  size_t written = 0;
+  while (written < total) {
+    auto n = vfs_->Write(*fd, payload.data(), payload.size());
+    ASSERT_TRUE(n.ok());
+    written += *n;
+  }
+  ASSERT_TRUE(vfs_->Close(*fd).ok());
+
+  auto attr = vfs_->Stat("/big");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->size, total);
+
+  // Spot-check content at several offsets.
+  fd = vfs_->Open("/big", kRdOnly);
+  ASSERT_TRUE(fd.ok());
+  for (uint64_t off : {uint64_t{0}, uint64_t{1 << 20}, uint64_t{(3 << 20) + 12345}}) {
+    uint8_t out[64];
+    auto n = vfs_->Pread(*fd, out, 64, off);
+    ASSERT_TRUE(n.ok());
+    for (int i = 0; i < 64; i++) {
+      EXPECT_EQ(out[i], payload[(off + i) % payload.size()]) << off << "+" << i;
+    }
+  }
+}
+
+TEST_F(PmfsTest, TruncateShrinksAndFrees) {
+  std::vector<uint8_t> payload(256 * 1024, 0x7e);
+  auto fd = vfs_->Open("/t", kWrOnly | kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_->Write(*fd, payload.data(), payload.size()).ok());
+  const uint64_t free_full = fs_->free_data_blocks();
+  ASSERT_TRUE(vfs_->Ftruncate(*fd, 1000).ok());
+  EXPECT_GT(fs_->free_data_blocks(), free_full);
+  auto attr = vfs_->Fstat(*fd);
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->size, 1000u);
+  // Data below the cut survives.
+  uint8_t out[8];
+  auto n = vfs_->Pread(*fd, out, 8, 0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(out[0], 0x7e);
+}
+
+TEST_F(PmfsTest, OpenTruncClearsContent) {
+  ASSERT_TRUE(vfs_->WriteFile("/t", "old content").ok());
+  auto fd = vfs_->Open("/t", kWrOnly | kTrunc);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_->Close(*fd).ok());
+  auto attr = vfs_->Stat("/t");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->size, 0u);
+}
+
+TEST_F(PmfsTest, RenameMovesFile) {
+  ASSERT_TRUE(vfs_->Mkdir("/a").ok());
+  ASSERT_TRUE(vfs_->Mkdir("/b").ok());
+  ASSERT_TRUE(vfs_->WriteFile("/a/f", "payload").ok());
+  ASSERT_TRUE(vfs_->Rename("/a/f", "/b/g").ok());
+  EXPECT_FALSE(vfs_->Exists("/a/f"));
+  auto content = vfs_->ReadFileToString("/b/g");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "payload");
+}
+
+TEST_F(PmfsTest, RenameReplacesTarget) {
+  ASSERT_TRUE(vfs_->WriteFile("/x", "new").ok());
+  ASSERT_TRUE(vfs_->WriteFile("/y", "old-target").ok());
+  ASSERT_TRUE(vfs_->Rename("/x", "/y").ok());
+  EXPECT_FALSE(vfs_->Exists("/x"));
+  auto content = vfs_->ReadFileToString("/y");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "new");
+}
+
+TEST_F(PmfsTest, ManyFilesInOneDirectory) {
+  ASSERT_TRUE(vfs_->Mkdir("/many").ok());
+  // Enough dirents to extend the directory past one block (64 per block).
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(vfs_->WriteFile("/many/f" + std::to_string(i), "x").ok());
+  }
+  auto entries = vfs_->ReadDir("/many");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 200u);
+  // Delete them all; slots are reused by new names.
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(vfs_->Unlink("/many/f" + std::to_string(i)).ok());
+  }
+  entries = vfs_->ReadDir("/many");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_TRUE(entries->empty());
+}
+
+TEST_F(PmfsTest, InodeReuseAfterUnlink) {
+  for (int round = 0; round < 50; round++) {
+    ASSERT_TRUE(vfs_->WriteFile("/churn", "round" + std::to_string(round)).ok());
+    ASSERT_TRUE(vfs_->Unlink("/churn").ok());
+  }
+  ASSERT_TRUE(vfs_->WriteFile("/churn", "final").ok());
+  auto content = vfs_->ReadFileToString("/churn");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "final");
+}
+
+TEST_F(PmfsTest, NameTooLongRejected) {
+  const std::string long_name(100, 'x');
+  EXPECT_EQ(vfs_->WriteFile("/" + long_name, "v").code(), ErrorCode::kNameTooLong);
+}
+
+TEST_F(PmfsTest, ReadPastEofShort) {
+  ASSERT_TRUE(vfs_->WriteFile("/short", "12345").ok());
+  auto fd = vfs_->Open("/short", kRdOnly);
+  ASSERT_TRUE(fd.ok());
+  char buf[100];
+  auto n = vfs_->Pread(*fd, buf, 100, 3);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2u);
+  n = vfs_->Pread(*fd, buf, 100, 5);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+}
+
+TEST_F(PmfsTest, FsyncSucceeds) {
+  auto fd = vfs_->Open("/f", kWrOnly | kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_->Write(*fd, "data", 4).ok());
+  EXPECT_TRUE(vfs_->Fsync(*fd).ok());
+}
+
+TEST_F(PmfsTest, RemountPreservesEverything) {
+  ASSERT_TRUE(vfs_->Mkdir("/keep").ok());
+  ASSERT_TRUE(vfs_->WriteFile("/keep/a", "alpha").ok());
+  ASSERT_TRUE(vfs_->WriteFile("/keep/b", std::string(10000, 'q')).ok());
+  ASSERT_TRUE(vfs_->Unmount().ok());
+  fs_.reset();
+
+  auto fs = PmfsFs::Mount(nvmm_.get());
+  ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+  fs_ = std::move(*fs);
+  vfs_ = std::make_unique<Vfs>(fs_.get());
+
+  auto a = vfs_->ReadFileToString("/keep/a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, "alpha");
+  auto b = vfs_->ReadFileToString("/keep/b");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->size(), 10000u);
+  EXPECT_EQ((*b)[9999], 'q');
+}
+
+TEST_F(PmfsTest, MountRejectsUnformattedDevice) {
+  NvmmConfig cfg;
+  cfg.size_bytes = 1 << 20;
+  cfg.latency_mode = LatencyMode::kNone;
+  NvmmDevice blank(cfg);
+  EXPECT_EQ(PmfsFs::Mount(&blank).status().code(), ErrorCode::kCorrupt);
+}
+
+TEST_F(PmfsTest, MmapReadsAndWrites) {
+  ASSERT_TRUE(vfs_->WriteFile("/m", std::string(kBlockSize, 'm')).ok());
+  auto attr = vfs_->Stat("/m");
+  ASSERT_TRUE(attr.ok());
+  auto ptr = fs_->Mmap(attr->ino, 0, kBlockSize);
+  ASSERT_TRUE(ptr.ok()) << ptr.status().ToString();
+  EXPECT_EQ((*ptr)[0], 'm');
+  (*ptr)[0] = 'M';
+  ASSERT_TRUE(fs_->Msync(attr->ino, 0, kBlockSize).ok());
+  ASSERT_TRUE(fs_->Munmap(attr->ino).ok());
+  auto content = vfs_->ReadFileToString("/m");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ((*content)[0], 'M');
+}
+
+TEST_F(PmfsTest, StatsTrackAccessTimes) {
+  ASSERT_TRUE(vfs_->WriteFile("/s", std::string(8192, 's')).ok());
+  auto content = vfs_->ReadFileToString("/s");
+  ASSERT_TRUE(content.ok());
+  EXPECT_GT(fs_->stats().Get(kStatWriteAccessNs), 0u);
+  EXPECT_GT(fs_->stats().Get(kStatReadAccessNs), 0u);
+  EXPECT_EQ(fs_->stats().Get(kStatWrittenBytes), 8192u);
+}
+
+}  // namespace
+}  // namespace hinfs

@@ -1,0 +1,190 @@
+// Concurrency stress: many threads hammering one file system instance with
+// mixed operations while the background writeback engine runs. These tests
+// assert invariants (no crashes, no lost durable data, consistent sizes)
+// rather than exact contents, since interleavings are nondeterministic.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "src/common/rng.h"
+#include "src/hinfs/hinfs_fs.h"
+#include "src/fs/pmfs/fsck.h"
+#include "src/vfs/vfs.h"
+#include "src/workloads/fs_setup.h"
+#include "src/workloads/workload.h"
+
+namespace hinfs {
+namespace {
+
+TestBedConfig StressConfig() {
+  TestBedConfig cfg;
+  cfg.nvmm.size_bytes = 128 << 20;
+  cfg.nvmm.latency_mode = LatencyMode::kNone;
+  cfg.hinfs.buffer_bytes = 2 << 20;  // small: forces eviction under load
+  cfg.hinfs.writeback_period_ms = 5;
+  cfg.pmfs.max_inodes = 1 << 14;
+  return cfg;
+}
+
+class StressTest : public ::testing::TestWithParam<FsKind> {};
+
+TEST_P(StressTest, ParallelWritersDistinctFiles) {
+  auto bed = MakeTestBed(GetParam(), StressConfig());
+  ASSERT_TRUE(bed.ok());
+  Vfs* vfs = (*bed)->vfs.get();
+  constexpr int kThreads = 6;
+  constexpr int kFilesPerThread = 8;
+  constexpr size_t kFileBytes = 64 * 1024;
+
+  Status st = RunThreads(kThreads, [&](int t) -> Status {
+    std::vector<uint8_t> payload(kFileBytes);
+    FillPattern(payload, static_cast<uint64_t>(t));
+    for (int f = 0; f < kFilesPerThread; f++) {
+      const std::string path = "/w" + std::to_string(t) + "_" + std::to_string(f);
+      HINFS_ASSIGN_OR_RETURN(int fd, vfs->Open(path, kWrOnly | kCreate));
+      HINFS_RETURN_IF_ERROR(vfs->Write(fd, payload.data(), payload.size()).status());
+      HINFS_RETURN_IF_ERROR(vfs->Fsync(fd));
+      HINFS_RETURN_IF_ERROR(vfs->Close(fd));
+    }
+    return OkStatus();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  // Every file durable and intact.
+  for (int t = 0; t < kThreads; t++) {
+    std::vector<uint8_t> expect(kFileBytes);
+    FillPattern(expect, static_cast<uint64_t>(t));
+    for (int f = 0; f < kFilesPerThread; f++) {
+      const std::string path = "/w" + std::to_string(t) + "_" + std::to_string(f);
+      auto content = vfs->ReadFileToString(path);
+      ASSERT_TRUE(content.ok()) << path;
+      ASSERT_EQ(content->size(), kFileBytes) << path;
+      EXPECT_EQ(std::memcmp(content->data(), expect.data(), kFileBytes), 0) << path;
+    }
+  }
+  ASSERT_TRUE(vfs->Unmount().ok());
+}
+
+TEST_P(StressTest, MixedOpsChurn) {
+  auto bed = MakeTestBed(GetParam(), StressConfig());
+  ASSERT_TRUE(bed.ok());
+  Vfs* vfs = (*bed)->vfs.get();
+  ASSERT_TRUE(vfs->Mkdir("/churn").ok());
+  std::atomic<uint64_t> failures{0};
+
+  Status st = RunThreads(6, [&](int t) -> Status {
+    Rng rng(2000 + t);
+    std::vector<uint8_t> payload(32 * 1024);
+    FillPattern(payload, static_cast<uint64_t>(t));
+    for (int step = 0; step < 250; step++) {
+      const std::string path = "/churn/f" + std::to_string(rng.Below(24));
+      const double roll = rng.NextDouble();
+      if (roll < 0.4) {
+        Result<int> fd = vfs->Open(path, kRdWr | kCreate);
+        if (!fd.ok()) {
+          continue;  // racing unlink/create
+        }
+        const size_t len = 1 + rng.Below(payload.size());
+        Result<size_t> n = vfs->Pwrite(*fd, payload.data(), len, rng.Below(8192));
+        if (!n.ok() && n.status().code() != ErrorCode::kNotFound) {
+          failures++;
+        }
+        (void)vfs->Close(*fd);
+      } else if (roll < 0.7) {
+        Result<int> fd = vfs->Open(path, kRdOnly);
+        if (fd.ok()) {
+          std::vector<uint8_t> buf(16 * 1024);
+          Result<size_t> n = vfs->Read(*fd, buf.data(), buf.size());
+          if (!n.ok() && n.status().code() != ErrorCode::kNotFound) {
+            failures++;
+          }
+          (void)vfs->Close(*fd);
+        }
+      } else if (roll < 0.85) {
+        Result<int> fd = vfs->Open(path, kRdWr);
+        if (fd.ok()) {
+          Status fst = vfs->Fsync(*fd);
+          if (!fst.ok() && fst.code() != ErrorCode::kNotFound) {
+            failures++;
+          }
+          (void)vfs->Close(*fd);
+        }
+      } else {
+        Status ust = vfs->Unlink(path);
+        if (!ust.ok() && ust.code() != ErrorCode::kNotFound &&
+            ust.code() != ErrorCode::kIsDir) {
+          failures++;
+        }
+      }
+    }
+    return OkStatus();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(failures.load(), 0u);
+  ASSERT_TRUE(vfs->SyncFs().ok());
+  ASSERT_TRUE(vfs->Unmount().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Fs, StressTest,
+                         ::testing::Values(FsKind::kPmfs, FsKind::kHinfs, FsKind::kHinfsWb),
+                         [](const auto& info) {
+                           std::string name = FsKindName(info.param);
+                           for (char& c : name) {
+                             if (c == '+' || c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(StressFsckTest, HinfsImageCleanAfterChurn) {
+  // After a heavy multithreaded churn + unmount, the on-NVMM image passes the
+  // full fsck invariant suite.
+  NvmmConfig cfg;
+  cfg.size_bytes = 128 << 20;
+  cfg.latency_mode = LatencyMode::kNone;
+  NvmmDevice nvmm(cfg);
+  HinfsOptions hopts;
+  hopts.buffer_bytes = 2 << 20;
+  hopts.writeback_period_ms = 5;
+  PmfsOptions popts;
+  popts.max_inodes = 1 << 14;
+  {
+    auto fs = HinfsFs::Format(&nvmm, hopts, popts);
+    ASSERT_TRUE(fs.ok());
+    Vfs vfs(fs->get());
+    ASSERT_TRUE(vfs.Mkdir("/d").ok());
+    Status st = RunThreads(4, [&](int t) -> Status {
+      Rng rng(77 + t);
+      std::vector<uint8_t> payload(20 * 1024);
+      FillPattern(payload, static_cast<uint64_t>(t));
+      for (int i = 0; i < 150; i++) {
+        const std::string path = "/d/s" + std::to_string(t) + "_" + std::to_string(i % 10);
+        Result<int> fd = vfs.Open(path, kRdWr | kCreate);
+        if (!fd.ok()) {
+          continue;
+        }
+        (void)vfs.Pwrite(*fd, payload.data(), 1 + rng.Below(payload.size()), rng.Below(4096));
+        if (rng.Chance(0.2)) {
+          (void)vfs.Fsync(*fd);
+        }
+        (void)vfs.Close(*fd);
+        if (rng.Chance(0.2)) {
+          (void)vfs.Unlink(path);
+        }
+      }
+      return OkStatus();
+    });
+    ASSERT_TRUE(st.ok());
+    ASSERT_TRUE(vfs.Unmount().ok());
+  }
+  auto report = FsckPmfs(&nvmm);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->clean()) << report->Summary();
+}
+
+}  // namespace
+}  // namespace hinfs

@@ -1,0 +1,183 @@
+// Vfs-layer semantics: fd lifecycle, offsets, flags, path resolution, and the
+// dentry cache. Runs on PMFS (the Vfs is FS-agnostic).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/fs/pmfs/pmfs_fs.h"
+#include "src/vfs/vfs.h"
+
+namespace hinfs {
+namespace {
+
+class VfsTest : public ::testing::Test {
+ protected:
+  VfsTest() {
+    NvmmConfig cfg;
+    cfg.size_bytes = 32 << 20;
+    cfg.latency_mode = LatencyMode::kNone;
+    nvmm_ = std::make_unique<NvmmDevice>(cfg);
+    PmfsOptions opts;
+    opts.max_inodes = 1024;
+    auto fs = PmfsFs::Format(nvmm_.get(), opts);
+    EXPECT_TRUE(fs.ok());
+    fs_ = std::move(*fs);
+    vfs_ = std::make_unique<Vfs>(fs_.get());
+  }
+
+  std::unique_ptr<NvmmDevice> nvmm_;
+  std::unique_ptr<PmfsFs> fs_;
+  std::unique_ptr<Vfs> vfs_;
+};
+
+TEST_F(VfsTest, SplitPathBasics) {
+  auto parts = SplitPath("/a/b/c");
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->size(), 3u);
+  EXPECT_EQ((*parts)[0], "a");
+  EXPECT_EQ((*parts)[2], "c");
+}
+
+TEST_F(VfsTest, SplitPathEdgeCases) {
+  EXPECT_TRUE(SplitPath("/").ok());
+  EXPECT_TRUE(SplitPath("/")->empty());
+  EXPECT_TRUE(SplitPath("//a//b/")->size() == 2);
+  EXPECT_FALSE(SplitPath("relative").ok());
+  EXPECT_FALSE(SplitPath("").ok());
+  EXPECT_FALSE(SplitPath("/a/./b").ok());
+  EXPECT_FALSE(SplitPath("/a/../b").ok());
+  EXPECT_EQ(SplitPath("/" + std::string(80, 'x')).status().code(), ErrorCode::kNameTooLong);
+}
+
+TEST_F(VfsTest, SequentialReadAdvancesOffset) {
+  ASSERT_TRUE(vfs_->WriteFile("/f", "abcdefgh").ok());
+  auto fd = vfs_->Open("/f", kRdOnly);
+  ASSERT_TRUE(fd.ok());
+  char a[4];
+  char b[4];
+  ASSERT_TRUE(vfs_->Read(*fd, a, 4).ok());
+  ASSERT_TRUE(vfs_->Read(*fd, b, 4).ok());
+  EXPECT_EQ(std::memcmp(a, "abcd", 4), 0);
+  EXPECT_EQ(std::memcmp(b, "efgh", 4), 0);
+}
+
+TEST_F(VfsTest, SeekRepositions) {
+  ASSERT_TRUE(vfs_->WriteFile("/f", "abcdefgh").ok());
+  auto fd = vfs_->Open("/f", kRdOnly);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_->Seek(*fd, 4).ok());
+  char b[4];
+  ASSERT_TRUE(vfs_->Read(*fd, b, 4).ok());
+  EXPECT_EQ(std::memcmp(b, "efgh", 4), 0);
+}
+
+TEST_F(VfsTest, PreadDoesNotMoveOffset) {
+  ASSERT_TRUE(vfs_->WriteFile("/f", "abcdefgh").ok());
+  auto fd = vfs_->Open("/f", kRdOnly);
+  ASSERT_TRUE(fd.ok());
+  char tmp[2];
+  ASSERT_TRUE(vfs_->Pread(*fd, tmp, 2, 6).ok());
+  char a[4];
+  ASSERT_TRUE(vfs_->Read(*fd, a, 4).ok());
+  EXPECT_EQ(std::memcmp(a, "abcd", 4), 0);
+}
+
+TEST_F(VfsTest, AppendAlwaysWritesAtEof) {
+  ASSERT_TRUE(vfs_->WriteFile("/f", "1234").ok());
+  auto fd = vfs_->Open("/f", kWrOnly | kAppend);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_->Seek(*fd, 0).ok());  // append mode ignores the offset
+  ASSERT_TRUE(vfs_->Write(*fd, "56", 2).ok());
+  auto content = vfs_->ReadFileToString("/f");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "123456");
+}
+
+TEST_F(VfsTest, ClosedFdRejected) {
+  auto fd = vfs_->Open("/f", kWrOnly | kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_->Close(*fd).ok());
+  char b[4];
+  EXPECT_EQ(vfs_->Read(*fd, b, 4).status().code(), ErrorCode::kBadFd);
+  EXPECT_EQ(vfs_->Write(*fd, b, 4).status().code(), ErrorCode::kBadFd);
+  EXPECT_EQ(vfs_->Fsync(*fd).code(), ErrorCode::kBadFd);
+  EXPECT_EQ(vfs_->Close(*fd).code(), ErrorCode::kBadFd);
+}
+
+TEST_F(VfsTest, DistinctFdsIndependentOffsets) {
+  ASSERT_TRUE(vfs_->WriteFile("/f", "abcdefgh").ok());
+  auto fd1 = vfs_->Open("/f", kRdOnly);
+  auto fd2 = vfs_->Open("/f", kRdOnly);
+  ASSERT_TRUE(fd1.ok());
+  ASSERT_TRUE(fd2.ok());
+  EXPECT_NE(*fd1, *fd2);
+  char a[4];
+  ASSERT_TRUE(vfs_->Read(*fd1, a, 4).ok());
+  char b[4];
+  ASSERT_TRUE(vfs_->Read(*fd2, b, 4).ok());
+  EXPECT_EQ(std::memcmp(b, "abcd", 4), 0);  // fd2 starts at 0
+}
+
+TEST_F(VfsTest, OpenDirectoryRejected) {
+  ASSERT_TRUE(vfs_->Mkdir("/d").ok());
+  EXPECT_EQ(vfs_->Open("/d", kRdOnly).status().code(), ErrorCode::kIsDir);
+}
+
+TEST_F(VfsTest, LookupThroughFileRejected) {
+  ASSERT_TRUE(vfs_->WriteFile("/f", "x").ok());
+  EXPECT_FALSE(vfs_->Stat("/f/child").ok());
+}
+
+TEST_F(VfsTest, DentryCacheSurvivesHotLookups) {
+  ASSERT_TRUE(vfs_->Mkdir("/hot").ok());
+  ASSERT_TRUE(vfs_->WriteFile("/hot/f", "x").ok());
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(vfs_->Stat("/hot/f").ok());
+  }
+  // Unlink must invalidate the cached dentry.
+  ASSERT_TRUE(vfs_->Unlink("/hot/f").ok());
+  EXPECT_FALSE(vfs_->Stat("/hot/f").ok());
+  // Recreate under the same name works and resolves to the new file.
+  ASSERT_TRUE(vfs_->WriteFile("/hot/f", "new").ok());
+  auto content = vfs_->ReadFileToString("/hot/f");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "new");
+}
+
+TEST_F(VfsTest, RenameInvalidatesBothNames) {
+  ASSERT_TRUE(vfs_->WriteFile("/src", "v").ok());
+  ASSERT_TRUE(vfs_->Stat("/src").ok());  // populate dcache
+  ASSERT_TRUE(vfs_->Rename("/src", "/dst").ok());
+  EXPECT_FALSE(vfs_->Stat("/src").ok());
+  EXPECT_TRUE(vfs_->Stat("/dst").ok());
+}
+
+TEST_F(VfsTest, SyncMountForcesEagerWrites) {
+  Vfs sync_vfs(fs_.get(), /*sync_mount=*/true);
+  ASSERT_TRUE(sync_vfs.WriteFile("/s", "durable").ok());
+  // On PMFS this is indistinguishable; the flag is exercised for HiNFS by
+  // hinfs_fs_test. Here we just verify the path works end to end.
+  auto content = sync_vfs.ReadFileToString("/s");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "durable");
+}
+
+TEST_F(VfsTest, UnmountInvalidatesFds) {
+  auto fd = vfs_->Open("/f", kWrOnly | kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_->Unmount().ok());
+  char b[1];
+  EXPECT_EQ(vfs_->Read(*fd, b, 1).status().code(), ErrorCode::kBadFd);
+}
+
+TEST_F(VfsTest, WriteFileOverwrites) {
+  ASSERT_TRUE(vfs_->WriteFile("/w", "long original contents").ok());
+  ASSERT_TRUE(vfs_->WriteFile("/w", "short").ok());
+  auto content = vfs_->ReadFileToString("/w");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "short");
+}
+
+}  // namespace
+}  // namespace hinfs

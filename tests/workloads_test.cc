@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include "src/workloads/filebench.h"
+#include "src/workloads/fs_setup.h"
+#include "src/workloads/macro.h"
+#include "src/workloads/trace.h"
+
+namespace hinfs {
+namespace {
+
+TestBedConfig QuickConfig() {
+  TestBedConfig cfg;
+  cfg.nvmm.size_bytes = 128 << 20;
+  cfg.nvmm.latency_mode = LatencyMode::kNone;
+  cfg.hinfs.buffer_bytes = 8 << 20;
+  cfg.hinfs.writeback_period_ms = 20;
+  cfg.pmfs.max_inodes = 1 << 15;
+  return cfg;
+}
+
+FilebenchConfig QuickFilebench() {
+  FilebenchConfig cfg;
+  cfg.nfiles = 40;
+  cfg.mean_file_size = 16 * 1024;
+  cfg.io_size = 8 * 1024;
+  cfg.duration_ms = 100;
+  cfg.threads = 2;
+  return cfg;
+}
+
+class PersonalityTest : public ::testing::TestWithParam<Personality> {};
+
+TEST_P(PersonalityTest, RunsOnHinfs) {
+  auto bed = MakeTestBed(FsKind::kHinfs, QuickConfig());
+  ASSERT_TRUE(bed.ok());
+  FilebenchConfig cfg = QuickFilebench();
+  ASSERT_TRUE(PrepareFileset((*bed)->vfs.get(), cfg).ok());
+  auto result = RunFilebench((*bed)->vfs.get(), GetParam(), cfg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->ops, 0u);
+  EXPECT_GT(result->OpsPerSec(), 0.0);
+  ASSERT_TRUE((*bed)->vfs->Unmount().ok());
+}
+
+TEST_P(PersonalityTest, RunsOnPmfs) {
+  auto bed = MakeTestBed(FsKind::kPmfs, QuickConfig());
+  ASSERT_TRUE(bed.ok());
+  FilebenchConfig cfg = QuickFilebench();
+  ASSERT_TRUE(PrepareFileset((*bed)->vfs.get(), cfg).ok());
+  auto result = RunFilebench((*bed)->vfs.get(), GetParam(), cfg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->ops, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, PersonalityTest,
+                         ::testing::Values(Personality::kFileserver, Personality::kWebserver,
+                                           Personality::kWebproxy, Personality::kVarmail),
+                         [](const auto& info) { return PersonalityName(info.param); });
+
+TEST(PersonalityPropertyTest, VarmailIssuesFsyncs) {
+  auto bed = MakeTestBed(FsKind::kHinfs, QuickConfig());
+  ASSERT_TRUE(bed.ok());
+  FilebenchConfig cfg = QuickFilebench();
+  ASSERT_TRUE(PrepareFileset((*bed)->vfs.get(), cfg).ok());
+  auto result = RunFilebench((*bed)->vfs.get(), Personality::kVarmail, cfg);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->fsyncs, 0u);
+}
+
+TEST(PersonalityPropertyTest, WebserverIsReadDominated) {
+  auto bed = MakeTestBed(FsKind::kPmfs, QuickConfig());
+  ASSERT_TRUE(bed.ok());
+  FilebenchConfig cfg = QuickFilebench();
+  ASSERT_TRUE(PrepareFileset((*bed)->vfs.get(), cfg).ok());
+  auto result = RunFilebench((*bed)->vfs.get(), Personality::kWebserver, cfg);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->bytes_read, result->bytes_written * 5);
+}
+
+TEST(FioTest, RespectsWriteFraction) {
+  auto bed = MakeTestBed(FsKind::kPmfs, QuickConfig());
+  ASSERT_TRUE(bed.ok());
+  FioConfig cfg;
+  cfg.file_bytes = 4 << 20;
+  cfg.io_size = 4096;
+  cfg.duration_ms = 100;
+  auto result = RunFioRandRw((*bed)->vfs.get(), cfg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->ops, 0u);
+  // R:W is 1:2, so written bytes should be roughly twice read bytes.
+  EXPECT_GT(result->bytes_written, result->bytes_read);
+}
+
+// --- traces --------------------------------------------------------------------
+
+TEST(TraceSynthTest, FsyncByteFractionsMatchFig2) {
+  const auto tpcc = ComputeFsyncBytes(SynthesizeTrace(TpccTraceProfile()));
+  EXPECT_GT(tpcc.Percent(), 85.0);
+  const auto fb = ComputeFsyncBytes(SynthesizeTrace(FacebookProfile()));
+  EXPECT_GT(fb.Percent(), 55.0);
+  EXPECT_LT(fb.Percent(), 95.0);
+  const auto usr0 = ComputeFsyncBytes(SynthesizeTrace(Usr0Profile()));
+  EXPECT_GT(usr0.Percent(), 15.0);
+  EXPECT_LT(usr0.Percent(), 60.0);
+  const auto lasr = ComputeFsyncBytes(SynthesizeTrace(LasrProfile()));
+  EXPECT_EQ(lasr.Percent(), 0.0);
+}
+
+TEST(TraceSynthTest, Deterministic) {
+  const auto a = SynthesizeTrace(Usr0Profile());
+  const auto b = SynthesizeTrace(Usr0Profile());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); i += 37) {
+    EXPECT_EQ(a[i].type, b[i].type);
+    EXPECT_EQ(a[i].offset, b[i].offset);
+  }
+}
+
+TEST(TraceSynthTest, OpsStayInBounds) {
+  TraceProfile p = FacebookProfile();
+  p.num_ops = 5000;
+  for (const TraceOp& op : SynthesizeTrace(p)) {
+    if (op.type == TraceOpType::kWrite || op.type == TraceOpType::kRead) {
+      EXPECT_LT(op.file, p.num_files);
+      EXPECT_LE(op.offset + op.size, p.max_file_bytes + 2 * p.mean_io * 2);
+      EXPECT_GT(op.size, 0u);
+    }
+  }
+}
+
+TEST(TraceSerializationTest, RoundTrips) {
+  TraceProfile p = Usr0Profile();
+  p.num_ops = 2000;
+  const auto trace = SynthesizeTrace(p);
+  const std::string text = TraceToText(trace);
+  auto parsed = TraceFromText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), trace.size());
+  for (size_t i = 0; i < trace.size(); i++) {
+    ASSERT_EQ(parsed->at(i).type, trace[i].type) << i;
+    ASSERT_EQ(parsed->at(i).file, trace[i].file) << i;
+    ASSERT_EQ(parsed->at(i).offset, trace[i].offset) << i;
+    ASSERT_EQ(parsed->at(i).size, trace[i].size) << i;
+  }
+}
+
+TEST(TraceSerializationTest, SkipsCommentsAndBlanks) {
+  auto parsed = TraceFromText("# header\n\nW 3 100 64\nF 3 0 0\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ(parsed->at(0).type, TraceOpType::kWrite);
+  EXPECT_EQ(parsed->at(1).type, TraceOpType::kFsync);
+}
+
+TEST(TraceSerializationTest, RejectsGarbage) {
+  EXPECT_FALSE(TraceFromText("X 1 2 3\n").ok());
+  EXPECT_FALSE(TraceFromText("hello world\n").ok());
+}
+
+class TraceReplayTest : public ::testing::TestWithParam<FsKind> {};
+
+TEST_P(TraceReplayTest, ReplaysUsr0) {
+  auto bed = MakeTestBed(GetParam(), QuickConfig());
+  ASSERT_TRUE(bed.ok());
+  TraceProfile p = Usr0Profile();
+  p.num_ops = 3000;
+  auto breakdown = ReplayTrace((*bed)->vfs.get(), SynthesizeTrace(p));
+  ASSERT_TRUE(breakdown.ok()) << breakdown.status().ToString();
+  EXPECT_GT(breakdown->ops, 0u);
+  EXPECT_GT(breakdown->write_ns, 0u);
+  EXPECT_GT(breakdown->fsync_ns, 0u);
+  ASSERT_TRUE((*bed)->vfs->Unmount().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(SomeFs, TraceReplayTest,
+                         ::testing::Values(FsKind::kPmfs, FsKind::kHinfs, FsKind::kHinfsWb,
+                                           FsKind::kExt4Nvmmbd),
+                         [](const auto& info) {
+                           std::string name = FsKindName(info.param);
+                           for (char& c : name) {
+                             if (c == '+' || c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// --- macro workloads ------------------------------------------------------------
+
+TEST(MacroTest, PostmarkRuns) {
+  auto bed = MakeTestBed(FsKind::kHinfs, QuickConfig());
+  ASSERT_TRUE(bed.ok());
+  PostmarkConfig cfg;
+  cfg.nfiles = 50;
+  cfg.transactions = 200;
+  auto result = RunPostmark((*bed)->vfs.get(), cfg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->ops, 250u);
+  // Everything was deleted at the end.
+  auto entries = (*bed)->vfs->ReadDir("/pm");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_TRUE(entries->empty());
+}
+
+TEST(MacroTest, TpccIssuesFsyncPerTransaction) {
+  auto bed = MakeTestBed(FsKind::kHinfs, QuickConfig());
+  ASSERT_TRUE(bed.ok());
+  TpccConfig cfg;
+  cfg.transactions = 100;
+  cfg.warehouses = 1;
+  auto result = RunTpcc((*bed)->vfs.get(), cfg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->fsyncs, 100u);
+  EXPECT_EQ(result->ops, 100u);
+}
+
+TEST(MacroTest, KernelGrepReadsEverything) {
+  auto bed = MakeTestBed(FsKind::kPmfs, QuickConfig());
+  ASSERT_TRUE(bed.ok());
+  KernelTreeConfig cfg;
+  cfg.dirs = 4;
+  cfg.files_per_dir = 5;
+  cfg.headers = 6;
+  ASSERT_TRUE(BuildKernelTree((*bed)->vfs.get(), cfg).ok());
+  auto result = RunKernelGrep((*bed)->vfs.get(), cfg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->ops, 4u * 5 + 6);
+  EXPECT_EQ(result->bytes_written, 0u);
+}
+
+TEST(MacroTest, KernelMakeWritesObjects) {
+  auto bed = MakeTestBed(FsKind::kHinfs, QuickConfig());
+  ASSERT_TRUE(bed.ok());
+  KernelTreeConfig cfg;
+  cfg.dirs = 3;
+  cfg.files_per_dir = 4;
+  cfg.headers = 5;
+  ASSERT_TRUE(BuildKernelTree((*bed)->vfs.get(), cfg).ok());
+  auto result = RunKernelMake((*bed)->vfs.get(), cfg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->bytes_written, 0u);
+  EXPECT_TRUE((*bed)->vfs->Exists("/obj/vmlinux"));
+}
+
+}  // namespace
+}  // namespace hinfs
