@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_benefit_model.dir/ablation_benefit_model.cc.o"
+  "CMakeFiles/ablation_benefit_model.dir/ablation_benefit_model.cc.o.d"
+  "ablation_benefit_model"
+  "ablation_benefit_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_benefit_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

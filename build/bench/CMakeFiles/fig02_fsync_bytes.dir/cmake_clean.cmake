@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_fsync_bytes.dir/fig02_fsync_bytes.cc.o"
+  "CMakeFiles/fig02_fsync_bytes.dir/fig02_fsync_bytes.cc.o.d"
+  "fig02_fsync_bytes"
+  "fig02_fsync_bytes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_fsync_bytes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_iosize_clfw.dir/fig09_iosize_clfw.cc.o"
+  "CMakeFiles/fig09_iosize_clfw.dir/fig09_iosize_clfw.cc.o.d"
+  "fig09_iosize_clfw"
+  "fig09_iosize_clfw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_iosize_clfw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_iosize_clfw.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_latency.cc" "bench/CMakeFiles/fig11_latency.dir/fig11_latency.cc.o" "gcc" "bench/CMakeFiles/fig11_latency.dir/fig11_latency.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/hinfs_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/hinfs/CMakeFiles/hinfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/hinfs_pmfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/hinfs_blockfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/hinfs_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagecache/CMakeFiles/hinfs_pagecache.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockdev/CMakeFiles/hinfs_blockdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvmm/CMakeFiles/hinfs_nvmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hinfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

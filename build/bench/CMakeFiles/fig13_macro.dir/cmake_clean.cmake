@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_macro.dir/fig13_macro.cc.o"
+  "CMakeFiles/fig13_macro.dir/fig13_macro.cc.o.d"
+  "fig13_macro"
+  "fig13_macro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_macro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinfs_shell.dir/hinfs_shell.cpp.o"
+  "CMakeFiles/hinfs_shell.dir/hinfs_shell.cpp.o.d"
+  "hinfs_shell"
+  "hinfs_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinfs_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

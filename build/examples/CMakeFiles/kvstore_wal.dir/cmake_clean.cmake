@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_wal.dir/kvstore_wal.cpp.o"
+  "CMakeFiles/kvstore_wal.dir/kvstore_wal.cpp.o.d"
+  "kvstore_wal"
+  "kvstore_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

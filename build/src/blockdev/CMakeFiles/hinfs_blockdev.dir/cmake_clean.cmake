@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinfs_blockdev.dir/nvmm_block_device.cc.o"
+  "CMakeFiles/hinfs_blockdev.dir/nvmm_block_device.cc.o.d"
+  "libhinfs_blockdev.a"
+  "libhinfs_blockdev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinfs_blockdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

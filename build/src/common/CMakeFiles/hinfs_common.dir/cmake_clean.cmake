@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinfs_common.dir/clock.cc.o"
+  "CMakeFiles/hinfs_common.dir/clock.cc.o.d"
+  "CMakeFiles/hinfs_common.dir/histogram.cc.o"
+  "CMakeFiles/hinfs_common.dir/histogram.cc.o.d"
+  "CMakeFiles/hinfs_common.dir/logging.cc.o"
+  "CMakeFiles/hinfs_common.dir/logging.cc.o.d"
+  "CMakeFiles/hinfs_common.dir/rng.cc.o"
+  "CMakeFiles/hinfs_common.dir/rng.cc.o.d"
+  "CMakeFiles/hinfs_common.dir/stats.cc.o"
+  "CMakeFiles/hinfs_common.dir/stats.cc.o.d"
+  "CMakeFiles/hinfs_common.dir/status.cc.o"
+  "CMakeFiles/hinfs_common.dir/status.cc.o.d"
+  "libhinfs_common.a"
+  "libhinfs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinfs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

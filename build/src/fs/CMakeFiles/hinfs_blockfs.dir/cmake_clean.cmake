@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinfs_blockfs.dir/blockfs/block_fs.cc.o"
+  "CMakeFiles/hinfs_blockfs.dir/blockfs/block_fs.cc.o.d"
+  "libhinfs_blockfs.a"
+  "libhinfs_blockfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinfs_blockfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

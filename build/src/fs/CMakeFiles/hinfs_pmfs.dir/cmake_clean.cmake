@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinfs_pmfs.dir/pmfs/allocator.cc.o"
+  "CMakeFiles/hinfs_pmfs.dir/pmfs/allocator.cc.o.d"
+  "CMakeFiles/hinfs_pmfs.dir/pmfs/fsck.cc.o"
+  "CMakeFiles/hinfs_pmfs.dir/pmfs/fsck.cc.o.d"
+  "CMakeFiles/hinfs_pmfs.dir/pmfs/journal.cc.o"
+  "CMakeFiles/hinfs_pmfs.dir/pmfs/journal.cc.o.d"
+  "CMakeFiles/hinfs_pmfs.dir/pmfs/pmfs_fs.cc.o"
+  "CMakeFiles/hinfs_pmfs.dir/pmfs/pmfs_fs.cc.o.d"
+  "libhinfs_pmfs.a"
+  "libhinfs_pmfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinfs_pmfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hinfs_pmfs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinfs_core.dir/benefit_model.cc.o"
+  "CMakeFiles/hinfs_core.dir/benefit_model.cc.o.d"
+  "CMakeFiles/hinfs_core.dir/dram_buffer.cc.o"
+  "CMakeFiles/hinfs_core.dir/dram_buffer.cc.o.d"
+  "CMakeFiles/hinfs_core.dir/hinfs_fs.cc.o"
+  "CMakeFiles/hinfs_core.dir/hinfs_fs.cc.o.d"
+  "libhinfs_core.a"
+  "libhinfs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinfs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

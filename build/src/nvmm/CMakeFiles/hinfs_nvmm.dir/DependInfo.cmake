@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvmm/bandwidth_limiter.cc" "src/nvmm/CMakeFiles/hinfs_nvmm.dir/bandwidth_limiter.cc.o" "gcc" "src/nvmm/CMakeFiles/hinfs_nvmm.dir/bandwidth_limiter.cc.o.d"
+  "/root/repo/src/nvmm/latency_model.cc" "src/nvmm/CMakeFiles/hinfs_nvmm.dir/latency_model.cc.o" "gcc" "src/nvmm/CMakeFiles/hinfs_nvmm.dir/latency_model.cc.o.d"
+  "/root/repo/src/nvmm/nvmm_device.cc" "src/nvmm/CMakeFiles/hinfs_nvmm.dir/nvmm_device.cc.o" "gcc" "src/nvmm/CMakeFiles/hinfs_nvmm.dir/nvmm_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hinfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinfs_nvmm.dir/bandwidth_limiter.cc.o"
+  "CMakeFiles/hinfs_nvmm.dir/bandwidth_limiter.cc.o.d"
+  "CMakeFiles/hinfs_nvmm.dir/latency_model.cc.o"
+  "CMakeFiles/hinfs_nvmm.dir/latency_model.cc.o.d"
+  "CMakeFiles/hinfs_nvmm.dir/nvmm_device.cc.o"
+  "CMakeFiles/hinfs_nvmm.dir/nvmm_device.cc.o.d"
+  "libhinfs_nvmm.a"
+  "libhinfs_nvmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinfs_nvmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhinfs_nvmm.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinfs_pagecache.dir/page_cache.cc.o"
+  "CMakeFiles/hinfs_pagecache.dir/page_cache.cc.o.d"
+  "libhinfs_pagecache.a"
+  "libhinfs_pagecache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinfs_pagecache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

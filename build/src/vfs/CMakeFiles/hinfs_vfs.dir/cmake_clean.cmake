@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinfs_vfs.dir/vfs.cc.o"
+  "CMakeFiles/hinfs_vfs.dir/vfs.cc.o.d"
+  "libhinfs_vfs.a"
+  "libhinfs_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinfs_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinfs_workloads.dir/filebench.cc.o"
+  "CMakeFiles/hinfs_workloads.dir/filebench.cc.o.d"
+  "CMakeFiles/hinfs_workloads.dir/fs_setup.cc.o"
+  "CMakeFiles/hinfs_workloads.dir/fs_setup.cc.o.d"
+  "CMakeFiles/hinfs_workloads.dir/macro.cc.o"
+  "CMakeFiles/hinfs_workloads.dir/macro.cc.o.d"
+  "CMakeFiles/hinfs_workloads.dir/trace.cc.o"
+  "CMakeFiles/hinfs_workloads.dir/trace.cc.o.d"
+  "CMakeFiles/hinfs_workloads.dir/workload.cc.o"
+  "CMakeFiles/hinfs_workloads.dir/workload.cc.o.d"
+  "libhinfs_workloads.a"
+  "libhinfs_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinfs_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

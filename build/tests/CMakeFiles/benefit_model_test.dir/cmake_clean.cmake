@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benefit_model_test.dir/benefit_model_test.cc.o"
+  "CMakeFiles/benefit_model_test.dir/benefit_model_test.cc.o.d"
+  "benefit_model_test"
+  "benefit_model_test.pdb"
+  "benefit_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benefit_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

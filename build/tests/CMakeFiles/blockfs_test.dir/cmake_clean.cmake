@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blockfs_test.dir/blockfs_test.cc.o"
+  "CMakeFiles/blockfs_test.dir/blockfs_test.cc.o.d"
+  "blockfs_test"
+  "blockfs_test.pdb"
+  "blockfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blockfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

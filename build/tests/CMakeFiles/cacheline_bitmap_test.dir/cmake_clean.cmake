@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cacheline_bitmap_test.dir/cacheline_bitmap_test.cc.o"
+  "CMakeFiles/cacheline_bitmap_test.dir/cacheline_bitmap_test.cc.o.d"
+  "cacheline_bitmap_test"
+  "cacheline_bitmap_test.pdb"
+  "cacheline_bitmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cacheline_bitmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

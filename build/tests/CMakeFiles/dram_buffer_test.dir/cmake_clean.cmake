@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_buffer_test.dir/dram_buffer_test.cc.o"
+  "CMakeFiles/dram_buffer_test.dir/dram_buffer_test.cc.o.d"
+  "dram_buffer_test"
+  "dram_buffer_test.pdb"
+  "dram_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_matrix_test.dir/fs_matrix_test.cc.o"
+  "CMakeFiles/fs_matrix_test.dir/fs_matrix_test.cc.o.d"
+  "fs_matrix_test"
+  "fs_matrix_test.pdb"
+  "fs_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinfs_fs_test.dir/hinfs_fs_test.cc.o"
+  "CMakeFiles/hinfs_fs_test.dir/hinfs_fs_test.cc.o.d"
+  "hinfs_fs_test"
+  "hinfs_fs_test.pdb"
+  "hinfs_fs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinfs_fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmap_test.dir/mmap_test.cc.o"
+  "CMakeFiles/mmap_test.dir/mmap_test.cc.o.d"
+  "mmap_test"
+  "mmap_test.pdb"
+  "mmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

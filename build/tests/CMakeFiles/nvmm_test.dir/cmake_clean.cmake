@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvmm_test.dir/nvmm_test.cc.o"
+  "CMakeFiles/nvmm_test.dir/nvmm_test.cc.o.d"
+  "nvmm_test"
+  "nvmm_test.pdb"
+  "nvmm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvmm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/nvmm_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_test[1]_include.cmake")
+include("/root/repo/build/tests/cacheline_bitmap_test[1]_include.cmake")
+include("/root/repo/build/tests/pagecache_test[1]_include.cmake")
+include("/root/repo/build/tests/journal_test[1]_include.cmake")
+include("/root/repo/build/tests/pmfs_test[1]_include.cmake")
+include("/root/repo/build/tests/blockfs_test[1]_include.cmake")
+include("/root/repo/build/tests/dram_buffer_test[1]_include.cmake")
+include("/root/repo/build/tests/benefit_model_test[1]_include.cmake")
+include("/root/repo/build/tests/hinfs_fs_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/crash_test[1]_include.cmake")
+include("/root/repo/build/tests/vfs_test[1]_include.cmake")
+include("/root/repo/build/tests/fsck_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/blockdev_test[1]_include.cmake")
+include("/root/repo/build/tests/mmap_test[1]_include.cmake")
