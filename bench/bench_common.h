@@ -5,13 +5,20 @@
 // are wall-clock-bounded and tunable:
 //   HINFS_BENCH_DURATION_MS  per-configuration run time (default 250)
 //   HINFS_BENCH_THREADS      max threads for scalability sweeps (default 8)
+//   HINFS_BUFFER_SHARDS      HiNFS write-buffer shard count (0 = auto)
+//
+// Benches that sweep a dimension also accept `--json <path>` and write their
+// rows as a JSON array ({fs, personality, <x>, ops_per_sec}) so the perf
+// trajectory across PRs is machine-trackable.
 
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/workloads/filebench.h"
 #include "src/workloads/fs_setup.h"
@@ -28,6 +35,70 @@ inline int BenchMaxThreads() {
   return env != nullptr ? std::atoi(env) : 8;
 }
 
+inline int BenchBufferShards() {
+  const char* env = std::getenv("HINFS_BUFFER_SHARDS");
+  return env != nullptr ? std::atoi(env) : 0;  // 0 = auto (hardware concurrency)
+}
+
+// --- machine-readable results ------------------------------------------------
+
+// One measured configuration. `x` is the sweep coordinate (thread count,
+// buffer ratio, ...) named by `x_key`.
+struct BenchJsonRow {
+  std::string fs;
+  std::string personality;
+  const char* x_key = "threads";
+  double x = 0;
+  double ops_per_sec = 0;
+};
+
+// Returns the path following a `--json` argument, or empty if absent. Fails
+// fast (exit 2) on a dangling `--json` or an unwritable path so a typo'd
+// invocation doesn't silently run a multi-minute sweep and write nothing.
+inline std::string ParseJsonPath(int argc, char** argv) {
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--json") != 0) {
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "error: --json requires a file path\n");
+      std::exit(2);
+    }
+    const char* path = argv[i + 1];
+    FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n", path);
+      std::exit(2);
+    }
+    std::fclose(f);
+    return path;
+  }
+  return std::string();
+}
+
+inline bool WriteBenchJson(const std::string& path, const std::vector<BenchJsonRow>& rows) {
+  if (path.empty()) {
+    return true;
+  }
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < rows.size(); i++) {
+    const BenchJsonRow& r = rows[i];
+    std::fprintf(f, "  {\"fs\": \"%s\", \"personality\": \"%s\", \"%s\": %g, "
+                 "\"ops_per_sec\": %.3f}%s\n",
+                 r.fs.c_str(), r.personality.c_str(), r.x_key, r.x, r.ops_per_sec,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %zu rows to %s\n", rows.size(), path.c_str());
+  return true;
+}
+
 // Emulator defaults from the paper's evaluation (Table 2): 200 ns NVMM write
 // latency, 1 GB/s NVMM write bandwidth, spin-loop injection.
 inline TestBedConfig PaperBedConfig(size_t device_bytes = 256ull << 20,
@@ -38,6 +109,7 @@ inline TestBedConfig PaperBedConfig(size_t device_bytes = 256ull << 20,
   cfg.nvmm.write_latency_ns = 200;
   cfg.nvmm.write_bandwidth_bytes_per_sec = 1ull << 30;
   cfg.hinfs.buffer_bytes = buffer_bytes;
+  cfg.hinfs.buffer_shards = BenchBufferShards();
   cfg.pmfs.max_inodes = 1 << 14;
   // The paper gives the NVMMBD baselines 3 GB of system memory for a 5 GB
   // dataset; scaled down, the page cache holds ~60 % of our ~13 MB dataset.

@@ -1,17 +1,25 @@
 // Fig. 8: throughput as the client thread count grows (paper: 1-10 threads).
+//
+// `--json <path>` additionally writes {fs, personality, threads, ops_per_sec}
+// rows (e.g. BENCH_fig08.json) for cross-PR perf tracking. The HiNFS buffer
+// shard count follows HINFS_BUFFER_SHARDS (0 = auto), so the sharded-buffer
+// speedup is measured by comparing HINFS_BUFFER_SHARDS=1 against >= 4.
 
 #include "bench/bench_common.h"
 
 using namespace hinfs;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = ParseJsonPath(argc, argv);
   PrintBenchHeader("Fig. 8", "filebench throughput for increasing thread counts");
+  std::printf("hinfs buffer shards: %d (0 = auto)\n\n", BenchBufferShards());
 
   const FsKind kinds[] = {FsKind::kPmfs, FsKind::kExt4Dax, FsKind::kExt2Nvmmbd,
                           FsKind::kExt4Nvmmbd, FsKind::kHinfs};
   const Personality personalities[] = {Personality::kFileserver, Personality::kWebserver,
                                        Personality::kWebproxy, Personality::kVarmail};
   const int max_threads = BenchMaxThreads();
+  std::vector<BenchJsonRow> rows;
 
   for (Personality p : personalities) {
     std::printf("[%s] ops/s\n", PersonalityName(p));
@@ -36,6 +44,8 @@ int main() {
         }
         std::printf(" %10.0f", result->OpsPerSec());
         std::fflush(stdout);
+        rows.push_back({FsKindName(kind), PersonalityName(p), "threads",
+                        static_cast<double>(t), result->OpsPerSec()});
       }
       std::printf("\n");
     }
@@ -44,5 +54,5 @@ int main() {
   std::printf("paper shape: HiNFS scales best; PMFS/EXT4-DAX cap out on NVMM write\n"
               "bandwidth; NVMMBD baselines stay flat (note: this host is single-core,\n"
               "so absolute scaling is compressed — ordering is the reproducible shape)\n");
-  return 0;
+  return WriteBenchJson(json_path, rows) ? 0 : 1;
 }

@@ -1,15 +1,20 @@
 // Fig. 10: throughput as a function of the DRAM buffer size (ratio of the
 // workload size). Fileserver improves with more buffer; webproxy's strong
 // locality and short-lived files make it insensitive.
+//
+// `--json <path>` writes {fs, personality, ratio, ops_per_sec} rows for
+// cross-PR perf tracking.
 
 #include "bench/bench_common.h"
 
 using namespace hinfs;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = ParseJsonPath(argc, argv);
   PrintBenchHeader("Fig. 10", "throughput vs DRAM buffer size ratio (fileserver, webproxy)");
 
   const double ratios[] = {0.1, 0.25, 0.5, 0.75, 1.0};
+  std::vector<BenchJsonRow> rows;
   for (Personality p : {Personality::kFileserver, Personality::kWebproxy}) {
     FilebenchConfig cfg = PaperFilebenchConfig();
     const size_t workload_bytes = cfg.nfiles * cfg.mean_file_size;
@@ -33,6 +38,7 @@ int main() {
       std::printf(" %9.0f", pmfs->OpsPerSec());
     }
     std::printf("\n");
+    rows.push_back({"PMFS", PersonalityName(p), "ratio", 0, pmfs->OpsPerSec()});
 
     for (FsKind kind : {FsKind::kHinfs, FsKind::kExt2Nvmmbd, FsKind::kExt4Nvmmbd}) {
       std::printf("%-13s", FsKindName(kind));
@@ -49,6 +55,8 @@ int main() {
         }
         std::printf(" %9.0f", result->OpsPerSec());
         std::fflush(stdout);
+        rows.push_back({FsKindName(kind), PersonalityName(p), "ratio", r,
+                        result->OpsPerSec()});
       }
       std::printf("\n");
     }
@@ -56,5 +64,5 @@ int main() {
   }
   std::printf("paper shape: fileserver rises with the buffer ratio on HiNFS; webproxy is\n"
               "flat (short-lived files + locality); NVMMBD baselines trail even at 1.0\n");
-  return 0;
+  return WriteBenchJson(json_path, rows) ? 0 : 1;
 }

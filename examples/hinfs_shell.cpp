@@ -11,6 +11,7 @@
 //           df, buf, fsck, help, quit
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -157,13 +158,15 @@ int RunCommand(Vfs& vfs, HinfsFs& fs, NvmmDevice& nvmm, const std::vector<std::s
                 (unsigned long long)(nvmm.loaded_bytes() >> 20));
   } else if (cmd == "buf") {
     auto& b = fs.buffer();
-    std::printf("buffer: %zu/%zu frames free, hits=%llu misses=%llu wb=%llu blocks "
-                "(%llu lines), fetched=%llu lines, stalls=%llu\n",
-                b.free_blocks(), b.capacity_blocks(), (unsigned long long)b.buffer_hits(),
-                (unsigned long long)b.buffer_misses(),
+    std::printf("buffer: %zu shard(s), %zu/%zu frames free, hits=%llu misses=%llu "
+                "wb=%llu blocks (%llu lines), fetched=%llu lines, stalls=%llu, "
+                "lock_contended=%llu\n",
+                b.shard_count(), b.free_blocks(), b.capacity_blocks(),
+                (unsigned long long)b.buffer_hits(), (unsigned long long)b.buffer_misses(),
                 (unsigned long long)b.writeback_blocks(),
                 (unsigned long long)b.writeback_lines(),
-                (unsigned long long)b.fetched_lines(), (unsigned long long)b.stall_count());
+                (unsigned long long)b.fetched_lines(), (unsigned long long)b.stall_count(),
+                (unsigned long long)b.lock_contended());
     std::printf("model:  eager=%llu lazy=%llu decisions=%llu accuracy=%.1f%%\n",
                 (unsigned long long)fs.stats().Get(kStatEagerWrites),
                 (unsigned long long)fs.stats().Get(kStatLazyWrites),
@@ -202,6 +205,9 @@ int main() {
   NvmmDevice nvmm(ncfg);
   HinfsOptions hopts;
   hopts.buffer_bytes = 32ull << 20;
+  if (const char* env = std::getenv("HINFS_BUFFER_SHARDS")) {
+    hopts.buffer_shards = std::atoi(env);  // 0 = auto, 1 = unsharded
+  }
   auto fs = HinfsFs::Format(&nvmm, hopts);
   if (!fs.ok()) {
     std::fprintf(stderr, "format: %s\n", fs.status().ToString().c_str());

@@ -98,7 +98,14 @@ Status Journal::AppendUndo(uint64_t txn_id, uint64_t addr, size_t len) {
     e.addr = cur;
     e.len = static_cast<uint16_t>(chunk);
     e.type = kJournalUndo;
-    HINFS_RETURN_IF_ERROR(nvmm_->Load(cur, e.data, chunk));
+    // Word-aligned metadata (inodes, dirents, radix slots) may be updated in
+    // place by concurrent atomic 8-byte stores; read it word-atomically so the
+    // logged image is torn-free per word.
+    if (cur % sizeof(uint64_t) == 0 && chunk % sizeof(uint64_t) == 0) {
+      HINFS_RETURN_IF_ERROR(nvmm_->LoadAtomic(cur, e.data, chunk));
+    } else {
+      HINFS_RETURN_IF_ERROR(nvmm_->Load(cur, e.data, chunk));
+    }
     HINFS_RETURN_IF_ERROR(AppendEntry(e, /*is_commit=*/false));
     cur += chunk;
     remaining -= chunk;

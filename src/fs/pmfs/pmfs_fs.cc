@@ -137,7 +137,11 @@ Result<PmfsInode> PmfsFs::LoadInode(uint64_t ino) {
     return Status(ErrorCode::kInvalidArgument, "bad inode number");
   }
   PmfsInode inode;
-  HINFS_RETURN_IF_ERROR(nvmm_->Load(InodeAddr(ino), &inode, sizeof(inode)));
+  // Word-atomic load: the inode is updated in place by concurrent 8-byte field
+  // stores (UpdateInodeU64) and imeta_mu_-guarded cacheline rewrites. Each
+  // field reads torn-free old-or-new; the struct is not a snapshot, which is
+  // exactly what PMFS promises for in-place metadata on real NVMM.
+  HINFS_RETURN_IF_ERROR(nvmm_->LoadAtomic(InodeAddr(ino), &inode, sizeof(inode)));
   if (inode.ino != ino) {
     return Status(ErrorCode::kNotFound, "stale inode");
   }
@@ -150,7 +154,7 @@ Status PmfsFs::UpdateInodeU64(uint64_t ino, size_t field_offset, uint64_t value)
   // orders it against the whole-cacheline read-modify-write updates done by
   // radix growth, which may run on a writeback thread.
   std::lock_guard<std::mutex> lock(imeta_mu_);
-  return nvmm_->StorePersistent(InodeAddr(ino) + field_offset, &value, sizeof(value));
+  return nvmm_->StoreAtomicPersistent(InodeAddr(ino) + field_offset, &value, sizeof(value));
 }
 
 Result<uint64_t> PmfsFs::AllocInode(Transaction& txn, FileType type) {
@@ -171,7 +175,7 @@ Result<uint64_t> PmfsFs::AllocInode(Transaction& txn, FileType type) {
   inode.type = static_cast<uint8_t>(type);
   inode.nlink = type == FileType::kDirectory ? 2 : 1;
   inode.mtime_ns = MonotonicNowNs();
-  HINFS_RETURN_IF_ERROR(nvmm_->StorePersistent(InodeAddr(ino), &inode, sizeof(inode)));
+  HINFS_RETURN_IF_ERROR(nvmm_->StoreAtomicPersistent(InodeAddr(ino), &inode, sizeof(inode)));
   return ino;
 }
 
@@ -202,7 +206,7 @@ Result<uint64_t> PmfsFs::MapBlockAlloc(Transaction& txn, uint64_t ino, PmfsInode
   // caller loaded the inode: refresh the mapping fields.
   {
     PmfsInode fresh;
-    HINFS_RETURN_IF_ERROR(nvmm_->Load(InodeAddr(ino), &fresh, kCachelineSize));
+    HINFS_RETURN_IF_ERROR(nvmm_->LoadAtomic(InodeAddr(ino), &fresh, kCachelineSize));
     inode.radix_root = fresh.radix_root;
     inode.radix_height = fresh.radix_height;
   }
@@ -225,11 +229,11 @@ Result<uint64_t> PmfsFs::MapBlockAlloc(Transaction& txn, uint64_t ino, PmfsInode
     {
       std::lock_guard<std::mutex> ilock(imeta_mu_);
       PmfsInode fresh;
-      HINFS_RETURN_IF_ERROR(nvmm_->Load(InodeAddr(ino), &fresh, kCachelineSize));
+      HINFS_RETURN_IF_ERROR(nvmm_->LoadAtomic(InodeAddr(ino), &fresh, kCachelineSize));
       HINFS_RETURN_IF_ERROR(txn.LogOldValue(InodeAddr(ino), kCachelineSize));
       fresh.radix_root = new_root;
       fresh.radix_height = static_cast<uint8_t>(inode.radix_height + 1);
-      HINFS_RETURN_IF_ERROR(nvmm_->StorePersistent(InodeAddr(ino), &fresh, kCachelineSize));
+      HINFS_RETURN_IF_ERROR(nvmm_->StoreAtomicPersistent(InodeAddr(ino), &fresh, kCachelineSize));
     }
     inode.radix_root = new_root;
     inode.radix_height++;
@@ -315,11 +319,11 @@ Status PmfsFs::FreeBlocksFrom(Transaction& txn, uint64_t ino, PmfsInode& inode,
     HINFS_RETURN_IF_ERROR(alloc_->Free(txn, inode.radix_root));
     std::lock_guard<std::mutex> ilock(imeta_mu_);
     PmfsInode fresh;
-    HINFS_RETURN_IF_ERROR(nvmm_->Load(InodeAddr(ino), &fresh, kCachelineSize));
+    HINFS_RETURN_IF_ERROR(nvmm_->LoadAtomic(InodeAddr(ino), &fresh, kCachelineSize));
     HINFS_RETURN_IF_ERROR(txn.LogOldValue(InodeAddr(ino), kCachelineSize));
     fresh.radix_root = 0;
     fresh.radix_height = 0;
-    HINFS_RETURN_IF_ERROR(nvmm_->StorePersistent(InodeAddr(ino), &fresh, kCachelineSize));
+    HINFS_RETURN_IF_ERROR(nvmm_->StoreAtomicPersistent(InodeAddr(ino), &fresh, kCachelineSize));
     inode.radix_root = 0;
     inode.radix_height = 0;
   }
@@ -488,7 +492,7 @@ Status PmfsFs::FreeFileLocked(uint64_t ino) {
   }
   if (st.ok()) {
     PmfsInode zero{};
-    st = nvmm_->StorePersistent(InodeAddr(ino), &zero, kCachelineSize);
+    st = nvmm_->StoreAtomicPersistent(InodeAddr(ino), &zero, kCachelineSize);
   }
   HINFS_RETURN_IF_ERROR(txn.Commit());
   HINFS_RETURN_IF_ERROR(st);

@@ -9,6 +9,30 @@
 
 namespace hinfs {
 
+namespace {
+
+size_t NextPow2(size_t x) {
+  size_t p = 1;
+  while (p < x) {
+    p <<= 1;
+  }
+  return p;
+}
+
+// Shard count: power of two (the key hash is masked), defaulting to the host's
+// concurrency, clamped so every shard owns at least two frames.
+size_t ResolveShardCount(const HinfsOptions& options, size_t capacity_blocks) {
+  size_t n = options.buffer_shards > 0
+                 ? NextPow2(static_cast<size_t>(options.buffer_shards))
+                 : NextPow2(std::max(1u, std::thread::hardware_concurrency()));
+  while (n > 1 && n * 2 > capacity_blocks) {
+    n >>= 1;
+  }
+  return n;
+}
+
+}  // namespace
+
 DramBufferManager::DramBufferManager(NvmmDevice* nvmm, const HinfsOptions& options,
                                      EnsureBlockFn ensure_block)
     : nvmm_(nvmm),
@@ -16,43 +40,167 @@ DramBufferManager::DramBufferManager(NvmmDevice* nvmm, const HinfsOptions& optio
       ensure_block_(std::move(ensure_block)),
       capacity_blocks_(std::max<size_t>(options.buffer_bytes / kBlockSize, 4)),
       pool_(new uint8_t[capacity_blocks_ * kBlockSize]) {
-  low_blocks_ = std::max<size_t>(1, static_cast<size_t>(capacity_blocks_ * options.low_watermark));
-  high_blocks_ =
-      std::max<size_t>(2, static_cast<size_t>(capacity_blocks_ * options.high_watermark));
-  free_frames_.reserve(capacity_blocks_);
-  for (size_t i = 0; i < capacity_blocks_; i++) {
-    free_frames_.push_back(static_cast<uint32_t>(capacity_blocks_ - 1 - i));
+  const size_t nshards = ResolveShardCount(options, capacity_blocks_);
+  shard_mask_ = static_cast<uint32_t>(nshards - 1);
+  shards_.reserve(nshards);
+  const size_t base = capacity_blocks_ / nshards;
+  const size_t rem = capacity_blocks_ % nshards;
+  uint32_t next_frame = 0;
+  for (size_t i = 0; i < nshards; i++) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = base + (i < rem ? 1 : 0);
+    // Watermarks scale by 1/N: each shard applies Low_f/High_f to its own
+    // slice, so reclaim pressure per shard matches the unsharded buffer's.
+    shard->low = std::max<size_t>(1, static_cast<size_t>(shard->capacity * options.low_watermark));
+    shard->high = std::min(
+        shard->capacity,
+        std::max<size_t>(2, static_cast<size_t>(shard->capacity * options.high_watermark)));
+    shard->free_frames.reserve(shard->capacity);
+    // Descending, so PopFreeFrameLocked grants the slice's frames in ascending
+    // order (same grant order as the unsharded pool at nshards=1).
+    for (size_t f = 0; f < shard->capacity; f++) {
+      shard->free_frames.push_back(
+          static_cast<uint32_t>(next_frame + shard->capacity - 1 - f));
+    }
+    next_frame += static_cast<uint32_t>(shard->capacity);
+    shard->free_count.store(shard->free_frames.size(), std::memory_order_relaxed);
+    shards_.push_back(std::move(shard));
   }
 }
 
-DramBufferManager::~DramBufferManager() { StopBackgroundWriteback(); }
+DramBufferManager::~DramBufferManager() {
+  StopBackgroundWriteback();
+  // Entries never flushed or discarded (tests, callers skipping FlushAll) are
+  // dropped here; background threads are joined, so no locks are needed.
+  for (auto& shard : shards_) {
+    for (EntryList* list : {&shard->t1, &shard->t2}) {
+      Entry* e = list->head.lrw_next;
+      while (e != &list->head) {
+        Entry* next = e->lrw_next;
+        delete e;
+        e = next;
+      }
+    }
+  }
+}
 
 void DramBufferManager::StartBackgroundWriteback() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(threads_mu_);
   if (!threads_.empty()) {
     return;
   }
-  stop_ = false;
-  for (int i = 0; i < options_.writeback_threads; i++) {
-    threads_.emplace_back([this] { WritebackThread(); });
+  stop_.store(false, std::memory_order_relaxed);
+  wb_worker_count_ = static_cast<size_t>(std::max(1, options_.writeback_threads));
+  wb_running_.store(true, std::memory_order_relaxed);
+  for (size_t i = 0; i < wb_worker_count_; i++) {
+    threads_.emplace_back([this, i] { WritebackThread(i); });
   }
 }
 
 void DramBufferManager::StopBackgroundWriteback() {
+  std::lock_guard<std::mutex> lock(threads_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
+    std::lock_guard<std::mutex> wb_lock(wb_mu_);
+    stop_.store(true, std::memory_order_relaxed);
   }
   wb_cv_.notify_all();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    shard->free_cv.notify_all();
+  }
   for (std::thread& t : threads_) {
     t.join();
   }
   threads_.clear();
+  wb_running_.store(false, std::memory_order_relaxed);
+}
+
+// --- introspection ----------------------------------------------------------------
+
+uint32_t DramBufferManager::ShardOf(uint64_t ino, uint64_t file_block) const {
+  // splitmix64-style finalizer over the combined key: adjacent blocks of one
+  // file spread across shards, so a single hot file still scales.
+  uint64_t h = ino * 0x9e3779b97f4a7c15ull + file_block;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 29;
+  return static_cast<uint32_t>(h) & shard_mask_;
+}
+
+size_t DramBufferManager::shard_capacity(uint32_t shard) const {
+  return shards_[shard]->capacity;
 }
 
 size_t DramBufferManager::free_blocks() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return free_frames_.size();
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->free_count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t DramBufferManager::buffer_hits() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) total += s->stats.hits.load(std::memory_order_relaxed);
+  return total;
+}
+
+uint64_t DramBufferManager::buffer_misses() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) total += s->stats.misses.load(std::memory_order_relaxed);
+  return total;
+}
+
+uint64_t DramBufferManager::writeback_blocks() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->stats.writeback_blocks.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t DramBufferManager::writeback_lines() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->stats.writeback_lines.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t DramBufferManager::fetched_lines() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) total += s->stats.fetched_lines.load(std::memory_order_relaxed);
+  return total;
+}
+
+uint64_t DramBufferManager::stall_count() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) total += s->stats.stalls.load(std::memory_order_relaxed);
+  return total;
+}
+
+uint64_t DramBufferManager::lock_contended() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) total += s->stats.lock_contended.load(std::memory_order_relaxed);
+  return total;
+}
+
+// --- frame slice ------------------------------------------------------------------
+
+uint32_t DramBufferManager::PopFreeFrameLocked(Shard& s) {
+  const uint32_t frame = s.free_frames.back();
+  s.free_frames.pop_back();
+  s.free_count.store(s.free_frames.size(), std::memory_order_relaxed);
+  if (s.free_frames.size() < s.low) {
+    // Crossing Low_f: wake the engine now instead of waiting out the period.
+    KickWriteback();
+  }
+  return frame;
+}
+
+void DramBufferManager::PushFreeFrameLocked(Shard& s, uint32_t frame) {
+  s.free_frames.push_back(frame);
+  s.free_count.store(s.free_frames.size(), std::memory_order_relaxed);
 }
 
 // --- residency lists --------------------------------------------------------------
@@ -83,35 +231,35 @@ void DramBufferManager::GhostTrimLocked(std::list<uint64_t>& fifo,
   }
 }
 
-void DramBufferManager::OnInsertLocked(Entry* e) {
+void DramBufferManager::OnInsertLocked(Shard& s, Entry* e) {
   e->freq = 1;
   const uint64_t key = GhostKey(*e);
   switch (options_.replacement) {
     case HinfsOptions::Replacement::kArc:
       // ARC: a ghost hit means this block was recently evicted; adapt p and
       // admit straight into the frequent list.
-      if (b1_.erase(key) > 0) {
+      if (s.b1.erase(key) > 0) {
         const size_t delta =
-            std::max<size_t>(1, b2_.size() / std::max<size_t>(b1_.size(), 1));
-        arc_p_ = std::min(capacity_blocks_, arc_p_ + delta);
+            std::max<size_t>(1, s.b2.size() / std::max<size_t>(s.b1.size(), 1));
+        s.arc_p = std::min(s.capacity, s.arc_p + delta);
         e->arc_list = 2;
-        ListPushMru(t2_, e);
+        ListPushMru(s.t2, e);
         return;
       }
-      if (b2_.erase(key) > 0) {
+      if (s.b2.erase(key) > 0) {
         const size_t delta =
-            std::max<size_t>(1, b1_.size() / std::max<size_t>(b2_.size(), 1));
-        arc_p_ = arc_p_ > delta ? arc_p_ - delta : 0;
+            std::max<size_t>(1, s.b1.size() / std::max<size_t>(s.b2.size(), 1));
+        s.arc_p = s.arc_p > delta ? s.arc_p - delta : 0;
         e->arc_list = 2;
-        ListPushMru(t2_, e);
+        ListPushMru(s.t2, e);
         return;
       }
       break;
     case HinfsOptions::Replacement::kTwoQ:
-      // 2Q: a block seen in the A1out ghost queue is hot — admit into Am (t2_).
-      if (b1_.erase(key) > 0) {
+      // 2Q: a block seen in the A1out ghost queue is hot — admit into Am (t2).
+      if (s.b1.erase(key) > 0) {
         e->arc_list = 2;
-        ListPushMru(t2_, e);
+        ListPushMru(s.t2, e);
         return;
       }
       break;
@@ -119,15 +267,15 @@ void DramBufferManager::OnInsertLocked(Entry* e) {
       break;
   }
   e->arc_list = 1;
-  ListPushMru(t1_, e);
+  ListPushMru(s.t1, e);
 }
 
-void DramBufferManager::OnWriteHitLocked(Entry* e) {
+void DramBufferManager::OnWriteHitLocked(Shard& s, Entry* e) {
   e->freq++;
   switch (options_.replacement) {
     case HinfsOptions::Replacement::kLrw:
-      ListUnlink(t1_, e);
-      ListPushMru(t1_, e);
+      ListUnlink(s.t1, e);
+      ListPushMru(s.t1, e);
       break;
     case HinfsOptions::Replacement::kFifo:
     case HinfsOptions::Replacement::kLfu:
@@ -135,51 +283,52 @@ void DramBufferManager::OnWriteHitLocked(Entry* e) {
     case HinfsOptions::Replacement::kArc:
       // A re-reference promotes to (or refreshes within) T2.
       if (e->arc_list == 1) {
-        ListUnlink(t1_, e);
+        ListUnlink(s.t1, e);
         e->arc_list = 2;
       } else {
-        ListUnlink(t2_, e);
+        ListUnlink(s.t2, e);
       }
-      ListPushMru(t2_, e);
+      ListPushMru(s.t2, e);
       break;
     case HinfsOptions::Replacement::kTwoQ:
       // 2Q: re-references inside the probationary A1in queue do NOT promote
       // (that is the point of A1in: correlated re-writes stay probationary);
       // re-references in Am refresh its LRU position.
       if (e->arc_list == 2) {
-        ListUnlink(t2_, e);
-        ListPushMru(t2_, e);
+        ListUnlink(s.t2, e);
+        ListPushMru(s.t2, e);
       }
       break;
   }
 }
 
-void DramBufferManager::GhostRecordLocked(Entry* e) {
+void DramBufferManager::GhostRecordLocked(Shard& s, Entry* e) {
   const uint64_t key = GhostKey(*e);
   if (options_.replacement == HinfsOptions::Replacement::kArc) {
     if (e->arc_list == 1) {
-      if (b1_.insert(key).second) {
-        b1_fifo_.push_back(key);
+      if (s.b1.insert(key).second) {
+        s.b1_fifo.push_back(key);
       }
     } else {
-      if (b2_.insert(key).second) {
-        b2_fifo_.push_back(key);
+      if (s.b2.insert(key).second) {
+        s.b2_fifo.push_back(key);
       }
     }
-    GhostTrimLocked(b1_fifo_, b1_, capacity_blocks_);
-    GhostTrimLocked(b2_fifo_, b2_, capacity_blocks_);
+    GhostTrimLocked(s.b1_fifo, s.b1, s.capacity);
+    GhostTrimLocked(s.b2_fifo, s.b2, s.capacity);
     return;
   }
   if (options_.replacement == HinfsOptions::Replacement::kTwoQ && e->arc_list == 1) {
     // Only A1in victims enter the A1out ghost queue (Kout = capacity / 2).
-    if (b1_.insert(key).second) {
-      b1_fifo_.push_back(key);
+    if (s.b1.insert(key).second) {
+      s.b1_fifo.push_back(key);
     }
-    GhostTrimLocked(b1_fifo_, b1_, std::max<size_t>(1, capacity_blocks_ / 2));
+    GhostTrimLocked(s.b1_fifo, s.b1, std::max<size_t>(1, s.capacity / 2));
   }
 }
 
-std::vector<DramBufferManager::Entry*> DramBufferManager::PickVictimsLocked(size_t want) {
+std::vector<DramBufferManager::Entry*> DramBufferManager::PickVictimsLocked(Shard& s,
+                                                                            size_t want) {
   std::vector<Entry*> victims;
   if (want == 0) {
     return victims;
@@ -189,7 +338,7 @@ std::vector<DramBufferManager::Entry*> DramBufferManager::PickVictimsLocked(size
          e = e->lrw_next) {
       if (!e->writing) {
         e->writing = true;
-        GhostRecordLocked(e);
+        GhostRecordLocked(s, e);
         victims.push_back(e);
       }
     }
@@ -198,12 +347,12 @@ std::vector<DramBufferManager::Entry*> DramBufferManager::PickVictimsLocked(size
   switch (options_.replacement) {
     case HinfsOptions::Replacement::kLrw:
     case HinfsOptions::Replacement::kFifo:
-      take_from(t1_);
+      take_from(s.t1);
       break;
     case HinfsOptions::Replacement::kLfu: {
       // Least-frequently-written first; ties broken by write recency.
       std::vector<Entry*> candidates;
-      for (Entry* e = t1_.head.lrw_next; e != &t1_.head; e = e->lrw_next) {
+      for (Entry* e = s.t1.head.lrw_next; e != &s.t1.head; e = e->lrw_next) {
         if (!e->writing) {
           candidates.push_back(e);
         }
@@ -224,20 +373,20 @@ std::vector<DramBufferManager::Entry*> DramBufferManager::PickVictimsLocked(size
     }
     case HinfsOptions::Replacement::kTwoQ: {
       // 2Q: evict from the probationary A1in while it exceeds its share
-      // (Kin = 25 % of the cache), recording victims in the A1out ghost
+      // (Kin = 25 % of the shard), recording victims in the A1out ghost
       // queue; otherwise evict the LRU of Am.
-      const size_t kin = std::max<size_t>(1, capacity_blocks_ / 4);
+      const size_t kin = std::max<size_t>(1, s.capacity / 4);
       while (victims.size() < want) {
         const size_t before = victims.size();
-        if (t1_.size > kin || t2_.size == 0) {
-          take_from(t1_);
+        if (s.t1.size > kin || s.t2.size == 0) {
+          take_from(s.t1);
           if (victims.size() == before) {
-            take_from(t2_);
+            take_from(s.t2);
           }
         } else {
-          take_from(t2_);
+          take_from(s.t2);
           if (victims.size() == before) {
-            take_from(t1_);
+            take_from(s.t1);
           }
         }
         if (victims.size() == before) {
@@ -250,15 +399,15 @@ std::vector<DramBufferManager::Entry*> DramBufferManager::PickVictimsLocked(size
       // REPLACE: shrink T1 while it exceeds the adaptive target p, else T2.
       while (victims.size() < want) {
         const size_t before = victims.size();
-        if (t1_.size > arc_p_ && t1_.size > 0) {
-          take_from(t1_);
+        if (s.t1.size > s.arc_p && s.t1.size > 0) {
+          take_from(s.t1);
           if (victims.size() == before) {
-            take_from(t2_);
+            take_from(s.t2);
           }
         } else {
-          take_from(t2_);
+          take_from(s.t2);
           if (victims.size() == before) {
-            take_from(t1_);
+            take_from(s.t1);
           }
         }
         if (victims.size() == before) {
@@ -275,9 +424,10 @@ std::vector<DramBufferManager::Entry*> DramBufferManager::PickVictimsLocked(size
 
 // --- index ----------------------------------------------------------------------
 
-DramBufferManager::Entry* DramBufferManager::FindLocked(uint64_t ino, uint64_t file_block) {
-  auto it = index_.find(ino);
-  if (it == index_.end()) {
+DramBufferManager::Entry* DramBufferManager::FindLocked(Shard& s, uint64_t ino,
+                                                        uint64_t file_block) {
+  auto it = s.index.find(ino);
+  if (it == s.index.end()) {
     return nullptr;
   }
   Entry** slot = it->second->Find(file_block);
@@ -285,24 +435,27 @@ DramBufferManager::Entry* DramBufferManager::FindLocked(uint64_t ino, uint64_t f
 }
 
 Result<DramBufferManager::Entry*> DramBufferManager::CreateLocked(
-    std::unique_lock<std::mutex>& lock, uint64_t ino, uint64_t file_block, uint64_t nvmm_addr) {
-  while (free_frames_.empty()) {
-    stalls_++;
-    wb_cv_.notify_all();
-    if (threads_.empty()) {
+    Shard& s, std::unique_lock<std::mutex>& lock, uint64_t ino, uint64_t file_block,
+    uint64_t nvmm_addr) {
+  while (s.free_frames.empty()) {
+    s.stats.stalls.fetch_add(1, std::memory_order_relaxed);
+    KickWriteback();
+    if (!wb_running_.load(std::memory_order_relaxed)) {
       // No background engine (unit tests, or stopped during unmount): reclaim
-      // one victim inline.
-      std::vector<Entry*> victims = PickVictimsLocked(1);
+      // one victim inline from this shard.
+      std::vector<Entry*> victims = PickVictimsLocked(s, 1);
       if (victims.empty()) {
         return Status(ErrorCode::kNoMemory, "buffer exhausted with all frames in flight");
       }
       lock.unlock();
-      HINFS_RETURN_IF_ERROR(FlushEntries(std::move(victims)));
+      HINFS_RETURN_IF_ERROR(FlushEntries(s, std::move(victims)));
       lock.lock();
       continue;
     }
-    free_cv_.wait(lock, [this] { return !free_frames_.empty() || stop_; });
-    if (stop_ && free_frames_.empty()) {
+    s.free_cv.wait(lock, [&s, this] {
+      return !s.free_frames.empty() || stop_.load(std::memory_order_relaxed);
+    });
+    if (stop_.load(std::memory_order_relaxed) && s.free_frames.empty()) {
       return Status(ErrorCode::kBusy, "buffer shutting down");
     }
   }
@@ -311,35 +464,34 @@ Result<DramBufferManager::Entry*> DramBufferManager::CreateLocked(
   e->ino = ino;
   e->file_block = file_block;
   e->nvmm_addr = nvmm_addr;
-  e->dram_index = free_frames_.back();
-  free_frames_.pop_back();
-  resident_++;
+  e->dram_index = PopFreeFrameLocked(s);
+  s.resident++;
   if (nvmm_addr == kNoNvmmAddr) {
     // A block with no NVMM backing is a hole: its correct content is zeros, so
     // the whole frame is valid from the start.
     std::memset(DataFor(*e), 0, kBlockSize);
     e->valid = ~0ull;
   }
-  auto it = index_.find(ino);
-  if (it == index_.end()) {
-    it = index_.emplace(ino, std::make_unique<BTreeMap<Entry*>>()).first;
+  auto it = s.index.find(ino);
+  if (it == s.index.end()) {
+    it = s.index.emplace(ino, std::make_unique<BTreeMap<Entry*>>()).first;
   }
   it->second->Insert(file_block, e);
-  OnInsertLocked(e);
+  OnInsertLocked(s, e);
   return e;
 }
 
-void DramBufferManager::DetachLocked(Entry* e) {
-  auto it = index_.find(e->ino);
-  if (it != index_.end()) {
+void DramBufferManager::DetachLocked(Shard& s, Entry* e) {
+  auto it = s.index.find(e->ino);
+  if (it != s.index.end()) {
     it->second->Erase(e->file_block);
     if (it->second->empty()) {
-      index_.erase(it);
+      s.index.erase(it);
     }
   }
-  ListUnlink(e->arc_list == 2 ? t2_ : t1_, e);
-  free_frames_.push_back(e->dram_index);
-  resident_--;
+  ListUnlink(e->arc_list == 2 ? s.t2 : s.t1, e);
+  PushFreeFrameLocked(s, e->dram_index);
+  s.resident--;
   delete e;
 }
 
@@ -350,24 +502,25 @@ Result<uint32_t> DramBufferManager::Write(uint64_t ino, uint64_t file_block, siz
   if (offset + len > kBlockSize || len == 0) {
     return Status(ErrorCode::kInvalidArgument, "buffered write crosses block");
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  Shard& s = ShardForKey(ino, file_block);
+  std::unique_lock<std::mutex> lock = LockShard(s);
 
   Entry* e;
   while (true) {
-    e = FindLocked(ino, file_block);
+    e = FindLocked(s, ino, file_block);
     if (e == nullptr) {
-      misses_++;
-      HINFS_ASSIGN_OR_RETURN(e, CreateLocked(lock, ino, file_block, nvmm_addr));
+      s.stats.misses.fetch_add(1, std::memory_order_relaxed);
+      HINFS_ASSIGN_OR_RETURN(e, CreateLocked(s, lock, ino, file_block, nvmm_addr));
       break;
     }
     if (!e->writing) {
-      hits_++;
-      OnWriteHitLocked(e);
+      s.stats.hits.fetch_add(1, std::memory_order_relaxed);
+      OnWriteHitLocked(s, e);
       break;
     }
     // The block is mid-writeback: wait for the flush to retire it, then buffer
     // the write in a fresh frame.
-    write_done_cv_.wait(lock);
+    s.write_done_cv.wait(lock);
   }
   if (e->nvmm_addr == kNoNvmmAddr && nvmm_addr != kNoNvmmAddr) {
     e->nvmm_addr = nvmm_addr;
@@ -388,7 +541,7 @@ Result<uint32_t> DramBufferManager::Write(uint64_t ino, uint64_t file_block, siz
       } else {
         std::memset(dst, 0, run.count * kCachelineSize);
       }
-      fetched_lines_ += run.count;
+      s.stats.fetched_lines.fetch_add(run.count, std::memory_order_relaxed);
       from = run.first_line + run.count;
     }
     e->valid |= touch;
@@ -401,7 +554,7 @@ Result<uint32_t> DramBufferManager::Write(uint64_t ino, uint64_t file_block, siz
       } else {
         std::memset(DataFor(*e), 0, kBlockSize);
       }
-      fetched_lines_ += kLinesPerBlock;
+      s.stats.fetched_lines.fetch_add(kLinesPerBlock, std::memory_order_relaxed);
       e->valid = ~0ull;
     }
     e->dirty = ~0ull;
@@ -417,8 +570,9 @@ Result<bool> DramBufferManager::Read(uint64_t ino, uint64_t file_block, size_t o
   if (offset + len > kBlockSize) {
     return Status(ErrorCode::kInvalidArgument, "buffered read crosses block");
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  Entry* e = FindLocked(ino, file_block);
+  Shard& s = ShardForKey(ino, file_block);
+  std::unique_lock<std::mutex> lock = LockShard(s);
+  Entry* e = FindLocked(s, ino, file_block);
   if (e == nullptr) {
     return false;
   }
@@ -455,13 +609,14 @@ Result<bool> DramBufferManager::Read(uint64_t ino, uint64_t file_block, size_t o
 }
 
 bool DramBufferManager::Contains(uint64_t ino, uint64_t file_block) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return FindLocked(ino, file_block) != nullptr;
+  Shard& s = ShardForKey(ino, file_block);
+  std::unique_lock<std::mutex> lock = LockShard(s);
+  return FindLocked(s, ino, file_block) != nullptr;
 }
 
 // --- flushing -------------------------------------------------------------------
 
-Result<uint32_t> DramBufferManager::FlushEntryData(Entry* e) {
+Result<uint32_t> DramBufferManager::FlushEntryData(Shard& s, Entry* e) {
   uint64_t flush_mask = e->dirty;
   if (e->nvmm_addr == kNoNvmmAddr) {
     if (e->dirty == 0) {
@@ -478,7 +633,7 @@ Result<uint32_t> DramBufferManager::FlushEntryData(Entry* e) {
     }
     const uint64_t addr = *ensured;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::unique_lock<std::mutex> lock = LockShard(s);
       e->nvmm_addr = addr;
     }
     // A freshly allocated NVMM block contains garbage: persist the full frame
@@ -504,11 +659,11 @@ Result<uint32_t> DramBufferManager::FlushEntryData(Entry* e) {
   return lines;
 }
 
-Status DramBufferManager::FlushEntries(std::vector<Entry*> victims) {
+Status DramBufferManager::FlushEntries(Shard& s, std::vector<Entry*> victims) {
   uint64_t lines = 0;
   Status st = OkStatus();
   for (Entry* e : victims) {
-    Result<uint32_t> flushed = FlushEntryData(e);
+    Result<uint32_t> flushed = FlushEntryData(s, e);
     if (!flushed.ok()) {
       st = flushed.status();
       break;
@@ -516,77 +671,26 @@ Status DramBufferManager::FlushEntries(std::vector<Entry*> victims) {
     lines += *flushed;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock = LockShard(s);
     for (Entry* e : victims) {
-      DetachLocked(e);
+      DetachLocked(s, e);
     }
-    writeback_blocks_ += victims.size();
-    writeback_lines_ += lines;
   }
-  free_cv_.notify_all();
-  write_done_cv_.notify_all();
+  s.stats.writeback_blocks.fetch_add(victims.size(), std::memory_order_relaxed);
+  s.stats.writeback_lines.fetch_add(lines, std::memory_order_relaxed);
+  s.free_cv.notify_all();
+  s.write_done_cv.notify_all();
   return st;
 }
 
-Status DramBufferManager::FlushFile(uint64_t ino) {
+Status DramBufferManager::DrainShard(Shard& s, bool all, uint64_t ino) {
   while (true) {
     std::vector<Entry*> victims;
     bool any_in_flight = false;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      auto it = index_.find(ino);
-      if (it == index_.end()) {
-        return OkStatus();
-      }
-      it->second->ForEach([&](uint64_t, Entry*& e) {
-        if (e->writing) {
-          any_in_flight = true;
-        } else {
-          e->writing = true;
-          victims.push_back(e);
-        }
-        return true;
-      });
-      if (victims.empty() && any_in_flight) {
-        write_done_cv_.wait(lock);
-        continue;
-      }
-    }
-    if (victims.empty()) {
-      return OkStatus();
-    }
-    HINFS_RETURN_IF_ERROR(FlushEntries(std::move(victims)));
-  }
-}
-
-Status DramBufferManager::FlushBlock(uint64_t ino, uint64_t file_block) {
-  while (true) {
-    std::vector<Entry*> victims;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      Entry* e = FindLocked(ino, file_block);
-      if (e == nullptr) {
-        return OkStatus();
-      }
-      if (e->writing) {
-        write_done_cv_.wait(lock);
-        continue;
-      }
-      e->writing = true;
-      victims.push_back(e);
-    }
-    return FlushEntries(std::move(victims));
-  }
-}
-
-Status DramBufferManager::FlushAll() {
-  while (true) {
-    std::vector<Entry*> victims;
-    bool any_in_flight = false;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      for (auto& [ino, tree] : index_) {
-        tree->ForEach([&](uint64_t, Entry*& e) {
+      std::unique_lock<std::mutex> lock = LockShard(s);
+      auto collect = [&](BTreeMap<Entry*>& tree) {
+        tree.ForEach([&](uint64_t, Entry*& e) {
           if (e->writing) {
             any_in_flight = true;
           } else {
@@ -595,89 +699,175 @@ Status DramBufferManager::FlushAll() {
           }
           return true;
         });
+      };
+      if (all) {
+        for (auto& [file, tree] : s.index) {
+          collect(*tree);
+        }
+      } else {
+        auto it = s.index.find(ino);
+        if (it == s.index.end()) {
+          return OkStatus();
+        }
+        collect(*it->second);
       }
       if (victims.empty() && any_in_flight) {
-        write_done_cv_.wait(lock);
+        s.write_done_cv.wait(lock);
         continue;
       }
     }
     if (victims.empty()) {
       return OkStatus();
     }
-    HINFS_RETURN_IF_ERROR(FlushEntries(std::move(victims)));
+    HINFS_RETURN_IF_ERROR(FlushEntries(s, std::move(victims)));
   }
 }
 
-Status DramBufferManager::DiscardFile(uint64_t ino, uint64_t from_block) {
-  std::unique_lock<std::mutex> lock(mu_);
+Status DramBufferManager::FlushFile(uint64_t ino) {
+  // Fixed shard order, draining one shard completely (holding at most its own
+  // mutex) before the next: the documented deadlock-free lock discipline.
+  for (auto& shard : shards_) {
+    HINFS_RETURN_IF_ERROR(DrainShard(*shard, /*all=*/false, ino));
+  }
+  return OkStatus();
+}
+
+Status DramBufferManager::FlushBlock(uint64_t ino, uint64_t file_block) {
+  Shard& s = ShardForKey(ino, file_block);
   while (true) {
-    auto it = index_.find(ino);
-    if (it == index_.end()) {
-      return OkStatus();
-    }
-    std::vector<Entry*> drop;
-    bool any_in_flight = false;
-    it->second->ForEach([&](uint64_t block, Entry*& e) {
-      if (block < from_block) {
-        return true;
+    std::vector<Entry*> victims;
+    {
+      std::unique_lock<std::mutex> lock = LockShard(s);
+      Entry* e = FindLocked(s, ino, file_block);
+      if (e == nullptr) {
+        return OkStatus();
       }
       if (e->writing) {
-        any_in_flight = true;
-      } else {
-        drop.push_back(e);
+        s.write_done_cv.wait(lock);
+        continue;
       }
-      return true;
-    });
-    for (Entry* e : drop) {
-      DetachLocked(e);  // writes to deleted files are simply dropped
+      e->writing = true;
+      victims.push_back(e);
     }
-    if (!drop.empty()) {
-      free_cv_.notify_all();
-    }
-    if (!any_in_flight) {
-      return OkStatus();
-    }
-    write_done_cv_.wait(lock);
+    return FlushEntries(s, std::move(victims));
   }
+}
+
+Status DramBufferManager::FlushAll() {
+  for (auto& shard : shards_) {
+    HINFS_RETURN_IF_ERROR(DrainShard(*shard, /*all=*/true, 0));
+  }
+  return OkStatus();
+}
+
+Status DramBufferManager::DiscardFile(uint64_t ino, uint64_t from_block) {
+  for (auto& shard : shards_) {
+    Shard& s = *shard;
+    std::unique_lock<std::mutex> lock = LockShard(s);
+    bool done = false;
+    while (!done) {
+      auto it = s.index.find(ino);
+      if (it == s.index.end()) {
+        break;
+      }
+      std::vector<Entry*> drop;
+      bool any_in_flight = false;
+      it->second->ForEach([&](uint64_t block, Entry*& e) {
+        if (block < from_block) {
+          return true;
+        }
+        if (e->writing) {
+          any_in_flight = true;
+        } else {
+          drop.push_back(e);
+        }
+        return true;
+      });
+      for (Entry* e : drop) {
+        DetachLocked(s, e);  // writes to deleted files are simply dropped
+      }
+      if (!drop.empty()) {
+        s.free_cv.notify_all();
+      }
+      if (!any_in_flight) {
+        done = true;
+      } else {
+        s.write_done_cv.wait(lock);
+      }
+    }
+  }
+  return OkStatus();
 }
 
 // --- background engine -------------------------------------------------------------
 
-void DramBufferManager::WritebackThread() {
-  std::unique_lock<std::mutex> lock(mu_);
-  while (!stop_) {
-    wb_cv_.wait_for(lock, std::chrono::milliseconds(options_.writeback_period_ms), [this] {
-      return stop_ || free_frames_.size() < low_blocks_;
-    });
-    if (stop_) {
-      break;
-    }
+void DramBufferManager::KickWriteback() {
+  // Empty-critical-section handshake: a worker between its predicate check and
+  // its wait holds wb_mu_, so locking it here orders this notify after the
+  // worker has actually blocked. wb_mu_ is a leaf lock (callers may hold a
+  // shard mutex; workers never take a shard mutex while holding wb_mu_).
+  { std::lock_guard<std::mutex> lock(wb_mu_); }
+  wb_cv_.notify_all();
+}
 
-    // Phase 1: reclaim in policy order until free > High_f.
-    std::vector<Entry*> victims;
-    if (free_frames_.size() < high_blocks_) {
-      victims = PickVictimsLocked(high_blocks_ - free_frames_.size());
+bool DramBufferManager::AnyAssignedShardLow(size_t worker) const {
+  for (size_t i = worker; i < shards_.size(); i += wb_worker_count_) {
+    const Shard& s = *shards_[i];
+    if (s.free_count.load(std::memory_order_relaxed) < s.low) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void DramBufferManager::ProcessShard(Shard& s) {
+  std::vector<Entry*> victims;
+  {
+    std::unique_lock<std::mutex> lock = LockShard(s);
+    // Phase 1: reclaim in policy order until this shard's free > High_f.
+    if (s.free_frames.size() < s.high) {
+      victims = PickVictimsLocked(s, s.high - s.free_frames.size());
     }
 
     // Phase 2: write back blocks that have been dirty for longer than the
     // staleness bound (paper: 30 s).
     const uint64_t now = MonotonicNowNs();
     const uint64_t stale_ns = options_.staleness_ms * 1'000'000ull;
-    for (EntryList* list : {&t1_, &t2_}) {
+    for (EntryList* list : {&s.t1, &s.t2}) {
       for (Entry* e = list->head.lrw_next; e != &list->head; e = e->lrw_next) {
         if (!e->writing && now - e->last_written_ns > stale_ns) {
           e->writing = true;
-          GhostRecordLocked(e);
+          GhostRecordLocked(s, e);
           victims.push_back(e);
         }
       }
     }
+  }
+  if (!victims.empty()) {
+    (void)FlushEntries(s, std::move(victims));
+  }
+}
 
-    if (victims.empty()) {
-      continue;
+void DramBufferManager::WritebackThread(size_t worker) {
+  // Worker w owns shards {w, w+T, w+2T, ...}: watermark checks and victim
+  // picking are per shard, and the workers cover disjoint slices.
+  std::unique_lock<std::mutex> lock(wb_mu_);
+  while (!stop_.load(std::memory_order_relaxed)) {
+    wb_cv_.wait_for(lock, std::chrono::milliseconds(options_.writeback_period_ms),
+                    [this, worker] {
+                      return stop_.load(std::memory_order_relaxed) ||
+                             AnyAssignedShardLow(worker);
+                    });
+    if (stop_.load(std::memory_order_relaxed)) {
+      break;
     }
     lock.unlock();
-    (void)FlushEntries(std::move(victims));
+    for (size_t i = worker; i < shards_.size(); i += wb_worker_count_) {
+      if (stop_.load(std::memory_order_relaxed)) {
+        break;
+      }
+      ProcessShard(*shards_[i]);
+    }
     lock.lock();
   }
 }

@@ -16,6 +16,22 @@
 //    longer than 30 s; also wakes every 5 s. Foreground writers stall only when
 //    the pool is exhausted.
 //
+// Scalability: the buffer is split into HinfsOptions::buffer_shards independent
+// shards keyed by hash(ino, file_block). Each shard owns its own mutex,
+// condition variables, slice of the frame pool, residency lists (T1/T2), ghost
+// lists, ARC target, watermarks, and statistics, so Write/Read/Contains on
+// blocks in different shards never contend. buffer_shards=1 reproduces the
+// pre-sharding single-lock behaviour exactly (eviction order, CLFW line
+// counts, stall semantics).
+//
+// Lock discipline: at most one shard mutex is ever held by a thread, and
+// whole-buffer operations (FlushFile/FlushAll/DiscardFile) visit shards in
+// fixed index order, fully draining one shard before touching the next. Data
+// is flushed to NVMM with no shard mutex held (entries are pinned by the
+// `writing` flag), so the EnsureBlockFn callback may take file-system locks
+// (e.g. PMFS map_mu_) without ordering against the shard locks. The writeback
+// wakeup pair (wb_mu_/wb_cv_) is a leaf: it is only ever the last lock taken.
+//
 // NVMM block allocation for never-written blocks is deferred to writeback time
 // via the EnsureBlockFn callback (keeping allocation off the lazy-write
 // critical path); a crash before writeback leaves a file-system-level hole,
@@ -24,6 +40,7 @@
 #ifndef SRC_HINFS_DRAM_BUFFER_H_
 #define SRC_HINFS_DRAM_BUFFER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <list>
@@ -48,8 +65,8 @@ inline constexpr uint64_t kNoNvmmAddr = UINT64_MAX;
 class DramBufferManager {
  public:
   // Resolves (ino, file_block) to the byte address of a (possibly freshly
-  // allocated) NVMM data block. Called from writeback context; must be safe
-  // without the caller's file locks.
+  // allocated) NVMM data block. Called from writeback context with no shard
+  // mutex held; must be safe without the caller's file locks.
   using EnsureBlockFn = std::function<Result<uint64_t>(uint64_t ino, uint64_t file_block)>;
 
   DramBufferManager(NvmmDevice* nvmm, const HinfsOptions& options, EnsureBlockFn ensure_block);
@@ -61,8 +78,8 @@ class DramBufferManager {
   // Buffered (lazy-persistent) write of [offset, offset+len) within one file
   // block. `nvmm_addr` is the block's current NVMM address or kNoNvmmAddr.
   // Returns the number of cacheline writes performed (N_cw input to the
-  // Buffer Benefit Model). Blocks if the pool is exhausted until writeback
-  // frees space.
+  // Buffer Benefit Model). Blocks if the shard's frame slice is exhausted
+  // until writeback frees space.
   Result<uint32_t> Write(uint64_t ino, uint64_t file_block, size_t offset, const void* src,
                          size_t len, uint64_t nvmm_addr);
 
@@ -75,7 +92,8 @@ class DramBufferManager {
   bool Contains(uint64_t ino, uint64_t file_block);
 
   // Flushes and evicts all buffered blocks of `ino` (fsync / mmap). Waits for
-  // in-flight background writeback of the same file.
+  // in-flight background writeback of the same file. Visits shards in index
+  // order, draining each completely before moving on.
   Status FlushFile(uint64_t ino);
 
   // Flushes and evicts one block (the paper's case-(1) consistency rule:
@@ -92,12 +110,19 @@ class DramBufferManager {
   // --- introspection ---------------------------------------------------------
   size_t capacity_blocks() const { return capacity_blocks_; }
   size_t free_blocks() const;
-  uint64_t buffer_hits() const { return hits_; }
-  uint64_t buffer_misses() const { return misses_; }
-  uint64_t writeback_blocks() const { return writeback_blocks_; }
-  uint64_t writeback_lines() const { return writeback_lines_; }
-  uint64_t fetched_lines() const { return fetched_lines_; }
-  uint64_t stall_count() const { return stalls_; }
+  size_t shard_count() const { return shards_.size(); }
+  // Which shard a (file, block) key lives in, and that shard's frame slice.
+  uint32_t ShardOf(uint64_t ino, uint64_t file_block) const;
+  size_t shard_capacity(uint32_t shard) const;
+  uint64_t buffer_hits() const;
+  uint64_t buffer_misses() const;
+  uint64_t writeback_blocks() const;
+  uint64_t writeback_lines() const;
+  uint64_t fetched_lines() const;
+  uint64_t stall_count() const;
+  // Shard-mutex acquisitions that found the lock already held. The direct
+  // measure of buffer lock contention; sharding exists to drive this down.
+  uint64_t lock_contended() const;
 
  private:
   struct Entry {
@@ -124,73 +149,126 @@ class DramBufferManager {
     }
   };
 
+  // Monotonic per-shard counters. Relaxed atomics: the public accessors sum
+  // them with no lock held, concurrently with writeback threads bumping them
+  // (the pre-sharding code read plain uint64_t fields here — a data race).
+  // The whole block is cache-line-aligned so shards never false-share stats.
+  struct alignas(64) ShardStats {
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> stalls{0};
+    std::atomic<uint64_t> writeback_blocks{0};
+    std::atomic<uint64_t> writeback_lines{0};
+    std::atomic<uint64_t> fetched_lines{0};
+    std::atomic<uint64_t> lock_contended{0};
+  };
+
+  // One independent slice of the buffer: everything the pre-sharding manager
+  // kept under its global mutex, scoped to the keys hashing here.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::condition_variable free_cv;        // signaled when frames are freed
+    std::condition_variable write_done_cv;  // signaled when a flush completes
+    std::vector<uint32_t> free_frames;      // global frame indices owned here
+    std::atomic<size_t> free_count{0};      // mirrors free_frames.size(); read lock-free
+    std::unordered_map<uint64_t, std::unique_ptr<BTreeMap<Entry*>>> index;  // per-file B+tree
+    // Residency lists. LRW/FIFO/LFU use t1 only; ARC splits entries into
+    // t1 (seen once) and t2 (seen again) with ghost lists b1/b2 steering the
+    // adaptive target arc_p (T1's share of this shard).
+    EntryList t1;
+    EntryList t2;
+    std::list<uint64_t> b1_fifo;
+    std::list<uint64_t> b2_fifo;
+    std::unordered_set<uint64_t> b1;
+    std::unordered_set<uint64_t> b2;
+    size_t arc_p = 0;
+    size_t resident = 0;
+    size_t capacity = 0;  // frames owned by this shard
+    size_t low = 0;       // per-shard Low_f watermark (blocks)
+    size_t high = 0;      // per-shard High_f watermark (blocks)
+    ShardStats stats;
+  };
+
+  Shard& ShardForKey(uint64_t ino, uint64_t file_block) {
+    return *shards_[ShardOf(ino, file_block)];
+  }
+
+  // Acquires a shard mutex, counting contended acquisitions (try_lock first;
+  // one relaxed increment on the slow path only, so the fast path costs the
+  // same as a plain lock()).
+  static std::unique_lock<std::mutex> LockShard(Shard& s) {
+    std::unique_lock<std::mutex> lock(s.mu, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      s.stats.lock_contended.fetch_add(1, std::memory_order_relaxed);
+      lock.lock();
+    }
+    return lock;
+  }
   uint8_t* DataFor(const Entry& e) { return pool_.get() + size_t{e.dram_index} * kBlockSize; }
 
-  // All helpers below require mu_ held.
-  Entry* FindLocked(uint64_t ino, uint64_t file_block);
-  Result<Entry*> CreateLocked(std::unique_lock<std::mutex>& lock, uint64_t ino,
+  // Free-frame slice maintenance (shard mutex held). The atomic mirror lets
+  // watermark checks and free_blocks() read without taking shard locks.
+  uint32_t PopFreeFrameLocked(Shard& s);
+  void PushFreeFrameLocked(Shard& s, uint32_t frame);
+
+  // All helpers below require s.mu held.
+  Entry* FindLocked(Shard& s, uint64_t ino, uint64_t file_block);
+  Result<Entry*> CreateLocked(Shard& s, std::unique_lock<std::mutex>& lock, uint64_t ino,
                               uint64_t file_block, uint64_t nvmm_addr);
-  void DetachLocked(Entry* e);  // removes from index + lists and frees the frame
+  void DetachLocked(Shard& s, Entry* e);  // removes from index + lists, frees the frame
   static void ListUnlink(EntryList& list, Entry* e);
   static void ListPushMru(EntryList& list, Entry* e);
 
-  // Replacement-policy hooks.
-  void OnInsertLocked(Entry* e);
-  void OnWriteHitLocked(Entry* e);
+  // Replacement-policy hooks (per shard).
+  void OnInsertLocked(Shard& s, Entry* e);
+  void OnWriteHitLocked(Shard& s, Entry* e);
   // Picks up to `want` evictable (non-writing) entries in policy order and
   // marks them writing.
-  std::vector<Entry*> PickVictimsLocked(size_t want);
+  std::vector<Entry*> PickVictimsLocked(Shard& s, size_t want);
   static uint64_t GhostKey(const Entry& e) { return (e.ino << 32) ^ e.file_block; }
-  void GhostRecordLocked(Entry* e);
-  void GhostTrimLocked(std::list<uint64_t>& fifo, std::unordered_set<uint64_t>& set,
-                       size_t limit);
+  void GhostRecordLocked(Shard& s, Entry* e);
+  static void GhostTrimLocked(std::list<uint64_t>& fifo, std::unordered_set<uint64_t>& set,
+                              size_t limit);
 
-  // Flush one entry's dirty lines to NVMM. Called WITHOUT mu_ held; the entry
-  // must be marked writing. Returns lines flushed.
-  Result<uint32_t> FlushEntryData(Entry* e);
+  // Flush one entry's dirty lines to NVMM. Called WITHOUT s.mu held; the entry
+  // must be marked writing and belong to `s`. Returns lines flushed.
+  Result<uint32_t> FlushEntryData(Shard& s, Entry* e);
 
-  // Collects victims (marks writing) under the lock, flushes them outside it,
-  // then detaches them. Shared by foreground flush and the background engine.
-  Status FlushEntries(std::vector<Entry*> victims);
+  // Flushes `victims` (all from shard `s`, already marked writing) outside the
+  // lock, then detaches them. Shared by foreground flush and the background
+  // engine.
+  Status FlushEntries(Shard& s, std::vector<Entry*> victims);
 
-  void WritebackThread();
+  // The per-shard body of FlushFile (all=false) / FlushAll (all=true): loops
+  // collecting victims of `ino` (or everything) in this shard, waiting out
+  // in-flight writeback, until the shard holds none of them.
+  Status DrainShard(Shard& s, bool all, uint64_t ino);
+
+  // Wakes the background engine. Locks wb_mu_ empty first so a worker between
+  // its predicate check and its wait cannot miss the notification.
+  void KickWriteback();
+  bool AnyAssignedShardLow(size_t worker) const;
+  void ProcessShard(Shard& s);
+  void WritebackThread(size_t worker);
 
   NvmmDevice* nvmm_;
   HinfsOptions options_;
   EnsureBlockFn ensure_block_;
   size_t capacity_blocks_;
-  size_t low_blocks_;
-  size_t high_blocks_;
 
   std::unique_ptr<uint8_t[]> pool_;
+  std::vector<std::unique_ptr<Shard>> shards_;  // size is a power of two
+  uint32_t shard_mask_ = 0;
 
-  mutable std::mutex mu_;
-  std::condition_variable free_cv_;   // signaled when frames are freed
-  std::condition_variable wb_cv_;     // wakes the background threads
-  std::condition_variable write_done_cv_;  // signaled when a flush completes
-  std::vector<uint32_t> free_frames_;
-  std::unordered_map<uint64_t, std::unique_ptr<BTreeMap<Entry*>>> index_;  // per-file B+tree
-  // Residency lists. LRW/FIFO/LFU use t1_ only; ARC splits entries into
-  // t1_ (seen once) and t2_ (seen again) with ghost lists b1_/b2_ steering the
-  // adaptive target p_ (T1's share of the cache).
-  EntryList t1_;
-  EntryList t2_;
-  std::list<uint64_t> b1_fifo_;
-  std::list<uint64_t> b2_fifo_;
-  std::unordered_set<uint64_t> b1_;
-  std::unordered_set<uint64_t> b2_;
-  size_t arc_p_ = 0;
-  size_t resident_ = 0;
+  // Background-engine wakeup. Leaf lock: never held while taking a shard lock.
+  std::mutex wb_mu_;
+  std::condition_variable wb_cv_;
 
+  std::mutex threads_mu_;  // guards threads_ across Start/Stop
   std::vector<std::thread> threads_;
-  bool stop_ = false;
-
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t writeback_blocks_ = 0;
-  uint64_t writeback_lines_ = 0;
-  uint64_t fetched_lines_ = 0;
-  uint64_t stalls_ = 0;
+  size_t wb_worker_count_ = 0;          // shard round-robin stride
+  std::atomic<bool> wb_running_{false}; // any background workers alive?
+  std::atomic<bool> stop_{false};
 };
 
 }  // namespace hinfs

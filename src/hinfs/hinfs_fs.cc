@@ -206,6 +206,11 @@ Status HinfsFs::Unmount() {
   // "HiNFS flushes all the DRAM blocks to the NVMM when unmounting").
   buffer_->StopBackgroundWriteback();
   HINFS_RETURN_IF_ERROR(buffer_->FlushAll());
+  // Snapshot the buffer's lifetime counters into the stats registry so
+  // benches/tools read them alongside the FS-internal timers.
+  stats_.Add(kStatDramBufferHits, buffer_->buffer_hits());
+  stats_.Add(kStatDramBufferMisses, buffer_->buffer_misses());
+  stats_.Add(kStatWritebackBlocks, buffer_->writeback_blocks());
   return PmfsFs::Unmount();
 }
 

@@ -45,6 +45,14 @@ struct HinfsOptions {
   };
   Replacement replacement = Replacement::kLrw;
 
+  // Number of independent write-buffer shards, each with its own lock, frame
+  // slice, residency/ghost lists, watermarks, and counters (keyed by
+  // hash(ino, file_block)). 0 = auto: the next power of two >=
+  // std::thread::hardware_concurrency(). 1 reproduces the pre-sharding
+  // single-lock buffer exactly (ablation baseline). Non-powers of two round
+  // up; the count is clamped so every shard owns at least 2 frames.
+  int buffer_shards = 0;
+
   int writeback_threads = 1;
 };
 

@@ -35,6 +35,43 @@ Status NvmmDevice::Store(uint64_t offset, const void* src, size_t len) {
   return OkStatus();
 }
 
+Status NvmmDevice::LoadAtomic(uint64_t offset, void* dst, size_t len) {
+  HINFS_RETURN_IF_ERROR(CheckRange(offset, len));
+  if (offset % sizeof(uint64_t) != 0 || len % sizeof(uint64_t) != 0) {
+    return Status(ErrorCode::kInvalidArgument, "atomic nvmm access must be 8-byte aligned");
+  }
+  auto* words = reinterpret_cast<uint64_t*>(volatile_image_.get() + offset);
+  auto* out = static_cast<uint8_t*>(dst);
+  for (size_t i = 0; i < len / sizeof(uint64_t); i++) {
+    const uint64_t w = std::atomic_ref<uint64_t>(words[i]).load(std::memory_order_relaxed);
+    std::memcpy(out + i * sizeof(uint64_t), &w, sizeof(w));
+  }
+  loaded_bytes_.fetch_add(len, std::memory_order_relaxed);
+  return OkStatus();
+}
+
+Status NvmmDevice::StoreAtomic(uint64_t offset, const void* src, size_t len) {
+  HINFS_RETURN_IF_ERROR(CheckRange(offset, len));
+  if (offset % sizeof(uint64_t) != 0 || len % sizeof(uint64_t) != 0) {
+    return Status(ErrorCode::kInvalidArgument, "atomic nvmm access must be 8-byte aligned");
+  }
+  auto* words = reinterpret_cast<uint64_t*>(volatile_image_.get() + offset);
+  auto* in = static_cast<const uint8_t*>(src);
+  for (size_t i = 0; i < len / sizeof(uint64_t); i++) {
+    uint64_t w;
+    std::memcpy(&w, in + i * sizeof(uint64_t), sizeof(w));
+    std::atomic_ref<uint64_t>(words[i]).store(w, std::memory_order_relaxed);
+  }
+  return OkStatus();
+}
+
+Status NvmmDevice::StoreAtomicPersistent(uint64_t offset, const void* src, size_t len) {
+  HINFS_RETURN_IF_ERROR(StoreAtomic(offset, src, len));
+  HINFS_RETURN_IF_ERROR(Flush(offset, len));
+  Fence();
+  return OkStatus();
+}
+
 Status NvmmDevice::Flush(uint64_t offset, size_t len) {
   if (len == 0) {
     return OkStatus();

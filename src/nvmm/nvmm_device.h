@@ -79,6 +79,19 @@ class NvmmDevice {
   // PMFS uses for data copies (copy_from_user_inatomic_nocache).
   Status StorePersistent(uint64_t offset, const void* src, size_t len);
 
+  // 8-byte-atomic variants of Load/Store for metadata that PMFS updates in
+  // place and reads concurrently (inode size/mtime/radix fields). On real
+  // hardware an aligned 8-byte store is atomic and concurrent readers see
+  // old-or-new, never a torn word; these calls model that with word-wise
+  // std::atomic_ref accesses so the protocol is expressible in the C++ memory
+  // model (and checkable under TSan) instead of being a formal data race.
+  // offset and len must be multiples of 8. Individual words are torn-free; the
+  // range as a whole is NOT a snapshot — exactly the NVMM guarantee.
+  Status LoadAtomic(uint64_t offset, void* dst, size_t len);
+  Status StoreAtomic(uint64_t offset, const void* src, size_t len);
+  // StoreAtomic + Flush + Fence.
+  Status StoreAtomicPersistent(uint64_t offset, const void* src, size_t len);
+
   // Direct pointer into the volatile image, for DAX-style mmap access. Callers
   // using this path are responsible for their own Flush() calls.
   Result<uint8_t*> DirectPointer(uint64_t offset, size_t len);

@@ -1,0 +1,306 @@
+// Concurrency tests for the sharded DramBufferManager: writer/reader threads
+// hammering overlapping (ino, block) ranges while FlushFile/FlushBlock/
+// DiscardFile and the background writeback engine run against them.
+//
+// Invariants asserted (per shard count 1 / 2 / 16):
+//  - no lost bytes: after the churn, every block of a single-writer file reads
+//    back (DRAM or NVMM) exactly the last fill its writer recorded;
+//  - no torn blocks: a whole-block write is atomic under the shard lock, so a
+//    buffered read of any hammered block sees one uniform fill byte — a
+//    duplicate frame grant (two entries sharing a dram_index) would show up
+//    here as cross-writer corruption;
+//  - frame accounting reconciles: after FlushAll every frame is back in a free
+//    list (free_blocks() == capacity_blocks()), so every dram_index was handed
+//    out and returned exactly once;
+//  - counters reconcile: every Write is exactly one hit or one miss
+//    (hits + misses == total Write calls).
+//
+// These are the tests `ctest -L sanitize` runs under HINFS_SANITIZE=thread to
+// catch shard-lock-ordering mistakes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/hinfs/dram_buffer.h"
+
+namespace hinfs {
+namespace {
+
+class ConcurrencyHarness {
+ public:
+  explicit ConcurrencyHarness(HinfsOptions options, size_t dev_bytes = 64 << 20) {
+    NvmmConfig cfg;
+    cfg.size_bytes = dev_bytes;
+    cfg.latency_mode = LatencyMode::kNone;
+    nvmm_ = std::make_unique<NvmmDevice>(cfg);
+    mgr_ = std::make_unique<DramBufferManager>(
+        nvmm_.get(), options, [](uint64_t ino, uint64_t file_block) -> Result<uint64_t> {
+          return AddrFor(ino, file_block);
+        });
+  }
+
+  static uint64_t AddrFor(uint64_t ino, uint64_t file_block) {
+    return (ino * 128 + file_block) * kBlockSize;
+  }
+
+  NvmmDevice& nvmm() { return *nvmm_; }
+  DramBufferManager& mgr() { return *mgr_; }
+
+ private:
+  std::unique_ptr<NvmmDevice> nvmm_;
+  std::unique_ptr<DramBufferManager> mgr_;
+};
+
+constexpr int kWriters = 4;
+constexpr int kReaders = 3;
+constexpr uint64_t kBlocksPerIno = 24;
+constexpr int kSteps = 400;
+constexpr uint64_t kSharedIno = 99;   // all writers collide here
+constexpr uint64_t kDiscardIno = 50;  // written and concurrently discarded
+uint64_t OwnedIno(int writer) { return 10 + writer; }
+
+HinfsOptions ConcurrencyOptions(int shards) {
+  HinfsOptions o;
+  o.buffer_bytes = 256 * kBlockSize;  // 16 shards x 16 frames at the widest
+  o.buffer_shards = shards;
+  o.writeback_period_ms = 2;
+  o.staleness_ms = 100000;
+  o.writeback_threads = 2;
+  return o;
+}
+
+class DramBufferConcurrencyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DramBufferConcurrencyTest, OverlappingWritersReadersFlushersDiscard) {
+  ConcurrencyHarness h(ConcurrencyOptions(GetParam()));
+  h.mgr().StartBackgroundWriteback();
+
+  std::atomic<uint64_t> total_writes{0};
+  std::atomic<uint64_t> torn_blocks{0};
+  std::atomic<uint64_t> flush_failures{0};
+  std::atomic<bool> writers_done{false};
+  // last_fill[t][b]: the fill byte writer t last wrote to its owned block b
+  // (single writer per owned ino, so this is the ground truth; 0 = never).
+  std::vector<std::vector<uint8_t>> last_fill(kWriters,
+                                              std::vector<uint8_t>(kBlocksPerIno, 0));
+
+  std::vector<std::thread> threads;
+  const auto start = std::chrono::steady_clock::now();
+
+  for (int t = 0; t < kWriters; t++) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      std::vector<uint8_t> buf(kBlockSize);
+      for (int step = 0; step < kSteps; step++) {
+        // Owned range: exclusive, verified byte-for-byte at the end.
+        const uint64_t own_block = rng.Below(kBlocksPerIno);
+        const auto fill = static_cast<uint8_t>(1 + rng.Below(254));
+        std::memset(buf.data(), fill, buf.size());
+        ASSERT_TRUE(h.mgr()
+                        .Write(OwnedIno(t), own_block, 0, buf.data(), buf.size(),
+                               ConcurrencyHarness::AddrFor(OwnedIno(t), own_block))
+                        .ok());
+        last_fill[t][own_block] = fill;
+        total_writes.fetch_add(1, std::memory_order_relaxed);
+
+        // Shared range: all writers overlap; readers check for torn blocks.
+        const uint64_t shared_block = rng.Below(kBlocksPerIno);
+        ASSERT_TRUE(h.mgr()
+                        .Write(kSharedIno, shared_block, 0, buf.data(), buf.size(),
+                               ConcurrencyHarness::AddrFor(kSharedIno, shared_block))
+                        .ok());
+        total_writes.fetch_add(1, std::memory_order_relaxed);
+
+        // Discard target: racing DiscardFile may drop these at any point.
+        if (step % 8 == 0) {
+          ASSERT_TRUE(h.mgr()
+                          .Write(kDiscardIno, rng.Below(kBlocksPerIno), 0, buf.data(),
+                                 buf.size(), kNoNvmmAddr)
+                          .ok());
+          total_writes.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  for (int r = 0; r < kReaders; r++) {
+    threads.emplace_back([&, r] {
+      Rng rng(2000 + r);
+      std::vector<uint8_t> buf(kBlockSize);
+      while (!writers_done.load(std::memory_order_acquire)) {
+        const uint64_t ino = rng.Chance(0.5) ? kSharedIno : OwnedIno(rng.Below(kWriters));
+        const uint64_t block = rng.Below(kBlocksPerIno);
+        auto hit = h.mgr().Read(ino, block, 0, buf.data(), buf.size(),
+                                ConcurrencyHarness::AddrFor(ino, block));
+        if (!hit.ok() || !*hit) {
+          continue;  // not buffered: NVMM may legitimately be mid-writeback
+        }
+        // Whole-block writes under the shard lock: a buffered block is never
+        // torn. Mixed fills mean two entries shared a frame or a write raced
+        // the read inside the lock.
+        const uint8_t first = buf[0];
+        for (size_t i = 1; i < buf.size(); i++) {
+          if (buf[i] != first) {
+            torn_blocks.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+        }
+      }
+    });
+  }
+
+  // Flusher: foreground FlushFile/FlushBlock racing the writers and the
+  // background engine on the same shards.
+  threads.emplace_back([&] {
+    Rng rng(3000);
+    while (!writers_done.load(std::memory_order_acquire)) {
+      Status st = rng.Chance(0.5)
+                      ? h.mgr().FlushFile(OwnedIno(rng.Below(kWriters)))
+                      : h.mgr().FlushBlock(kSharedIno, rng.Below(kBlocksPerIno));
+      if (!st.ok()) {
+        flush_failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  // Discarder: concurrently drops the discard ino, whole and from an offset.
+  threads.emplace_back([&] {
+    Rng rng(4000);
+    while (!writers_done.load(std::memory_order_acquire)) {
+      Status st = h.mgr().DiscardFile(kDiscardIno, rng.Below(kBlocksPerIno));
+      if (!st.ok()) {
+        flush_failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  for (int t = 0; t < kWriters; t++) {
+    threads[t].join();
+  }
+  writers_done.store(true, std::memory_order_release);
+  for (size_t i = kWriters; i < threads.size(); i++) {
+    threads[i].join();
+  }
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(std::chrono::steady_clock::now() -
+                                                            start);
+  h.mgr().StopBackgroundWriteback();
+
+  EXPECT_EQ(torn_blocks.load(), 0u);
+  EXPECT_EQ(flush_failures.load(), 0u);
+
+  // Counter reconciliation: every Write is exactly one hit or one miss.
+  EXPECT_EQ(h.mgr().buffer_hits() + h.mgr().buffer_misses(), total_writes.load());
+
+  // No lost bytes: drain everything, then the owned files' NVMM content must
+  // match each writer's last recorded fill.
+  ASSERT_TRUE(h.mgr().FlushAll().ok());
+  for (int t = 0; t < kWriters; t++) {
+    for (uint64_t b = 0; b < kBlocksPerIno; b++) {
+      if (last_fill[t][b] == 0) {
+        continue;  // never written
+      }
+      std::vector<uint8_t> out(kBlockSize);
+      ASSERT_TRUE(h.nvmm()
+                      .Load(ConcurrencyHarness::AddrFor(OwnedIno(t), b), out.data(), out.size())
+                      .ok());
+      EXPECT_EQ(out[0], last_fill[t][b]) << "writer " << t << " block " << b;
+      EXPECT_EQ(out[kBlockSize - 1], last_fill[t][b]) << "writer " << t << " block " << b;
+    }
+  }
+
+  // Frame accounting: every granted dram_index came back exactly once. A
+  // double grant or a leak would leave free_blocks() != capacity.
+  EXPECT_EQ(h.mgr().free_blocks(), h.mgr().capacity_blocks());
+
+  // Contention telemetry for the PR record (single-core hosts can't show a
+  // wall-clock speedup, so contended-lock / stall counts are the observable).
+  std::printf("[shards=%zu] elapsed_ms=%lld writes=%llu stalls=%llu contended=%llu "
+              "hits=%llu misses=%llu writeback_blocks=%llu\n",
+              h.mgr().shard_count(), static_cast<long long>(elapsed.count()),
+              static_cast<unsigned long long>(total_writes.load()),
+              static_cast<unsigned long long>(h.mgr().stall_count()),
+              static_cast<unsigned long long>(h.mgr().lock_contended()),
+              static_cast<unsigned long long>(h.mgr().buffer_hits()),
+              static_cast<unsigned long long>(h.mgr().buffer_misses()),
+              static_cast<unsigned long long>(h.mgr().writeback_blocks()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, DramBufferConcurrencyTest, ::testing::Values(1, 2, 16),
+                         [](const auto& info) {
+                           return "Shards" + std::to_string(info.param);
+                         });
+
+// Uncontended-hit contention probe: every thread re-writes ONE resident block
+// (pure hits, no eviction), with inos chosen via ShardOf so that under the
+// sharded config each thread's block lives in a DIFFERENT shard. With one
+// shard all four threads serialize on a single mutex, so every preemption
+// inside the critical section makes the other runnable threads contend; with
+// distinct shards a preempted lock holder blocks nobody. The contended-
+// acquisition delta is the single-core observable for the sharding win (a
+// wall-clock speedup needs real cores). Asserts only correctness (counters),
+// not timing, to stay robust on loaded CI hosts.
+TEST(DramBufferContentionProbe, HitPathContentionByShardCount) {
+  constexpr int kThreads = 4;
+  constexpr int kProbeSteps = 100000;
+  uint64_t contended[2] = {0, 0};
+  double rate[2] = {0, 0};
+  const int configs[2] = {1, 16};
+  for (int c = 0; c < 2; c++) {
+    ConcurrencyHarness h(ConcurrencyOptions(configs[c]));
+    // Pick per-thread inos whose (ino, block 0) keys land in distinct shards
+    // (trivially satisfied at shards=1). Bounded search: with 16 shards and
+    // uniform keying this terminates in a handful of candidates.
+    std::vector<uint64_t> inos;
+    std::vector<bool> used(h.mgr().shard_count(), false);
+    for (uint64_t cand = 10; static_cast<int>(inos.size()) < kThreads; cand++) {
+      const uint32_t sh = h.mgr().ShardOf(cand, 0);
+      if (!used[sh] || h.mgr().shard_count() == 1) {
+        used[sh] = true;
+        inos.push_back(cand);
+      }
+      ASSERT_LT(cand, 10000u) << "could not spread inos across shards";
+    }
+    std::vector<std::thread> threads;
+    const auto start = std::chrono::steady_clock::now();
+    for (int t = 0; t < kThreads; t++) {
+      threads.emplace_back([&, t] {
+        std::vector<uint8_t> buf(kBlockSize, static_cast<uint8_t>(t + 1));
+        for (int i = 0; i < kProbeSteps; i++) {
+          ASSERT_TRUE(h.mgr()
+                          .Write(inos[t], 0, 0, buf.data(), buf.size(),
+                                 ConcurrencyHarness::AddrFor(inos[t], 0))
+                          .ok());
+        }
+      });
+    }
+    for (auto& th : threads) {
+      th.join();
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    const uint64_t writes = uint64_t{kThreads} * kProbeSteps;
+    EXPECT_EQ(h.mgr().buffer_hits() + h.mgr().buffer_misses(), writes);
+    contended[c] = h.mgr().lock_contended();
+    rate[c] = writes / secs;
+    std::printf("[probe shards=%zu] %.0f writes/s, %llu contended lock acquisitions "
+                "(%llu writes in %.3f s)\n",
+                h.mgr().shard_count(), rate[c],
+                static_cast<unsigned long long>(contended[c]),
+                static_cast<unsigned long long>(writes), secs);
+    ASSERT_TRUE(h.mgr().FlushAll().ok());
+    EXPECT_EQ(h.mgr().free_blocks(), h.mgr().capacity_blocks());
+  }
+  // Distinct shards cannot contend more than a single global lock does. Allow
+  // slack for background-writeback scans touching every shard.
+  EXPECT_LE(contended[1], contended[0] + 5);
+}
+
+}  // namespace
+}  // namespace hinfs

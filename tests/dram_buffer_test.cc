@@ -2,6 +2,8 @@
 
 #include <cstring>
 #include <map>
+#include <string>
+#include <tuple>
 
 #include "src/common/clock.h"
 #include "src/common/rng.h"
@@ -44,6 +46,15 @@ HinfsOptions SmallOptions() {
   o.buffer_bytes = 16 * kBlockSize;
   o.writeback_period_ms = 50;
   o.staleness_ms = 100000;
+  // Single shard: these tests assert global eviction order and exact counter
+  // values, i.e. the pre-sharding behaviour the shards=1 config must keep.
+  o.buffer_shards = 1;
+  return o;
+}
+
+HinfsOptions ShardedOptions(int shards) {
+  HinfsOptions o = SmallOptions();
+  o.buffer_shards = shards;
   return o;
 }
 
@@ -292,12 +303,14 @@ TEST(DramBufferTest, ArcGhostHitAdmitsToFrequentList) {
 }
 
 class ReplacementPolicyTest
-    : public ::testing::TestWithParam<HinfsOptions::Replacement> {};
+    : public ::testing::TestWithParam<std::tuple<HinfsOptions::Replacement, int>> {};
 
 TEST_P(ReplacementPolicyTest, CorrectUnderChurn) {
-  // Whatever the policy, buffered content must always read back exactly.
+  // Whatever the policy (and shard count), buffered content must always read
+  // back exactly.
   HinfsOptions o = SmallOptions();
-  o.replacement = GetParam();
+  o.replacement = std::get<0>(GetParam());
+  o.buffer_shards = std::get<1>(GetParam());
   BufferHarness h(o, 32 << 20);
   Rng rng(99);
   std::map<uint64_t, uint8_t> model;  // block -> fill byte
@@ -332,27 +345,35 @@ TEST_P(ReplacementPolicyTest, CorrectUnderChurn) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Policies, ReplacementPolicyTest,
-                         ::testing::Values(HinfsOptions::Replacement::kLrw,
-                                           HinfsOptions::Replacement::kFifo,
-                                           HinfsOptions::Replacement::kLfu,
-                                           HinfsOptions::Replacement::kArc,
-                                           HinfsOptions::Replacement::kTwoQ),
-                         [](const auto& info) {
-                           switch (info.param) {
-                             case HinfsOptions::Replacement::kLrw:
-                               return "LRW";
-                             case HinfsOptions::Replacement::kFifo:
-                               return "FIFO";
-                             case HinfsOptions::Replacement::kLfu:
-                               return "LFU";
-                             case HinfsOptions::Replacement::kArc:
-                               return "ARC";
-                             case HinfsOptions::Replacement::kTwoQ:
-                               return "TwoQ";
-                           }
-                           return "?";
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    Policies, ReplacementPolicyTest,
+    ::testing::Combine(::testing::Values(HinfsOptions::Replacement::kLrw,
+                                         HinfsOptions::Replacement::kFifo,
+                                         HinfsOptions::Replacement::kLfu,
+                                         HinfsOptions::Replacement::kArc,
+                                         HinfsOptions::Replacement::kTwoQ),
+                       ::testing::Values(1, 4)),
+    [](const auto& info) {
+      std::string name;
+      switch (std::get<0>(info.param)) {
+        case HinfsOptions::Replacement::kLrw:
+          name = "LRW";
+          break;
+        case HinfsOptions::Replacement::kFifo:
+          name = "FIFO";
+          break;
+        case HinfsOptions::Replacement::kLfu:
+          name = "LFU";
+          break;
+        case HinfsOptions::Replacement::kArc:
+          name = "ARC";
+          break;
+        case HinfsOptions::Replacement::kTwoQ:
+          name = "TwoQ";
+          break;
+      }
+      return name + "_" + std::to_string(std::get<1>(info.param)) + "shard";
+    });
 
 TEST(DramBufferTest, TwoQProbationaryRewritesDoNotPromote) {
   HinfsOptions o = SmallOptions();
@@ -420,6 +441,135 @@ TEST(DramBufferTest, CrossBlockWriteRejected) {
   BufferHarness h(SmallOptions());
   char buf[128];
   EXPECT_FALSE(h.mgr().Write(1, 0, kBlockSize - 10, buf, 128, kNoNvmmAddr).ok());
+}
+
+// --- sharding ---------------------------------------------------------------------
+
+TEST(DramBufferShardingTest, ShardCountRoundsUpAndClamps) {
+  // 16-frame pool: non-pow2 requests round up; large requests clamp so every
+  // shard keeps >= 2 frames; 1 stays 1.
+  EXPECT_EQ(BufferHarness(ShardedOptions(1)).mgr().shard_count(), 1u);
+  EXPECT_EQ(BufferHarness(ShardedOptions(3)).mgr().shard_count(), 4u);
+  EXPECT_EQ(BufferHarness(ShardedOptions(64)).mgr().shard_count(), 8u);
+}
+
+TEST(DramBufferShardingTest, CapacityExactAcrossShards) {
+  BufferHarness h(ShardedOptions(4));
+  ASSERT_EQ(h.mgr().shard_count(), 4u);
+  size_t sum = 0;
+  for (uint32_t s = 0; s < h.mgr().shard_count(); s++) {
+    sum += h.mgr().shard_capacity(s);
+  }
+  EXPECT_EQ(sum, h.mgr().capacity_blocks());
+  EXPECT_EQ(h.mgr().free_blocks(), h.mgr().capacity_blocks());
+
+  // Churn well past capacity (inline reclaim), then drain: every frame must
+  // come back to a free list — exact accounting across shards.
+  std::vector<uint8_t> data(kBlockSize, 0x3c);
+  for (uint64_t b = 0; b < 48; b++) {
+    ASSERT_TRUE(h.mgr().Write(1, b, 0, data.data(), data.size(), kNoNvmmAddr).ok());
+  }
+  ASSERT_TRUE(h.mgr().FlushAll().ok());
+  EXPECT_EQ(h.mgr().free_blocks(), h.mgr().capacity_blocks());
+}
+
+TEST(DramBufferShardingTest, ShardKeyIsStableAndInRange) {
+  BufferHarness h(ShardedOptions(4));
+  for (uint64_t ino = 1; ino < 8; ino++) {
+    for (uint64_t b = 0; b < 32; b++) {
+      const uint32_t s = h.mgr().ShardOf(ino, b);
+      EXPECT_LT(s, h.mgr().shard_count());
+      EXPECT_EQ(s, h.mgr().ShardOf(ino, b));  // deterministic
+    }
+  }
+}
+
+// Returns `count` file blocks of `ino` that all map to the same shard as the
+// first block probed, via the public ShardOf introspection.
+std::vector<uint64_t> BlocksInOneShard(DramBufferManager& mgr, uint64_t ino, size_t count) {
+  std::vector<uint64_t> blocks;
+  const uint32_t shard = mgr.ShardOf(ino, 0);
+  for (uint64_t b = 0; blocks.size() < count && b < 4096; b++) {
+    if (mgr.ShardOf(ino, b) == shard) {
+      blocks.push_back(b);
+    }
+  }
+  return blocks;
+}
+
+TEST(DramBufferShardingTest, LrwEvictionOrderPreservedWithinShard) {
+  // 4 shards x 4 frames. Fill one shard with 4 blocks, rewrite the oldest
+  // (moves to MRW within the shard), then insert a 5th block of the same
+  // shard: the second-oldest is the victim — LRW order is per shard — and
+  // residents of other shards are untouched.
+  BufferHarness h(ShardedOptions(4));
+  ASSERT_EQ(h.mgr().shard_capacity(h.mgr().ShardOf(5, 0)), 4u);
+  std::vector<uint64_t> blocks = BlocksInOneShard(h.mgr(), 5, 5);
+  ASSERT_EQ(blocks.size(), 5u);
+
+  // A resident block in a different shard must survive the churn below.
+  uint64_t other_block = 0;
+  while (h.mgr().ShardOf(6, other_block) == h.mgr().ShardOf(5, blocks[0])) {
+    other_block++;
+  }
+  std::vector<uint8_t> data(kBlockSize, 0x7e);
+  ASSERT_TRUE(h.mgr().Write(6, other_block, 0, data.data(), data.size(), kNoNvmmAddr).ok());
+
+  for (size_t i = 0; i < 4; i++) {
+    ASSERT_TRUE(h.mgr().Write(5, blocks[i], 0, data.data(), data.size(), kNoNvmmAddr).ok());
+  }
+  ASSERT_TRUE(h.mgr().Write(5, blocks[0], 0, data.data(), data.size(), kNoNvmmAddr).ok());
+  ASSERT_TRUE(h.mgr().Write(5, blocks[4], 0, data.data(), data.size(), kNoNvmmAddr).ok());
+
+  EXPECT_TRUE(h.mgr().Contains(5, blocks[0]));   // rewritten: MRW, survives
+  EXPECT_FALSE(h.mgr().Contains(5, blocks[1]));  // shard-local LRW victim
+  EXPECT_TRUE(h.mgr().Contains(5, blocks[2]));
+  EXPECT_TRUE(h.mgr().Contains(5, blocks[3]));
+  EXPECT_TRUE(h.mgr().Contains(5, blocks[4]));
+  EXPECT_TRUE(h.mgr().Contains(6, other_block));  // other shard unaffected
+}
+
+TEST(DramBufferShardingTest, FifoEvictionOrderPreservedWithinShard) {
+  HinfsOptions o = ShardedOptions(4);
+  o.replacement = HinfsOptions::Replacement::kFifo;
+  BufferHarness hf(o);
+  std::vector<uint64_t> blocks = BlocksInOneShard(hf.mgr(), 5, 5);
+  ASSERT_EQ(blocks.size(), 5u);
+  std::vector<uint8_t> data(kBlockSize, 0x11);
+  for (size_t i = 0; i < 4; i++) {
+    ASSERT_TRUE(hf.mgr().Write(5, blocks[i], 0, data.data(), data.size(), kNoNvmmAddr).ok());
+  }
+  // Rewriting the oldest does not save it under FIFO, even within the shard.
+  ASSERT_TRUE(hf.mgr().Write(5, blocks[0], 0, data.data(), data.size(), kNoNvmmAddr).ok());
+  ASSERT_TRUE(hf.mgr().Write(5, blocks[4], 0, data.data(), data.size(), kNoNvmmAddr).ok());
+  EXPECT_FALSE(hf.mgr().Contains(5, blocks[0]));
+  EXPECT_TRUE(hf.mgr().Contains(5, blocks[1]));
+}
+
+TEST(DramBufferShardingTest, CountersAggregateAcrossShards) {
+  BufferHarness h(ShardedOptions(4));
+  // Pick 8 blocks with at most 2 per shard (well under the 4-frame slices),
+  // so no shard evicts and the per-shard counters must sum exactly.
+  std::vector<size_t> per_shard(h.mgr().shard_count(), 0);
+  std::vector<uint64_t> blocks;
+  for (uint64_t b = 0; blocks.size() < 8 && b < 4096; b++) {
+    const uint32_t s = h.mgr().ShardOf(1, b);
+    if (per_shard[s] < 2) {
+      per_shard[s]++;
+      blocks.push_back(b);
+    }
+  }
+  ASSERT_EQ(blocks.size(), 8u);
+  std::vector<uint8_t> data(kBlockSize, 0x44);
+  for (int round = 0; round < 2; round++) {
+    for (uint64_t b : blocks) {
+      ASSERT_TRUE(h.mgr().Write(1, b, 0, data.data(), data.size(), kNoNvmmAddr).ok());
+    }
+  }
+  EXPECT_EQ(h.mgr().buffer_misses(), 8u);
+  EXPECT_EQ(h.mgr().buffer_hits(), 8u);
+  ASSERT_TRUE(h.mgr().FlushAll().ok());
+  EXPECT_EQ(h.mgr().writeback_blocks(), 8u);
 }
 
 }  // namespace

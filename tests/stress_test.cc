@@ -24,6 +24,7 @@ TestBedConfig StressConfig() {
   cfg.nvmm.size_bytes = 128 << 20;
   cfg.nvmm.latency_mode = LatencyMode::kNone;
   cfg.hinfs.buffer_bytes = 2 << 20;  // small: forces eviction under load
+  cfg.hinfs.buffer_shards = 4;       // exercise the sharded buffer under FS churn
   cfg.hinfs.writeback_period_ms = 5;
   cfg.pmfs.max_inodes = 1 << 14;
   return cfg;
