@@ -8,16 +8,18 @@
 
 using namespace hinfs;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ArgParser args(argc, argv);
   PrintBenchHeader("Ablation", "eager/lazy classification: model vs always-lazy vs always-eager");
 
   const FsKind kinds[] = {FsKind::kHinfs, FsKind::kHinfsWb, FsKind::kPmfs};
   const char* labels[] = {"model(HiNFS)", "always-lazy", "always-eager"};
+  std::vector<BenchJsonRow> rows;
 
   std::printf("[TPCC trace] replay time\n");
   {
     TraceProfile profile = TpccTraceProfile();
-    profile.num_ops = 25000;
+    profile.num_ops = ScaledOps(25000);
     const auto trace = SynthesizeTrace(profile);
     for (size_t i = 0; i < 3; i++) {
       auto bed = MakeTestBed(kinds[i], PaperBedConfig(512ull << 20, 6ull << 20));
@@ -32,6 +34,8 @@ int main() {
       std::printf("  %-14s %8.1f ms (write %6.1f, fsync %6.1f)\n", labels[i],
                   bd->TotalNs() / 1e6, bd->write_ns / 1e6, bd->fsync_ns / 1e6);
       std::fflush(stdout);
+      rows.push_back({labels[i], "tpcc-trace", "num_ops",
+                      static_cast<double>(trace.size()), bd->TotalNs() / 1e6, "total_ms"});
       (void)(*bed)->vfs->Unmount();
     }
   }
@@ -46,6 +50,7 @@ int main() {
     }
     std::printf("  %-14s %8.0f ops/s\n", labels[i], result->OpsPerSec());
     std::fflush(stdout);
+    rows.push_back({labels[i], "varmail", "threads", 2, result->OpsPerSec(), "ops_per_sec"});
   }
 
   std::printf("[fileserver] ops/s (lazy-friendly: model should match always-lazy)\n");
@@ -57,7 +62,9 @@ int main() {
     }
     std::printf("  %-14s %8.0f ops/s\n", labels[i], result->OpsPerSec());
     std::fflush(stdout);
+    rows.push_back({labels[i], "fileserver", "threads", 2, result->OpsPerSec(),
+                    "ops_per_sec"});
   }
   std::printf("\nexpected: the model tracks the better trivial policy on each workload\n");
-  return 0;
+  return WriteBenchJson(args.json_path(), rows) ? 0 : 1;
 }

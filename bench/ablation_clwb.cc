@@ -7,8 +7,10 @@
 
 using namespace hinfs;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ArgParser args(argc, argv);
   PrintBenchHeader("Ablation", "flush instruction: CLFLUSH (paper) vs CLFLUSHOPT/CLWB");
+  std::vector<BenchJsonRow> json_rows;
 
   struct Row {
     FlushInstruction instr;
@@ -37,6 +39,10 @@ int main() {
         }
         std::printf(" %12.0f", result->OpsPerSec());
         std::fflush(stdout);
+        json_rows.push_back({FsKindName(kind),
+                        std::string(PersonalityName(p)) + "/" + row.name, "threads",
+                        static_cast<double>(fb.threads), result->OpsPerSec(),
+                        "ops_per_sec"});
       }
       std::printf("\n");
     }
@@ -45,5 +51,5 @@ int main() {
   std::printf("expected: optimized flushes lift PMFS more than HiNFS (they attack the\n"
               "same direct-write latency HiNFS hides), narrowing but not closing the gap\n"
               "on buffered workloads\n");
-  return 0;
+  return WriteBenchJson(args.json_path(), json_rows) ? 0 : 1;
 }

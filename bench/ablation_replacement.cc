@@ -7,8 +7,10 @@
 
 using namespace hinfs;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ArgParser args(argc, argv);
   PrintBenchHeader("Ablation", "buffer replacement policy: LRW (paper) vs FIFO");
+  std::vector<BenchJsonRow> rows;
 
   struct PolicyRow {
     HinfsOptions::Replacement policy;
@@ -50,14 +52,17 @@ int main() {
       const uint64_t misses = fs->buffer().buffer_misses();
       char label[32];
       std::snprintf(label, sizeof(label), "randw-%.1f", theta);
+      const double hit_pct = hits + misses > 0 ? 100.0 * hits / (hits + misses) : 0.0;
       std::printf("%-14s %-8s %12.0f %11.1f%% %12llu\n", label, row.name, result->OpsPerSec(),
-                  hits + misses > 0 ? 100.0 * hits / (hits + misses) : 0.0,
+                  hit_pct,
                   static_cast<unsigned long long>(fs->buffer().writeback_blocks()));
       std::fflush(stdout);
+      rows.push_back({row.name, label, "theta", theta, result->OpsPerSec(), "ops_per_sec"});
+      rows.push_back({row.name, label, "theta", theta, hit_pct, "hit_rate_pct"});
       (void)(*bed)->vfs->Unmount();
     }
   }
   std::printf("\nexpected: recency/frequency-aware policies (LRW/LFU/ARC) beat FIFO on\n"
               "skewed workloads; the paper's LRW is competitive at far lower complexity\n");
-  return 0;
+  return WriteBenchJson(args.json_path(), rows) ? 0 : 1;
 }

@@ -5,21 +5,28 @@
 // are wall-clock-bounded and tunable:
 //   HINFS_BENCH_DURATION_MS  per-configuration run time (default 250)
 //   HINFS_BENCH_THREADS      max threads for scalability sweeps (default 8)
-//   HINFS_BUFFER_SHARDS      HiNFS write-buffer shard count (0 = auto)
+//   HINFS_BENCH_SCALE_DIV    divide fixed-size workloads (traces, macros) by
+//                            this factor (default 1) — used by `ctest -L
+//                            bench-smoke` to make the runs a formality check
+// HiNFS buffer knobs (HINFS_BUFFER_SHARDS, HINFS_WRITEBACK_THREADS,
+// HINFS_STEAL_FRAMES) are read by HinfsOptions::FromEnv, which PaperBedConfig
+// applies — benches never parse those env vars themselves.
 //
-// Benches that sweep a dimension also accept `--json <path>` and write their
-// rows as a JSON array ({fs, personality, <x>, ops_per_sec}) so the perf
-// trajectory across PRs is machine-trackable.
+// Every bench accepts `--json <path>` via bench::ArgParser and writes its
+// rows as a JSON array ({fs, personality, <x>, <value>}) so the perf
+// trajectory across PRs is machine-trackable (tools/plot_bench.py plots them).
 
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "src/hinfs/hinfs_options.h"
 #include "src/workloads/filebench.h"
 #include "src/workloads/fs_setup.h"
 
@@ -35,46 +42,78 @@ inline int BenchMaxThreads() {
   return env != nullptr ? std::atoi(env) : 8;
 }
 
-inline int BenchBufferShards() {
-  const char* env = std::getenv("HINFS_BUFFER_SHARDS");
-  return env != nullptr ? std::atoi(env) : 0;  // 0 = auto (hardware concurrency)
+// Scales down workloads whose size is op-count-bound rather than
+// duration-bound. ScaledOps(25000) == 25000 normally, 1250 under
+// HINFS_BENCH_SCALE_DIV=20 (the bench-smoke configuration).
+inline size_t BenchScaleDiv() {
+  const char* env = std::getenv("HINFS_BENCH_SCALE_DIV");
+  const long v = env != nullptr ? std::atol(env) : 1;
+  return v > 1 ? static_cast<size_t>(v) : 1;
 }
+
+inline size_t ScaledOps(size_t ops) { return std::max<size_t>(1, ops / BenchScaleDiv()); }
+
+// --- shared CLI ---------------------------------------------------------------
+
+namespace bench {
+
+// The one argv parser every figure bench uses. Recognized flags:
+//   --json <path>   write machine-readable rows to <path>
+//   --help / -h     usage
+// Anything else fails fast (exit 2): a typo'd invocation must not silently run
+// a multi-minute sweep with the flag ignored. The `--json` path is opened once
+// up front so an unwritable path also fails before the sweep, not after.
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv) {
+    for (int i = 1; i < argc; i++) {
+      const char* arg = argv[i];
+      if (std::strcmp(arg, "--json") == 0) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "error: --json requires a file path\n");
+          std::exit(2);
+        }
+        json_path_ = argv[++i];
+        FILE* f = std::fopen(json_path_.c_str(), "w");
+        if (f == nullptr) {
+          std::fprintf(stderr, "error: cannot open %s for writing\n", json_path_.c_str());
+          std::exit(2);
+        }
+        std::fclose(f);
+      } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+        std::printf("usage: %s [--json <path>]\n\n"
+                    "  --json <path>  write bench rows as a JSON array to <path>\n",
+                    argv[0]);
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "error: unknown argument '%s' (supported: --json <path>)\n",
+                     arg);
+        std::exit(2);
+      }
+    }
+  }
+
+  const std::string& json_path() const { return json_path_; }
+
+ private:
+  std::string json_path_;
+};
+
+}  // namespace bench
 
 // --- machine-readable results ------------------------------------------------
 
 // One measured configuration. `x` is the sweep coordinate (thread count,
-// buffer ratio, ...) named by `x_key`.
+// buffer ratio, ...) named by `x_key`; `value` is the measurement, named by
+// `value_key` (ops/s unless the figure measures something else).
 struct BenchJsonRow {
   std::string fs;
   std::string personality;
   const char* x_key = "threads";
   double x = 0;
-  double ops_per_sec = 0;
+  double value = 0;
+  const char* value_key = "ops_per_sec";
 };
-
-// Returns the path following a `--json` argument, or empty if absent. Fails
-// fast (exit 2) on a dangling `--json` or an unwritable path so a typo'd
-// invocation doesn't silently run a multi-minute sweep and write nothing.
-inline std::string ParseJsonPath(int argc, char** argv) {
-  for (int i = 1; i < argc; i++) {
-    if (std::strcmp(argv[i], "--json") != 0) {
-      continue;
-    }
-    if (i + 1 >= argc) {
-      std::fprintf(stderr, "error: --json requires a file path\n");
-      std::exit(2);
-    }
-    const char* path = argv[i + 1];
-    FILE* f = std::fopen(path, "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "error: cannot open %s for writing\n", path);
-      std::exit(2);
-    }
-    std::fclose(f);
-    return path;
-  }
-  return std::string();
-}
 
 inline bool WriteBenchJson(const std::string& path, const std::vector<BenchJsonRow>& rows) {
   if (path.empty()) {
@@ -89,8 +128,8 @@ inline bool WriteBenchJson(const std::string& path, const std::vector<BenchJsonR
   for (size_t i = 0; i < rows.size(); i++) {
     const BenchJsonRow& r = rows[i];
     std::fprintf(f, "  {\"fs\": \"%s\", \"personality\": \"%s\", \"%s\": %g, "
-                 "\"ops_per_sec\": %.3f}%s\n",
-                 r.fs.c_str(), r.personality.c_str(), r.x_key, r.x, r.ops_per_sec,
+                 "\"%s\": %.3f}%s\n",
+                 r.fs.c_str(), r.personality.c_str(), r.x_key, r.x, r.value_key, r.value,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
@@ -109,7 +148,7 @@ inline TestBedConfig PaperBedConfig(size_t device_bytes = 256ull << 20,
   cfg.nvmm.write_latency_ns = 200;
   cfg.nvmm.write_bandwidth_bytes_per_sec = 1ull << 30;
   cfg.hinfs.buffer_bytes = buffer_bytes;
-  cfg.hinfs.buffer_shards = BenchBufferShards();
+  cfg.hinfs = HinfsOptions::FromEnv(cfg.hinfs);
   cfg.pmfs.max_inodes = 1 << 14;
   // The paper gives the NVMMBD baselines 3 GB of system memory for a 5 GB
   // dataset; scaled down, the page cache holds ~60 % of our ~13 MB dataset.

@@ -6,9 +6,11 @@
 
 using namespace hinfs;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ArgParser args(argc, argv);
   PrintBenchHeader("Fig. 1", "fio on PMFS: Read Access / Write Access / Others breakdown");
 
+  std::vector<BenchJsonRow> rows;
   std::printf("%-8s %10s %10s %10s %12s\n", "iosize", "read%", "write%", "others%", "ops");
   for (size_t io_size : {size_t{64}, size_t{256}, size_t{1024}, size_t{4096}, size_t{16384},
                          size_t{65536}, size_t{1 << 20}}) {
@@ -52,8 +54,12 @@ int main() {
     std::printf("%-8s %9.1f%% %9.1f%% %9.1f%% %12llu\n", label, 100.0 * read_ns / denom,
                 100.0 * write_ns / denom, 100.0 * others / denom,
                 static_cast<unsigned long long>(result->ops));
+    rows.push_back({"PMFS", "fio-randrw", "io_size", static_cast<double>(io_size),
+                    static_cast<double>(result->ops) / result->seconds, "ops_per_sec"});
+    rows.push_back({"PMFS", "fio-randrw", "io_size", static_cast<double>(io_size),
+                    100.0 * write_ns / denom, "write_access_pct"});
     (void)(*bed)->vfs->Unmount();
   }
   std::printf("\npaper shape: Write Access share rises with I/O size, > 80%% at >= 4 KB\n");
-  return 0;
+  return WriteBenchJson(args.json_path(), rows) ? 0 : 1;
 }

@@ -6,9 +6,11 @@
 
 using namespace hinfs;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ArgParser args(argc, argv);
   PrintBenchHeader("Fig. 2", "percentage of fsync bytes per workload");
 
+  std::vector<BenchJsonRow> rows;
   std::printf("%-10s %14s %14s %9s\n", "workload", "written(B)", "fsync(B)", "fsync%");
   for (const TraceProfile& profile :
        {TpccTraceProfile(), FacebookProfile(), Usr0Profile(), Usr1Profile(), LasrProfile()}) {
@@ -18,6 +20,8 @@ int main() {
     std::printf("%-10s %14llu %14llu %8.1f%%\n", p.name.c_str(),
                 static_cast<unsigned long long>(stats.total_written),
                 static_cast<unsigned long long>(stats.fsync_bytes), stats.Percent());
+    rows.push_back({"trace", p.name, "num_ops", static_cast<double>(p.num_ops),
+                    stats.Percent(), "fsync_pct"});
   }
 
   // Filebench-derived points: varmail fsyncs everything it appends; fileserver
@@ -38,11 +42,14 @@ int main() {
       std::printf("%-10s %14llu %14llu %8.1f%%\n", "Varmail",
                   static_cast<unsigned long long>(varmail->bytes_written),
                   static_cast<unsigned long long>(varmail->bytes_written), 100.0);
+      rows.push_back({"filebench", "Varmail", "num_ops", 0, 100.0, "fsync_pct"});
     }
     std::printf("%-10s %14s %14s %8.1f%%\n", "Fileserver", "-", "-", 0.0);
     std::printf("%-10s %14s %14s %8.1f%%\n", "Webserver", "-", "-", 0.0);
+    rows.push_back({"filebench", "Fileserver", "num_ops", 0, 0.0, "fsync_pct"});
+    rows.push_back({"filebench", "Webserver", "num_ops", 0, 0.0, "fsync_pct"});
     (void)(*bed)->vfs->Unmount();
   }
   std::printf("\npaper shape: TPC-C > 90%%, LASR = 0%%, desktop traces in between\n");
-  return 0;
+  return WriteBenchJson(args.json_path(), rows) ? 0 : 1;
 }

@@ -7,8 +7,10 @@
 
 using namespace hinfs;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ArgParser args(argc, argv);
   PrintBenchHeader("Fig. 7", "overall filebench throughput normalized to PMFS");
+  std::vector<BenchJsonRow> rows;
 
   const FsKind kinds[] = {FsKind::kPmfs, FsKind::kExt4Dax, FsKind::kExt2Nvmmbd,
                           FsKind::kExt4Nvmmbd, FsKind::kHinfs};
@@ -41,10 +43,12 @@ int main() {
       }
       std::printf(" %8.0f(%4.2f)", ops, pmfs_ops > 0 ? ops / pmfs_ops : 0.0);
       std::fflush(stdout);
+      rows.push_back({FsKindName(kind), PersonalityName(p), "threads",
+                      static_cast<double>(cfg.threads), ops, "ops_per_sec"});
     }
     std::printf("\n");
   }
   std::printf("\npaper shape: HiNFS >= all on every workload; big win on fileserver;\n"
               "~PMFS on webserver/varmail; NVMMBD baselines behind except webproxy\n");
-  return 0;
+  return WriteBenchJson(args.json_path(), rows) ? 0 : 1;
 }

@@ -10,9 +10,12 @@
 using namespace hinfs;
 
 int main(int argc, char** argv) {
-  const std::string json_path = ParseJsonPath(argc, argv);
+  const bench::ArgParser args(argc, argv);
   PrintBenchHeader("Fig. 8", "filebench throughput for increasing thread counts");
-  std::printf("hinfs buffer shards: %d (0 = auto)\n\n", BenchBufferShards());
+  const HinfsOptions env_opts = HinfsOptions::FromEnv();
+  std::printf("hinfs buffer shards: %d (0 = auto), writeback workers: %d, steal: %s\n\n",
+              env_opts.buffer_shards, env_opts.writeback_threads,
+              env_opts.steal_frames ? "on" : "off");
 
   const FsKind kinds[] = {FsKind::kPmfs, FsKind::kExt4Dax, FsKind::kExt2Nvmmbd,
                           FsKind::kExt4Nvmmbd, FsKind::kHinfs};
@@ -54,5 +57,5 @@ int main(int argc, char** argv) {
   std::printf("paper shape: HiNFS scales best; PMFS/EXT4-DAX cap out on NVMM write\n"
               "bandwidth; NVMMBD baselines stay flat (note: this host is single-core,\n"
               "so absolute scaling is compressed — ordering is the reproducible shape)\n");
-  return WriteBenchJson(json_path, rows) ? 0 : 1;
+  return WriteBenchJson(args.json_path(), rows) ? 0 : 1;
 }

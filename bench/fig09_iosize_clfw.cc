@@ -6,8 +6,10 @@
 
 using namespace hinfs;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ArgParser args(argc, argv);
   PrintBenchHeader("Fig. 9", "fileserver vs I/O size: CLFW ablation (throughput + NVMM bytes)");
+  std::vector<BenchJsonRow> rows;
 
   const FsKind kinds[] = {FsKind::kPmfs, FsKind::kHinfsNclfw, FsKind::kHinfs};
   std::printf("%-8s", "iosize");
@@ -41,11 +43,16 @@ int main() {
       std::printf(" %12.0f %14.1f", result->OpsPerSec(),
                   static_cast<double>(nvmm_bytes) / (1 << 20));
       std::fflush(stdout);
+      rows.push_back({FsKindName(kind), "fileserver", "io_size",
+                      static_cast<double>(io_size), result->OpsPerSec(), "ops_per_sec"});
+      rows.push_back({FsKindName(kind), "fileserver", "io_size",
+                      static_cast<double>(io_size),
+                      static_cast<double>(nvmm_bytes) / (1 << 20), "nvmm_write_mb"});
     }
     std::printf("\n");
   }
   std::printf("\npaper shape: HiNFS > HiNFS-NCLFW (up to ~30%%) below 4 KB with a large\n"
               "drop in NVMM write size; the gap closes at block-aligned sizes >= 4 KB;\n"
               "HiNFS-PMFS gap grows with I/O size\n");
-  return 0;
+  return WriteBenchJson(args.json_path(), rows) ? 0 : 1;
 }

@@ -10,7 +10,7 @@
 using namespace hinfs;
 
 int main(int argc, char** argv) {
-  const std::string json_path = ParseJsonPath(argc, argv);
+  const bench::ArgParser args(argc, argv);
   PrintBenchHeader("Fig. 10", "throughput vs DRAM buffer size ratio (fileserver, webproxy)");
 
   const double ratios[] = {0.1, 0.25, 0.5, 0.75, 1.0};
@@ -64,5 +64,5 @@ int main(int argc, char** argv) {
   }
   std::printf("paper shape: fileserver rises with the buffer ratio on HiNFS; webproxy is\n"
               "flat (short-lived files + locality); NVMMBD baselines trail even at 1.0\n");
-  return WriteBenchJson(json_path, rows) ? 0 : 1;
+  return WriteBenchJson(args.json_path(), rows) ? 0 : 1;
 }

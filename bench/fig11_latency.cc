@@ -6,8 +6,10 @@
 
 using namespace hinfs;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ArgParser args(argc, argv);
   PrintBenchHeader("Fig. 11", "throughput vs NVMM write latency, single thread");
+  std::vector<BenchJsonRow> rows;
 
   const uint64_t latencies[] = {50, 100, 200, 400, 800};
   const FsKind kinds[] = {FsKind::kPmfs, FsKind::kExt4Dax, FsKind::kExt2Nvmmbd,
@@ -35,6 +37,8 @@ int main() {
         }
         std::printf(" %9.0f", result->OpsPerSec());
         std::fflush(stdout);
+        rows.push_back({FsKindName(kind), PersonalityName(p), "latency_ns",
+                        static_cast<double>(l), result->OpsPerSec(), "ops_per_sec"});
       }
       std::printf("\n");
     }
@@ -42,5 +46,5 @@ int main() {
   }
   std::printf("paper shape: HiNFS's advantage grows with NVMM write latency (up to ~6x\n"
               "over PMFS at 800 ns on webproxy); at 50 ns HiNFS is no worse than PMFS\n");
-  return 0;
+  return WriteBenchJson(args.json_path(), rows) ? 0 : 1;
 }

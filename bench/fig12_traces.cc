@@ -6,8 +6,10 @@
 
 using namespace hinfs;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ArgParser args(argc, argv);
   PrintBenchHeader("Fig. 12", "trace replay time breakdown, normalized to PMFS");
+  std::vector<BenchJsonRow> rows;
 
   const FsKind kinds[] = {FsKind::kPmfs,       FsKind::kExt4Dax,  FsKind::kExt2Nvmmbd,
                           FsKind::kExt4Nvmmbd, FsKind::kHinfsWb,  FsKind::kHinfs};
@@ -15,7 +17,7 @@ int main() {
   for (const TraceProfile& base :
        {Usr0Profile(), Usr1Profile(), LasrProfile(), FacebookProfile()}) {
     TraceProfile profile = base;
-    profile.num_ops = 25000;
+    profile.num_ops = ScaledOps(25000);
     const auto trace = SynthesizeTrace(profile);
 
     std::printf("[%s] (%zu ops)\n", profile.name.c_str(), trace.size());
@@ -45,6 +47,8 @@ int main() {
                   bd->unlink_ns / 1e6, bd->drain_ns / 1e6,
                   pmfs_total > 0 ? total_ms / pmfs_total : 0.0);
       std::fflush(stdout);
+      rows.push_back({FsKindName(kind), profile.name, "num_ops",
+                      static_cast<double>(trace.size()), total_ms, "total_ms"});
       (void)(*bed)->vfs->Unmount();
     }
     std::printf("\n");
@@ -52,5 +56,5 @@ int main() {
   std::printf("paper shape: HiNFS cuts PMFS's write time on Usr0/Usr1/LASR (-35%% ish\n"
               "total); ~PMFS on Facebook (sync-dense); HiNFS-WB slower than HiNFS on\n"
               "sync-heavy traces; NVMMBD baselines slowest\n");
-  return 0;
+  return WriteBenchJson(args.json_path(), rows) ? 0 : 1;
 }

@@ -16,12 +16,17 @@ Result<double> RunMacro(FsKind kind, const std::string& name) {
   WorkloadResult result;
   if (name == "Postmark") {
     PostmarkConfig cfg;
+    cfg.nfiles = ScaledOps(cfg.nfiles);
+    cfg.transactions = ScaledOps(cfg.transactions);
     HINFS_ASSIGN_OR_RETURN(result, RunPostmark(vfs, cfg));
   } else if (name == "TPC-C") {
     TpccConfig cfg;
+    cfg.transactions = ScaledOps(cfg.transactions);
     HINFS_ASSIGN_OR_RETURN(result, RunTpcc(vfs, cfg));
   } else {
     KernelTreeConfig cfg;
+    cfg.dirs = ScaledOps(cfg.dirs);
+    cfg.headers = ScaledOps(cfg.headers);
     HINFS_RETURN_IF_ERROR(BuildKernelTree(vfs, cfg));
     if (name == "Kernel-Grep") {
       HINFS_ASSIGN_OR_RETURN(result, RunKernelGrep(vfs, cfg));
@@ -35,8 +40,10 @@ Result<double> RunMacro(FsKind kind, const std::string& name) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ArgParser args(argc, argv);
   PrintBenchHeader("Fig. 13", "macrobenchmark elapsed time normalized to PMFS");
+  std::vector<BenchJsonRow> rows;
 
   const FsKind kinds[] = {FsKind::kPmfs,       FsKind::kExt4Dax, FsKind::kExt2Nvmmbd,
                           FsKind::kExt4Nvmmbd, FsKind::kHinfsWb, FsKind::kHinfs};
@@ -63,11 +70,12 @@ int main() {
       }
       std::printf(" %7.2fs(%4.2f)", *seconds, pmfs_s > 0 ? *seconds / pmfs_s : 0.0);
       std::fflush(stdout);
+      rows.push_back({FsKindName(kind), name, "run", 0, *seconds, "seconds"});
     }
     std::printf("\n");
   }
   std::printf("\npaper shape: HiNFS cuts Postmark/Kernel-Make times vs PMFS (short-lived\n"
               "files, lazy writes); ~PMFS on TPC-C (sync-bound) and Kernel-Grep (reads);\n"
               "HiNFS-WB worse than HiNFS on TPC-C; EXT2 < EXT4 on NVMMBD (no journal)\n");
-  return 0;
+  return WriteBenchJson(args.json_path(), rows) ? 0 : 1;
 }

@@ -4,7 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -133,4 +136,34 @@ BENCHMARK(BM_DirectWrite)->Arg(64)->Arg(4096);
 }  // namespace
 }  // namespace hinfs
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN so this bench shares the fleet-wide
+// `--json <path>` convention: it maps onto google-benchmark's JSON reporter.
+// Unknown arguments still fail fast via ReportUnrecognizedArguments.
+int main(int argc, char** argv) {
+  std::vector<std::string> storage;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --json requires a file path\n");
+        return 2;
+      }
+      storage.push_back(std::string("--benchmark_out=") + argv[++i]);
+      storage.push_back("--benchmark_out_format=json");
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  for (std::string& s : storage) {
+    args.push_back(s.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) {
+    return 2;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

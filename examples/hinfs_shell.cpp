@@ -205,9 +205,8 @@ int main() {
   NvmmDevice nvmm(ncfg);
   HinfsOptions hopts;
   hopts.buffer_bytes = 32ull << 20;
-  if (const char* env = std::getenv("HINFS_BUFFER_SHARDS")) {
-    hopts.buffer_shards = std::atoi(env);  // 0 = auto, 1 = unsharded
-  }
+  // HINFS_BUFFER_SHARDS / HINFS_WRITEBACK_THREADS / HINFS_STEAL_FRAMES.
+  hopts = HinfsOptions::FromEnv(hopts);
   auto fs = HinfsFs::Format(&nvmm, hopts);
   if (!fs.ok()) {
     std::fprintf(stderr, "format: %s\n", fs.status().ToString().c_str());

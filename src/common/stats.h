@@ -68,6 +68,11 @@ inline constexpr char kStatNvmmReadBytes[] = "nvmm_read_bytes";
 inline constexpr char kStatDramBufferHits[] = "dram_buffer_hits";
 inline constexpr char kStatDramBufferMisses[] = "dram_buffer_misses";
 inline constexpr char kStatWritebackBlocks[] = "writeback_blocks";
+inline constexpr char kStatLockfreeReadHits[] = "lockfree_read_hits";
+inline constexpr char kStatLockfreeReadFallbacks[] = "lockfree_read_fallbacks";
+inline constexpr char kStatFramesStolen[] = "frames_stolen";
+inline constexpr char kStatWbWorkerWakeups[] = "wb_worker_wakeups";
+inline constexpr char kStatWbSpuriousWakeups[] = "wb_spurious_wakeups";
 inline constexpr char kStatEagerWrites[] = "eager_writes";
 inline constexpr char kStatLazyWrites[] = "lazy_writes";
 inline constexpr char kStatFsyncBytes[] = "fsync_bytes";

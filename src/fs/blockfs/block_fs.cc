@@ -805,14 +805,14 @@ Result<size_t> BlockFs::Read(uint64_t ino, uint64_t offset, void* dst, size_t le
 }
 
 Result<size_t> BlockFs::Write(uint64_t ino, uint64_t offset, const void* src, size_t len,
-                              bool sync) {
+                              const WriteOptions& options) {
   std::lock_guard<std::mutex> lock(mu_);
   HINFS_ASSIGN_OR_RETURN(DiskInode inode, LoadInodeLocked(ino));
   if (inode.type != static_cast<uint8_t>(FileType::kRegular)) {
     return Status(ErrorCode::kIsDir);
   }
   HINFS_RETURN_IF_ERROR(WriteDataLocked(inode, offset, src, len));
-  if (sync) {
+  if (options.eager_persistent()) {
     HINFS_RETURN_IF_ERROR(SyncFileDataLocked(inode));
     HINFS_RETURN_IF_ERROR(CommitJournalLocked());
   }

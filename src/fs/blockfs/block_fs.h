@@ -65,7 +65,7 @@ class BlockFs : public FileSystem {
 
   Result<size_t> Read(uint64_t ino, uint64_t offset, void* dst, size_t len) override;
   Result<size_t> Write(uint64_t ino, uint64_t offset, const void* src, size_t len,
-                       bool sync) override;
+                       const WriteOptions& options) override;
   Status Truncate(uint64_t ino, uint64_t new_size) override;
   Status Fsync(uint64_t ino) override;
   Status SyncFs() override;

@@ -729,8 +729,8 @@ Status PmfsFs::WriteToNvmm(uint64_t ino, PmfsInode& inode, uint64_t offset, cons
 }
 
 Result<size_t> PmfsFs::Write(uint64_t ino, uint64_t offset, const void* src, size_t len,
-                             bool sync) {
-  (void)sync;  // PMFS writes are always eager-persistent.
+                             const WriteOptions& options) {
+  (void)options;  // PMFS writes are always eager-persistent.
   std::unique_lock lock(StripeFor(ino));
   HINFS_ASSIGN_OR_RETURN(PmfsInode inode, LoadInode(ino));
   if (inode.type != static_cast<uint8_t>(FileType::kRegular)) {

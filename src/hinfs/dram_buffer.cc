@@ -7,6 +7,29 @@
 #include "src/common/clock.h"
 #include "src/hinfs/cacheline_bitmap.h"
 
+// The lock-free read path copies frame bytes with no lock held and discards
+// the copy when the entry's seqlock moved. TSan cannot see the seqlock's
+// fence-based ordering, so the speculative copy (reads only) is bracketed
+// with the sanitizer's ignore-reads annotations; the writer side stays fully
+// instrumented, and every reader-visible Entry field is a std::atomic.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HINFS_TSAN 1
+#endif
+#elif defined(__SANITIZE_THREAD__)
+#define HINFS_TSAN 1
+#endif
+
+#ifdef HINFS_TSAN
+extern "C" void AnnotateIgnoreReadsBegin(const char* file, int line);
+extern "C" void AnnotateIgnoreReadsEnd(const char* file, int line);
+#define HINFS_SPECULATIVE_READS_BEGIN() AnnotateIgnoreReadsBegin(__FILE__, __LINE__)
+#define HINFS_SPECULATIVE_READS_END() AnnotateIgnoreReadsEnd(__FILE__, __LINE__)
+#else
+#define HINFS_SPECULATIVE_READS_BEGIN() ((void)0)
+#define HINFS_SPECULATIVE_READS_END() ((void)0)
+#endif
+
 namespace hinfs {
 
 namespace {
@@ -42,46 +65,46 @@ DramBufferManager::DramBufferManager(NvmmDevice* nvmm, const HinfsOptions& optio
       pool_(new uint8_t[capacity_blocks_ * kBlockSize]) {
   const size_t nshards = ResolveShardCount(options, capacity_blocks_);
   shard_mask_ = static_cast<uint32_t>(nshards - 1);
+  // Worker count is fixed for the manager's lifetime so shard->owner pinning
+  // and the workers_ vector never change under concurrent kickers.
+  wb_worker_count_ =
+      std::min(nshards, static_cast<size_t>(std::max(1, options_.writeback_threads)));
+  workers_.reserve(wb_worker_count_);
+  for (size_t w = 0; w < wb_worker_count_; w++) {
+    workers_.push_back(std::make_unique<WorkerState>());
+  }
   shards_.reserve(nshards);
   const size_t base = capacity_blocks_ / nshards;
   const size_t rem = capacity_blocks_ % nshards;
   uint32_t next_frame = 0;
   for (size_t i = 0; i < nshards; i++) {
     auto shard = std::make_unique<Shard>();
-    shard->capacity = base + (i < rem ? 1 : 0);
+    const size_t cap = base + (i < rem ? 1 : 0);
+    shard->capacity.store(cap, std::memory_order_relaxed);
     // Watermarks scale by 1/N: each shard applies Low_f/High_f to its own
     // slice, so reclaim pressure per shard matches the unsharded buffer's.
-    shard->low = std::max<size_t>(1, static_cast<size_t>(shard->capacity * options.low_watermark));
-    shard->high = std::min(
-        shard->capacity,
-        std::max<size_t>(2, static_cast<size_t>(shard->capacity * options.high_watermark)));
-    shard->free_frames.reserve(shard->capacity);
+    ApplyShardCapacityLocked(*shard);
+    shard->free_frames.reserve(cap);
     // Descending, so PopFreeFrameLocked grants the slice's frames in ascending
     // order (same grant order as the unsharded pool at nshards=1).
-    for (size_t f = 0; f < shard->capacity; f++) {
-      shard->free_frames.push_back(
-          static_cast<uint32_t>(next_frame + shard->capacity - 1 - f));
+    for (size_t f = 0; f < cap; f++) {
+      shard->free_frames.push_back(static_cast<uint32_t>(next_frame + cap - 1 - f));
     }
-    next_frame += static_cast<uint32_t>(shard->capacity);
+    next_frame += static_cast<uint32_t>(cap);
     shard->free_count.store(shard->free_frames.size(), std::memory_order_relaxed);
+    shard->shard_index = static_cast<uint32_t>(i);
+    shard->owner_worker = static_cast<uint32_t>(i % wb_worker_count_);
+    shard->lut_storage.push_back(
+        std::make_unique<LookupArrays>(NextPow2(std::max<size_t>(16, cap * 2))));
+    shard->lut.store(shard->lut_storage.back().get(), std::memory_order_relaxed);
     shards_.push_back(std::move(shard));
   }
 }
 
 DramBufferManager::~DramBufferManager() {
   StopBackgroundWriteback();
-  // Entries never flushed or discarded (tests, callers skipping FlushAll) are
-  // dropped here; background threads are joined, so no locks are needed.
-  for (auto& shard : shards_) {
-    for (EntryList* list : {&shard->t1, &shard->t2}) {
-      Entry* e = list->head.lrw_next;
-      while (e != &list->head) {
-        Entry* next = e->lrw_next;
-        delete e;
-        e = next;
-      }
-    }
-  }
+  // Entries and lookup tables are owned by the per-shard arenas (type-stable
+  // storage); they are destroyed with the shards, after all threads joined.
 }
 
 void DramBufferManager::StartBackgroundWriteback() {
@@ -90,7 +113,6 @@ void DramBufferManager::StartBackgroundWriteback() {
     return;
   }
   stop_.store(false, std::memory_order_relaxed);
-  wb_worker_count_ = static_cast<size_t>(std::max(1, options_.writeback_threads));
   wb_running_.store(true, std::memory_order_relaxed);
   for (size_t i = 0; i < wb_worker_count_; i++) {
     threads_.emplace_back([this, i] { WritebackThread(i); });
@@ -99,11 +121,14 @@ void DramBufferManager::StartBackgroundWriteback() {
 
 void DramBufferManager::StopBackgroundWriteback() {
   std::lock_guard<std::mutex> lock(threads_mu_);
-  {
-    std::lock_guard<std::mutex> wb_lock(wb_mu_);
-    stop_.store(true, std::memory_order_relaxed);
+  stop_.store(true, std::memory_order_relaxed);
+  for (auto& w : workers_) {
+    {
+      std::lock_guard<std::mutex> wl(w->mu);
+      w->kicked = true;
+    }
+    w->cv.notify_all();
   }
-  wb_cv_.notify_all();
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> shard_lock(shard->mu);
     shard->free_cv.notify_all();
@@ -128,11 +153,15 @@ uint32_t DramBufferManager::ShardOf(uint64_t ino, uint64_t file_block) const {
 }
 
 size_t DramBufferManager::shard_capacity(uint32_t shard) const {
-  return shards_[shard]->capacity;
+  return shards_[shard]->capacity.load(std::memory_order_relaxed);
+}
+
+size_t DramBufferManager::shard_free(uint32_t shard) const {
+  return shards_[shard]->free_count.load(std::memory_order_relaxed);
 }
 
 size_t DramBufferManager::free_blocks() const {
-  size_t total = 0;
+  size_t total = reserve_count_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     total += shard->free_count.load(std::memory_order_relaxed);
   }
@@ -185,15 +214,56 @@ uint64_t DramBufferManager::lock_contended() const {
   return total;
 }
 
+uint64_t DramBufferManager::lockfree_read_hits() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) total += s->stats.lockfree_hits.load(std::memory_order_relaxed);
+  return total;
+}
+
+uint64_t DramBufferManager::lockfree_read_fallbacks() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->stats.lockfree_fallbacks.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint32_t DramBufferManager::shard_owner_worker(uint32_t shard) const {
+  return shards_[shard]->owner_worker;
+}
+
+uint64_t DramBufferManager::worker_wakeups(size_t worker) const {
+  return workers_[worker]->wakeups.load(std::memory_order_relaxed);
+}
+
+uint64_t DramBufferManager::worker_timeout_wakeups(size_t worker) const {
+  return workers_[worker]->timeout_wakeups.load(std::memory_order_relaxed);
+}
+
+uint64_t DramBufferManager::worker_spurious_wakeups() const {
+  uint64_t total = 0;
+  for (const auto& w : workers_) {
+    total += w->spurious_wakeups.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t DramBufferManager::worker_wakeups_total() const {
+  uint64_t total = 0;
+  for (const auto& w : workers_) total += w->wakeups.load(std::memory_order_relaxed);
+  return total;
+}
+
 // --- frame slice ------------------------------------------------------------------
 
 uint32_t DramBufferManager::PopFreeFrameLocked(Shard& s) {
   const uint32_t frame = s.free_frames.back();
   s.free_frames.pop_back();
   s.free_count.store(s.free_frames.size(), std::memory_order_relaxed);
-  if (s.free_frames.size() < s.low) {
-    // Crossing Low_f: wake the engine now instead of waiting out the period.
-    KickWriteback();
+  if (s.free_frames.size() < s.low.load(std::memory_order_relaxed)) {
+    // Crossing Low_f: wake this shard's pinned worker now instead of waiting
+    // out the period.
+    KickWorkerForShard(s);
   }
   return frame;
 }
@@ -201,6 +271,167 @@ uint32_t DramBufferManager::PopFreeFrameLocked(Shard& s) {
 void DramBufferManager::PushFreeFrameLocked(Shard& s, uint32_t frame) {
   s.free_frames.push_back(frame);
   s.free_count.store(s.free_frames.size(), std::memory_order_relaxed);
+}
+
+void DramBufferManager::ApplyShardCapacityLocked(Shard& s) {
+  const size_t cap = s.capacity.load(std::memory_order_relaxed);
+  s.low.store(std::max<size_t>(1, static_cast<size_t>(cap * options_.low_watermark)),
+              std::memory_order_relaxed);
+  s.high.store(
+      std::min(cap, std::max<size_t>(2, static_cast<size_t>(cap * options_.high_watermark))),
+      std::memory_order_relaxed);
+}
+
+// --- entry arena ------------------------------------------------------------------
+
+DramBufferManager::Entry* DramBufferManager::AllocEntryLocked(Shard& s) {
+  if (!s.entry_free.empty()) {
+    Entry* e = s.entry_free.back();
+    s.entry_free.pop_back();
+    return e;
+  }
+  s.entry_arena.push_back(std::make_unique<Entry>());
+  return s.entry_arena.back().get();
+}
+
+void DramBufferManager::ReleaseEntryLocked(Shard& s, Entry* e) {
+  s.entry_free.push_back(e);
+}
+
+// --- lock-free lookup table -------------------------------------------------------
+
+uint64_t DramBufferManager::LutKey(uint64_t ino, uint64_t file_block) {
+  uint64_t h = ino * 0x9e3779b97f4a7c15ull + file_block;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  // The top bit is forced so a key can never equal kLutEmpty/kLutTombstone.
+  // Different (ino, block) pairs may still collide on one key; lookups verify
+  // the entry's own ino/file_block, and inserts simply occupy another slot.
+  return h | (1ull << 63);
+}
+
+void DramBufferManager::LutRebuildLocked(Shard& s, size_t min_slots) {
+  auto fresh = std::make_unique<LookupArrays>(NextPow2(std::max<size_t>(16, min_slots)));
+  {
+    IndexMutationGuard guard(&s);
+    for (EntryList* list : {&s.t1, &s.t2}) {
+      for (Entry* e = list->head.lrw_next; e != &list->head; e = e->lrw_next) {
+        const uint64_t key = LutKey(e->ino.load(std::memory_order_relaxed),
+                                    e->file_block.load(std::memory_order_relaxed));
+        for (size_t i = key & fresh->mask;; i = (i + 1) & fresh->mask) {
+          if (fresh->keys[i].load(std::memory_order_relaxed) == kLutEmpty) {
+            fresh->entries[i].store(e, std::memory_order_relaxed);
+            fresh->keys[i].store(key, std::memory_order_relaxed);
+            break;
+          }
+        }
+      }
+    }
+    s.lut.store(fresh.get(), std::memory_order_release);
+  }
+  s.lut_tombstones = 0;
+  // The replaced arrays stay in lut_storage: readers may still hold pointers.
+  s.lut_storage.push_back(std::move(fresh));
+}
+
+void DramBufferManager::LutInsertLocked(Shard& s, uint64_t key, Entry* e) {
+  LookupArrays* lut = s.lut.load(std::memory_order_relaxed);
+  const size_t slots = lut->mask + 1;
+  if ((s.lut_live + s.lut_tombstones + 1) * 4 > slots * 3) {
+    // Keep the table under 75 % occupancy so probes always terminate. Grow
+    // when live entries drive the pressure; same-size rebuild just sweeps
+    // tombstones.
+    LutRebuildLocked(s, (s.lut_live + 1) * 4 > slots * 3 ? slots * 2 : slots);
+    lut = s.lut.load(std::memory_order_relaxed);
+  }
+  IndexMutationGuard guard(&s);
+  for (size_t i = key & lut->mask;; i = (i + 1) & lut->mask) {
+    const uint64_t k = lut->keys[i].load(std::memory_order_relaxed);
+    if (k == kLutEmpty || k == kLutTombstone) {
+      if (k == kLutTombstone) {
+        s.lut_tombstones--;
+      }
+      lut->entries[i].store(e, std::memory_order_relaxed);
+      lut->keys[i].store(key, std::memory_order_relaxed);
+      s.lut_live++;
+      return;
+    }
+  }
+}
+
+void DramBufferManager::LutEraseLocked(Shard& s, uint64_t key, Entry* e) {
+  LookupArrays* lut = s.lut.load(std::memory_order_relaxed);
+  IndexMutationGuard guard(&s);
+  for (size_t i = key & lut->mask, probes = 0; probes <= lut->mask;
+       i = (i + 1) & lut->mask, probes++) {
+    const uint64_t k = lut->keys[i].load(std::memory_order_relaxed);
+    if (k == kLutEmpty) {
+      return;
+    }
+    if (k == key && lut->entries[i].load(std::memory_order_relaxed) == e) {
+      lut->keys[i].store(kLutTombstone, std::memory_order_relaxed);
+      lut->entries[i].store(nullptr, std::memory_order_relaxed);
+      s.lut_live--;
+      s.lut_tombstones++;
+      return;
+    }
+  }
+}
+
+int DramBufferManager::TryLockFreeRead(Shard& s, uint64_t ino, uint64_t file_block,
+                                       size_t offset, void* dst, size_t len) {
+  if (len == 0) {
+    return -1;  // degenerate; let the locked path decide hit/miss
+  }
+  const uint64_t want_key = LutKey(ino, file_block);
+  const uint64_t is0 = s.index_seq.load(std::memory_order_acquire);
+  if (is0 & 1) {
+    return -1;  // table mid-mutation
+  }
+  LookupArrays* lut = s.lut.load(std::memory_order_acquire);
+  for (size_t i = want_key & lut->mask, probes = 0; probes <= lut->mask;
+       i = (i + 1) & lut->mask, probes++) {
+    const uint64_t k = lut->keys[i].load(std::memory_order_acquire);
+    if (k == kLutEmpty) {
+      // A probe ending at an empty slot is a conclusive miss only if the
+      // table did not move underneath it.
+      std::atomic_thread_fence(std::memory_order_acquire);
+      return s.index_seq.load(std::memory_order_relaxed) == is0 ? 0 : -1;
+    }
+    if (k != want_key) {
+      continue;  // tombstone or another key
+    }
+    Entry* e = lut->entries[i].load(std::memory_order_acquire);
+    if (e == nullptr) {
+      continue;  // slot mid-update; the final index_seq check protects a miss
+    }
+    const uint64_t es0 = e->seq.load(std::memory_order_acquire);
+    if (es0 & 1) {
+      return -1;  // entry mid-mutation; the mutex path will wait it out
+    }
+    if (e->ino.load(std::memory_order_relaxed) != ino ||
+        e->file_block.load(std::memory_order_relaxed) != file_block) {
+      continue;  // key collision, or the entry was recycled for another block
+    }
+    const uint64_t need = LineMaskFor(offset, len);
+    if ((need & ~e->valid.load(std::memory_order_relaxed)) != 0) {
+      return -1;  // partial block: the NVMM merge needs the shard mutex
+    }
+    const uint32_t frame = e->dram_index.load(std::memory_order_relaxed);
+    HINFS_SPECULATIVE_READS_BEGIN();
+    std::memcpy(dst, FrameData(frame) + offset, len);
+    HINFS_SPECULATIVE_READS_END();
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (e->seq.load(std::memory_order_relaxed) != es0) {
+      return -1;  // a writer overlapped the copy; discard it
+    }
+    s.stats.lockfree_hits.fetch_add(1, std::memory_order_relaxed);
+    return 1;
+  }
+  return -1;
 }
 
 // --- residency lists --------------------------------------------------------------
@@ -234,6 +465,7 @@ void DramBufferManager::GhostTrimLocked(std::list<uint64_t>& fifo,
 void DramBufferManager::OnInsertLocked(Shard& s, Entry* e) {
   e->freq = 1;
   const uint64_t key = GhostKey(*e);
+  const size_t cap = s.capacity.load(std::memory_order_relaxed);
   switch (options_.replacement) {
     case HinfsOptions::Replacement::kArc:
       // ARC: a ghost hit means this block was recently evicted; adapt p and
@@ -241,7 +473,7 @@ void DramBufferManager::OnInsertLocked(Shard& s, Entry* e) {
       if (s.b1.erase(key) > 0) {
         const size_t delta =
             std::max<size_t>(1, s.b2.size() / std::max<size_t>(s.b1.size(), 1));
-        s.arc_p = std::min(s.capacity, s.arc_p + delta);
+        s.arc_p = std::min(cap, s.arc_p + delta);
         e->arc_list = 2;
         ListPushMru(s.t2, e);
         return;
@@ -304,6 +536,7 @@ void DramBufferManager::OnWriteHitLocked(Shard& s, Entry* e) {
 
 void DramBufferManager::GhostRecordLocked(Shard& s, Entry* e) {
   const uint64_t key = GhostKey(*e);
+  const size_t cap = s.capacity.load(std::memory_order_relaxed);
   if (options_.replacement == HinfsOptions::Replacement::kArc) {
     if (e->arc_list == 1) {
       if (s.b1.insert(key).second) {
@@ -314,8 +547,8 @@ void DramBufferManager::GhostRecordLocked(Shard& s, Entry* e) {
         s.b2_fifo.push_back(key);
       }
     }
-    GhostTrimLocked(s.b1_fifo, s.b1, s.capacity);
-    GhostTrimLocked(s.b2_fifo, s.b2, s.capacity);
+    GhostTrimLocked(s.b1_fifo, s.b1, cap);
+    GhostTrimLocked(s.b2_fifo, s.b2, cap);
     return;
   }
   if (options_.replacement == HinfsOptions::Replacement::kTwoQ && e->arc_list == 1) {
@@ -323,7 +556,7 @@ void DramBufferManager::GhostRecordLocked(Shard& s, Entry* e) {
     if (s.b1.insert(key).second) {
       s.b1_fifo.push_back(key);
     }
-    GhostTrimLocked(s.b1_fifo, s.b1, std::max<size_t>(1, s.capacity / 2));
+    GhostTrimLocked(s.b1_fifo, s.b1, std::max<size_t>(1, cap / 2));
   }
 }
 
@@ -375,7 +608,8 @@ std::vector<DramBufferManager::Entry*> DramBufferManager::PickVictimsLocked(Shar
       // 2Q: evict from the probationary A1in while it exceeds its share
       // (Kin = 25 % of the shard), recording victims in the A1out ghost
       // queue; otherwise evict the LRU of Am.
-      const size_t kin = std::max<size_t>(1, s.capacity / 4);
+      const size_t kin =
+          std::max<size_t>(1, s.capacity.load(std::memory_order_relaxed) / 4);
       while (victims.size() < want) {
         const size_t before = victims.size();
         if (s.t1.size > kin || s.t2.size == 0) {
@@ -439,7 +673,7 @@ Result<DramBufferManager::Entry*> DramBufferManager::CreateLocked(
     uint64_t nvmm_addr) {
   while (s.free_frames.empty()) {
     s.stats.stalls.fetch_add(1, std::memory_order_relaxed);
-    KickWriteback();
+    KickWorkerForShard(s);
     if (!wb_running_.load(std::memory_order_relaxed)) {
       // No background engine (unit tests, or stopped during unmount): reclaim
       // one victim inline from this shard.
@@ -450,7 +684,23 @@ Result<DramBufferManager::Entry*> DramBufferManager::CreateLocked(
       lock.unlock();
       HINFS_RETURN_IF_ERROR(FlushEntries(s, std::move(victims)));
       lock.lock();
+      if (FindLocked(s, ino, file_block) != nullptr) {
+        return nullptr;  // a racing writer buffered this block: caller retries
+      }
       continue;
+    }
+    if (CanSteal()) {
+      // Borrow frames from the reserve / idle shards before blocking: a hot
+      // shard must not stall its writers while neighbours sit on free frames.
+      lock.unlock();
+      const size_t got = StealIntoShard(s);
+      lock.lock();
+      if (FindLocked(s, ino, file_block) != nullptr) {
+        return nullptr;
+      }
+      if (got > 0 || !s.free_frames.empty()) {
+        continue;
+      }
     }
     s.free_cv.wait(lock, [&s, this] {
       return !s.free_frames.empty() || stop_.load(std::memory_order_relaxed);
@@ -458,41 +708,72 @@ Result<DramBufferManager::Entry*> DramBufferManager::CreateLocked(
     if (stop_.load(std::memory_order_relaxed) && s.free_frames.empty()) {
       return Status(ErrorCode::kBusy, "buffer shutting down");
     }
+    // Every path above may have released the shard mutex; if the key appeared
+    // meanwhile, allocating a second entry would orphan it (the index slot is
+    // unique) and leak its frame forever.
+    if (FindLocked(s, ino, file_block) != nullptr) {
+      return nullptr;
+    }
   }
 
-  auto* e = new Entry();
-  e->ino = ino;
-  e->file_block = file_block;
-  e->nvmm_addr = nvmm_addr;
-  e->dram_index = PopFreeFrameLocked(s);
-  s.resident++;
-  if (nvmm_addr == kNoNvmmAddr) {
-    // A block with no NVMM backing is a hole: its correct content is zeros, so
-    // the whole frame is valid from the start.
-    std::memset(DataFor(*e), 0, kBlockSize);
-    e->valid = ~0ull;
+  Entry* e = AllocEntryLocked(s);
+  {
+    // Seqlock writer section: a recycled entry may still be referenced by a
+    // concurrent lock-free reader, which must see this re-initialization as
+    // a mutation, never as a stable state.
+    EntryMutationGuard guard(e);
+    e->ino.store(ino, std::memory_order_relaxed);
+    e->file_block.store(file_block, std::memory_order_relaxed);
+    e->nvmm_addr.store(nvmm_addr, std::memory_order_relaxed);
+    e->valid.store(0, std::memory_order_relaxed);
+    e->dirty = 0;
+    e->dram_index.store(PopFreeFrameLocked(s), std::memory_order_relaxed);
+    e->writing = false;
+    e->last_written_ns = 0;
+    e->freq = 0;
+    e->arc_list = 1;
+    // A block with no NVMM backing is a hole whose correct content is zeros,
+    // but zero-filling eagerly here would double the memory traffic of every
+    // append. Lines are zeroed lazily instead: the CLFW fetch path zeroes
+    // partially-written lines, the locked read path zeroes non-valid lines it
+    // serves, and FlushEntryData zeroes whatever is still untouched before
+    // persisting a freshly-allocated block.
   }
+  s.resident++;
   auto it = s.index.find(ino);
   if (it == s.index.end()) {
     it = s.index.emplace(ino, std::make_unique<BTreeMap<Entry*>>()).first;
   }
   it->second->Insert(file_block, e);
+  LutInsertLocked(s, LutKey(ino, file_block), e);
   OnInsertLocked(s, e);
   return e;
 }
 
 void DramBufferManager::DetachLocked(Shard& s, Entry* e) {
-  auto it = s.index.find(e->ino);
+  const uint64_t ino = e->ino.load(std::memory_order_relaxed);
+  const uint64_t file_block = e->file_block.load(std::memory_order_relaxed);
+  auto it = s.index.find(ino);
   if (it != s.index.end()) {
-    it->second->Erase(e->file_block);
+    it->second->Erase(file_block);
     if (it->second->empty()) {
       s.index.erase(it);
     }
   }
+  LutEraseLocked(s, LutKey(ino, file_block), e);
   ListUnlink(e->arc_list == 2 ? s.t2 : s.t1, e);
-  PushFreeFrameLocked(s, e->dram_index);
+  const uint32_t frame = e->dram_index.load(std::memory_order_relaxed);
+  {
+    // Invalidate for concurrent lock-free readers before the frame or the
+    // entry can be reused: the sentinel key never matches a real lookup.
+    EntryMutationGuard guard(e);
+    e->ino.store(UINT64_MAX, std::memory_order_relaxed);
+    e->file_block.store(UINT64_MAX, std::memory_order_relaxed);
+    e->valid.store(0, std::memory_order_relaxed);
+  }
+  PushFreeFrameLocked(s, frame);
   s.resident--;
-  delete e;
+  ReleaseEntryLocked(s, e);
 }
 
 // --- data paths -----------------------------------------------------------------
@@ -506,15 +787,24 @@ Result<uint32_t> DramBufferManager::Write(uint64_t ino, uint64_t file_block, siz
   std::unique_lock<std::mutex> lock = LockShard(s);
 
   Entry* e;
+  bool counted = false;  // exactly one hit or miss per Write, retries included
   while (true) {
     e = FindLocked(s, ino, file_block);
     if (e == nullptr) {
-      s.stats.misses.fetch_add(1, std::memory_order_relaxed);
+      if (!counted) {
+        s.stats.misses.fetch_add(1, std::memory_order_relaxed);
+        counted = true;
+      }
       HINFS_ASSIGN_OR_RETURN(e, CreateLocked(s, lock, ino, file_block, nvmm_addr));
+      if (e == nullptr) {
+        continue;  // lost a create race while stalled: re-evaluate the key
+      }
       break;
     }
     if (!e->writing) {
-      s.stats.hits.fetch_add(1, std::memory_order_relaxed);
+      if (!counted) {
+        s.stats.hits.fetch_add(1, std::memory_order_relaxed);
+      }
       OnWriteHitLocked(s, e);
       break;
     }
@@ -522,46 +812,54 @@ Result<uint32_t> DramBufferManager::Write(uint64_t ino, uint64_t file_block, siz
     // the write in a fresh frame.
     s.write_done_cv.wait(lock);
   }
-  if (e->nvmm_addr == kNoNvmmAddr && nvmm_addr != kNoNvmmAddr) {
-    e->nvmm_addr = nvmm_addr;
-  }
 
   const uint64_t touch = LineMaskFor(offset, len);
-  if (options_.clfw) {
-    // CLFW: fetch only the partially-overwritten lines that are not yet valid.
-    const uint64_t partial = touch & ~FullLineMaskFor(offset, len);
-    uint64_t need_fetch = partial & ~e->valid;
-    LineRun run;
-    size_t from = 0;
-    while (NextRun(need_fetch, from, &run)) {
-      uint8_t* dst = DataFor(*e) + run.first_line * kCachelineSize;
-      if (e->nvmm_addr != kNoNvmmAddr) {
-        HINFS_RETURN_IF_ERROR(nvmm_->Load(e->nvmm_addr + run.first_line * kCachelineSize, dst,
-                                          run.count * kCachelineSize));
-      } else {
-        std::memset(dst, 0, run.count * kCachelineSize);
-      }
-      s.stats.fetched_lines.fetch_add(run.count, std::memory_order_relaxed);
-      from = run.first_line + run.count;
+  {
+    // Seqlock writer section covering every reader-visible mutation (bitmap
+    // updates, fetches into the frame, the user copy itself).
+    EntryMutationGuard guard(e);
+    if (e->nvmm_addr.load(std::memory_order_relaxed) == kNoNvmmAddr &&
+        nvmm_addr != kNoNvmmAddr) {
+      e->nvmm_addr.store(nvmm_addr, std::memory_order_relaxed);
     }
-    e->valid |= touch;
-    e->dirty |= touch;
-  } else {
-    // HiNFS-NCLFW: whole-block fetch-before-write and whole-block writeback.
-    if (e->valid != ~0ull) {
-      if (e->nvmm_addr != kNoNvmmAddr) {
-        HINFS_RETURN_IF_ERROR(nvmm_->Load(e->nvmm_addr, DataFor(*e), kBlockSize));
-      } else {
-        std::memset(DataFor(*e), 0, kBlockSize);
+    const uint64_t backing = e->nvmm_addr.load(std::memory_order_relaxed);
+    uint64_t valid = e->valid.load(std::memory_order_relaxed);
+    if (options_.clfw) {
+      // CLFW: fetch only the partially-overwritten lines not yet valid.
+      const uint64_t partial = touch & ~FullLineMaskFor(offset, len);
+      uint64_t need_fetch = partial & ~valid;
+      LineRun run;
+      size_t from = 0;
+      while (NextRun(need_fetch, from, &run)) {
+        uint8_t* dst = DataFor(*e) + run.first_line * kCachelineSize;
+        if (backing != kNoNvmmAddr) {
+          HINFS_RETURN_IF_ERROR(nvmm_->Load(backing + run.first_line * kCachelineSize, dst,
+                                            run.count * kCachelineSize));
+        } else {
+          std::memset(dst, 0, run.count * kCachelineSize);
+        }
+        s.stats.fetched_lines.fetch_add(run.count, std::memory_order_relaxed);
+        from = run.first_line + run.count;
       }
-      s.stats.fetched_lines.fetch_add(kLinesPerBlock, std::memory_order_relaxed);
-      e->valid = ~0ull;
+      e->valid.store(valid | touch, std::memory_order_relaxed);
+      e->dirty |= touch;
+    } else {
+      // HiNFS-NCLFW: whole-block fetch-before-write and whole-block writeback.
+      if (valid != ~0ull) {
+        if (backing != kNoNvmmAddr) {
+          HINFS_RETURN_IF_ERROR(nvmm_->Load(backing, DataFor(*e), kBlockSize));
+        } else {
+          std::memset(DataFor(*e), 0, kBlockSize);
+        }
+        s.stats.fetched_lines.fetch_add(kLinesPerBlock, std::memory_order_relaxed);
+        e->valid.store(~0ull, std::memory_order_relaxed);
+      }
+      e->dirty = ~0ull;
     }
-    e->dirty = ~0ull;
-  }
 
-  std::memcpy(DataFor(*e) + offset, src, len);
-  e->last_written_ns = MonotonicNowNs();
+    std::memcpy(DataFor(*e) + offset, src, len);
+    e->last_written_ns = MonotonicNowNs();
+  }
   return static_cast<uint32_t>(CountLines(touch));
 }
 
@@ -571,6 +869,17 @@ Result<bool> DramBufferManager::Read(uint64_t ino, uint64_t file_block, size_t o
     return Status(ErrorCode::kInvalidArgument, "buffered read crosses block");
   }
   Shard& s = ShardForKey(ino, file_block);
+  // Fast path: serve a fully-DRAM-valid block (or a conclusive miss) without
+  // the shard mutex, validated by the entry/index seqlocks.
+  const int fast = TryLockFreeRead(s, ino, file_block, offset, dst, len);
+  if (fast == 1) {
+    return true;
+  }
+  if (fast == 0) {
+    return false;
+  }
+  s.stats.lockfree_fallbacks.fetch_add(1, std::memory_order_relaxed);
+
   std::unique_lock<std::mutex> lock = LockShard(s);
   Entry* e = FindLocked(s, ino, file_block);
   if (e == nullptr) {
@@ -579,24 +888,26 @@ Result<bool> DramBufferManager::Read(uint64_t ino, uint64_t file_block, size_t o
 
   // Merge: valid lines from DRAM, the rest from NVMM (or zeros for holes), one
   // memcpy per run of identically-sourced lines.
+  const uint64_t valid = e->valid.load(std::memory_order_relaxed);
+  const uint64_t backing = e->nvmm_addr.load(std::memory_order_relaxed);
   auto* out = static_cast<uint8_t*>(dst);
   size_t cur = offset;
   const size_t end = offset + len;
   while (cur < end) {
     const size_t line = cur / kCachelineSize;
-    const bool in_dram = (e->valid >> line) & 1;
+    const bool in_dram = (valid >> line) & 1;
     size_t run_end_line = line;
     while (run_end_line + 1 < kLinesPerBlock &&
            run_end_line + 1 <= (end - 1) / kCachelineSize &&
-           (((e->valid >> (run_end_line + 1)) & 1) != 0) == in_dram) {
+           (((valid >> (run_end_line + 1)) & 1) != 0) == in_dram) {
       run_end_line++;
     }
     const size_t run_end = std::min(end, (run_end_line + 1) * kCachelineSize);
     const size_t chunk = run_end - cur;
     if (in_dram) {
       std::memcpy(out, DataFor(*e) + cur, chunk);
-    } else if (e->nvmm_addr != kNoNvmmAddr) {
-      HINFS_RETURN_IF_ERROR(nvmm_->Load(e->nvmm_addr + cur, out, chunk));
+    } else if (backing != kNoNvmmAddr) {
+      HINFS_RETURN_IF_ERROR(nvmm_->Load(backing + cur, out, chunk));
     } else if (nvmm_addr != kNoNvmmAddr) {
       HINFS_RETURN_IF_ERROR(nvmm_->Load(nvmm_addr + cur, out, chunk));
     } else {
@@ -614,15 +925,93 @@ bool DramBufferManager::Contains(uint64_t ino, uint64_t file_block) {
   return FindLocked(s, ino, file_block) != nullptr;
 }
 
+// --- cross-shard frame stealing ---------------------------------------------------
+
+size_t DramBufferManager::StealIntoShard(Shard& needy) {
+  // Called with NO locks held. Donor shard mutexes are taken one at a time;
+  // reserve_mu_ is a leaf and never nests with a shard mutex.
+  const size_t want =
+      std::max<size_t>(1, needy.low.load(std::memory_order_relaxed));
+  const size_t grab_target = want * 2;  // surplus is parked in the reserve
+  std::vector<uint32_t> got;
+  got.reserve(grab_target);
+
+  if (reserve_count_.load(std::memory_order_relaxed) > 0) {
+    std::lock_guard<std::mutex> rl(reserve_mu_);
+    while (!reserve_frames_.empty() && got.size() < want) {
+      got.push_back(reserve_frames_.back());
+      reserve_frames_.pop_back();
+    }
+    reserve_count_.store(reserve_frames_.size(), std::memory_order_relaxed);
+  }
+
+  if (got.size() < want) {
+    for (auto& sp : shards_) {
+      if (got.size() >= grab_target) {
+        break;
+      }
+      Shard& d = *sp;
+      if (&d == &needy) {
+        continue;
+      }
+      // Lock-free screen first; donors must keep Low_f + 1 free frames, so a
+      // shard under its own pressure is never raided (no steal ping-pong).
+      if (d.free_count.load(std::memory_order_relaxed) <=
+          d.low.load(std::memory_order_relaxed) + 1) {
+        continue;
+      }
+      std::lock_guard<std::mutex> dl(d.mu);
+      const size_t floor = d.low.load(std::memory_order_relaxed) + 1;
+      if (d.free_frames.size() <= floor) {
+        continue;
+      }
+      size_t take = std::min(d.free_frames.size() - floor, grab_target - got.size());
+      for (; take > 0; take--) {
+        got.push_back(d.free_frames.back());
+        d.free_frames.pop_back();
+        d.capacity.fetch_sub(1, std::memory_order_relaxed);
+      }
+      d.free_count.store(d.free_frames.size(), std::memory_order_relaxed);
+      ApplyShardCapacityLocked(d);
+    }
+  }
+  if (got.empty()) {
+    return 0;
+  }
+
+  const size_t deposit = std::min(got.size(), want);
+  {
+    std::lock_guard<std::mutex> nl(needy.mu);
+    needy.capacity.fetch_add(deposit, std::memory_order_relaxed);
+    ApplyShardCapacityLocked(needy);
+    for (size_t i = 0; i < deposit; i++) {
+      PushFreeFrameLocked(needy, got[i]);
+    }
+  }
+  needy.free_cv.notify_all();
+  if (got.size() > deposit) {
+    std::lock_guard<std::mutex> rl(reserve_mu_);
+    for (size_t i = deposit; i < got.size(); i++) {
+      reserve_frames_.push_back(got[i]);
+    }
+    reserve_count_.store(reserve_frames_.size(), std::memory_order_relaxed);
+  }
+  frames_stolen_.fetch_add(deposit, std::memory_order_relaxed);
+  return deposit;
+}
+
 // --- flushing -------------------------------------------------------------------
 
 Result<uint32_t> DramBufferManager::FlushEntryData(Shard& s, Entry* e) {
   uint64_t flush_mask = e->dirty;
-  if (e->nvmm_addr == kNoNvmmAddr) {
+  uint64_t addr = e->nvmm_addr.load(std::memory_order_relaxed);
+  if (addr == kNoNvmmAddr) {
     if (e->dirty == 0) {
       return 0u;  // clean hole; nothing to persist
     }
-    Result<uint64_t> ensured = ensure_block_(e->ino, e->file_block);
+    Result<uint64_t> ensured =
+        ensure_block_(e->ino.load(std::memory_order_relaxed),
+                      e->file_block.load(std::memory_order_relaxed));
     if (!ensured.ok()) {
       if (ensured.status().code() == ErrorCode::kNotFound) {
         // The file was unlinked while this block waited for writeback: its
@@ -631,13 +1020,25 @@ Result<uint32_t> DramBufferManager::FlushEntryData(Shard& s, Entry* e) {
       }
       return ensured.status();
     }
-    const uint64_t addr = *ensured;
+    addr = *ensured;
     {
       std::unique_lock<std::mutex> lock = LockShard(s);
-      e->nvmm_addr = addr;
+      EntryMutationGuard guard(e);
+      e->nvmm_addr.store(addr, std::memory_order_relaxed);
+      // A freshly allocated NVMM block contains garbage and this hole's
+      // correct content is zeros: zero the never-written lines now (deferred
+      // from CreateLocked, off the foreground write path) and persist the
+      // full frame below.
+      const uint64_t valid = e->valid.load(std::memory_order_relaxed);
+      LineRun run;
+      size_t from = 0;
+      while (NextRun(~valid, from, &run)) {
+        std::memset(DataFor(*e) + run.first_line * kCachelineSize, 0,
+                    run.count * kCachelineSize);
+        from = run.first_line + run.count;
+      }
+      e->valid.store(~0ull, std::memory_order_relaxed);
     }
-    // A freshly allocated NVMM block contains garbage: persist the full frame
-    // (the non-dirty lines are the zeros this hole is defined to contain).
     flush_mask = ~0ull;
   }
   if (flush_mask == 0) {
@@ -650,8 +1051,8 @@ Result<uint32_t> DramBufferManager::FlushEntryData(Shard& s, Entry* e) {
   while (NextRun(flush_mask, from, &run)) {
     const size_t off = run.first_line * kCachelineSize;
     const size_t bytes = run.count * kCachelineSize;
-    HINFS_RETURN_IF_ERROR(nvmm_->Store(e->nvmm_addr + off, DataFor(*e) + off, bytes));
-    HINFS_RETURN_IF_ERROR(nvmm_->Flush(e->nvmm_addr + off, bytes));
+    HINFS_RETURN_IF_ERROR(nvmm_->Store(addr + off, DataFor(*e) + off, bytes));
+    HINFS_RETURN_IF_ERROR(nvmm_->Flush(addr + off, bytes));
     lines += static_cast<uint32_t>(run.count);
     from = run.first_line + run.count;
   }
@@ -801,19 +1202,29 @@ Status DramBufferManager::DiscardFile(uint64_t ino, uint64_t from_block) {
 
 // --- background engine -------------------------------------------------------------
 
-void DramBufferManager::KickWriteback() {
-  // Empty-critical-section handshake: a worker between its predicate check and
-  // its wait holds wb_mu_, so locking it here orders this notify after the
-  // worker has actually blocked. wb_mu_ is a leaf lock (callers may hold a
-  // shard mutex; workers never take a shard mutex while holding wb_mu_).
-  { std::lock_guard<std::mutex> lock(wb_mu_); }
-  wb_cv_.notify_all();
+void DramBufferManager::KickWorkerForShard(Shard& s) {
+  // Record why the owner is being woken first, then perform the empty-
+  // critical-section handshake on the owner's mutex: a worker between its
+  // predicate check and its wait holds that mutex, so it cannot miss the
+  // notification. Worker mutexes are leaf locks (callers may hold s.mu).
+  s.wb_pending.store(true, std::memory_order_relaxed);
+  if (!wb_running_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  WorkerState& ws = *workers_[s.owner_worker];
+  {
+    std::lock_guard<std::mutex> lock(ws.mu);
+    ws.kicked = true;
+  }
+  ws.cv.notify_one();
 }
 
-bool DramBufferManager::AnyAssignedShardLow(size_t worker) const {
+bool DramBufferManager::AnyAssignedShardNeedsWork(size_t worker) const {
   for (size_t i = worker; i < shards_.size(); i += wb_worker_count_) {
     const Shard& s = *shards_[i];
-    if (s.free_count.load(std::memory_order_relaxed) < s.low) {
+    if (s.wb_pending.load(std::memory_order_relaxed) ||
+        s.free_count.load(std::memory_order_relaxed) <
+            s.low.load(std::memory_order_relaxed)) {
       return true;
     }
   }
@@ -825,8 +1236,9 @@ void DramBufferManager::ProcessShard(Shard& s) {
   {
     std::unique_lock<std::mutex> lock = LockShard(s);
     // Phase 1: reclaim in policy order until this shard's free > High_f.
-    if (s.free_frames.size() < s.high) {
-      victims = PickVictimsLocked(s, s.high - s.free_frames.size());
+    const size_t high = s.high.load(std::memory_order_relaxed);
+    if (s.free_frames.size() < high) {
+      victims = PickVictimsLocked(s, high - s.free_frames.size());
     }
 
     // Phase 2: write back blocks that have been dirty for longer than the
@@ -849,23 +1261,35 @@ void DramBufferManager::ProcessShard(Shard& s) {
 }
 
 void DramBufferManager::WritebackThread(size_t worker) {
-  // Worker w owns shards {w, w+T, w+2T, ...}: watermark checks and victim
-  // picking are per shard, and the workers cover disjoint slices.
-  std::unique_lock<std::mutex> lock(wb_mu_);
+  // Worker w is pinned to shards {w, w+T, w+2T, ...} and sleeps on its own
+  // condition variable: a full shard wakes exactly its owner, never the
+  // other workers (their kicked flags stay false).
+  WorkerState& ws = *workers_[worker];
+  std::unique_lock<std::mutex> lock(ws.mu);
   while (!stop_.load(std::memory_order_relaxed)) {
-    wb_cv_.wait_for(lock, std::chrono::milliseconds(options_.writeback_period_ms),
-                    [this, worker] {
-                      return stop_.load(std::memory_order_relaxed) ||
-                             AnyAssignedShardLow(worker);
-                    });
+    ws.cv.wait_for(lock, std::chrono::milliseconds(options_.writeback_period_ms),
+                   [this, &ws] {
+                     return stop_.load(std::memory_order_relaxed) || ws.kicked;
+                   });
     if (stop_.load(std::memory_order_relaxed)) {
       break;
     }
+    const bool was_kicked = ws.kicked;
+    ws.kicked = false;
     lock.unlock();
+    if (was_kicked) {
+      ws.wakeups.fetch_add(1, std::memory_order_relaxed);
+      if (!AnyAssignedShardNeedsWork(worker)) {
+        ws.spurious_wakeups.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      ws.timeout_wakeups.fetch_add(1, std::memory_order_relaxed);
+    }
     for (size_t i = worker; i < shards_.size(); i += wb_worker_count_) {
       if (stop_.load(std::memory_order_relaxed)) {
         break;
       }
+      shards_[i]->wb_pending.store(false, std::memory_order_relaxed);
       ProcessShard(*shards_[i]);
     }
     lock.lock();

@@ -24,13 +24,42 @@
 // pre-sharding single-lock behaviour exactly (eviction order, CLFW line
 // counts, stall semantics).
 //
+// Three mechanisms complete the concurrency story on top of the shards:
+//
+//  - Pinned writeback workers: worker w owns shards {w, w+T, w+2T, ...} and has
+//    its own mutex/condvar pair. A shard crossing Low_f records wb_pending and
+//    kicks exactly its owner (notify_one on the owner's condvar), so a full
+//    shard never wakes the other workers. Per-worker wakeup/spurious/timeout
+//    counters make wakeup precision observable.
+//
+//  - Lock-free buffered reads: each shard maintains, next to its B+tree index,
+//    an open-addressed lookup table of atomic (key, Entry*) slots plus a shard
+//    seqlock (index_seq). Read() first probes the table with no lock held,
+//    validates a candidate entry against its per-entry seqlock (odd = mutating)
+//    and copies the frame speculatively; a probe that ends at an empty slot is
+//    a conclusive miss only if index_seq did not move. Any validation failure
+//    falls back to the mutex path. Entries and retired tables are type-stable
+//    (freed only at shard destruction), so a stale pointer is memory-safe and
+//    the seqlock alone decides logical validity.
+//
+//  - Cross-shard frame stealing: a shard whose slice is exhausted borrows free
+//    frames — first from a global reserve (leaf mutex + atomic count), then
+//    from donor shards holding more than Low_f+1 free frames — instead of
+//    blocking its writers while neighbours sit idle. Stolen frames migrate
+//    ownership (donor capacity shrinks, thief capacity grows, watermarks are
+//    recomputed), keeping sum(shard capacity) + reserve == capacity_blocks().
+//    Stealing engages only when the background engine runs and shards > 1, so
+//    single-shard and engine-less configurations keep exact legacy semantics.
+//
 // Lock discipline: at most one shard mutex is ever held by a thread, and
 // whole-buffer operations (FlushFile/FlushAll/DiscardFile) visit shards in
 // fixed index order, fully draining one shard before touching the next. Data
 // is flushed to NVMM with no shard mutex held (entries are pinned by the
 // `writing` flag), so the EnsureBlockFn callback may take file-system locks
-// (e.g. PMFS map_mu_) without ordering against the shard locks. The writeback
-// wakeup pair (wb_mu_/wb_cv_) is a leaf: it is only ever the last lock taken.
+// (e.g. PMFS map_mu_) without ordering against the shard locks. Leaf locks —
+// only ever the last lock taken, never held while acquiring anything else:
+// the per-worker wakeup mutexes and the steal reserve mutex. A stealing
+// thread locks donor shards one at a time with no other shard mutex held.
 //
 // NVMM block allocation for never-written blocks is deferred to writeback time
 // via the EnsureBlockFn callback (keeping allocation off the lazy-write
@@ -79,13 +108,16 @@ class DramBufferManager {
   // block. `nvmm_addr` is the block's current NVMM address or kNoNvmmAddr.
   // Returns the number of cacheline writes performed (N_cw input to the
   // Buffer Benefit Model). Blocks if the shard's frame slice is exhausted
-  // until writeback frees space.
+  // until writeback frees space (after trying to steal frames from the
+  // reserve and from idle shards).
   Result<uint32_t> Write(uint64_t ino, uint64_t file_block, size_t offset, const void* src,
                          size_t len, uint64_t nvmm_addr);
 
   // If (ino, file_block) is buffered, copies [offset, offset+len) into dst,
   // merging DRAM and NVMM by Cacheline Bitmap runs, and returns true.
-  // Returns false when not buffered (caller reads NVMM directly).
+  // Returns false when not buffered (caller reads NVMM directly). Fully-valid
+  // blocks are served lock-free via the seqlock-validated lookup table; only
+  // partial blocks (NVMM merge) and validation failures take the shard mutex.
   Result<bool> Read(uint64_t ino, uint64_t file_block, size_t offset, void* dst, size_t len,
                     uint64_t nvmm_addr);
 
@@ -114,6 +146,7 @@ class DramBufferManager {
   // Which shard a (file, block) key lives in, and that shard's frame slice.
   uint32_t ShardOf(uint64_t ino, uint64_t file_block) const;
   size_t shard_capacity(uint32_t shard) const;
+  size_t shard_free(uint32_t shard) const;
   uint64_t buffer_hits() const;
   uint64_t buffer_misses() const;
   uint64_t writeback_blocks() const;
@@ -123,21 +156,65 @@ class DramBufferManager {
   // Shard-mutex acquisitions that found the lock already held. The direct
   // measure of buffer lock contention; sharding exists to drive this down.
   uint64_t lock_contended() const;
+  // Lock-free read path: buffered reads served without the shard mutex, and
+  // speculative attempts that had to fall back to the locked path.
+  uint64_t lockfree_read_hits() const;
+  uint64_t lockfree_read_fallbacks() const;
+  // Cross-shard stealing: frames migrated into an exhausted shard, and frames
+  // currently parked in the global reserve.
+  uint64_t frames_stolen() const { return frames_stolen_.load(std::memory_order_relaxed); }
+  size_t reserve_frames() const { return reserve_count_.load(std::memory_order_relaxed); }
+  // Pinned writeback workers: per-worker wakeup telemetry. A "spurious" wakeup
+  // is a kicked wakeup that found none of the worker's own shards low or
+  // pending — zero in a correctly pinned configuration.
+  size_t writeback_worker_count() const { return workers_.size(); }
+  uint32_t shard_owner_worker(uint32_t shard) const;
+  uint64_t worker_wakeups(size_t worker) const;
+  uint64_t worker_timeout_wakeups(size_t worker) const;
+  uint64_t worker_spurious_wakeups() const;
+  uint64_t worker_wakeups_total() const;
 
  private:
+  // Reader-visible Entry fields are atomics: the lock-free read path loads
+  // them with no shard mutex held, validated by the per-entry seqlock `seq`
+  // (even = stable, odd = mutating under the shard mutex). Fields only ever
+  // touched with the shard mutex held (or with the entry pinned by `writing`)
+  // stay plain.
   struct Entry {
-    uint64_t ino = 0;
-    uint64_t file_block = 0;
-    uint64_t nvmm_addr = kNoNvmmAddr;
-    uint64_t valid = 0;  // lines present in DRAM
-    uint64_t dirty = 0;  // lines modified since fetch
-    uint32_t dram_index = 0;
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> ino{0};
+    std::atomic<uint64_t> file_block{0};
+    std::atomic<uint64_t> nvmm_addr{kNoNvmmAddr};
+    std::atomic<uint64_t> valid{0};      // lines present in DRAM
+    std::atomic<uint32_t> dram_index{0};
+    uint64_t dirty = 0;    // lines modified since fetch
     bool writing = false;  // being flushed by a writeback thread
     uint64_t last_written_ns = 0;
     uint32_t freq = 0;     // write-reference count (LFU)
     uint8_t arc_list = 1;  // ARC: 1 = T1 (recent), 2 = T2 (frequent)
     Entry* lrw_prev = nullptr;  // residency list: head = eviction end, tail = MRW
     Entry* lrw_next = nullptr;
+  };
+
+  // RAII seqlock writer section for one entry. Constructed (shard mutex held)
+  // before any reader-visible mutation, destroyed after: readers that overlap
+  // the section observe an odd or changed seq and discard their copy.
+  class EntryMutationGuard {
+   public:
+    explicit EntryMutationGuard(Entry* e) : e_(e) {
+      const uint64_t s = e_->seq.load(std::memory_order_relaxed);
+      e_->seq.store(s + 1, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_release);
+    }
+    ~EntryMutationGuard() {
+      const uint64_t s = e_->seq.load(std::memory_order_relaxed);
+      e_->seq.store(s + 1, std::memory_order_release);
+    }
+    EntryMutationGuard(const EntryMutationGuard&) = delete;
+    EntryMutationGuard& operator=(const EntryMutationGuard&) = delete;
+
+   private:
+    Entry* e_;
   };
 
   struct EntryList {
@@ -161,6 +238,41 @@ class DramBufferManager {
     std::atomic<uint64_t> writeback_lines{0};
     std::atomic<uint64_t> fetched_lines{0};
     std::atomic<uint64_t> lock_contended{0};
+    std::atomic<uint64_t> lockfree_hits{0};
+    std::atomic<uint64_t> lockfree_fallbacks{0};
+  };
+
+  // Open-addressed lookup arrays probed lock-free by readers. Slots hold a
+  // key (kLutEmpty / kLutTombstone / mixed key with the top bit forced) and
+  // the Entry*. Mutated only under the shard mutex inside an index_seq writer
+  // section; retired arrays are kept alive until shard destruction so a
+  // reader holding a stale pointer never touches freed memory.
+  struct LookupArrays {
+    explicit LookupArrays(size_t n) : mask(n - 1) {
+      keys.reset(new std::atomic<uint64_t>[n]);
+      entries.reset(new std::atomic<Entry*>[n]);
+      for (size_t i = 0; i < n; i++) {
+        keys[i].store(kLutEmpty, std::memory_order_relaxed);
+        entries[i].store(nullptr, std::memory_order_relaxed);
+      }
+    }
+    const size_t mask;  // size - 1; size is a power of two
+    std::unique_ptr<std::atomic<uint64_t>[]> keys;
+    std::unique_ptr<std::atomic<Entry*>[]> entries;
+  };
+  static constexpr uint64_t kLutEmpty = 0;
+  static constexpr uint64_t kLutTombstone = 1;
+
+  // Per-worker wakeup state. Each writeback worker waits on its own condvar;
+  // the mutex is a leaf lock (taken by kickers with a shard mutex held, never
+  // the other way around).
+  struct alignas(64) WorkerState {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool kicked = false;  // guarded by mu
+    std::atomic<uint64_t> wakeups{0};           // kicked wakeups
+    std::atomic<uint64_t> timeout_wakeups{0};   // periodic-timer wakeups
+    std::atomic<uint64_t> spurious_wakeups{0};  // kicked with nothing to do
   };
 
   // One independent slice of the buffer: everything the pre-sharding manager
@@ -172,6 +284,18 @@ class DramBufferManager {
     std::vector<uint32_t> free_frames;      // global frame indices owned here
     std::atomic<size_t> free_count{0};      // mirrors free_frames.size(); read lock-free
     std::unordered_map<uint64_t, std::unique_ptr<BTreeMap<Entry*>>> index;  // per-file B+tree
+    // Lock-free lookup table mirroring `index`, plus its seqlock and the
+    // type-stable storage backing it (current table is lut_storage.back()).
+    std::atomic<LookupArrays*> lut{nullptr};
+    std::vector<std::unique_ptr<LookupArrays>> lut_storage;
+    size_t lut_live = 0;
+    size_t lut_tombstones = 0;
+    std::atomic<uint64_t> index_seq{0};
+    // Type-stable entry storage: entries are recycled through entry_free and
+    // only destroyed with the shard, so stale Entry* in reader hands stay
+    // dereferenceable (their seqlock flags them logically dead).
+    std::vector<std::unique_ptr<Entry>> entry_arena;
+    std::vector<Entry*> entry_free;
     // Residency lists. LRW/FIFO/LFU use t1 only; ARC splits entries into
     // t1 (seen once) and t2 (seen again) with ghost lists b1/b2 steering the
     // adaptive target arc_p (T1's share of this shard).
@@ -183,10 +307,35 @@ class DramBufferManager {
     std::unordered_set<uint64_t> b2;
     size_t arc_p = 0;
     size_t resident = 0;
-    size_t capacity = 0;  // frames owned by this shard
-    size_t low = 0;       // per-shard Low_f watermark (blocks)
-    size_t high = 0;      // per-shard High_f watermark (blocks)
+    // Capacity and watermarks are atomics because frame stealing resizes them
+    // under the shard mutex while worker predicates and donor screens read
+    // them lock-free.
+    std::atomic<size_t> capacity{0};  // frames owned by this shard
+    std::atomic<size_t> low{0};       // per-shard Low_f watermark (blocks)
+    std::atomic<size_t> high{0};      // per-shard High_f watermark (blocks)
+    uint32_t shard_index = 0;
+    uint32_t owner_worker = 0;               // fixed at construction
+    std::atomic<bool> wb_pending{false};     // set by kickers, cleared by the owner
     ShardStats stats;
+  };
+
+  // RAII seqlock writer section for one shard's lookup table.
+  class IndexMutationGuard {
+   public:
+    explicit IndexMutationGuard(Shard* s) : s_(s) {
+      const uint64_t v = s_->index_seq.load(std::memory_order_relaxed);
+      s_->index_seq.store(v + 1, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_release);
+    }
+    ~IndexMutationGuard() {
+      const uint64_t v = s_->index_seq.load(std::memory_order_relaxed);
+      s_->index_seq.store(v + 1, std::memory_order_release);
+    }
+    IndexMutationGuard(const IndexMutationGuard&) = delete;
+    IndexMutationGuard& operator=(const IndexMutationGuard&) = delete;
+
+   private:
+    Shard* s_;
   };
 
   Shard& ShardForKey(uint64_t ino, uint64_t file_block) {
@@ -204,15 +353,38 @@ class DramBufferManager {
     }
     return lock;
   }
-  uint8_t* DataFor(const Entry& e) { return pool_.get() + size_t{e.dram_index} * kBlockSize; }
+  uint8_t* FrameData(uint32_t frame) { return pool_.get() + size_t{frame} * kBlockSize; }
+  uint8_t* DataFor(const Entry& e) {
+    return FrameData(e.dram_index.load(std::memory_order_relaxed));
+  }
 
   // Free-frame slice maintenance (shard mutex held). The atomic mirror lets
   // watermark checks and free_blocks() read without taking shard locks.
   uint32_t PopFreeFrameLocked(Shard& s);
   void PushFreeFrameLocked(Shard& s, uint32_t frame);
 
+  // Entry arena (shard mutex held).
+  Entry* AllocEntryLocked(Shard& s);
+  void ReleaseEntryLocked(Shard& s, Entry* e);
+
+  // Lookup-table maintenance (shard mutex held).
+  static uint64_t LutKey(uint64_t ino, uint64_t file_block);
+  void LutInsertLocked(Shard& s, uint64_t key, Entry* e);
+  void LutEraseLocked(Shard& s, uint64_t key, Entry* e);
+  void LutRebuildLocked(Shard& s, size_t min_slots);
+
+  // The lock-free read fast path: returns 1 for a served hit, 0 for a
+  // conclusive miss (block not buffered), -1 when the caller must fall back
+  // to the locked path.
+  int TryLockFreeRead(Shard& s, uint64_t ino, uint64_t file_block, size_t offset, void* dst,
+                      size_t len);
+
   // All helpers below require s.mu held.
   Entry* FindLocked(Shard& s, uint64_t ino, uint64_t file_block);
+  // May release and reacquire `lock` while stalling for a frame. Returns
+  // nullptr (not an error) when a racing writer buffered the same key during
+  // such a window: the caller must re-run its lookup instead of creating a
+  // duplicate (which would orphan one entry and leak its frame).
   Result<Entry*> CreateLocked(Shard& s, std::unique_lock<std::mutex>& lock, uint64_t ino,
                               uint64_t file_block, uint64_t nvmm_addr);
   void DetachLocked(Shard& s, Entry* e);  // removes from index + lists, frees the frame
@@ -225,10 +397,27 @@ class DramBufferManager {
   // Picks up to `want` evictable (non-writing) entries in policy order and
   // marks them writing.
   std::vector<Entry*> PickVictimsLocked(Shard& s, size_t want);
-  static uint64_t GhostKey(const Entry& e) { return (e.ino << 32) ^ e.file_block; }
+  static uint64_t GhostKey(const Entry& e) {
+    return (e.ino.load(std::memory_order_relaxed) << 32) ^
+           e.file_block.load(std::memory_order_relaxed);
+  }
   void GhostRecordLocked(Shard& s, Entry* e);
   static void GhostTrimLocked(std::list<uint64_t>& fifo, std::unordered_set<uint64_t>& set,
                               size_t limit);
+
+  // Recomputes the Low_f/High_f watermarks after s.capacity changed (frame
+  // stealing) — the same formulas the constructor applies.
+  void ApplyShardCapacityLocked(Shard& s);
+
+  // Frame stealing. Called with NO locks held: takes frames from the global
+  // reserve, then from donor shards (one donor mutex at a time), deposits
+  // them into `needy` and parks any surplus in the reserve. Returns frames
+  // deposited into `needy`.
+  size_t StealIntoShard(Shard& needy);
+  bool CanSteal() const {
+    return options_.steal_frames && shards_.size() > 1 &&
+           wb_running_.load(std::memory_order_relaxed);
+  }
 
   // Flush one entry's dirty lines to NVMM. Called WITHOUT s.mu held; the entry
   // must be marked writing and belong to `s`. Returns lines flushed.
@@ -244,10 +433,12 @@ class DramBufferManager {
   // in-flight writeback, until the shard holds none of them.
   Status DrainShard(Shard& s, bool all, uint64_t ino);
 
-  // Wakes the background engine. Locks wb_mu_ empty first so a worker between
-  // its predicate check and its wait cannot miss the notification.
-  void KickWriteback();
-  bool AnyAssignedShardLow(size_t worker) const;
+  // Wakes exactly the worker pinned to `s`. Records the shard as pending
+  // first, then performs the empty-critical-section handshake on the owner's
+  // mutex so a worker between its predicate check and its wait cannot miss
+  // the notification. Safe to call with s.mu held (worker mutexes are leaves).
+  void KickWorkerForShard(Shard& s);
+  bool AnyAssignedShardNeedsWork(size_t worker) const;
   void ProcessShard(Shard& s);
   void WritebackThread(size_t worker);
 
@@ -260,9 +451,16 @@ class DramBufferManager {
   std::vector<std::unique_ptr<Shard>> shards_;  // size is a power of two
   uint32_t shard_mask_ = 0;
 
-  // Background-engine wakeup. Leaf lock: never held while taking a shard lock.
-  std::mutex wb_mu_;
-  std::condition_variable wb_cv_;
+  // Pinned writeback workers. The vector is sized at construction (worker
+  // count never changes), so kickers index it without synchronization.
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+
+  // Global free-frame reserve for cross-shard stealing. reserve_mu_ is a leaf
+  // lock; the atomic count lets stall paths skip an empty reserve for free.
+  std::mutex reserve_mu_;
+  std::vector<uint32_t> reserve_frames_;
+  std::atomic<size_t> reserve_count_{0};
+  std::atomic<uint64_t> frames_stolen_{0};
 
   std::mutex threads_mu_;  // guards threads_ across Start/Stop
   std::vector<std::thread> threads_;

@@ -141,7 +141,8 @@ Status HinfsFs::WriteChunk(uint64_t ino, PmfsInode& inode, bool eager, bool sync
 }
 
 Result<size_t> HinfsFs::Write(uint64_t ino, uint64_t offset, const void* src, size_t len,
-                              bool sync) {
+                              const WriteOptions& options) {
+  const bool sync = options.eager_persistent();
   std::unique_lock lock(StripeFor(ino));
   HINFS_ASSIGN_OR_RETURN(PmfsInode inode, LoadInode(ino));
   if (inode.type != static_cast<uint8_t>(FileType::kRegular)) {
@@ -211,6 +212,11 @@ Status HinfsFs::Unmount() {
   stats_.Add(kStatDramBufferHits, buffer_->buffer_hits());
   stats_.Add(kStatDramBufferMisses, buffer_->buffer_misses());
   stats_.Add(kStatWritebackBlocks, buffer_->writeback_blocks());
+  stats_.Add(kStatLockfreeReadHits, buffer_->lockfree_read_hits());
+  stats_.Add(kStatLockfreeReadFallbacks, buffer_->lockfree_read_fallbacks());
+  stats_.Add(kStatFramesStolen, buffer_->frames_stolen());
+  stats_.Add(kStatWbWorkerWakeups, buffer_->worker_wakeups_total());
+  stats_.Add(kStatWbSpuriousWakeups, buffer_->worker_spurious_wakeups());
   return PmfsFs::Unmount();
 }
 

@@ -36,7 +36,7 @@ class HinfsFs : public PmfsFs {
 
   Result<size_t> Read(uint64_t ino, uint64_t offset, void* dst, size_t len) override;
   Result<size_t> Write(uint64_t ino, uint64_t offset, const void* src, size_t len,
-                       bool sync) override;
+                       const WriteOptions& options) override;
   Status Truncate(uint64_t ino, uint64_t new_size) override;
   Status Fsync(uint64_t ino) override;
   Status Unlink(uint64_t dir_ino, std::string_view name) override;

@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 
 namespace hinfs {
 
@@ -54,6 +55,31 @@ struct HinfsOptions {
   int buffer_shards = 0;
 
   int writeback_threads = 1;
+
+  // When true, a shard whose free list runs dry borrows free frames from idle
+  // shards (and from the global reserve) instead of blocking its writers until
+  // its own writeback completes. Only active while the background writeback
+  // engine is running; single-shard buffers never steal.
+  bool steal_frames = true;
+
+  // The one place environment overrides are read. Call sites (shell, benches,
+  // tests) apply this instead of parsing getenv themselves:
+  //   HINFS_BUFFER_SHARDS      shard count (0 = auto)
+  //   HINFS_WRITEBACK_THREADS  background writeback worker count
+  //   HINFS_STEAL_FRAMES       0 disables cross-shard frame stealing
+  static HinfsOptions FromEnv() { return FromEnv(HinfsOptions()); }
+  static HinfsOptions FromEnv(HinfsOptions base) {
+    if (const char* env = std::getenv("HINFS_BUFFER_SHARDS")) {
+      base.buffer_shards = std::atoi(env);
+    }
+    if (const char* env = std::getenv("HINFS_WRITEBACK_THREADS")) {
+      base.writeback_threads = std::atoi(env);
+    }
+    if (const char* env = std::getenv("HINFS_STEAL_FRAMES")) {
+      base.steal_frames = std::atoi(env) != 0;
+    }
+    return base;
+  }
 };
 
 }  // namespace hinfs

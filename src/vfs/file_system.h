@@ -37,6 +37,27 @@ struct DirEntry {
   FileType type = FileType::kRegular;
 };
 
+// Per-write behavior flags, passed down from the VFS layer to every
+// FileSystem::Write. A struct (rather than a bare bool) so future per-write
+// hints (e.g. temperature or allocation hints) extend it without touching
+// every implementation again.
+struct WriteOptions {
+  // The paper's two write classes: a buffered (lazy-persistent) write may live
+  // in the DRAM Write Buffer until writeback; an eager-persistent write
+  // (O_SYNC / sync mount, case (1) of the paper's definition) must be durable
+  // in NVMM on return.
+  enum class Durability : uint8_t {
+    kBuffered,
+    kEagerPersistent,
+  };
+  Durability durability = Durability::kBuffered;
+
+  bool eager_persistent() const { return durability == Durability::kEagerPersistent; }
+
+  static WriteOptions Buffered() { return WriteOptions{Durability::kBuffered}; }
+  static WriteOptions EagerPersistent() { return WriteOptions{Durability::kEagerPersistent}; }
+};
+
 // Inode number of the root directory in every file system here.
 inline constexpr uint64_t kRootIno = 1;
 
@@ -63,11 +84,10 @@ class FileSystem {
   // --- data operations --------------------------------------------------------
   // Read returns the number of bytes read (short at EOF).
   virtual Result<size_t> Read(uint64_t ino, uint64_t offset, void* dst, size_t len) = 0;
-  // Write extends the file as needed. `sync` reflects O_SYNC / mount-sync: the
-  // write must be durable on return (an eager-persistent write, case (1) of the
-  // paper's definition).
+  // Write extends the file as needed; `options` carries the durability class
+  // (see WriteOptions above).
   virtual Result<size_t> Write(uint64_t ino, uint64_t offset, const void* src, size_t len,
-                               bool sync) = 0;
+                               const WriteOptions& options) = 0;
   virtual Status Truncate(uint64_t ino, uint64_t new_size) = 0;
   // fsync(2): all data and metadata of `ino` durable on return.
   virtual Status Fsync(uint64_t ino) = 0;

@@ -168,8 +168,10 @@ Result<size_t> Vfs::Pread(int fd, void* dst, size_t len, uint64_t offset) {
 
 Result<size_t> Vfs::WriteInternal(FdEntry& e, const void* src, size_t len, uint64_t offset,
                                   bool advance) {
-  const bool sync = sync_mount_ || (e.flags & kSync) != 0;
-  HINFS_ASSIGN_OR_RETURN(size_t n, fs_->Write(e.ino, offset, src, len, sync));
+  const WriteOptions options = sync_mount_ || (e.flags & kSync) != 0
+                                   ? WriteOptions::EagerPersistent()
+                                   : WriteOptions::Buffered();
+  HINFS_ASSIGN_OR_RETURN(size_t n, fs_->Write(e.ino, offset, src, len, options));
   if (advance) {
     e.offset = offset + n;
   }

@@ -302,5 +302,216 @@ TEST(DramBufferContentionProbe, HitPathContentionByShardCount) {
   EXPECT_LE(contended[1], contended[0] + 5);
 }
 
+// Wakeup precision: with workers pinned to disjoint shard sets and per-worker
+// condition variables, filling exactly one shard must wake exactly that
+// shard's owner — the other worker's wakeup counter stays at zero and no
+// wakeup is spurious (the kicked worker always finds its shard pending).
+TEST(DramBufferWorkerPinning, DirtyShardWakesOnlyItsOwner) {
+  HinfsOptions o;
+  o.buffer_bytes = 64 * kBlockSize;  // 4 shards x 16 frames
+  o.buffer_shards = 4;
+  o.writeback_period_ms = 10'000'000;  // periodic timeouts never fire: only kicks wake
+  o.staleness_ms = 10'000'000;
+  o.writeback_threads = 2;
+  ConcurrencyHarness h(o);
+  ASSERT_EQ(h.mgr().shard_count(), 4u);
+  ASSERT_EQ(h.mgr().writeback_worker_count(), 2u);
+  // Disjoint pinning: shard i belongs to worker i % 2.
+  EXPECT_NE(h.mgr().shard_owner_worker(0), h.mgr().shard_owner_worker(1));
+  EXPECT_EQ(h.mgr().shard_owner_worker(0), h.mgr().shard_owner_worker(2));
+
+  h.mgr().StartBackgroundWriteback();
+
+  // Collect 16 distinct keys that all land in shard 0, then fill it to the
+  // last frame: the final grant drops free below Low_f and kicks the owner.
+  const uint32_t target = 0;
+  const size_t owner = h.mgr().shard_owner_worker(target);
+  const size_t other = 1 - owner;
+  std::vector<uint64_t> inos;
+  for (uint64_t cand = 10; inos.size() < h.mgr().shard_capacity(target); cand++) {
+    if (h.mgr().ShardOf(cand, 0) == target) {
+      inos.push_back(cand);
+    }
+    ASSERT_LT(cand, 100000u);
+  }
+  std::vector<uint8_t> buf(kBlockSize, 0x42);
+  for (uint64_t ino : inos) {
+    ASSERT_TRUE(h.mgr()
+                    .Write(ino, 0, 0, buf.data(), buf.size(),
+                           ConcurrencyHarness::AddrFor(ino, 0))
+                    .ok());
+  }
+
+  // The kick is asynchronous; give the owner generous time to wake.
+  for (int i = 0; i < 5000 && h.mgr().worker_wakeups(owner) == 0; i++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(h.mgr().worker_wakeups(owner), 1u);
+  EXPECT_EQ(h.mgr().worker_wakeups(other), 0u) << "cross-worker wakeup: pinning leaked";
+  EXPECT_EQ(h.mgr().worker_spurious_wakeups(), 0u);
+
+  h.mgr().StopBackgroundWriteback();
+  ASSERT_TRUE(h.mgr().FlushAll().ok());
+  EXPECT_EQ(h.mgr().free_blocks(), h.mgr().capacity_blocks());
+}
+
+// Cross-shard stealing: a shard whose writer outruns its pinned worker must
+// borrow frames from idle neighbours instead of blocking while most of the
+// buffer sits free. NVMM write latency is real (kSpin) so the worker's flushes
+// are slow relative to the writer's DRAM memcpys: the hot shard repeatedly
+// exhausts its free list mid-flush and every such stall is a steal
+// opportunity. The test completing promptly (no writer parked on the free CV
+// for a full writeback period while 24 frames sit free next door) plus
+// frames_stolen > 0 is the acceptance assertion.
+TEST(DramBufferFrameStealing, HotShardBorrowsFromIdleShards) {
+  HinfsOptions o;
+  o.buffer_bytes = 32 * kBlockSize;  // 4 shards x 8 frames
+  o.buffer_shards = 4;
+  o.writeback_period_ms = 10'000'000;  // workers act on kicks only
+  o.staleness_ms = 10'000'000;
+  o.writeback_threads = 1;
+  NvmmConfig ncfg;
+  ncfg.size_bytes = 64 << 20;
+  ncfg.latency_mode = LatencyMode::kSpin;
+  ncfg.write_latency_ns = 1000;  // ~64us per flushed block: the worker is slow
+  NvmmDevice nvmm(ncfg);
+  DramBufferManager mgr(&nvmm, o,
+                        [](uint64_t ino, uint64_t file_block) -> Result<uint64_t> {
+                          return ConcurrencyHarness::AddrFor(ino, file_block);
+                        });
+  ASSERT_EQ(mgr.shard_count(), 4u);
+  mgr.StartBackgroundWriteback();
+
+  const uint32_t target = mgr.ShardOf(10, 0);
+  const size_t initial_capacity = mgr.shard_capacity(target);
+  ASSERT_EQ(initial_capacity, 8u);
+
+  // 64 distinct blocks of one file, all hashing into the hot shard — 8x its
+  // capacity (file blocks stay < 128 x 8 so AddrFor stays inside the device).
+  std::vector<uint64_t> blocks;
+  for (uint64_t fb = 0; blocks.size() < 64; fb++) {
+    if (mgr.ShardOf(10, fb) == target) {
+      blocks.push_back(fb);
+    }
+    ASSERT_LT(fb, 1000u);
+  }
+  std::vector<uint8_t> buf(kBlockSize, 0x7f);
+  for (uint64_t fb : blocks) {
+    ASSERT_TRUE(mgr.Write(10, fb, 0, buf.data(), buf.size(),
+                          ConcurrencyHarness::AddrFor(10, fb))
+                    .ok());
+  }
+
+  EXPECT_GE(mgr.frames_stolen(), 1u);
+  EXPECT_GT(mgr.shard_capacity(target), initial_capacity);
+  // Conservation: every frame is owned by exactly one shard or the reserve.
+  size_t cap_sum = mgr.reserve_frames();
+  for (uint32_t s = 0; s < mgr.shard_count(); s++) {
+    cap_sum += mgr.shard_capacity(s);
+  }
+  EXPECT_EQ(cap_sum, mgr.capacity_blocks());
+
+  mgr.StopBackgroundWriteback();
+  ASSERT_TRUE(mgr.FlushAll().ok());
+  EXPECT_EQ(mgr.free_blocks(), mgr.capacity_blocks());
+  std::printf("[steal] stolen=%llu hot_capacity=%zu reserve=%zu\n",
+              static_cast<unsigned long long>(mgr.frames_stolen()),
+              mgr.shard_capacity(target), mgr.reserve_frames());
+}
+
+// Reader-vs-evictor race on the lock-free lookup: writers churn a keyspace
+// 1.5x the buffer capacity (constant eviction, entry recycling, LUT
+// tombstoning/rebuild) while readers hammer whole-block reads through
+// TryLockFreeRead. The seqlock must never expose a torn or stale frame: a
+// buffered read returns one uniform fill byte or falls back/misses.
+class LockFreeReadRaceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LockFreeReadRaceTest, ReadersRaceEvictionAndRecycling) {
+  HinfsOptions o;
+  o.buffer_bytes = 64 * kBlockSize;  // 16 shards x 4 frames at the widest
+  o.buffer_shards = GetParam();
+  o.writeback_period_ms = 2;
+  o.staleness_ms = 100000;
+  o.writeback_threads = 2;
+  ConcurrencyHarness h(o);
+  h.mgr().StartBackgroundWriteback();
+
+  constexpr int kRaceWriters = 2;
+  constexpr int kRaceReaders = 2;
+  constexpr uint64_t kRaceBlocks = 32;  // 3 inos x 32 blocks = 96 keys > 64 frames
+  constexpr int kRaceSteps = 400;
+  std::atomic<uint64_t> total_writes{0};
+  std::atomic<uint64_t> torn_blocks{0};
+  std::atomic<bool> writers_done{false};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kRaceWriters; t++) {
+    threads.emplace_back([&, t] {
+      Rng rng(5000 + t);
+      std::vector<uint8_t> buf(kBlockSize);
+      for (int step = 0; step < kRaceSteps; step++) {
+        const uint64_t ino = rng.Chance(0.3) ? kSharedIno : OwnedIno(t);
+        const uint64_t block = rng.Below(kRaceBlocks);
+        std::memset(buf.data(), static_cast<uint8_t>(1 + rng.Below(254)), buf.size());
+        ASSERT_TRUE(h.mgr()
+                        .Write(ino, block, 0, buf.data(), buf.size(),
+                               ConcurrencyHarness::AddrFor(ino, block))
+                        .ok());
+        total_writes.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int r = 0; r < kRaceReaders; r++) {
+    threads.emplace_back([&, r] {
+      Rng rng(6000 + r);
+      std::vector<uint8_t> buf(kBlockSize);
+      while (!writers_done.load(std::memory_order_acquire)) {
+        const uint64_t ino =
+            rng.Chance(0.3) ? kSharedIno : OwnedIno(rng.Below(kRaceWriters));
+        const uint64_t block = rng.Below(kRaceBlocks);
+        auto hit = h.mgr().Read(ino, block, 0, buf.data(), buf.size(),
+                                ConcurrencyHarness::AddrFor(ino, block));
+        if (!hit.ok() || !*hit) {
+          continue;
+        }
+        const uint8_t first = buf[0];
+        for (size_t i = 1; i < buf.size(); i++) {
+          if (buf[i] != first) {
+            torn_blocks.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (int t = 0; t < kRaceWriters; t++) {
+    threads[t].join();
+  }
+  writers_done.store(true, std::memory_order_release);
+  for (size_t i = kRaceWriters; i < threads.size(); i++) {
+    threads[i].join();
+  }
+  h.mgr().StopBackgroundWriteback();
+
+  EXPECT_EQ(torn_blocks.load(), 0u);
+  EXPECT_EQ(h.mgr().buffer_hits() + h.mgr().buffer_misses(), total_writes.load());
+  // Whole-block writes keep resident blocks fully DRAM-valid, so the fast
+  // path must be serving a healthy share of the reads, not falling back.
+  EXPECT_GT(h.mgr().lockfree_read_hits(), 0u);
+
+  ASSERT_TRUE(h.mgr().FlushAll().ok());
+  EXPECT_EQ(h.mgr().free_blocks(), h.mgr().capacity_blocks());
+  std::printf("[lockfree shards=%zu] fast_hits=%llu fallbacks=%llu stolen=%llu\n",
+              h.mgr().shard_count(),
+              static_cast<unsigned long long>(h.mgr().lockfree_read_hits()),
+              static_cast<unsigned long long>(h.mgr().lockfree_read_fallbacks()),
+              static_cast<unsigned long long>(h.mgr().frames_stolen()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, LockFreeReadRaceTest, ::testing::Values(1, 2, 16),
+                         [](const auto& info) {
+                           return "Shards" + std::to_string(info.param);
+                         });
+
 }  // namespace
 }  // namespace hinfs

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Plot the unified --json rows emitted by the figure benches.
+
+Every bench binary under bench/ accepts `--json <path>` (bench::ArgParser) and
+writes a flat JSON array of rows:
+
+    {"fs": "HiNFS", "personality": "fileserver", "<x_key>": 4,
+     "<value_key>": 123456.0}
+
+where <x_key> is the sweep variable (threads, io_size, theta, ...) and
+<value_key> names the metric (ops_per_sec, latency_ns, total_ms, ...).
+micro_primitives emits google-benchmark's native JSON instead; that shape is
+detected and flattened into the same row model.
+
+Usage:
+    tools/plot_bench.py out/fig08.json                  # one figure
+    tools/plot_bench.py out/*.json -o plots/            # a directory of them
+    tools/plot_bench.py out/fig08.json --format svg
+    tools/plot_bench.py out/fig08.json --ascii          # terminal-only view
+
+One plot is produced per (input file, personality, value_key) group: series
+are file systems, x is the sweep variable. With matplotlib available each
+plot is written as PNG and/or SVG; without it (this repo's container has no
+matplotlib) the tool degrades to ASCII charts so the data is still readable.
+No third-party dependency is required.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+RESERVED = ("fs", "personality")
+
+
+def load_rows(path):
+    """Returns a list of normalized row dicts: fs, personality, x_key, x, value_key, value."""
+    with open(path, "r") as f:
+        data = json.load(f)
+
+    rows = []
+    if isinstance(data, dict) and "benchmarks" in data:
+        # google-benchmark JSON (micro_primitives): one series per benchmark
+        # family, x = the /Arg suffix when present.
+        for b in data.get("benchmarks", []):
+            name = b.get("name", "")
+            family, _, arg = name.partition("/")
+            try:
+                x = float(arg)
+            except ValueError:
+                x = 0.0
+            rows.append({
+                "fs": family,
+                "personality": "micro",
+                "x_key": "arg",
+                "x": x,
+                "value_key": "cpu_time_" + b.get("time_unit", "ns"),
+                "value": float(b.get("cpu_time", 0.0)),
+            })
+        return rows
+
+    if not isinstance(data, list):
+        raise ValueError(f"{path}: expected a JSON array of rows")
+    for r in data:
+        keys = [k for k in r if k not in RESERVED]
+        if len(keys) < 2:
+            raise ValueError(f"{path}: row missing x/value keys: {r}")
+        # Row order is (fs, personality, x_key, value_key [, extra value_keys]):
+        # the first non-reserved key is the sweep variable, each remaining
+        # numeric key is its own metric.
+        x_key = keys[0]
+        for value_key in keys[1:]:
+            rows.append({
+                "fs": r.get("fs", "?"),
+                "personality": r.get("personality", ""),
+                "x_key": x_key,
+                "x": float(r[x_key]),
+                "value_key": value_key,
+                "value": float(r[value_key]),
+            })
+    return rows
+
+
+def group_plots(rows):
+    """Yields ((personality, value_key, x_key), {fs: [(x, value), ...]})."""
+    plots = {}
+    for r in rows:
+        key = (r["personality"], r["value_key"], r["x_key"])
+        series = plots.setdefault(key, {})
+        series.setdefault(r["fs"], []).append((r["x"], r["value"]))
+    for key, series in sorted(plots.items()):
+        for pts in series.values():
+            pts.sort()
+        yield key, series
+
+
+def ascii_plot(title, x_key, value_key, series, width=48):
+    print(f"\n== {title} ==  ({value_key} vs {x_key})")
+    peak = max((v for pts in series.values() for _, v in pts), default=0.0)
+    if peak <= 0:
+        peak = 1.0
+    for fs, pts in sorted(series.items()):
+        print(f"  {fs}")
+        for x, v in pts:
+            bar = "#" * max(1, int(width * v / peak))
+            print(f"    {x_key}={x:<10g} {bar} {v:g}")
+
+
+def render(path, out_dir, formats, use_ascii):
+    rows = load_rows(path)
+    base = os.path.splitext(os.path.basename(path))[0]
+    made = []
+
+    if use_ascii:
+        for (personality, value_key, x_key), series in group_plots(rows):
+            title = f"{base}" + (f" / {personality}" if personality else "")
+            ascii_plot(title, x_key, value_key, series)
+        return made
+
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    for (personality, value_key, x_key), series in group_plots(rows):
+        fig, ax = plt.subplots(figsize=(6, 4))
+        multi_x = any(len(pts) > 1 for pts in series.values())
+        if multi_x:
+            for fs, pts in sorted(series.items()):
+                ax.plot([x for x, _ in pts], [v for _, v in pts], marker="o", label=fs)
+            ax.set_xlabel(x_key)
+            if x_key == "io_size":
+                ax.set_xscale("log", base=2)
+        else:
+            names = sorted(series)
+            ax.bar(range(len(names)), [series[n][0][1] for n in names])
+            ax.set_xticks(range(len(names)))
+            ax.set_xticklabels(names, rotation=30, ha="right")
+        ax.set_ylabel(value_key)
+        slug = "_".join(p for p in (base, personality, value_key) if p)
+        slug = slug.replace("/", "-").replace(" ", "_")
+        ax.set_title(slug)
+        if multi_x:
+            ax.legend()
+        fig.tight_layout()
+        for fmt in formats:
+            out = os.path.join(out_dir, f"{slug}.{fmt}")
+            fig.savefig(out)
+            made.append(out)
+        plt.close(fig)
+    return made
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("inputs", nargs="+", help="bench --json output file(s)")
+    ap.add_argument("-o", "--out-dir", default=".", help="directory for rendered plots")
+    ap.add_argument("--format", choices=("png", "svg", "both"), default="both")
+    ap.add_argument("--ascii", action="store_true",
+                    help="print ASCII charts instead of image files")
+    args = ap.parse_args()
+
+    use_ascii = args.ascii
+    if not use_ascii:
+        try:
+            import matplotlib  # noqa: F401
+        except ImportError:
+            print("plot_bench: matplotlib not available, falling back to --ascii",
+                  file=sys.stderr)
+            use_ascii = True
+
+    formats = ("png", "svg") if args.format == "both" else (args.format,)
+    if not use_ascii:
+        os.makedirs(args.out_dir, exist_ok=True)
+
+    for path in args.inputs:
+        made = render(path, args.out_dir, formats, use_ascii)
+        for out in made:
+            print(out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
