@@ -21,8 +21,8 @@ int main(int argc, char** argv) {
                       {FlushInstruction::kClwb, "clwb"}};
 
   for (Personality p : {Personality::kFileserver, Personality::kVarmail}) {
-    std::printf("[%s] ops/s\n", PersonalityName(p));
-    std::printf("%-12s %12s %12s %12s\n", "fs", "clflush", "clflushopt", "clwb");
+    std::printf("[%s] ops/s (fences per op, peak unfenced lines)\n", PersonalityName(p));
+    std::printf("%-12s %26s %26s %26s\n", "fs", "clflush", "clflushopt", "clwb");
     for (FsKind kind : {FsKind::kPmfs, FsKind::kHinfs}) {
       std::printf("%-12s", FsKindName(kind));
       for (const Row& row : rows) {
@@ -32,17 +32,25 @@ int main(int argc, char** argv) {
         if (p == Personality::kVarmail) {
           fb.io_size = 16 * 1024;
         }
-        auto result = RunPersonalityOn(kind, p, cfg, fb);
+        PersistCounters persist;
+        auto result = RunPersonalityOn(kind, p, cfg, fb, nullptr, &persist);
         if (!result.ok()) {
           std::fprintf(stderr, "\n%s: %s\n", row.name, result.status().ToString().c_str());
           return 1;
         }
-        std::printf(" %12.0f", result->OpsPerSec());
+        const double fences_per_op =
+            result->ops > 0 ? static_cast<double>(persist.fences) / result->ops : 0;
+        std::printf(" %12.0f (%5.1f, %4llu)", result->OpsPerSec(), fences_per_op,
+                    static_cast<unsigned long long>(persist.max_unfenced_lines));
         std::fflush(stdout);
         json_rows.push_back({FsKindName(kind),
                         std::string(PersonalityName(p)) + "/" + row.name, "threads",
                         static_cast<double>(fb.threads), result->OpsPerSec(),
                         "ops_per_sec"});
+        json_rows.push_back({FsKindName(kind),
+                        std::string(PersonalityName(p)) + "/" + row.name, "threads",
+                        static_cast<double>(fb.threads), fences_per_op,
+                        "fences_per_op"});
       }
       std::printf("\n");
     }

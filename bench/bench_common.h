@@ -175,11 +175,23 @@ inline void PrintBenchHeader(const char* figure, const char* description) {
               static_cast<unsigned long long>(BenchDurationMs()));
 }
 
+// Persist-order counters mirrored from the NVMM device after a run: how many
+// fences the workload issued, how many cachelines it flushed, how many fenced
+// epochs flushed data, and the peak flushed-but-unfenced line count (the crash
+// exposure window under clflushopt/clwb; see DESIGN.md crashlab section).
+struct PersistCounters {
+  uint64_t fences = 0;
+  uint64_t flushed_lines = 0;
+  uint64_t epochs = 0;
+  uint64_t max_unfenced_lines = 0;
+};
+
 // Runs one filebench personality on a fresh instance of `kind`.
 inline Result<WorkloadResult> RunPersonalityOn(FsKind kind, Personality personality,
                                                const TestBedConfig& bed_cfg,
                                                const FilebenchConfig& fb_cfg,
-                                               uint64_t* nvmm_write_bytes = nullptr) {
+                                               uint64_t* nvmm_write_bytes = nullptr,
+                                               PersistCounters* persist = nullptr) {
   HINFS_ASSIGN_OR_RETURN(std::unique_ptr<TestBed> bed, MakeTestBed(kind, bed_cfg));
   HINFS_RETURN_IF_ERROR(PrepareFileset(bed->vfs.get(), fb_cfg));
   // The paper clears the OS page cache before each run.
@@ -189,6 +201,12 @@ inline Result<WorkloadResult> RunPersonalityOn(FsKind kind, Personality personal
                          RunFilebench(bed->vfs.get(), personality, fb_cfg));
   if (nvmm_write_bytes != nullptr) {
     *nvmm_write_bytes = bed->nvmm->flushed_bytes();
+  }
+  if (persist != nullptr) {
+    persist->fences = bed->nvmm->fence_count();
+    persist->flushed_lines = bed->nvmm->flushed_lines();
+    persist->epochs = bed->nvmm->epoch_count();
+    persist->max_unfenced_lines = bed->nvmm->max_unfenced_lines();
   }
   HINFS_RETURN_IF_ERROR(bed->vfs->Unmount());
   return result;

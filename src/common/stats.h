@@ -77,6 +77,13 @@ inline constexpr char kStatEagerWrites[] = "eager_writes";
 inline constexpr char kStatLazyWrites[] = "lazy_writes";
 inline constexpr char kStatFsyncBytes[] = "fsync_bytes";
 inline constexpr char kStatWrittenBytes[] = "written_bytes";
+// Persist-order counters mirrored from NvmmDevice at unmount: fence count,
+// cachelines flushed, fence-delimited epochs that flushed data, and the peak
+// number of flushed-but-unfenced lines (exposure window under clflushopt).
+inline constexpr char kStatNvmmFences[] = "nvmm_fences";
+inline constexpr char kStatNvmmFlushedLines[] = "nvmm_flushed_lines";
+inline constexpr char kStatNvmmEpochs[] = "nvmm_epochs";
+inline constexpr char kStatNvmmMaxUnfencedLines[] = "nvmm_max_unfenced_lines";
 
 }  // namespace hinfs
 

@@ -1,0 +1,181 @@
+#include "src/crashlab/crash_state_gen.h"
+
+#include <cstring>
+#include <map>
+#include <random>
+#include <unordered_set>
+
+#include "src/common/constants.h"
+
+namespace hinfs {
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t FnvMix(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; i++) {
+    h = (h ^ (v & 0xff)) * kFnvPrime;
+    v >>= 8;
+  }
+  return h;
+}
+
+uint64_t HashBytes(const uint8_t* data, size_t len) {
+  uint64_t h = kFnvOffset;
+  for (size_t i = 0; i < len; i++) {
+    h = (h ^ data[i]) * kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+Status CrashStateEnumerator::Enumerate(
+    const std::function<Result<bool>(const CrashImageSpec&)>& visit) {
+  if (trace_.base_persistent().empty()) {
+    return Status(ErrorCode::kNotSupported,
+                  "crash-state enumeration requires a trace from a track_persistence device");
+  }
+  const size_t size = trace_.base_persistent().size();
+  const bool optimized = opts_.flush_instruction != FlushInstruction::kClflush;
+
+  std::vector<uint8_t> volatile_img = trace_.base_volatile();
+  std::vector<uint8_t> persistent = trace_.base_persistent();
+  std::vector<uint8_t> scratch(size);
+  std::vector<PendingEntry> pending;
+  std::unordered_set<uint64_t> seen;
+  uint64_t pversion = 0;  // bumped whenever `persistent` mutates
+  uint64_t epoch = 0;
+  bool stop = false;
+
+  // Applies one subset of the pending entries (given as indices, in flush
+  // order) on top of `persistent` and visits the result if it is new.
+  auto emit = [&](const std::vector<size_t>& subset) -> Status {
+    // Later entries for the same line overwrite earlier ones; std::map keeps
+    // the surviving lines sorted for a canonical hash.
+    std::map<uint64_t, const PendingEntry*> lines;
+    for (size_t idx : subset) {
+      lines[pending[idx].line] = &pending[idx];
+    }
+    uint64_t h = FnvMix(kFnvOffset, pversion);
+    for (const auto& [line, entry] : lines) {
+      h = FnvMix(h, line);
+      h = FnvMix(h, entry->content_hash);
+    }
+    if (!seen.insert(h).second) {
+      states_deduped_++;
+      return OkStatus();
+    }
+    std::memcpy(scratch.data(), persistent.data(), size);
+    CrashImageSpec spec;
+    spec.cut = cuts_visited_ - 1;  // emit runs inside emit_cut, after the increment
+    spec.epoch = epoch;
+    spec.surviving_entries = subset;
+    for (const auto& [line, entry] : lines) {
+      std::memcpy(scratch.data() + line * kCachelineSize, entry->content.data(),
+                  kCachelineSize);
+      spec.surviving_lines.push_back(line);
+    }
+    spec.image = &scratch;
+    HINFS_ASSIGN_OR_RETURN(bool cont, visit(spec));
+    states_emitted_++;
+    if (!cont ||
+        (opts_.max_total_states != 0 && states_emitted_ >= opts_.max_total_states)) {
+      stop = true;
+    }
+    return OkStatus();
+  };
+
+  auto emit_cut = [&]() -> Status {
+    cuts_visited_++;
+    if (!optimized || pending.empty()) {
+      return emit({});
+    }
+    const size_t n = pending.size();
+    // Exhaustive when the subset space fits the budget.
+    if (n < 20 && (size_t{1} << n) <= opts_.max_states_per_cut) {
+      for (uint64_t mask = 0; mask < (uint64_t{1} << n) && !stop; mask++) {
+        std::vector<size_t> subset;
+        for (size_t i = 0; i < n; i++) {
+          if (mask & (uint64_t{1} << i)) {
+            subset.push_back(i);
+          }
+        }
+        HINFS_RETURN_IF_ERROR(emit(subset));
+      }
+      return OkStatus();
+    }
+    // Sampled: the empty and the full subset are always tried (no pending line
+    // persisted / all of them did — the two states every protocol must
+    // tolerate), the rest drawn from a cut-seeded generator so runs are
+    // reproducible and different cuts explore different corners.
+    sampled_ = true;
+    std::mt19937_64 rng(opts_.seed * 0x9e3779b97f4a7c15ull + cuts_visited_);
+    std::vector<size_t> full(n);
+    for (size_t i = 0; i < n; i++) {
+      full[i] = i;
+    }
+    HINFS_RETURN_IF_ERROR(emit({}));
+    if (!stop) {
+      HINFS_RETURN_IF_ERROR(emit(full));
+    }
+    for (size_t draw = 2; draw < opts_.max_states_per_cut && !stop; draw++) {
+      std::vector<size_t> subset;
+      for (size_t i = 0; i < n; i++) {
+        if (rng() & 1) {
+          subset.push_back(i);
+        }
+      }
+      HINFS_RETURN_IF_ERROR(emit(subset));
+    }
+    return OkStatus();
+  };
+
+  // Cut 0: crash before any event.
+  HINFS_RETURN_IF_ERROR(emit_cut());
+
+  for (size_t i = 0; i < trace_.events().size() && !stop; i++) {
+    const PersistEvent& e = trace_.event(i);
+    switch (e.type) {
+      case PersistEventType::kStore:
+      case PersistEventType::kStoreAtomic:
+        std::memcpy(volatile_img.data() + e.offset, trace_.payload(e), e.len);
+        break;
+      case PersistEventType::kFlush: {
+        const uint64_t first_line = e.offset / kCachelineSize;
+        const uint64_t last_line = (e.offset + e.len - 1) / kCachelineSize;
+        for (uint64_t line = first_line; line <= last_line; line++) {
+          const uint8_t* src = volatile_img.data() + line * kCachelineSize;
+          if (optimized) {
+            PendingEntry entry;
+            entry.line = line;
+            entry.content.assign(src, src + kCachelineSize);
+            entry.content_hash = HashBytes(src, kCachelineSize);
+            pending.push_back(std::move(entry));
+          } else {
+            // CLFLUSH: durable immediately, in flush order.
+            std::memcpy(persistent.data() + line * kCachelineSize, src, kCachelineSize);
+            pversion++;
+          }
+        }
+        break;
+      }
+      case PersistEventType::kFence:
+        for (const PendingEntry& entry : pending) {
+          std::memcpy(persistent.data() + entry.line * kCachelineSize,
+                      entry.content.data(), kCachelineSize);
+        }
+        if (!pending.empty()) {
+          pversion++;
+          pending.clear();
+        }
+        epoch++;
+        break;
+    }
+    HINFS_RETURN_IF_ERROR(emit_cut());
+  }
+  return OkStatus();
+}
+
+}  // namespace hinfs

@@ -1,0 +1,97 @@
+// CrashStateEnumerator: turns a PersistTrace into the set of NVMM images a
+// power failure could legally have left behind (crashlab layer 2).
+//
+// The enumerator replays the trace forward, maintaining
+//   V — the volatile image (what the CPU cache holds), and
+//   P — the persistent image (what is guaranteed durable),
+// and considers a crash cut after every event. What P contains at a cut
+// depends on the flush instruction the traced workload used:
+//
+//   kClflush      Each flush is durable the moment it executes (the paper's
+//                 baseline: CLFLUSH is ordered with respect to stores). A cut
+//                 therefore yields exactly one image: the base image plus every
+//                 flush before the cut, applied in flush order — crash states
+//                 are the prefixes of the flush sequence.
+//
+//   kClflushopt / CLFLUSHOPT/CLWB are only ordered by the next fence. Flushes
+//   kClwb         since the last fence form the "pending" entry list; at a cut,
+//                 ANY subset of those entries may have reached the media (each
+//                 entry applied in flush order, so re-flushes of one line can
+//                 surface either content). When 2^|pending| fits the per-cut
+//                 budget the subsets are enumerated exhaustively; otherwise a
+//                 seeded sample is drawn that always includes the empty and the
+//                 full subset (the two states every protocol must tolerate).
+//
+// Distinct states are deduplicated by hashing (P version, surviving line
+// contents), so callers only pay remount+check for genuinely new images.
+
+#ifndef SRC_CRASHLAB_CRASH_STATE_GEN_H_
+#define SRC_CRASHLAB_CRASH_STATE_GEN_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/nvmm/nvmm_device.h"
+#include "src/nvmm/persist_trace.h"
+
+namespace hinfs {
+
+struct CrashGenOptions {
+  FlushInstruction flush_instruction = FlushInstruction::kClflush;
+  uint64_t seed = 1;
+  // Budget of subset-states materialized per cut (kClflushopt/kClwb only;
+  // kClflush cuts always yield one state). Exhaustive when 2^pending fits.
+  size_t max_states_per_cut = 64;
+  // Overall cap across the whole trace; 0 = unlimited.
+  size_t max_total_states = 0;
+};
+
+// One materialized crash state, valid only for the duration of the visitor
+// call (the image buffer is reused).
+struct CrashImageSpec {
+  size_t cut = 0;       // crash point: events [0, cut) happened
+  uint64_t epoch = 0;   // fences completed before the cut
+  // Pending-entry indices (within the cut's epoch, in flush order) that
+  // survived in this state. Empty under kClflush (no pending set).
+  std::vector<size_t> surviving_entries;
+  // Cachelines those surviving entries cover (line = offset / 64).
+  std::vector<uint64_t> surviving_lines;
+  const std::vector<uint8_t>* image = nullptr;  // full device image
+};
+
+class CrashStateEnumerator {
+ public:
+  CrashStateEnumerator(const PersistTrace& trace, const CrashGenOptions& opts)
+      : trace_(trace), opts_(opts) {}
+
+  // Visits every distinct crash state. The visitor returns false to stop
+  // enumeration early (not an error), or an error Status to abort.
+  Status Enumerate(const std::function<Result<bool>(const CrashImageSpec&)>& visit);
+
+  // Counters populated by Enumerate().
+  size_t states_emitted() const { return states_emitted_; }
+  size_t states_deduped() const { return states_deduped_; }
+  size_t cuts_visited() const { return cuts_visited_; }
+  bool sampled() const { return sampled_; }  // any cut exceeded the subset budget
+
+ private:
+  struct PendingEntry {
+    uint64_t line;
+    std::vector<uint8_t> content;  // kCachelineSize bytes captured at flush time
+    uint64_t content_hash;
+  };
+
+  const PersistTrace& trace_;
+  const CrashGenOptions opts_;
+  size_t states_emitted_ = 0;
+  size_t states_deduped_ = 0;
+  size_t cuts_visited_ = 0;
+  bool sampled_ = false;
+};
+
+}  // namespace hinfs
+
+#endif  // SRC_CRASHLAB_CRASH_STATE_GEN_H_

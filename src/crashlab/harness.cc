@@ -1,0 +1,491 @@
+#include "src/crashlab/harness.h"
+
+#include <cstdio>
+#include <memory>
+#include <random>
+
+#include "src/blockdev/nvmm_block_device.h"
+#include "src/common/constants.h"
+#include "src/crashlab/crash_state_gen.h"
+#include "src/fs/blockfs/block_fs.h"
+#include "src/fs/pmfs/fsck.h"
+#include "src/fs/pmfs/pmfs_fs.h"
+#include "src/hinfs/hinfs_fs.h"
+#include "src/vfs/vfs.h"
+
+namespace hinfs {
+
+const char* CrashFsName(CrashFs fs) {
+  switch (fs) {
+    case CrashFs::kPmfs: return "pmfs";
+    case CrashFs::kHinfs: return "hinfs";
+    case CrashFs::kBlockFsJournal: return "blockfs";
+    case CrashFs::kBlockFsDax: return "blockfs-dax";
+  }
+  return "?";
+}
+
+namespace {
+
+PmfsOptions CrashPmfsOptions() {
+  PmfsOptions o;
+  o.max_inodes = 512;
+  o.journal_bytes = 256 << 10;
+  return o;
+}
+
+HinfsOptions CrashHinfsOptions() {
+  HinfsOptions o;
+  o.buffer_bytes = 1 << 20;
+  // Keep writeback out of the background so traces are deterministic: the
+  // oracle handles writeback at *any* time, but reproducible traces make
+  // failures debuggable.
+  o.writeback_period_ms = 3'600'000;
+  o.staleness_ms = 3'600'000;
+  o.eager_decay_ms = 3'600'000;
+  o.buffer_shards = 1;
+  o.writeback_threads = 1;
+  return o;
+}
+
+BlockFsOptions CrashBlockFsOptions(bool dax, NvmmDevice* nvmm) {
+  BlockFsOptions o;
+  o.journal = true;
+  o.dax = dax;
+  o.max_inodes = 512;
+  o.journal_blocks = 128;  // 512 KB: ample for these workloads, no checkpoints
+  o.page_cache_pages = 0;  // unlimited: no pressure-driven early writeback
+  if (dax) {
+    o.dax_nvmm = nvmm;
+    o.dax_nvmm_base = 0;
+  }
+  return o;
+}
+
+struct MountedFs {
+  std::unique_ptr<NvmmBlockDevice> bd;
+  std::unique_ptr<FileSystem> fs;
+};
+
+Result<MountedFs> MountKind(CrashFs kind, NvmmDevice* nvmm, bool format) {
+  MountedFs m;
+  switch (kind) {
+    case CrashFs::kPmfs: {
+      HINFS_ASSIGN_OR_RETURN(auto fs, format ? PmfsFs::Format(nvmm, CrashPmfsOptions())
+                                             : PmfsFs::Mount(nvmm));
+      m.fs = std::move(fs);
+      break;
+    }
+    case CrashFs::kHinfs: {
+      HINFS_ASSIGN_OR_RETURN(auto fs,
+                             format ? HinfsFs::Format(nvmm, CrashHinfsOptions(),
+                                                      CrashPmfsOptions())
+                                    : HinfsFs::Mount(nvmm, CrashHinfsOptions()));
+      m.fs = std::move(fs);
+      break;
+    }
+    case CrashFs::kBlockFsJournal:
+    case CrashFs::kBlockFsDax: {
+      NvmmBlockDeviceConfig bcfg;
+      bcfg.block_layer_overhead_ns = 0;
+      m.bd = std::make_unique<NvmmBlockDevice>(nvmm, 0, nvmm->size() / kBlockSize, bcfg);
+      const BlockFsOptions o =
+          CrashBlockFsOptions(kind == CrashFs::kBlockFsDax, nvmm);
+      HINFS_ASSIGN_OR_RETURN(auto fs, format ? BlockFs::Format(m.bd.get(), o)
+                                             : BlockFs::Mount(m.bd.get(), o));
+      m.fs = std::move(fs);
+      break;
+    }
+  }
+  return m;
+}
+
+OracleOptions OracleFor(CrashFs fs) {
+  switch (fs) {
+    case CrashFs::kPmfs: return OracleOptions::Pmfs();
+    case CrashFs::kHinfs: return OracleOptions::Hinfs();
+    case CrashFs::kBlockFsJournal: return OracleOptions::BlockFsJournal();
+    case CrashFs::kBlockFsDax: return OracleOptions::BlockFsDax();
+  }
+  return OracleOptions::Pmfs();
+}
+
+Status ExecuteOp(Vfs* vfs, const CrashOp& op) {
+  switch (op.kind) {
+    case CrashOp::Kind::kMkdir:
+      return vfs->Mkdir(op.path);
+    case CrashOp::Kind::kCreate: {
+      HINFS_ASSIGN_OR_RETURN(int fd, vfs->Open(op.path, kRdWr | kCreate));
+      return vfs->Close(fd);
+    }
+    case CrashOp::Kind::kWrite: {
+      HINFS_ASSIGN_OR_RETURN(int fd,
+                             vfs->Open(op.path, kRdWr | (op.o_sync ? kSync : kRdOnly)));
+      HINFS_ASSIGN_OR_RETURN(size_t n,
+                             vfs->Pwrite(fd, op.data.data(), op.data.size(), op.offset));
+      if (n != op.data.size()) {
+        return Status(ErrorCode::kIoError, "short crashlab write");
+      }
+      return vfs->Close(fd);
+    }
+    case CrashOp::Kind::kTruncate: {
+      HINFS_ASSIGN_OR_RETURN(int fd, vfs->Open(op.path, kRdWr));
+      HINFS_RETURN_IF_ERROR(vfs->Ftruncate(fd, op.new_size));
+      return vfs->Close(fd);
+    }
+    case CrashOp::Kind::kFsync: {
+      HINFS_ASSIGN_OR_RETURN(int fd, vfs->Open(op.path, kRdWr));
+      HINFS_RETURN_IF_ERROR(vfs->Fsync(fd));
+      return vfs->Close(fd);
+    }
+    case CrashOp::Kind::kUnlink:
+      return vfs->Unlink(op.path);
+    case CrashOp::Kind::kRename:
+      return vfs->Rename(op.path, op.path2);
+    case CrashOp::Kind::kSyncFs:
+      return vfs->SyncFs();
+  }
+  return Status(ErrorCode::kInvalidArgument, "unknown crash op");
+}
+
+}  // namespace
+
+Result<CrashlabReport> RunCrashlab(const std::vector<CrashOp>& workload,
+                                   const CrashlabOptions& opts) {
+  CrashlabReport report;
+  report.fs = opts.fs;
+  report.flush_instruction = opts.flush_instruction;
+  report.ops = workload.size();
+
+  NvmmConfig ncfg;
+  ncfg.size_bytes = opts.device_bytes;
+  ncfg.latency_mode = LatencyMode::kNone;
+  ncfg.flush_instruction = opts.flush_instruction;
+  ncfg.track_persistence = true;
+  NvmmDevice nvmm(ncfg);
+
+  HINFS_ASSIGN_OR_RETURN(MountedFs bed, MountKind(opts.fs, &nvmm, /*format=*/true));
+  if (opts.inject_skip_journal_fence) {
+    auto* pmfs = dynamic_cast<PmfsFs*>(bed.fs.get());
+    if (pmfs == nullptr) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "inject_skip_journal_fence requires a PMFS-layout fs");
+    }
+    pmfs->set_skip_append_fence_for_testing(true);
+  }
+
+  nvmm.StartPersistTrace();
+  std::vector<size_t> bounds;
+  {
+    Vfs vfs(bed.fs.get());
+    const std::shared_ptr<PersistTrace> live = nvmm.persist_trace();
+    for (const CrashOp& op : workload) {
+      bounds.push_back(live->size());
+      Status st = ExecuteOp(&vfs, op);
+      if (!st.ok()) {
+        return Status(st.code(),
+                      "crashlab workload op failed (" + DescribeCrashOp(op) +
+                          "): " + st.message());
+      }
+    }
+  }
+  const std::shared_ptr<PersistTrace> trace = nvmm.StopPersistTrace();
+  bounds.push_back(trace->size());
+  // Tear down the recording FS only after the trace is detached, so shutdown
+  // flushes don't pollute it.
+  bed.fs.reset();
+  bed.bd.reset();
+
+  report.trace_events = trace->size();
+  report.trace_fences = trace->fences();
+  report.trace_flushed_lines = trace->flushed_lines();
+  report.trace_epochs = trace->epochs();
+  report.trace_max_unfenced_lines = trace->max_unfenced_lines();
+
+  CrashOracle oracle(OracleFor(opts.fs));
+  size_t applied = 0;
+
+  NvmmConfig scfg;
+  scfg.size_bytes = opts.device_bytes;
+  scfg.latency_mode = LatencyMode::kNone;
+  scfg.flush_instruction = opts.flush_instruction;
+  NvmmDevice scratch(scfg);
+
+  CrashGenOptions gopts;
+  gopts.flush_instruction = opts.flush_instruction;
+  gopts.seed = opts.seed;
+  gopts.max_states_per_cut = opts.max_states_per_cut;
+  gopts.max_total_states = opts.max_total_states;
+  CrashStateEnumerator gen(*trace, gopts);
+
+  Status st = gen.Enumerate([&](const CrashImageSpec& spec) -> Result<bool> {
+    while (applied < workload.size() && bounds[applied + 1] < spec.cut) {
+      oracle.Apply(workload[applied]);
+      applied++;
+    }
+    const CrashOp* inflight =
+        applied < workload.size() && bounds[applied] < spec.cut ? &workload[applied]
+                                                                : nullptr;
+    HINFS_RETURN_IF_ERROR(scratch.InstallImage(spec.image->data(), spec.image->size()));
+    std::string diag;
+    bool failed = false;
+    Result<MountedFs> mounted = MountKind(opts.fs, &scratch, /*format=*/false);
+    if (!mounted.ok()) {
+      diag = "remount failed: " + mounted.status().ToString();
+      failed = true;
+    } else {
+      if (opts.run_fsck &&
+          (opts.fs == CrashFs::kPmfs || opts.fs == CrashFs::kHinfs)) {
+        Result<FsckReport> fsck = FsckPmfs(&scratch);
+        if (!fsck.ok()) {
+          diag = "fsck failed to run: " + fsck.status().ToString();
+          failed = true;
+        } else if (!fsck->clean()) {
+          diag = "fsck errors: " + fsck->errors.front();
+          failed = true;
+        }
+      }
+      if (!failed) {
+        Vfs vfs(mounted->fs.get());
+        failed = !oracle.Check(&vfs, inflight, &diag).ok();
+      }
+    }
+    if (failed) {
+      CrashFailure f;
+      f.cut = spec.cut;
+      f.epoch = spec.epoch;
+      f.inflight_op = inflight != nullptr ? DescribeCrashOp(*inflight) : "";
+      f.surviving_lines = spec.surviving_lines;
+      f.diag = diag;
+      report.failures.push_back(std::move(f));
+      if (report.failures.size() >= opts.max_failures) {
+        return false;
+      }
+    }
+    return true;
+  });
+  HINFS_RETURN_IF_ERROR(st);
+
+  report.cuts = gen.cuts_visited();
+  report.states_explored = gen.states_emitted();
+  report.states_deduped = gen.states_deduped();
+  report.sampled = gen.sampled();
+  return report;
+}
+
+std::string CrashlabReport::Summary() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "crashlab[%s/%s]: %zu ops, %zu events, %zu cuts -> %zu distinct states "
+                "(%zu duplicates skipped%s), %zu failures; trace: %llu fences, %llu "
+                "flushed lines, %llu epochs, max %llu unfenced lines",
+                CrashFsName(fs),
+                flush_instruction == FlushInstruction::kClflush ? "clflush" : "clflushopt",
+                ops, trace_events, cuts, states_explored, states_deduped,
+                sampled ? ", sampled" : "", failures.size(),
+                static_cast<unsigned long long>(trace_fences),
+                static_cast<unsigned long long>(trace_flushed_lines),
+                static_cast<unsigned long long>(trace_epochs),
+                static_cast<unsigned long long>(trace_max_unfenced_lines));
+  return buf;
+}
+
+std::string CrashlabReport::ToJson() const {
+  std::string s = "{\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"fs\": \"%s\",\n  \"flush\": \"%s\",\n  \"ops\": %zu,\n"
+                "  \"trace_events\": %zu,\n  \"cuts\": %zu,\n  \"states_explored\": %zu,\n"
+                "  \"states_deduped\": %zu,\n  \"sampled\": %s,\n",
+                CrashFsName(fs),
+                flush_instruction == FlushInstruction::kClflush ? "clflush" : "clflushopt",
+                ops, trace_events, cuts, states_explored, states_deduped,
+                sampled ? "true" : "false");
+  s += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"fences\": %llu,\n  \"flushed_lines\": %llu,\n  \"epochs\": %llu,\n"
+                "  \"max_unfenced_lines\": %llu,\n",
+                static_cast<unsigned long long>(trace_fences),
+                static_cast<unsigned long long>(trace_flushed_lines),
+                static_cast<unsigned long long>(trace_epochs),
+                static_cast<unsigned long long>(trace_max_unfenced_lines));
+  s += buf;
+  s += "  \"failures\": [\n";
+  for (size_t i = 0; i < failures.size(); i++) {
+    const CrashFailure& f = failures[i];
+    std::snprintf(buf, sizeof(buf), "    {\"cut\": %zu, \"epoch\": %llu, \"op\": \"%s\", ",
+                  f.cut, static_cast<unsigned long long>(f.epoch),
+                  f.inflight_op.c_str());
+    s += buf;
+    s += "\"surviving_lines\": [";
+    for (size_t j = 0; j < f.surviving_lines.size(); j++) {
+      s += (j != 0 ? "," : "") + std::to_string(f.surviving_lines[j]);
+    }
+    s += "], \"diag\": \"";
+    for (char c : f.diag) {
+      if (c == '"' || c == '\\') {
+        s += '\\';
+      }
+      s += c;
+    }
+    s += "\"}";
+    s += i + 1 < failures.size() ? ",\n" : "\n";
+  }
+  s += "  ]\n}\n";
+  return s;
+}
+
+// --- canned workloads ---------------------------------------------------------
+
+namespace {
+
+// Deterministic non-zero payload, distinct per (tag, position) so stale or
+// cross-file bytes can't masquerade as legal values.
+std::string Payload(uint64_t tag, size_t len) {
+  std::string s(len, '\0');
+  for (size_t i = 0; i < len; i++) {
+    s[i] = static_cast<char>(1 + (tag * 131 + i * 7 + (tag >> 4)) % 250);
+  }
+  return s;
+}
+
+CrashOp Mkdir(std::string path) {
+  CrashOp op;
+  op.kind = CrashOp::Kind::kMkdir;
+  op.path = std::move(path);
+  return op;
+}
+CrashOp Create(std::string path) {
+  CrashOp op;
+  op.kind = CrashOp::Kind::kCreate;
+  op.path = std::move(path);
+  return op;
+}
+CrashOp PwriteOp(std::string path, uint64_t off, uint64_t tag, size_t len,
+                 bool o_sync = false) {
+  CrashOp op;
+  op.kind = CrashOp::Kind::kWrite;
+  op.path = std::move(path);
+  op.offset = off;
+  op.data = Payload(tag, len);
+  op.o_sync = o_sync;
+  return op;
+}
+CrashOp TruncateOp(std::string path, uint64_t size) {
+  CrashOp op;
+  op.kind = CrashOp::Kind::kTruncate;
+  op.path = std::move(path);
+  op.new_size = size;
+  return op;
+}
+CrashOp FsyncOp(std::string path) {
+  CrashOp op;
+  op.kind = CrashOp::Kind::kFsync;
+  op.path = std::move(path);
+  return op;
+}
+CrashOp UnlinkOp(std::string path) {
+  CrashOp op;
+  op.kind = CrashOp::Kind::kUnlink;
+  op.path = std::move(path);
+  return op;
+}
+CrashOp RenameOp(std::string from, std::string to) {
+  CrashOp op;
+  op.kind = CrashOp::Kind::kRename;
+  op.path = std::move(from);
+  op.path2 = std::move(to);
+  return op;
+}
+CrashOp SyncFsOp() {
+  CrashOp op;
+  op.kind = CrashOp::Kind::kSyncFs;
+  return op;
+}
+
+}  // namespace
+
+std::vector<std::string> CrashWorkloadMixes() {
+  return {"create", "append", "overwrite", "rename", "fsync", "truncate", "mixed"};
+}
+
+Result<std::vector<CrashOp>> MakeCrashWorkload(const std::string& mix, uint64_t seed) {
+  std::vector<CrashOp> ops;
+  if (mix == "create") {
+    ops.push_back(Mkdir("/d"));
+    ops.push_back(Create("/d/a"));
+    ops.push_back(PwriteOp("/d/a", 0, seed + 1, 100));
+    ops.push_back(Create("/d/b"));
+    ops.push_back(PwriteOp("/d/b", 0, seed + 2, 300));
+    ops.push_back(Create("/c"));
+    ops.push_back(PwriteOp("/c", 0, seed + 3, 64));
+  } else if (mix == "append") {
+    ops.push_back(Create("/log"));
+    ops.push_back(PwriteOp("/log", 0, seed + 1, 3000));
+    ops.push_back(PwriteOp("/log", 3000, seed + 2, 3000));
+    ops.push_back(FsyncOp("/log"));
+    ops.push_back(PwriteOp("/log", 6000, seed + 3, 5000));  // crosses chunk bounds
+    ops.push_back(PwriteOp("/log", 11000, seed + 4, 500));
+  } else if (mix == "overwrite") {
+    ops.push_back(Create("/f"));
+    ops.push_back(PwriteOp("/f", 0, seed + 1, 9000));
+    ops.push_back(FsyncOp("/f"));
+    ops.push_back(PwriteOp("/f", 1000, seed + 2, 2000));
+    ops.push_back(PwriteOp("/f", 4000, seed + 3, 64));
+    ops.push_back(FsyncOp("/f"));
+    ops.push_back(PwriteOp("/f", 100, seed + 4, 50));
+  } else if (mix == "rename") {
+    ops.push_back(Create("/a"));
+    ops.push_back(PwriteOp("/a", 0, seed + 1, 500));
+    ops.push_back(Create("/b"));
+    ops.push_back(PwriteOp("/b", 0, seed + 2, 700));
+    ops.push_back(RenameOp("/a", "/c"));
+    ops.push_back(RenameOp("/b", "/c"));  // over an existing target
+    ops.push_back(RenameOp("/c", "/d"));
+  } else if (mix == "fsync") {
+    ops.push_back(Create("/s"));
+    ops.push_back(PwriteOp("/s", 0, seed + 1, 2000, /*o_sync=*/true));
+    ops.push_back(PwriteOp("/s", 2000, seed + 2, 1000));
+    ops.push_back(FsyncOp("/s"));
+    ops.push_back(PwriteOp("/s", 3000, seed + 3, 1500, /*o_sync=*/true));
+    ops.push_back(SyncFsOp());
+  } else if (mix == "truncate") {
+    ops.push_back(Create("/t"));
+    ops.push_back(PwriteOp("/t", 0, seed + 1, 10000));
+    ops.push_back(FsyncOp("/t"));
+    ops.push_back(TruncateOp("/t", 3000));
+    ops.push_back(PwriteOp("/t", 5000, seed + 2, 1000));  // regrow across a hole
+    ops.push_back(TruncateOp("/t", 0));
+    ops.push_back(PwriteOp("/t", 0, seed + 3, 100));
+  } else if (mix == "mixed") {
+    std::mt19937_64 rng(seed * 0x2545f4914f6cdd1dull + 1);
+    const std::vector<std::string> files = {"/m0", "/m1", "/m2"};
+    for (const std::string& f : files) {
+      ops.push_back(Create(f));
+    }
+    for (int i = 0; i < 8; i++) {
+      const std::string& f = files[rng() % files.size()];
+      switch (rng() % 4) {
+        case 0:
+        case 1:
+          ops.push_back(PwriteOp(f, rng() % 6000, seed * 100 + i, 64 + rng() % 3000,
+                                 (rng() % 4) == 0));
+          break;
+        case 2:
+          ops.push_back(FsyncOp(f));
+          break;
+        case 3:
+          ops.push_back(TruncateOp(f, rng() % 5000));
+          break;
+      }
+    }
+    ops.push_back(RenameOp("/m0", "/renamed"));
+    ops.push_back(UnlinkOp("/m1"));
+    ops.push_back(SyncFsOp());
+  } else {
+    return Status(ErrorCode::kInvalidArgument, "unknown crash workload mix: " + mix);
+  }
+  return ops;
+}
+
+}  // namespace hinfs

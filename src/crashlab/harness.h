@@ -1,0 +1,97 @@
+// Crashlab driver: records a workload's persist trace, enumerates crash
+// states, and validates every state by remount + fsck + oracle diff.
+//
+// One run =
+//   1. format the FS under test on a tracked NvmmDevice and start tracing;
+//   2. replay a CrashOp workload through the real VFS, noting the trace
+//      position at every op boundary;
+//   3. enumerate crash states (CrashStateEnumerator) and, for each distinct
+//      state: install the image on a scratch device, remount (journal
+//      recovery), fsck the recovered image (PMFS-layout FSes), and diff the
+//      observed tree against the CrashOracle's legal-state set, with the op
+//      active at the crash cut as the in-flight relaxation.
+//
+// The recording device is never disturbed (CloneCrashImage-based states), so
+// a single workload execution yields thousands of crash states.
+
+#ifndef SRC_CRASHLAB_HARNESS_H_
+#define SRC_CRASHLAB_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/crashlab/oracle.h"
+#include "src/nvmm/nvmm_device.h"
+
+namespace hinfs {
+
+enum class CrashFs {
+  kPmfs,
+  kHinfs,
+  kBlockFsJournal,  // EXT4+NVMMBD analog: ordered metadata journal
+  kBlockFsDax,      // EXT4-DAX analog: direct data, journaled metadata
+};
+
+const char* CrashFsName(CrashFs fs);
+
+struct CrashlabOptions {
+  CrashFs fs = CrashFs::kPmfs;
+  FlushInstruction flush_instruction = FlushInstruction::kClflush;
+  size_t device_bytes = 4ull << 20;
+  uint64_t seed = 1;
+  // Subset budget per cut under kClflushopt/kClwb (see CrashGenOptions).
+  size_t max_states_per_cut = 32;
+  // Stop after this many distinct states (0 = explore every cut).
+  size_t max_total_states = 0;
+  // Collect at most this many failures before aborting the run.
+  size_t max_failures = 16;
+  // Run FsckPmfs on every recovered image (PMFS-layout FSes only).
+  bool run_fsck = true;
+  // Fault injection (PMFS-layout FSes only): drop the fence after journal
+  // appends during the recorded run, so undo entries can stay unfenced while
+  // the in-place updates they cover land. Crashlab must catch this under
+  // kClflushopt; kClflush masks it (flush alone is durable there).
+  bool inject_skip_journal_fence = false;
+};
+
+struct CrashFailure {
+  size_t cut = 0;
+  uint64_t epoch = 0;
+  std::string inflight_op;  // empty if the crash hit an op boundary
+  std::vector<uint64_t> surviving_lines;
+  std::string diag;
+};
+
+struct CrashlabReport {
+  CrashFs fs = CrashFs::kPmfs;
+  FlushInstruction flush_instruction = FlushInstruction::kClflush;
+  size_t ops = 0;
+  size_t trace_events = 0;
+  size_t cuts = 0;
+  size_t states_explored = 0;  // distinct crash states checked
+  size_t states_deduped = 0;
+  bool sampled = false;
+  uint64_t trace_fences = 0;
+  uint64_t trace_flushed_lines = 0;
+  uint64_t trace_epochs = 0;
+  uint64_t trace_max_unfenced_lines = 0;
+  std::vector<CrashFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+  std::string Summary() const;
+  std::string ToJson() const;
+};
+
+// Runs one workload under the crashlab harness.
+Result<CrashlabReport> RunCrashlab(const std::vector<CrashOp>& workload,
+                                   const CrashlabOptions& opts);
+
+// Canned workload mixes (the acceptance matrix): "create", "append",
+// "overwrite", "rename", "fsync", "truncate", or "mixed" (seeded blend).
+Result<std::vector<CrashOp>> MakeCrashWorkload(const std::string& mix, uint64_t seed);
+std::vector<std::string> CrashWorkloadMixes();
+
+}  // namespace hinfs
+
+#endif  // SRC_CRASHLAB_HARNESS_H_

@@ -1,0 +1,512 @@
+#include "src/crashlab/oracle.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "src/common/constants.h"
+
+namespace hinfs {
+
+const char* CrashOpKindName(CrashOp::Kind kind) {
+  switch (kind) {
+    case CrashOp::Kind::kMkdir: return "mkdir";
+    case CrashOp::Kind::kCreate: return "create";
+    case CrashOp::Kind::kWrite: return "write";
+    case CrashOp::Kind::kTruncate: return "truncate";
+    case CrashOp::Kind::kFsync: return "fsync";
+    case CrashOp::Kind::kUnlink: return "unlink";
+    case CrashOp::Kind::kRename: return "rename";
+    case CrashOp::Kind::kSyncFs: return "syncfs";
+  }
+  return "?";
+}
+
+std::string DescribeCrashOp(const CrashOp& op) {
+  std::string s = CrashOpKindName(op.kind);
+  s += " " + op.path;
+  if (op.kind == CrashOp::Kind::kRename) {
+    s += " -> " + op.path2;
+  } else if (op.kind == CrashOp::Kind::kWrite) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " off=%llu len=%zu%s",
+                  static_cast<unsigned long long>(op.offset), op.data.size(),
+                  op.o_sync ? " O_SYNC" : "");
+    s += buf;
+  } else if (op.kind == CrashOp::Kind::kTruncate) {
+    s += " to " + std::to_string(op.new_size);
+  }
+  return s;
+}
+
+OracleOptions OracleOptions::Pmfs() {
+  OracleOptions o;
+  o.data = DataDurability::kSynchronous;
+  o.meta = MetaDurability::kSynchronous;
+  o.size_granularity = SizeGranularity::kWholeOp;
+  return o;
+}
+
+OracleOptions OracleOptions::Hinfs() {
+  OracleOptions o;
+  o.data = DataDurability::kLazy;
+  o.meta = MetaDurability::kSynchronous;
+  o.size_granularity = SizeGranularity::kChunk;
+  return o;
+}
+
+OracleOptions OracleOptions::BlockFsJournal() {
+  OracleOptions o;
+  o.data = DataDurability::kCommitted;
+  o.meta = MetaDurability::kCommitted;
+  o.size_granularity = SizeGranularity::kWholeOp;
+  return o;
+}
+
+OracleOptions OracleOptions::BlockFsDax() {
+  OracleOptions o;
+  o.data = DataDurability::kSynchronous;
+  o.meta = MetaDurability::kCommitted;
+  o.size_granularity = SizeGranularity::kWholeOp;
+  return o;
+}
+
+// --- ModelFile ----------------------------------------------------------------
+
+void CrashOracle::ModelFile::EnsureExtent(size_t n, bool exact_zero) {
+  if (data.size() >= n) {
+    return;
+  }
+  const size_t old = data.size();
+  data.resize(n, 0);
+  exact.resize(n, exact_zero ? 1 : 0);
+  zero_ok.resize(n, 1);
+  alts.resize(n);
+  (void)old;
+}
+
+void CrashOracle::ModelFile::WriteBytes(uint64_t off, const std::string& payload,
+                                        bool synchronous) {
+  EnsureExtent(off + payload.size(), synchronous);
+  for (size_t i = 0; i < payload.size(); i++) {
+    const size_t p = off + i;
+    const uint8_t v = static_cast<uint8_t>(payload[i]);
+    if (synchronous) {
+      data[p] = v;
+      exact[p] = 1;
+      zero_ok[p] = 0;
+      alts[p].clear();
+    } else {
+      // The previous durable candidate(s) stay legal until writeback; the new
+      // value becomes the current one.
+      const uint8_t old = data[p];
+      if (exact[p]) {
+        alts[p].assign(1, static_cast<char>(old));
+        exact[p] = 0;
+      } else if (old != v && alts[p].find(static_cast<char>(old)) == std::string::npos) {
+        alts[p].push_back(static_cast<char>(old));
+      }
+      data[p] = v;
+    }
+  }
+}
+
+void CrashOracle::ModelFile::CollapseToExact() {
+  const size_t n = std::min<size_t>(size, data.size());
+  for (size_t i = 0; i < n; i++) {
+    exact[i] = 1;
+    zero_ok[i] = 0;
+    alts[i].clear();
+  }
+}
+
+// --- model advancement --------------------------------------------------------
+
+void CrashOracle::ApplyTo(ModelFs& fs, const CrashOp& op, const OracleOptions& opts) {
+  switch (op.kind) {
+    case CrashOp::Kind::kMkdir: {
+      ModelFile dir;
+      dir.type = FileType::kDirectory;
+      fs[op.path] = std::move(dir);
+      break;
+    }
+    case CrashOp::Kind::kCreate:
+      fs[op.path] = ModelFile{};
+      break;
+    case CrashOp::Kind::kWrite: {
+      ModelFile& f = fs[op.path];
+      const bool synchronous =
+          opts.data == OracleOptions::DataDurability::kSynchronous || op.o_sync;
+      f.WriteBytes(op.offset, op.data, synchronous);
+      f.size = std::max<uint64_t>(f.size, op.offset + op.data.size());
+      break;
+    }
+    case CrashOp::Kind::kTruncate: {
+      ModelFile& f = fs[op.path];
+      if (op.new_size < f.size) {
+        // Freed tail: reads as holes (zero) if the file regrows. With lazy
+        // data the buffered tail may have escaped to NVMM first, so keep the
+        // old bytes as alternates only for synchronous data.
+        const bool sync_data = opts.data == OracleOptions::DataDurability::kSynchronous;
+        for (size_t i = op.new_size; i < std::min<size_t>(f.size, f.data.size()); i++) {
+          f.data[i] = 0;
+          f.exact[i] = sync_data ? 1 : 0;
+          f.zero_ok[i] = 1;
+          f.alts[i].clear();
+        }
+      } else {
+        f.EnsureExtent(op.new_size,
+                       opts.data == OracleOptions::DataDurability::kSynchronous);
+      }
+      f.size = op.new_size;
+      break;
+    }
+    case CrashOp::Kind::kFsync: {
+      if (opts.data == OracleOptions::DataDurability::kLazy) {
+        auto it = fs.find(op.path);
+        if (it != fs.end()) {
+          it->second.CollapseToExact();
+        }
+      }
+      break;
+    }
+    case CrashOp::Kind::kSyncFs: {
+      if (opts.data == OracleOptions::DataDurability::kLazy) {
+        for (auto& [path, f] : fs) {
+          f.CollapseToExact();
+        }
+      }
+      break;
+    }
+    case CrashOp::Kind::kUnlink:
+      fs.erase(op.path);
+      break;
+    case CrashOp::Kind::kRename: {
+      auto it = fs.find(op.path);
+      if (it != fs.end()) {
+        fs[op.path2] = std::move(it->second);
+        fs.erase(op.path);
+      }
+      break;
+    }
+  }
+}
+
+void CrashOracle::CommitAll() {
+  committed_ = current_;
+  for (auto& [path, f] : committed_) {
+    f.CollapseToExact();
+  }
+}
+
+void CrashOracle::Apply(const CrashOp& op) {
+  ApplyTo(current_, op, opts_);
+  // O_SYNC writes are commit points too: the FS syncs the file data and
+  // commits the journal before returning from the write.
+  if (opts_.meta == OracleOptions::MetaDurability::kCommitted &&
+      (op.kind == CrashOp::Kind::kFsync || op.kind == CrashOp::Kind::kSyncFs ||
+       (op.kind == CrashOp::Kind::kWrite && op.o_sync))) {
+    // Ordered-mode journal commit: all dirty data synced, then all metadata
+    // committed atomically. The committed snapshot is the whole current state.
+    CommitAll();
+  }
+}
+
+// --- legal-state variants ------------------------------------------------------
+
+namespace {
+
+// Sizes a chunk-granular write can have durably exposed mid-op: the old size,
+// then each 4 KB-chunk end, then the final size.
+std::vector<uint64_t> ChunkSizes(uint64_t old_size, uint64_t off, uint64_t end) {
+  std::vector<uint64_t> sizes = {old_size};
+  uint64_t pos = off;
+  while (pos < end) {
+    const uint64_t next = std::min<uint64_t>(end, (pos / kBlockSize + 1) * kBlockSize);
+    const uint64_t s = std::max(old_size, next);
+    if (s != sizes.back()) {
+      sizes.push_back(s);
+    }
+    pos = next;
+  }
+  return sizes;
+}
+
+}  // namespace
+
+std::vector<CrashOracle::ModelFs> CrashOracle::CheckVariants(const CrashOp* inflight) const {
+  std::vector<ModelFs> variants;
+
+  if (opts_.meta == OracleOptions::MetaDurability::kCommitted) {
+    // Base: the last committed snapshot, with current data values admitted as
+    // per-byte alternates (data may legally reach the media before the next
+    // commit: DAX writes are durable at write time, and the page cache may
+    // write back early under pressure).
+    ModelFs base = committed_;
+    for (auto& [path, f] : base) {
+      auto cur = current_.find(path);
+      if (cur == current_.end()) {
+        // Unlinked (possibly truncated first) since the last commit: its data
+        // pages may already be punched or discarded even though the namespace
+        // change has not committed, so any byte may legally read zero.
+        for (size_t i = 0; i < f.data.size(); i++) {
+          f.exact[i] = 0;
+          f.zero_ok[i] = 1;
+        }
+        continue;
+      }
+      const size_t n = std::min(f.data.size(), cur->second.data.size());
+      for (size_t i = 0; i < n; i++) {
+        const uint8_t cv = cur->second.data[i];
+        if (cv != f.data[i]) {
+          if (f.exact[i]) {
+            f.exact[i] = 0;
+            f.alts[i].assign(1, static_cast<char>(f.data[i]));
+          }
+          if (f.alts[i].find(static_cast<char>(cv)) == std::string::npos) {
+            f.alts[i].push_back(static_cast<char>(cv));
+          }
+        }
+      }
+      // A shrinking truncate since the last commit punches the freed tail in
+      // place (DAX zeroes it durably, ordered mode discards the cached pages)
+      // before its size metadata commits: the committed view may legally read
+      // zeros there while still showing the old size.
+      uint64_t punched_from = f.data.size();
+      if (cur->second.size < punched_from) {
+        punched_from = cur->second.size;
+      }
+      if (inflight != nullptr && inflight->kind == CrashOp::Kind::kTruncate &&
+          inflight->path == path && inflight->new_size < punched_from) {
+        punched_from = inflight->new_size;
+      }
+      for (size_t i = punched_from; i < f.data.size(); i++) {
+        f.exact[i] = 0;
+        f.zero_ok[i] = 1;
+      }
+      // An in-flight write's payload may be partially durable (DAX).
+      if (inflight != nullptr && inflight->kind == CrashOp::Kind::kWrite &&
+          inflight->path == path) {
+        for (size_t i = 0; i < inflight->data.size(); i++) {
+          const size_t p = inflight->offset + i;
+          if (p >= f.data.size()) {
+            break;
+          }
+          const uint8_t v = static_cast<uint8_t>(inflight->data[i]);
+          if (v != f.data[p]) {
+            if (f.exact[p]) {
+              f.exact[p] = 0;
+              f.alts[p].assign(1, static_cast<char>(f.data[p]));
+            }
+            if (f.alts[p].find(static_cast<char>(v)) == std::string::npos) {
+              f.alts[p].push_back(static_cast<char>(v));
+            }
+          }
+        }
+      }
+    }
+    variants.push_back(std::move(base));
+    if (inflight != nullptr && (inflight->kind == CrashOp::Kind::kFsync ||
+                                inflight->kind == CrashOp::Kind::kSyncFs ||
+                                (inflight->kind == CrashOp::Kind::kWrite &&
+                                 inflight->o_sync))) {
+      // Crash mid-commit: either the old snapshot (journal txn not durable,
+      // covered by base) or the new one (commit record made it).
+      ModelFs after = current_;
+      ApplyTo(after, *inflight, opts_);
+      for (auto& [path, f] : after) {
+        f.CollapseToExact();
+      }
+      variants.push_back(std::move(after));
+    }
+    return variants;
+  }
+
+  // Synchronous metadata (PMFS, HiNFS): completed ops are exactly durable;
+  // only the in-flight op is relaxed.
+  variants.push_back(current_);
+  if (inflight == nullptr) {
+    return variants;
+  }
+  switch (inflight->kind) {
+    case CrashOp::Kind::kWrite: {
+      auto it = current_.find(inflight->path);
+      if (it == current_.end()) {
+        break;
+      }
+      const uint64_t old_size = it->second.size;
+      const uint64_t end = inflight->offset + inflight->data.size();
+      std::vector<uint64_t> sizes;
+      // Chunk granularity applies to O_SYNC writes too: HiNFS drains a sync
+      // write through the buffer frame by frame, so the size advances at each
+      // 4 KB chunk boundary mid-op.
+      if (opts_.size_granularity == OracleOptions::SizeGranularity::kChunk) {
+        sizes = ChunkSizes(old_size, inflight->offset, end);
+      } else {
+        sizes = {old_size, std::max(old_size, end)};
+      }
+      for (uint64_t s : sizes) {
+        ModelFs v = current_;
+        ModelFile& f = v[inflight->path];
+        // Mid-op: each covered byte is old-or-new (the size guard decides
+        // which bytes are visible at all), so apply the payload non-
+        // synchronously even on a synchronous-data FS.
+        f.WriteBytes(inflight->offset, inflight->data, /*synchronous=*/false);
+        f.size = s;
+        variants.push_back(std::move(v));
+      }
+      break;
+    }
+    case CrashOp::Kind::kTruncate: {
+      auto it = current_.find(inflight->path);
+      if (it != current_.end() && inflight->new_size < it->second.size) {
+        // Blocks freed but size not yet updated: old size, tail reads zero
+        // or old content.
+        ModelFs v = current_;
+        ModelFile& f = v[inflight->path];
+        for (size_t i = inflight->new_size;
+             i < std::min<size_t>(f.size, f.data.size()); i++) {
+          f.exact[i] = 0;
+          f.zero_ok[i] = 1;
+        }
+        variants.push_back(std::move(v));
+      }
+      ModelFs post = current_;
+      ApplyTo(post, *inflight, opts_);
+      variants.push_back(std::move(post));
+      break;
+    }
+    case CrashOp::Kind::kRename: {
+      if (current_.count(inflight->path2) != 0) {
+        // Rename over an existing target first unlinks the target.
+        ModelFs mid = current_;
+        mid.erase(inflight->path2);
+        variants.push_back(std::move(mid));
+      }
+      ModelFs post = current_;
+      ApplyTo(post, *inflight, opts_);
+      variants.push_back(std::move(post));
+      break;
+    }
+    case CrashOp::Kind::kMkdir:
+    case CrashOp::Kind::kCreate:
+    case CrashOp::Kind::kUnlink:
+    case CrashOp::Kind::kFsync:
+    case CrashOp::Kind::kSyncFs: {
+      ModelFs post = current_;
+      ApplyTo(post, *inflight, opts_);
+      variants.push_back(std::move(post));
+      break;
+    }
+  }
+  return variants;
+}
+
+// --- checking -----------------------------------------------------------------
+
+namespace {
+
+Status WalkFs(Vfs* vfs, const std::string& dir, std::map<std::string, InodeAttr>* out) {
+  HINFS_ASSIGN_OR_RETURN(std::vector<DirEntry> entries,
+                         vfs->ReadDir(dir.empty() ? "/" : dir));
+  for (const DirEntry& e : entries) {
+    const std::string full = dir + "/" + e.name;
+    HINFS_ASSIGN_OR_RETURN(InodeAttr attr, vfs->Stat(full));
+    (*out)[full] = attr;
+    if (attr.type == FileType::kDirectory) {
+      HINFS_RETURN_IF_ERROR(WalkFs(vfs, full, out));
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status CrashOracle::CheckAgainst(Vfs* vfs, const ModelFs& model, std::string* diag) const {
+  std::map<std::string, InodeAttr> actual;
+  Status walk = WalkFs(vfs, "", &actual);
+  if (!walk.ok()) {
+    *diag = "walking the remounted fs failed: " + walk.ToString();
+    return Status(ErrorCode::kCorrupt, *diag);
+  }
+  for (const auto& [path, attr] : actual) {
+    auto it = model.find(path);
+    if (it == model.end()) {
+      *diag = "unexpected entry survived the crash: " + path;
+      return Status(ErrorCode::kCorrupt, *diag);
+    }
+    if (it->second.type != attr.type) {
+      *diag = "type mismatch for " + path;
+      return Status(ErrorCode::kCorrupt, *diag);
+    }
+  }
+  for (const auto& [path, mf] : model) {
+    auto it = actual.find(path);
+    if (it == actual.end()) {
+      *diag = "entry lost in the crash: " + path;
+      return Status(ErrorCode::kCorrupt, *diag);
+    }
+    if (mf.type != FileType::kRegular) {
+      continue;
+    }
+    if (it->second.size != mf.size) {
+      *diag = "size mismatch for " + path + ": got " + std::to_string(it->second.size) +
+              ", legal " + std::to_string(mf.size);
+      return Status(ErrorCode::kCorrupt, *diag);
+    }
+    Result<std::string> contents = vfs->ReadFileToString(path);
+    if (!contents.ok()) {
+      *diag = "read failed for " + path + ": " + contents.status().ToString();
+      return Status(ErrorCode::kCorrupt, *diag);
+    }
+    if (contents->size() != mf.size) {
+      *diag = "short read for " + path;
+      return Status(ErrorCode::kCorrupt, *diag);
+    }
+    for (size_t i = 0; i < mf.size; i++) {
+      const uint8_t c = static_cast<uint8_t>((*contents)[i]);
+      const uint8_t want = i < mf.data.size() ? mf.data[i] : 0;
+      if (c == want) {
+        continue;
+      }
+      const bool zero_legal = i < mf.zero_ok.size() ? mf.zero_ok[i] != 0 : true;
+      const bool is_exact = i < mf.exact.size() ? mf.exact[i] != 0 : false;
+      if (c == 0 && zero_legal && !is_exact) {
+        continue;
+      }
+      if (!is_exact && i < mf.alts.size() &&
+          mf.alts[i].find(static_cast<char>(c)) != std::string::npos) {
+        continue;
+      }
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "byte %zu of %s is garbage: got 0x%02x, current 0x%02x%s%s", i,
+                    path.c_str(), c, want, is_exact ? " (exact)" : "",
+                    !is_exact && zero_legal ? ", zero legal" : "");
+      *diag = buf;
+      return Status(ErrorCode::kCorrupt, *diag);
+    }
+  }
+  return OkStatus();
+}
+
+Status CrashOracle::Check(Vfs* vfs, const CrashOp* inflight, std::string* diag) const {
+  const std::vector<ModelFs> variants = CheckVariants(inflight);
+  std::string mismatches;
+  for (size_t i = 0; i < variants.size(); i++) {
+    std::string d;
+    if (CheckAgainst(vfs, variants[i], &d).ok()) {
+      diag->clear();
+      return OkStatus();
+    }
+    mismatches += " [variant " + std::to_string(i) + ": " + d + "]";
+  }
+  *diag = "no legal state matched (" + std::to_string(variants.size()) + " variants";
+  if (inflight != nullptr) {
+    *diag += ", in-flight op: " + DescribeCrashOp(*inflight);
+  }
+  *diag += ");" + mismatches;
+  return Status(ErrorCode::kCorrupt, *diag);
+}
+
+}  // namespace hinfs

@@ -1,0 +1,135 @@
+// CrashOracle: a DRAM-side model file system that tracks the set of
+// POSIX-legal post-crash states for a workload (crashlab layer 3).
+//
+// The harness replays a workload op list; after each completed op it calls
+// Apply() so the model advances, and for every crash state generated inside an
+// op it calls Check() with that op as "in flight". Check() compares the
+// remounted file system against the legal-state set:
+//
+//   - per-byte candidate sets: every readable byte must be a value the
+//     protocol could have made durable — the current value (synchronous data),
+//     a previously durable value, or zero (holes / unsynced appends). Stale
+//     device garbage matches none of them and is reported. Sets collapse to
+//     "exact" on fsync (lazy data) or on commit (journaled block FS).
+//   - namespace/size legality: synchronous-metadata FSes (PMFS, HiNFS) must
+//     expose exactly the model namespace, relaxed only for the in-flight op
+//     (e.g. a mid-crash rename may show source, target-unlinked, or moved).
+//     Committed-metadata FSes (BlockFs) must expose the last committed
+//     snapshot; the in-flight relaxation applies to commit ops (fsync/syncfs).
+//
+// The oracle is deliberately FS-parameterized (OracleOptions), not
+// FS-specific: PMFS = synchronous data + synchronous metadata, HiNFS = lazy
+// data + synchronous metadata (sizes advance per 4 KB chunk), BlockFs =
+// committed data + committed metadata, BlockFs-DAX = synchronous data +
+// committed metadata. One checker covers all four.
+
+#ifndef SRC_CRASHLAB_ORACLE_H_
+#define SRC_CRASHLAB_ORACLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/vfs/vfs.h"
+
+namespace hinfs {
+
+// One workload operation, in the vocabulary the oracle understands.
+struct CrashOp {
+  enum class Kind : uint8_t {
+    kMkdir,
+    kCreate,    // create empty regular file
+    kWrite,     // pwrite(path, offset, data)
+    kTruncate,
+    kFsync,
+    kUnlink,
+    kRename,
+    kSyncFs,
+  };
+  Kind kind;
+  std::string path;
+  std::string path2;      // rename destination
+  uint64_t offset = 0;    // write
+  std::string data;       // write payload
+  uint64_t new_size = 0;  // truncate
+  bool o_sync = false;    // write through an O_SYNC fd (eager persistent)
+};
+
+const char* CrashOpKindName(CrashOp::Kind kind);
+std::string DescribeCrashOp(const CrashOp& op);
+
+struct OracleOptions {
+  // Durability of a *completed* write's data.
+  enum class DataDurability : uint8_t {
+    kSynchronous,  // durable on return (PMFS, O_SYNC, DAX)
+    kLazy,         // may sit in a DRAM buffer until fsync (HiNFS buffered)
+    kCommitted,    // durable at the next journal commit (BlockFs ordered)
+  };
+  // Durability of completed namespace/size updates.
+  enum class MetaDurability : uint8_t {
+    kSynchronous,  // durable on return (PMFS journaled ops, HiNFS)
+    kCommitted,    // durable at the next commit (BlockFs journal)
+  };
+  // How file size advances inside one large write.
+  enum class SizeGranularity : uint8_t {
+    kWholeOp,  // one atomic size update at op end (PMFS)
+    kChunk,    // size advances per 4 KB chunk (HiNFS foreground write)
+  };
+
+  DataDurability data = DataDurability::kSynchronous;
+  MetaDurability meta = MetaDurability::kSynchronous;
+  SizeGranularity size_granularity = SizeGranularity::kWholeOp;
+
+  static OracleOptions Pmfs();
+  static OracleOptions Hinfs();
+  static OracleOptions BlockFsJournal();
+  static OracleOptions BlockFsDax();
+};
+
+class CrashOracle {
+ public:
+  explicit CrashOracle(const OracleOptions& opts) : opts_(opts) {}
+
+  // Advance the model by one *completed* operation.
+  void Apply(const CrashOp& op);
+
+  // Compare a remounted post-crash file system against the legal-state set.
+  // `inflight` is the op during which the crash happened (null = crash at an
+  // op boundary). On mismatch returns kDataLoss with a diagnosis in `diag`.
+  Status Check(Vfs* vfs, const CrashOp* inflight, std::string* diag) const;
+
+ private:
+  struct ModelFile {
+    FileType type = FileType::kRegular;
+    uint64_t size = 0;
+    // Per-byte legal-state tracking, kept at the file's maximum historical
+    // extent so shrunk-then-regrown ranges keep their candidates.
+    std::vector<uint8_t> data;     // current logical content
+    std::vector<uint8_t> exact;    // byte must equal data[i]
+    std::vector<uint8_t> zero_ok;  // zero is additionally legal
+    std::vector<std::string> alts; // other legal values (older durable data)
+
+    void EnsureExtent(size_t n, bool exact_zero);
+    void WriteBytes(uint64_t off, const std::string& payload, bool synchronous);
+    void CollapseToExact();
+  };
+  // path → file ("/a/b", root directory implicit).
+  using ModelFs = std::map<std::string, ModelFile>;
+
+  static void ApplyTo(ModelFs& fs, const CrashOp& op, const OracleOptions& opts);
+  // The model states the crash may legally expose given `inflight`.
+  std::vector<ModelFs> CheckVariants(const CrashOp* inflight) const;
+  Status CheckAgainst(Vfs* vfs, const ModelFs& model, std::string* diag) const;
+  void CommitAll();
+
+  OracleOptions opts_;
+  ModelFs current_;
+  ModelFs committed_;  // meta == kCommitted only: last journal-commit snapshot
+};
+
+}  // namespace hinfs
+
+#endif  // SRC_CRASHLAB_ORACLE_H_

@@ -520,6 +520,7 @@ Status BlockFs::WriteDataLocked(DiskInode& inode, uint64_t offset, const void* s
       }
       ScopedTimer t(stats_.Counter(kStatWriteAccessNs));
       HINFS_RETURN_IF_ERROR(cache_->Write(blk, in_block, in, chunk));
+      dirty_data_inos_.insert(inode.ino);
     }
     in += chunk;
     cur += chunk;
@@ -545,6 +546,7 @@ Status BlockFs::SyncFileDataLocked(DiskInode& inode) {
       HINFS_RETURN_IF_ERROR(cache_->SyncPage(blk));
     }
   }
+  dirty_data_inos_.erase(inode.ino);
   return OkStatus();
 }
 
@@ -567,6 +569,20 @@ Status BlockFs::CommitJournalLocked() {
   }
   if (dirty_meta_blocks_.empty()) {
     return OkStatus();
+  }
+  // Ordered mode (ext4 data=ordered): file data reaches the device before the
+  // metadata that references it commits. Without this, a committed journal
+  // transaction could expose stale or unwritten block contents after a crash.
+  if (!dirty_data_inos_.empty()) {
+    std::set<uint64_t> inos;
+    inos.swap(dirty_data_inos_);
+    for (uint64_t ino : inos) {
+      Result<DiskInode> inode = LoadInodeLocked(ino);
+      if (!inode.ok()) {
+        continue;  // unlinked since the write; nothing left to order
+      }
+      HINFS_RETURN_IF_ERROR(SyncFileDataLocked(*inode));
+    }
   }
   std::vector<uint64_t> targets(dirty_meta_blocks_.begin(), dirty_meta_blocks_.end());
   size_t done = 0;
@@ -886,6 +902,13 @@ Status BlockFs::Unmount() {
   HINFS_RETURN_IF_ERROR(CommitJournalLocked());
   HINFS_RETURN_IF_ERROR(cache_->SyncAll());
   dirty_meta_blocks_.clear();
+  if (options_.dax && options_.dax_nvmm != nullptr) {
+    // Mirror the DAX device's persist-order counters, as PmfsFs does.
+    stats_.Add(kStatNvmmFences, options_.dax_nvmm->fence_count());
+    stats_.Add(kStatNvmmFlushedLines, options_.dax_nvmm->flushed_lines());
+    stats_.Add(kStatNvmmEpochs, options_.dax_nvmm->epoch_count());
+    stats_.Add(kStatNvmmMaxUnfencedLines, options_.dax_nvmm->max_unfenced_lines());
+  }
   sb_.clean_unmount = 1;
   if (options_.journal) {
     sb_.checkpoint_seq = next_seq_ - 1;

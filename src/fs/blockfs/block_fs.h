@@ -158,6 +158,9 @@ class BlockFs : public FileSystem {
 
   // Journaling state.
   std::set<uint64_t> dirty_meta_blocks_;
+  // Regular-file inodes with page-cache data written since the last sync;
+  // CommitJournalLocked syncs their data first (ordered mode).
+  std::set<uint64_t> dirty_data_inos_;
   uint64_t journal_head_ = 0;  // next journal block to write
   uint64_t next_seq_ = 1;
 };

@@ -239,7 +239,14 @@ class Checker {
         continue;
       }
       const uint64_t refs = refcount_.count(ino) != 0 ? refcount_[ino] : 0;
-      if (refs == 0) {
+      if (refs == 0 && inode.nlink == 0) {
+        // Unlink crashed between its dirent-clear and slot-free transactions;
+        // the nlink = 0 marker makes this a reclaimable orphan, not a lost
+        // file. Mount-time recovery frees it.
+        std::snprintf(buf, sizeof(buf), "ino %llu is an unreclaimed orphan (nlink 0)",
+                      (unsigned long long)ino);
+        Warn(buf);
+      } else if (refs == 0) {
         std::snprintf(buf, sizeof(buf), "ino %llu is allocated but unreachable",
                       (unsigned long long)ino);
         Error(buf);

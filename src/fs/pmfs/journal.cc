@@ -79,7 +79,9 @@ Status Journal::AppendEntry(const JournalEntry& proto, bool is_commit) {
   HINFS_RETURN_IF_ERROR(
       nvmm_->Store(addr + offsetof(JournalEntry, valid), &valid, sizeof(valid)));
   HINFS_RETURN_IF_ERROR(nvmm_->Flush(addr, sizeof(e)));
-  nvmm_->Fence();
+  if (!skip_append_fence_) {
+    nvmm_->Fence();
+  }
   if (is_commit) {
     active_txns_--;
     wrap_cv_.notify_all();

@@ -95,6 +95,16 @@ class Journal {
 
   uint64_t capacity_entries() const { return capacity_; }
 
+  // Fault injection for crashlab: when set, journal entries (undo and commit)
+  // are flushed but the trailing fence is skipped. Invisible under kClflush
+  // (flush alone is durable there). Under kClflushopt/kClwb an undo entry can
+  // stay pending while the caller's in-place update lands with its own fence —
+  // a crash in that window exposes a torn transaction with no rollback record.
+  // (Dropping only the *commit* fence is provably benign in this codebase:
+  // every operation ends with a fenced in-place mtime/size update that rescues
+  // the pending commit line, and crashlab confirms zero violations for it.)
+  void set_skip_append_fence(bool v) { skip_append_fence_ = v; }
+
  private:
   Status AppendEntry(const JournalEntry& proto, bool is_commit);
   uint64_t DrainThreshold() const;
@@ -109,6 +119,7 @@ class Journal {
   uint64_t next_txn_id_ = 1;
   uint64_t head_ = 0;        // next slot to write
   uint32_t generation_ = 1;  // bumped each time the ring wraps
+  bool skip_append_fence_ = false;
 };
 
 }  // namespace hinfs

@@ -114,6 +114,18 @@ Status PmfsFs::InitMount() {
   alloc_ = std::make_unique<BlockAllocator>(nvmm_, sb_.bitmap_off, sb_.data_blocks);
   HINFS_RETURN_IF_ERROR(alloc_->LoadFromNvmm());
 
+  // Reclaim orphans: an unlink whose dirent-clear transaction committed but
+  // whose slot-free transaction did not (crash between the two) leaves an
+  // allocated inode with nlink == 0. Freeing is itself journaled, so this is
+  // idempotent across repeated crashes during recovery.
+  for (uint64_t ino = 2; ino <= sb_.max_inodes; ino++) {
+    PmfsInode inode;
+    HINFS_RETURN_IF_ERROR(nvmm_->Load(InodeAddr(ino), &inode, sizeof(inode)));
+    if (inode.ino == ino && inode.nlink == 0) {
+      HINFS_RETURN_IF_ERROR(FreeFileLocked(ino));
+    }
+  }
+
   // Rebuild the free-inode list by scanning the table.
   free_inos_.clear();
   for (uint64_t ino = sb_.max_inodes; ino >= 2; ino--) {
@@ -338,10 +350,19 @@ Result<uint64_t> PmfsFs::EnsureDataBlockAddr(uint64_t ino, uint64_t file_block) 
   }
   Transaction txn = journal_->Begin();
   Result<uint64_t> blk = MapBlockAlloc(txn, ino, inode, file_block);
+  Status zero_st = OkStatus();
+  if (blk.ok()) {
+    // The caller writes data only after this mapping commits, so a crash in
+    // between would expose whatever a previous owner left in the block. Zero
+    // it persistently before the commit makes it reachable.
+    static const std::vector<uint8_t> kZeroBlock(kBlockSize, 0);
+    zero_st = nvmm_->StorePersistent(DataBlockAddr(*blk), kZeroBlock.data(), kBlockSize);
+  }
   Status commit_st = txn.Commit();
   if (!blk.ok()) {
     return blk.status();
   }
+  HINFS_RETURN_IF_ERROR(zero_st);
   HINFS_RETURN_IF_ERROR(commit_st);
   return DataBlockAddr(*blk);
 }
@@ -501,6 +522,21 @@ Status PmfsFs::FreeFileLocked(uint64_t ino) {
   return OkStatus();
 }
 
+Status PmfsFs::MarkInodeOrphaned(Transaction& txn, uint64_t ino) {
+  // Log the inode's first cacheline (it covers nlink) so a crash before the
+  // transaction commits rolls the link count back together with the dirent,
+  // then persist nlink = 0 in place. nlink is a u32 at offset 12, so the
+  // atomic write targets the containing 8-byte word.
+  HINFS_RETURN_IF_ERROR(txn.LogOldValue(InodeAddr(ino), kCachelineSize));
+  constexpr size_t kWordOff = offsetof(PmfsInode, nlink) & ~size_t{7};
+  static_assert(offsetof(PmfsInode, nlink) - kWordOff == 4, "nlink in high half");
+  std::lock_guard<std::mutex> lock(imeta_mu_);
+  uint64_t word;
+  HINFS_RETURN_IF_ERROR(nvmm_->LoadAtomic(InodeAddr(ino) + kWordOff, &word, sizeof(word)));
+  word &= 0xFFFFFFFFull;  // clear nlink, keep type/radix_height/reserved0
+  return nvmm_->StoreAtomicPersistent(InodeAddr(ino) + kWordOff, &word, sizeof(word));
+}
+
 Status PmfsFs::UnlinkLocked(uint64_t dir_ino, std::string_view name) {
   HINFS_ASSIGN_OR_RETURN(PmfsInode dir, LoadInode(dir_ino));
   if (dir.type != static_cast<uint8_t>(FileType::kDirectory)) {
@@ -517,12 +553,17 @@ Status PmfsFs::UnlinkLocked(uint64_t dir_ino, std::string_view name) {
     }
   }
 
-  // Remove the name first (its own transaction), then drop the file. A crash
-  // between the two leaks the inode, which matches ordered-metadata semantics
-  // (never exposes a corrupt name).
+  // Remove the name and persist nlink = 0 in one transaction, then drop the
+  // file in a second one. A crash between the two leaves an orphan inode but
+  // never a corrupt name; the nlink = 0 marker lets mount-time recovery
+  // reclaim the orphan (ext4-style orphan processing), so the leak is bounded
+  // to the window before the next mount.
   {
     Transaction txn = journal_->Begin();
     Status st = ClearDirentAt(txn, dir, dirent_off);
+    if (st.ok()) {
+      st = MarkInodeOrphaned(txn, dirent.ino);
+    }
     HINFS_RETURN_IF_ERROR(txn.Commit());
     HINFS_RETURN_IF_ERROR(st);
   }
@@ -784,6 +825,12 @@ Status PmfsFs::SyncFs() {
 
 Status PmfsFs::Unmount() {
   nvmm_->Fence();
+  // Mirror the device's persist-order counters into the stats registry so
+  // benches and tools report them alongside the FS-internal timers.
+  stats_.Add(kStatNvmmFences, nvmm_->fence_count());
+  stats_.Add(kStatNvmmFlushedLines, nvmm_->flushed_lines());
+  stats_.Add(kStatNvmmEpochs, nvmm_->epoch_count());
+  stats_.Add(kStatNvmmMaxUnfencedLines, nvmm_->max_unfenced_lines());
   uint64_t clean = 1;
   return nvmm_->StorePersistent(offsetof(PmfsSuperblock, clean_unmount), &clean, sizeof(clean));
 }

@@ -69,6 +69,9 @@ class PmfsFs : public FileSystem {
   NvmmDevice* nvmm() { return nvmm_; }
   uint64_t free_data_blocks() const { return alloc_->free_blocks(); }
 
+  // Crashlab fault injection: drop the fence after journal appends.
+  void set_skip_append_fence_for_testing(bool v) { journal_->set_skip_append_fence(v); }
+
  protected:
   explicit PmfsFs(NvmmDevice* nvmm);
 
@@ -119,6 +122,7 @@ class PmfsFs : public FileSystem {
   Result<bool> DirIsEmpty(const PmfsInode& dir);
   // Unlink with ns_mu_ already held (used by Rename's replace path).
   Status UnlinkLocked(uint64_t dir_ino, std::string_view name);
+  Status MarkInodeOrphaned(Transaction& txn, uint64_t ino);
 
   // --- data-path helpers (shared with HinfsFs) --------------------------------
   // Copies [offset, offset+len) of the file from NVMM into dst. Holes read as

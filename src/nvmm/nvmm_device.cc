@@ -32,6 +32,9 @@ Status NvmmDevice::Load(uint64_t offset, void* dst, size_t len) {
 Status NvmmDevice::Store(uint64_t offset, const void* src, size_t len) {
   HINFS_RETURN_IF_ERROR(CheckRange(offset, len));
   std::memcpy(volatile_image_.get() + offset, src, len);
+  if (auto t = trace(); t != nullptr) {
+    t->RecordStore(PersistEventType::kStore, offset, len, src);
+  }
   return OkStatus();
 }
 
@@ -61,6 +64,9 @@ Status NvmmDevice::StoreAtomic(uint64_t offset, const void* src, size_t len) {
     uint64_t w;
     std::memcpy(&w, in + i * sizeof(uint64_t), sizeof(w));
     std::atomic_ref<uint64_t>(words[i]).store(w, std::memory_order_relaxed);
+  }
+  if (auto t = trace(); t != nullptr) {
+    t->RecordStore(PersistEventType::kStoreAtomic, offset, len, src);
   }
   return OkStatus();
 }
@@ -99,6 +105,17 @@ Status NvmmDevice::Flush(uint64_t offset, size_t len) {
     }
   }
   flushed_bytes_.fetch_add(nlines * kCachelineSize, std::memory_order_relaxed);
+  flushed_lines_.fetch_add(nlines, std::memory_order_relaxed);
+  const uint64_t unfenced =
+      unfenced_lines_.fetch_add(nlines, std::memory_order_relaxed) + nlines;
+  uint64_t prev_max = max_unfenced_lines_.load(std::memory_order_relaxed);
+  while (unfenced > prev_max &&
+         !max_unfenced_lines_.compare_exchange_weak(prev_max, unfenced,
+                                                    std::memory_order_relaxed)) {
+  }
+  if (auto t = trace(); t != nullptr) {
+    t->RecordFlush(offset, len, nlines);
+  }
   return OkStatus();
 }
 
@@ -106,6 +123,13 @@ void NvmmDevice::Fence() {
   // mfence: ordering only. The emulator persists at Flush() time, so there is
   // nothing to do; the call documents ordering intent at the call sites.
   std::atomic_thread_fence(std::memory_order_seq_cst);
+  fence_count_.fetch_add(1, std::memory_order_relaxed);
+  if (unfenced_lines_.exchange(0, std::memory_order_relaxed) > 0) {
+    epoch_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (auto t = trace(); t != nullptr) {
+    t->RecordFence();
+  }
 }
 
 Status NvmmDevice::StorePersistent(uint64_t offset, const void* src, size_t len) {
@@ -121,16 +145,57 @@ Result<uint8_t*> NvmmDevice::DirectPointer(uint64_t offset, size_t len) {
 }
 
 Status NvmmDevice::SimulateCrash() {
+  HINFS_ASSIGN_OR_RETURN(std::vector<uint8_t> image, CloneCrashImage());
+  return InstallImage(image.data(), image.size());
+}
+
+Result<std::vector<uint8_t>> NvmmDevice::CloneCrashImage() const {
   if (shadow_image_ == nullptr) {
     return Status(ErrorCode::kNotSupported, "crash simulation requires track_persistence");
   }
-  std::memcpy(volatile_image_.get(), shadow_image_.get(), size_);
+  return std::vector<uint8_t>(shadow_image_.get(), shadow_image_.get() + size_);
+}
+
+Result<std::vector<uint8_t>> NvmmDevice::CloneVolatileImage() const {
+  return std::vector<uint8_t>(volatile_image_.get(), volatile_image_.get() + size_);
+}
+
+Status NvmmDevice::InstallImage(const void* image, size_t len) {
+  if (len != size_) {
+    return Status(ErrorCode::kInvalidArgument, "image size does not match device");
+  }
+  std::memcpy(volatile_image_.get(), image, len);
+  if (shadow_image_ != nullptr) {
+    // After a power cycle the media content is the only content: the installed
+    // image is both what the "CPU cache" sees and what is durable.
+    std::memcpy(shadow_image_.get(), image, len);
+  }
   return OkStatus();
+}
+
+void NvmmDevice::StartPersistTrace() {
+  auto t = std::make_shared<PersistTrace>(size_);
+  std::vector<uint8_t> vol(volatile_image_.get(), volatile_image_.get() + size_);
+  std::vector<uint8_t> persistent =
+      shadow_image_ != nullptr
+          ? std::vector<uint8_t>(shadow_image_.get(), shadow_image_.get() + size_)
+          : std::vector<uint8_t>();
+  t->set_base_images(std::move(vol), std::move(persistent));
+  trace_.store(std::move(t), std::memory_order_release);
+}
+
+std::shared_ptr<PersistTrace> NvmmDevice::StopPersistTrace() {
+  return trace_.exchange(nullptr, std::memory_order_acq_rel);
 }
 
 void NvmmDevice::ResetCounters() {
   flushed_bytes_.store(0, std::memory_order_relaxed);
   loaded_bytes_.store(0, std::memory_order_relaxed);
+  fence_count_.store(0, std::memory_order_relaxed);
+  flushed_lines_.store(0, std::memory_order_relaxed);
+  epoch_count_.store(0, std::memory_order_relaxed);
+  unfenced_lines_.store(0, std::memory_order_relaxed);
+  max_unfenced_lines_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace hinfs

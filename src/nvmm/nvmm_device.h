@@ -17,12 +17,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "src/common/constants.h"
 #include "src/common/result.h"
 #include "src/common/status.h"
 #include "src/nvmm/bandwidth_limiter.h"
 #include "src/nvmm/latency_model.h"
+#include "src/nvmm/persist_trace.h"
 
 namespace hinfs {
 
@@ -96,9 +98,34 @@ class NvmmDevice {
   // using this path are responsible for their own Flush() calls.
   Result<uint8_t*> DirectPointer(uint64_t offset, size_t len);
 
-  // Crash simulation: discard all unflushed stores. Only valid when
-  // track_persistence was enabled.
+  // Crash simulation: discard all unflushed stores (destructive; thin wrapper
+  // around CloneCrashImage + InstallImage). Only valid when track_persistence
+  // was enabled.
   Status SimulateCrash();
+
+  // Non-destructive crash-state capture: returns a copy of the persistent
+  // (shadow) image — what a power failure at this instant would preserve —
+  // without disturbing the running device. Only valid with track_persistence.
+  Result<std::vector<uint8_t>> CloneCrashImage() const;
+
+  // Copy of the volatile image (the device state including unflushed stores);
+  // crashlab uses it as the trace-start snapshot.
+  Result<std::vector<uint8_t>> CloneVolatileImage() const;
+
+  // Overwrite the device (volatile image, and shadow when tracking) with a
+  // previously captured image, e.g. one materialized by crashlab's generator.
+  // The device behaves as if freshly power-cycled with that NVMM content.
+  Status InstallImage(const void* image, size_t len);
+
+  // Persist-order tracing (crashlab layer 1). StartPersistTrace snapshots the
+  // device images and begins recording Store/StoreAtomic/Flush/Fence events;
+  // StopPersistTrace detaches and returns the trace. The device must be
+  // externally quiesced around both calls (no in-flight operations).
+  void StartPersistTrace();
+  std::shared_ptr<PersistTrace> StopPersistTrace();
+  // The active trace (null when not tracing); harnesses sample its size()
+  // between workload operations to mark op boundaries.
+  std::shared_ptr<PersistTrace> persist_trace() const { return trace(); }
 
   // Emulation knobs (swept by Fig. 11 benches).
   LatencyModel& latency() { return latency_; }
@@ -107,10 +134,27 @@ class NvmmDevice {
   // Cumulative traffic counters (Fig. 9's "NVMM write size" series).
   uint64_t flushed_bytes() const { return flushed_bytes_.load(std::memory_order_relaxed); }
   uint64_t loaded_bytes() const { return loaded_bytes_.load(std::memory_order_relaxed); }
+
+  // Persist-ordering counters, always on (independent of tracing): how many
+  // fences the workload issued, how many cachelines it flushed, how many
+  // fence-delimited epochs contained at least one flush, and the largest
+  // number of lines ever flushed within one epoch (i.e., the most data whose
+  // persistence was riding on a single fence). `unfenced_lines` counts flush
+  // events since the last fence without deduplicating repeated lines — an
+  // upper bound, precise enough for the max to be meaningful.
+  uint64_t fence_count() const { return fence_count_.load(std::memory_order_relaxed); }
+  uint64_t flushed_lines() const { return flushed_lines_.load(std::memory_order_relaxed); }
+  uint64_t epoch_count() const { return epoch_count_.load(std::memory_order_relaxed); }
+  uint64_t max_unfenced_lines() const {
+    return max_unfenced_lines_.load(std::memory_order_relaxed);
+  }
   void ResetCounters();
 
  private:
   Status CheckRange(uint64_t offset, size_t len) const;
+  std::shared_ptr<PersistTrace> trace() const {
+    return trace_.load(std::memory_order_acquire);
+  }
 
   size_t size_;
   FlushInstruction flush_instruction_;
@@ -118,8 +162,14 @@ class NvmmDevice {
   BandwidthLimiter bandwidth_;
   std::unique_ptr<uint8_t[]> volatile_image_;
   std::unique_ptr<uint8_t[]> shadow_image_;  // null unless track_persistence
+  std::atomic<std::shared_ptr<PersistTrace>> trace_;  // null unless tracing
   std::atomic<uint64_t> flushed_bytes_{0};
   std::atomic<uint64_t> loaded_bytes_{0};
+  std::atomic<uint64_t> fence_count_{0};
+  std::atomic<uint64_t> flushed_lines_{0};
+  std::atomic<uint64_t> epoch_count_{0};
+  std::atomic<uint64_t> unfenced_lines_{0};
+  std::atomic<uint64_t> max_unfenced_lines_{0};
 };
 
 }  // namespace hinfs

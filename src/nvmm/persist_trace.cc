@@ -1,0 +1,61 @@
+#include "src/nvmm/persist_trace.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hinfs {
+
+uint32_t PersistTrace::ThreadIndexLocked() {
+  const auto id = std::this_thread::get_id();
+  auto it = thread_ids_.find(id);
+  if (it == thread_ids_.end()) {
+    it = thread_ids_.emplace(id, static_cast<uint32_t>(thread_ids_.size())).first;
+  }
+  return it->second;
+}
+
+void PersistTrace::RecordStore(PersistEventType type, uint64_t offset, uint64_t len,
+                               const void* payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PersistEvent e;
+  e.type = type;
+  e.thread = ThreadIndexLocked();
+  e.offset = offset;
+  e.len = len;
+  e.epoch = fences_;
+  e.payload_off = payload_.size();
+  const auto* bytes = static_cast<const uint8_t*>(payload);
+  payload_.insert(payload_.end(), bytes, bytes + len);
+  events_.push_back(e);
+}
+
+void PersistTrace::RecordFlush(uint64_t offset, uint64_t len, uint64_t nlines) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PersistEvent e;
+  e.type = PersistEventType::kFlush;
+  e.thread = ThreadIndexLocked();
+  e.offset = offset;
+  e.len = len;
+  e.epoch = fences_;
+  events_.push_back(e);
+  flush_events_++;
+  flushed_lines_ += nlines;
+  epoch_lines_ += nlines;
+  max_unfenced_lines_ = std::max(max_unfenced_lines_, epoch_lines_);
+}
+
+void PersistTrace::RecordFence() {
+  std::lock_guard<std::mutex> lock(mu_);
+  PersistEvent e;
+  e.type = PersistEventType::kFence;
+  e.thread = ThreadIndexLocked();
+  e.epoch = fences_;
+  events_.push_back(e);
+  fences_++;
+  if (epoch_lines_ > 0) {
+    epochs_++;
+  }
+  epoch_lines_ = 0;
+}
+
+}  // namespace hinfs

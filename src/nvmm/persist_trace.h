@@ -1,0 +1,113 @@
+// PersistTrace: an ordered event log of the NVMM persistence operations a
+// workload performed — Store/StoreAtomic/Flush/Fence — recorded by NvmmDevice
+// when tracing is enabled (crashlab's layer 1).
+//
+// The trace captures everything needed to reconstruct every intermediate
+// persistent state the device could have been in:
+//   - store events carry their payload bytes (appended to an arena), so a
+//     replay can maintain the volatile ("CPU cache") image at any point;
+//   - flush events carry the flushed extent; the flushed content is derived
+//     at replay time from the volatile image at that event;
+//   - fence events delimit epochs: epoch N = events between fence N-1 and N.
+//     Lines flushed but not yet fenced are the "pending" set whose persistence
+//     is not yet guaranteed under CLFLUSHOPT/CLWB.
+//   - base images (volatile + persistent) snapshot the device at trace start,
+//     so a trace over a quiesced, formatted file system is self-contained.
+//
+// Appends are serialized by an internal mutex (background writeback threads
+// may trace concurrently with the foreground); the recorded order is one legal
+// linearization. Once recording stops the trace is immutable and may be read
+// without locking.
+
+#ifndef SRC_NVMM_PERSIST_TRACE_H_
+#define SRC_NVMM_PERSIST_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hinfs {
+
+enum class PersistEventType : uint8_t {
+  kStore = 1,       // volatile image write (not durable)
+  kStoreAtomic = 2, // word-atomic volatile write (same durability as kStore)
+  kFlush = 3,       // cachelines covering [offset, offset+len) written back
+  kFence = 4,       // store barrier: all prior flushes are durable after this
+};
+
+struct PersistEvent {
+  PersistEventType type;
+  uint32_t thread = 0;      // dense per-trace thread index
+  uint64_t offset = 0;
+  uint64_t len = 0;
+  uint64_t epoch = 0;       // fences recorded before this event
+  uint64_t payload_off = 0; // arena offset of store payload (stores only)
+};
+
+class PersistTrace {
+ public:
+  explicit PersistTrace(uint64_t device_bytes) : device_bytes_(device_bytes) {}
+
+  // --- recording (called by NvmmDevice; internally locked) --------------------
+  void RecordStore(PersistEventType type, uint64_t offset, uint64_t len, const void* payload);
+  void RecordFlush(uint64_t offset, uint64_t len, uint64_t nlines);
+  void RecordFence();
+
+  // --- read side --------------------------------------------------------------
+  // Number of events recorded so far. Safe to call while recording (the
+  // harness reads it between workload operations to mark op boundaries).
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+  }
+  const PersistEvent& event(size_t i) const { return events_[i]; }
+  const std::vector<PersistEvent>& events() const { return events_; }
+  const uint8_t* payload(const PersistEvent& e) const { return payload_.data() + e.payload_off; }
+
+  uint64_t device_bytes() const { return device_bytes_; }
+
+  // Device images at trace start. Empty when the traced device was not
+  // tracking persistence (counting-only traces).
+  const std::vector<uint8_t>& base_volatile() const { return base_volatile_; }
+  const std::vector<uint8_t>& base_persistent() const { return base_persistent_; }
+  void set_base_images(std::vector<uint8_t> vol, std::vector<uint8_t> persistent) {
+    base_volatile_ = std::move(vol);
+    base_persistent_ = std::move(persistent);
+  }
+
+  // --- summary counters -------------------------------------------------------
+  uint64_t fences() const { return fences_; }
+  uint64_t flush_events() const { return flush_events_; }
+  uint64_t flushed_lines() const { return flushed_lines_; }
+  // Fence-delimited epochs that contained at least one flush.
+  uint64_t epochs() const { return epochs_; }
+  // Max lines flushed within a single epoch (flush-time line count, the size
+  // of the largest pending set a crash could have caught unfenced).
+  uint64_t max_unfenced_lines() const { return max_unfenced_lines_; }
+
+ private:
+  uint32_t ThreadIndexLocked();
+
+  const uint64_t device_bytes_;
+
+  mutable std::mutex mu_;
+  std::vector<PersistEvent> events_;
+  std::vector<uint8_t> payload_;
+  std::map<std::thread::id, uint32_t> thread_ids_;
+
+  std::vector<uint8_t> base_volatile_;
+  std::vector<uint8_t> base_persistent_;
+
+  uint64_t fences_ = 0;
+  uint64_t flush_events_ = 0;
+  uint64_t flushed_lines_ = 0;
+  uint64_t epochs_ = 0;
+  uint64_t epoch_lines_ = 0;  // lines flushed since the last fence
+  uint64_t max_unfenced_lines_ = 0;
+};
+
+}  // namespace hinfs
+
+#endif  // SRC_NVMM_PERSIST_TRACE_H_

@@ -1,0 +1,175 @@
+// Persist-order regression tests: pin the exact fence cost of each core
+// operation on the PMFS journal path and the HiNFS CLFW (buffered) path.
+//
+// These constants are load-bearing: an accidental extra fence is a perf
+// regression (fences serialize the pipeline on real NVMM), and a *missing*
+// fence is a crash-consistency bug (see crashlab_test.cc for the systematic
+// exploration that catches the latter). If a change legitimately alters an
+// op's persistence protocol, update the pinned value in the same commit and
+// say why in its message.
+
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "src/fs/pmfs/pmfs_fs.h"
+#include "src/hinfs/hinfs_fs.h"
+#include "src/nvmm/nvmm_device.h"
+#include "src/nvmm/persist_trace.h"
+#include "src/vfs/vfs.h"
+
+namespace hinfs {
+namespace {
+
+NvmmConfig TrackedConfig() {
+  NvmmConfig cfg;
+  cfg.size_bytes = 8ull << 20;
+  cfg.latency_mode = LatencyMode::kNone;
+  cfg.track_persistence = true;
+  return cfg;
+}
+
+PmfsOptions SmallPmfs() {
+  PmfsOptions o;
+  o.max_inodes = 512;
+  o.journal_bytes = 256 << 10;
+  return o;
+}
+
+HinfsOptions QuietHinfs() {
+  HinfsOptions o;
+  o.buffer_bytes = 1 << 20;
+  o.writeback_period_ms = 3'600'000;
+  o.staleness_ms = 3'600'000;
+  o.eager_decay_ms = 3'600'000;
+  o.buffer_shards = 1;
+  o.writeback_threads = 1;
+  return o;
+}
+
+uint64_t FenceDelta(NvmmDevice* nvmm, const std::function<void()>& body) {
+  const uint64_t before = nvmm->fence_count();
+  body();
+  return nvmm->fence_count() - before;
+}
+
+TEST(PersistOrderTest, PmfsJournalFenceCostPerOp) {
+  NvmmDevice nvmm(TrackedConfig());
+  auto fs = PmfsFs::Format(&nvmm, SmallPmfs());
+  ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+  Vfs vfs(fs->get());
+
+  // First create on a fresh FS = one journal txn covering the inode-slot undo
+  // entries, the root directory's first dirent-block allocation (bitmap +
+  // radix init), the dirent append, the commit, plus the in-place persistent
+  // stores each carrying their own fence, and the parent mtime update.
+  EXPECT_EQ(21u, FenceDelta(&nvmm, [&] {
+    auto fd = vfs.Open("/f", kRdWr | kCreate);
+    ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+    ASSERT_TRUE(vfs.Close(*fd).ok());
+  }));
+
+  // 1 KB write = data chunk persist + alloc txn (undo appends + commit) +
+  // atomic size update + mtime update.
+  std::vector<char> buf(1024, 'a');
+  EXPECT_EQ(15u, FenceDelta(&nvmm, [&] {
+    auto fd = vfs.Open("/f", kRdWr);
+    ASSERT_TRUE(fd.ok());
+    auto n = vfs.Pwrite(*fd, buf.data(), buf.size(), 0);
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+    ASSERT_TRUE(vfs.Close(*fd).ok());
+  }));
+
+  // PMFS fsync: everything is already durable, so exactly one ordering fence.
+  EXPECT_EQ(1u, FenceDelta(&nvmm, [&] {
+    auto fd = vfs.Open("/f", kRdWr);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(vfs.Fsync(*fd).ok());
+    ASSERT_TRUE(vfs.Close(*fd).ok());
+  }));
+
+  // rename (no target) = one journal txn over both dirents + mtime updates.
+  EXPECT_EQ(7u, FenceDelta(&nvmm, [&] { ASSERT_TRUE(vfs.Rename("/f", "/g").ok()); }));
+
+  // unlink = dirent-clear+orphan-mark txn, then the slot-free txn (block
+  // frees + inode-slot clear), then the parent mtime update.
+  EXPECT_EQ(19u, FenceDelta(&nvmm, [&] { ASSERT_TRUE(vfs.Unlink("/g").ok()); }));
+}
+
+TEST(PersistOrderTest, HinfsClfwBufferedWriteIsFenceFree) {
+  NvmmDevice nvmm(TrackedConfig());
+  auto fs = HinfsFs::Format(&nvmm, QuietHinfs(), SmallPmfs());
+  ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+  Vfs vfs(fs->get());
+
+  auto fd = vfs.Open("/f", kRdWr | kCreate);
+  ASSERT_TRUE(fd.ok());
+  std::vector<char> buf(1024, 'b');
+  ASSERT_TRUE(vfs.Pwrite(*fd, buf.data(), buf.size(), 0).ok());
+
+  // The CLFW point: a re-write of buffered data stays in DRAM. The single
+  // fence is the persistent mtime update — the data itself costs none.
+  EXPECT_EQ(1u, FenceDelta(&nvmm, [&] {
+    auto n = vfs.Pwrite(*fd, buf.data(), buf.size(), 0);
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+  }));
+
+  // fsync drains the dirty buffer frame through the journaled NVMM path.
+  EXPECT_EQ(14u, FenceDelta(&nvmm, [&] { ASSERT_TRUE(vfs.Fsync(*fd).ok()); }));
+
+  // A second fsync with a clean buffer is back to the single ordering fence.
+  EXPECT_EQ(1u, FenceDelta(&nvmm, [&] { ASSERT_TRUE(vfs.Fsync(*fd).ok()); }));
+  ASSERT_TRUE(vfs.Close(*fd).ok());
+}
+
+TEST(PersistOrderTest, TraceCountersMatchDeviceCounters) {
+  NvmmDevice nvmm(TrackedConfig());
+  auto fs = PmfsFs::Format(&nvmm, SmallPmfs());
+  ASSERT_TRUE(fs.ok());
+  Vfs vfs(fs->get());
+
+  nvmm.StartPersistTrace();
+  const uint64_t fences_before = nvmm.fence_count();
+  const uint64_t flushed_before = nvmm.flushed_lines();
+  auto fd = vfs.Open("/t", kRdWr | kCreate);
+  ASSERT_TRUE(fd.ok());
+  std::vector<char> buf(4096, 'c');
+  ASSERT_TRUE(vfs.Pwrite(*fd, buf.data(), buf.size(), 0).ok());
+  ASSERT_TRUE(vfs.Fsync(*fd).ok());
+  ASSERT_TRUE(vfs.Close(*fd).ok());
+  std::shared_ptr<PersistTrace> trace = nvmm.StopPersistTrace();
+  ASSERT_NE(trace, nullptr);
+
+  EXPECT_EQ(trace->fences(), nvmm.fence_count() - fences_before);
+  EXPECT_EQ(trace->flushed_lines(), nvmm.flushed_lines() - flushed_before);
+  EXPECT_GT(trace->size(), 0u);
+  EXPECT_GT(trace->flush_events(), 0u);
+}
+
+TEST(PersistOrderTest, SkipAppendFenceKnobDropsOneFencePerJournalEntry) {
+  // The injected bug (journal.h set_skip_append_fence) must change nothing
+  // except removing the per-append fences: one fence per journal entry
+  // (undo and commit) written by the transaction.
+  uint64_t deltas[2] = {0, 0};
+  for (const bool inject : {false, true}) {
+    NvmmDevice nvmm(TrackedConfig());
+    auto fs = PmfsFs::Format(&nvmm, SmallPmfs());
+    ASSERT_TRUE(fs.ok());
+    (*fs)->set_skip_append_fence_for_testing(inject);
+    Vfs vfs(fs->get());
+    // create = one journal transaction.
+    deltas[inject ? 1 : 0] = FenceDelta(&nvmm, [&] {
+      auto fd = vfs.Open("/x", kRdWr | kCreate);
+      ASSERT_TRUE(fd.ok());
+      ASSERT_TRUE(vfs.Close(*fd).ok());
+    });
+  }
+  // First create: 21 fences total, 11 of them journal appends (10 undo
+  // entries covering dirent + new inode + dir inode + allocator metadata for
+  // the root dir's first data block, 1 commit).
+  EXPECT_EQ(21u, deltas[0]);
+  EXPECT_EQ(10u, deltas[1]);
+}
+
+}  // namespace
+}  // namespace hinfs

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Pretty-print crashlab --json output.
+
+Usage:
+    tools/crashlab_report.py report.json [more.json ...]
+
+Accepts either a single report object or the array-of-{mix, report} form
+that `crashlab --mix all --json <path>` writes. Prints a per-mix table of
+state-space coverage and persist-trace counters, then details every
+oracle/fsck violation. Exit status 1 if any report contains failures.
+"""
+
+import json
+import sys
+
+
+def load_reports(path):
+    with open(path) as f:
+        data = json.load(f)
+    if isinstance(data, dict):
+        return [{"mix": data.get("mix", "-"), "report": data}]
+    return data
+
+
+def fmt_row(cols, widths):
+    return "  ".join(str(c).ljust(w) for c, w in zip(cols, widths))
+
+
+def main(argv):
+    if len(argv) < 2 or argv[1] in ("-h", "--help"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    entries = []
+    for path in argv[1:]:
+        try:
+            entries.extend(load_reports(path))
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: {path}: {e}", file=sys.stderr)
+            return 2
+
+    header = ["mix", "fs", "flush", "ops", "cuts", "states", "deduped",
+              "sampled", "fences", "flushed", "epochs", "max-unfenced", "fails"]
+    rows = []
+    total_states = 0
+    total_failures = 0
+    for e in entries:
+        r = e["report"]
+        nfail = len(r.get("failures", []))
+        total_states += r.get("states_explored", 0)
+        total_failures += nfail
+        rows.append([
+            e.get("mix", "-"), r.get("fs", "?"), r.get("flush", "?"),
+            r.get("ops", 0), r.get("cuts", 0), r.get("states_explored", 0),
+            r.get("states_deduped", 0), "yes" if r.get("sampled") else "no",
+            r.get("fences", 0), r.get("flushed_lines", 0), r.get("epochs", 0),
+            r.get("max_unfenced_lines", 0), nfail,
+        ])
+
+    widths = [max(len(str(header[i])), max((len(str(row[i])) for row in rows),
+                                           default=0))
+              for i in range(len(header))]
+    print(fmt_row(header, widths))
+    print(fmt_row(["-" * w for w in widths], widths))
+    for row in rows:
+        print(fmt_row(row, widths))
+    print(f"\ntotal: {total_states} distinct crash states, "
+          f"{total_failures} failures")
+
+    for e in entries:
+        for f in e["report"].get("failures", []):
+            op = f.get("op") or "(op boundary)"
+            print(f"\nFAIL mix={e.get('mix', '-')} cut={f.get('cut')} "
+                  f"epoch={f.get('epoch')} op={op}")
+            lines = f.get("surviving_lines", [])
+            if lines:
+                print(f"  surviving cachelines: {lines}")
+            print(f"  {f.get('diag', '')}")
+
+    return 1 if total_failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
