@@ -90,6 +90,38 @@ void BM_LineMask(benchmark::State& state) {
 }
 BENCHMARK(BM_LineMask);
 
+// Every NvmmDevice::Flush trips the BandwidthLimiter, so the limiter is the
+// single structure every writeback worker and eager-persistent writer shares.
+// This bench hammers Acquire from concurrent threads and reports the split
+// between the fast path (request fits the burst window, no wait) and the slow
+// path (bucket dry: the caller spins). range(0) is the modeled bandwidth in
+// GB/s: 64 GB/s never runs dry (pure contention measurement), 1 GB/s (the
+// paper default) saturates and exercises the spin path.
+void BM_BandwidthAcquire(benchmark::State& state) {
+  static std::unique_ptr<BandwidthLimiter> limiter;
+  static uint64_t fast_base = 0;
+  static uint64_t slow_base = 0;
+  if (state.thread_index() == 0) {
+    const uint64_t bps = static_cast<uint64_t>(state.range(0)) << 30;
+    if (limiter == nullptr || limiter->bytes_per_sec() != bps) {
+      limiter = std::make_unique<BandwidthLimiter>(LatencyMode::kSpin, bps);
+    }
+    fast_base = limiter->fast_acquires();
+    slow_base = limiter->slow_acquires();
+  }
+  for (auto _ : state) {
+    limiter->Acquire(kCachelineSize);
+  }
+  if (state.thread_index() == 0) {
+    state.counters["fast_acquires"] =
+        static_cast<double>(limiter->fast_acquires() - fast_base);
+    state.counters["slow_acquires"] =
+        static_cast<double>(limiter->slow_acquires() - slow_base);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BandwidthAcquire)->Arg(64)->Arg(1)->Threads(1)->Threads(4);
+
 void BM_JournalTransaction(benchmark::State& state) {
   NvmmDevice dev(SpinConfig());
   Journal journal(&dev, 4096, 4 << 20);

@@ -73,6 +73,12 @@ inline constexpr char kStatLockfreeReadFallbacks[] = "lockfree_read_fallbacks";
 inline constexpr char kStatFramesStolen[] = "frames_stolen";
 inline constexpr char kStatWbWorkerWakeups[] = "wb_worker_wakeups";
 inline constexpr char kStatWbSpuriousWakeups[] = "wb_spurious_wakeups";
+// Writeback flush coalescing: dirty line-runs staged, flush ranges actually
+// issued after merging contiguous runs (wb_flush_calls <= wb_dirty_runs), and
+// lines that rode along in a merged range instead of paying their own call.
+inline constexpr char kStatWbDirtyRuns[] = "wb_dirty_runs";
+inline constexpr char kStatWbFlushCalls[] = "wb_flush_calls";
+inline constexpr char kStatWbCoalescedLines[] = "wb_coalesced_lines";
 inline constexpr char kStatEagerWrites[] = "eager_writes";
 inline constexpr char kStatLazyWrites[] = "lazy_writes";
 inline constexpr char kStatFsyncBytes[] = "fsync_bytes";

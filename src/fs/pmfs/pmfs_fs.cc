@@ -369,6 +369,30 @@ Result<uint64_t> PmfsFs::EnsureDataBlockAddr(uint64_t ino, uint64_t file_block) 
 
 // --- directory helpers ---------------------------------------------------------
 
+uint64_t PmfsFs::DirFreeHint(uint64_t dir_ino) {
+  std::lock_guard<std::mutex> lock(dir_hint_mu_);
+  auto it = dir_free_hint_.find(dir_ino);
+  return it != dir_free_hint_.end() ? it->second : 0;
+}
+
+void PmfsFs::RaiseDirFreeHint(uint64_t dir_ino, uint64_t off) {
+  std::lock_guard<std::mutex> lock(dir_hint_mu_);
+  dir_free_hint_[dir_ino] = off;
+}
+
+void PmfsFs::LowerDirFreeHint(uint64_t dir_ino, uint64_t off) {
+  std::lock_guard<std::mutex> lock(dir_hint_mu_);
+  auto it = dir_free_hint_.find(dir_ino);
+  if (it != dir_free_hint_.end() && it->second > off) {
+    it->second = off;
+  }
+}
+
+void PmfsFs::DropDirFreeHint(uint64_t dir_ino) {
+  std::lock_guard<std::mutex> lock(dir_hint_mu_);
+  dir_free_hint_.erase(dir_ino);
+}
+
 Result<uint64_t> PmfsFs::FindDirent(const PmfsInode& dir, std::string_view name,
                                     PmfsDirent* out) {
   const uint64_t nblocks = dir.size / kBlockSize;
@@ -404,21 +428,28 @@ Status PmfsFs::AddDirent(Transaction& txn, uint64_t dir_ino, PmfsInode& dir,
   dirent.name_len = static_cast<uint8_t>(name.size());
   std::memcpy(dirent.name, name.data(), name.size());
 
-  // Look for a free slot in the existing directory blocks.
+  // Look for a free slot in the existing directory blocks, starting at the
+  // first-free hint: every slot below it is known occupied, so bulk creation
+  // touches each directory block once instead of rescanning from offset 0.
   const uint64_t nblocks = dir.size / kBlockSize;
+  const uint64_t hint = std::min(DirFreeHint(dir_ino), dir.size);
+  const uint64_t hint_fb = hint / kBlockSize;
   std::vector<uint8_t> block(kBlockSize);
-  for (uint64_t fb = 0; fb < nblocks; fb++) {
+  for (uint64_t fb = hint_fb; fb < nblocks; fb++) {
     HINFS_ASSIGN_OR_RETURN(uint64_t data_block, MapBlock(dir, fb));
     if (data_block == 0) {
       continue;
     }
     HINFS_RETURN_IF_ERROR(nvmm_->Load(DataBlockAddr(data_block), block.data(), kBlockSize));
     const auto* entries = reinterpret_cast<const PmfsDirent*>(block.data());
-    for (size_t i = 0; i < kBlockSize / sizeof(PmfsDirent); i++) {
+    size_t i = fb == hint_fb ? (hint % kBlockSize) / sizeof(PmfsDirent) : 0;
+    for (; i < kBlockSize / sizeof(PmfsDirent); i++) {
       if (entries[i].ino == 0) {
         const uint64_t addr = DataBlockAddr(data_block) + i * sizeof(PmfsDirent);
         HINFS_RETURN_IF_ERROR(txn.LogOldValue(addr, sizeof(PmfsDirent)));
-        return nvmm_->StorePersistent(addr, &dirent, sizeof(dirent));
+        HINFS_RETURN_IF_ERROR(nvmm_->StorePersistent(addr, &dirent, sizeof(dirent)));
+        RaiseDirFreeHint(dir_ino, fb * kBlockSize + (i + 1) * sizeof(PmfsDirent));
+        return OkStatus();
       }
     }
   }
@@ -431,10 +462,13 @@ Status PmfsFs::AddDirent(Transaction& txn, uint64_t dir_ino, PmfsInode& dir,
   HINFS_RETURN_IF_ERROR(nvmm_->StorePersistent(DataBlockAddr(data_block), &dirent, sizeof(dirent)));
   dir.size += kBlockSize;
   HINFS_RETURN_IF_ERROR(txn.LogOldValue(InodeAddr(dir_ino) + offsetof(PmfsInode, size), 8));
-  return UpdateInodeU64(dir_ino, offsetof(PmfsInode, size), dir.size);
+  HINFS_RETURN_IF_ERROR(UpdateInodeU64(dir_ino, offsetof(PmfsInode, size), dir.size));
+  RaiseDirFreeHint(dir_ino, nblocks * kBlockSize + sizeof(PmfsDirent));
+  return OkStatus();
 }
 
-Status PmfsFs::ClearDirentAt(Transaction& txn, const PmfsInode& dir, uint64_t dirent_off) {
+Status PmfsFs::ClearDirentAt(Transaction& txn, uint64_t dir_ino, const PmfsInode& dir,
+                             uint64_t dirent_off) {
   HINFS_ASSIGN_OR_RETURN(uint64_t data_block, MapBlock(dir, dirent_off / kBlockSize));
   if (data_block == 0) {
     return Status(ErrorCode::kCorrupt, "dirent block is a hole");
@@ -442,7 +476,9 @@ Status PmfsFs::ClearDirentAt(Transaction& txn, const PmfsInode& dir, uint64_t di
   const uint64_t addr = DataBlockAddr(data_block) + dirent_off % kBlockSize;
   HINFS_RETURN_IF_ERROR(txn.LogOldValue(addr, sizeof(PmfsDirent)));
   PmfsDirent zero{};
-  return nvmm_->StorePersistent(addr, &zero, sizeof(zero));
+  HINFS_RETURN_IF_ERROR(nvmm_->StorePersistent(addr, &zero, sizeof(zero)));
+  LowerDirFreeHint(dir_ino, dirent_off);
+  return OkStatus();
 }
 
 Result<bool> PmfsFs::DirIsEmpty(const PmfsInode& dir) {
@@ -517,6 +553,11 @@ Status PmfsFs::FreeFileLocked(uint64_t ino) {
   }
   HINFS_RETURN_IF_ERROR(txn.Commit());
   HINFS_RETURN_IF_ERROR(st);
+  if (inode.type == static_cast<uint8_t>(FileType::kDirectory)) {
+    // The ino can be recycled as a fresh directory; a stale hint would make
+    // AddDirent skip genuinely free slots.
+    DropDirFreeHint(ino);
+  }
   std::lock_guard<std::mutex> ilock(ino_mu_);
   free_inos_.push_back(ino);
   return OkStatus();
@@ -560,7 +601,7 @@ Status PmfsFs::UnlinkLocked(uint64_t dir_ino, std::string_view name) {
   // to the window before the next mount.
   {
     Transaction txn = journal_->Begin();
-    Status st = ClearDirentAt(txn, dir, dirent_off);
+    Status st = ClearDirentAt(txn, dir_ino, dir, dirent_off);
     if (st.ok()) {
       st = MarkInodeOrphaned(txn, dirent.ino);
     }
@@ -599,7 +640,7 @@ Status PmfsFs::Rename(uint64_t old_dir, std::string_view old_name, uint64_t new_
   }
 
   Transaction txn = journal_->Begin();
-  Status st = ClearDirentAt(txn, from_dir, dirent_off);
+  Status st = ClearDirentAt(txn, old_dir, from_dir, dirent_off);
   if (st.ok()) {
     st = AddDirent(txn, new_dir, to_dir, new_name, dirent.ino,
                    static_cast<FileType>(dirent.type));

@@ -19,6 +19,7 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "src/fs/pmfs/allocator.h"
@@ -118,7 +119,22 @@ class PmfsFs : public FileSystem {
   Result<uint64_t> FindDirent(const PmfsInode& dir, std::string_view name, PmfsDirent* out);
   Status AddDirent(Transaction& txn, uint64_t dir_ino, PmfsInode& dir, std::string_view name,
                    uint64_t ino, FileType type);
-  Status ClearDirentAt(Transaction& txn, const PmfsInode& dir, uint64_t dirent_off);
+  Status ClearDirentAt(Transaction& txn, uint64_t dir_ino, const PmfsInode& dir,
+                       uint64_t dirent_off);
+
+  // --- directory first-free-slot hint -------------------------------------------
+  // DRAM-only lower bound on the byte offset of the first free dirent slot in
+  // each directory (absent = 0: scan from the start, e.g. after mount).
+  // AddDirent starts its free-slot scan at the hint instead of offset 0, so
+  // bulk creation into one directory is linear instead of quadratic.
+  // Invariant: every slot below the hint is occupied. AddDirent raises it past
+  // the slot it fills, ClearDirentAt lowers it to a freed slot, and freeing a
+  // directory inode drops it (inode numbers are recycled). All mutators hold
+  // ns_mu_ exclusively; dir_hint_mu_ keeps the map well-formed regardless.
+  uint64_t DirFreeHint(uint64_t dir_ino);
+  void RaiseDirFreeHint(uint64_t dir_ino, uint64_t off);
+  void LowerDirFreeHint(uint64_t dir_ino, uint64_t off);
+  void DropDirFreeHint(uint64_t dir_ino);
   Result<bool> DirIsEmpty(const PmfsInode& dir);
   // Unlink with ns_mu_ already held (used by Rename's replace path).
   Status UnlinkLocked(uint64_t dir_ino, std::string_view name);
@@ -152,6 +168,9 @@ class PmfsFs : public FileSystem {
 
   std::mutex ino_mu_;
   std::vector<uint64_t> free_inos_;
+
+  std::mutex dir_hint_mu_;
+  std::unordered_map<uint64_t, uint64_t> dir_free_hint_;
 };
 
 }  // namespace hinfs

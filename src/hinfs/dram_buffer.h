@@ -160,6 +160,11 @@ class DramBufferManager {
   // speculative attempts that had to fall back to the locked path.
   uint64_t lockfree_read_hits() const;
   uint64_t lockfree_read_fallbacks() const;
+  // Writeback coalescing counters (see ShardStats): flush_calls <= dirty_runs,
+  // and dirty_runs - flush_calls limiter trips were saved by merging.
+  uint64_t wb_dirty_runs() const;
+  uint64_t wb_flush_calls() const;
+  uint64_t wb_coalesced_lines() const;
   // Cross-shard stealing: frames migrated into an exhausted shard, and frames
   // currently parked in the global reserve.
   uint64_t frames_stolen() const { return frames_stolen_.load(std::memory_order_relaxed); }
@@ -240,6 +245,13 @@ class DramBufferManager {
     std::atomic<uint64_t> lock_contended{0};
     std::atomic<uint64_t> lockfree_hits{0};
     std::atomic<uint64_t> lockfree_fallbacks{0};
+    // Writeback coalescing: dirty line-runs staged (= Flush calls the
+    // pre-coalescing code would have issued), flush ranges actually sent to
+    // the device after merging, and lines whose own flush call was saved by
+    // being merged into a contiguous predecessor.
+    std::atomic<uint64_t> wb_dirty_runs{0};
+    std::atomic<uint64_t> wb_flush_calls{0};
+    std::atomic<uint64_t> wb_coalesced_lines{0};
   };
 
   // Open-addressed lookup arrays probed lock-free by readers. Slots hold a
@@ -419,13 +431,20 @@ class DramBufferManager {
            wb_running_.load(std::memory_order_relaxed);
   }
 
-  // Flush one entry's dirty lines to NVMM. Called WITHOUT s.mu held; the entry
-  // must be marked writing and belong to `s`. Returns lines flushed.
-  Result<uint32_t> FlushEntryData(Shard& s, Entry* e);
+  // Stage one entry's dirty lines for writeback: resolves the NVMM address
+  // (allocating via ensure_block_ when needed), zeroes never-written lines of
+  // a fresh block, Store()s each dirty run into NVMM, and appends each run's
+  // NVMM extent to `ranges`. Called WITHOUT s.mu held; the entry must be
+  // marked writing and belong to `s`. Returns lines staged; the caller issues
+  // the Flush (batched) and, when lines > 0, this entry's Fence.
+  Result<uint32_t> StageEntryFlush(Shard& s, Entry* e, std::vector<FlushRange>* ranges);
 
   // Flushes `victims` (all from shard `s`, already marked writing) outside the
   // lock, then detaches them. Shared by foreground flush and the background
-  // engine.
+  // engine. Dirty runs from all victims are merged where contiguous in NVMM
+  // and issued as one FlushBatch (a single bandwidth acquisition), followed by
+  // one Fence per victim that had dirty lines — the same fence count, flushed
+  // lines, and bytes as flushing each entry individually.
   Status FlushEntries(Shard& s, std::vector<Entry*> victims);
 
   // The per-shard body of FlushFile (all=false) / FlushAll (all=true): loops

@@ -217,6 +217,9 @@ Status HinfsFs::Unmount() {
   stats_.Add(kStatFramesStolen, buffer_->frames_stolen());
   stats_.Add(kStatWbWorkerWakeups, buffer_->worker_wakeups_total());
   stats_.Add(kStatWbSpuriousWakeups, buffer_->worker_spurious_wakeups());
+  stats_.Add(kStatWbDirtyRuns, buffer_->wb_dirty_runs());
+  stats_.Add(kStatWbFlushCalls, buffer_->wb_flush_calls());
+  stats_.Add(kStatWbCoalescedLines, buffer_->wb_coalesced_lines());
   return PmfsFs::Unmount();
 }
 

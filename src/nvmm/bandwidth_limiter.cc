@@ -9,56 +9,64 @@ namespace {
 
 // Token bucket burst capacity: one "row buffer write" worth of slack so that
 // single small writes never wait when the device is idle.
-constexpr double kBurstBytes = 64.0 * 1024;
+constexpr uint64_t kBurstBytes = 64 * 1024;
 
 }  // namespace
 
 BandwidthLimiter::BandwidthLimiter(LatencyMode mode, uint64_t bytes_per_sec)
-    : mode_(mode), bytes_per_sec_(bytes_per_sec), last_refill_ns_(MonotonicNowNs()) {
-  tokens_ = kBurstBytes;
-}
+    : mode_(mode), bytes_per_sec_(bytes_per_sec) {}
 
 void BandwidthLimiter::set_bytes_per_sec(uint64_t bps) {
-  std::lock_guard<std::mutex> lock(mu_);
-  bytes_per_sec_ = bps;
+  bytes_per_sec_.store(bps, std::memory_order_relaxed);
 }
 
 void BandwidthLimiter::Acquire(uint64_t bytes) {
-  if (bytes_per_sec_ == 0 || bytes == 0 || mode_ == LatencyMode::kNone) {
+  const uint64_t bps = bytes_per_sec_.load(std::memory_order_relaxed);
+  if (bps == 0 || bytes == 0 || mode_ == LatencyMode::kNone) {
     return;
   }
+  const uint64_t service_ns = bytes * 1'000'000'000ull / bps;
 
   if (mode_ == LatencyMode::kVirtual) {
-    // Deterministic single-server queue in simulated time.
-    const uint64_t service_ns = bytes * 1'000'000'000ull / bytes_per_sec_;
-    uint64_t end;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      const uint64_t start = std::max(SimClock::ThreadNowNs(), server_free_ns_);
+    // Deterministic single-server queue in simulated time: admission order is
+    // the CAS success order, exactly as it was the mutex acquisition order.
+    const uint64_t tnow = SimClock::ThreadNowNs();
+    uint64_t prev = pipe_free_ns_.load(std::memory_order_relaxed);
+    uint64_t start, end;
+    do {
+      start = std::max(prev, tnow);
       end = start + service_ns;
-      server_free_ns_ = end;
+    } while (!pipe_free_ns_.compare_exchange_weak(prev, end, std::memory_order_relaxed));
+    if (start > tnow) {
+      slow_acquires_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      fast_acquires_.fetch_add(1, std::memory_order_relaxed);
     }
-    if (end > SimClock::ThreadNowNs()) {
-      SimClock::Advance(end - SimClock::ThreadNowNs());
+    if (end > tnow) {
+      SimClock::Advance(end - tnow);
     }
     return;
   }
 
-  // Spin mode: wall-clock token bucket.
-  const auto need = static_cast<double>(bytes);
-  while (true) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      const uint64_t now = MonotonicNowNs();
-      const double refill = static_cast<double>(now - last_refill_ns_) *
-                            static_cast<double>(bytes_per_sec_) / 1e9;
-      tokens_ = std::min(tokens_ + refill, kBurstBytes + need);
-      last_refill_ns_ = now;
-      if (tokens_ >= need) {
-        tokens_ -= need;
-        return;
-      }
-    }
+  // Spin mode: wall-clock token bucket in GCRA form. pipe_free_ns_ is the
+  // theoretical arrival time (TAT): the instant all admitted bytes will have
+  // drained at bytes_per_sec_. Reserve our slot with one CAS, then wait only
+  // if the reservation lands more than the burst window ahead of now.
+  const uint64_t slack_ns = kBurstBytes * 1'000'000'000ull / bps;
+  const uint64_t now = MonotonicNowNs();
+  uint64_t prev = pipe_free_ns_.load(std::memory_order_relaxed);
+  uint64_t end;
+  do {
+    end = std::max(prev, now) + service_ns;
+  } while (!pipe_free_ns_.compare_exchange_weak(prev, end, std::memory_order_relaxed));
+
+  if (end <= now + slack_ns) {
+    fast_acquires_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  slow_acquires_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t deadline = end - slack_ns;
+  while (MonotonicNowNs() < deadline) {
     // Not enough bandwidth yet: spin a little, matching the paper's queued
     // NVMM writer threads.
     SpinFor(100);

@@ -79,42 +79,64 @@ Status NvmmDevice::StoreAtomicPersistent(uint64_t offset, const void* src, size_
 }
 
 Status NvmmDevice::Flush(uint64_t offset, size_t len) {
-  if (len == 0) {
+  const FlushRange range{offset, len};
+  return FlushBatch(&range, 1);
+}
+
+Status NvmmDevice::FlushBatch(const FlushRange* ranges, size_t count) {
+  // Validate everything and total the lines before touching any state, so a
+  // bad range neither consumes bandwidth nor partially flushes.
+  uint64_t total_lines = 0;
+  for (size_t i = 0; i < count; i++) {
+    if (ranges[i].len == 0) {
+      continue;
+    }
+    HINFS_RETURN_IF_ERROR(CheckRange(ranges[i].offset, ranges[i].len));
+    const uint64_t first_line = ranges[i].offset / kCachelineSize;
+    const uint64_t last_line = (ranges[i].offset + ranges[i].len - 1) / kCachelineSize;
+    total_lines += last_line - first_line + 1;
+  }
+  if (total_lines == 0) {
     return OkStatus();
   }
-  HINFS_RETURN_IF_ERROR(CheckRange(offset, len));
-  const uint64_t first_line = offset / kCachelineSize;
-  const uint64_t last_line = (offset + len - 1) / kCachelineSize;
-  const uint64_t nlines = last_line - first_line + 1;
 
   // The paper's emulator injects the delay after each clflush; bandwidth is
-  // consumed for the full flushed extent. With CLFLUSHOPT/CLWB the per-line
-  // delays overlap and the batch pays the write latency once.
-  bandwidth_.Acquire(nlines * kCachelineSize);
-  if (flush_instruction_ == FlushInstruction::kClflush) {
-    for (uint64_t line = first_line; line <= last_line; line++) {
+  // consumed for the full flushed extent — one acquisition for the batch.
+  // With CLFLUSHOPT/CLWB the per-line delays overlap and each range pays the
+  // write latency once.
+  bandwidth_.Acquire(total_lines * kCachelineSize);
+  for (size_t i = 0; i < count; i++) {
+    if (ranges[i].len == 0) {
+      continue;
+    }
+    const uint64_t first_line = ranges[i].offset / kCachelineSize;
+    const uint64_t last_line = (ranges[i].offset + ranges[i].len - 1) / kCachelineSize;
+    const uint64_t nlines = last_line - first_line + 1;
+    if (flush_instruction_ == FlushInstruction::kClflush) {
+      for (uint64_t line = first_line; line <= last_line; line++) {
+        latency_.ChargeFlush();
+      }
+    } else {
       latency_.ChargeFlush();
     }
-  } else {
-    latency_.ChargeFlush();
-  }
-  if (shadow_image_ != nullptr) {
-    for (uint64_t line = first_line; line <= last_line; line++) {
-      const uint64_t off = line * kCachelineSize;
-      std::memcpy(shadow_image_.get() + off, volatile_image_.get() + off, kCachelineSize);
+    if (shadow_image_ != nullptr) {
+      for (uint64_t line = first_line; line <= last_line; line++) {
+        const uint64_t off = line * kCachelineSize;
+        std::memcpy(shadow_image_.get() + off, volatile_image_.get() + off, kCachelineSize);
+      }
     }
-  }
-  flushed_bytes_.fetch_add(nlines * kCachelineSize, std::memory_order_relaxed);
-  flushed_lines_.fetch_add(nlines, std::memory_order_relaxed);
-  const uint64_t unfenced =
-      unfenced_lines_.fetch_add(nlines, std::memory_order_relaxed) + nlines;
-  uint64_t prev_max = max_unfenced_lines_.load(std::memory_order_relaxed);
-  while (unfenced > prev_max &&
-         !max_unfenced_lines_.compare_exchange_weak(prev_max, unfenced,
-                                                    std::memory_order_relaxed)) {
-  }
-  if (auto t = trace(); t != nullptr) {
-    t->RecordFlush(offset, len, nlines);
+    flushed_bytes_.fetch_add(nlines * kCachelineSize, std::memory_order_relaxed);
+    flushed_lines_.fetch_add(nlines, std::memory_order_relaxed);
+    const uint64_t unfenced =
+        unfenced_lines_.fetch_add(nlines, std::memory_order_relaxed) + nlines;
+    uint64_t prev_max = max_unfenced_lines_.load(std::memory_order_relaxed);
+    while (unfenced > prev_max &&
+           !max_unfenced_lines_.compare_exchange_weak(prev_max, unfenced,
+                                                      std::memory_order_relaxed)) {
+    }
+    if (auto t = trace(); t != nullptr) {
+      t->RecordFlush(ranges[i].offset, ranges[i].len, nlines);
+    }
   }
   return OkStatus();
 }

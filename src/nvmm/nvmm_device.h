@@ -28,6 +28,12 @@
 
 namespace hinfs {
 
+// One [offset, offset+len) extent of a FlushBatch().
+struct FlushRange {
+  uint64_t offset = 0;
+  size_t len = 0;
+};
+
 // Which cacheline-flush instruction the platform provides. The paper's
 // hardware only had CLFLUSH (strictly ordered: each flush pays the full NVMM
 // write latency serially) and explicitly leaves CLFLUSHOPT/CLWB unevaluated
@@ -71,6 +77,16 @@ class NvmmDevice {
   // NVMM write latency per line plus bandwidth, and (when tracking) copies the
   // lines into the shadow persistent image.
   Status Flush(uint64_t offset, size_t len);
+
+  // FlushBatch: flush several extents with ONE bandwidth acquisition covering
+  // their total line count. Everything else — per-line (clflush) or per-range
+  // (clflushopt/clwb) latency charges, shadow-image copies, traffic counters,
+  // and persist-trace events — is identical to issuing Flush() once per range,
+  // so simulated-time results and persist traces cannot change; only the
+  // number of trips through the BandwidthLimiter does. Ranges need not be
+  // sorted or disjoint (a line covered twice is charged twice, as two Flush
+  // calls would). Fails without side effects if any range is out of bounds.
+  Status FlushBatch(const FlushRange* ranges, size_t count);
 
   // Fence: store barrier (mfence). A timing no-op in this emulator; flushes take
   // effect at Flush() time. Kept in the API so call sites express the same

@@ -1,19 +1,9 @@
 #include "src/vfs/vfs.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace hinfs {
-namespace {
-
-// Dentry cache key: dir ino rendered into the name (cheap, collision-free).
-std::string DcacheKey(uint64_t dir_ino, std::string_view name) {
-  std::string key = std::to_string(dir_ino);
-  key.push_back('/');
-  key.append(name);
-  return key;
-}
-
-}  // namespace
 
 Result<std::vector<std::string>> SplitPath(std::string_view path) {
   if (path.empty() || path[0] != '/') {
@@ -45,26 +35,100 @@ Vfs::Vfs(FileSystem* fs, bool sync_mount) : fs_(fs), sync_mount_(sync_mount) {}
 
 Vfs::~Vfs() = default;
 
+// --- fd table -------------------------------------------------------------------
+
+void Vfs::FdInsertIntoSlots(std::vector<FdShard::Slot>& slots, int fd,
+                            std::shared_ptr<FdState> state) {
+  size_t i = ProbeStart(fd, slots.size());
+  while (slots[i].fd != FdShard::kEmpty && slots[i].fd != FdShard::kTombstone) {
+    i = (i + 1) & (slots.size() - 1);
+  }
+  slots[i].fd = fd;
+  slots[i].state = std::move(state);
+}
+
+void Vfs::FdInsert(int fd, std::shared_ptr<FdState> state) {
+  FdShard& s = ShardForFd(fd);
+  std::lock_guard<std::mutex> lock(s.mu);
+  // Keep the probe chains short: grow (dropping tombstones) at 3/4 occupancy.
+  if ((s.occupied + 1) * 4 >= s.slots.size() * 3) {
+    std::vector<FdShard::Slot> bigger(s.slots.size() * 2);
+    for (FdShard::Slot& slot : s.slots) {
+      if (slot.fd != FdShard::kEmpty && slot.fd != FdShard::kTombstone) {
+        FdInsertIntoSlots(bigger, slot.fd, std::move(slot.state));
+      }
+    }
+    s.slots = std::move(bigger);
+    s.occupied = s.used;
+  }
+  FdInsertIntoSlots(s.slots, fd, std::move(state));
+  s.used++;
+  s.occupied++;  // may double-count a reused tombstone; only hastens growth
+}
+
+std::shared_ptr<Vfs::FdState> Vfs::FdLookup(int fd) {
+  if (fd < 3) {
+    return nullptr;
+  }
+  FdShard& s = ShardForFd(fd);
+  std::lock_guard<std::mutex> lock(s.mu);
+  size_t i = ProbeStart(fd, s.slots.size());
+  while (s.slots[i].fd != FdShard::kEmpty) {
+    if (s.slots[i].fd == fd) {
+      return s.slots[i].state;
+    }
+    i = (i + 1) & (s.slots.size() - 1);
+  }
+  return nullptr;
+}
+
+bool Vfs::FdErase(int fd) {
+  if (fd < 3) {
+    return false;
+  }
+  FdShard& s = ShardForFd(fd);
+  std::lock_guard<std::mutex> lock(s.mu);
+  size_t i = ProbeStart(fd, s.slots.size());
+  while (s.slots[i].fd != FdShard::kEmpty) {
+    if (s.slots[i].fd == fd) {
+      s.slots[i].fd = FdShard::kTombstone;
+      s.slots[i].state.reset();
+      s.used--;
+      return true;
+    }
+    i = (i + 1) & (s.slots.size() - 1);
+  }
+  return false;
+}
+
+// --- dcache ---------------------------------------------------------------------
+
 Result<uint64_t> Vfs::LookupCached(uint64_t dir_ino, std::string_view name) {
-  const std::string key = DcacheKey(dir_ino, name);
+  const DentryRef ref{dir_ino, name};
+  DcacheShard& s = ShardForDentry(ref);
   {
-    std::shared_lock lock(dcache_mu_);
-    auto it = dcache_.find(key);
-    if (it != dcache_.end()) {
+    std::shared_lock lock(s.mu);
+    auto it = s.map.find(ref);  // heterogeneous: no key allocation on a hit
+    if (it != s.map.end()) {
       return it->second;
     }
   }
   HINFS_ASSIGN_OR_RETURN(uint64_t ino, fs_->Lookup(dir_ino, name));
   {
-    std::unique_lock lock(dcache_mu_);
-    dcache_[key] = ino;
+    std::unique_lock lock(s.mu);
+    s.map.insert_or_assign(DentryKey{dir_ino, std::string(name)}, ino);
   }
   return ino;
 }
 
 void Vfs::InvalidateDentry(uint64_t dir_ino, std::string_view name) {
-  std::unique_lock lock(dcache_mu_);
-  dcache_.erase(DcacheKey(dir_ino, name));
+  const DentryRef ref{dir_ino, name};
+  DcacheShard& s = ShardForDentry(ref);
+  std::unique_lock lock(s.mu);
+  auto it = s.map.find(ref);
+  if (it != s.map.end()) {
+    s.map.erase(it);
+  }
 }
 
 Result<uint64_t> Vfs::Resolve(std::string_view path) {
@@ -88,6 +152,8 @@ Result<uint64_t> Vfs::ResolveParent(std::string_view path, std::string* leaf) {
   }
   return ino;
 }
+
+// --- fd-based syscalls ----------------------------------------------------------
 
 Result<int> Vfs::Open(std::string_view path, uint32_t flags) {
   std::string leaf;
@@ -116,157 +182,114 @@ Result<int> Vfs::Open(std::string_view path, uint32_t flags) {
     attr.size = 0;
   }
 
-  FdEntry e;
-  e.ino = ino;
-  e.flags = flags;
-  e.offset = (flags & kAppend) != 0 ? attr.size : 0;
+  auto state = std::make_shared<FdState>();
+  state->ino = ino;
+  state->flags = flags;
+  state->offset = (flags & kAppend) != 0 ? attr.size : 0;
 
-  std::lock_guard<std::mutex> lock(fd_mu_);
-  const int fd = next_fd_++;
-  fds_[fd] = e;
+  const int fd = next_fd_.fetch_add(1, std::memory_order_relaxed);
+  FdInsert(fd, std::move(state));
   return fd;
 }
 
 Status Vfs::Close(int fd) {
-  std::lock_guard<std::mutex> lock(fd_mu_);
-  return fds_.erase(fd) != 0 ? OkStatus() : Status(ErrorCode::kBadFd);
+  return FdErase(fd) ? OkStatus() : Status(ErrorCode::kBadFd);
 }
 
 Result<size_t> Vfs::Read(int fd, void* dst, size_t len) {
-  FdEntry e;
-  {
-    std::lock_guard<std::mutex> lock(fd_mu_);
-    auto it = fds_.find(fd);
-    if (it == fds_.end()) {
-      return Status(ErrorCode::kBadFd);
-    }
-    e = it->second;
+  std::shared_ptr<FdState> e = FdLookup(fd);
+  if (e == nullptr) {
+    return Status(ErrorCode::kBadFd);
   }
-  HINFS_ASSIGN_OR_RETURN(size_t n, fs_->Read(e.ino, e.offset, dst, len));
-  {
-    std::lock_guard<std::mutex> lock(fd_mu_);
-    auto it = fds_.find(fd);
-    if (it != fds_.end()) {
-      it->second.offset = e.offset + n;
-    }
-  }
+  // pos_mu is held across the FS call: concurrent reads on one fd each
+  // consume a distinct range (POSIX read atomicity), instead of the old
+  // read-offset/copy/advance dance whose two critical sections let them
+  // observe the same offset.
+  std::lock_guard<std::mutex> pos_lock(e->pos_mu);
+  HINFS_ASSIGN_OR_RETURN(size_t n, fs_->Read(e->ino, e->offset, dst, len));
+  e->offset += n;
   return n;
 }
 
 Result<size_t> Vfs::Pread(int fd, void* dst, size_t len, uint64_t offset) {
-  uint64_t ino;
-  {
-    std::lock_guard<std::mutex> lock(fd_mu_);
-    auto it = fds_.find(fd);
-    if (it == fds_.end()) {
-      return Status(ErrorCode::kBadFd);
-    }
-    ino = it->second.ino;
+  std::shared_ptr<FdState> e = FdLookup(fd);
+  if (e == nullptr) {
+    return Status(ErrorCode::kBadFd);
   }
-  return fs_->Read(ino, offset, dst, len);
+  return fs_->Read(e->ino, offset, dst, len);
 }
 
-Result<size_t> Vfs::WriteInternal(FdEntry& e, const void* src, size_t len, uint64_t offset,
-                                  bool advance) {
-  const WriteOptions options = sync_mount_ || (e.flags & kSync) != 0
+Result<size_t> Vfs::WriteInternal(uint64_t ino, uint32_t flags, const void* src, size_t len,
+                                  uint64_t offset) {
+  const WriteOptions options = sync_mount_ || (flags & kSync) != 0
                                    ? WriteOptions::EagerPersistent()
                                    : WriteOptions::Buffered();
-  HINFS_ASSIGN_OR_RETURN(size_t n, fs_->Write(e.ino, offset, src, len, options));
-  if (advance) {
-    e.offset = offset + n;
-  }
-  return n;
+  return fs_->Write(ino, offset, src, len, options);
 }
 
 Result<size_t> Vfs::Write(int fd, const void* src, size_t len) {
-  std::unique_lock<std::mutex> lock(fd_mu_);
-  auto it = fds_.find(fd);
-  if (it == fds_.end()) {
+  std::shared_ptr<FdState> e = FdLookup(fd);
+  if (e == nullptr) {
     return Status(ErrorCode::kBadFd);
   }
-  FdEntry e = it->second;
-  uint64_t offset = e.offset;
-  if ((e.flags & kAppend) != 0) {
-    lock.unlock();
-    HINFS_ASSIGN_OR_RETURN(InodeAttr attr, fs_->GetAttr(e.ino));
+  std::lock_guard<std::mutex> pos_lock(e->pos_mu);
+  uint64_t offset = e->offset;
+  if ((e->flags & kAppend) != 0) {
+    // O_APPEND: the write lands at EOF. The size lookup happens under pos_mu,
+    // so appends on this fd are ordered with its other offset-dependent ops;
+    // there is no table relookup afterwards because `e` stays valid even if
+    // the fd is concurrently closed.
+    HINFS_ASSIGN_OR_RETURN(InodeAttr attr, fs_->GetAttr(e->ino));
     offset = attr.size;
-    lock.lock();
-    it = fds_.find(fd);
-    if (it == fds_.end()) {
-      return Status(ErrorCode::kBadFd);
-    }
   }
-  lock.unlock();
-  HINFS_ASSIGN_OR_RETURN(size_t n, WriteInternal(e, src, len, offset, /*advance=*/true));
-  lock.lock();
-  it = fds_.find(fd);
-  if (it != fds_.end()) {
-    it->second.offset = offset + n;
-  }
+  HINFS_ASSIGN_OR_RETURN(size_t n, WriteInternal(e->ino, e->flags, src, len, offset));
+  e->offset = offset + n;
   return n;
 }
 
 Result<size_t> Vfs::Pwrite(int fd, const void* src, size_t len, uint64_t offset) {
-  FdEntry e;
-  {
-    std::lock_guard<std::mutex> lock(fd_mu_);
-    auto it = fds_.find(fd);
-    if (it == fds_.end()) {
-      return Status(ErrorCode::kBadFd);
-    }
-    e = it->second;
+  std::shared_ptr<FdState> e = FdLookup(fd);
+  if (e == nullptr) {
+    return Status(ErrorCode::kBadFd);
   }
-  return WriteInternal(e, src, len, offset, /*advance=*/false);
+  return WriteInternal(e->ino, e->flags, src, len, offset);
 }
 
 Result<uint64_t> Vfs::Seek(int fd, uint64_t offset) {
-  std::lock_guard<std::mutex> lock(fd_mu_);
-  auto it = fds_.find(fd);
-  if (it == fds_.end()) {
+  std::shared_ptr<FdState> e = FdLookup(fd);
+  if (e == nullptr) {
     return Status(ErrorCode::kBadFd);
   }
-  it->second.offset = offset;
+  std::lock_guard<std::mutex> pos_lock(e->pos_mu);
+  e->offset = offset;
   return offset;
 }
 
 Status Vfs::Fsync(int fd) {
-  uint64_t ino;
-  {
-    std::lock_guard<std::mutex> lock(fd_mu_);
-    auto it = fds_.find(fd);
-    if (it == fds_.end()) {
-      return Status(ErrorCode::kBadFd);
-    }
-    ino = it->second.ino;
+  std::shared_ptr<FdState> e = FdLookup(fd);
+  if (e == nullptr) {
+    return Status(ErrorCode::kBadFd);
   }
-  return fs_->Fsync(ino);
+  return fs_->Fsync(e->ino);
 }
 
 Status Vfs::Ftruncate(int fd, uint64_t size) {
-  uint64_t ino;
-  {
-    std::lock_guard<std::mutex> lock(fd_mu_);
-    auto it = fds_.find(fd);
-    if (it == fds_.end()) {
-      return Status(ErrorCode::kBadFd);
-    }
-    ino = it->second.ino;
+  std::shared_ptr<FdState> e = FdLookup(fd);
+  if (e == nullptr) {
+    return Status(ErrorCode::kBadFd);
   }
-  return fs_->Truncate(ino, size);
+  return fs_->Truncate(e->ino, size);
 }
 
 Result<InodeAttr> Vfs::Fstat(int fd) {
-  uint64_t ino;
-  {
-    std::lock_guard<std::mutex> lock(fd_mu_);
-    auto it = fds_.find(fd);
-    if (it == fds_.end()) {
-      return Status(ErrorCode::kBadFd);
-    }
-    ino = it->second.ino;
+  std::shared_ptr<FdState> e = FdLookup(fd);
+  if (e == nullptr) {
+    return Status(ErrorCode::kBadFd);
   }
-  return fs_->GetAttr(ino);
+  return fs_->GetAttr(e->ino);
 }
+
+// --- path-based syscalls --------------------------------------------------------
 
 Status Vfs::Mkdir(std::string_view path) {
   std::string leaf;
@@ -324,13 +347,18 @@ bool Vfs::Exists(std::string_view path) { return Resolve(path).ok(); }
 Status Vfs::SyncFs() { return fs_->SyncFs(); }
 
 Status Vfs::Unmount() {
-  {
-    std::lock_guard<std::mutex> lock(fd_mu_);
-    fds_.clear();
+  for (FdShard& s : fd_shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (FdShard::Slot& slot : s.slots) {
+      slot.fd = FdShard::kEmpty;
+      slot.state.reset();
+    }
+    s.used = 0;
+    s.occupied = 0;
   }
-  {
-    std::unique_lock lock(dcache_mu_);
-    dcache_.clear();
+  for (DcacheShard& s : dcache_shards_) {
+    std::unique_lock lock(s.mu);
+    s.map.clear();
   }
   return fs_->Unmount();
 }

@@ -4,10 +4,25 @@
 // a file-descriptor table with per-fd offsets and open flags, and the syscall
 // surface the workloads use: open/close/read/write/pread/pwrite/fsync/unlink/
 // mkdir/rmdir/rename/stat/readdir/truncate.
+//
+// Scalability: both front-end structures are sharded so syscalls on different
+// fds / different dentries never contend, and a syscall touches its shard lock
+// exactly once:
+//  - the fd table is a per-shard open-addressed array of (fd, FdState*) slots;
+//    a lookup copies out one shared_ptr under the shard mutex and the syscall
+//    runs against that state with no table lock held. fd numbers come from a
+//    single atomic counter. The fd offset lives behind its own per-fd mutex,
+//    making offset-dependent ops (read/write/seek on one fd) POSIX-atomic —
+//    previously two disjoint critical sections let concurrent reads observe
+//    the same offset.
+//  - the dcache is sharded by (dir_ino, name) hash and uses a heterogeneous
+//    (transparent) hash so the hit path probes with a string_view: zero
+//    allocations per component on a cache hit.
 
 #ifndef SRC_VFS_VFS_H_
 #define SRC_VFS_VFS_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -76,11 +91,86 @@ class Vfs {
   Result<std::string> ReadFileToString(std::string_view path);
 
  private:
-  struct FdEntry {
+  // Per-open-file state. ino and flags are immutable after Open; the offset
+  // is guarded by pos_mu, held across the FS call for offset-dependent ops so
+  // concurrent reads/writes on one fd each consume a distinct file range.
+  struct FdState {
     uint64_t ino = 0;
     uint32_t flags = 0;
-    uint64_t offset = 0;
+    std::mutex pos_mu;
+    uint64_t offset = 0;  // guarded by pos_mu
   };
+
+  // One shard of the fd table: an open-addressed (fd, state) array under a
+  // mutex. fds hash round-robin across shards, so the per-op critical section
+  // (one probe + one shared_ptr copy) contends only with ops on ~1/Nth of fds.
+  struct alignas(64) FdShard {
+    static constexpr int kEmpty = 0;
+    static constexpr int kTombstone = -1;
+    struct Slot {
+      int fd = kEmpty;
+      std::shared_ptr<FdState> state;
+    };
+    std::mutex mu;
+    std::vector<Slot> slots{16};
+    size_t used = 0;      // live entries
+    size_t occupied = 0;  // live + tombstones (drives resize)
+  };
+  static constexpr size_t kFdShards = 16;  // power of two
+
+  FdShard& ShardForFd(int fd) { return fd_shards_[static_cast<uint32_t>(fd) % kFdShards]; }
+  static size_t ProbeStart(int fd, size_t capacity) {
+    return (static_cast<uint32_t>(fd) * 2654435761u) & (capacity - 1);
+  }
+  void FdInsert(int fd, std::shared_ptr<FdState> state);
+  static void FdInsertIntoSlots(std::vector<FdShard::Slot>& slots, int fd,
+                                std::shared_ptr<FdState> state);
+  // One shard-lock acquisition; null if fd is not open.
+  std::shared_ptr<FdState> FdLookup(int fd);
+  bool FdErase(int fd);
+
+  // --- dcache -----------------------------------------------------------------
+  // Keyed by (dir_ino, name). The stored key owns its name; lookups use a
+  // borrowed string_view via the transparent hash/equality below, so the hit
+  // path allocates nothing.
+  struct DentryKey {
+    uint64_t dir_ino;
+    std::string name;
+  };
+  struct DentryRef {
+    uint64_t dir_ino;
+    std::string_view name;
+  };
+  struct DentryHash {
+    using is_transparent = void;
+    size_t operator()(const DentryRef& r) const {
+      uint64_t h = std::hash<std::string_view>{}(r.name);
+      h ^= (r.dir_ino + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+      return static_cast<size_t>(h);
+    }
+    size_t operator()(const DentryKey& k) const {
+      return (*this)(DentryRef{k.dir_ino, k.name});
+    }
+  };
+  struct DentryEq {
+    using is_transparent = void;
+    static DentryRef AsRef(const DentryKey& k) { return DentryRef{k.dir_ino, k.name}; }
+    static DentryRef AsRef(const DentryRef& r) { return r; }
+    template <typename A, typename B>
+    bool operator()(const A& a, const B& b) const {
+      const DentryRef ra = AsRef(a), rb = AsRef(b);
+      return ra.dir_ino == rb.dir_ino && ra.name == rb.name;
+    }
+  };
+  struct alignas(64) DcacheShard {
+    std::shared_mutex mu;
+    std::unordered_map<DentryKey, uint64_t, DentryHash, DentryEq> map;
+  };
+  static constexpr size_t kDcacheShards = 16;  // power of two
+
+  DcacheShard& ShardForDentry(const DentryRef& ref) {
+    return dcache_shards_[DentryHash{}(ref) % kDcacheShards];
+  }
 
   // Resolves `path` to an inode; with `want_parent`, resolves the parent
   // directory and returns the final component in `leaf`.
@@ -89,19 +179,15 @@ class Vfs {
   Result<uint64_t> LookupCached(uint64_t dir_ino, std::string_view name);
   void InvalidateDentry(uint64_t dir_ino, std::string_view name);
 
-  Result<size_t> WriteInternal(FdEntry& e, const void* src, size_t len, uint64_t offset,
-                               bool advance);
+  Result<size_t> WriteInternal(uint64_t ino, uint32_t flags, const void* src, size_t len,
+                               uint64_t offset);
 
   FileSystem* fs_;
   bool sync_mount_;
 
-  std::mutex fd_mu_;
-  std::unordered_map<int, FdEntry> fds_;
-  int next_fd_ = 3;
-
-  // Dentry cache: (dir_ino, name) -> child ino. Positive entries only.
-  std::shared_mutex dcache_mu_;
-  std::unordered_map<std::string, uint64_t> dcache_;
+  std::atomic<int> next_fd_{3};
+  std::vector<FdShard> fd_shards_{kFdShards};
+  std::vector<DcacheShard> dcache_shards_{kDcacheShards};
 };
 
 // Splits "/a/b/c" into {"a", "b", "c"}; rejects empty components and names

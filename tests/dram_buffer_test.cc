@@ -139,6 +139,52 @@ TEST(DramBufferTest, FlushWritesOnlyDirtyLines) {
   EXPECT_EQ(out[0], 0xaa);  // untouched line intact
 }
 
+TEST(DramBufferTest, FlushCoalescesContiguousBlocks) {
+  BufferHarness h(SmallOptions());
+  // Four fully-dirty file blocks that land NVMM-contiguous (AddrFor is
+  // linear in file_block): one dirty run each, merged into a single flush
+  // call. The accounting-invariance contract: total flushed lines/bytes and
+  // the one-fence-per-victim count match the unmerged sequence exactly.
+  std::vector<uint8_t> block(kBlockSize, 0x5c);
+  for (uint64_t fb = 0; fb < 4; fb++) {
+    ASSERT_TRUE(h.mgr()
+                    .Write(1, fb, 0, block.data(), block.size(),
+                           BufferHarness::AddrFor(1, fb))
+                    .ok());
+  }
+  h.nvmm().ResetCounters();
+  ASSERT_TRUE(h.mgr().FlushFile(1).ok());
+
+  EXPECT_EQ(h.mgr().wb_dirty_runs(), 4u);
+  EXPECT_EQ(h.mgr().wb_flush_calls(), 1u);
+  EXPECT_EQ(h.mgr().wb_coalesced_lines(), 3 * kLinesPerBlock);
+  // Invariant half: what the persist trace sees is unchanged by merging.
+  EXPECT_EQ(h.nvmm().flushed_lines(), 4 * kLinesPerBlock);
+  EXPECT_EQ(h.nvmm().flushed_bytes(), 4 * kBlockSize);
+  EXPECT_EQ(h.nvmm().fence_count(), 4u);
+}
+
+TEST(DramBufferTest, FlushKeepsDisjointRangesSeparate) {
+  BufferHarness h(SmallOptions());
+  // Blocks 0 and 2 with a clean gap at block 1: nothing abuts, so no merge —
+  // coalescing must never widen a flush over lines that were not dirty.
+  std::vector<uint8_t> block(kBlockSize, 0x5d);
+  for (uint64_t fb : {uint64_t{0}, uint64_t{2}}) {
+    ASSERT_TRUE(h.mgr()
+                    .Write(1, fb, 0, block.data(), block.size(),
+                           BufferHarness::AddrFor(1, fb))
+                    .ok());
+  }
+  h.nvmm().ResetCounters();
+  ASSERT_TRUE(h.mgr().FlushFile(1).ok());
+
+  EXPECT_EQ(h.mgr().wb_dirty_runs(), 2u);
+  EXPECT_EQ(h.mgr().wb_flush_calls(), 2u);
+  EXPECT_EQ(h.mgr().wb_coalesced_lines(), 0u);
+  EXPECT_EQ(h.nvmm().flushed_lines(), 2 * kLinesPerBlock);
+  EXPECT_EQ(h.nvmm().fence_count(), 2u);
+}
+
 TEST(DramBufferTest, FlushAllocatesMissingBlock) {
   BufferHarness h(SmallOptions());
   std::vector<uint8_t> data(100, 0x42);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/nvmm/bandwidth_limiter.h"
 #include "src/nvmm/nvmm_device.h"
 
 namespace hinfs {
@@ -90,6 +91,49 @@ TEST(NvmmDeviceTest, VirtualBandwidthQueues) {
   EXPECT_EQ(SimClock::ThreadNowNs(), 4096u);
   ASSERT_TRUE(dev.Flush(0, 4096).ok());
   EXPECT_EQ(SimClock::ThreadNowNs(), 8192u);
+}
+
+TEST(NvmmDeviceTest, FlushBatchChargesSameAsSequentialFlushes) {
+  NvmmConfig cfg = FastConfig();
+  cfg.latency_mode = LatencyMode::kVirtual;
+  cfg.write_latency_ns = 200;
+  cfg.write_bandwidth_bytes_per_sec = 1'000'000'000;
+  // Device A: two separate Flush calls. Device B: one FlushBatch of the same
+  // ranges. The accounting-invariance contract says simulated time, flushed
+  // lines/bytes, and the trace-visible counters must come out identical.
+  NvmmDevice a(cfg);
+  SimClock::ResetThread();
+  ASSERT_TRUE(a.Flush(0, 4096).ok());
+  ASSERT_TRUE(a.Flush(8192, 128).ok());
+  const uint64_t t_sequential = SimClock::ThreadNowNs();
+
+  NvmmDevice b(cfg);
+  SimClock::ResetThread();
+  const FlushRange ranges[] = {{0, 4096}, {8192, 128}};
+  ASSERT_TRUE(b.FlushBatch(ranges, 2).ok());
+  EXPECT_EQ(SimClock::ThreadNowNs(), t_sequential);
+  EXPECT_EQ(b.flushed_lines(), a.flushed_lines());
+  EXPECT_EQ(b.flushed_bytes(), a.flushed_bytes());
+}
+
+TEST(NvmmDeviceTest, FlushBatchRejectsBadRangeWithoutSideEffects) {
+  NvmmDevice dev(FastConfig());
+  const FlushRange ranges[] = {{0, 4096}, {1ull << 40, 64}};
+  EXPECT_FALSE(dev.FlushBatch(ranges, 2).ok());
+  EXPECT_EQ(dev.flushed_lines(), 0u);  // validated up front: nothing charged
+}
+
+TEST(BandwidthLimiterTest, CountsFastAndSlowAcquires) {
+  // 1 GB/s with a 64 KB burst window: the first 64 KB request is conforming
+  // (fast), the immediate second one finds the pipe reserved ~64 us out and
+  // must wait (slow).
+  BandwidthLimiter limiter(LatencyMode::kSpin, 1'000'000'000);
+  limiter.Acquire(64 * 1024);
+  EXPECT_EQ(limiter.fast_acquires(), 1u);
+  EXPECT_EQ(limiter.slow_acquires(), 0u);
+  limiter.Acquire(64 * 1024);
+  EXPECT_EQ(limiter.fast_acquires(), 1u);
+  EXPECT_EQ(limiter.slow_acquires(), 1u);
 }
 
 TEST(NvmmDeviceTest, SpinLatencyTakesRealTime) {

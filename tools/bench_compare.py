@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Diff two bench --json outputs and flag wall-clock regressions.
+
+Both inputs use the unified row model every bench under bench/ emits (or
+google-benchmark's native JSON from micro_primitives); rows are matched on
+(fs, personality, x_key, x, value_key) and compared:
+
+    tools/bench_compare.py perf/BENCH_fig08.pre.json perf/BENCH_fig08.post.json
+    tools/bench_compare.py a.json b.json --threshold 10 --fail-on-regression
+
+The metric direction is inferred from the value_key name (ops_per_sec /
+throughput are higher-is-better; *_ns / *_ms / latency are lower-is-better).
+A change worse than --threshold percent is a REGRESSION; with
+--fail-on-regression the exit code is 1 when any row regressed, so the tool
+can gate CI. Rows present on only one side are listed but never fatal.
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from plot_bench import load_rows  # noqa: E402  (same row model as the plotter)
+
+LOWER_IS_BETTER = ("_ns", "_ms", "_us", "latency", "time", "bytes_written")
+HIGHER_IS_BETTER = ("per_sec", "ops", "throughput", "mb_s", "iops")
+
+
+def higher_is_better(value_key):
+    key = value_key.lower()
+    for marker in HIGHER_IS_BETTER:
+        if marker in key:
+            return True
+    for marker in LOWER_IS_BETTER:
+        if marker in key:
+            return False
+    return True  # benches mostly report rates; default optimistically
+
+
+def row_key(r):
+    return (r["fs"], r["personality"], r["x_key"], r["x"], r["value_key"])
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline", help="bench --json output to compare against")
+    ap.add_argument("candidate", help="bench --json output being evaluated")
+    ap.add_argument("--threshold", type=float, default=5.0,
+                    help="percent change considered a regression (default 5)")
+    ap.add_argument("--fail-on-regression", action="store_true",
+                    help="exit 1 if any row regressed past the threshold")
+    args = ap.parse_args()
+
+    base = {row_key(r): r["value"] for r in load_rows(args.baseline)}
+    cand = {row_key(r): r["value"] for r in load_rows(args.candidate)}
+
+    regressions = []
+    improvements = []
+    lines = []
+    for key in sorted(base.keys() & cand.keys()):
+        fs, personality, x_key, x, value_key = key
+        b, c = base[key], cand[key]
+        if b == 0:
+            continue
+        pct = (c - b) / b * 100.0
+        gain = pct if higher_is_better(value_key) else -pct
+        tag = ""
+        if gain <= -args.threshold:
+            tag = "REGRESSION"
+            regressions.append(key)
+        elif gain >= args.threshold:
+            tag = "improved"
+            improvements.append(key)
+        lines.append(f"  {fs:<12} {personality:<12} {x_key}={x:<8g} "
+                     f"{value_key:<16} {b:>14.3f} -> {c:>14.3f}  "
+                     f"{pct:+7.2f}%  {tag}")
+
+    print(f"baseline:  {args.baseline}")
+    print(f"candidate: {args.candidate}")
+    print(f"matched {len(base.keys() & cand.keys())} rows "
+          f"(threshold {args.threshold:g}%)")
+    for line in lines:
+        print(line)
+
+    only_base = base.keys() - cand.keys()
+    only_cand = cand.keys() - base.keys()
+    if only_base:
+        print(f"only in baseline: {len(only_base)} rows")
+    if only_cand:
+        print(f"only in candidate: {len(only_cand)} rows")
+
+    print(f"\n{len(regressions)} regression(s), {len(improvements)} improvement(s)")
+    if regressions and args.fail_on_regression:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
