@@ -5,17 +5,14 @@
 #include <cstdio>
 
 namespace hinfs {
-namespace {
 
-int BucketFor(uint64_t value) {
+int Histogram::BucketFor(uint64_t value) {
   if (value == 0) {
     return 0;
   }
   int b = 63 - std::countl_zero(value);
   return std::min(b, Histogram::kBuckets - 1);
 }
-
-}  // namespace
 
 void Histogram::Record(uint64_t value_ns) {
   buckets_[BucketFor(value_ns)]++;
@@ -73,6 +70,57 @@ std::string Histogram::Summary() const {
                 static_cast<unsigned long long>(Percentile(0.99)),
                 static_cast<unsigned long long>(max_ == 0 && count_ == 0 ? 0 : max_));
   return buf;
+}
+
+// --- ConcurrentHistogram -----------------------------------------------------
+
+ConcurrentHistogram::Stripe& ConcurrentHistogram::StripeForThisThread() {
+  // Threads are dealt stripes round-robin on first use; with kStripes >= the
+  // recorder count each thread effectively owns a stripe.
+  static std::atomic<size_t> next_stripe{0};
+  thread_local size_t stripe = next_stripe.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return stripes_[stripe];
+}
+
+void ConcurrentHistogram::Record(uint64_t value_ns) {
+  Stripe& s = StripeForThisThread();
+  s.buckets[Histogram::BucketFor(value_ns)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(value_ns, std::memory_order_relaxed);
+  uint64_t observed = s.min.load(std::memory_order_relaxed);
+  while (value_ns < observed &&
+         !s.min.compare_exchange_weak(observed, value_ns, std::memory_order_relaxed)) {
+  }
+  observed = s.max.load(std::memory_order_relaxed);
+  while (value_ns > observed &&
+         !s.max.compare_exchange_weak(observed, value_ns, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram ConcurrentHistogram::Snapshot() const {
+  Histogram out;
+  for (const Stripe& s : stripes_) {
+    for (int i = 0; i < Histogram::kBuckets; i++) {
+      out.buckets_[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+    out.count_ += s.count.load(std::memory_order_relaxed);
+    out.sum_ += s.sum.load(std::memory_order_relaxed);
+    out.min_ = std::min(out.min_, s.min.load(std::memory_order_relaxed));
+    out.max_ = std::max(out.max_, s.max.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+void ConcurrentHistogram::Reset() {
+  for (Stripe& s : stripes_) {
+    for (auto& b : s.buckets) {
+      b.store(0, std::memory_order_relaxed);
+    }
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    s.min.store(UINT64_MAX, std::memory_order_relaxed);
+    s.max.store(0, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace hinfs

@@ -4,6 +4,7 @@
 #define SRC_COMMON_HISTOGRAM_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -11,9 +12,15 @@ namespace hinfs {
 
 // Power-of-two bucketed histogram of nanosecond samples: bucket i covers
 // [2^i, 2^(i+1)). Cheap enough to sit on the hot path of every workload op.
+//
+// Record is NOT thread-safe; multi-threaded recorders use ConcurrentHistogram
+// below (or one Histogram per thread, combined with Merge).
 class Histogram {
  public:
   static constexpr int kBuckets = 48;
+
+  // Bucket index a sample lands in (shared with ConcurrentHistogram).
+  static int BucketFor(uint64_t value);
 
   void Record(uint64_t value_ns);
   void Merge(const Histogram& other);
@@ -32,11 +39,51 @@ class Histogram {
   std::string Summary() const;
 
  private:
+  friend class ConcurrentHistogram;
+
   std::array<uint64_t, kBuckets> buckets_{};
   uint64_t count_ = 0;
   uint64_t sum_ = 0;
   uint64_t min_ = UINT64_MAX;
   uint64_t max_ = 0;
+};
+
+// Thread-safe recording front for Histogram: samples land in one of kStripes
+// cacheline-padded stripes of relaxed atomics (stripe chosen per thread, so
+// two threads almost never contend on the same cells). Snapshot() folds the
+// stripes into an ordinary Histogram for Percentile/Summary/Merge.
+//
+// The hinfsd server and the fsload load generator record from many threads at
+// once; a Snapshot taken while recorders are running is a consistent-enough
+// view for reporting (each sample is counted exactly once in count/sum/bucket,
+// but a snapshot may split a sample that is mid-Record across fields).
+class ConcurrentHistogram {
+ public:
+  ConcurrentHistogram() = default;
+  ConcurrentHistogram(const ConcurrentHistogram&) = delete;
+  ConcurrentHistogram& operator=(const ConcurrentHistogram&) = delete;
+
+  void Record(uint64_t value_ns);
+
+  // Folds every stripe into a plain Histogram.
+  Histogram Snapshot() const;
+
+  void Reset();
+
+ private:
+  static constexpr size_t kStripes = 16;
+
+  struct alignas(64) Stripe {
+    std::array<std::atomic<uint64_t>, Histogram::kBuckets> buckets{};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> min{UINT64_MAX};
+    std::atomic<uint64_t> max{0};
+  };
+
+  Stripe& StripeForThisThread();
+
+  std::array<Stripe, kStripes> stripes_;
 };
 
 }  // namespace hinfs

@@ -1,19 +1,28 @@
 #include "src/common/stats.h"
 
+#include <tuple>
+
 #include "src/common/clock.h"
 
 namespace hinfs {
 
-void StatsRegistry::Add(const std::string& name, uint64_t delta) {
+void StatsRegistry::Add(std::string_view name, uint64_t delta) {
   Counter(name)->fetch_add(delta, std::memory_order_relaxed);
 }
 
-std::atomic<uint64_t>* StatsRegistry::Counter(const std::string& name) {
+std::atomic<uint64_t>* StatsRegistry::Counter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
-  return &counters_[name];
+  auto it = counters_.find(name);  // heterogeneous: no temporary std::string
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::piecewise_construct, std::forward_as_tuple(name),
+                      std::forward_as_tuple())
+             .first;
+  }
+  return &it->second;
 }
 
-uint64_t StatsRegistry::Get(const std::string& name) const {
+uint64_t StatsRegistry::Get(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second.load(std::memory_order_relaxed);

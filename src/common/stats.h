@@ -17,6 +17,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace hinfs {
@@ -25,12 +26,12 @@ class StatsRegistry {
  public:
   // Adds `delta` to counter `name`, creating it on first use. Thread-safe;
   // counter lookup is amortized by the caller caching the returned pointer.
-  void Add(const std::string& name, uint64_t delta);
+  void Add(std::string_view name, uint64_t delta);
 
   // Returns a stable pointer to the counter cell for hot-path use.
-  std::atomic<uint64_t>* Counter(const std::string& name);
+  std::atomic<uint64_t>* Counter(std::string_view name);
 
-  uint64_t Get(const std::string& name) const;
+  uint64_t Get(std::string_view name) const;
   void Reset();
 
   // Sorted (name, value) snapshot for reporting.
@@ -39,8 +40,10 @@ class StatsRegistry {
  private:
   mutable std::mutex mu_;
   // std::map keeps pointers stable across inserts (node-based), which Counter()
-  // relies on.
-  std::map<std::string, std::atomic<uint64_t>> counters_;
+  // relies on; std::less<> makes find() heterogeneous, so lookups with a
+  // string_view (every call site passes a literal) never build a std::string —
+  // the one allocation left is the key of a first-use insert.
+  std::map<std::string, std::atomic<uint64_t>, std::less<>> counters_;
 };
 
 // RAII timer that adds elapsed wall nanoseconds to a counter cell on destruction.
@@ -90,6 +93,19 @@ inline constexpr char kStatNvmmFences[] = "nvmm_fences";
 inline constexpr char kStatNvmmFlushedLines[] = "nvmm_flushed_lines";
 inline constexpr char kStatNvmmEpochs[] = "nvmm_epochs";
 inline constexpr char kStatNvmmMaxUnfencedLines[] = "nvmm_max_unfenced_lines";
+// hinfsd server counters (src/server/server.h). Connection lifecycle, frame
+// traffic, and flow control; per-opcode request counts live under
+// "srv_op_<opcode-name>" (e.g. srv_op_open), created on first dispatch.
+inline constexpr char kStatSrvAcceptedConns[] = "srv_accepted_conns";
+inline constexpr char kStatSrvActiveConns[] = "srv_active_conns";
+inline constexpr char kStatSrvFramesRx[] = "srv_frames_rx";
+inline constexpr char kStatSrvFramesTx[] = "srv_frames_tx";
+inline constexpr char kStatSrvBytesRx[] = "srv_bytes_rx";
+inline constexpr char kStatSrvBytesTx[] = "srv_bytes_tx";
+inline constexpr char kStatSrvQueuedBytes[] = "srv_queued_bytes";
+inline constexpr char kStatSrvProtocolErrors[] = "srv_protocol_errors";
+inline constexpr char kStatSrvBackpressureStalls[] = "srv_backpressure_stalls";
+inline constexpr char kStatSrvRequestsServed[] = "srv_requests_served";
 
 }  // namespace hinfs
 

@@ -1,0 +1,343 @@
+#include "src/server/client.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace hinfs {
+namespace server {
+
+namespace {
+
+Status IoError(const char* what) {
+  return Status(ErrorCode::kIoError, std::string("client: ") + what);
+}
+
+Status WriteFull(int sock, const char* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = send(sock, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return IoError("send failed (connection lost?)");
+  }
+  return OkStatus();
+}
+
+Status ReadFull(int sock, char* data, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = recv(sock, data + got, len - got, 0);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      return IoError("connection closed by server");
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return IoError("recv failed");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Client>> Client::ConnectUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status(ErrorCode::kNameTooLong, "unix socket path");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int sock = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (sock < 0) {
+    return IoError("socket(AF_UNIX)");
+  }
+  if (connect(sock, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(sock);
+    return Status(ErrorCode::kIoError, "connect " + path + ": " + std::strerror(errno));
+  }
+  return std::unique_ptr<Client>(new Client(sock));
+}
+
+Result<std::unique_ptr<Client>> Client::ConnectTcp(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status(ErrorCode::kInvalidArgument, "host must be a dotted-quad IPv4 address");
+  }
+  const int sock = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (sock < 0) {
+    return IoError("socket(AF_INET)");
+  }
+  if (connect(sock, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(sock);
+    return Status(ErrorCode::kIoError,
+                  "connect " + host + ":" + std::to_string(port) + ": " + std::strerror(errno));
+  }
+  int one = 1;
+  setsockopt(sock, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Client>(new Client(sock));
+}
+
+Client::~Client() { Disconnect(); }
+
+void Client::Disconnect() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sock_ >= 0) {
+    ::close(sock_);
+    sock_ = -1;
+  }
+}
+
+Result<Response> Client::Call(Request req) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sock_ < 0) {
+    return IoError("not connected");
+  }
+  req.request_id = next_id_++;
+  std::string frame;
+  EncodeRequest(req, &frame);
+  HINFS_RETURN_IF_ERROR(WriteFull(sock_, frame.data(), frame.size()));
+
+  char lenbuf[kFrameLenBytes];
+  HINFS_RETURN_IF_ERROR(ReadFull(sock_, lenbuf, sizeof(lenbuf)));
+  uint32_t frame_len = 0;
+  HINFS_RETURN_IF_ERROR(
+      ParseFrameLen(reinterpret_cast<const uint8_t*>(lenbuf), kMaxFrameBytes, &frame_len));
+  std::string payload(frame_len, '\0');
+  HINFS_RETURN_IF_ERROR(ReadFull(sock_, payload.data(), payload.size()));
+
+  Response resp;
+  HINFS_RETURN_IF_ERROR(
+      DecodeResponse(reinterpret_cast<const uint8_t*>(payload.data()), payload.size(), &resp));
+  if (resp.request_id != req.request_id || resp.opcode != req.opcode) {
+    return IoError("response does not match request (protocol violation)");
+  }
+  rpcs_++;
+  return resp;
+}
+
+Status Client::CallStatus(Request req) {
+  HINFS_ASSIGN_OR_RETURN(Response resp, Call(std::move(req)));
+  if (resp.status != ErrorCode::kOk) {
+    return Status(resp.status, resp.data);
+  }
+  return OkStatus();
+}
+
+Status Client::Ping(std::string_view payload) {
+  Request req;
+  req.opcode = Opcode::kPing;
+  req.data.assign(payload);
+  HINFS_ASSIGN_OR_RETURN(Response resp, Call(std::move(req)));
+  if (resp.data != payload) {
+    return IoError("ping payload mismatch");
+  }
+  return OkStatus();
+}
+
+Result<int> Client::Open(std::string_view path, uint32_t flags) {
+  Request req;
+  req.opcode = Opcode::kOpen;
+  req.path.assign(path);
+  req.flags = flags;
+  HINFS_ASSIGN_OR_RETURN(Response resp, Call(std::move(req)));
+  if (resp.status != ErrorCode::kOk) {
+    return Status(resp.status, resp.data);
+  }
+  return static_cast<int>(resp.r0);
+}
+
+Status Client::Close(int fd) {
+  Request req;
+  req.opcode = Opcode::kClose;
+  req.fd = fd;
+  return CallStatus(std::move(req));
+}
+
+Result<size_t> Client::Read(int fd, void* dst, size_t len) {
+  Request req;
+  req.opcode = Opcode::kRead;
+  req.fd = fd;
+  req.count = static_cast<uint32_t>(std::min(len, kMaxDataBytes));
+  HINFS_ASSIGN_OR_RETURN(Response resp, Call(std::move(req)));
+  if (resp.status != ErrorCode::kOk) {
+    return Status(resp.status, resp.data);
+  }
+  const size_t n = std::min(resp.data.size(), len);
+  std::memcpy(dst, resp.data.data(), n);
+  return n;
+}
+
+Result<size_t> Client::Pread(int fd, void* dst, size_t len, uint64_t offset) {
+  Request req;
+  req.opcode = Opcode::kPread;
+  req.fd = fd;
+  req.offset = offset;
+  req.count = static_cast<uint32_t>(std::min(len, kMaxDataBytes));
+  HINFS_ASSIGN_OR_RETURN(Response resp, Call(std::move(req)));
+  if (resp.status != ErrorCode::kOk) {
+    return Status(resp.status, resp.data);
+  }
+  const size_t n = std::min(resp.data.size(), len);
+  std::memcpy(dst, resp.data.data(), n);
+  return n;
+}
+
+Result<size_t> Client::Write(int fd, const void* src, size_t len) {
+  Request req;
+  req.opcode = Opcode::kWrite;
+  req.fd = fd;
+  req.data.assign(static_cast<const char*>(src), std::min(len, kMaxDataBytes));
+  HINFS_ASSIGN_OR_RETURN(Response resp, Call(std::move(req)));
+  if (resp.status != ErrorCode::kOk) {
+    return Status(resp.status, resp.data);
+  }
+  return static_cast<size_t>(resp.r0);
+}
+
+Result<size_t> Client::Pwrite(int fd, const void* src, size_t len, uint64_t offset) {
+  Request req;
+  req.opcode = Opcode::kPwrite;
+  req.fd = fd;
+  req.offset = offset;
+  req.data.assign(static_cast<const char*>(src), std::min(len, kMaxDataBytes));
+  HINFS_ASSIGN_OR_RETURN(Response resp, Call(std::move(req)));
+  if (resp.status != ErrorCode::kOk) {
+    return Status(resp.status, resp.data);
+  }
+  return static_cast<size_t>(resp.r0);
+}
+
+Result<uint64_t> Client::Seek(int fd, uint64_t offset) {
+  Request req;
+  req.opcode = Opcode::kSeek;
+  req.fd = fd;
+  req.offset = offset;
+  HINFS_ASSIGN_OR_RETURN(Response resp, Call(std::move(req)));
+  if (resp.status != ErrorCode::kOk) {
+    return Status(resp.status, resp.data);
+  }
+  return resp.r0;
+}
+
+Status Client::Fsync(int fd) {
+  Request req;
+  req.opcode = Opcode::kFsync;
+  req.fd = fd;
+  return CallStatus(std::move(req));
+}
+
+Status Client::Ftruncate(int fd, uint64_t size) {
+  Request req;
+  req.opcode = Opcode::kFtruncate;
+  req.fd = fd;
+  req.offset = size;
+  return CallStatus(std::move(req));
+}
+
+Result<InodeAttr> Client::Fstat(int fd) {
+  Request req;
+  req.opcode = Opcode::kFstat;
+  req.fd = fd;
+  HINFS_ASSIGN_OR_RETURN(Response resp, Call(std::move(req)));
+  if (resp.status != ErrorCode::kOk) {
+    return Status(resp.status, resp.data);
+  }
+  InodeAttr attr;
+  HINFS_RETURN_IF_ERROR(ParseAttr(reinterpret_cast<const uint8_t*>(resp.data.data()),
+                                  resp.data.size(), &attr));
+  return attr;
+}
+
+Status Client::Mkdir(std::string_view path) {
+  Request req;
+  req.opcode = Opcode::kMkdir;
+  req.path.assign(path);
+  return CallStatus(std::move(req));
+}
+
+Status Client::Rmdir(std::string_view path) {
+  Request req;
+  req.opcode = Opcode::kRmdir;
+  req.path.assign(path);
+  return CallStatus(std::move(req));
+}
+
+Status Client::Unlink(std::string_view path) {
+  Request req;
+  req.opcode = Opcode::kUnlink;
+  req.path.assign(path);
+  return CallStatus(std::move(req));
+}
+
+Status Client::Rename(std::string_view from, std::string_view to) {
+  Request req;
+  req.opcode = Opcode::kRename;
+  req.path.assign(from);
+  req.path2.assign(to);
+  return CallStatus(std::move(req));
+}
+
+Result<InodeAttr> Client::Stat(std::string_view path) {
+  Request req;
+  req.opcode = Opcode::kStat;
+  req.path.assign(path);
+  HINFS_ASSIGN_OR_RETURN(Response resp, Call(std::move(req)));
+  if (resp.status != ErrorCode::kOk) {
+    return Status(resp.status, resp.data);
+  }
+  InodeAttr attr;
+  HINFS_RETURN_IF_ERROR(ParseAttr(reinterpret_cast<const uint8_t*>(resp.data.data()),
+                                  resp.data.size(), &attr));
+  return attr;
+}
+
+Result<std::vector<DirEntry>> Client::ReadDir(std::string_view path) {
+  Request req;
+  req.opcode = Opcode::kReadDir;
+  req.path.assign(path);
+  HINFS_ASSIGN_OR_RETURN(Response resp, Call(std::move(req)));
+  if (resp.status != ErrorCode::kOk) {
+    return Status(resp.status, resp.data);
+  }
+  std::vector<DirEntry> entries;
+  HINFS_RETURN_IF_ERROR(ParseDirEntries(reinterpret_cast<const uint8_t*>(resp.data.data()),
+                                        resp.data.size(), &entries));
+  return entries;
+}
+
+bool Client::Exists(std::string_view path) {
+  Request req;
+  req.opcode = Opcode::kExists;
+  req.path.assign(path);
+  Result<Response> resp = Call(std::move(req));
+  return resp.ok() && resp->status == ErrorCode::kOk && resp->r0 == 1;
+}
+
+Status Client::SyncFs() {
+  Request req;
+  req.opcode = Opcode::kSyncFs;
+  return CallStatus(std::move(req));
+}
+
+}  // namespace server
+}  // namespace hinfs

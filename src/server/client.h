@@ -1,0 +1,83 @@
+// Blocking hinfsd client: connects to a server over a Unix-domain or TCP
+// socket and presents the FsApi surface, so anything written against FsApi
+// (the filebench personalities, fsload) runs over the wire unchanged.
+//
+// One Client speaks one connection with one outstanding request at a time
+// (send, then block for the matching response). Calls are serialized by an
+// internal mutex, so a Client may be shared, but concurrent load wants one
+// Client per thread (that is what fsload does) — the fds it opens are
+// session-scoped on the server and die with the connection.
+
+#ifndef SRC_SERVER_CLIENT_H_
+#define SRC_SERVER_CLIENT_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/server/protocol.h"
+#include "src/vfs/fs_api.h"
+
+namespace hinfs {
+namespace server {
+
+class Client final : public FsApi {
+ public:
+  static Result<std::unique_ptr<Client>> ConnectUnix(const std::string& path);
+  static Result<std::unique_ptr<Client>> ConnectTcp(const std::string& host, int port);
+
+  ~Client() override;
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Round-trips an opaque payload through the server.
+  Status Ping(std::string_view payload = "ping");
+
+  // Shuts the connection down cleanly. Further calls fail with kIoError.
+  void Disconnect();
+
+  // Completed request/response round-trips on this connection.
+  uint64_t rpcs() const { return rpcs_; }
+
+  // --- FsApi ------------------------------------------------------------------
+  Result<int> Open(std::string_view path, uint32_t flags) override;
+  Status Close(int fd) override;
+  Result<size_t> Read(int fd, void* dst, size_t len) override;
+  Result<size_t> Write(int fd, const void* src, size_t len) override;
+  Result<size_t> Pread(int fd, void* dst, size_t len, uint64_t offset) override;
+  Result<size_t> Pwrite(int fd, const void* src, size_t len, uint64_t offset) override;
+  Result<uint64_t> Seek(int fd, uint64_t offset) override;
+  Status Fsync(int fd) override;
+  Status Ftruncate(int fd, uint64_t size) override;
+  Result<InodeAttr> Fstat(int fd) override;
+  Status Mkdir(std::string_view path) override;
+  Status Rmdir(std::string_view path) override;
+  Status Unlink(std::string_view path) override;
+  Status Rename(std::string_view from, std::string_view to) override;
+  Result<InodeAttr> Stat(std::string_view path) override;
+  Result<std::vector<DirEntry>> ReadDir(std::string_view path) override;
+  bool Exists(std::string_view path) override;
+  Status SyncFs() override;
+
+ private:
+  explicit Client(int sock) : sock_(sock) {}
+
+  // Sends `req` and blocks for its response. Transport failures and protocol
+  // violations surface as kIoError; a server-side error Status is
+  // reconstructed from the response (code + message).
+  Result<Response> Call(Request req);
+  // Like Call, but an error-status response is returned as a Status (the
+  // common case for ops whose only interesting result is success).
+  Status CallStatus(Request req);
+
+  int sock_ = -1;
+  uint64_t next_id_ = 1;
+  uint64_t rpcs_ = 0;
+  std::mutex mu_;
+};
+
+}  // namespace server
+}  // namespace hinfs
+
+#endif  // SRC_SERVER_CLIENT_H_

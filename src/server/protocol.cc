@@ -1,0 +1,281 @@
+#include "src/server/protocol.h"
+
+#include <cstring>
+
+namespace hinfs {
+namespace server {
+namespace {
+
+void PutU16(uint16_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; i++) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; i++) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (static_cast<uint16_t>(p[1]) << 8));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; i--) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; i--) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+Status Malformed(const char* what) {
+  return Status(ErrorCode::kInvalidArgument, std::string("malformed frame: ") + what);
+}
+
+}  // namespace
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kPing:
+      return "ping";
+    case Opcode::kOpen:
+      return "open";
+    case Opcode::kClose:
+      return "close";
+    case Opcode::kRead:
+      return "read";
+    case Opcode::kWrite:
+      return "write";
+    case Opcode::kPread:
+      return "pread";
+    case Opcode::kPwrite:
+      return "pwrite";
+    case Opcode::kSeek:
+      return "seek";
+    case Opcode::kFsync:
+      return "fsync";
+    case Opcode::kFtruncate:
+      return "ftruncate";
+    case Opcode::kFstat:
+      return "fstat";
+    case Opcode::kMkdir:
+      return "mkdir";
+    case Opcode::kRmdir:
+      return "rmdir";
+    case Opcode::kUnlink:
+      return "unlink";
+    case Opcode::kRename:
+      return "rename";
+    case Opcode::kStat:
+      return "stat";
+    case Opcode::kReadDir:
+      return "readdir";
+    case Opcode::kExists:
+      return "exists";
+    case Opcode::kSyncFs:
+      return "syncfs";
+  }
+  return "?";
+}
+
+void EncodeRequest(const Request& req, std::string* out) {
+  const uint32_t frame_len = static_cast<uint32_t>(kReqHeaderBytes + req.path.size() +
+                                                   req.path2.size() + req.data.size());
+  out->reserve(out->size() + kFrameLenBytes + frame_len);
+  PutU32(frame_len, out);
+  PutU64(req.request_id, out);
+  out->push_back(static_cast<char>(req.opcode));
+  out->push_back(0);  // pad
+  PutU16(static_cast<uint16_t>(req.path.size()), out);
+  PutU16(static_cast<uint16_t>(req.path2.size()), out);
+  PutU16(0, out);  // pad2
+  PutU32(req.flags, out);
+  PutU32(static_cast<uint32_t>(req.fd), out);
+  PutU64(req.offset, out);
+  PutU32(req.count, out);
+  PutU32(static_cast<uint32_t>(req.data.size()), out);
+  out->append(req.path);
+  out->append(req.path2);
+  out->append(req.data);
+}
+
+void EncodeResponse(const Response& resp, std::string* out) {
+  const uint32_t frame_len = static_cast<uint32_t>(kRespHeaderBytes + resp.data.size());
+  out->reserve(out->size() + kFrameLenBytes + frame_len);
+  PutU32(frame_len, out);
+  PutU64(resp.request_id, out);
+  out->push_back(static_cast<char>(resp.opcode));
+  out->push_back(static_cast<char>(ErrorToWire(resp.status)));
+  PutU16(0, out);  // pad
+  PutU32(static_cast<uint32_t>(resp.data.size()), out);
+  PutU64(resp.r0, out);
+  out->append(resp.data);
+}
+
+Status ParseFrameLen(const uint8_t* buf, size_t max_frame_bytes, uint32_t* frame_len) {
+  *frame_len = GetU32(buf);
+  if (*frame_len < kRespHeaderBytes || *frame_len > max_frame_bytes) {
+    return Malformed("frame length out of bounds");
+  }
+  return OkStatus();
+}
+
+Status DecodeRequest(const uint8_t* payload, size_t len, Request* out) {
+  if (len < kReqHeaderBytes) {
+    return Malformed("request shorter than header");
+  }
+  out->request_id = GetU64(payload);
+  const uint8_t op = payload[8];
+  if (op < kMinOpcode || op > kMaxOpcode) {
+    return Malformed("unknown opcode");
+  }
+  out->opcode = static_cast<Opcode>(op);
+  if (payload[9] != 0) {
+    return Malformed("nonzero pad");
+  }
+  const uint16_t path_len = GetU16(payload + 10);
+  const uint16_t path2_len = GetU16(payload + 12);
+  if (GetU16(payload + 14) != 0) {
+    return Malformed("nonzero pad2");
+  }
+  out->flags = GetU32(payload + 16);
+  out->fd = static_cast<int32_t>(GetU32(payload + 20));
+  out->offset = GetU64(payload + 24);
+  out->count = GetU32(payload + 32);
+  const uint32_t data_len = GetU32(payload + 36);
+  if (path_len > kMaxPathBytes || path2_len > kMaxPathBytes) {
+    return Malformed("path too long");
+  }
+  if (data_len > kMaxDataBytes || out->count > kMaxDataBytes) {
+    return Malformed("data section too large");
+  }
+  if (len != kReqHeaderBytes + path_len + path2_len + data_len) {
+    return Malformed("length fields disagree with frame length");
+  }
+  const char* p = reinterpret_cast<const char*>(payload) + kReqHeaderBytes;
+  out->path.assign(p, path_len);
+  out->path2.assign(p + path_len, path2_len);
+  out->data.assign(p + path_len + path2_len, data_len);
+  return OkStatus();
+}
+
+Status DecodeResponse(const uint8_t* payload, size_t len, Response* out) {
+  if (len < kRespHeaderBytes) {
+    return Malformed("response shorter than header");
+  }
+  out->request_id = GetU64(payload);
+  const uint8_t op = payload[8];
+  if (op < kMinOpcode || op > kMaxOpcode) {
+    return Malformed("unknown opcode");
+  }
+  out->opcode = static_cast<Opcode>(op);
+  out->status = WireToError(payload[9]);
+  if (GetU16(payload + 10) != 0) {
+    return Malformed("nonzero pad");
+  }
+  const uint32_t data_len = GetU32(payload + 12);
+  out->r0 = GetU64(payload + 16);
+  if (data_len > kMaxDataBytes || len != kRespHeaderBytes + data_len) {
+    return Malformed("length fields disagree with frame length");
+  }
+  out->data.assign(reinterpret_cast<const char*>(payload) + kRespHeaderBytes, data_len);
+  return OkStatus();
+}
+
+void AppendAttr(const InodeAttr& attr, std::string* out) {
+  PutU64(attr.ino, out);
+  PutU64(attr.size, out);
+  PutU64(attr.mtime_ns, out);
+  PutU32(attr.nlink, out);
+  out->push_back(static_cast<char>(attr.type));
+  out->append(3, '\0');
+}
+
+Status ParseAttr(const uint8_t* buf, size_t len, InodeAttr* out) {
+  if (len != kWireAttrBytes) {
+    return Malformed("attr size");
+  }
+  out->ino = GetU64(buf);
+  out->size = GetU64(buf + 8);
+  out->mtime_ns = GetU64(buf + 16);
+  out->nlink = GetU32(buf + 24);
+  const uint8_t type = buf[28];
+  if (type != static_cast<uint8_t>(FileType::kRegular) &&
+      type != static_cast<uint8_t>(FileType::kDirectory)) {
+    return Malformed("attr file type");
+  }
+  out->type = static_cast<FileType>(type);
+  return OkStatus();
+}
+
+void AppendDirEntries(const std::vector<DirEntry>& entries, std::string* out) {
+  PutU32(static_cast<uint32_t>(entries.size()), out);
+  for (const DirEntry& e : entries) {
+    PutU64(e.ino, out);
+    out->push_back(static_cast<char>(e.type));
+    out->push_back(static_cast<char>(e.name.size()));
+    out->append(e.name);
+  }
+}
+
+Status ParseDirEntries(const uint8_t* buf, size_t len, std::vector<DirEntry>* out) {
+  if (len < 4) {
+    return Malformed("dirent count");
+  }
+  const uint32_t count = GetU32(buf);
+  size_t off = 4;
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; i++) {
+    if (off + 10 > len) {
+      return Malformed("dirent header");
+    }
+    DirEntry e;
+    e.ino = GetU64(buf + off);
+    const uint8_t type = buf[off + 8];
+    const uint8_t name_len = buf[off + 9];
+    if (type != static_cast<uint8_t>(FileType::kRegular) &&
+        type != static_cast<uint8_t>(FileType::kDirectory)) {
+      return Malformed("dirent file type");
+    }
+    e.type = static_cast<FileType>(type);
+    off += 10;
+    if (off + name_len > len) {
+      return Malformed("dirent name");
+    }
+    e.name.assign(reinterpret_cast<const char*>(buf) + off, name_len);
+    off += name_len;
+    out->push_back(std::move(e));
+  }
+  if (off != len) {
+    return Malformed("dirent trailing bytes");
+  }
+  return OkStatus();
+}
+
+uint8_t ErrorToWire(ErrorCode code) { return static_cast<uint8_t>(code); }
+
+ErrorCode WireToError(uint8_t value) {
+  if (value > static_cast<uint8_t>(ErrorCode::kIoError)) {
+    return ErrorCode::kIoError;
+  }
+  return static_cast<ErrorCode>(value);
+}
+
+}  // namespace server
+}  // namespace hinfs

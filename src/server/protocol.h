@@ -1,0 +1,149 @@
+// hinfsd wire protocol: length-prefixed binary frames carrying the FsApi
+// syscall surface over a byte stream (Unix-domain or TCP socket).
+//
+// Frame layout (all integers little-endian, encoded byte-by-byte so the
+// format is identical on any host):
+//
+//   [u32 frame_len] [payload: frame_len bytes]
+//
+// Request payload (kReqHeaderBytes fixed header, then variable sections in
+// this order: path, path2, data):
+//
+//   offset  0  u64 request_id   echoed verbatim in the response
+//   offset  8  u8  opcode       Opcode below
+//   offset  9  u8  pad          must be 0
+//   offset 10  u16 path_len     bytes of path  (<= kMaxPathBytes)
+//   offset 12  u16 path2_len    bytes of path2 (rename target; else 0)
+//   offset 14  u16 pad2         must be 0
+//   offset 16  u32 flags        OpenFlags for kOpen; else 0
+//   offset 20  i32 fd           client-visible fd for fd ops; else -1
+//   offset 24  u64 offset       pread/pwrite/seek offset; ftruncate size
+//   offset 32  u32 count        bytes requested (read/pread); else 0
+//   offset 36  u32 data_len     bytes of data carried (write/pwrite payload)
+//   offset 40  path, path2, data
+//
+// The frame is malformed unless
+//   frame_len == kReqHeaderBytes + path_len + path2_len + data_len
+// and every limit above holds. A malformed frame is unrecoverable (framing
+// may be corrupt), so the server counts srv_protocol_errors and drops the
+// connection; an over-limit frame_len is rejected before buffering.
+//
+// Response payload (kRespHeaderBytes fixed header, then data):
+//
+//   offset  0  u64 request_id
+//   offset  8  u8  opcode       echoed
+//   offset  9  u8  status       ErrorCode as u8 (0 = ok)
+//   offset 10  u16 pad          0
+//   offset 12  u32 data_len
+//   offset 16  u64 r0           primary scalar result (see opcode table)
+//   offset 24  data
+//
+// data holds: read bytes (kRead/kPread), a serialized InodeAttr
+// (kStat/kFstat, see AppendAttr), serialized dirents (kReadDir), or the
+// Status message string on error. r0 holds: the client fd (kOpen), bytes
+// transferred (read/write ops), the new offset (kSeek), or 0/1 (kExists).
+//
+// Client-visible fds are session-scoped: the server maps them onto Vfs fds
+// and closes everything the session still holds when the connection drops.
+
+#ifndef SRC_SERVER_PROTOCOL_H_
+#define SRC_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/vfs/file_system.h"
+
+namespace hinfs {
+namespace server {
+
+enum class Opcode : uint8_t {
+  kPing = 1,
+  kOpen,
+  kClose,
+  kRead,
+  kWrite,
+  kPread,
+  kPwrite,
+  kSeek,
+  kFsync,
+  kFtruncate,
+  kFstat,
+  kMkdir,
+  kRmdir,
+  kUnlink,
+  kRename,
+  kStat,
+  kReadDir,
+  kExists,
+  kSyncFs,
+};
+inline constexpr uint8_t kMinOpcode = static_cast<uint8_t>(Opcode::kPing);
+inline constexpr uint8_t kMaxOpcode = static_cast<uint8_t>(Opcode::kSyncFs);
+
+const char* OpcodeName(Opcode op);
+
+inline constexpr size_t kFrameLenBytes = 4;
+inline constexpr size_t kReqHeaderBytes = 40;
+inline constexpr size_t kRespHeaderBytes = 24;
+inline constexpr size_t kMaxPathBytes = 4096;
+// Largest data section either direction (one read/write payload).
+inline constexpr size_t kMaxDataBytes = 4u << 20;
+inline constexpr size_t kMaxFrameBytes = kReqHeaderBytes + 2 * kMaxPathBytes + kMaxDataBytes;
+// Error-message strings are truncated to this before hitting the wire.
+inline constexpr size_t kMaxErrorMessageBytes = 256;
+
+struct Request {
+  uint64_t request_id = 0;
+  Opcode opcode = Opcode::kPing;
+  uint32_t flags = 0;
+  int32_t fd = -1;
+  uint64_t offset = 0;
+  uint32_t count = 0;
+  std::string path;
+  std::string path2;
+  std::string data;
+};
+
+struct Response {
+  uint64_t request_id = 0;
+  Opcode opcode = Opcode::kPing;
+  ErrorCode status = ErrorCode::kOk;
+  uint64_t r0 = 0;
+  std::string data;
+};
+
+// Appends one full frame (length prefix included) to `out`.
+void EncodeRequest(const Request& req, std::string* out);
+void EncodeResponse(const Response& resp, std::string* out);
+
+// Decodes a payload (the bytes after the length prefix). Returns
+// kInvalidArgument on any malformed input; the caller must treat that as a
+// fatal protocol error for the connection.
+Status DecodeRequest(const uint8_t* payload, size_t len, Request* out);
+Status DecodeResponse(const uint8_t* payload, size_t len, Response* out);
+
+// Reads a frame length prefix and validates it against the limits above.
+Status ParseFrameLen(const uint8_t* buf, size_t max_frame_bytes, uint32_t* frame_len);
+
+// --- result payload (de)serialization ---------------------------------------
+
+// InodeAttr as 32 bytes: ino u64, size u64, mtime_ns u64, nlink u32, type u8,
+// pad[3].
+inline constexpr size_t kWireAttrBytes = 32;
+void AppendAttr(const InodeAttr& attr, std::string* out);
+Status ParseAttr(const uint8_t* buf, size_t len, InodeAttr* out);
+
+// Dirents as u32 count, then per entry: ino u64, type u8, name_len u8, name.
+void AppendDirEntries(const std::vector<DirEntry>& entries, std::string* out);
+Status ParseDirEntries(const uint8_t* buf, size_t len, std::vector<DirEntry>* out);
+
+// ErrorCode <-> wire byte. Unknown wire values map to kIoError.
+uint8_t ErrorToWire(ErrorCode code);
+ErrorCode WireToError(uint8_t value);
+
+}  // namespace server
+}  // namespace hinfs
+
+#endif  // SRC_SERVER_PROTOCOL_H_

@@ -1,0 +1,794 @@
+#include "src/server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/clock.h"
+
+namespace hinfs {
+namespace server {
+
+namespace {
+
+// Per-wakeup read budget for one connection: keep slicing frames but yield to
+// other connections once this many bytes are buffered (level-triggered epoll
+// re-reports the socket if more is pending).
+constexpr size_t kReadChunk = 64 * 1024;
+constexpr size_t kReadBudget = 1 << 20;
+
+}  // namespace
+
+// --- Session -----------------------------------------------------------------
+
+Server::Session::~Session() {
+  // Close every Vfs fd the client still held: connection teardown must never
+  // leak fds into the shared fd table.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [client_fd, vfs_fd] : fds_) {
+    (void)vfs_->Close(vfs_fd);
+  }
+  fds_.clear();
+}
+
+int Server::Session::Register(int vfs_fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int client_fd = next_client_fd_++;
+  fds_.emplace(client_fd, vfs_fd);
+  return client_fd;
+}
+
+int Server::Session::Translate(int client_fd) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fds_.find(client_fd);
+  return it == fds_.end() ? -1 : it->second;
+}
+
+int Server::Session::Release(int client_fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fds_.find(client_fd);
+  if (it == fds_.end()) {
+    return -1;
+  }
+  const int vfs_fd = it->second;
+  fds_.erase(it);
+  return vfs_fd;
+}
+
+size_t Server::Session::open_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fds_.size();
+}
+
+// --- lifecycle ---------------------------------------------------------------
+
+Server::Server(Vfs* vfs, ServerOptions options) : vfs_(vfs), options_(std::move(options)) {
+  op_counters_.resize(kMaxOpcode + 1, nullptr);
+  for (uint8_t op = kMinOpcode; op <= kMaxOpcode; op++) {
+    op_counters_[op] =
+        stats_.Counter(std::string("srv_op_") + OpcodeName(static_cast<Opcode>(op)));
+  }
+  queued_bytes_counter_ = stats_.Counter(kStatSrvQueuedBytes);
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (started_.exchange(true)) {
+    return Status(ErrorCode::kBusy, "server already started");
+  }
+  if (options_.unix_path.empty() && options_.tcp_port < 0) {
+    return Status(ErrorCode::kInvalidArgument, "no listener configured");
+  }
+  if (options_.workers < 1) {
+    return Status(ErrorCode::kInvalidArgument, "need at least one worker");
+  }
+
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    return Status(ErrorCode::kIoError, "epoll/eventfd setup failed");
+  }
+
+  if (!options_.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_path.size() >= sizeof(addr.sun_path)) {
+      return Status(ErrorCode::kNameTooLong, "unix socket path");
+    }
+    std::memcpy(addr.sun_path, options_.unix_path.c_str(), options_.unix_path.size() + 1);
+    unix_listen_fd_ = socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (unix_listen_fd_ < 0) {
+      return Status(ErrorCode::kIoError, "socket(AF_UNIX)");
+    }
+    ::unlink(options_.unix_path.c_str());
+    if (bind(unix_listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        listen(unix_listen_fd_, 128) != 0) {
+      return Status(ErrorCode::kIoError,
+                    "bind/listen on " + options_.unix_path + ": " + std::strerror(errno));
+    }
+  }
+
+  if (options_.tcp_port >= 0) {
+    tcp_listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (tcp_listen_fd_ < 0) {
+      return Status(ErrorCode::kIoError, "socket(AF_INET)");
+    }
+    int one = 1;
+    setsockopt(tcp_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(options_.tcp_port));
+    if (bind(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        listen(tcp_listen_fd_, 128) != 0) {
+      return Status(ErrorCode::kIoError, std::string("bind/listen tcp: ") + std::strerror(errno));
+    }
+    sockaddr_in bound{};
+    socklen_t blen = sizeof(bound);
+    if (getsockname(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen) == 0) {
+      bound_tcp_port_ = ntohs(bound.sin_port);
+    }
+  }
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  if (unix_listen_fd_ >= 0) {
+    ev.data.fd = unix_listen_fd_;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, unix_listen_fd_, &ev);
+  }
+  if (tcp_listen_fd_ >= 0) {
+    ev.data.fd = tcp_listen_fd_;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, tcp_listen_fd_, &ev);
+  }
+
+  loop_thread_ = std::thread([this] { EventLoop(); });
+  for (int i = 0; i < options_.workers; i++) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return OkStatus();
+}
+
+void Server::Stop() {
+  if (!started_.load()) {
+    return;
+  }
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    return;
+  }
+
+  // 1. Stop accepting: close the listeners (existing connections keep going).
+  for (std::atomic<int>* lfd : {&unix_listen_fd_, &tcp_listen_fd_}) {
+    const int fd = lfd->exchange(-1);
+    if (fd >= 0) {
+      epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+      ::close(fd);
+    }
+  }
+  if (!options_.unix_path.empty()) {
+    ::unlink(options_.unix_path.c_str());
+  }
+
+  // 2. Drain: wait (bounded) for queued work, in-flight requests, and write
+  // queues to empty.
+  const uint64_t deadline = MonotonicNowNs() + options_.drain_timeout_ms * 1'000'000ull;
+  while (MonotonicNowNs() < deadline) {
+    bool quiet;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      quiet = queue_.empty();
+    }
+    if (quiet) {
+      std::vector<std::shared_ptr<Connection>> conns;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        conns.reserve(conns_.size());
+        for (const auto& [fd, conn] : conns_) {
+          conns.push_back(conn);
+        }
+      }
+      for (const auto& conn : conns) {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        if (conn->inflight != 0 || !conn->outq.empty()) {
+          quiet = false;
+          break;
+        }
+      }
+    }
+    if (quiet) {
+      break;
+    }
+    usleep(1000);
+  }
+
+  // 3. Close every remaining connection (clients observe EOF; their sessions
+  // release any Vfs fds they still held).
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& [fd, conn] : conns_) {
+      conns.push_back(conn);
+    }
+  }
+  for (const auto& conn : conns) {
+    CloseConnection(conn);
+  }
+
+  // 4. Tear down the threads.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_shutdown_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    w.join();
+  }
+  workers_.clear();
+
+  uint64_t one = 1;
+  ssize_t ignored = write(wake_fd_, &one, sizeof(one));
+  (void)ignored;
+  if (loop_thread_.joinable()) {
+    loop_thread_.join();
+  }
+
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+  wake_fd_ = epoll_fd_ = -1;
+}
+
+// --- event loop --------------------------------------------------------------
+
+void Server::EventLoop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (true) {
+    const int n = epoll_wait(epoll_fd_, events, kMaxEvents, 100);
+    if (stopping_.load(std::memory_order_acquire)) {
+      // Keep looping during the drain window so EPOLLOUT flushes still
+      // happen; Stop() joins us only after closing every connection, at which
+      // point only the wake event remains.
+      bool any = false;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        any = !conns_.empty();
+      }
+      if (!any) {
+        return;
+      }
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;
+    }
+    for (int i = 0; i < n; i++) {
+      const int fd = events[i].data.fd;
+      const uint32_t ev = events[i].events;
+      if (fd == wake_fd_) {
+        uint64_t drained;
+        ssize_t ignored = read(wake_fd_, &drained, sizeof(drained));
+        (void)ignored;
+        continue;
+      }
+      if (fd == unix_listen_fd_ || fd == tcp_listen_fd_) {
+        AcceptReady(fd);
+        continue;
+      }
+      std::shared_ptr<Connection> conn;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        auto it = conns_.find(fd);
+        if (it != conns_.end()) {
+          conn = it->second;
+        }
+      }
+      if (conn == nullptr) {
+        continue;  // closed by a worker between epoll_wait and now
+      }
+      if ((ev & (EPOLLHUP | EPOLLERR)) != 0) {
+        CloseConnection(conn);
+        continue;
+      }
+      if ((ev & EPOLLOUT) != 0) {
+        ConnWritable(conn);
+      }
+      if ((ev & EPOLLIN) != 0) {
+        ConnReadable(conn);
+      }
+    }
+  }
+}
+
+void Server::AcceptReady(int listen_fd) {
+  while (true) {
+    const int fd = accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // EAGAIN or a transient error: epoll will re-report
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      continue;
+    }
+    if (listen_fd == tcp_listen_fd_) {
+      int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->sock = fd;
+    conn->session = std::make_shared<Session>(vfs_);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.emplace(fd, conn);
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    stats_.Add(kStatSrvAcceptedConns, 1);
+    stats_.Counter(kStatSrvActiveConns)->fetch_add(1, std::memory_order_relaxed);
+    active_conns_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::UpdateEpollLocked(Connection& conn) {
+  if (conn.sock < 0) {
+    return;
+  }
+  epoll_event ev{};
+  ev.events = (conn.paused ? 0u : static_cast<uint32_t>(EPOLLIN)) |
+              (conn.want_write ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+  ev.data.fd = conn.sock;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.sock, &ev);
+}
+
+void Server::MaybeResumeReadingLocked(Connection& conn) {
+  if (conn.paused && !conn.closed &&
+      conn.queued_bytes <= options_.max_conn_queued_bytes / 2 &&
+      conn.inflight < options_.max_conn_inflight / 2 + 1) {
+    conn.paused = false;
+    UpdateEpollLocked(conn);
+  }
+}
+
+bool Server::DrainReadBuffer(const std::shared_ptr<Connection>& conn,
+                             std::vector<WorkItem>* ready) {
+  Connection& c = *conn;
+  const uint8_t* base = reinterpret_cast<const uint8_t*>(c.rbuf.data());
+  size_t off = 0;
+  while (c.rbuf.size() - off >= kFrameLenBytes) {
+    uint32_t frame_len = 0;
+    if (!ParseFrameLen(base + off, options_.max_frame_bytes, &frame_len).ok()) {
+      stats_.Add(kStatSrvProtocolErrors, 1);
+      return false;
+    }
+    if (c.rbuf.size() - off - kFrameLenBytes < frame_len) {
+      break;  // incomplete frame: wait for more bytes
+    }
+    WorkItem item;
+    item.conn = conn;
+    if (!DecodeRequest(base + off + kFrameLenBytes, frame_len, &item.req).ok()) {
+      stats_.Add(kStatSrvProtocolErrors, 1);
+      return false;
+    }
+    stats_.Add(kStatSrvFramesRx, 1);
+    c.inflight++;
+    ready->push_back(std::move(item));
+    off += kFrameLenBytes + frame_len;
+  }
+  c.rbuf.erase(0, off);
+  if (c.inflight >= options_.max_conn_inflight && !c.paused) {
+    c.paused = true;
+    stats_.Add(kStatSrvBackpressureStalls, 1);
+    UpdateEpollLocked(c);
+  }
+  return true;
+}
+
+void Server::ConnReadable(const std::shared_ptr<Connection>& conn) {
+  std::vector<WorkItem> ready;
+  bool fatal = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closed || conn->paused) {
+      return;
+    }
+    char buf[kReadChunk];
+    size_t got = 0;
+    while (got < kReadBudget) {
+      const ssize_t n = recv(conn->sock, buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn->rbuf.append(buf, static_cast<size_t>(n));
+        stats_.Add(kStatSrvBytesRx, static_cast<uint64_t>(n));
+        got += static_cast<size_t>(n);
+        continue;
+      }
+      if (n == 0) {
+        fatal = true;  // peer closed
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      fatal = true;
+      break;
+    }
+    if (!DrainReadBuffer(conn, &ready)) {
+      fatal = true;
+    }
+  }
+  if (!ready.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      for (WorkItem& item : ready) {
+        queue_.push_back(std::move(item));
+      }
+    }
+    queue_cv_.notify_all();
+  }
+  if (fatal) {
+    CloseConnection(conn);
+  }
+}
+
+void Server::ConnWritable(const std::shared_ptr<Connection>& conn) {
+  bool ok;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closed) {
+      return;
+    }
+    ok = FlushLocked(*conn);
+    if (ok) {
+      MaybeResumeReadingLocked(*conn);
+    }
+  }
+  if (!ok) {
+    CloseConnection(conn);
+  }
+}
+
+bool Server::FlushLocked(Connection& conn) {
+  while (!conn.outq.empty()) {
+    const std::string& frame = conn.outq.front();
+    const ssize_t n = send(conn.sock, frame.data() + conn.out_head,
+                           frame.size() - conn.out_head, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_head += static_cast<size_t>(n);
+      conn.queued_bytes -= static_cast<size_t>(n);
+      queued_bytes_counter_->fetch_sub(static_cast<uint64_t>(n), std::memory_order_relaxed);
+      stats_.Add(kStatSrvBytesTx, static_cast<uint64_t>(n));
+      if (conn.out_head == frame.size()) {
+        conn.outq.pop_front();
+        conn.out_head = 0;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn.want_write) {
+        conn.want_write = true;
+        UpdateEpollLocked(conn);
+      }
+      return true;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return false;
+  }
+  if (conn.want_write) {
+    conn.want_write = false;
+    UpdateEpollLocked(conn);
+  }
+  return true;
+}
+
+void Server::CloseConnection(const std::shared_ptr<Connection>& conn) {
+  int sock;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closed) {
+      return;
+    }
+    conn->closed = true;
+    sock = conn->sock;
+    conn->sock = -1;
+    if (conn->queued_bytes > 0) {
+      queued_bytes_counter_->fetch_sub(conn->queued_bytes, std::memory_order_relaxed);
+    }
+    conn->outq.clear();
+    conn->queued_bytes = 0;
+    conn->out_head = 0;
+    // Drop the connection's session reference; in-flight requests hold their
+    // own, so the Session (and with it every still-open Vfs fd) is released
+    // exactly when the last in-flight request finishes.
+    conn->session.reset();
+  }
+  if (sock >= 0) {
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, sock, nullptr);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.erase(sock);
+    }
+    ::close(sock);
+    stats_.Counter(kStatSrvActiveConns)->fetch_sub(1, std::memory_order_relaxed);
+    active_conns_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+// --- workers -----------------------------------------------------------------
+
+void Server::WorkerLoop() {
+  while (true) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return queue_shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutdown and drained
+      }
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    std::shared_ptr<Session> session;
+    {
+      std::lock_guard<std::mutex> lock(item.conn->mu);
+      session = item.conn->session;
+    }
+    Response resp;
+    if (session != nullptr) {
+      resp = Execute(*session, item.req);
+      stats_.Add(kStatSrvRequestsServed, 1);
+    }
+    QueueResponse(item.conn, resp);
+  }
+}
+
+void Server::QueueResponse(const std::shared_ptr<Connection>& conn, const Response& resp) {
+  std::string frame;
+  EncodeResponse(resp, &frame);
+  bool fatal = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->inflight > 0) {
+      conn->inflight--;
+    }
+    if (conn->closed) {
+      return;  // response is dropped; the client is gone
+    }
+    conn->queued_bytes += frame.size();
+    queued_bytes_counter_->fetch_add(frame.size(), std::memory_order_relaxed);
+    conn->outq.push_back(std::move(frame));
+    stats_.Add(kStatSrvFramesTx, 1);
+    if (!conn->want_write) {
+      fatal = !FlushLocked(*conn);
+    }
+    if (!fatal) {
+      if (conn->queued_bytes > options_.max_conn_queued_bytes && !conn->paused) {
+        conn->paused = true;
+        stats_.Add(kStatSrvBackpressureStalls, 1);
+        UpdateEpollLocked(*conn);
+      } else {
+        MaybeResumeReadingLocked(*conn);
+      }
+    }
+  }
+  if (fatal) {
+    CloseConnection(conn);
+  }
+}
+
+// --- request execution -------------------------------------------------------
+
+Response Server::Execute(Session& session, const Request& req) {
+  Response resp;
+  resp.request_id = req.request_id;
+  resp.opcode = req.opcode;
+  op_counters_[static_cast<uint8_t>(req.opcode)]->fetch_add(1, std::memory_order_relaxed);
+
+  auto fail = [&resp](const Status& st) {
+    resp.status = st.code();
+    resp.data = st.message().substr(0, kMaxErrorMessageBytes);
+  };
+  auto translate = [&session, &fail](int client_fd, int* vfs_fd) {
+    *vfs_fd = session.Translate(client_fd);
+    if (*vfs_fd < 0) {
+      fail(Status(ErrorCode::kBadFd, "unknown client fd"));
+      return false;
+    }
+    return true;
+  };
+
+  switch (req.opcode) {
+    case Opcode::kPing: {
+      resp.data = req.data;
+      break;
+    }
+    case Opcode::kOpen: {
+      Result<int> fd = vfs_->Open(req.path, req.flags);
+      if (!fd.ok()) {
+        fail(fd.status());
+        break;
+      }
+      resp.r0 = static_cast<uint64_t>(session.Register(*fd));
+      break;
+    }
+    case Opcode::kClose: {
+      const int vfs_fd = session.Release(req.fd);
+      if (vfs_fd < 0) {
+        fail(Status(ErrorCode::kBadFd, "unknown client fd"));
+        break;
+      }
+      Status st = vfs_->Close(vfs_fd);
+      if (!st.ok()) {
+        fail(st);
+      }
+      break;
+    }
+    case Opcode::kRead:
+    case Opcode::kPread: {
+      int vfs_fd;
+      if (!translate(req.fd, &vfs_fd)) {
+        break;
+      }
+      const size_t count = std::min<size_t>(req.count, kMaxDataBytes);
+      resp.data.resize(count);
+      Result<size_t> n = req.opcode == Opcode::kRead
+                             ? vfs_->Read(vfs_fd, resp.data.data(), count)
+                             : vfs_->Pread(vfs_fd, resp.data.data(), count, req.offset);
+      if (!n.ok()) {
+        resp.data.clear();
+        fail(n.status());
+        break;
+      }
+      resp.data.resize(*n);
+      resp.r0 = *n;
+      break;
+    }
+    case Opcode::kWrite:
+    case Opcode::kPwrite: {
+      int vfs_fd;
+      if (!translate(req.fd, &vfs_fd)) {
+        break;
+      }
+      Result<size_t> n = req.opcode == Opcode::kWrite
+                             ? vfs_->Write(vfs_fd, req.data.data(), req.data.size())
+                             : vfs_->Pwrite(vfs_fd, req.data.data(), req.data.size(),
+                                            req.offset);
+      if (!n.ok()) {
+        fail(n.status());
+        break;
+      }
+      resp.r0 = *n;
+      break;
+    }
+    case Opcode::kSeek: {
+      int vfs_fd;
+      if (!translate(req.fd, &vfs_fd)) {
+        break;
+      }
+      Result<uint64_t> off = vfs_->Seek(vfs_fd, req.offset);
+      if (!off.ok()) {
+        fail(off.status());
+        break;
+      }
+      resp.r0 = *off;
+      break;
+    }
+    case Opcode::kFsync: {
+      int vfs_fd;
+      if (!translate(req.fd, &vfs_fd)) {
+        break;
+      }
+      Status st = vfs_->Fsync(vfs_fd);
+      if (!st.ok()) {
+        fail(st);
+      }
+      break;
+    }
+    case Opcode::kFtruncate: {
+      int vfs_fd;
+      if (!translate(req.fd, &vfs_fd)) {
+        break;
+      }
+      Status st = vfs_->Ftruncate(vfs_fd, req.offset);
+      if (!st.ok()) {
+        fail(st);
+      }
+      break;
+    }
+    case Opcode::kFstat: {
+      int vfs_fd;
+      if (!translate(req.fd, &vfs_fd)) {
+        break;
+      }
+      Result<InodeAttr> attr = vfs_->Fstat(vfs_fd);
+      if (!attr.ok()) {
+        fail(attr.status());
+        break;
+      }
+      AppendAttr(*attr, &resp.data);
+      break;
+    }
+    case Opcode::kMkdir: {
+      Status st = vfs_->Mkdir(req.path);
+      if (!st.ok()) {
+        fail(st);
+      }
+      break;
+    }
+    case Opcode::kRmdir: {
+      Status st = vfs_->Rmdir(req.path);
+      if (!st.ok()) {
+        fail(st);
+      }
+      break;
+    }
+    case Opcode::kUnlink: {
+      Status st = vfs_->Unlink(req.path);
+      if (!st.ok()) {
+        fail(st);
+      }
+      break;
+    }
+    case Opcode::kRename: {
+      Status st = vfs_->Rename(req.path, req.path2);
+      if (!st.ok()) {
+        fail(st);
+      }
+      break;
+    }
+    case Opcode::kStat: {
+      Result<InodeAttr> attr = vfs_->Stat(req.path);
+      if (!attr.ok()) {
+        fail(attr.status());
+        break;
+      }
+      AppendAttr(*attr, &resp.data);
+      break;
+    }
+    case Opcode::kReadDir: {
+      Result<std::vector<DirEntry>> entries = vfs_->ReadDir(req.path);
+      if (!entries.ok()) {
+        fail(entries.status());
+        break;
+      }
+      AppendDirEntries(*entries, &resp.data);
+      break;
+    }
+    case Opcode::kExists: {
+      resp.r0 = vfs_->Exists(req.path) ? 1 : 0;
+      break;
+    }
+    case Opcode::kSyncFs: {
+      Status st = vfs_->SyncFs();
+      if (!st.ok()) {
+        fail(st);
+      }
+      break;
+    }
+  }
+  return resp;
+}
+
+}  // namespace server
+}  // namespace hinfs

@@ -1,0 +1,190 @@
+// hinfsd: a multi-threaded file-service daemon exposing a Vfs over
+// Unix-domain and TCP sockets with the length-prefixed binary protocol in
+// protocol.h.
+//
+// Threading model (DESIGN.md §7):
+//  - One event-loop thread owns epoll: it accepts connections, reads bytes,
+//    slices them into frames, and hands decoded requests to the worker pool.
+//    It also flushes pending response bytes on EPOLLOUT.
+//  - N worker threads pop requests from one shared queue, execute them
+//    against the Vfs, and append the encoded response to the connection's
+//    write queue, opportunistically flushing it inline (the common case: the
+//    socket buffer has room and no EPOLLOUT round-trip is needed).
+//
+// Sessions and fd ownership: each connection owns a Session mapping
+// client-visible fds to Vfs fds. Requests hold the Session via shared_ptr, so
+// when a connection drops, the last in-flight request releases the Session
+// and its destructor closes every Vfs fd the client leaked — a dropped
+// connection can never leak fds (Vfs::OpenFdCount is the test's observable).
+//
+// Backpressure: per-connection write queues are bounded by
+// max_conn_queued_bytes, and in-flight requests per connection by
+// max_conn_inflight. When either bound is hit the event loop stops reading
+// from that connection (EPOLLIN off) and resumes once the queue drains below
+// half — a slow reader stalls only itself.
+//
+// Shutdown: Stop() closes the listeners, waits for in-flight requests to
+// complete and write queues to drain (bounded by drain_timeout_ms), then
+// closes the remaining connections and joins every thread.
+
+#ifndef SRC_SERVER_SERVER_H_
+#define SRC_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/server/protocol.h"
+#include "src/vfs/vfs.h"
+
+namespace hinfs {
+namespace server {
+
+struct ServerOptions {
+  // Unix-domain listener path; empty disables the Unix listener. An existing
+  // socket file at this path is unlinked on Start.
+  std::string unix_path;
+  // TCP listener port on 127.0.0.1; -1 disables TCP, 0 binds an ephemeral
+  // port (read it back via Server::tcp_port()).
+  int tcp_port = -1;
+  int workers = 2;
+  size_t max_frame_bytes = kMaxFrameBytes;
+  // Write-queue bound per connection; reading pauses above it.
+  size_t max_conn_queued_bytes = 4u << 20;
+  // In-flight (decoded, not yet responded) request bound per connection.
+  size_t max_conn_inflight = 128;
+  uint64_t drain_timeout_ms = 5000;
+};
+
+class Server {
+ public:
+  // `vfs` must outlive the server and stay mounted while it serves.
+  Server(Vfs* vfs, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  Status Start();
+  // Graceful drain, idempotent. Safe to call concurrently with serving.
+  void Stop();
+
+  // Bound TCP port (valid after Start when tcp_port >= 0 was requested).
+  int tcp_port() const { return bound_tcp_port_; }
+  const std::string& unix_path() const { return options_.unix_path; }
+
+  StatsRegistry& stats() { return stats_; }
+  uint64_t active_connections() const {
+    return active_conns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Client-fd -> Vfs-fd map for one connection. Destroyed when the last
+  // reference (connection table or in-flight request) drops; the destructor
+  // closes every Vfs fd still registered.
+  class Session {
+   public:
+    explicit Session(Vfs* vfs) : vfs_(vfs) {}
+    ~Session();
+
+    // Registers an open Vfs fd, returning the client-visible fd.
+    int Register(int vfs_fd);
+    // Client fd -> Vfs fd; -1 if unknown.
+    int Translate(int client_fd) const;
+    // Removes the mapping, returning the Vfs fd (-1 if unknown). The caller
+    // closes the Vfs fd.
+    int Release(int client_fd);
+    size_t open_count() const;
+
+   private:
+    Vfs* vfs_;
+    mutable std::mutex mu_;
+    int next_client_fd_ = 3;
+    std::unordered_map<int, int> fds_;
+  };
+
+  struct Connection {
+    int sock = -1;
+    std::shared_ptr<Session> session;
+    // Guards everything below plus writes to `sock`'s stream.
+    std::mutex mu;
+    std::string rbuf;          // bytes read, not yet sliced into frames
+    std::deque<std::string> outq;
+    size_t out_head = 0;       // bytes of outq.front() already written
+    size_t queued_bytes = 0;
+    size_t inflight = 0;       // decoded requests not yet responded to
+    bool want_write = false;   // EPOLLOUT armed
+    bool paused = false;       // EPOLLIN disarmed (backpressure)
+    bool closed = false;
+  };
+
+  struct WorkItem {
+    std::shared_ptr<Connection> conn;
+    Request req;
+  };
+
+  void EventLoop();
+  void WorkerLoop();
+
+  void AcceptReady(int listen_fd);
+  void ConnReadable(const std::shared_ptr<Connection>& conn);
+  void ConnWritable(const std::shared_ptr<Connection>& conn);
+  // Slices conn->rbuf into frames; returns false on a protocol error (the
+  // connection must be closed). Called with conn->mu held.
+  bool DrainReadBuffer(const std::shared_ptr<Connection>& conn,
+                       std::vector<WorkItem>* ready);
+  void CloseConnection(const std::shared_ptr<Connection>& conn);
+  // Appends a response and flushes opportunistically (worker-side).
+  void QueueResponse(const std::shared_ptr<Connection>& conn, const Response& resp);
+  // Writes as much of outq as the socket accepts. Returns false on a fatal
+  // socket error. Called with conn->mu held.
+  bool FlushLocked(Connection& conn);
+  // Re-arms/disarms epoll interest for the connection. Called with conn->mu held.
+  void UpdateEpollLocked(Connection& conn);
+  void MaybeResumeReadingLocked(Connection& conn);
+
+  Response Execute(Session& session, const Request& req);
+
+  Vfs* vfs_;
+  ServerOptions options_;
+  StatsRegistry stats_;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd used to kick the event loop on Stop
+  // Atomic: Stop() retires these to -1 while EventLoop/AcceptReady compare
+  // event fds against them.
+  std::atomic<int> unix_listen_fd_{-1};
+  std::atomic<int> tcp_listen_fd_{-1};
+  int bound_tcp_port_ = -1;
+
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<WorkItem> queue_;
+  bool queue_shutdown_ = false;
+
+  std::mutex conns_mu_;
+  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
+
+  std::atomic<uint64_t> active_conns_{0};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+
+  // Cached per-opcode counters ("srv_op_<name>").
+  std::vector<std::atomic<uint64_t>*> op_counters_;
+  std::atomic<uint64_t>* queued_bytes_counter_ = nullptr;
+};
+
+}  // namespace server
+}  // namespace hinfs
+
+#endif  // SRC_SERVER_SERVER_H_

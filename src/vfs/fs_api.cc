@@ -1,0 +1,34 @@
+#include "src/vfs/fs_api.h"
+
+namespace hinfs {
+
+Status FsApi::WriteFile(std::string_view path, std::string_view contents) {
+  HINFS_ASSIGN_OR_RETURN(int fd, Open(path, kCreate | kWrOnly | kTrunc));
+  Result<size_t> n = Write(fd, contents.data(), contents.size());
+  Status close_st = Close(fd);
+  if (!n.ok()) {
+    return n.status();
+  }
+  if (*n != contents.size()) {
+    return Status(ErrorCode::kIoError, "short write");
+  }
+  return close_st;
+}
+
+Result<std::string> FsApi::ReadFileToString(std::string_view path) {
+  HINFS_ASSIGN_OR_RETURN(InodeAttr attr, Stat(path));
+  HINFS_ASSIGN_OR_RETURN(int fd, Open(path, kRdOnly));
+  std::string out(attr.size, '\0');
+  Result<size_t> n = Read(fd, out.data(), out.size());
+  Status close_st = Close(fd);
+  if (!n.ok()) {
+    return n.status();
+  }
+  out.resize(*n);
+  if (!close_st.ok()) {
+    return close_st;
+  }
+  return out;
+}
+
+}  // namespace hinfs

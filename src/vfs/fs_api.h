@@ -1,0 +1,106 @@
+// FsApi: the POSIX-like syscall surface, abstracted away from any one
+// front-end. Vfs (in-process) and server::Client (over a socket, see
+// src/server/client.h) both present this interface, so the filebench
+// personality loops in src/workloads can replay identically in-process and
+// over the wire — fsload drives the exact same flowop mix hinfsd serves.
+//
+// The surface deliberately mirrors Vfs's public API one-to-one (same
+// signatures, same Result/Status conventions); VfsApi below is a zero-state
+// forwarding adapter. Implementations must be safe to call from multiple
+// threads (Vfs is; a Client is locked per call).
+
+#ifndef SRC_VFS_FS_API_H_
+#define SRC_VFS_FS_API_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/vfs/vfs.h"
+
+namespace hinfs {
+
+class FsApi {
+ public:
+  virtual ~FsApi() = default;
+
+  // --- fd-based ---------------------------------------------------------------
+  virtual Result<int> Open(std::string_view path, uint32_t flags) = 0;
+  virtual Status Close(int fd) = 0;
+  virtual Result<size_t> Read(int fd, void* dst, size_t len) = 0;
+  virtual Result<size_t> Write(int fd, const void* src, size_t len) = 0;
+  virtual Result<size_t> Pread(int fd, void* dst, size_t len, uint64_t offset) = 0;
+  virtual Result<size_t> Pwrite(int fd, const void* src, size_t len, uint64_t offset) = 0;
+  virtual Result<uint64_t> Seek(int fd, uint64_t offset) = 0;
+  virtual Status Fsync(int fd) = 0;
+  virtual Status Ftruncate(int fd, uint64_t size) = 0;
+  virtual Result<InodeAttr> Fstat(int fd) = 0;
+
+  // --- path-based -------------------------------------------------------------
+  virtual Status Mkdir(std::string_view path) = 0;
+  virtual Status Rmdir(std::string_view path) = 0;
+  virtual Status Unlink(std::string_view path) = 0;
+  virtual Status Rename(std::string_view from, std::string_view to) = 0;
+  virtual Result<InodeAttr> Stat(std::string_view path) = 0;
+  virtual Result<std::vector<DirEntry>> ReadDir(std::string_view path) = 0;
+  virtual bool Exists(std::string_view path) = 0;
+
+  // --- whole-FS ---------------------------------------------------------------
+  virtual Status SyncFs() = 0;
+
+  // Convenience helpers built on the virtual surface (same behavior as the
+  // Vfs versions).
+  Status WriteFile(std::string_view path, std::string_view contents);
+  Result<std::string> ReadFileToString(std::string_view path);
+};
+
+// In-process implementation: forwards every call to a Vfs. Stateless, so one
+// adapter may be shared by any number of threads.
+class VfsApi final : public FsApi {
+ public:
+  explicit VfsApi(Vfs* vfs) : vfs_(vfs) {}
+
+  Result<int> Open(std::string_view path, uint32_t flags) override {
+    return vfs_->Open(path, flags);
+  }
+  Status Close(int fd) override { return vfs_->Close(fd); }
+  Result<size_t> Read(int fd, void* dst, size_t len) override {
+    return vfs_->Read(fd, dst, len);
+  }
+  Result<size_t> Write(int fd, const void* src, size_t len) override {
+    return vfs_->Write(fd, src, len);
+  }
+  Result<size_t> Pread(int fd, void* dst, size_t len, uint64_t offset) override {
+    return vfs_->Pread(fd, dst, len, offset);
+  }
+  Result<size_t> Pwrite(int fd, const void* src, size_t len, uint64_t offset) override {
+    return vfs_->Pwrite(fd, src, len, offset);
+  }
+  Result<uint64_t> Seek(int fd, uint64_t offset) override { return vfs_->Seek(fd, offset); }
+  Status Fsync(int fd) override { return vfs_->Fsync(fd); }
+  Status Ftruncate(int fd, uint64_t size) override { return vfs_->Ftruncate(fd, size); }
+  Result<InodeAttr> Fstat(int fd) override { return vfs_->Fstat(fd); }
+
+  Status Mkdir(std::string_view path) override { return vfs_->Mkdir(path); }
+  Status Rmdir(std::string_view path) override { return vfs_->Rmdir(path); }
+  Status Unlink(std::string_view path) override { return vfs_->Unlink(path); }
+  Status Rename(std::string_view from, std::string_view to) override {
+    return vfs_->Rename(from, to);
+  }
+  Result<InodeAttr> Stat(std::string_view path) override { return vfs_->Stat(path); }
+  Result<std::vector<DirEntry>> ReadDir(std::string_view path) override {
+    return vfs_->ReadDir(path);
+  }
+  bool Exists(std::string_view path) override { return vfs_->Exists(path); }
+
+  Status SyncFs() override { return vfs_->SyncFs(); }
+
+  Vfs* vfs() { return vfs_; }
+
+ private:
+  Vfs* vfs_;
+};
+
+}  // namespace hinfs
+
+#endif  // SRC_VFS_FS_API_H_

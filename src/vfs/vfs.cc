@@ -82,6 +82,15 @@ std::shared_ptr<Vfs::FdState> Vfs::FdLookup(int fd) {
   return nullptr;
 }
 
+size_t Vfs::OpenFdCount() const {
+  size_t n = 0;
+  for (const FdShard& s : fd_shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    n += s.used;
+  }
+  return n;
+}
+
 bool Vfs::FdErase(int fd) {
   if (fd < 3) {
     return false;

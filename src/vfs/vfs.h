@@ -86,6 +86,12 @@ class Vfs {
 
   FileSystem* fs() { return fs_; }
 
+  // Number of currently open fds across all shards. Session owners (the
+  // hinfsd server maps per-connection client fds onto Vfs fds) use this as
+  // the leak check: after every session is torn down the count must return
+  // to its pre-serving baseline.
+  size_t OpenFdCount() const;
+
   // Convenience for tests: write/read an entire small file by path.
   Status WriteFile(std::string_view path, std::string_view contents);
   Result<std::string> ReadFileToString(std::string_view path);
@@ -111,7 +117,7 @@ class Vfs {
       int fd = kEmpty;
       std::shared_ptr<FdState> state;
     };
-    std::mutex mu;
+    mutable std::mutex mu;
     std::vector<Slot> slots{16};
     size_t used = 0;      // live entries
     size_t occupied = 0;  // live + tombstones (drives resize)

@@ -70,7 +70,10 @@ bool Benign(const Status& st) {
 }
 
 struct Ctx {
-  Vfs* vfs;
+  // One FsApi per thread (entries may alias when the front-end is shared);
+  // this is what lets fsload replay the same loops over per-connection
+  // hinfsd clients.
+  const std::vector<FsApi*>* apis;
   const FilebenchConfig* cfg;
   FileSet* files;
   std::atomic<uint64_t>* next_name;
@@ -84,16 +87,16 @@ struct Ctx {
 
 // --- reusable flowops -------------------------------------------------------------
 
-Status ReadWholeFile(Ctx& ctx, const std::string& path, std::vector<uint8_t>& buf) {
-  Result<int> fd = ctx.vfs->Open(path, kRdOnly);
+Status ReadWholeFile(Ctx& ctx, FsApi* fs, const std::string& path, std::vector<uint8_t>& buf) {
+  Result<int> fd = fs->Open(path, kRdOnly);
   if (!fd.ok()) {
     return Benign(fd.status()) ? OkStatus() : fd.status();
   }
   ctx.ops++;
   while (true) {
-    Result<size_t> n = ctx.vfs->Read(*fd, buf.data(), buf.size());
+    Result<size_t> n = fs->Read(*fd, buf.data(), buf.size());
     if (!n.ok()) {
-      (void)ctx.vfs->Close(*fd);
+      (void)fs->Close(*fd);
       // The file can be deleted out from under the open fd by another worker.
       return Benign(n.status()) ? OkStatus() : n.status();
     }
@@ -103,12 +106,12 @@ Status ReadWholeFile(Ctx& ctx, const std::string& path, std::vector<uint8_t>& bu
     }
   }
   ctx.ops += 2;  // read + close flowops
-  return ctx.vfs->Close(*fd);
+  return fs->Close(*fd);
 }
 
-Status WriteWholeFile(Ctx& ctx, const std::string& path, size_t total,
+Status WriteWholeFile(Ctx& ctx, FsApi* fs, const std::string& path, size_t total,
                       const std::vector<uint8_t>& payload) {
-  Result<int> fd = ctx.vfs->Open(path, kWrOnly | kCreate | kTrunc);
+  Result<int> fd = fs->Open(path, kWrOnly | kCreate | kTrunc);
   if (!fd.ok()) {
     return Benign(fd.status()) ? OkStatus() : fd.status();
   }
@@ -116,50 +119,50 @@ Status WriteWholeFile(Ctx& ctx, const std::string& path, size_t total,
   size_t written = 0;
   while (written < total) {
     const size_t chunk = std::min(payload.size(), total - written);
-    Result<size_t> n = ctx.vfs->Write(*fd, payload.data(), chunk);
+    Result<size_t> n = fs->Write(*fd, payload.data(), chunk);
     if (!n.ok()) {
-      (void)ctx.vfs->Close(*fd);
+      (void)fs->Close(*fd);
       return Benign(n.status()) ? OkStatus() : n.status();
     }
     written += *n;
     ctx.bytes_written += *n;
   }
   ctx.ops += 2;
-  return ctx.vfs->Close(*fd);
+  return fs->Close(*fd);
 }
 
-Status AppendFile(Ctx& ctx, const std::string& path, size_t len,
+Status AppendFile(Ctx& ctx, FsApi* fs, const std::string& path, size_t len,
                   const std::vector<uint8_t>& payload, bool fsync_after) {
-  Result<int> fd = ctx.vfs->Open(path, kWrOnly | kAppend);
+  Result<int> fd = fs->Open(path, kWrOnly | kAppend);
   if (!fd.ok()) {
     return Benign(fd.status()) ? OkStatus() : fd.status();
   }
-  Result<size_t> n = ctx.vfs->Write(*fd, payload.data(), std::min(len, payload.size()));
+  Result<size_t> n = fs->Write(*fd, payload.data(), std::min(len, payload.size()));
   if (!n.ok()) {
-    (void)ctx.vfs->Close(*fd);
+    (void)fs->Close(*fd);
     return Benign(n.status()) ? OkStatus() : n.status();
   }
   ctx.bytes_written += *n;
   ctx.ops += 2;
   if (fsync_after) {
-    Status st = ctx.vfs->Fsync(*fd);
+    Status st = fs->Fsync(*fd);
     if (!st.ok()) {
-      (void)ctx.vfs->Close(*fd);
+      (void)fs->Close(*fd);
       return Benign(st) ? OkStatus() : st;
     }
     ctx.fsyncs++;
     ctx.ops++;
   }
   ctx.ops++;
-  return ctx.vfs->Close(*fd);
+  return fs->Close(*fd);
 }
 
-Status DeleteFile(Ctx& ctx, Rng& rng) {
+Status DeleteFile(Ctx& ctx, FsApi* fs, Rng& rng) {
   std::string victim = ctx.files->Claim(rng);
   if (victim.empty()) {
     return OkStatus();
   }
-  Status st = ctx.vfs->Unlink(victim);
+  Status st = fs->Unlink(victim);
   if (!st.ok() && !Benign(st)) {
     return st;
   }
@@ -167,17 +170,17 @@ Status DeleteFile(Ctx& ctx, Rng& rng) {
   return OkStatus();
 }
 
-Status CreateNewFile(Ctx& ctx, size_t size, const std::vector<uint8_t>& payload) {
+Status CreateNewFile(Ctx& ctx, FsApi* fs, size_t size, const std::vector<uint8_t>& payload) {
   const uint64_t id = ctx.next_name->fetch_add(1);
   const std::string dir = "/d" + std::to_string(id % 16 + 1000);
-  if (!ctx.vfs->Exists(dir)) {
-    Status st = ctx.vfs->Mkdir(dir);
+  if (!fs->Exists(dir)) {
+    Status st = fs->Mkdir(dir);
     if (!st.ok() && !Benign(st)) {
       return st;
     }
   }
   const std::string path = dir + "/n" + std::to_string(id);
-  HINFS_RETURN_IF_ERROR(WriteWholeFile(ctx, path, size, payload));
+  HINFS_RETURN_IF_ERROR(WriteWholeFile(ctx, fs, path, size, payload));
   ctx.files->Add(path);
   return OkStatus();
 }
@@ -187,12 +190,13 @@ Status CreateNewFile(Ctx& ctx, size_t size, const std::vector<uint8_t>& payload)
 // writewholefile without O_TRUNC (filebench semantics): in-place rewrite of an
 // existing file in io_size chunks — the op that gives CLFW and write
 // coalescing their workload.
-Status RewriteWholeFile(Ctx& ctx, const std::string& path, const std::vector<uint8_t>& payload) {
-  Result<InodeAttr> attr = ctx.vfs->Stat(path);
+Status RewriteWholeFile(Ctx& ctx, FsApi* fs, const std::string& path,
+                        const std::vector<uint8_t>& payload) {
+  Result<InodeAttr> attr = fs->Stat(path);
   if (!attr.ok()) {
     return Benign(attr.status()) ? OkStatus() : attr.status();
   }
-  Result<int> fd = ctx.vfs->Open(path, kWrOnly);
+  Result<int> fd = fs->Open(path, kWrOnly);
   if (!fd.ok()) {
     return Benign(fd.status()) ? OkStatus() : fd.status();
   }
@@ -200,42 +204,42 @@ Status RewriteWholeFile(Ctx& ctx, const std::string& path, const std::vector<uin
   uint64_t off = 0;
   while (off < attr->size) {
     const size_t chunk = std::min<uint64_t>(payload.size(), attr->size - off);
-    Result<size_t> n = ctx.vfs->Pwrite(*fd, payload.data(), chunk, off);
+    Result<size_t> n = fs->Pwrite(*fd, payload.data(), chunk, off);
     if (!n.ok()) {
-      (void)ctx.vfs->Close(*fd);
+      (void)fs->Close(*fd);
       return Benign(n.status()) ? OkStatus() : n.status();
     }
     ctx.bytes_written += *n;
     off += *n;
   }
   ctx.ops += 2;
-  return ctx.vfs->Close(*fd);
+  return fs->Close(*fd);
 }
 
-Status FileserverLoop(Ctx& ctx, int thread) {
+Status FileserverLoop(Ctx& ctx, FsApi* fs, int thread) {
   Rng rng(ctx.cfg->seed * 977 + thread);
   std::vector<uint8_t> payload(ctx.cfg->io_size);
   FillPattern(payload, thread);
   std::vector<uint8_t> readbuf(std::max(ctx.cfg->io_size, ctx.cfg->mean_file_size));
 
   while (MonotonicNowNs() < ctx.deadline_ns) {
-    HINFS_RETURN_IF_ERROR(CreateNewFile(ctx, ctx.cfg->mean_file_size, payload));
+    HINFS_RETURN_IF_ERROR(CreateNewFile(ctx, fs, ctx.cfg->mean_file_size, payload));
     std::string f = ctx.files->Pick(rng, ctx.cfg->locality_theta);
     if (!f.empty()) {
-      HINFS_RETURN_IF_ERROR(RewriteWholeFile(ctx, f, payload));
+      HINFS_RETURN_IF_ERROR(RewriteWholeFile(ctx, fs, f, payload));
     }
     f = ctx.files->Pick(rng, ctx.cfg->locality_theta);
     if (!f.empty()) {
-      HINFS_RETURN_IF_ERROR(AppendFile(ctx, f, ctx.cfg->io_size, payload, false));
+      HINFS_RETURN_IF_ERROR(AppendFile(ctx, fs, f, ctx.cfg->io_size, payload, false));
     }
     f = ctx.files->Pick(rng, ctx.cfg->locality_theta);
     if (!f.empty()) {
-      HINFS_RETURN_IF_ERROR(ReadWholeFile(ctx, f, readbuf));
+      HINFS_RETURN_IF_ERROR(ReadWholeFile(ctx, fs, f, readbuf));
     }
-    HINFS_RETURN_IF_ERROR(DeleteFile(ctx, rng));
+    HINFS_RETURN_IF_ERROR(DeleteFile(ctx, fs, rng));
     f = ctx.files->Pick(rng, ctx.cfg->locality_theta);
     if (!f.empty()) {
-      Result<InodeAttr> attr = ctx.vfs->Stat(f);
+      Result<InodeAttr> attr = fs->Stat(f);
       if (!attr.ok() && !Benign(attr.status())) {
         return attr.status();
       }
@@ -245,52 +249,52 @@ Status FileserverLoop(Ctx& ctx, int thread) {
   return OkStatus();
 }
 
-Status WebserverLoop(Ctx& ctx, int thread) {
+Status WebserverLoop(Ctx& ctx, FsApi* fs, int thread) {
   Rng rng(ctx.cfg->seed * 1301 + thread);
   std::vector<uint8_t> payload(std::max<size_t>(ctx.cfg->io_size / 64, 4096));
   FillPattern(payload, thread);
   std::vector<uint8_t> readbuf(std::max(ctx.cfg->io_size, ctx.cfg->mean_file_size));
   const std::string log = "/weblog" + std::to_string(thread);
-  HINFS_RETURN_IF_ERROR(ctx.vfs->WriteFile(log, "init"));
+  HINFS_RETURN_IF_ERROR(fs->WriteFile(log, "init"));
 
   while (MonotonicNowNs() < ctx.deadline_ns) {
     for (int i = 0; i < 10 && MonotonicNowNs() < ctx.deadline_ns; i++) {
       std::string f = ctx.files->Pick(rng, ctx.cfg->locality_theta);
       if (!f.empty()) {
-        HINFS_RETURN_IF_ERROR(ReadWholeFile(ctx, f, readbuf));
+        HINFS_RETURN_IF_ERROR(ReadWholeFile(ctx, fs, f, readbuf));
       }
     }
-    HINFS_RETURN_IF_ERROR(AppendFile(ctx, log, payload.size(), payload, false));
+    HINFS_RETURN_IF_ERROR(AppendFile(ctx, fs, log, payload.size(), payload, false));
   }
   return OkStatus();
 }
 
-Status WebproxyLoop(Ctx& ctx, int thread) {
+Status WebproxyLoop(Ctx& ctx, FsApi* fs, int thread) {
   Rng rng(ctx.cfg->seed * 1511 + thread);
   std::vector<uint8_t> payload(ctx.cfg->io_size);
   FillPattern(payload, thread);
   std::vector<uint8_t> readbuf(std::max(ctx.cfg->io_size, ctx.cfg->mean_file_size));
   const std::string log = "/proxylog" + std::to_string(thread);
-  HINFS_RETURN_IF_ERROR(ctx.vfs->WriteFile(log, "init"));
+  HINFS_RETURN_IF_ERROR(fs->WriteFile(log, "init"));
   // Webproxy exhibits strong locality and short-lived cache objects.
   const double theta = std::max(ctx.cfg->locality_theta, 0.6);
 
   while (MonotonicNowNs() < ctx.deadline_ns) {
-    HINFS_RETURN_IF_ERROR(DeleteFile(ctx, rng));
-    HINFS_RETURN_IF_ERROR(CreateNewFile(ctx, ctx.cfg->mean_file_size, payload));
+    HINFS_RETURN_IF_ERROR(DeleteFile(ctx, fs, rng));
+    HINFS_RETURN_IF_ERROR(CreateNewFile(ctx, fs, ctx.cfg->mean_file_size, payload));
     for (int i = 0; i < 5 && MonotonicNowNs() < ctx.deadline_ns; i++) {
       std::string f = ctx.files->Pick(rng, theta);
       if (!f.empty()) {
-        HINFS_RETURN_IF_ERROR(ReadWholeFile(ctx, f, readbuf));
+        HINFS_RETURN_IF_ERROR(ReadWholeFile(ctx, fs, f, readbuf));
       }
     }
-    HINFS_RETURN_IF_ERROR(AppendFile(ctx, log, std::min<size_t>(payload.size(), 16384), payload,
-                                     false));
+    HINFS_RETURN_IF_ERROR(AppendFile(ctx, fs, log, std::min<size_t>(payload.size(), 16384),
+                                     payload, false));
   }
   return OkStatus();
 }
 
-Status VarmailLoop(Ctx& ctx, int thread) {
+Status VarmailLoop(Ctx& ctx, FsApi* fs, int thread) {
   Rng rng(ctx.cfg->seed * 2003 + thread);
   std::vector<uint8_t> payload(ctx.cfg->io_size);
   FillPattern(payload, thread);
@@ -298,23 +302,23 @@ Status VarmailLoop(Ctx& ctx, int thread) {
 
   while (MonotonicNowNs() < ctx.deadline_ns) {
     // deletefile
-    HINFS_RETURN_IF_ERROR(DeleteFile(ctx, rng));
+    HINFS_RETURN_IF_ERROR(DeleteFile(ctx, fs, rng));
     // createfile; appendfile; fsync; close
     {
       const uint64_t id = ctx.next_name->fetch_add(1);
       const std::string path = "/d0/m" + std::to_string(id);
-      Result<int> fd = ctx.vfs->Open(path, kWrOnly | kCreate);
+      Result<int> fd = fs->Open(path, kWrOnly | kCreate);
       if (fd.ok()) {
-        Result<size_t> n = ctx.vfs->Write(*fd, payload.data(), payload.size());
+        Result<size_t> n = fs->Write(*fd, payload.data(), payload.size());
         if (!n.ok() && !Benign(n.status())) {
           return n.status();
         }
         if (n.ok()) {
           ctx.bytes_written += *n;
-          HINFS_RETURN_IF_ERROR(ctx.vfs->Fsync(*fd));
+          HINFS_RETURN_IF_ERROR(fs->Fsync(*fd));
           ctx.fsyncs++;
         }
-        HINFS_RETURN_IF_ERROR(ctx.vfs->Close(*fd));
+        HINFS_RETURN_IF_ERROR(fs->Close(*fd));
         ctx.files->Add(path);
         ctx.ops += 4;
       }
@@ -323,18 +327,18 @@ Status VarmailLoop(Ctx& ctx, int thread) {
     {
       std::string f = ctx.files->Pick(rng, ctx.cfg->locality_theta);
       if (!f.empty()) {
-        Result<int> fd = ctx.vfs->Open(f, kRdWr | kAppend);
+        Result<int> fd = fs->Open(f, kRdWr | kAppend);
         if (fd.ok()) {
-          Result<size_t> n = ctx.vfs->Pread(*fd, readbuf.data(), readbuf.size(), 0);
+          Result<size_t> n = fs->Pread(*fd, readbuf.data(), readbuf.size(), 0);
           if (n.ok()) {
             ctx.bytes_read += *n;
           } else if (!Benign(n.status())) {
             return n.status();
           }
-          Result<size_t> w = ctx.vfs->Write(*fd, payload.data(), payload.size());
+          Result<size_t> w = fs->Write(*fd, payload.data(), payload.size());
           if (w.ok()) {
             ctx.bytes_written += *w;
-            Status sync_st = ctx.vfs->Fsync(*fd);
+            Status sync_st = fs->Fsync(*fd);
             if (!sync_st.ok() && !Benign(sync_st)) {
               return sync_st;
             }
@@ -342,7 +346,7 @@ Status VarmailLoop(Ctx& ctx, int thread) {
           } else if (!Benign(w.status())) {
             return w.status();
           }
-          HINFS_RETURN_IF_ERROR(ctx.vfs->Close(*fd));
+          HINFS_RETURN_IF_ERROR(fs->Close(*fd));
           ctx.ops += 5;
         }
       }
@@ -351,7 +355,7 @@ Status VarmailLoop(Ctx& ctx, int thread) {
     {
       std::string f = ctx.files->Pick(rng, ctx.cfg->locality_theta);
       if (!f.empty()) {
-        HINFS_RETURN_IF_ERROR(ReadWholeFile(ctx, f, readbuf));
+        HINFS_RETURN_IF_ERROR(ReadWholeFile(ctx, fs, f, readbuf));
       }
     }
   }
@@ -374,34 +378,47 @@ const char* PersonalityName(Personality p) {
   return "?";
 }
 
-Status PrepareFileset(Vfs* vfs, const FilebenchConfig& config) {
+Status PrepareFileset(FsApi* fs, const FilebenchConfig& config) {
   Rng rng(config.seed);
   std::vector<uint8_t> payload(std::max<size_t>(config.mean_file_size, 4096));
   FillPattern(payload, config.seed);
 
   const size_t ndirs = (config.nfiles + config.dir_width - 1) / config.dir_width;
   for (size_t d = 0; d < std::max<size_t>(ndirs, 1); d++) {
-    HINFS_RETURN_IF_ERROR(vfs->Mkdir("/d" + std::to_string(d)));
+    // kExists tolerated so prepare is idempotent (fsload re-prepares a
+    // long-lived daemon between personalities).
+    Status st = fs->Mkdir("/d" + std::to_string(d));
+    if (!st.ok() && st.code() != ErrorCode::kExists) {
+      return st;
+    }
   }
   for (size_t i = 0; i < config.nfiles; i++) {
     const std::string path = FilePath(config, i);
     // Sizes uniform in [0.5, 1.5] x mean, like filebench's gamma sizing.
     const size_t size = config.mean_file_size / 2 +
                         rng.Below(std::max<size_t>(config.mean_file_size, 2));
-    HINFS_ASSIGN_OR_RETURN(int fd, vfs->Open(path, kWrOnly | kCreate));
+    HINFS_ASSIGN_OR_RETURN(int fd, fs->Open(path, kWrOnly | kCreate));
     size_t written = 0;
     while (written < size) {
       const size_t chunk = std::min(payload.size(), size - written);
-      HINFS_ASSIGN_OR_RETURN(size_t n, vfs->Write(fd, payload.data(), chunk));
+      HINFS_ASSIGN_OR_RETURN(size_t n, fs->Write(fd, payload.data(), chunk));
       written += n;
     }
-    HINFS_RETURN_IF_ERROR(vfs->Close(fd));
+    HINFS_RETURN_IF_ERROR(fs->Close(fd));
   }
   return OkStatus();
 }
 
-Result<WorkloadResult> RunFilebench(Vfs* vfs, Personality personality,
-                                    const FilebenchConfig& config) {
+Status PrepareFileset(Vfs* vfs, const FilebenchConfig& config) {
+  VfsApi api(vfs);
+  return PrepareFileset(&api, config);
+}
+
+Result<WorkloadResult> RunFilebench(const std::vector<FsApi*>& per_thread_api,
+                                    Personality personality, const FilebenchConfig& config) {
+  if (per_thread_api.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "need at least one FsApi");
+  }
   FileSet files;
   for (size_t i = 0; i < config.nfiles; i++) {
     files.Add(FilePath(config, i));
@@ -409,23 +426,24 @@ Result<WorkloadResult> RunFilebench(Vfs* vfs, Personality personality,
   std::atomic<uint64_t> next_name{0};
 
   Ctx ctx;
-  ctx.vfs = vfs;
+  ctx.apis = &per_thread_api;
   ctx.cfg = &config;
   ctx.files = &files;
   ctx.next_name = &next_name;
   ctx.deadline_ns = MonotonicNowNs() + config.duration_ms * 1'000'000ull;
 
   const uint64_t start = MonotonicNowNs();
-  Status st = RunThreads(config.threads, [&](int thread) {
+  Status st = RunThreads(static_cast<int>(per_thread_api.size()), [&](int thread) {
+    FsApi* fs = (*ctx.apis)[thread];
     switch (personality) {
       case Personality::kFileserver:
-        return FileserverLoop(ctx, thread);
+        return FileserverLoop(ctx, fs, thread);
       case Personality::kWebserver:
-        return WebserverLoop(ctx, thread);
+        return WebserverLoop(ctx, fs, thread);
       case Personality::kWebproxy:
-        return WebproxyLoop(ctx, thread);
+        return WebproxyLoop(ctx, fs, thread);
       case Personality::kVarmail:
-        return VarmailLoop(ctx, thread);
+        return VarmailLoop(ctx, fs, thread);
     }
     return OkStatus();
   });
@@ -438,6 +456,14 @@ Result<WorkloadResult> RunFilebench(Vfs* vfs, Personality personality,
   result.fsyncs = ctx.fsyncs.load();
   result.seconds = static_cast<double>(MonotonicNowNs() - start) / 1e9;
   return result;
+}
+
+Result<WorkloadResult> RunFilebench(Vfs* vfs, Personality personality,
+                                    const FilebenchConfig& config) {
+  VfsApi api(vfs);
+  const std::vector<FsApi*> per_thread(static_cast<size_t>(std::max(config.threads, 1)),
+                                       &api);
+  return RunFilebench(per_thread, personality, config);
 }
 
 Result<WorkloadResult> RunFioRandRw(Vfs* vfs, const FioConfig& config) {

@@ -33,11 +33,18 @@ struct FilebenchConfig {
   double locality_theta = 0.2;    // file-choice skew (webproxy uses ~0.6)
 };
 
-// Creates the directory tree and initial file population on `vfs`.
+// Creates the directory tree and initial file population. The FsApi overload
+// works over any front-end (in-process Vfs or a hinfsd connection).
+Status PrepareFileset(FsApi* fs, const FilebenchConfig& config);
 Status PrepareFileset(Vfs* vfs, const FilebenchConfig& config);
 
-// Runs one personality for config.duration_ms across config.threads threads.
-// PrepareFileset must have been called on the same configuration.
+// Runs one personality for config.duration_ms. The per-thread overload runs
+// one thread per entry of `per_thread_api` (config.threads is ignored), so a
+// load generator can give every thread its own connection; entries may repeat
+// when a front-end is shared. PrepareFileset must have been called on the
+// same configuration.
+Result<WorkloadResult> RunFilebench(const std::vector<FsApi*>& per_thread_api,
+                                    Personality personality, const FilebenchConfig& config);
 Result<WorkloadResult> RunFilebench(Vfs* vfs, Personality personality,
                                     const FilebenchConfig& config);
 

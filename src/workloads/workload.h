@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/vfs/fs_api.h"
 #include "src/vfs/vfs.h"
 
 namespace hinfs {

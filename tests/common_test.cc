@@ -180,12 +180,113 @@ TEST(HistogramTest, MergeCombines) {
   EXPECT_EQ(a.max(), 1000u);
 }
 
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  Histogram a;
+  a.Record(42);
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 42u);
+  EXPECT_EQ(a.max(), 42u);
+
+  // Empty absorbing non-empty takes its stats wholesale.
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.min(), 42u);
+  EXPECT_EQ(empty.max(), 42u);
+}
+
+TEST(HistogramTest, PercentileExtremeQuantiles) {
+  Histogram h;
+  h.Record(8);      // exactly bucket 3
+  h.Record(100'000);
+  // q=0 tracks the low end, q=1 the high end; both bounded by the recorded
+  // range's bucket boundaries.
+  EXPECT_LE(h.Percentile(0.0), h.Percentile(1.0));
+  EXPECT_GE(h.Percentile(0.0), 1u);
+  EXPECT_GE(h.Percentile(1.0), 100'000u / 2);  // within the max's bucket
+
+  Histogram empty;
+  EXPECT_EQ(empty.Percentile(0.0), 0u);
+  EXPECT_EQ(empty.Percentile(1.0), 0u);
+}
+
+TEST(HistogramTest, BucketForIsMonotone) {
+  EXPECT_EQ(Histogram::BucketFor(0), Histogram::BucketFor(1));
+  int prev = Histogram::BucketFor(1);
+  for (uint64_t v = 2; v < (1ull << 20); v *= 2) {
+    const int b = Histogram::BucketFor(v);
+    EXPECT_GT(b, prev) << "v=" << v;
+    prev = b;
+  }
+  EXPECT_LT(Histogram::BucketFor(UINT64_MAX), Histogram::kBuckets);
+}
+
+TEST(ConcurrentHistogramTest, SnapshotMatchesSerialRecording) {
+  ConcurrentHistogram ch;
+  Histogram expected;
+  for (uint64_t v : {1u, 5u, 70u, 4096u, 1'000'000u}) {
+    ch.Record(v);
+    expected.Record(v);
+  }
+  const Histogram snap = ch.Snapshot();
+  EXPECT_EQ(snap.count(), expected.count());
+  EXPECT_EQ(snap.sum(), expected.sum());
+  EXPECT_EQ(snap.min(), expected.min());
+  EXPECT_EQ(snap.max(), expected.max());
+  EXPECT_EQ(snap.Percentile(0.5), expected.Percentile(0.5));
+}
+
+TEST(ConcurrentHistogramTest, ParallelRecordersLoseNothing) {
+  ConcurrentHistogram ch;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&ch, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        ch.Record(static_cast<uint64_t>(t) * kPerThread + i + 1);
+      }
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  const Histogram snap = ch.Snapshot();
+  EXPECT_EQ(snap.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.min(), 1u);
+  EXPECT_EQ(snap.max(), static_cast<uint64_t>(kThreads) * kPerThread);
+  // Sum of 1..N.
+  const uint64_t n = static_cast<uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(snap.sum(), n * (n + 1) / 2);
+}
+
+TEST(ConcurrentHistogramTest, ResetClears) {
+  ConcurrentHistogram ch;
+  ch.Record(7);
+  ch.Reset();
+  const Histogram snap = ch.Snapshot();
+  EXPECT_EQ(snap.count(), 0u);
+  EXPECT_EQ(snap.Percentile(0.99), 0u);
+}
+
 TEST(StatsTest, CountersAccumulate) {
   StatsRegistry stats;
   stats.Add("x", 3);
   stats.Add("x", 4);
   EXPECT_EQ(stats.Get("x"), 7u);
   EXPECT_EQ(stats.Get("missing"), 0u);
+}
+
+TEST(StatsTest, HeterogeneousLookupByStringView) {
+  StatsRegistry stats;
+  const std::string owned = "srv_frames_rx";
+  stats.Add(std::string_view(owned), 2);
+  // Lookup through a different string object with equal contents — the map
+  // must compare by value, not identity, and Counter must hit the same cell.
+  char buf[] = "srv_frames_rx";
+  EXPECT_EQ(stats.Get(std::string_view(buf, sizeof(buf) - 1)), 2u);
+  EXPECT_EQ(stats.Counter(owned), stats.Counter(std::string_view(buf, sizeof(buf) - 1)));
 }
 
 TEST(StatsTest, CounterPointerStable) {

@@ -1,0 +1,262 @@
+// hinfsd under concurrent load: many clients hammering one server, abrupt
+// disconnects racing in-flight requests, shutdown racing traffic, and a
+// miniature fsload run (filebench personality over the wire). Labeled
+// `sanitize` so it runs under TSan and ASan+UBSan.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/fs/pmfs/pmfs_fs.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+#include "src/vfs/vfs.h"
+#include "src/workloads/filebench.h"
+
+namespace hinfs {
+namespace server {
+namespace {
+
+bool WaitFor(const std::function<bool()>& cond, uint64_t timeout_ms = 10'000) {
+  const uint64_t deadline = MonotonicNowNs() + timeout_ms * 1'000'000;
+  while (MonotonicNowNs() < deadline) {
+    if (cond()) {
+      return true;
+    }
+    usleep(1000);
+  }
+  return cond();
+}
+
+class ServerConcurrencyTest : public ::testing::Test {
+ protected:
+  ServerConcurrencyTest() {
+    NvmmConfig cfg;
+    cfg.size_bytes = 64 << 20;
+    cfg.latency_mode = LatencyMode::kNone;
+    nvmm_ = std::make_unique<NvmmDevice>(cfg);
+    PmfsOptions opts;
+    opts.max_inodes = 8192;
+    auto fs = PmfsFs::Format(nvmm_.get(), opts);
+    EXPECT_TRUE(fs.ok());
+    fs_ = std::move(*fs);
+    vfs_ = std::make_unique<Vfs>(fs_.get());
+
+    static std::atomic<int> seq{0};
+    ServerOptions sopts;
+    sopts.unix_path = "/tmp/hinfs_srvcc_test." + std::to_string(getpid()) + "." +
+                      std::to_string(seq.fetch_add(1)) + ".sock";
+    sopts.workers = 3;
+    server_ = std::make_unique<Server>(vfs_.get(), sopts);
+    EXPECT_TRUE(server_->Start().ok());
+  }
+
+  ~ServerConcurrencyTest() override { server_->Stop(); }
+
+  std::unique_ptr<Client> Connect() {
+    auto c = Client::ConnectUnix(server_->unix_path());
+    EXPECT_TRUE(c.ok()) << c.status().ToString();
+    return c.ok() ? std::move(*c) : nullptr;
+  }
+
+  std::unique_ptr<NvmmDevice> nvmm_;
+  std::unique_ptr<PmfsFs> fs_;
+  std::unique_ptr<Vfs> vfs_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerConcurrencyTest, ManyClientsDistinctFiles) {
+  constexpr int kClients = 8;
+  constexpr int kRounds = 25;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kClients; t++) {
+    threads.emplace_back([&, t] {
+      auto client = Connect();
+      if (client == nullptr) {
+        failures++;
+        return;
+      }
+      const std::string path = "/c" + std::to_string(t);
+      std::string payload(4096, static_cast<char>('a' + t));
+      for (int r = 0; r < kRounds; r++) {
+        auto fd = client->Open(path, kWrOnly | kCreate | kTrunc);
+        if (!fd.ok() || !client->Write(*fd, payload.data(), payload.size()).ok() ||
+            !client->Fsync(*fd).ok() || !client->Close(*fd).ok()) {
+          failures++;
+          return;
+        }
+        auto text = client->ReadFileToString(path);
+        if (!text.ok() || *text != payload) {
+          failures++;
+          return;
+        }
+      }
+      client->Disconnect();
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(WaitFor([&] { return vfs_->OpenFdCount() == 0; }));
+  EXPECT_EQ(server_->stats().Get(kStatSrvProtocolErrors), 0u);
+}
+
+TEST_F(ServerConcurrencyTest, SharedFileReadersAndWriters) {
+  ASSERT_TRUE(vfs_->WriteFile("/shared", std::string(8192, 's')).ok());
+  constexpr int kClients = 6;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kClients; t++) {
+    threads.emplace_back([&, t] {
+      auto client = Connect();
+      if (client == nullptr) {
+        failures++;
+        return;
+      }
+      char buf[512];
+      std::string payload(512, static_cast<char>('A' + t));
+      for (int r = 0; r < 30; r++) {
+        if (t % 2 == 0) {
+          auto n = client->Pwrite(3, payload.data(), payload.size(),
+                                  static_cast<uint64_t>(t) * 512);
+          // fd 3 is never opened on this session: must always be kBadFd, and
+          // must not corrupt anything.
+          if (n.ok() || n.status().code() != ErrorCode::kBadFd) {
+            failures++;
+            return;
+          }
+          auto fd = client->Open("/shared", kRdWr);
+          if (!fd.ok() ||
+              !client->Pwrite(*fd, payload.data(), payload.size(),
+                              static_cast<uint64_t>(t) * 512)
+                   .ok() ||
+              !client->Close(*fd).ok()) {
+            failures++;
+            return;
+          }
+        } else {
+          auto fd = client->Open("/shared", kRdOnly);
+          if (!fd.ok() || !client->Pread(*fd, buf, sizeof(buf), 0).ok() ||
+              !client->Close(*fd).ok()) {
+            failures++;
+            return;
+          }
+        }
+      }
+      client->Disconnect();
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(WaitFor([&] { return vfs_->OpenFdCount() == 0; }));
+}
+
+TEST_F(ServerConcurrencyTest, AbruptDisconnectWithInflightRequestsReclaimsFds) {
+  // Raw connections that pipeline several opens and vanish without reading a
+  // single response: the session teardown races request execution, and every
+  // Vfs fd must still be reclaimed.
+  for (int round = 0; round < 10; round++) {
+    const int sock = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(sock, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, server_->unix_path().c_str(), sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::connect(sock, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+    std::string wire;
+    for (int i = 0; i < 8; i++) {
+      Request req;
+      req.request_id = static_cast<uint64_t>(round) * 100 + i;
+      req.opcode = Opcode::kOpen;
+      req.flags = kWrOnly | kCreate;
+      req.path = "/drop" + std::to_string(round) + "_" + std::to_string(i);
+      EncodeRequest(req, &wire);
+    }
+    ASSERT_EQ(::send(sock, wire.data(), wire.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(wire.size()));
+    // Hang up immediately; responses are never read.
+    ::close(sock);
+  }
+  EXPECT_TRUE(WaitFor([&] { return server_->active_connections() == 0; }));
+  EXPECT_TRUE(WaitFor([&] { return vfs_->OpenFdCount() == 0; }));
+}
+
+TEST_F(ServerConcurrencyTest, StopRacesTraffic) {
+  constexpr int kClients = 4;
+  std::atomic<bool> halt{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; t++) {
+    threads.emplace_back([&, t] {
+      auto client = Connect();
+      if (client == nullptr) {
+        return;
+      }
+      const std::string path = "/race" + std::to_string(t);
+      while (!halt.load()) {
+        // Errors are expected once Stop lands; the requirement is no hang, no
+        // crash, no leak.
+        if (!client->WriteFile(path, "x").ok()) {
+          break;
+        }
+        if (!client->Ping().ok()) {
+          break;
+        }
+      }
+    });
+  }
+  usleep(50 * 1000);  // let traffic build
+  server_->Stop();
+  halt.store(true);
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(vfs_->OpenFdCount(), 0u);
+}
+
+TEST_F(ServerConcurrencyTest, FilebenchPersonalityOverTheWire) {
+  // Miniature fsload: 4 connections replaying the fileserver personality
+  // through the per-thread FsApi overload.
+  FilebenchConfig cfg;
+  cfg.nfiles = 24;
+  cfg.dir_width = 8;
+  cfg.mean_file_size = 16 * 1024;
+  cfg.io_size = 8 * 1024;
+  cfg.duration_ms = 150;
+
+  std::vector<std::unique_ptr<Client>> conns;
+  std::vector<FsApi*> apis;
+  for (int i = 0; i < 4; i++) {
+    auto c = Connect();
+    ASSERT_NE(c, nullptr);
+    apis.push_back(c.get());
+    conns.push_back(std::move(c));
+  }
+  ASSERT_TRUE(PrepareFileset(conns[0].get(), cfg).ok());
+
+  auto result = RunFilebench(apis, Personality::kFileserver, cfg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->ops, 0u);
+
+  for (auto& c : conns) {
+    c->Disconnect();
+  }
+  EXPECT_TRUE(WaitFor([&] { return vfs_->OpenFdCount() == 0; }));
+  EXPECT_EQ(server_->stats().Get(kStatSrvProtocolErrors), 0u);
+  EXPECT_GT(server_->stats().Get(kStatSrvRequestsServed), 0u);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace hinfs

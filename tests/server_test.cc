@@ -1,0 +1,500 @@
+// hinfsd server suite: wire-protocol (de)serialization, full request
+// round-trips over a real Unix/TCP socket, error mapping, connection-drop fd
+// reclamation, and malformed-frame rejection.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <functional>
+
+#include "src/common/clock.h"
+#include "src/fs/pmfs/pmfs_fs.h"
+#include "src/server/client.h"
+#include "src/server/protocol.h"
+#include "src/server/server.h"
+#include "src/vfs/vfs.h"
+
+namespace hinfs {
+namespace server {
+namespace {
+
+// Polls `cond` until true or ~5 s elapse (single-core CI is slow).
+bool WaitFor(const std::function<bool()>& cond, uint64_t timeout_ms = 5000) {
+  const uint64_t deadline = MonotonicNowNs() + timeout_ms * 1'000'000;
+  while (MonotonicNowNs() < deadline) {
+    if (cond()) {
+      return true;
+    }
+    usleep(1000);
+  }
+  return cond();
+}
+
+// --- protocol unit tests (no sockets) ----------------------------------------
+
+TEST(ProtocolTest, RequestRoundTrip) {
+  Request req;
+  req.request_id = 0x1122334455667788ull;
+  req.opcode = Opcode::kPwrite;
+  req.flags = kWrOnly | kCreate;
+  req.fd = 42;
+  req.offset = 0xdeadbeefcafeull;
+  req.count = 512;
+  req.path = "/some/path";
+  req.path2 = "/other";
+  req.data = std::string(1000, 'x');
+
+  std::string wire;
+  EncodeRequest(req, &wire);
+  ASSERT_GT(wire.size(), kFrameLenBytes + kReqHeaderBytes);
+
+  uint32_t frame_len = 0;
+  ASSERT_TRUE(ParseFrameLen(reinterpret_cast<const uint8_t*>(wire.data()),
+                            kMaxFrameBytes, &frame_len)
+                  .ok());
+  ASSERT_EQ(frame_len, wire.size() - kFrameLenBytes);
+
+  Request out;
+  ASSERT_TRUE(DecodeRequest(reinterpret_cast<const uint8_t*>(wire.data()) + kFrameLenBytes,
+                            frame_len, &out)
+                  .ok());
+  EXPECT_EQ(out.request_id, req.request_id);
+  EXPECT_EQ(out.opcode, req.opcode);
+  EXPECT_EQ(out.flags, req.flags);
+  EXPECT_EQ(out.fd, req.fd);
+  EXPECT_EQ(out.offset, req.offset);
+  EXPECT_EQ(out.count, req.count);
+  EXPECT_EQ(out.path, req.path);
+  EXPECT_EQ(out.path2, req.path2);
+  EXPECT_EQ(out.data, req.data);
+}
+
+TEST(ProtocolTest, ResponseRoundTrip) {
+  Response resp;
+  resp.request_id = 7;
+  resp.opcode = Opcode::kRead;
+  resp.status = ErrorCode::kNoSpace;
+  resp.r0 = 1234;
+  resp.data = "payload";
+
+  std::string wire;
+  EncodeResponse(resp, &wire);
+  Response out;
+  ASSERT_TRUE(DecodeResponse(reinterpret_cast<const uint8_t*>(wire.data()) + kFrameLenBytes,
+                             wire.size() - kFrameLenBytes, &out)
+                  .ok());
+  EXPECT_EQ(out.request_id, resp.request_id);
+  EXPECT_EQ(out.opcode, resp.opcode);
+  EXPECT_EQ(out.status, resp.status);
+  EXPECT_EQ(out.r0, resp.r0);
+  EXPECT_EQ(out.data, resp.data);
+}
+
+TEST(ProtocolTest, DecodeRejectsMalformedRequests) {
+  Request req;
+  req.opcode = Opcode::kOpen;
+  req.path = "/f";
+  std::string wire;
+  EncodeRequest(req, &wire);
+  uint8_t* payload = reinterpret_cast<uint8_t*>(wire.data()) + kFrameLenBytes;
+  const size_t payload_len = wire.size() - kFrameLenBytes;
+  Request out;
+
+  // Truncated header.
+  EXPECT_FALSE(DecodeRequest(payload, kReqHeaderBytes - 1, &out).ok());
+  // Length disagreement: header says 2 path bytes, frame carries 2 + junk.
+  {
+    std::string longer = wire + "junk";
+    EXPECT_FALSE(DecodeRequest(reinterpret_cast<uint8_t*>(longer.data()) + kFrameLenBytes,
+                               longer.size() - kFrameLenBytes, &out)
+                     .ok());
+  }
+  // Bad opcode (0 and out-of-range).
+  {
+    std::string bad = wire;
+    bad[kFrameLenBytes + 8] = 0;
+    EXPECT_FALSE(DecodeRequest(reinterpret_cast<uint8_t*>(bad.data()) + kFrameLenBytes,
+                               payload_len, &out)
+                     .ok());
+    bad[kFrameLenBytes + 8] = static_cast<char>(kMaxOpcode + 1);
+    EXPECT_FALSE(DecodeRequest(reinterpret_cast<uint8_t*>(bad.data()) + kFrameLenBytes,
+                               payload_len, &out)
+                     .ok());
+  }
+  // Nonzero pad byte.
+  {
+    std::string bad = wire;
+    bad[kFrameLenBytes + 9] = 1;
+    EXPECT_FALSE(DecodeRequest(reinterpret_cast<uint8_t*>(bad.data()) + kFrameLenBytes,
+                               payload_len, &out)
+                     .ok());
+  }
+}
+
+TEST(ProtocolTest, ParseFrameLenEnforcesBounds) {
+  uint8_t buf[4];
+  uint32_t frame_len = 0;
+  // Oversized.
+  const uint32_t huge = kMaxFrameBytes + 1;
+  std::memcpy(buf, &huge, 4);
+  buf[0] = static_cast<uint8_t>(huge & 0xff);
+  buf[1] = static_cast<uint8_t>((huge >> 8) & 0xff);
+  buf[2] = static_cast<uint8_t>((huge >> 16) & 0xff);
+  buf[3] = static_cast<uint8_t>((huge >> 24) & 0xff);
+  EXPECT_FALSE(ParseFrameLen(buf, kMaxFrameBytes, &frame_len).ok());
+  // Too small to hold any header.
+  buf[0] = 1;
+  buf[1] = buf[2] = buf[3] = 0;
+  EXPECT_FALSE(ParseFrameLen(buf, kMaxFrameBytes, &frame_len).ok());
+}
+
+TEST(ProtocolTest, AttrRoundTrip) {
+  InodeAttr attr;
+  attr.ino = 99;
+  attr.size = 1ull << 40;
+  attr.mtime_ns = 123456789;
+  attr.nlink = 3;
+  attr.type = FileType::kDirectory;
+  std::string wire;
+  AppendAttr(attr, &wire);
+  ASSERT_EQ(wire.size(), kWireAttrBytes);
+  InodeAttr out;
+  ASSERT_TRUE(ParseAttr(reinterpret_cast<const uint8_t*>(wire.data()), wire.size(), &out).ok());
+  EXPECT_EQ(out.ino, attr.ino);
+  EXPECT_EQ(out.size, attr.size);
+  EXPECT_EQ(out.mtime_ns, attr.mtime_ns);
+  EXPECT_EQ(out.nlink, attr.nlink);
+  EXPECT_EQ(out.type, attr.type);
+}
+
+TEST(ProtocolTest, DirEntriesRoundTrip) {
+  std::vector<DirEntry> entries;
+  for (int i = 0; i < 5; i++) {
+    DirEntry e;
+    e.name = "entry" + std::to_string(i);
+    e.ino = 100 + i;
+    e.type = i % 2 == 0 ? FileType::kRegular : FileType::kDirectory;
+    entries.push_back(e);
+  }
+  std::string wire;
+  AppendDirEntries(entries, &wire);
+  std::vector<DirEntry> out;
+  ASSERT_TRUE(
+      ParseDirEntries(reinterpret_cast<const uint8_t*>(wire.data()), wire.size(), &out).ok());
+  ASSERT_EQ(out.size(), entries.size());
+  for (size_t i = 0; i < out.size(); i++) {
+    EXPECT_EQ(out[i].name, entries[i].name);
+    EXPECT_EQ(out[i].ino, entries[i].ino);
+    EXPECT_EQ(out[i].type, entries[i].type);
+  }
+  // Truncated dirent payload must not parse.
+  EXPECT_FALSE(ParseDirEntries(reinterpret_cast<const uint8_t*>(wire.data()),
+                               wire.size() - 1, &out)
+                   .ok());
+}
+
+TEST(ProtocolTest, ErrorWireMapping) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kIoError); c++) {
+    const ErrorCode code = static_cast<ErrorCode>(c);
+    EXPECT_EQ(WireToError(ErrorToWire(code)), code);
+  }
+  // Unknown byte values degrade to kIoError, never out-of-range enum values.
+  EXPECT_EQ(WireToError(0xff), ErrorCode::kIoError);
+}
+
+// --- live-server tests --------------------------------------------------------
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest() {
+    NvmmConfig cfg;
+    cfg.size_bytes = 32 << 20;
+    cfg.latency_mode = LatencyMode::kNone;
+    nvmm_ = std::make_unique<NvmmDevice>(cfg);
+    PmfsOptions opts;
+    opts.max_inodes = 4096;
+    auto fs = PmfsFs::Format(nvmm_.get(), opts);
+    EXPECT_TRUE(fs.ok());
+    fs_ = std::move(*fs);
+    vfs_ = std::make_unique<Vfs>(fs_.get());
+  }
+
+  ~ServerTest() override {
+    if (server_ != nullptr) {
+      server_->Stop();
+    }
+  }
+
+  // Starts a server on a private Unix socket (and optionally TCP).
+  void StartServer(int tcp_port = -1, int workers = 2) {
+    static std::atomic<int> seq{0};
+    ServerOptions opts;
+    opts.unix_path = "/tmp/hinfs_srv_test." + std::to_string(getpid()) + "." +
+                     std::to_string(seq.fetch_add(1)) + ".sock";
+    opts.tcp_port = tcp_port;
+    opts.workers = workers;
+    server_ = std::make_unique<Server>(vfs_.get(), opts);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  std::unique_ptr<Client> Connect() {
+    auto c = Client::ConnectUnix(server_->unix_path());
+    EXPECT_TRUE(c.ok()) << c.status().ToString();
+    return c.ok() ? std::move(*c) : nullptr;
+  }
+
+  // Raw (non-Client) connection for protocol-abuse tests.
+  int RawConnect() {
+    const int sock = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(sock, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, server_->unix_path().c_str(), sizeof(addr.sun_path) - 1);
+    EXPECT_EQ(::connect(sock, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    timeval tv{5, 0};
+    setsockopt(sock, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    return sock;
+  }
+
+  // True if the server closed the connection (EOF or reset) within the
+  // receive timeout.
+  bool ServerClosed(int sock) {
+    char byte;
+    const ssize_t n = ::recv(sock, &byte, 1, 0);
+    return n == 0 || (n < 0 && (errno == ECONNRESET || errno == EPIPE));
+  }
+
+  std::unique_ptr<NvmmDevice> nvmm_;
+  std::unique_ptr<PmfsFs> fs_;
+  std::unique_ptr<Vfs> vfs_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerTest, PingRoundTrip) {
+  StartServer();
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  EXPECT_TRUE(client->Ping().ok());
+  EXPECT_TRUE(client->Ping(std::string(100'000, 'z')).ok());
+  EXPECT_EQ(client->rpcs(), 2u);
+}
+
+TEST_F(ServerTest, FullSyscallSurfaceOverTheWire) {
+  StartServer();
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+
+  ASSERT_TRUE(client->Mkdir("/dir").ok());
+  auto fd = client->Open("/dir/f", kWrOnly | kCreate);
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  auto wrote = client->Write(*fd, "hello world", 11);
+  ASSERT_TRUE(wrote.ok());
+  EXPECT_EQ(*wrote, 11u);
+  EXPECT_TRUE(client->Fsync(*fd).ok());
+  EXPECT_TRUE(client->Ftruncate(*fd, 5).ok());
+  auto attr = client->Fstat(*fd);
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->size, 5u);
+  ASSERT_TRUE(client->Close(*fd).ok());
+
+  auto rd = client->Open("/dir/f", kRdOnly);
+  ASSERT_TRUE(rd.ok());
+  char buf[16] = {};
+  auto got = client->Read(*rd, buf, sizeof(buf));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 5u);
+  EXPECT_EQ(std::memcmp(buf, "hello", 5), 0);
+  auto pos = client->Seek(*rd, 1);
+  ASSERT_TRUE(pos.ok());
+  EXPECT_EQ(*pos, 1u);
+  auto part = client->Pread(*rd, buf, 2, 3);
+  ASSERT_TRUE(part.ok());
+  EXPECT_EQ(*part, 2u);
+  EXPECT_EQ(std::memcmp(buf, "lo", 2), 0);
+  ASSERT_TRUE(client->Close(*rd).ok());
+
+  auto st = client->Stat("/dir/f");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 5u);
+  EXPECT_TRUE(client->Exists("/dir/f"));
+  EXPECT_FALSE(client->Exists("/dir/missing"));
+
+  auto entries = client->ReadDir("/dir");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].name, "f");
+
+  ASSERT_TRUE(client->Rename("/dir/f", "/dir/g").ok());
+  EXPECT_TRUE(client->Exists("/dir/g"));
+  EXPECT_TRUE(client->SyncFs().ok());
+  ASSERT_TRUE(client->Unlink("/dir/g").ok());
+  ASSERT_TRUE(client->Rmdir("/dir").ok());
+
+  // WriteFile/ReadFileToString (FsApi helpers) compose over the wire too.
+  ASSERT_TRUE(client->WriteFile("/blob", "payload").ok());
+  auto text = client->ReadFileToString("/blob");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "payload");
+
+  client->Disconnect();
+  EXPECT_TRUE(WaitFor([&] { return vfs_->OpenFdCount() == 0; }));
+}
+
+TEST_F(ServerTest, TcpRoundTrip) {
+  StartServer(/*tcp_port=*/0);
+  ASSERT_GT(server_->tcp_port(), 0);
+  auto c = Client::ConnectTcp("127.0.0.1", server_->tcp_port());
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_TRUE((*c)->Ping().ok());
+  ASSERT_TRUE((*c)->WriteFile("/tcp_file", "over tcp").ok());
+  auto text = (*c)->ReadFileToString("/tcp_file");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "over tcp");
+}
+
+TEST_F(ServerTest, ErrorsCarryCodeAndMessage) {
+  StartServer();
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+
+  auto missing = client->Open("/nope", kRdOnly);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), ErrorCode::kNotFound);
+
+  // Unknown client fd: rejected by the session without touching the Vfs.
+  auto bad_read = client->Read(1234, nullptr, 0);
+  ASSERT_FALSE(bad_read.ok());
+  EXPECT_EQ(bad_read.status().code(), ErrorCode::kBadFd);
+  EXPECT_FALSE(bad_read.status().message().empty());
+
+  EXPECT_EQ(client->Mkdir("relative").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(client->Unlink("/nope").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(ServerTest, ClientFdsAreSessionScoped) {
+  StartServer();
+  auto a = Connect();
+  auto b = Connect();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(a->WriteFile("/fa", "aaaa").ok());
+  ASSERT_TRUE(b->WriteFile("/fb", "bbbb").ok());
+
+  auto fd_a = a->Open("/fa", kRdOnly);
+  auto fd_b = b->Open("/fb", kRdOnly);
+  ASSERT_TRUE(fd_a.ok());
+  ASSERT_TRUE(fd_b.ok());
+  // Both sessions hand out their own fd space starting at the same point, so
+  // equal numbers must still resolve to different files.
+  EXPECT_EQ(*fd_a, *fd_b);
+  char buf[4];
+  ASSERT_TRUE(a->Read(*fd_a, buf, 4).ok());
+  EXPECT_EQ(std::memcmp(buf, "aaaa", 4), 0);
+  ASSERT_TRUE(b->Read(*fd_b, buf, 4).ok());
+  EXPECT_EQ(std::memcmp(buf, "bbbb", 4), 0);
+
+  // One session's fd is meaningless in the other.
+  EXPECT_EQ(b->Close(*fd_a + 100).code(), ErrorCode::kBadFd);
+}
+
+TEST_F(ServerTest, DroppedConnectionReclaimsFds) {
+  StartServer();
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  for (int i = 0; i < 16; i++) {
+    ASSERT_TRUE(client->WriteFile("/leak" + std::to_string(i), "x").ok());
+    auto fd = client->Open("/leak" + std::to_string(i), kRdOnly);
+    ASSERT_TRUE(fd.ok());
+    // Deliberately never closed.
+  }
+  EXPECT_EQ(vfs_->OpenFdCount(), 16u);
+
+  // Drop the connection with the fds still open: the session teardown must
+  // close every Vfs fd.
+  client->Disconnect();
+  EXPECT_TRUE(WaitFor([&] { return vfs_->OpenFdCount() == 0; }));
+  EXPECT_TRUE(WaitFor([&] { return server_->active_connections() == 0; }));
+}
+
+TEST_F(ServerTest, OversizedFrameDropsConnection) {
+  StartServer();
+  const int sock = RawConnect();
+  const uint32_t huge = kMaxFrameBytes + 1;
+  uint8_t prefix[4] = {static_cast<uint8_t>(huge & 0xff), static_cast<uint8_t>(huge >> 8),
+                       static_cast<uint8_t>(huge >> 16), static_cast<uint8_t>(huge >> 24)};
+  ASSERT_EQ(::send(sock, prefix, 4, MSG_NOSIGNAL), 4);
+  EXPECT_TRUE(ServerClosed(sock));
+  ::close(sock);
+  EXPECT_TRUE(WaitFor([&] { return server_->stats().Get(kStatSrvProtocolErrors) >= 1; }));
+}
+
+TEST_F(ServerTest, GarbagePayloadDropsConnection) {
+  StartServer();
+  const int sock = RawConnect();
+  // Valid length prefix, garbage payload (bad opcode + pads).
+  std::string payload(kReqHeaderBytes, '\xab');
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  uint8_t prefix[4] = {static_cast<uint8_t>(len & 0xff), static_cast<uint8_t>(len >> 8),
+                       static_cast<uint8_t>(len >> 16), static_cast<uint8_t>(len >> 24)};
+  ASSERT_EQ(::send(sock, prefix, 4, MSG_NOSIGNAL), 4);
+  ASSERT_EQ(::send(sock, payload.data(), payload.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(payload.size()));
+  EXPECT_TRUE(ServerClosed(sock));
+  ::close(sock);
+  EXPECT_TRUE(WaitFor([&] { return server_->stats().Get(kStatSrvProtocolErrors) >= 1; }));
+}
+
+TEST_F(ServerTest, TruncatedFrameThenHangupIsHarmless) {
+  StartServer();
+  const int sock = RawConnect();
+  // A valid prefix promising bytes that never arrive, then hang up.
+  Request req;
+  req.opcode = Opcode::kOpen;
+  req.path = "/f";
+  req.flags = kRdOnly;
+  std::string wire;
+  EncodeRequest(req, &wire);
+  ASSERT_GT(wire.size(), 6u);
+  ASSERT_EQ(::send(sock, wire.data(), wire.size() - 3, MSG_NOSIGNAL),
+            static_cast<ssize_t>(wire.size() - 3));
+  ::close(sock);
+  EXPECT_TRUE(WaitFor([&] { return server_->active_connections() == 0; }));
+  EXPECT_EQ(vfs_->OpenFdCount(), 0u);
+  // An honest client still works afterwards.
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  EXPECT_TRUE(client->Ping().ok());
+}
+
+TEST_F(ServerTest, StopDrainsAndUnblocksClients) {
+  StartServer();
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->WriteFile("/pre", "x").ok());
+  server_->Stop();
+  // Server gone: calls fail cleanly rather than hanging.
+  EXPECT_FALSE(client->Ping().ok());
+  EXPECT_EQ(vfs_->OpenFdCount(), 0u);
+  server_.reset();
+}
+
+TEST_F(ServerTest, StartRejectsBadOptions) {
+  ServerOptions opts;  // no unix path, no tcp port: nothing to listen on
+  Server srv(vfs_.get(), opts);
+  EXPECT_FALSE(srv.Start().ok());
+
+  ServerOptions long_path;
+  long_path.unix_path = "/tmp/" + std::string(200, 'p');
+  Server srv2(vfs_.get(), long_path);
+  EXPECT_FALSE(srv2.Start().ok());
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace hinfs

@@ -10,9 +10,11 @@ google-benchmark's native JSON from micro_primitives); rows are matched on
 
 The metric direction is inferred from the value_key name (ops_per_sec /
 throughput are higher-is-better; *_ns / *_ms / latency are lower-is-better).
-A change worse than --threshold percent is a REGRESSION; with
---fail-on-regression the exit code is 1 when any row regressed, so the tool
-can gate CI. Rows present on only one side are listed but never fatal.
+A change worse than --threshold percent is a REGRESSION and makes the exit
+code 1 (the CI gate); --report-only keeps the report but always exits 0.
+Comparing disjoint files is a configuration bug, so matching zero rows also
+fails unless --report-only. Rows present on only one side are listed but
+never fatal.
 """
 
 import argparse
@@ -48,8 +50,10 @@ def main():
     ap.add_argument("candidate", help="bench --json output being evaluated")
     ap.add_argument("--threshold", type=float, default=5.0,
                     help="percent change considered a regression (default 5)")
+    ap.add_argument("--report-only", action="store_true",
+                    help="print the comparison but always exit 0")
     ap.add_argument("--fail-on-regression", action="store_true",
-                    help="exit 1 if any row regressed past the threshold")
+                    help=argparse.SUPPRESS)  # now the default; kept for old callers
     args = ap.parse_args()
 
     base = {row_key(r): r["value"] for r in load_rows(args.baseline)}
@@ -91,9 +95,12 @@ def main():
         print(f"only in candidate: {len(only_cand)} rows")
 
     print(f"\n{len(regressions)} regression(s), {len(improvements)} improvement(s)")
-    if regressions and args.fail_on_regression:
+    if args.report_only:
+        return 0
+    if not base.keys() & cand.keys():
+        print("error: no rows matched between baseline and candidate", file=sys.stderr)
         return 1
-    return 0
+    return 1 if regressions else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,463 @@
+// fsload: open- and closed-loop load generator for hinfsd.
+//
+// Replays the filebench personalities (src/workloads/filebench.h) over the
+// wire: every client thread owns one connection (one server::Client), and
+// every FsApi call is timed into a shared ConcurrentHistogram. Closed loop by
+// default (each client issues its next op as soon as the previous one
+// returns); `--qps` switches to an open loop where ops are released on a
+// global schedule and latency is measured from the *scheduled* start, so a
+// slow server shows up as queueing delay instead of being silently absorbed
+// (coordinated omission).
+//
+// Three targets:
+//   --unix <path>      an already-running hinfsd Unix socket
+//   --tcp <host:port>  an already-running hinfsd TCP listener (127.0.0.1 only)
+//   --inproc           spawn a Server in-process on a temp Unix socket; after
+//                      the run, drain it and fail if any Vfs fd leaked or the
+//                      server saw a protocol error (the acceptance check)
+//
+// `--json <path>` writes the same unified rows as the benches
+// ({fs, personality, clients, ops_per_sec} plus p50_ns/p99_ns/mean_ns rows),
+// so tools/plot_bench.py and tools/bench_compare.py consume fsload output
+// unchanged.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/clock.h"
+#include "src/common/histogram.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+
+namespace hinfs {
+namespace {
+
+// Releases op slots on a fixed global schedule (total target QPS across all
+// clients). AcquireSlot blocks until the slot's scheduled time and returns it;
+// open-loop latency is measured from that timestamp.
+class Pacer {
+ public:
+  explicit Pacer(double qps)
+      : interval_ns_(static_cast<uint64_t>(1e9 / qps)), next_ns_(MonotonicNowNs()) {}
+
+  uint64_t AcquireSlot() {
+    const uint64_t slot = next_ns_.fetch_add(interval_ns_, std::memory_order_relaxed);
+    uint64_t now = MonotonicNowNs();
+    while (now < slot) {
+      const uint64_t wait = slot - now;
+      if (wait > 1'000'000) {
+        usleep(static_cast<useconds_t>((wait - 500'000) / 1000));
+      }
+      now = MonotonicNowNs();
+    }
+    return slot;
+  }
+
+ private:
+  const uint64_t interval_ns_;
+  std::atomic<uint64_t> next_ns_;
+};
+
+// FsApi decorator: forwards to `base`, timing every call into `hist`. With a
+// pacer, each call first waits for its scheduled slot.
+class LatencyApi final : public FsApi {
+ public:
+  LatencyApi(FsApi* base, ConcurrentHistogram* hist, Pacer* pacer)
+      : base_(base), hist_(hist), pacer_(pacer) {}
+
+ private:
+  // Defined before its uses below: an auto return type must be deduced
+  // before the first call site.
+  template <typename F>
+  auto Timed(F&& f) {
+    const uint64_t start = pacer_ != nullptr ? pacer_->AcquireSlot() : MonotonicNowNs();
+    auto result = f();
+    hist_->Record(MonotonicNowNs() - start);
+    return result;
+  }
+
+ public:
+  Result<int> Open(std::string_view path, uint32_t flags) override {
+    return Timed([&] { return base_->Open(path, flags); });
+  }
+  Status Close(int fd) override {
+    return Timed([&] { return base_->Close(fd); });
+  }
+  Result<size_t> Read(int fd, void* dst, size_t len) override {
+    return Timed([&] { return base_->Read(fd, dst, len); });
+  }
+  Result<size_t> Write(int fd, const void* src, size_t len) override {
+    return Timed([&] { return base_->Write(fd, src, len); });
+  }
+  Result<size_t> Pread(int fd, void* dst, size_t len, uint64_t offset) override {
+    return Timed([&] { return base_->Pread(fd, dst, len, offset); });
+  }
+  Result<size_t> Pwrite(int fd, const void* src, size_t len, uint64_t offset) override {
+    return Timed([&] { return base_->Pwrite(fd, src, len, offset); });
+  }
+  Result<uint64_t> Seek(int fd, uint64_t offset) override {
+    return Timed([&] { return base_->Seek(fd, offset); });
+  }
+  Status Fsync(int fd) override {
+    return Timed([&] { return base_->Fsync(fd); });
+  }
+  Status Ftruncate(int fd, uint64_t size) override {
+    return Timed([&] { return base_->Ftruncate(fd, size); });
+  }
+  Result<InodeAttr> Fstat(int fd) override {
+    return Timed([&] { return base_->Fstat(fd); });
+  }
+  Status Mkdir(std::string_view path) override {
+    return Timed([&] { return base_->Mkdir(path); });
+  }
+  Status Rmdir(std::string_view path) override {
+    return Timed([&] { return base_->Rmdir(path); });
+  }
+  Status Unlink(std::string_view path) override {
+    return Timed([&] { return base_->Unlink(path); });
+  }
+  Status Rename(std::string_view from, std::string_view to) override {
+    return Timed([&] { return base_->Rename(from, to); });
+  }
+  Result<InodeAttr> Stat(std::string_view path) override {
+    return Timed([&] { return base_->Stat(path); });
+  }
+  Result<std::vector<DirEntry>> ReadDir(std::string_view path) override {
+    return Timed([&] { return base_->ReadDir(path); });
+  }
+  bool Exists(std::string_view path) override {
+    return Timed([&] { return base_->Exists(path); });
+  }
+  Status SyncFs() override {
+    return Timed([&] { return base_->SyncFs(); });
+  }
+
+ private:
+  FsApi* base_;
+  ConcurrentHistogram* hist_;
+  Pacer* pacer_;
+};
+
+bool ParsePersonality(const std::string& name, Personality* out) {
+  for (Personality p : {Personality::kFileserver, Personality::kWebserver,
+                        Personality::kWebproxy, Personality::kVarmail}) {
+    if (name == PersonalityName(p)) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Usage(const char* prog) {
+  std::printf(
+      "usage: %s [target] [options]\n\n"
+      "target (pick one; default --inproc):\n"
+      "  --unix <path>         connect to a running hinfsd Unix socket\n"
+      "  --tcp <host:port>     connect to a running hinfsd TCP listener\n"
+      "  --inproc              spawn the server in-process (leak-checked)\n\n"
+      "load shape:\n"
+      "  --clients <n>         concurrent client connections (default 8)\n"
+      "  --personality <list>  comma list of fileserver,webserver,webproxy,\n"
+      "                        varmail (default fileserver)\n"
+      "  --qps <n>             open loop at <n> total FsApi ops/sec\n"
+      "                        (default 0 = closed loop)\n"
+      "  --duration-ms <n>     per-personality run time (default\n"
+      "                        HINFS_BENCH_DURATION_MS or 400)\n"
+      "  --nfiles <n>          initial file population (default 96)\n\n"
+      "in-process server:\n"
+      "  --fs <kind>           file system kind (default hinfs)\n"
+      "  --workers <n>         server worker threads (default 2)\n\n"
+      "output:\n"
+      "  --json <path>         write bench rows (ops_per_sec, p50_ns, p99_ns,\n"
+      "                        mean_ns per personality)\n",
+      prog);
+}
+
+struct RunRow {
+  Personality personality;
+  double ops_per_sec = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+  double mean_ns = 0;
+  uint64_t samples = 0;
+};
+
+}  // namespace
+}  // namespace hinfs
+
+int main(int argc, char** argv) {
+  using namespace hinfs;
+
+  enum class Target { kInproc, kUnix, kTcp };
+  Target target = Target::kInproc;
+  std::string unix_path;
+  std::string tcp_host;
+  int tcp_port = 0;
+  int clients = 8;
+  std::string personalities_arg = "fileserver";
+  double qps = 0;
+  uint64_t duration_ms = BenchDurationMs();
+  size_t nfiles = 96;
+  FsKind kind = FsKind::kHinfs;
+  int workers = 2;
+  std::string json_path;
+
+  for (int i = 1; i < argc; i++) {
+    const char* arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--unix") == 0) {
+      target = Target::kUnix;
+      unix_path = next("--unix");
+    } else if (std::strcmp(arg, "--tcp") == 0) {
+      target = Target::kTcp;
+      const std::string hp = next("--tcp");
+      const size_t colon = hp.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "error: --tcp wants host:port\n");
+        return 2;
+      }
+      tcp_host = hp.substr(0, colon);
+      tcp_port = std::atoi(hp.c_str() + colon + 1);
+    } else if (std::strcmp(arg, "--inproc") == 0) {
+      target = Target::kInproc;
+    } else if (std::strcmp(arg, "--clients") == 0) {
+      clients = std::atoi(next("--clients"));
+    } else if (std::strcmp(arg, "--personality") == 0) {
+      personalities_arg = next("--personality");
+    } else if (std::strcmp(arg, "--qps") == 0) {
+      qps = std::atof(next("--qps"));
+    } else if (std::strcmp(arg, "--duration-ms") == 0) {
+      duration_ms = std::strtoull(next("--duration-ms"), nullptr, 10);
+    } else if (std::strcmp(arg, "--nfiles") == 0) {
+      nfiles = std::strtoull(next("--nfiles"), nullptr, 10);
+    } else if (std::strcmp(arg, "--fs") == 0) {
+      const char* name = next("--fs");
+      bool found = false;
+      for (FsKind k : {FsKind::kPmfs, FsKind::kExt4Dax, FsKind::kExt2Nvmmbd,
+                       FsKind::kExt4Nvmmbd, FsKind::kHinfs, FsKind::kHinfsNclfw,
+                       FsKind::kHinfsWb, FsKind::kHinfsFifo}) {
+        if (std::strcmp(name, FsKindName(k)) == 0) {
+          kind = k;
+          found = true;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr, "error: unknown fs kind '%s' (use FsKindName spelling, "
+                     "e.g. HiNFS, PMFS)\n", name);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--workers") == 0) {
+      workers = std::atoi(next("--workers"));
+    } else if (std::strcmp(arg, "--json") == 0) {
+      json_path = next("--json");
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s' (see --help)\n", arg);
+      return 2;
+    }
+  }
+  if (clients < 1) {
+    std::fprintf(stderr, "error: --clients must be >= 1\n");
+    return 2;
+  }
+
+  // Parse the personality list up front so a typo fails before any setup.
+  std::vector<Personality> personalities;
+  {
+    std::string rest = personalities_arg;
+    while (!rest.empty()) {
+      const size_t comma = rest.find(',');
+      const std::string name = rest.substr(0, comma);
+      rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+      Personality p;
+      if (!ParsePersonality(name, &p)) {
+        std::fprintf(stderr, "error: unknown personality '%s'\n", name.c_str());
+        return 2;
+      }
+      personalities.push_back(p);
+    }
+  }
+
+  // In-process target: build a test bed and a server on a private socket.
+  std::unique_ptr<TestBed> bed;
+  std::unique_ptr<server::Server> inproc;
+  if (target == Target::kInproc) {
+    TestBedConfig bed_cfg = PaperBedConfig();
+    bed_cfg.nvmm.latency_mode = LatencyMode::kNone;  // measure the service, not the emulator
+    Result<std::unique_ptr<TestBed>> b = MakeTestBed(kind, bed_cfg);
+    if (!b.ok()) {
+      std::fprintf(stderr, "error: cannot build %s bed: %s\n", FsKindName(kind),
+                   b.status().ToString().c_str());
+      return 1;
+    }
+    bed = std::move(*b);
+    server::ServerOptions opts;
+    opts.unix_path = "/tmp/fsload." + std::to_string(getpid()) + ".sock";
+    opts.workers = workers;
+    inproc = std::make_unique<server::Server>(bed->vfs.get(), opts);
+    Status st = inproc->Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: cannot start in-process server: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    unix_path = inproc->unix_path();
+  }
+
+  auto connect = [&]() -> Result<std::unique_ptr<server::Client>> {
+    if (target == Target::kTcp) {
+      return server::Client::ConnectTcp(tcp_host, tcp_port);
+    }
+    return server::Client::ConnectUnix(unix_path);
+  };
+
+  const char* fs_label = target == Target::kInproc ? FsKindName(kind) : "remote";
+  std::printf("== fsload: %d %s-loop clients -> %s over %s ==\n", clients,
+              qps > 0 ? "open" : "closed", fs_label,
+              target == Target::kTcp ? "tcp" : "unix socket");
+  if (qps > 0) {
+    std::printf("target rate: %.0f FsApi ops/sec total\n", qps);
+  }
+
+  FilebenchConfig fb_cfg;
+  fb_cfg.nfiles = nfiles;
+  fb_cfg.dir_width = 16;
+  fb_cfg.io_size = 64 * 1024;
+  fb_cfg.threads = clients;
+  fb_cfg.duration_ms = duration_ms;
+
+  int exit_code = 0;
+  std::vector<RunRow> rows;
+  for (Personality personality : personalities) {
+    // Fresh connections per personality: each run also exercises session
+    // setup/teardown, and a crashed run cannot poison the next one.
+    std::vector<std::unique_ptr<server::Client>> conns;
+    for (int i = 0; i < clients; i++) {
+      Result<std::unique_ptr<server::Client>> c = connect();
+      if (!c.ok()) {
+        std::fprintf(stderr, "error: connect: %s\n", c.status().ToString().c_str());
+        return 1;
+      }
+      conns.push_back(std::move(*c));
+    }
+
+    Status st = PrepareFileset(conns[0].get(), fb_cfg);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: prepare fileset: %s\n", st.ToString().c_str());
+      return 1;
+    }
+
+    ConcurrentHistogram hist;
+    std::unique_ptr<Pacer> pacer;
+    if (qps > 0) {
+      pacer = std::make_unique<Pacer>(qps);
+    }
+    std::vector<LatencyApi> apis;
+    apis.reserve(conns.size());
+    for (const auto& c : conns) {
+      apis.emplace_back(c.get(), &hist, pacer.get());
+    }
+    std::vector<FsApi*> per_thread;
+    for (LatencyApi& api : apis) {
+      per_thread.push_back(&api);
+    }
+
+    Result<WorkloadResult> result = RunFilebench(per_thread, personality, fb_cfg);
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: %s run failed: %s\n", PersonalityName(personality),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+
+    uint64_t rpcs = 0;
+    for (auto& c : conns) {
+      rpcs += c->rpcs();
+      c->Disconnect();
+    }
+    conns.clear();
+
+    const Histogram snap = hist.Snapshot();
+    RunRow row;
+    row.personality = personality;
+    row.ops_per_sec = result->OpsPerSec();
+    row.p50_ns = snap.Percentile(0.50);
+    row.p99_ns = snap.Percentile(0.99);
+    row.mean_ns = snap.Mean();
+    row.samples = snap.count();
+    rows.push_back(row);
+    std::printf("%-11s %10.0f flowops/s  %8llu rpcs  lat %s\n",
+                PersonalityName(personality), row.ops_per_sec,
+                static_cast<unsigned long long>(rpcs), snap.Summary().c_str());
+    std::fflush(stdout);
+  }
+
+  // The acceptance check: after every client is gone and the server has
+  // drained, the Vfs fd table must be empty and the server must not have seen
+  // a single malformed frame.
+  if (inproc != nullptr) {
+    inproc->Stop();
+    const uint64_t proto_errors = inproc->stats().Get(kStatSrvProtocolErrors);
+    const size_t leaked = bed->vfs->OpenFdCount();
+    if (proto_errors != 0) {
+      std::fprintf(stderr, "FAIL: server counted %llu protocol errors\n",
+                   static_cast<unsigned long long>(proto_errors));
+      exit_code = 1;
+    }
+    if (leaked != 0) {
+      std::fprintf(stderr, "FAIL: %zu Vfs fds leaked after drain\n", leaked);
+      exit_code = 1;
+    }
+    if (exit_code == 0) {
+      std::printf("post-drain check: 0 protocol errors, 0 leaked fds\n");
+    }
+    Status st = bed->vfs->Unmount();
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: unmount: %s\n", st.ToString().c_str());
+      exit_code = 1;
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::vector<BenchJsonRow> json_rows;
+    for (const RunRow& row : rows) {
+      BenchJsonRow base;
+      base.fs = fs_label;
+      base.personality = PersonalityName(row.personality);
+      base.x_key = "clients";
+      base.x = clients;
+      base.value_key = "ops_per_sec";
+      base.value = row.ops_per_sec;
+      json_rows.push_back(base);
+      base.value_key = "p50_ns";
+      base.value = static_cast<double>(row.p50_ns);
+      json_rows.push_back(base);
+      base.value_key = "p99_ns";
+      base.value = static_cast<double>(row.p99_ns);
+      json_rows.push_back(base);
+      base.value_key = "mean_ns";
+      base.value = row.mean_ns;
+      json_rows.push_back(base);
+    }
+    if (!WriteBenchJson(json_path, json_rows)) {
+      exit_code = 1;
+    }
+  }
+  return exit_code;
+}

@@ -1,0 +1,183 @@
+// hinfsd: serves an in-memory HiNFS (or baseline) instance over Unix-domain
+// and/or TCP sockets using the length-prefixed protocol in
+// src/server/protocol.h. Pair it with `fsload` for over-the-wire load.
+//
+// The file system lives on the emulated NVMM device, so a daemon restart is a
+// fresh format — this is a measurement harness, not a durable service.
+
+#include <unistd.h>
+
+#include <cctype>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/server/server.h"
+#include "src/workloads/fs_setup.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void OnSignal(int) { g_stop = 1; }
+
+constexpr hinfs::FsKind kKinds[] = {
+    hinfs::FsKind::kPmfs,       hinfs::FsKind::kExt4Dax,   hinfs::FsKind::kExt2Nvmmbd,
+    hinfs::FsKind::kExt4Nvmmbd, hinfs::FsKind::kHinfs,     hinfs::FsKind::kHinfsNclfw,
+    hinfs::FsKind::kHinfsWb,    hinfs::FsKind::kHinfsFifo,
+};
+
+// Case-insensitive, with '-' and '+' interchangeable, so "ext2-nvmmbd"
+// matches FsKindName's "EXT2+NVMMBD".
+std::string CanonKindName(const char* name) {
+  std::string out;
+  for (const char* p = name; *p != '\0'; p++) {
+    out.push_back(*p == '+' ? '-' : static_cast<char>(std::tolower(*p)));
+  }
+  return out;
+}
+
+bool ParseFsKind(const char* name, hinfs::FsKind* out) {
+  const std::string want = CanonKindName(name);
+  for (hinfs::FsKind kind : kKinds) {
+    if (want == CanonKindName(hinfs::FsKindName(kind))) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Usage(const char* prog) {
+  std::printf(
+      "usage: %s [options]\n\n"
+      "  --unix <path>     Unix-domain socket path (default /tmp/hinfsd.sock)\n"
+      "  --tcp <port>      also listen on 127.0.0.1:<port> (0 = ephemeral)\n"
+      "  --fs <kind>       file system to serve (default hinfs); one of:\n"
+      "                    pmfs ext4-dax ext2-nvmmbd ext4-nvmmbd hinfs\n"
+      "                    hinfs-nclfw hinfs-wb hinfs-fifo\n"
+      "  --workers <n>     request worker threads (default 2)\n"
+      "  --device-mb <n>   emulated NVMM size in MiB (default 256)\n"
+      "  --buffer-mb <n>   HiNFS DRAM buffer size in MiB (default 64)\n"
+      "  --emulate         inject the paper's NVMM latency model (200 ns spin);\n"
+      "                    default is no injected latency\n"
+      "  --stats           print server + fs counters on shutdown\n",
+      prog);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hinfs;
+
+  std::string unix_path = "/tmp/hinfsd.sock";
+  int tcp_port = -1;
+  FsKind kind = FsKind::kHinfs;
+  int workers = 2;
+  size_t device_mb = 256;
+  size_t buffer_mb = 64;
+  bool emulate = false;
+  bool print_stats = false;
+
+  for (int i = 1; i < argc; i++) {
+    const char* arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--unix") == 0) {
+      unix_path = next("--unix");
+    } else if (std::strcmp(arg, "--tcp") == 0) {
+      tcp_port = std::atoi(next("--tcp"));
+    } else if (std::strcmp(arg, "--fs") == 0) {
+      const char* name = next("--fs");
+      if (!ParseFsKind(name, &kind)) {
+        std::fprintf(stderr, "error: unknown fs kind '%s'\n", name);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--workers") == 0) {
+      workers = std::atoi(next("--workers"));
+    } else if (std::strcmp(arg, "--device-mb") == 0) {
+      device_mb = std::strtoull(next("--device-mb"), nullptr, 10);
+    } else if (std::strcmp(arg, "--buffer-mb") == 0) {
+      buffer_mb = std::strtoull(next("--buffer-mb"), nullptr, 10);
+    } else if (std::strcmp(arg, "--emulate") == 0) {
+      emulate = true;
+    } else if (std::strcmp(arg, "--stats") == 0) {
+      print_stats = true;
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s' (see --help)\n", arg);
+      return 2;
+    }
+  }
+
+  TestBedConfig bed_cfg;
+  bed_cfg.nvmm.size_bytes = device_mb << 20;
+  if (emulate) {
+    bed_cfg.nvmm.latency_mode = LatencyMode::kSpin;
+    bed_cfg.nvmm.write_latency_ns = 200;
+    bed_cfg.nvmm.write_bandwidth_bytes_per_sec = 1ull << 30;
+  }
+  bed_cfg.hinfs.buffer_bytes = buffer_mb << 20;
+  bed_cfg.hinfs = HinfsOptions::FromEnv(bed_cfg.hinfs);
+  bed_cfg.pmfs.max_inodes = 1 << 14;
+  bed_cfg.page_cache_pages = 1280;
+
+  Result<std::unique_ptr<TestBed>> bed = MakeTestBed(kind, bed_cfg);
+  if (!bed.ok()) {
+    std::fprintf(stderr, "error: cannot build %s test bed: %s\n", FsKindName(kind),
+                 bed.status().ToString().c_str());
+    return 1;
+  }
+
+  server::ServerOptions opts;
+  opts.unix_path = unix_path;
+  opts.tcp_port = tcp_port;
+  opts.workers = workers;
+  server::Server srv((*bed)->vfs.get(), opts);
+  Status st = srv.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: cannot start server: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("hinfsd: serving %s (%zu MiB device)\n", FsKindName(kind), device_mb);
+  if (!unix_path.empty()) {
+    std::printf("hinfsd: unix socket %s\n", unix_path.c_str());
+  }
+  if (tcp_port >= 0) {
+    std::printf("hinfsd: tcp 127.0.0.1:%d\n", srv.tcp_port());
+  }
+  std::printf("hinfsd: %d workers; ^C to stop\n", workers);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (g_stop == 0) {
+    usleep(100 * 1000);
+  }
+
+  std::printf("hinfsd: draining...\n");
+  srv.Stop();
+  if (print_stats) {
+    for (const auto& [name, value] : srv.stats().Snapshot()) {
+      std::printf("  %-28s %llu\n", name.c_str(), static_cast<unsigned long long>(value));
+    }
+  }
+  st = (*bed)->vfs->Unmount();
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: unmount failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("hinfsd: bye\n");
+  return 0;
+}
