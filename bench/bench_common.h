@@ -20,6 +20,7 @@
 #define BENCH_BENCH_COMMON_H_
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -60,34 +61,58 @@ namespace bench {
 // The one argv parser every figure bench uses. Recognized flags:
 //   --json <path>   write machine-readable rows to <path>
 //   --help / -h     usage
+// Benches that sweep (fs, personality, threads) opt into the row filters by
+// constructing with kFilterFlags:
+//   --fs a,b          run only matching file systems (case-insensitive substring)
+//   --personality a,b run only matching filebench personalities
+//   --threads 1,4,8   run only the listed thread counts
 // Anything else fails fast (exit 2): a typo'd invocation must not silently run
 // a multi-minute sweep with the flag ignored. The `--json` path is opened once
 // up front so an unwritable path also fails before the sweep, not after.
 class ArgParser {
  public:
-  ArgParser(int argc, char** argv) {
+  enum Flags { kJsonOnly = 0, kFilterFlags = 1 };
+
+  ArgParser(int argc, char** argv, Flags flags = kJsonOnly) {
+    const bool filters = flags == kFilterFlags;
     for (int i = 1; i < argc; i++) {
       const char* arg = argv[i];
       if (std::strcmp(arg, "--json") == 0) {
-        if (i + 1 >= argc) {
-          std::fprintf(stderr, "error: --json requires a file path\n");
-          std::exit(2);
-        }
-        json_path_ = argv[++i];
+        json_path_ = RequireValue(argc, argv, &i);
         FILE* f = std::fopen(json_path_.c_str(), "w");
         if (f == nullptr) {
           std::fprintf(stderr, "error: cannot open %s for writing\n", json_path_.c_str());
           std::exit(2);
         }
         std::fclose(f);
+      } else if (filters && std::strcmp(arg, "--fs") == 0) {
+        SplitInto(RequireValue(argc, argv, &i), &fs_filter_);
+      } else if (filters && std::strcmp(arg, "--personality") == 0) {
+        SplitInto(RequireValue(argc, argv, &i), &personality_filter_);
+      } else if (filters && std::strcmp(arg, "--threads") == 0) {
+        for (const std::string& tok : Split(RequireValue(argc, argv, &i))) {
+          const int t = std::atoi(tok.c_str());
+          if (t <= 0) {
+            std::fprintf(stderr, "error: --threads wants a comma-separated list "
+                         "of positive ints, got '%s'\n", tok.c_str());
+            std::exit(2);
+          }
+          threads_filter_.push_back(t);
+        }
       } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
-        std::printf("usage: %s [--json <path>]\n\n"
-                    "  --json <path>  write bench rows as a JSON array to <path>\n",
-                    argv[0]);
+        std::printf("usage: %s [--json <path>]%s\n\n"
+                    "  --json <path>  write bench rows as a JSON array to <path>\n%s",
+                    argv[0],
+                    filters ? " [--fs a,b] [--personality a,b] [--threads 1,4]" : "",
+                    filters ? "  --fs / --personality <list>  case-insensitive "
+                              "substring row filters\n"
+                              "  --threads <list>             run only these "
+                              "thread counts\n"
+                            : "");
         std::exit(0);
       } else {
-        std::fprintf(stderr, "error: unknown argument '%s' (supported: --json <path>)\n",
-                     arg);
+        std::fprintf(stderr, "error: unknown argument '%s' (supported: --json <path>%s)\n",
+                     arg, filters ? ", --fs, --personality, --threads" : "");
         std::exit(2);
       }
     }
@@ -95,8 +120,71 @@ class ArgParser {
 
   const std::string& json_path() const { return json_path_; }
 
+  // Filter predicates: an unset filter matches everything.
+  bool FsEnabled(const char* name) const { return Matches(fs_filter_, name); }
+  bool PersonalityEnabled(const char* name) const {
+    return Matches(personality_filter_, name);
+  }
+  bool ThreadsEnabled(int t) const {
+    if (threads_filter_.empty()) {
+      return true;
+    }
+    return std::find(threads_filter_.begin(), threads_filter_.end(), t) !=
+           threads_filter_.end();
+  }
+
  private:
+  static const char* RequireValue(int argc, char** argv, int* i) {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "error: %s requires a value\n", argv[*i]);
+      std::exit(2);
+    }
+    return argv[++*i];
+  }
+
+  static std::vector<std::string> Split(const char* csv) {
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char* p = csv;; p++) {
+      if (*p == ',' || *p == '\0') {
+        if (!cur.empty()) {
+          out.push_back(cur);
+        }
+        cur.clear();
+        if (*p == '\0') break;
+      } else {
+        cur += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+      }
+    }
+    return out;
+  }
+
+  static void SplitInto(const char* csv, std::vector<std::string>* dst) {
+    for (std::string& s : Split(csv)) {
+      dst->push_back(std::move(s));
+    }
+  }
+
+  static bool Matches(const std::vector<std::string>& filter, const char* name) {
+    if (filter.empty()) {
+      return true;
+    }
+    std::string lower;
+    for (const char* p = name; *p != '\0'; p++) {
+      lower += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+    }
+    for (const std::string& want : filter) {
+      if (lower.find(want) != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  }
+
   std::string json_path_;
+  std::vector<std::string> fs_filter_;
+  std::vector<std::string> personality_filter_;
+  std::vector<int> threads_filter_;
 };
 
 }  // namespace bench

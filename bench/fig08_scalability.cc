@@ -4,13 +4,16 @@
 // rows (e.g. BENCH_fig08.json) for cross-PR perf tracking. The HiNFS buffer
 // shard count follows HINFS_BUFFER_SHARDS (0 = auto), so the sharded-buffer
 // speedup is measured by comparing HINFS_BUFFER_SHARDS=1 against >= 4.
+// `--fs`, `--personality`, and `--threads` narrow the sweep to a slice of the
+// cross-product (the CI read-smoke gate and regression bisection both use
+// this; see tools/bench_compare.py's matching filters).
 
 #include "bench/bench_common.h"
 
 using namespace hinfs;
 
 int main(int argc, char** argv) {
-  const bench::ArgParser args(argc, argv);
+  const bench::ArgParser args(argc, argv, bench::ArgParser::kFilterFlags);
   PrintBenchHeader("Fig. 8", "filebench throughput for increasing thread counts");
   const HinfsOptions env_opts = HinfsOptions::FromEnv();
   std::printf("hinfs buffer shards: %d (0 = auto), writeback workers: %d, steal: %s\n\n",
@@ -25,15 +28,23 @@ int main(int argc, char** argv) {
   std::vector<BenchJsonRow> rows;
 
   for (Personality p : personalities) {
+    if (!args.PersonalityEnabled(PersonalityName(p))) {
+      continue;
+    }
     std::printf("[%s] ops/s\n", PersonalityName(p));
     std::printf("%-13s", "threads");
     for (int t = 1; t <= max_threads; t *= 2) {
+      if (!args.ThreadsEnabled(t)) continue;
       std::printf(" %10d", t);
     }
     std::printf("\n");
     for (FsKind kind : kinds) {
+      if (!args.FsEnabled(FsKindName(kind))) {
+        continue;
+      }
       std::printf("%-13s", FsKindName(kind));
       for (int t = 1; t <= max_threads; t *= 2) {
+        if (!args.ThreadsEnabled(t)) continue;
         FilebenchConfig cfg = PaperFilebenchConfig();
         cfg.threads = t;
         if (p == Personality::kVarmail) {

@@ -1,0 +1,252 @@
+// Epoch-based deferred reclamation for the lock-free read paths.
+//
+// The pattern: a structure mutated only under a lock publishes a new version
+// of some node/array (release store), unlinks the old one, and hands it to a
+// RetireList instead of freeing it. Lock-free readers wrap their access in an
+// EpochGuard. A retired object is freed only once every guard that was live
+// at Retire() time has been released, so a reader holding a stale pointer
+// never touches freed memory — the seqlock protocols built on top only have
+// to decide logical validity, never memory safety.
+//
+// One process-global EpochDomain orders all guards and retirements (the
+// usual EBR arrangement: per-owner retire lists, one shared epoch clock).
+// Pinning is cheap — one seq_cst store plus a validation load on a per-thread
+// slot — and reentrant: nested guards on one thread only bump a depth
+// counter. Threads beyond the slot table (kSlots) fall back to a mutexed
+// multiset; correctness is identical, only the pin is slower.
+//
+// Correctness sketch (all epoch/slot operations are seq_cst): Retire tags an
+// object with the epoch AFTER advancing the clock, and frees it only when
+// every published pin is newer than the tag. A reader pins by publishing the
+// current epoch E and re-validating that the clock still reads E; so in the
+// seq_cst total order either (a) the reader's pin precedes the retirer's
+// slot scan — the scan sees E <= tag and keeps the object — or (b) the
+// reader's validation load follows the clock advance, which (reading the
+// advanced value synchronizes with the fetch_add) guarantees the reader also
+// observes the new version published before the advance and cannot reach the
+// retired object at all.
+//
+// Guards may be held across blocking operations (a Vfs::Write pinning its
+// FdState can stall on writeback). That only delays reclamation — retired
+// memory accumulates, bounded by mutation churn — and can never deadlock:
+// a pin is not a lock and reclaimers never wait for it.
+
+#ifndef SRC_COMMON_EPOCH_H_
+#define SRC_COMMON_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <set>
+
+namespace hinfs {
+
+class EpochDomain {
+ public:
+  static EpochDomain& Global() {
+    static EpochDomain domain;
+    return domain;
+  }
+
+  // Reentrant per-thread pin. Pin publishes the current epoch; Unpin retracts
+  // it once the outermost guard exits.
+  void Pin() {
+    ThreadState& t = Tls();
+    if (t.depth++ > 0) {
+      return;
+    }
+    if (t.slot < 0 && !t.fallback_tried) {
+      t.slot = ClaimSlot();
+      t.fallback_tried = t.slot < 0;
+    }
+    if (t.slot >= 0) {
+      uint64_t e = epoch_.load(std::memory_order_seq_cst);
+      for (;;) {
+        slots_[t.slot].epoch.store(e, std::memory_order_seq_cst);
+        const uint64_t now = epoch_.load(std::memory_order_seq_cst);
+        if (now == e) {
+          return;
+        }
+        e = now;  // clock moved while publishing: republish the newer epoch
+      }
+    }
+    // Slot table exhausted: pin through the mutexed multiset. The lock is
+    // only held for the insert itself, never for the pinned duration.
+    std::lock_guard<std::mutex> lock(fallback_mu_);
+    uint64_t e = epoch_.load(std::memory_order_seq_cst);
+    t.fallback_it = fallback_epochs_.insert(e);
+    for (;;) {
+      const uint64_t now = epoch_.load(std::memory_order_seq_cst);
+      if (now == e) {
+        break;
+      }
+      fallback_epochs_.erase(t.fallback_it);
+      e = now;
+      t.fallback_it = fallback_epochs_.insert(e);
+    }
+    t.fallback_pinned = true;
+  }
+
+  void Unpin() {
+    ThreadState& t = Tls();
+    if (--t.depth > 0) {
+      return;
+    }
+    if (t.fallback_pinned) {
+      std::lock_guard<std::mutex> lock(fallback_mu_);
+      fallback_epochs_.erase(t.fallback_it);
+      t.fallback_pinned = false;
+      return;
+    }
+    slots_[t.slot].epoch.store(0, std::memory_order_release);
+  }
+
+  // Advances the clock; retired objects are tagged with the returned value.
+  uint64_t Advance() { return epoch_.fetch_add(1, std::memory_order_seq_cst) + 1; }
+
+  // Oldest epoch any live guard has published (UINT64_MAX when none): an
+  // object retired with tag < MinActive() can no longer be reached.
+  uint64_t MinActive() {
+    uint64_t min = UINT64_MAX;
+    for (size_t i = 0; i < kSlots; i++) {
+      const uint64_t e = slots_[i].epoch.load(std::memory_order_seq_cst);
+      if (e != 0 && e < min) {
+        min = e;
+      }
+    }
+    std::lock_guard<std::mutex> lock(fallback_mu_);
+    if (!fallback_epochs_.empty() && *fallback_epochs_.begin() < min) {
+      min = *fallback_epochs_.begin();
+    }
+    return min;
+  }
+
+  // True when the calling thread holds at least one guard (debug asserts).
+  static bool PinnedByMe() { return Tls().depth > 0; }
+
+ private:
+  static constexpr size_t kSlots = 128;
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{0};  // 0 = unpinned
+    std::atomic<bool> claimed{false};
+  };
+
+  struct ThreadState {
+    int slot = -1;
+    int depth = 0;
+    bool fallback_tried = false;  // slot table was full at first pin
+    bool fallback_pinned = false;
+    std::multiset<uint64_t>::iterator fallback_it{};
+    ~ThreadState() {
+      if (slot >= 0) {
+        EpochDomain& d = Global();
+        d.slots_[slot].epoch.store(0, std::memory_order_release);
+        d.slots_[slot].claimed.store(false, std::memory_order_release);
+      }
+    }
+  };
+
+  static ThreadState& Tls() {
+    static thread_local ThreadState t;
+    return t;
+  }
+
+  int ClaimSlot() {
+    for (size_t i = 0; i < kSlots; i++) {
+      bool expected = false;
+      if (!slots_[i].claimed.load(std::memory_order_relaxed) &&
+          slots_[i].claimed.compare_exchange_strong(expected, true,
+                                                    std::memory_order_acq_rel)) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  std::atomic<uint64_t> epoch_{1};
+  Slot slots_[kSlots];
+  std::mutex fallback_mu_;
+  std::multiset<uint64_t> fallback_epochs_;
+};
+
+// RAII pin on the global domain for the scope of one lock-free access (or one
+// syscall using raw pointers into an epoch-protected table).
+class EpochGuard {
+ public:
+  EpochGuard() { EpochDomain::Global().Pin(); }
+  ~EpochGuard() { EpochDomain::Global().Unpin(); }
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+};
+
+// Per-owner list of retired objects awaiting quiescence. Thread-safe; the
+// internal mutex is a leaf (Retire/TryReclaim never call out under it except
+// to run deleters, which happens after it is released).
+class RetireList {
+ public:
+  RetireList() = default;
+  ~RetireList() {
+    // Owner teardown contract: no readers can still reach these objects
+    // (same contract that lets the owning structure free itself).
+    for (const Item& it : items_) {
+      it.del(it.p);
+    }
+  }
+  RetireList(const RetireList&) = delete;
+  RetireList& operator=(const RetireList&) = delete;
+
+  // Takes ownership of `p`; deletes it once every guard live at this call has
+  // been released. Returns objects freed by the piggybacked reclaim pass (0
+  // until kReclaimBatch objects are pending, keeping the common case cheap).
+  template <typename T>
+  size_t Retire(T* p) {
+    const uint64_t tag = EpochDomain::Global().Advance();
+    size_t pending;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      items_.push_back(Item{p, [](void* q) { delete static_cast<T*>(q); }, tag});
+      pending = items_.size();
+    }
+    return pending >= kReclaimBatch ? TryReclaim() : 0;
+  }
+
+  // Frees every retired object that is now unreachable; returns how many.
+  size_t TryReclaim() {
+    std::deque<Item> free_now;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (items_.empty()) {
+        return 0;
+      }
+      const uint64_t min = EpochDomain::Global().MinActive();
+      while (!items_.empty() && items_.front().epoch < min) {
+        free_now.push_back(items_.front());
+        items_.pop_front();
+      }
+    }
+    for (const Item& it : free_now) {
+      it.del(it.p);
+    }
+    return free_now.size();
+  }
+
+  size_t pending() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  static constexpr size_t kReclaimBatch = 32;
+  struct Item {
+    void* p;
+    void (*del)(void*);
+    uint64_t epoch;
+  };
+  mutable std::mutex mu_;
+  std::deque<Item> items_;  // epoch-ordered: push_back tags are monotonic
+};
+
+}  // namespace hinfs
+
+#endif  // SRC_COMMON_EPOCH_H_

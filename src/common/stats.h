@@ -82,6 +82,12 @@ inline constexpr char kStatWbSpuriousWakeups[] = "wb_spurious_wakeups";
 inline constexpr char kStatWbDirtyRuns[] = "wb_dirty_runs";
 inline constexpr char kStatWbFlushCalls[] = "wb_flush_calls";
 inline constexpr char kStatWbCoalescedLines[] = "wb_coalesced_lines";
+// Batched read promotions (lock-free read hits -> per-shard MPSC ring, drained
+// under the shard mutex; drained <= batched) and lookup arrays freed by
+// epoch-based reclamation instead of being held until shard destruction.
+inline constexpr char kStatPromotionsBatched[] = "promotions_batched";
+inline constexpr char kStatPromotionsDrained[] = "promotions_drained";
+inline constexpr char kStatEpochRetired[] = "epoch_retired";
 inline constexpr char kStatEagerWrites[] = "eager_writes";
 inline constexpr char kStatLazyWrites[] = "lazy_writes";
 inline constexpr char kStatFsyncBytes[] = "fsync_bytes";

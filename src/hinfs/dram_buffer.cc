@@ -94,9 +94,9 @@ DramBufferManager::DramBufferManager(NvmmDevice* nvmm, const HinfsOptions& optio
     shard->free_count.store(shard->free_frames.size(), std::memory_order_relaxed);
     shard->shard_index = static_cast<uint32_t>(i);
     shard->owner_worker = static_cast<uint32_t>(i % wb_worker_count_);
-    shard->lut_storage.push_back(
-        std::make_unique<LookupArrays>(NextPow2(std::max<size_t>(16, cap * 2))));
-    shard->lut.store(shard->lut_storage.back().get(), std::memory_order_relaxed);
+    shard->lut_current =
+        std::make_unique<LookupArrays>(NextPow2(std::max<size_t>(16, cap * 2)));
+    shard->lut.store(shard->lut_current.get(), std::memory_order_relaxed);
     shards_.push_back(std::move(shard));
   }
 }
@@ -248,6 +248,30 @@ uint64_t DramBufferManager::wb_coalesced_lines() const {
   return total;
 }
 
+uint64_t DramBufferManager::promotions_batched() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->stats.promotions_batched.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t DramBufferManager::promotions_drained() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->stats.promotions_drained.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t DramBufferManager::epoch_retired() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->stats.epoch_retired.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
 uint32_t DramBufferManager::shard_owner_worker(uint32_t shard) const {
   return shards_[shard]->owner_worker;
 }
@@ -353,8 +377,16 @@ void DramBufferManager::LutRebuildLocked(Shard& s, size_t min_slots) {
     s.lut.store(fresh.get(), std::memory_order_release);
   }
   s.lut_tombstones = 0;
-  // The replaced arrays stay in lut_storage: readers may still hold pointers.
-  s.lut_storage.push_back(std::move(fresh));
+  // Readers probing the replaced array hold an EpochGuard; it is freed once
+  // every pin live at this point has been released. The retire happens after
+  // the release-publication of the fresh array above, so any reader that pins
+  // after the retirement advance necessarily loads the fresh array.
+  uint64_t freed = s.lut_retired.Retire(s.lut_current.release());
+  s.lut_current = std::move(fresh);
+  freed += s.lut_retired.TryReclaim();
+  if (freed > 0) {
+    s.stats.epoch_retired.fetch_add(freed, std::memory_order_relaxed);
+  }
 }
 
 void DramBufferManager::LutInsertLocked(Shard& s, uint64_t key, Entry* e) {
@@ -406,6 +438,11 @@ int DramBufferManager::TryLockFreeRead(Shard& s, uint64_t ino, uint64_t file_blo
   if (len == 0) {
     return -1;  // degenerate; let the locked path decide hit/miss
   }
+  // The pin makes LUT retirement safe: LutRebuildLocked can hand the replaced
+  // array to the shard's RetireList instead of hoarding it forever, and this
+  // probe can never touch a freed one. Usually nested inside the VFS syscall
+  // pin, i.e. a depth bump, not a second slot publication.
+  EpochGuard pin;
   const uint64_t want_key = LutKey(ino, file_block);
   const uint64_t is0 = s.index_seq.load(std::memory_order_acquire);
   if (is0 & 1) {
@@ -449,9 +486,59 @@ int DramBufferManager::TryLockFreeRead(Shard& s, uint64_t ino, uint64_t file_blo
       return -1;  // a writer overlapped the copy; discard it
     }
     s.stats.lockfree_hits.fetch_add(1, std::memory_order_relaxed);
+    if (ReadTouchesPolicy()) {
+      PromoPush(s, want_key, e);
+    }
     return 1;
   }
   return -1;
+}
+
+void DramBufferManager::PromoPush(Shard& s, uint64_t key, Entry* e) {
+  PromoRing& r = s.promo;
+  uint64_t h = r.head.load(std::memory_order_relaxed);
+  do {
+    if (h - r.tail_published.load(std::memory_order_acquire) >= PromoRing::kRingSlots) {
+      return;  // ring full: drop the touch (promotions are advisory)
+    }
+  } while (!r.head.compare_exchange_weak(h, h + 1, std::memory_order_relaxed));
+  PromoRing::Touch& t = r.slots[h & (PromoRing::kRingSlots - 1)];
+  // The full-ring check above proves the previous occupant of this slot was
+  // consumed (its key reset to 0) before tail_published passed it, so these
+  // stores never race the consumer reading an older round.
+  t.entry.store(e, std::memory_order_relaxed);
+  t.key.store(key, std::memory_order_release);  // publishes the touch
+  s.stats.promotions_batched.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DramBufferManager::DrainPromotionsLocked(Shard& s) {
+  PromoRing& r = s.promo;
+  uint64_t t = r.tail;
+  const uint64_t h = r.head.load(std::memory_order_acquire);
+  uint64_t drained = 0;
+  while (t != h) {
+    PromoRing::Touch& slot = r.slots[t & (PromoRing::kRingSlots - 1)];
+    const uint64_t key = slot.key.load(std::memory_order_acquire);
+    if (key == 0) {
+      break;  // reserved but not yet published; later slots must wait (FIFO)
+    }
+    Entry* e = slot.entry.load(std::memory_order_relaxed);
+    slot.key.store(0, std::memory_order_relaxed);
+    t++;
+    // Revalidate under the mutex: the touch is stale if the entry was evicted
+    // (unlinked), recycled for another block (key mismatch), or is mid-flush.
+    if (e->lrw_prev != nullptr && !e->writing &&
+        LutKey(e->ino.load(std::memory_order_relaxed),
+               e->file_block.load(std::memory_order_relaxed)) == key) {
+      OnReadHitLocked(s, e);
+      drained++;
+    }
+  }
+  r.tail = t;
+  r.tail_published.store(t, std::memory_order_release);
+  if (drained > 0) {
+    s.stats.promotions_drained.fetch_add(drained, std::memory_order_relaxed);
+  }
 }
 
 // --- residency lists --------------------------------------------------------------
@@ -546,6 +633,42 @@ void DramBufferManager::OnWriteHitLocked(Shard& s, Entry* e) {
       // 2Q: re-references inside the probationary A1in queue do NOT promote
       // (that is the point of A1in: correlated re-writes stay probationary);
       // re-references in Am refresh its LRU position.
+      if (e->arc_list == 2) {
+        ListUnlink(s.t2, e);
+        ListPushMru(s.t2, e);
+      }
+      break;
+  }
+}
+
+void DramBufferManager::OnReadHitLocked(Shard& s, Entry* e) {
+  // Applied when a batched read touch drains (never inline on the read path).
+  // Mirrors OnWriteHitLocked for the read-aware policies but deliberately
+  // leaves last_written_ns alone: a read does not make a block "recently
+  // written", so staleness writeback timing is unaffected.
+  switch (options_.replacement) {
+    case HinfsOptions::Replacement::kLrw:
+    case HinfsOptions::Replacement::kFifo:
+      // Write-ordered eviction (paper §3.2): reads never touch the lists.
+      // Unreachable in practice — PromoPush is gated on ReadTouchesPolicy().
+      break;
+    case HinfsOptions::Replacement::kLfu:
+      e->freq++;
+      break;
+    case HinfsOptions::Replacement::kArc:
+      e->freq++;
+      if (e->arc_list == 1) {
+        ListUnlink(s.t1, e);
+        e->arc_list = 2;
+      } else {
+        ListUnlink(s.t2, e);
+      }
+      ListPushMru(s.t2, e);
+      break;
+    case HinfsOptions::Replacement::kTwoQ:
+      e->freq++;
+      // Reads inside probationary A1in do not promote (2Q admission is the
+      // ghost queue's job); reads in Am refresh its LRU position.
       if (e->arc_list == 2) {
         ListUnlink(s.t2, e);
         ListPushMru(s.t2, e);
@@ -805,6 +928,12 @@ Result<uint32_t> DramBufferManager::Write(uint64_t ino, uint64_t file_block, siz
   }
   Shard& s = ShardForKey(ino, file_block);
   std::unique_lock<std::mutex> lock = LockShard(s);
+  // Opportunistic drain: this thread already paid for the shard mutex, so
+  // apply any batched read touches before they go stale. The emptiness check
+  // is one relaxed load; LRW/FIFO rings are permanently empty.
+  if (s.promo.head.load(std::memory_order_relaxed) != s.promo.tail) {
+    DrainPromotionsLocked(s);
+  }
 
   Entry* e;
   bool counted = false;  // exactly one hit or miss per Write, retries included
@@ -904,6 +1033,11 @@ Result<bool> DramBufferManager::Read(uint64_t ino, uint64_t file_block, size_t o
   Entry* e = FindLocked(s, ino, file_block);
   if (e == nullptr) {
     return false;
+  }
+  // Locked read hit: the mutex is already paid for, so apply the read-aware
+  // policy hook directly instead of routing through the promotion ring.
+  if (ReadTouchesPolicy() && e->lrw_prev != nullptr && !e->writing) {
+    OnReadHitLocked(s, e);
   }
 
   // Merge: valid lines from DRAM, the rest from NVMM (or zeros for holes), one
@@ -1293,6 +1427,10 @@ void DramBufferManager::ProcessShard(Shard& s) {
   std::vector<Entry*> victims;
   {
     std::unique_lock<std::mutex> lock = LockShard(s);
+    // Apply batched read touches first so victim picking sees up-to-date
+    // ARC/2Q/LFU list positions (the owner worker is the ring's steady-state
+    // consumer; the write path only drains opportunistically).
+    DrainPromotionsLocked(s);
     // Phase 1: reclaim in policy order until this shard's free > High_f.
     const size_t high = s.high.load(std::memory_order_relaxed);
     if (s.free_frames.size() < high) {
@@ -1315,6 +1453,12 @@ void DramBufferManager::ProcessShard(Shard& s) {
   }
   if (!victims.empty()) {
     (void)FlushEntries(s, std::move(victims));
+  }
+  // Sweep retired lookup arrays whose readers have all unpinned (no shard
+  // mutex needed: the RetireList is internally synchronized).
+  const uint64_t freed = s.lut_retired.TryReclaim();
+  if (freed > 0) {
+    s.stats.epoch_retired.fetch_add(freed, std::memory_order_relaxed);
   }
 }
 

@@ -38,9 +38,25 @@
 //    validates a candidate entry against its per-entry seqlock (odd = mutating)
 //    and copies the frame speculatively; a probe that ends at an empty slot is
 //    a conclusive miss only if index_seq did not move. Any validation failure
-//    falls back to the mutex path. Entries and retired tables are type-stable
-//    (freed only at shard destruction), so a stale pointer is memory-safe and
-//    the seqlock alone decides logical validity.
+//    falls back to the mutex path. Entries are type-stable (recycled through
+//    the arena, freed only at shard destruction); replaced lookup arrays are
+//    retired through epoch-based reclamation (src/common/epoch.h) — readers
+//    probe under an EpochGuard, so a retired array is freed once every reader
+//    that could hold it has unpinned, instead of accumulating until shard
+//    destruction. Either way a stale pointer is memory-safe and the seqlock
+//    alone decides logical validity.
+//
+//  - Batched read promotions: read-aware policies (ARC/2Q/LFU) want list
+//    maintenance on read hits, but taking the shard mutex per buffered-read
+//    hit would forfeit the lock-free path. Instead a lock-free read hit
+//    pushes (key, entry) into a small per-shard MPSC ring; the owning
+//    writeback worker (and the write path, opportunistically) drains the ring
+//    under the shard mutex, re-validates each touch against the current
+//    index, and applies the policy hook then. The ring is advisory: when
+//    full, touches are dropped (stats count pushes and applied drains).
+//    LRW/FIFO replacement ignores reads by definition (paper §3.2: eviction
+//    follows write recency), so the ring is bypassed entirely and the
+//    buffer_shards=1 legacy determinism contract is untouched.
 //
 //  - Cross-shard frame stealing: a shard whose slice is exhausted borrows free
 //    frames — first from a global reserve (leaf mutex + atomic count), then
@@ -80,6 +96,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/common/epoch.h"
 #include "src/common/result.h"
 #include "src/common/status.h"
 #include "src/hinfs/btree.h"
@@ -165,6 +182,16 @@ class DramBufferManager {
   uint64_t wb_dirty_runs() const;
   uint64_t wb_flush_calls() const;
   uint64_t wb_coalesced_lines() const;
+  // Batched read promotions: touches pushed into the per-shard rings by
+  // lock-free read hits, and touches that survived revalidation and were
+  // applied to the replacement lists during a drain (drained <= batched;
+  // the difference is ring-full drops plus touches whose entry was evicted
+  // or rewritten before the drain).
+  uint64_t promotions_batched() const;
+  uint64_t promotions_drained() const;
+  // Retired lookup arrays actually freed by epoch reclamation (the pre-epoch
+  // code held every replaced array until shard destruction).
+  uint64_t epoch_retired() const;
   // Cross-shard stealing: frames migrated into an exhausted shard, and frames
   // currently parked in the global reserve.
   uint64_t frames_stolen() const { return frames_stolen_.load(std::memory_order_relaxed); }
@@ -252,13 +279,40 @@ class DramBufferManager {
     std::atomic<uint64_t> wb_dirty_runs{0};
     std::atomic<uint64_t> wb_flush_calls{0};
     std::atomic<uint64_t> wb_coalesced_lines{0};
+    // Batched read promotions and epoch reclamation (see PromoRing).
+    std::atomic<uint64_t> promotions_batched{0};
+    std::atomic<uint64_t> promotions_drained{0};
+    std::atomic<uint64_t> epoch_retired{0};
+  };
+
+  // Per-shard MPSC ring of read touches awaiting list maintenance. Producers
+  // are lock-free read hits (multiple threads, no shard mutex); the single
+  // consumer drains with the shard mutex held. A producer reserves a slot by
+  // CAS on `head`, stores the entry pointer, then release-stores the key —
+  // the consumer treats key==0 as "reserved but unpublished" and stops there
+  // to preserve FIFO. `tail` is only touched under the shard mutex;
+  // `tail_published` mirrors it so producers can detect a full ring without
+  // the lock (and drop the touch: promotions are advisory hints, losing one
+  // only costs replacement quality, never correctness).
+  struct PromoRing {
+    static constexpr size_t kRingSlots = 256;  // power of two
+    struct Touch {
+      std::atomic<uint64_t> key{0};  // 0 = empty/consumed; LutKey() is never 0
+      std::atomic<Entry*> entry{nullptr};
+    };
+    std::atomic<uint64_t> head{0};            // next slot producers will take
+    uint64_t tail = 0;                        // consumer cursor (shard mutex)
+    std::atomic<uint64_t> tail_published{0};  // producers' full-ring check
+    Touch slots[kRingSlots];
   };
 
   // Open-addressed lookup arrays probed lock-free by readers. Slots hold a
   // key (kLutEmpty / kLutTombstone / mixed key with the top bit forced) and
   // the Entry*. Mutated only under the shard mutex inside an index_seq writer
-  // section; retired arrays are kept alive until shard destruction so a
-  // reader holding a stale pointer never touches freed memory.
+  // section; a replaced array is handed to the shard's RetireList and freed
+  // once every reader pinned at rebuild time has unpinned (readers hold an
+  // EpochGuard across the probe), so a reader with a stale pointer never
+  // touches freed memory.
   struct LookupArrays {
     explicit LookupArrays(size_t n) : mask(n - 1) {
       keys.reset(new std::atomic<uint64_t>[n]);
@@ -296,13 +350,17 @@ class DramBufferManager {
     std::vector<uint32_t> free_frames;      // global frame indices owned here
     std::atomic<size_t> free_count{0};      // mirrors free_frames.size(); read lock-free
     std::unordered_map<uint64_t, std::unique_ptr<BTreeMap<Entry*>>> index;  // per-file B+tree
-    // Lock-free lookup table mirroring `index`, plus its seqlock and the
-    // type-stable storage backing it (current table is lut_storage.back()).
+    // Lock-free lookup table mirroring `index`, plus its seqlock. lut_current
+    // owns the published array; replaced arrays wait in lut_retired until the
+    // epoch domain proves no reader can still hold them.
     std::atomic<LookupArrays*> lut{nullptr};
-    std::vector<std::unique_ptr<LookupArrays>> lut_storage;
+    std::unique_ptr<LookupArrays> lut_current;
+    RetireList lut_retired;
     size_t lut_live = 0;
     size_t lut_tombstones = 0;
     std::atomic<uint64_t> index_seq{0};
+    // Read touches from the lock-free path awaiting policy list maintenance.
+    PromoRing promo;
     // Type-stable entry storage: entries are recycled through entry_free and
     // only destroyed with the shard, so stale Entry* in reader hands stay
     // dereferenceable (their seqlock flags them logically dead).
@@ -406,6 +464,21 @@ class DramBufferManager {
   // Replacement-policy hooks (per shard).
   void OnInsertLocked(Shard& s, Entry* e);
   void OnWriteHitLocked(Shard& s, Entry* e);
+  // Read-hit list maintenance, applied when a batched touch is drained.
+  // LRW/FIFO deliberately do nothing here (write-ordered eviction).
+  void OnReadHitLocked(Shard& s, Entry* e);
+  // Does the configured policy care about read recency/frequency at all?
+  // When false the promotion ring is bypassed (LRW/FIFO).
+  bool ReadTouchesPolicy() const {
+    return options_.replacement == HinfsOptions::Replacement::kArc ||
+           options_.replacement == HinfsOptions::Replacement::kTwoQ ||
+           options_.replacement == HinfsOptions::Replacement::kLfu;
+  }
+  // Lock-free producer side: best-effort push of a read touch (drops when the
+  // ring is full). Called from TryLockFreeRead with no shard mutex held.
+  void PromoPush(Shard& s, uint64_t key, Entry* e);
+  // Consumer side: applies (still-valid) pending touches. Requires s.mu.
+  void DrainPromotionsLocked(Shard& s);
   // Picks up to `want` evictable (non-writing) entries in policy order and
   // marks them writing.
   std::vector<Entry*> PickVictimsLocked(Shard& s, size_t want);

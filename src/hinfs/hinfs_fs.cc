@@ -220,6 +220,9 @@ Status HinfsFs::Unmount() {
   stats_.Add(kStatWbDirtyRuns, buffer_->wb_dirty_runs());
   stats_.Add(kStatWbFlushCalls, buffer_->wb_flush_calls());
   stats_.Add(kStatWbCoalescedLines, buffer_->wb_coalesced_lines());
+  stats_.Add(kStatPromotionsBatched, buffer_->promotions_batched());
+  stats_.Add(kStatPromotionsDrained, buffer_->promotions_drained());
+  stats_.Add(kStatEpochRetired, buffer_->epoch_retired());
   return PmfsFs::Unmount();
 }
 

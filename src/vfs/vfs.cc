@@ -31,55 +31,100 @@ Result<std::vector<std::string>> SplitPath(std::string_view path) {
   return parts;
 }
 
-Vfs::Vfs(FileSystem* fs, bool sync_mount) : fs_(fs), sync_mount_(sync_mount) {}
+Vfs::Vfs(FileSystem* fs, bool sync_mount) : fs_(fs), sync_mount_(sync_mount) {
+  for (FdShard& s : fd_shards_) {
+    s.table_owner = std::make_unique<FdShard::SlotArray>(16);
+    s.table.store(s.table_owner.get(), std::memory_order_release);
+  }
+}
 
-Vfs::~Vfs() = default;
+Vfs::~Vfs() {
+  // Free still-open FdStates (closed ones were handed to fd_retired_, whose
+  // destructor frees them along with any retired slot arrays).
+  for (FdShard& s : fd_shards_) {
+    FdShard::SlotArray* arr = s.table_owner.get();
+    for (size_t i = 0; i <= arr->mask; i++) {
+      const int k = arr->slots[i].fd.load(std::memory_order_relaxed);
+      if (k != FdShard::kEmpty && k != FdShard::kTombstone) {
+        delete arr->slots[i].state.load(std::memory_order_relaxed);
+      }
+    }
+  }
+}
 
 // --- fd table -------------------------------------------------------------------
 
-void Vfs::FdInsertIntoSlots(std::vector<FdShard::Slot>& slots, int fd,
-                            std::shared_ptr<FdState> state) {
-  size_t i = ProbeStart(fd, slots.size());
-  while (slots[i].fd != FdShard::kEmpty && slots[i].fd != FdShard::kTombstone) {
-    i = (i + 1) & (slots.size() - 1);
+void Vfs::FdInsertIntoSlots(FdShard::SlotArray& arr, int fd, FdState* state) {
+  size_t i = ProbeStart(fd, arr.mask + 1);
+  for (;;) {
+    const int k = arr.slots[i].fd.load(std::memory_order_relaxed);
+    if (k == FdShard::kEmpty || k == FdShard::kTombstone) {
+      break;
+    }
+    i = (i + 1) & arr.mask;
   }
-  slots[i].fd = fd;
-  slots[i].state = std::move(state);
+  // state before fd, both release: a lock-free probe that observes the fd is
+  // guaranteed to observe this state (and only this state — see FdLookup's
+  // reuse re-check, which leans on exactly this ordering).
+  arr.slots[i].state.store(state, std::memory_order_release);
+  arr.slots[i].fd.store(fd, std::memory_order_release);
 }
 
-void Vfs::FdInsert(int fd, std::shared_ptr<FdState> state) {
+void Vfs::FdInsert(int fd, FdState* state) {
   FdShard& s = ShardForFd(fd);
   std::lock_guard<std::mutex> lock(s.mu);
+  FdShard::SlotArray* arr = s.table_owner.get();
   // Keep the probe chains short: grow (dropping tombstones) at 3/4 occupancy.
-  if ((s.occupied + 1) * 4 >= s.slots.size() * 3) {
-    std::vector<FdShard::Slot> bigger(s.slots.size() * 2);
-    for (FdShard::Slot& slot : s.slots) {
-      if (slot.fd != FdShard::kEmpty && slot.fd != FdShard::kTombstone) {
-        FdInsertIntoSlots(bigger, slot.fd, std::move(slot.state));
+  if ((s.occupied + 1) * 4 >= (arr->mask + 1) * 3) {
+    auto bigger = std::make_unique<FdShard::SlotArray>((arr->mask + 1) * 2);
+    for (size_t i = 0; i <= arr->mask; i++) {
+      const int k = arr->slots[i].fd.load(std::memory_order_relaxed);
+      if (k != FdShard::kEmpty && k != FdShard::kTombstone) {
+        FdInsertIntoSlots(*bigger, k, arr->slots[i].state.load(std::memory_order_relaxed));
       }
     }
-    s.slots = std::move(bigger);
+    s.table.store(bigger.get(), std::memory_order_release);
+    // Readers may still be probing the old array; epoch reclamation frees it
+    // once they unpin.
+    fd_retired_.Retire(s.table_owner.release());
+    s.table_owner = std::move(bigger);
     s.occupied = s.used;
+    arr = s.table_owner.get();
   }
-  FdInsertIntoSlots(s.slots, fd, std::move(state));
+  FdInsertIntoSlots(*arr, fd, state);
   s.used++;
   s.occupied++;  // may double-count a reused tombstone; only hastens growth
 }
 
-std::shared_ptr<Vfs::FdState> Vfs::FdLookup(int fd) {
+Vfs::FdState* Vfs::FdLookup(int fd) {
   if (fd < 3) {
     return nullptr;
   }
   FdShard& s = ShardForFd(fd);
-  std::lock_guard<std::mutex> lock(s.mu);
-  size_t i = ProbeStart(fd, s.slots.size());
-  while (s.slots[i].fd != FdShard::kEmpty) {
-    if (s.slots[i].fd == fd) {
-      return s.slots[i].state;
+  const FdShard::SlotArray* arr = s.table.load(std::memory_order_acquire);
+  size_t i = ProbeStart(fd, arr->mask + 1);
+  for (;;) {
+    const int k = arr->slots[i].fd.load(std::memory_order_acquire);
+    if (k == FdShard::kEmpty) {
+      // Conclusive: fds are never reused and Open happens-before any use of
+      // the fd it returned, so a miss means "not open" — kBadFd, exactly as
+      // if the lookup had been serialized before a racing Close.
+      return nullptr;
     }
-    i = (i + 1) & (s.slots.size() - 1);
+    if (k == fd) {
+      FdState* e = arr->slots[i].state.load(std::memory_order_acquire);
+      // The slot may have been tombstoned and reused by a different fd
+      // between the two loads above. Insert release-stores state before
+      // publishing its fd, so if the fd still matches here, `e` is ours; if
+      // not, our fd was closed (kBadFd). Never probe on: a reused slot means
+      // the tombstone chain this probe relied on has been rewritten.
+      if (arr->slots[i].fd.load(std::memory_order_relaxed) == fd) {
+        return e;
+      }
+      return nullptr;
+    }
+    i = (i + 1) & arr->mask;
   }
-  return nullptr;
 }
 
 size_t Vfs::OpenFdCount() const {
@@ -97,17 +142,25 @@ bool Vfs::FdErase(int fd) {
   }
   FdShard& s = ShardForFd(fd);
   std::lock_guard<std::mutex> lock(s.mu);
-  size_t i = ProbeStart(fd, s.slots.size());
-  while (s.slots[i].fd != FdShard::kEmpty) {
-    if (s.slots[i].fd == fd) {
-      s.slots[i].fd = FdShard::kTombstone;
-      s.slots[i].state.reset();
+  FdShard::SlotArray* arr = s.table_owner.get();
+  size_t i = ProbeStart(fd, arr->mask + 1);
+  for (;;) {
+    const int k = arr->slots[i].fd.load(std::memory_order_relaxed);
+    if (k == FdShard::kEmpty) {
+      return false;
+    }
+    if (k == fd) {
+      FdState* e = arr->slots[i].state.load(std::memory_order_relaxed);
+      // Tombstone the fd but leave the state pointer: a reader that loaded
+      // fd just before this store may still load it, and the epoch pin it
+      // holds keeps *e alive until it finishes.
+      arr->slots[i].fd.store(FdShard::kTombstone, std::memory_order_release);
       s.used--;
+      fd_retired_.Retire(e);
       return true;
     }
-    i = (i + 1) & (s.slots.size() - 1);
+    i = (i + 1) & arr->mask;
   }
-  return false;
 }
 
 // --- dcache ---------------------------------------------------------------------
@@ -191,13 +244,13 @@ Result<int> Vfs::Open(std::string_view path, uint32_t flags) {
     attr.size = 0;
   }
 
-  auto state = std::make_shared<FdState>();
+  FdState* state = new FdState();
   state->ino = ino;
   state->flags = flags;
-  state->offset = (flags & kAppend) != 0 ? attr.size : 0;
+  state->offset.store((flags & kAppend) != 0 ? attr.size : 0, std::memory_order_relaxed);
 
   const int fd = next_fd_.fetch_add(1, std::memory_order_relaxed);
-  FdInsert(fd, std::move(state));
+  FdInsert(fd, state);
   return fd;
 }
 
@@ -206,22 +259,44 @@ Status Vfs::Close(int fd) {
 }
 
 Result<size_t> Vfs::Read(int fd, void* dst, size_t len) {
-  std::shared_ptr<FdState> e = FdLookup(fd);
+  EpochGuard pin;  // keeps *e (and the slot array) alive across the syscall
+  FdState* e = FdLookup(fd);
   if (e == nullptr) {
     return Status(ErrorCode::kBadFd);
   }
-  // pos_mu is held across the FS call: concurrent reads on one fd each
-  // consume a distinct range (POSIX read atomicity), instead of the old
-  // read-offset/copy/advance dance whose two critical sections let them
-  // observe the same offset.
+  if ((e->flags & (kWrOnly | kRdWr)) == 0) {
+    // Read-only fd — the webserver/webproxy hot path. Claim the range
+    // [offset, offset+n) with a compare-exchange instead of holding pos_mu
+    // across the FS call: snapshot the offset, read there, publish offset+n.
+    // Losing the CAS means a concurrent reader claimed that range first; it
+    // published the next offset, so retry the read there. Readers sharing
+    // the fd proceed in parallel yet consume disjoint, gapless ranges; a
+    // racing Seek simply restarts the claim at the seeked position.
+    uint64_t offset = e->offset.load(std::memory_order_acquire);
+    for (;;) {
+      HINFS_ASSIGN_OR_RETURN(size_t n, fs_->Read(e->ino, offset, dst, len));
+      if (e->offset.compare_exchange_strong(offset, offset + n,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+        return n;
+      }
+      // `offset` was reloaded by the failed CAS; the data read is stale for
+      // that position, so read again. Progress is global: a failed CAS
+      // implies another reader (or a seek) succeeded.
+    }
+  }
+  // Write-capable fd: reads serialize with writes/seeks on pos_mu so
+  // interleaved ops on one fd keep POSIX read/write atomicity.
   std::lock_guard<std::mutex> pos_lock(e->pos_mu);
-  HINFS_ASSIGN_OR_RETURN(size_t n, fs_->Read(e->ino, e->offset, dst, len));
-  e->offset += n;
+  const uint64_t offset = e->offset.load(std::memory_order_relaxed);
+  HINFS_ASSIGN_OR_RETURN(size_t n, fs_->Read(e->ino, offset, dst, len));
+  e->offset.store(offset + n, std::memory_order_release);
   return n;
 }
 
 Result<size_t> Vfs::Pread(int fd, void* dst, size_t len, uint64_t offset) {
-  std::shared_ptr<FdState> e = FdLookup(fd);
+  EpochGuard pin;
+  FdState* e = FdLookup(fd);
   if (e == nullptr) {
     return Status(ErrorCode::kBadFd);
   }
@@ -237,27 +312,29 @@ Result<size_t> Vfs::WriteInternal(uint64_t ino, uint32_t flags, const void* src,
 }
 
 Result<size_t> Vfs::Write(int fd, const void* src, size_t len) {
-  std::shared_ptr<FdState> e = FdLookup(fd);
+  EpochGuard pin;
+  FdState* e = FdLookup(fd);
   if (e == nullptr) {
     return Status(ErrorCode::kBadFd);
   }
   std::lock_guard<std::mutex> pos_lock(e->pos_mu);
-  uint64_t offset = e->offset;
+  uint64_t offset = e->offset.load(std::memory_order_relaxed);
   if ((e->flags & kAppend) != 0) {
     // O_APPEND: the write lands at EOF. The size lookup happens under pos_mu,
     // so appends on this fd are ordered with its other offset-dependent ops;
-    // there is no table relookup afterwards because `e` stays valid even if
-    // the fd is concurrently closed.
+    // there is no table relookup afterwards because the epoch pin keeps `e`
+    // valid even if the fd is concurrently closed.
     HINFS_ASSIGN_OR_RETURN(InodeAttr attr, fs_->GetAttr(e->ino));
     offset = attr.size;
   }
   HINFS_ASSIGN_OR_RETURN(size_t n, WriteInternal(e->ino, e->flags, src, len, offset));
-  e->offset = offset + n;
+  e->offset.store(offset + n, std::memory_order_release);
   return n;
 }
 
 Result<size_t> Vfs::Pwrite(int fd, const void* src, size_t len, uint64_t offset) {
-  std::shared_ptr<FdState> e = FdLookup(fd);
+  EpochGuard pin;
+  FdState* e = FdLookup(fd);
   if (e == nullptr) {
     return Status(ErrorCode::kBadFd);
   }
@@ -265,17 +342,22 @@ Result<size_t> Vfs::Pwrite(int fd, const void* src, size_t len, uint64_t offset)
 }
 
 Result<uint64_t> Vfs::Seek(int fd, uint64_t offset) {
-  std::shared_ptr<FdState> e = FdLookup(fd);
+  EpochGuard pin;
+  FdState* e = FdLookup(fd);
   if (e == nullptr) {
     return Status(ErrorCode::kBadFd);
   }
+  // pos_mu orders the store against a writer's offset read-modify-write; the
+  // lock-free reader CAS loop needs no lock here (it either claims against
+  // the pre-seek offset or retries at this one).
   std::lock_guard<std::mutex> pos_lock(e->pos_mu);
-  e->offset = offset;
+  e->offset.store(offset, std::memory_order_release);
   return offset;
 }
 
 Status Vfs::Fsync(int fd) {
-  std::shared_ptr<FdState> e = FdLookup(fd);
+  EpochGuard pin;
+  FdState* e = FdLookup(fd);
   if (e == nullptr) {
     return Status(ErrorCode::kBadFd);
   }
@@ -283,7 +365,8 @@ Status Vfs::Fsync(int fd) {
 }
 
 Status Vfs::Ftruncate(int fd, uint64_t size) {
-  std::shared_ptr<FdState> e = FdLookup(fd);
+  EpochGuard pin;
+  FdState* e = FdLookup(fd);
   if (e == nullptr) {
     return Status(ErrorCode::kBadFd);
   }
@@ -291,7 +374,8 @@ Status Vfs::Ftruncate(int fd, uint64_t size) {
 }
 
 Result<InodeAttr> Vfs::Fstat(int fd) {
-  std::shared_ptr<FdState> e = FdLookup(fd);
+  EpochGuard pin;
+  FdState* e = FdLookup(fd);
   if (e == nullptr) {
     return Status(ErrorCode::kBadFd);
   }
@@ -358,13 +442,20 @@ Status Vfs::SyncFs() { return fs_->SyncFs(); }
 Status Vfs::Unmount() {
   for (FdShard& s : fd_shards_) {
     std::lock_guard<std::mutex> lock(s.mu);
-    for (FdShard::Slot& slot : s.slots) {
-      slot.fd = FdShard::kEmpty;
-      slot.state.reset();
+    FdShard::SlotArray* arr = s.table_owner.get();
+    for (size_t i = 0; i <= arr->mask; i++) {
+      const int k = arr->slots[i].fd.load(std::memory_order_relaxed);
+      if (k != FdShard::kEmpty && k != FdShard::kTombstone) {
+        fd_retired_.Retire(arr->slots[i].state.load(std::memory_order_relaxed));
+      }
+      // Emptying (not tombstoning) breaks probe chains, which is fine when
+      // the whole table goes: any concurrent lookup conclusively misses.
+      arr->slots[i].fd.store(FdShard::kEmpty, std::memory_order_release);
     }
     s.used = 0;
     s.occupied = 0;
   }
+  fd_retired_.TryReclaim();
   for (DcacheShard& s : dcache_shards_) {
     std::unique_lock lock(s.mu);
     s.map.clear();

@@ -5,16 +5,25 @@
 // surface the workloads use: open/close/read/write/pread/pwrite/fsync/unlink/
 // mkdir/rmdir/rename/stat/readdir/truncate.
 //
-// Scalability: both front-end structures are sharded so syscalls on different
-// fds / different dentries never contend, and a syscall touches its shard lock
-// exactly once:
-//  - the fd table is a per-shard open-addressed array of (fd, FdState*) slots;
-//    a lookup copies out one shared_ptr under the shard mutex and the syscall
-//    runs against that state with no table lock held. fd numbers come from a
-//    single atomic counter. The fd offset lives behind its own per-fd mutex,
-//    making offset-dependent ops (read/write/seek on one fd) POSIX-atomic —
-//    previously two disjoint critical sections let concurrent reads observe
-//    the same offset.
+// Scalability: the read path is lock-free end to end; mutations stay sharded:
+//  - the fd table is a per-shard open-addressed array of (atomic fd,
+//    atomic FdState*) slots. Lookups take NO lock: every fd-based syscall
+//    pins an EpochGuard, probes the published slot array, and runs against
+//    the raw FdState pointer; Close()/table growth retire the old state/array
+//    through epoch-based reclamation instead of freeing it, so a racing
+//    lookup never touches freed memory. fd numbers come from a single atomic
+//    counter and are never reused, which is what makes a lock-free miss
+//    conclusive (kBadFd): an fd the probe can't find was either never issued
+//    or already closed, and callers that race Close with use get kBadFd
+//    exactly as POSIX allows. Mutations (open/close/grow) still serialize on
+//    the shard mutex.
+//  - the per-fd offset is a bare atomic. Reads on read-only fds advance it
+//    with a compare-exchange loop (snapshot offset -> FS read -> publish
+//    offset+n, retrying the read at the new offset on CAS failure), so
+//    concurrent readers sharing one fd proceed in parallel yet still consume
+//    disjoint, gapless ranges. fds opened for writing (kWrOnly/kRdWr) keep
+//    the per-fd pos_mu across offset-dependent ops: mixed readers/writers on
+//    one fd stay serialized, as do O_APPEND size lookups.
 //  - the dcache is sharded by (dir_ino, name) hash and uses a heterogeneous
 //    (transparent) hash so the hit path probes with a string_view: zero
 //    allocations per component on a cache hit.
@@ -31,6 +40,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/epoch.h"
 #include "src/vfs/file_system.h"
 
 namespace hinfs {
@@ -97,28 +107,44 @@ class Vfs {
   Result<std::string> ReadFileToString(std::string_view path);
 
  private:
-  // Per-open-file state. ino and flags are immutable after Open; the offset
-  // is guarded by pos_mu, held across the FS call for offset-dependent ops so
-  // concurrent reads/writes on one fd each consume a distinct file range.
+  // Per-open-file state. ino and flags are immutable after Open. The offset
+  // is atomic: read-only fds advance it via Vfs::Read's compare-exchange
+  // protocol with no lock; write-capable fds additionally serialize their
+  // offset-dependent ops (Read/Write/Seek) on pos_mu so interleaved
+  // reads/writes on one fd keep POSIX read/write atomicity. Seek always
+  // takes pos_mu so its store is ordered against a writer's read-modify-write
+  // of the offset; a plain store racing the lock-free CAS loop is fine (the
+  // CAS either wins against the pre-seek value or retries at the new one).
   struct FdState {
     uint64_t ino = 0;
     uint32_t flags = 0;
     std::mutex pos_mu;
-    uint64_t offset = 0;  // guarded by pos_mu
+    std::atomic<uint64_t> offset{0};
   };
 
-  // One shard of the fd table: an open-addressed (fd, state) array under a
-  // mutex. fds hash round-robin across shards, so the per-op critical section
-  // (one probe + one shared_ptr copy) contends only with ops on ~1/Nth of fds.
+  // One shard of the fd table: an open-addressed (atomic fd, atomic state*)
+  // array. Lookups probe the published array with no lock (callers hold an
+  // EpochGuard); insert/erase/grow serialize on the shard mutex. Publication
+  // order on insert is state-then-fd (release), so a reader that observes the
+  // fd also observes its state; erase tombstones the fd but leaves the state
+  // pointer in place for concurrently-probing readers and retires the FdState
+  // through `retired` instead of deleting it. Replaced slot arrays are
+  // retired the same way.
   struct alignas(64) FdShard {
     static constexpr int kEmpty = 0;
     static constexpr int kTombstone = -1;
     struct Slot {
-      int fd = kEmpty;
-      std::shared_ptr<FdState> state;
+      std::atomic<int> fd{kEmpty};
+      std::atomic<FdState*> state{nullptr};
     };
-    mutable std::mutex mu;
-    std::vector<Slot> slots{16};
+    struct SlotArray {
+      explicit SlotArray(size_t n) : mask(n - 1), slots(new Slot[n]) {}
+      const size_t mask;  // n - 1; n is a power of two
+      std::unique_ptr<Slot[]> slots;
+    };
+    mutable std::mutex mu;                 // guards insert/erase/grow + used/occupied
+    std::atomic<SlotArray*> table{nullptr};  // current array; readers load acquire
+    std::unique_ptr<SlotArray> table_owner;  // owns *table
     size_t used = 0;      // live entries
     size_t occupied = 0;  // live + tombstones (drives resize)
   };
@@ -128,11 +154,11 @@ class Vfs {
   static size_t ProbeStart(int fd, size_t capacity) {
     return (static_cast<uint32_t>(fd) * 2654435761u) & (capacity - 1);
   }
-  void FdInsert(int fd, std::shared_ptr<FdState> state);
-  static void FdInsertIntoSlots(std::vector<FdShard::Slot>& slots, int fd,
-                                std::shared_ptr<FdState> state);
-  // One shard-lock acquisition; null if fd is not open.
-  std::shared_ptr<FdState> FdLookup(int fd);
+  void FdInsert(int fd, FdState* state);
+  static void FdInsertIntoSlots(FdShard::SlotArray& arr, int fd, FdState* state);
+  // Lock-free probe; null if fd is not open. The caller must hold an
+  // EpochGuard for as long as it uses the returned pointer.
+  FdState* FdLookup(int fd);
   bool FdErase(int fd);
 
   // --- dcache -----------------------------------------------------------------
@@ -193,6 +219,9 @@ class Vfs {
 
   std::atomic<int> next_fd_{3};
   std::vector<FdShard> fd_shards_{kFdShards};
+  // Closed FdStates and replaced slot arrays wait here until every syscall
+  // that might still hold a pointer into them has unpinned.
+  RetireList fd_retired_;
   std::vector<DcacheShard> dcache_shards_{kDcacheShards};
 };
 

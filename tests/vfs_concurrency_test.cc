@@ -1,12 +1,26 @@
-// Multithreaded VFS front-end tests: the sharded fd table, per-fd offset
-// lock, and sharded dcache under concurrent open/read/write/seek/close plus
-// create/unlink on shared paths. Runs on PMFS with no injected latency; part
-// of the `sanitize` label so TSan/ASan sweep it.
+// Multithreaded VFS front-end tests: the lock-free fd table (epoch-reclaimed
+// FdStates and slot arrays), the per-fd offset protocol, and the sharded
+// dcache under concurrent open/read/write/seek/close plus create/unlink on
+// shared paths. Runs on PMFS with no injected latency; part of the `sanitize`
+// label so TSan/ASan sweep it.
 //
-// SequentialReadsConsumeDisjointRanges is the regression test for the old
-// Vfs::Read offset race: two disjoint fd-table critical sections (read offset,
-// then advance it after the FS call) let concurrent reads observe the same
-// offset and return duplicate ranges.
+// The Vfs::Read offset contract under test:
+//  - read-only fds advance the offset with a lock-free compare-exchange
+//    (snapshot -> FS read -> publish snapshot+n, retry on loss), so
+//    concurrent readers sharing one fd consume disjoint, gapless ranges
+//    without serializing (SequentialReadsConsumeDisjointRanges, originally
+//    the regression test for the pre-lock two-critical-section race);
+//  - a Seek racing those readers atomically redirects the stream: every read
+//    still returns one intact, record-aligned range — claimed either against
+//    the pre-seek offset or the seeked one, never a blend
+//    (ReadOnlyFdSeekRaceKeepsRecordsIntact);
+//  - write-capable (kWrOnly/kRdWr) fds keep the per-fd pos_mu across
+//    offset-dependent ops, so O_APPEND and mixed read/write streams stay
+//    serialized (SharedFdAppendsNeverOverlap);
+//  - Close racing in-flight syscalls yields full success or kBadFd, never a
+//    torn result or use-after-free — the epoch pin keeps the FdState alive
+//    (CloseRacesInFlightReads), and fd-table growth retires old slot arrays
+//    the same way (FdTableGrowthKeepsLockFreeLookupsSafe).
 
 #include <gtest/gtest.h>
 
@@ -84,6 +98,135 @@ TEST_F(VfsConcurrencyTest, SequentialReadsConsumeDisjointRanges) {
   for (uint64_t i = 0; i < kRecords; i++) {
     ASSERT_EQ(all[i], i) << "record " << i << " read more than once or skipped";
   }
+}
+
+TEST_F(VfsConcurrencyTest, ReadOnlyFdSeekRaceKeepsRecordsIntact) {
+  // Self-identifying 8-byte records: record i holds the value i. The CAS
+  // protocol claims record-aligned ranges (every claim starts at 0 or at a
+  // published offset+8k), so every successful read must return one whole
+  // record — a torn or misaligned read surfaces as an out-of-range value.
+  constexpr uint64_t kRecords = 2048;
+  constexpr int kReaders = 3;
+  std::string data(kRecords * sizeof(uint64_t), '\0');
+  for (uint64_t i = 0; i < kRecords; i++) {
+    std::memcpy(&data[i * sizeof(uint64_t)], &i, sizeof(i));
+  }
+  ASSERT_TRUE(vfs_->WriteFile("/seekrace", data).ok());
+  auto fd = vfs_->Open("/seekrace", kRdOnly);
+  ASSERT_TRUE(fd.ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> total_reads{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kReaders; t++) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        uint64_t rec = ~0ull;
+        auto n = vfs_->Read(*fd, &rec, sizeof(rec));
+        ASSERT_TRUE(n.ok());
+        if (*n == 0) {
+          continue;  // EOF until the seeker rewinds
+        }
+        ASSERT_EQ(*n, sizeof(rec));
+        ASSERT_LT(rec, kRecords) << "torn or misaligned read";
+        total_reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // The seeker rewinds the shared stream while readers are mid-claim: each
+  // rewind is a plain atomic store the readers' CAS loop must cope with.
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(vfs_->Seek(*fd, 0).ok());
+    while (total_reads.load(std::memory_order_relaxed) < (i + 1) * 50ull) {
+      std::this_thread::yield();
+    }
+  }
+  stop.store(true);
+  for (auto& th : threads) {
+    th.join();
+  }
+  // The rewinds forced re-reads well past one file's worth.
+  EXPECT_GT(total_reads.load(), kRecords);
+}
+
+TEST_F(VfsConcurrencyTest, CloseRacesInFlightReads) {
+  // Readers hammer a shared read-only fd while the main thread closes it.
+  // Every read must either fully succeed (it pinned the FdState before the
+  // close retired it) or fail kBadFd — nothing in between, and no
+  // use-after-free for the sanitizers to catch.
+  constexpr int kRounds = 100;
+  constexpr int kReaders = 3;
+  const std::string payload(4096, 'r');
+  ASSERT_TRUE(vfs_->WriteFile("/closerace", payload).ok());
+  for (int round = 0; round < kRounds; round++) {
+    auto fd = vfs_->Open("/closerace", kRdOnly);
+    ASSERT_TRUE(fd.ok());
+    std::atomic<int> ready{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kReaders; t++) {
+      threads.emplace_back([&] {
+        char buf[256];
+        ready.fetch_add(1);
+        for (int i = 0; i < 20; i++) {
+          auto n = vfs_->Read(*fd, buf, sizeof(buf));
+          if (!n.ok()) {
+            ASSERT_EQ(n.status().code(), ErrorCode::kBadFd);
+            break;  // the fd is gone for good: every later read agrees
+          }
+        }
+      });
+    }
+    while (ready.load() < kReaders) {
+      std::this_thread::yield();
+    }
+    ASSERT_TRUE(vfs_->Close(*fd).ok());
+    for (auto& th : threads) {
+      th.join();
+    }
+    EXPECT_EQ(vfs_->Fsync(*fd).code(), ErrorCode::kBadFd);
+  }
+}
+
+TEST_F(VfsConcurrencyTest, FdTableGrowthKeepsLockFreeLookupsSafe) {
+  // A churner floods one fd-table shard past its growth threshold (slot
+  // arrays are replaced and retired) while readers keep using long-lived fds
+  // inserted before the growth: their lock-free probes must stay valid across
+  // array replacement.
+  constexpr int kLongLived = 8;
+  constexpr int kChurn = 600;  // >> 16 slots/shard across 16 shards: growth
+  ASSERT_TRUE(vfs_->WriteFile("/growth", std::string(512, 'g')).ok());
+  std::vector<int> stable;
+  for (int i = 0; i < kLongLived; i++) {
+    auto fd = vfs_->Open("/growth", kRdOnly);
+    ASSERT_TRUE(fd.ok());
+    stable.push_back(*fd);
+  }
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; t++) {
+    readers.emplace_back([&] {
+      char buf[64];
+      size_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto n = vfs_->Pread(stable[i++ % stable.size()], buf, sizeof(buf), 0);
+        ASSERT_TRUE(n.ok()) << "long-lived fd lost during table growth";
+        ASSERT_EQ(*n, sizeof(buf));
+      }
+    });
+  }
+  for (int i = 0; i < kChurn; i++) {
+    auto fd = vfs_->Open("/growth", kRdOnly);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(vfs_->Close(*fd).ok());
+  }
+  stop.store(true);
+  for (auto& th : readers) {
+    th.join();
+  }
+  for (int fd : stable) {
+    EXPECT_TRUE(vfs_->Close(fd).ok());
+  }
+  EXPECT_EQ(vfs_->OpenFdCount(), 0u);
 }
 
 TEST_F(VfsConcurrencyTest, SharedFdAppendsNeverOverlap) {

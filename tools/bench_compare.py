@@ -43,6 +43,38 @@ def row_key(r):
     return (r["fs"], r["personality"], r["x_key"], r["x"], r["value_key"])
 
 
+def split_csv(values):
+    out = []
+    for v in values:
+        out.extend(tok.strip().lower() for tok in v.split(",") if tok.strip())
+    return out
+
+
+def make_row_filter(args):
+    """Builds a predicate over normalized rows from --fs/--personality/--threads."""
+    fs = split_csv(args.fs)
+    personality = split_csv(args.personality)
+    threads = set()
+    for tok in split_csv(args.threads):
+        try:
+            threads.add(float(tok))
+        except ValueError:
+            raise SystemExit(f"error: --threads wants numbers, got {tok!r}")
+
+    def keep(r):
+        if fs and not any(w in r["fs"].lower() for w in fs):
+            return False
+        if personality and not any(w in r["personality"].lower() for w in personality):
+            return False
+        # --threads filters on the sweep variable whatever its name (threads,
+        # io_size, ...): a row matches when its x coordinate is listed.
+        if threads and r["x"] not in threads:
+            return False
+        return True
+
+    return keep
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -52,12 +84,25 @@ def main():
                     help="percent change considered a regression (default 5)")
     ap.add_argument("--report-only", action="store_true",
                     help="print the comparison but always exit 0")
+    ap.add_argument("--fs", action="append", default=[], metavar="NAME",
+                    help="only compare rows whose fs matches (case-insensitive "
+                         "substring; repeatable / comma-separated)")
+    ap.add_argument("--personality", action="append", default=[], metavar="NAME",
+                    help="only compare rows whose personality matches "
+                         "(case-insensitive substring; repeatable / comma-separated)")
+    ap.add_argument("--threads", action="append", default=[], metavar="N",
+                    help="only compare rows at these thread counts "
+                         "(repeatable / comma-separated)")
+    ap.add_argument("--top", type=int, default=0, metavar="N",
+                    help="after the full table, print the N worst regressions "
+                         "as a summary")
     ap.add_argument("--fail-on-regression", action="store_true",
                     help=argparse.SUPPRESS)  # now the default; kept for old callers
     args = ap.parse_args()
 
-    base = {row_key(r): r["value"] for r in load_rows(args.baseline)}
-    cand = {row_key(r): r["value"] for r in load_rows(args.candidate)}
+    row_filter = make_row_filter(args)
+    base = {row_key(r): r["value"] for r in load_rows(args.baseline) if row_filter(r)}
+    cand = {row_key(r): r["value"] for r in load_rows(args.candidate) if row_filter(r)}
 
     regressions = []
     improvements = []
@@ -72,7 +117,7 @@ def main():
         tag = ""
         if gain <= -args.threshold:
             tag = "REGRESSION"
-            regressions.append(key)
+            regressions.append((gain, pct, key, b, c))
         elif gain >= args.threshold:
             tag = "improved"
             improvements.append(key)
@@ -95,6 +140,12 @@ def main():
         print(f"only in candidate: {len(only_cand)} rows")
 
     print(f"\n{len(regressions)} regression(s), {len(improvements)} improvement(s)")
+    if args.top > 0 and regressions:
+        print(f"\nworst {min(args.top, len(regressions))} regression(s):")
+        for gain, pct, key, b, c in sorted(regressions)[:args.top]:
+            fs, personality, x_key, x, value_key = key
+            print(f"  {fs:<12} {personality:<12} {x_key}={x:<8g} "
+                  f"{value_key:<16} {b:>14.3f} -> {c:>14.3f}  {pct:+7.2f}%")
     if args.report_only:
         return 0
     if not base.keys() & cand.keys():

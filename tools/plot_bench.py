@@ -17,6 +17,12 @@ Usage:
     tools/plot_bench.py out/*.json -o plots/            # a directory of them
     tools/plot_bench.py out/fig08.json --format svg
     tools/plot_bench.py out/fig08.json --ascii          # terminal-only view
+    tools/plot_bench.py --delta before.json after.json  # before/after + delta%
+
+--delta takes exactly two --json files (baseline, candidate), prints a table
+with a delta column for every row present in both, and — when matplotlib is
+available — also renders per-group plots with the baseline dashed. Without
+matplotlib the ASCII table is the whole output, so it works anywhere.
 
 One plot is produced per (input file, personality, value_key) group: series
 are file systems, x is the sweep variable. With matplotlib available each
@@ -106,6 +112,66 @@ def ascii_plot(title, x_key, value_key, series, width=48):
             print(f"    {x_key}={x:<10g} {bar} {v:g}")
 
 
+def render_delta(base_path, cand_path, out_dir, formats, use_ascii):
+    """Before/after comparison: ASCII delta table, plus dashed-baseline plots."""
+    def index(path):
+        return {(r["personality"], r["value_key"], r["x_key"], r["fs"], r["x"]): r["value"]
+                for r in load_rows(path)}
+
+    base, cand = index(base_path), index(cand_path)
+    shared = sorted(base.keys() & cand.keys())
+    print(f"delta: {base_path} -> {cand_path} ({len(shared)} matched rows)")
+    group = None
+    for key in shared:
+        personality, value_key, x_key, fs, x = key
+        if (personality, value_key) != group:
+            group = (personality, value_key)
+            title = personality or "(no personality)"
+            print(f"\n== {title} ==  ({value_key})")
+        b, c = base[key], cand[key]
+        pct = (c - b) / b * 100.0 if b else float("inf")
+        print(f"  {fs:<12} {x_key}={x:<8g} {b:>14.3f} -> {c:>14.3f}  {pct:+8.2f}%")
+    for name, only in (("baseline", base.keys() - cand.keys()),
+                       ("candidate", cand.keys() - base.keys())):
+        if only:
+            print(f"\nonly in {name}: {len(only)} rows")
+
+    if use_ascii:
+        return []
+
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    made = []
+    groups = {}
+    for key in shared:
+        personality, value_key, x_key, fs, x = key
+        series = groups.setdefault((personality, value_key, x_key), {})
+        series.setdefault(fs, []).append((x, base[key], cand[key]))
+    for (personality, value_key, x_key), series in sorted(groups.items()):
+        fig, ax = plt.subplots(figsize=(6, 4))
+        for fs, pts in sorted(series.items()):
+            pts.sort()
+            xs = [x for x, _, _ in pts]
+            line, = ax.plot(xs, [c for _, _, c in pts], marker="o", label=fs)
+            ax.plot(xs, [b for _, b, _ in pts], linestyle="--", alpha=0.5,
+                    color=line.get_color())
+        ax.set_xlabel(x_key)
+        ax.set_ylabel(value_key)
+        slug = "_".join(p for p in ("delta", personality, value_key) if p)
+        slug = slug.replace("/", "-").replace(" ", "_")
+        ax.set_title(slug + " (dashed = baseline)")
+        ax.legend()
+        fig.tight_layout()
+        for fmt in formats:
+            out = os.path.join(out_dir, f"{slug}.{fmt}")
+            fig.savefig(out)
+            made.append(out)
+        plt.close(fig)
+    return made
+
+
 def render(path, out_dir, formats, use_ascii):
     rows = load_rows(path)
     base = os.path.splitext(os.path.basename(path))[0]
@@ -157,7 +223,15 @@ def main():
     ap.add_argument("--format", choices=("png", "svg", "both"), default="both")
     ap.add_argument("--ascii", action="store_true",
                     help="print ASCII charts instead of image files")
+    ap.add_argument("--delta", action="store_true",
+                    help="treat the two inputs as (baseline, candidate) and "
+                         "render a before/after delta column")
     args = ap.parse_args()
+
+    if args.delta and len(args.inputs) != 2:
+        print("plot_bench: --delta takes exactly two input files "
+              "(baseline, candidate)", file=sys.stderr)
+        return 2
 
     use_ascii = args.ascii
     if not use_ascii:
@@ -171,6 +245,13 @@ def main():
     formats = ("png", "svg") if args.format == "both" else (args.format,)
     if not use_ascii:
         os.makedirs(args.out_dir, exist_ok=True)
+
+    if args.delta:
+        made = render_delta(args.inputs[0], args.inputs[1], args.out_dir, formats,
+                            use_ascii)
+        for out in made:
+            print(out)
+        return 0
 
     for path in args.inputs:
         made = render(path, args.out_dir, formats, use_ascii)
