@@ -203,6 +203,11 @@ struct BenchJsonRow {
   const char* value_key = "ops_per_sec";
 };
 
+// The JSON document is {"config": {...}, "rows": [...]}: the config block
+// records the env-resolved knobs the run used (bench budget + the WAL knobs
+// from HinfsOptions::FromEnv), so a recorded perf file is self-describing.
+// plot_bench.py/bench_compare.py accept both this shape and the bare-array
+// form older perf/ baselines use.
 inline bool WriteBenchJson(const std::string& path, const std::vector<BenchJsonRow>& rows) {
   if (path.empty()) {
     return true;
@@ -212,7 +217,18 @@ inline bool WriteBenchJson(const std::string& path, const std::vector<BenchJsonR
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
     return false;
   }
-  std::fprintf(f, "[\n");
+  const HinfsOptions env_opts = HinfsOptions::FromEnv(HinfsOptions{});
+  std::fprintf(f, "{\n  \"config\": {\"duration_ms\": %llu, \"max_threads\": %d, "
+               "\"scale_div\": %zu,\n             \"wal_regions\": %u, "
+               "\"wal_bytes\": %zu, \"wal_commit_fmt\": \"%s\", "
+               "\"wal_checkpoint_ms\": %llu, \"wal_direct_min\": %zu},\n",
+               static_cast<unsigned long long>(BenchDurationMs()), BenchMaxThreads(),
+               BenchScaleDiv(), env_opts.wal.regions, env_opts.wal.total_bytes,
+               env_opts.wal.commit_format == WalCommitFormat::kChecksum ? "checksum"
+                                                                        : "fence",
+               static_cast<unsigned long long>(env_opts.wal.checkpoint_ms),
+               env_opts.wal.direct_write_bytes);
+  std::fprintf(f, "  \"rows\": [\n");
   for (size_t i = 0; i < rows.size(); i++) {
     const BenchJsonRow& r = rows[i];
     std::fprintf(f, "  {\"fs\": \"%s\", \"personality\": \"%s\", \"%s\": %g, "
@@ -220,7 +236,7 @@ inline bool WriteBenchJson(const std::string& path, const std::vector<BenchJsonR
                  r.fs.c_str(), r.personality.c_str(), r.x_key, r.x, r.value_key, r.value,
                  i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(f, "]\n");
+  std::fprintf(f, "]\n}\n");
   std::fclose(f);
   std::printf("wrote %zu rows to %s\n", rows.size(), path.c_str());
   return true;

@@ -12,6 +12,7 @@
 #include "src/fs/pmfs/pmfs_fs.h"
 #include "src/hinfs/hinfs_fs.h"
 #include "src/vfs/vfs.h"
+#include "src/wal/wal_fs.h"
 
 namespace hinfs {
 
@@ -21,6 +22,7 @@ const char* CrashFsName(CrashFs fs) {
     case CrashFs::kHinfs: return "hinfs";
     case CrashFs::kBlockFsJournal: return "blockfs";
     case CrashFs::kBlockFsDax: return "blockfs-dax";
+    case CrashFs::kWalPmfs: return "pmfs+wal";
   }
   return "?";
 }
@@ -67,7 +69,23 @@ struct MountedFs {
   std::unique_ptr<FileSystem> fs;
 };
 
-Result<MountedFs> MountKind(CrashFs kind, NvmmDevice* nvmm, bool format) {
+// kWalPmfs: the log carve comes off the end of the device. 1 MB with a
+// single region keeps every record of these workloads in the log (no
+// pressure checkpoint mid-trace), and checkpoint_ms = 0 disables the
+// background drain so traces are deterministic.
+constexpr uint64_t kCrashWalBytes = 1ull << 20;
+
+WalOptions CrashWalOptions(WalCommitFormat commit_format) {
+  WalOptions o;
+  o.regions = 1;
+  o.total_bytes = kCrashWalBytes;
+  o.commit_format = commit_format;
+  o.checkpoint_ms = 0;
+  return o;
+}
+
+Result<MountedFs> MountKind(const CrashlabOptions& opts, NvmmDevice* nvmm, bool format) {
+  const CrashFs kind = opts.fs;
   MountedFs m;
   switch (kind) {
     case CrashFs::kPmfs: {
@@ -96,6 +114,28 @@ Result<MountedFs> MountKind(CrashFs kind, NvmmDevice* nvmm, bool format) {
       m.fs = std::move(fs);
       break;
     }
+    case CrashFs::kWalPmfs: {
+      if (nvmm->size() <= kCrashWalBytes) {
+        return Status(ErrorCode::kInvalidArgument, "device too small for the WAL carve");
+      }
+      const uint64_t fs_bytes = nvmm->size() - kCrashWalBytes;
+      std::unique_ptr<FileSystem> inner;
+      if (format) {
+        PmfsOptions po = CrashPmfsOptions();
+        po.device_bytes = fs_bytes;
+        HINFS_ASSIGN_OR_RETURN(inner, PmfsFs::Format(nvmm, po));
+      } else {
+        HINFS_ASSIGN_OR_RETURN(inner, PmfsFs::Mount(nvmm));
+      }
+      const WalOptions wo = CrashWalOptions(opts.wal_commit_format);
+      HINFS_ASSIGN_OR_RETURN(
+          auto fs, format ? WalFs::Format(std::move(inner), nvmm, fs_bytes,
+                                          kCrashWalBytes, wo)
+                          : WalFs::Mount(std::move(inner), nvmm, fs_bytes,
+                                         kCrashWalBytes, wo));
+      m.fs = std::move(fs);
+      break;
+    }
   }
   return m;
 }
@@ -106,6 +146,7 @@ OracleOptions OracleFor(CrashFs fs) {
     case CrashFs::kHinfs: return OracleOptions::Hinfs();
     case CrashFs::kBlockFsJournal: return OracleOptions::BlockFsJournal();
     case CrashFs::kBlockFsDax: return OracleOptions::BlockFsDax();
+    case CrashFs::kWalPmfs: return OracleOptions::WalPmfs();
   }
   return OracleOptions::Pmfs();
 }
@@ -164,7 +205,7 @@ Result<CrashlabReport> RunCrashlab(const std::vector<CrashOp>& workload,
   ncfg.track_persistence = true;
   NvmmDevice nvmm(ncfg);
 
-  HINFS_ASSIGN_OR_RETURN(MountedFs bed, MountKind(opts.fs, &nvmm, /*format=*/true));
+  HINFS_ASSIGN_OR_RETURN(MountedFs bed, MountKind(opts, &nvmm, /*format=*/true));
   if (opts.inject_skip_journal_fence) {
     auto* pmfs = dynamic_cast<PmfsFs*>(bed.fs.get());
     if (pmfs == nullptr) {
@@ -229,13 +270,16 @@ Result<CrashlabReport> RunCrashlab(const std::vector<CrashOp>& workload,
     HINFS_RETURN_IF_ERROR(scratch.InstallImage(spec.image->data(), spec.image->size()));
     std::string diag;
     bool failed = false;
-    Result<MountedFs> mounted = MountKind(opts.fs, &scratch, /*format=*/false);
+    Result<MountedFs> mounted = MountKind(opts, &scratch, /*format=*/false);
     if (!mounted.ok()) {
       diag = "remount failed: " + mounted.status().ToString();
       failed = true;
     } else {
+      // For kWalPmfs the fsck runs after WalFs::Mount replayed the log, so it
+      // validates the recovered inner-PMFS image, replay included.
       if (opts.run_fsck &&
-          (opts.fs == CrashFs::kPmfs || opts.fs == CrashFs::kHinfs)) {
+          (opts.fs == CrashFs::kPmfs || opts.fs == CrashFs::kHinfs ||
+           opts.fs == CrashFs::kWalPmfs)) {
         Result<FsckReport> fsck = FsckPmfs(&scratch);
         if (!fsck.ok()) {
           diag = "fsck failed to run: " + fsck.status().ToString();

@@ -23,6 +23,7 @@
 
 #include "src/crashlab/oracle.h"
 #include "src/nvmm/nvmm_device.h"
+#include "src/wal/wal_options.h"
 
 namespace hinfs {
 
@@ -31,6 +32,7 @@ enum class CrashFs {
   kHinfs,
   kBlockFsJournal,  // EXT4+NVMMBD analog: ordered metadata journal
   kBlockFsDax,      // EXT4-DAX analog: direct data, journaled metadata
+  kWalPmfs,         // WalFs decorator over PMFS: logged durability
 };
 
 const char* CrashFsName(CrashFs fs);
@@ -48,6 +50,9 @@ struct CrashlabOptions {
   size_t max_failures = 16;
   // Run FsckPmfs on every recovered image (PMFS-layout FSes only).
   bool run_fsck = true;
+  // kWalPmfs only: the commit-record format under test. Both must pass —
+  // checksum detects torn tails by CRC, fence prevents them by ordering.
+  WalCommitFormat wal_commit_format = WalCommitFormat::kChecksum;
   // Fault injection (PMFS-layout FSes only): drop the fence after journal
   // appends during the recorded run, so undo entries can stay unfenced while
   // the in-place updates they cover land. Crashlab must catch this under

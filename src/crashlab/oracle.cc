@@ -71,6 +71,15 @@ OracleOptions OracleOptions::BlockFsDax() {
   return o;
 }
 
+OracleOptions OracleOptions::WalPmfs() {
+  OracleOptions o;
+  o.data = DataDurability::kLazy;
+  o.meta = MetaDurability::kSynchronous;
+  o.size_granularity = SizeGranularity::kWholeOp;
+  o.sizes = SizeDurability::kLogged;
+  return o;
+}
+
 // --- ModelFile ----------------------------------------------------------------
 
 void CrashOracle::ModelFile::EnsureExtent(size_t n, bool exact_zero) {
@@ -138,7 +147,18 @@ void CrashOracle::ApplyTo(ModelFs& fs, const CrashOp& op, const OracleOptions& o
       const bool synchronous =
           opts.data == OracleOptions::DataDurability::kSynchronous || op.o_sync;
       f.WriteBytes(op.offset, op.data, synchronous);
-      f.size = std::max<uint64_t>(f.size, op.offset + op.data.size());
+      const uint64_t end = op.offset + op.data.size();
+      if (opts.sizes == OracleOptions::SizeDurability::kLogged) {
+        if (op.o_sync) {
+          // O_SYNC commits the region, making every logged extension durable.
+          f.lazy_sizes.clear();
+        } else if (end > f.size) {
+          // The extension rides an uncommitted record: the pre-write size
+          // stays legal until the file's next commit.
+          f.lazy_sizes.insert(f.size);
+        }
+      }
+      f.size = std::max<uint64_t>(f.size, end);
       break;
     }
     case CrashOp::Kind::kTruncate: {
@@ -159,22 +179,27 @@ void CrashOracle::ApplyTo(ModelFs& fs, const CrashOp& op, const OracleOptions& o
                        opts.data == OracleOptions::DataDurability::kSynchronous);
       }
       f.size = op.new_size;
+      // WalFs commits the truncate record before returning, which commits the
+      // whole region tail with it: the new size is exactly durable.
+      f.lazy_sizes.clear();
       break;
     }
     case CrashOp::Kind::kFsync: {
-      if (opts.data == OracleOptions::DataDurability::kLazy) {
-        auto it = fs.find(op.path);
-        if (it != fs.end()) {
+      auto it = fs.find(op.path);
+      if (it != fs.end()) {
+        if (opts.data == OracleOptions::DataDurability::kLazy) {
           it->second.CollapseToExact();
         }
+        it->second.lazy_sizes.clear();
       }
       break;
     }
     case CrashOp::Kind::kSyncFs: {
-      if (opts.data == OracleOptions::DataDurability::kLazy) {
-        for (auto& [path, f] : fs) {
+      for (auto& [path, f] : fs) {
+        if (opts.data == OracleOptions::DataDurability::kLazy) {
           f.CollapseToExact();
         }
+        f.lazy_sizes.clear();
       }
       break;
     }
@@ -449,9 +474,15 @@ Status CrashOracle::CheckAgainst(Vfs* vfs, const ModelFs& model, std::string* di
     if (mf.type != FileType::kRegular) {
       continue;
     }
-    if (it->second.size != mf.size) {
-      *diag = "size mismatch for " + path + ": got " + std::to_string(it->second.size) +
+    // Logged sizes: a crash before the extending records committed legally
+    // exposes any size the file passed through since its last commit.
+    const uint64_t observed_size = it->second.size;
+    if (observed_size != mf.size && mf.lazy_sizes.count(observed_size) == 0) {
+      *diag = "size mismatch for " + path + ": got " + std::to_string(observed_size) +
               ", legal " + std::to_string(mf.size);
+      if (!mf.lazy_sizes.empty()) {
+        *diag += " or any logged size of " + std::to_string(mf.lazy_sizes.size());
+      }
       return Status(ErrorCode::kCorrupt, *diag);
     }
     Result<std::string> contents = vfs->ReadFileToString(path);
@@ -459,11 +490,11 @@ Status CrashOracle::CheckAgainst(Vfs* vfs, const ModelFs& model, std::string* di
       *diag = "read failed for " + path + ": " + contents.status().ToString();
       return Status(ErrorCode::kCorrupt, *diag);
     }
-    if (contents->size() != mf.size) {
+    if (contents->size() != observed_size) {
       *diag = "short read for " + path;
       return Status(ErrorCode::kCorrupt, *diag);
     }
-    for (size_t i = 0; i < mf.size; i++) {
+    for (size_t i = 0; i < observed_size; i++) {
       const uint8_t c = static_cast<uint8_t>((*contents)[i]);
       const uint8_t want = i < mf.data.size() ? mf.data[i] : 0;
       if (c == want) {

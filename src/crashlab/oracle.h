@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -78,15 +79,27 @@ struct OracleOptions {
     kWholeOp,  // one atomic size update at op end (PMFS)
     kChunk,    // size advances per 4 KB chunk (HiNFS foreground write)
   };
+  // Durability of a completed write's *size extension*. Distinct from
+  // MetaDurability: WalFs keeps namespace ops synchronous (they pass through
+  // to the inner FS) while a buffered write's size extension rides the log
+  // and only becomes durable at the next commit (fsync / O_SYNC / syncfs).
+  enum class SizeDurability : uint8_t {
+    kSynchronous,  // size durable when the write returns (PMFS, HiNFS)
+    kLogged,       // any size the file had since its last commit is legal
+  };
 
   DataDurability data = DataDurability::kSynchronous;
   MetaDurability meta = MetaDurability::kSynchronous;
   SizeGranularity size_granularity = SizeGranularity::kWholeOp;
+  SizeDurability sizes = SizeDurability::kSynchronous;
 
   static OracleOptions Pmfs();
   static OracleOptions Hinfs();
   static OracleOptions BlockFsJournal();
   static OracleOptions BlockFsDax();
+  // WalFs over PMFS: logged data and sizes (redo records commit at fsync),
+  // synchronous namespace (creates/unlinks/renames hit the inner FS eagerly).
+  static OracleOptions WalPmfs();
 };
 
 class CrashOracle {
@@ -111,6 +124,10 @@ class CrashOracle {
     std::vector<uint8_t> exact;    // byte must equal data[i]
     std::vector<uint8_t> zero_ok;  // zero is additionally legal
     std::vector<std::string> alts; // other legal values (older durable data)
+    // SizeDurability::kLogged only: sizes (< size) the crash may legally
+    // expose because the extending records were never committed. Collapses
+    // to empty at every commit point for this file.
+    std::set<uint64_t> lazy_sizes;
 
     void EnsureExtent(size_t n, bool exact_zero);
     void WriteBytes(uint64_t off, const std::string& payload, bool synchronous);

@@ -864,7 +864,8 @@ Status BlockFs::Truncate(uint64_t ino, uint64_t new_size) {
   return StoreInodeLocked(inode);
 }
 
-Status BlockFs::Fsync(uint64_t ino) {
+Status BlockFs::Fsync(uint64_t ino, const SyncOptions& options) {
+  (void)options;  // Block journal commit covers both scopes.
   ScopedTimer t(stats_.Counter(kStatFsyncNs));
   std::lock_guard<std::mutex> lock(mu_);
   HINFS_ASSIGN_OR_RETURN(DiskInode inode, LoadInodeLocked(ino));

@@ -67,7 +67,8 @@ class BlockFs : public FileSystem {
   Result<size_t> Write(uint64_t ino, uint64_t offset, const void* src, size_t len,
                        const WriteOptions& options) override;
   Status Truncate(uint64_t ino, uint64_t new_size) override;
-  Status Fsync(uint64_t ino) override;
+  Status Fsync(uint64_t ino, const SyncOptions& options) override;
+  using FileSystem::Fsync;
   Status SyncFs() override;
   Status DropCaches() override;
   Status Unmount() override;

@@ -45,9 +45,17 @@ struct PmfsInode {
   uint64_t radix_root;    // data-area block number of the radix root (or 0 = none)
   uint64_t mtime_ns;
   uint64_t last_sync_ns;  // HiNFS: last synchronization time of this file
-  uint64_t reserved[10];
+  uint64_t reserved[9];
+  // Bumped on every allocation of this slot. Lives in the inode's SECOND
+  // cacheline: FreeFileLocked clears only the first, so the counter survives
+  // free and AllocInode can carry it forward (+1). The WAL's crash recovery
+  // (src/wal) uses (ino, generation) to tell a live file from a freed-and-
+  // reused inode number when deciding whether a redo record still applies.
+  uint64_t generation;
 };
 static_assert(sizeof(PmfsInode) == 2 * kCachelineSize);
+static_assert(offsetof(PmfsInode, generation) >= kCachelineSize,
+              "generation must survive the first-cacheline clear on free");
 
 // Maximum stored name length (name is not NUL-terminated on "disk").
 inline constexpr size_t kMaxDirentName = 54;

@@ -38,7 +38,8 @@ Result<std::unique_ptr<PmfsFs>> PmfsFs::Mount(NvmmDevice* nvmm) {
 }
 
 Status PmfsFs::InitFormat(const PmfsOptions& options) {
-  const uint64_t dev_bytes = nvmm_->size();
+  const uint64_t dev_bytes =
+      options.device_bytes != 0 ? std::min(options.device_bytes, nvmm_->size()) : nvmm_->size();
 
   PmfsSuperblock sb{};
   sb.magic = kPmfsMagic;
@@ -182,11 +183,14 @@ Result<uint64_t> PmfsFs::AllocInode(Transaction& txn, FileType type) {
   // Log the (free) slot so a crash before commit returns it to zero, then
   // initialize it in place.
   HINFS_RETURN_IF_ERROR(txn.LogOldValue(InodeAddr(ino), sizeof(PmfsInode)));
+  PmfsInode old_slot;
+  HINFS_RETURN_IF_ERROR(nvmm_->Load(InodeAddr(ino), &old_slot, sizeof(old_slot)));
   PmfsInode inode{};
   inode.ino = ino;
   inode.type = static_cast<uint8_t>(type);
   inode.nlink = type == FileType::kDirectory ? 2 : 1;
   inode.mtime_ns = MonotonicNowNs();
+  inode.generation = old_slot.generation + 1;
   HINFS_RETURN_IF_ERROR(nvmm_->StoreAtomicPersistent(InodeAddr(ino), &inode, sizeof(inode)));
   return ino;
 }
@@ -688,6 +692,7 @@ Result<InodeAttr> PmfsFs::GetAttr(uint64_t ino) {
   attr.size = inode.size;
   attr.nlink = inode.nlink;
   attr.mtime_ns = inode.mtime_ns;
+  attr.generation = inode.generation;
   return attr;
 }
 
@@ -850,7 +855,8 @@ Status PmfsFs::Truncate(uint64_t ino, uint64_t new_size) {
   return UpdateInodeU64(ino, offsetof(PmfsInode, mtime_ns), MonotonicNowNs());
 }
 
-Status PmfsFs::Fsync(uint64_t ino) {
+Status PmfsFs::Fsync(uint64_t ino, const SyncOptions& options) {
+  (void)options;  // PMFS persists eagerly; scope and group-wait are moot.
   ScopedTimer t(stats_.Counter(kStatFsyncNs));
   std::shared_lock lock(StripeFor(ino));
   HINFS_RETURN_IF_ERROR(LoadInode(ino).status());

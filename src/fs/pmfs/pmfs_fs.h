@@ -33,6 +33,10 @@ namespace hinfs {
 struct PmfsOptions {
   uint64_t max_inodes = 1ull << 16;
   uint64_t journal_bytes = 4ull << 20;
+  // Format the file system on [0, device_bytes) instead of the whole device
+  // (0 = whole device). Lets a WAL carve live past the FS (src/wal/); Mount
+  // needs no equivalent because the superblock records the formatted size.
+  uint64_t device_bytes = 0;
 };
 
 class PmfsFs : public FileSystem {
@@ -59,7 +63,8 @@ class PmfsFs : public FileSystem {
   Result<size_t> Write(uint64_t ino, uint64_t offset, const void* src, size_t len,
                        const WriteOptions& options) override;
   Status Truncate(uint64_t ino, uint64_t new_size) override;
-  Status Fsync(uint64_t ino) override;
+  Status Fsync(uint64_t ino, const SyncOptions& options) override;
+  using FileSystem::Fsync;
   Status SyncFs() override;
   Status Unmount() override;
 

@@ -178,7 +178,8 @@ Result<size_t> HinfsFs::Write(uint64_t ino, uint64_t offset, const void* src, si
 
 // --- synchronization ----------------------------------------------------------------
 
-Status HinfsFs::Fsync(uint64_t ino) {
+Status HinfsFs::Fsync(uint64_t ino, const SyncOptions& options) {
+  (void)options;  // The Write Buffer flush covers both scopes in one pass.
   ScopedTimer t(stats_.Counter(kStatFsyncNs));
   std::unique_lock lock(StripeFor(ino));
   HINFS_ASSIGN_OR_RETURN(PmfsInode inode, LoadInode(ino));

@@ -38,7 +38,8 @@ class HinfsFs : public PmfsFs {
   Result<size_t> Write(uint64_t ino, uint64_t offset, const void* src, size_t len,
                        const WriteOptions& options) override;
   Status Truncate(uint64_t ino, uint64_t new_size) override;
-  Status Fsync(uint64_t ino) override;
+  Status Fsync(uint64_t ino, const SyncOptions& options) override;
+  using FileSystem::Fsync;
   Status Unlink(uint64_t dir_ino, std::string_view name) override;
   Status SyncFs() override;
   Status Unmount() override;

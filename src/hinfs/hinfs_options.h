@@ -5,7 +5,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <string_view>
+
+#include "src/wal/wal_options.h"
 
 namespace hinfs {
 
@@ -62,11 +66,21 @@ struct HinfsOptions {
   // engine is running; single-shard buffers never steal.
   bool steal_frames = true;
 
+  // WAL decorator tunables (src/wal/), used by the +wal test-bed variants.
+  WalOptions wal;
+
   // The one place environment overrides are read. Call sites (shell, benches,
   // tests) apply this instead of parsing getenv themselves:
   //   HINFS_BUFFER_SHARDS      shard count (0 = auto)
   //   HINFS_WRITEBACK_THREADS  background writeback worker count
   //   HINFS_STEAL_FRAMES       0 disables cross-shard frame stealing
+  //   HINFS_WAL_REGIONS        per-core WAL regions (0 = auto)
+  //   HINFS_WAL_BYTES          WAL carve size in bytes
+  //   HINFS_WAL_COMMIT_FMT     "checksum" (1 fence/commit) or "fence" (2)
+  //   HINFS_WAL_CHECKPOINT_MS  background checkpoint period (0 = on demand)
+  //   HINFS_WAL_DIRECT_MIN     write size that bypasses the log (0 = log all)
+  // A malformed WAL value aborts the process (exit 2): silently falling back
+  // to a default would invalidate the ablation a run was asked to measure.
   static HinfsOptions FromEnv() { return FromEnv(HinfsOptions()); }
   static HinfsOptions FromEnv(HinfsOptions base) {
     if (const char* env = std::getenv("HINFS_BUFFER_SHARDS")) {
@@ -78,7 +92,47 @@ struct HinfsOptions {
     if (const char* env = std::getenv("HINFS_STEAL_FRAMES")) {
       base.steal_frames = std::atoi(env) != 0;
     }
+    if (const char* env = std::getenv("HINFS_WAL_REGIONS")) {
+      base.wal.regions = static_cast<int>(ParseWalU64("HINFS_WAL_REGIONS", env));
+    }
+    if (const char* env = std::getenv("HINFS_WAL_BYTES")) {
+      const uint64_t v = ParseWalU64("HINFS_WAL_BYTES", env);
+      if (v == 0) {
+        DieBadWalEnv("HINFS_WAL_BYTES", env);
+      }
+      base.wal.total_bytes = v;
+    }
+    if (const char* env = std::getenv("HINFS_WAL_COMMIT_FMT")) {
+      const std::string_view v(env);
+      if (v == "checksum") {
+        base.wal.commit_format = WalCommitFormat::kChecksum;
+      } else if (v == "fence") {
+        base.wal.commit_format = WalCommitFormat::kFence;
+      } else {
+        DieBadWalEnv("HINFS_WAL_COMMIT_FMT", env);
+      }
+    }
+    if (const char* env = std::getenv("HINFS_WAL_CHECKPOINT_MS")) {
+      base.wal.checkpoint_ms = ParseWalU64("HINFS_WAL_CHECKPOINT_MS", env);
+    }
+    if (const char* env = std::getenv("HINFS_WAL_DIRECT_MIN")) {
+      base.wal.direct_write_bytes = ParseWalU64("HINFS_WAL_DIRECT_MIN", env);
+    }
     return base;
+  }
+
+ private:
+  [[noreturn]] static void DieBadWalEnv(const char* var, const char* value) {
+    std::fprintf(stderr, "hinfs: bad %s=\"%s\"\n", var, value);
+    std::exit(2);
+  }
+  static uint64_t ParseWalU64(const char* var, const char* value) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(value, &end, 10);
+    if (end == value || *end != '\0') {
+      DieBadWalEnv(var, value);
+    }
+    return static_cast<uint64_t>(v);
   }
 };
 

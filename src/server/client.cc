@@ -239,10 +239,15 @@ Result<uint64_t> Client::Seek(int fd, uint64_t offset) {
   return resp.r0;
 }
 
-Status Client::Fsync(int fd) {
+Status Client::Fsync(int fd) { return Sync(fd, SyncOptions::Fsync()); }
+
+Status Client::Fdatasync(int fd) { return Sync(fd, SyncOptions::Fdatasync()); }
+
+Status Client::Sync(int fd, const SyncOptions& options) {
   Request req;
-  req.opcode = Opcode::kFsync;
+  req.opcode = options.data_only() ? Opcode::kFdatasync : Opcode::kFsync;
   req.fd = fd;
+  req.flags = SyncOptionsToWire(options);
   return CallStatus(std::move(req));
 }
 
@@ -325,12 +330,15 @@ Result<std::vector<DirEntry>> Client::ReadDir(std::string_view path) {
   return entries;
 }
 
-bool Client::Exists(std::string_view path) {
+Result<bool> Client::Exists(std::string_view path) {
   Request req;
   req.opcode = Opcode::kExists;
   req.path.assign(path);
-  Result<Response> resp = Call(std::move(req));
-  return resp.ok() && resp->status == ErrorCode::kOk && resp->r0 == 1;
+  HINFS_ASSIGN_OR_RETURN(Response resp, Call(std::move(req)));
+  if (resp.status != ErrorCode::kOk) {
+    return Status(resp.status, resp.data);
+  }
+  return resp.r0 == 1;
 }
 
 Status Client::SyncFs() {

@@ -49,6 +49,8 @@ class Client final : public FsApi {
   Result<size_t> Pwrite(int fd, const void* src, size_t len, uint64_t offset) override;
   Result<uint64_t> Seek(int fd, uint64_t offset) override;
   Status Fsync(int fd) override;
+  Status Fdatasync(int fd) override;
+  Status Sync(int fd, const SyncOptions& options) override;
   Status Ftruncate(int fd, uint64_t size) override;
   Result<InodeAttr> Fstat(int fd) override;
   Status Mkdir(std::string_view path) override;
@@ -57,7 +59,7 @@ class Client final : public FsApi {
   Status Rename(std::string_view from, std::string_view to) override;
   Result<InodeAttr> Stat(std::string_view path) override;
   Result<std::vector<DirEntry>> ReadDir(std::string_view path) override;
-  bool Exists(std::string_view path) override;
+  Result<bool> Exists(std::string_view path) override;
   Status SyncFs() override;
 
  private:

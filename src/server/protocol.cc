@@ -89,6 +89,8 @@ const char* OpcodeName(Opcode op) {
       return "exists";
     case Opcode::kSyncFs:
       return "syncfs";
+    case Opcode::kFdatasync:
+      return "fdatasync";
   }
   return "?";
 }

@@ -15,7 +15,8 @@
 //   offset 10  u16 path_len     bytes of path  (<= kMaxPathBytes)
 //   offset 12  u16 path2_len    bytes of path2 (rename target; else 0)
 //   offset 14  u16 pad2         must be 0
-//   offset 16  u32 flags        OpenFlags for kOpen; else 0
+//   offset 16  u32 flags        OpenFlags for kOpen; SyncOptions bits for
+//                               kFsync/kFdatasync (kSyncFlagNoGroupWait); else 0
 //   offset 20  i32 fd           client-visible fd for fd ops; else -1
 //   offset 24  u64 offset       pread/pwrite/seek offset; ftruncate size
 //   offset 32  u32 count        bytes requested (read/pread); else 0
@@ -78,9 +79,28 @@ enum class Opcode : uint8_t {
   kReadDir,
   kExists,
   kSyncFs,
+  // fdatasync(2); appended so existing clients' opcode bytes keep their
+  // meaning. req.flags carries the SyncOptions encoding (see below).
+  kFdatasync,
 };
 inline constexpr uint8_t kMinOpcode = static_cast<uint8_t>(Opcode::kPing);
-inline constexpr uint8_t kMaxOpcode = static_cast<uint8_t>(Opcode::kSyncFs);
+inline constexpr uint8_t kMaxOpcode = static_cast<uint8_t>(Opcode::kFdatasync);
+
+// SyncOptions on the wire (req.flags for kFsync/kFdatasync): bit 0 set means
+// the caller opts OUT of group commit (insists on its own flush+fence), so a
+// zero flags word keeps the pre-SyncOptions behavior. The scope is implied by
+// the opcode (kFsync = kAll, kFdatasync = kData).
+inline constexpr uint32_t kSyncFlagNoGroupWait = 0x1;
+
+inline uint32_t SyncOptionsToWire(const SyncOptions& options) {
+  return options.allow_group_wait ? 0u : kSyncFlagNoGroupWait;
+}
+inline SyncOptions WireToSyncOptions(Opcode op, uint32_t flags) {
+  SyncOptions options =
+      op == Opcode::kFdatasync ? SyncOptions::Fdatasync() : SyncOptions::Fsync();
+  options.allow_group_wait = (flags & kSyncFlagNoGroupWait) == 0;
+  return options;
+}
 
 const char* OpcodeName(Opcode op);
 

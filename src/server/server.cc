@@ -694,12 +694,13 @@ Response Server::Execute(Session& session, const Request& req) {
       resp.r0 = *off;
       break;
     }
-    case Opcode::kFsync: {
+    case Opcode::kFsync:
+    case Opcode::kFdatasync: {
       int vfs_fd;
       if (!translate(req.fd, &vfs_fd)) {
         break;
       }
-      Status st = vfs_->Fsync(vfs_fd);
+      Status st = vfs_->Sync(vfs_fd, WireToSyncOptions(req.opcode, req.flags));
       if (!st.ok()) {
         fail(st);
       }
@@ -776,7 +777,12 @@ Response Server::Execute(Session& session, const Request& req) {
       break;
     }
     case Opcode::kExists: {
-      resp.r0 = vfs_->Exists(req.path) ? 1 : 0;
+      Result<bool> present = vfs_->Exists(req.path);
+      if (!present.ok()) {
+        fail(present.status());
+        break;
+      }
+      resp.r0 = *present ? 1 : 0;
       break;
     }
     case Opcode::kSyncFs: {

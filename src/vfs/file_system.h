@@ -29,6 +29,11 @@ struct InodeAttr {
   uint64_t size = 0;
   uint32_t nlink = 0;
   uint64_t mtime_ns = 0;
+  // Allocation generation of the inode slot (0 where the FS does not track
+  // one). (ino, generation) uniquely names a file across inode-number reuse;
+  // the WAL stamps redo records with it so crash replay never writes into a
+  // recycled inode.
+  uint64_t generation = 0;
 };
 
 struct DirEntry {
@@ -42,20 +47,53 @@ struct DirEntry {
 // hints (e.g. temperature or allocation hints) extend it without touching
 // every implementation again.
 struct WriteOptions {
-  // The paper's two write classes: a buffered (lazy-persistent) write may live
-  // in the DRAM Write Buffer until writeback; an eager-persistent write
-  // (O_SYNC / sync mount, case (1) of the paper's definition) must be durable
-  // in NVMM on return.
+  // The paper's two write classes, plus the WAL third way: a buffered
+  // (lazy-persistent) write may live in the DRAM Write Buffer until writeback;
+  // an eager-persistent write (O_SYNC / sync mount, case (1) of the paper's
+  // definition) must be durable in NVMM on return; a logged write must be
+  // *recoverable* on return — a redo record in the NVMM write-ahead log is
+  // durable, while the final-layout update is deferred to checkpointing.
+  // File systems that do not support logging (SupportsLoggedDurability() is
+  // false) treat kLogged exactly like kEagerPersistent, so the VFS can request
+  // it unconditionally.
   enum class Durability : uint8_t {
     kBuffered,
     kEagerPersistent,
+    kLogged,
   };
   Durability durability = Durability::kBuffered;
 
   bool eager_persistent() const { return durability == Durability::kEagerPersistent; }
+  bool synchronous() const { return durability != Durability::kBuffered; }
 
   static WriteOptions Buffered() { return WriteOptions{Durability::kBuffered}; }
   static WriteOptions EagerPersistent() { return WriteOptions{Durability::kEagerPersistent}; }
+  static WriteOptions Logged() { return WriteOptions{Durability::kLogged}; }
+};
+
+// How a sync call (fsync/fdatasync) is allowed to achieve durability. One
+// struct shared by the VFS, the wire protocol, and the WAL, so every layer
+// speaks the same durability contract.
+struct SyncOptions {
+  // fsync(2) vs fdatasync(2): kAll persists data and all metadata; kData may
+  // skip pure timestamp metadata (mtime) when that saves a persist barrier.
+  enum class Scope : uint8_t {
+    kAll,
+    kData,
+  };
+  Scope scope = Scope::kAll;
+
+  // Group commit: when true (default), the call may ride on a concurrent
+  // committer's flush+fence instead of issuing its own (the commit leader
+  // persists every record appended so far; followers just wait). When false,
+  // the caller insists on its own flush+fence — the non-grouped ablation.
+  bool allow_group_wait = true;
+
+  bool data_only() const { return scope == Scope::kData; }
+
+  static SyncOptions Fsync() { return SyncOptions{Scope::kAll, true}; }
+  static SyncOptions Fdatasync() { return SyncOptions{Scope::kData, true}; }
+  static SyncOptions Eager() { return SyncOptions{Scope::kAll, false}; }
 };
 
 // Inode number of the root directory in every file system here.
@@ -89,8 +127,11 @@ class FileSystem {
   virtual Result<size_t> Write(uint64_t ino, uint64_t offset, const void* src, size_t len,
                                const WriteOptions& options) = 0;
   virtual Status Truncate(uint64_t ino, uint64_t new_size) = 0;
-  // fsync(2): all data and metadata of `ino` durable on return.
-  virtual Status Fsync(uint64_t ino) = 0;
+  // fsync(2)/fdatasync(2): data (and metadata per `options.scope`) of `ino`
+  // recoverable on return. `options.allow_group_wait` lets logging file
+  // systems amortize one flush+fence across concurrent committers.
+  virtual Status Fsync(uint64_t ino, const SyncOptions& options) = 0;
+  Status Fsync(uint64_t ino) { return Fsync(ino, SyncOptions::Fsync()); }
 
   // --- whole-FS operations ----------------------------------------------------
   // sync(2)-style full flush.
@@ -124,6 +165,11 @@ class FileSystem {
     (void)len;
     return Status(ErrorCode::kNotSupported, "msync");
   }
+
+  // True when the FS gives kLogged writes a cheaper path than eager
+  // persistence (i.e. it fronts an NVMM write-ahead log). Lets the VFS pick
+  // WriteOptions::Logged() for O_SYNC traffic only where it actually helps.
+  virtual bool SupportsLoggedDurability() const { return false; }
 
   // Time-breakdown and traffic counters (Fig. 1 / Fig. 12 instrumentation).
   StatsRegistry& stats() { return stats_; }

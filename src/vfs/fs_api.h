@@ -33,6 +33,10 @@ class FsApi {
   virtual Result<size_t> Pwrite(int fd, const void* src, size_t len, uint64_t offset) = 0;
   virtual Result<uint64_t> Seek(int fd, uint64_t offset) = 0;
   virtual Status Fsync(int fd) = 0;
+  // fdatasync(2): durability for the file's data (and size), allowed to skip
+  // pure timestamp metadata. Front-ends map both onto Sync(fd, SyncOptions).
+  virtual Status Fdatasync(int fd) = 0;
+  virtual Status Sync(int fd, const SyncOptions& options) = 0;
   virtual Status Ftruncate(int fd, uint64_t size) = 0;
   virtual Result<InodeAttr> Fstat(int fd) = 0;
 
@@ -43,7 +47,9 @@ class FsApi {
   virtual Status Rename(std::string_view from, std::string_view to) = 0;
   virtual Result<InodeAttr> Stat(std::string_view path) = 0;
   virtual Result<std::vector<DirEntry>> ReadDir(std::string_view path) = 0;
-  virtual bool Exists(std::string_view path) = 0;
+  // true/false for present/absent; a Status for real failures (invalid path,
+  // I/O error) rather than swallowing them into false.
+  virtual Result<bool> Exists(std::string_view path) = 0;
 
   // --- whole-FS ---------------------------------------------------------------
   virtual Status SyncFs() = 0;
@@ -78,6 +84,8 @@ class VfsApi final : public FsApi {
   }
   Result<uint64_t> Seek(int fd, uint64_t offset) override { return vfs_->Seek(fd, offset); }
   Status Fsync(int fd) override { return vfs_->Fsync(fd); }
+  Status Fdatasync(int fd) override { return vfs_->Fdatasync(fd); }
+  Status Sync(int fd, const SyncOptions& options) override { return vfs_->Sync(fd, options); }
   Status Ftruncate(int fd, uint64_t size) override { return vfs_->Ftruncate(fd, size); }
   Result<InodeAttr> Fstat(int fd) override { return vfs_->Fstat(fd); }
 
@@ -91,7 +99,7 @@ class VfsApi final : public FsApi {
   Result<std::vector<DirEntry>> ReadDir(std::string_view path) override {
     return vfs_->ReadDir(path);
   }
-  bool Exists(std::string_view path) override { return vfs_->Exists(path); }
+  Result<bool> Exists(std::string_view path) override { return vfs_->Exists(path); }
 
   Status SyncFs() override { return vfs_->SyncFs(); }
 

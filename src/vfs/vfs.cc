@@ -305,9 +305,14 @@ Result<size_t> Vfs::Pread(int fd, void* dst, size_t len, uint64_t offset) {
 
 Result<size_t> Vfs::WriteInternal(uint64_t ino, uint32_t flags, const void* src, size_t len,
                                   uint64_t offset) {
-  const WriteOptions options = sync_mount_ || (flags & kSync) != 0
-                                   ? WriteOptions::EagerPersistent()
-                                   : WriteOptions::Buffered();
+  WriteOptions options = WriteOptions::Buffered();
+  if (sync_mount_ || (flags & kSync) != 0) {
+    // Synchronous writes only need to be *recoverable* on return; when the
+    // mounted FS fronts a WAL, a durable redo record is cheaper than eager
+    // persistence into the final layout.
+    options = fs_->SupportsLoggedDurability() ? WriteOptions::Logged()
+                                              : WriteOptions::EagerPersistent();
+  }
   return fs_->Write(ino, offset, src, len, options);
 }
 
@@ -355,13 +360,17 @@ Result<uint64_t> Vfs::Seek(int fd, uint64_t offset) {
   return offset;
 }
 
-Status Vfs::Fsync(int fd) {
+Status Vfs::Fsync(int fd) { return Sync(fd, SyncOptions::Fsync()); }
+
+Status Vfs::Fdatasync(int fd) { return Sync(fd, SyncOptions::Fdatasync()); }
+
+Status Vfs::Sync(int fd, const SyncOptions& options) {
   EpochGuard pin;
   FdState* e = FdLookup(fd);
   if (e == nullptr) {
     return Status(ErrorCode::kBadFd);
   }
-  return fs_->Fsync(e->ino);
+  return fs_->Fsync(e->ino, options);
 }
 
 Status Vfs::Ftruncate(int fd, uint64_t size) {
@@ -435,7 +444,19 @@ Result<std::vector<DirEntry>> Vfs::ReadDir(std::string_view path) {
   return fs_->ReadDir(ino);
 }
 
-bool Vfs::Exists(std::string_view path) { return Resolve(path).ok(); }
+Result<bool> Vfs::Exists(std::string_view path) {
+  Result<uint64_t> ino = Resolve(path);
+  if (ino.ok()) {
+    return true;
+  }
+  // "Not there" is an answer; anything else (bad path, I/O error, corrupted
+  // directory) is an error the caller must see, not a silent `false`.
+  if (ino.status().code() == ErrorCode::kNotFound ||
+      ino.status().code() == ErrorCode::kNotDir) {
+    return false;
+  }
+  return ino.status();
+}
 
 Status Vfs::SyncFs() { return fs_->SyncFs(); }
 

@@ -77,6 +77,10 @@ class Vfs {
   Result<size_t> Pwrite(int fd, const void* src, size_t len, uint64_t offset);
   Result<uint64_t> Seek(int fd, uint64_t offset);
   Status Fsync(int fd);
+  // fdatasync(2): like Fsync but may skip pure timestamp metadata.
+  Status Fdatasync(int fd);
+  // The general form both of the above forward to.
+  Status Sync(int fd, const SyncOptions& options);
   Status Ftruncate(int fd, uint64_t size);
   Result<InodeAttr> Fstat(int fd);
 
@@ -87,7 +91,9 @@ class Vfs {
   Status Rename(std::string_view from, std::string_view to);
   Result<InodeAttr> Stat(std::string_view path);
   Result<std::vector<DirEntry>> ReadDir(std::string_view path);
-  bool Exists(std::string_view path);
+  // True/false when the path can be resolved / is absent; a Status for real
+  // failures (invalid path, I/O error) instead of swallowing them into false.
+  Result<bool> Exists(std::string_view path);
 
   // --- whole-FS ----------------------------------------------------------------
   Status SyncFs();

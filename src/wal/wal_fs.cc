@@ -1,0 +1,581 @@
+#include "src/wal/wal_fs.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "src/common/clock.h"
+
+namespace hinfs {
+
+WalFs::WalFs(std::unique_ptr<FileSystem> inner, NvmmDevice* nvmm)
+    : inner_(std::move(inner)),
+      nvmm_(nvmm),
+      stat_write_ns_(stats_.Counter(kStatWriteAccessNs)),
+      stat_fsync_ns_(stats_.Counter(kStatFsyncNs)),
+      stat_eager_writes_(stats_.Counter(kStatEagerWrites)),
+      stat_lazy_writes_(stats_.Counter(kStatLazyWrites)),
+      stat_written_bytes_(stats_.Counter(kStatWrittenBytes)) {}
+
+WalFs::~WalFs() { StopCheckpointThread(); }
+
+Result<std::unique_ptr<WalFs>> WalFs::Format(std::unique_ptr<FileSystem> inner, NvmmDevice* nvmm,
+                                             uint64_t wal_base, size_t wal_bytes,
+                                             const WalOptions& options) {
+  auto fs = std::unique_ptr<WalFs>(new WalFs(std::move(inner), nvmm));
+  auto wal = WalManager::Format(nvmm, wal_base, wal_bytes, options, &fs->stats_);
+  HINFS_RETURN_IF_ERROR(wal.status());
+  fs->wal_ = std::move(wal.value());
+  fs->checkpoint_ms_ = options.checkpoint_ms;
+  fs->direct_write_bytes_ = options.direct_write_bytes;
+  fs->StartCheckpointThread();
+  return fs;
+}
+
+Result<std::unique_ptr<WalFs>> WalFs::Mount(std::unique_ptr<FileSystem> inner, NvmmDevice* nvmm,
+                                            uint64_t wal_base, size_t wal_bytes,
+                                            const WalOptions& options) {
+  auto fs = std::unique_ptr<WalFs>(new WalFs(std::move(inner), nvmm));
+  auto wal = WalManager::Mount(nvmm, wal_base, wal_bytes, options, &fs->stats_);
+  HINFS_RETURN_IF_ERROR(wal.status());
+  fs->wal_ = std::move(wal.value());
+  fs->checkpoint_ms_ = options.checkpoint_ms;
+  fs->direct_write_bytes_ = options.direct_write_bytes;
+  HINFS_RETURN_IF_ERROR(fs->ReplayIntoInner());
+  fs->StartCheckpointThread();
+  return fs;
+}
+
+Status WalFs::ReplayIntoInner() {
+  auto records = wal_->CommittedRecords();
+  HINFS_RETURN_IF_ERROR(records.status());
+  uint64_t replayed = 0;
+  uint64_t skipped = 0;
+  for (const WalRecoveredRecord& rec : records.value()) {
+    // A record applies only to the same allocation of the same inode it was
+    // logged against. If the inode was freed (and possibly reused) since, the
+    // generation no longer matches and the record is void — exactly the
+    // unlink/rename-replace semantics the front end exposed before the crash.
+    Result<InodeAttr> attr = inner_->GetAttr(rec.ino);
+    if (!attr.ok()) {
+      if (attr.status().code() == ErrorCode::kNotFound ||
+          attr.status().code() == ErrorCode::kInvalidArgument) {
+        skipped++;
+        continue;
+      }
+      return attr.status();
+    }
+    if (attr.value().type != FileType::kRegular || attr.value().generation != rec.generation) {
+      skipped++;
+      continue;
+    }
+    switch (rec.type) {
+      case WalRecordType::kData: {
+        auto wrote = inner_->Write(rec.ino, rec.offset, rec.payload.data(), rec.payload.size(),
+                                   WriteOptions::EagerPersistent());
+        HINFS_RETURN_IF_ERROR(wrote.status());
+        break;
+      }
+      case WalRecordType::kTruncate:
+        HINFS_RETURN_IF_ERROR(inner_->Truncate(rec.ino, rec.offset));
+        break;
+    }
+    replayed++;
+  }
+  if (replayed != 0) {
+    stats_.Add(kStatWalReplayedRecords, replayed);
+  }
+  if (skipped != 0) {
+    stats_.Add(kStatWalReplaySkippedRecords, skipped);
+  }
+  return wal_->ResetAllRegions();
+}
+
+// --- overlay helpers ---------------------------------------------------------
+
+Result<WalFs::FileState*> WalFs::FileStateFor(OverlayShard& shard, uint64_t ino) {
+  auto it = shard.files.find(ino);
+  if (it != shard.files.end()) {
+    return &it->second;
+  }
+  Result<InodeAttr> attr = inner_->GetAttr(ino);
+  HINFS_RETURN_IF_ERROR(attr.status());
+  if (attr.value().type != FileType::kRegular) {
+    return Status(ErrorCode::kInvalidArgument, "wal: not a regular file");
+  }
+  FileState& f = shard.files[ino];
+  f.size = attr.value().size;
+  f.mtime_ns = attr.value().mtime_ns;
+  f.generation = attr.value().generation;
+  return &f;
+}
+
+// Inserts [offset, offset+len) into the extent map, splitting or dropping any
+// overlapped older bytes so extents stay disjoint and later-wins.
+void WalFs::OverlayInsert(FileState& f, uint64_t offset, const void* src, size_t len) {
+  const uint64_t end = offset + len;
+  auto it = f.extents.lower_bound(offset);
+  if (it != f.extents.begin()) {
+    auto prev = std::prev(it);
+    const uint64_t prev_end = prev->first + prev->second.size();
+    if (prev_end > offset) {
+      if (prev_end > end) {
+        // Old extent sticks out past the new one: keep its tail.
+        f.extents.emplace(end, prev->second.substr(end - prev->first));
+      }
+      prev->second.resize(offset - prev->first);
+      if (prev->second.empty()) {
+        f.extents.erase(prev);
+      }
+    }
+  }
+  while (it != f.extents.end() && it->first < end) {
+    const uint64_t it_end = it->first + it->second.size();
+    if (it_end > end) {
+      f.extents.emplace(end, it->second.substr(end - it->first));
+    }
+    it = f.extents.erase(it);
+  }
+  // Coalesce with touching neighbours so sequential appends grow ONE extent:
+  // the checkpoint drain then issues a few large inner writes instead of one
+  // fully-journaled inner write per logged record.
+  std::string data(static_cast<const char*>(src), len);
+  if (it != f.extents.end() && it->first == end) {
+    data.append(it->second);
+    it = f.extents.erase(it);
+  }
+  if (it != f.extents.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.size() == offset) {
+      prev->second.append(data);
+      return;
+    }
+  }
+  f.extents.emplace(offset, std::move(data));
+}
+
+void WalFs::OverlayTruncate(FileState& f, uint64_t new_size) {
+  auto it = f.extents.lower_bound(new_size);
+  if (it != f.extents.begin()) {
+    auto prev = std::prev(it);
+    const uint64_t prev_end = prev->first + prev->second.size();
+    if (prev_end > new_size) {
+      prev->second.resize(new_size - prev->first);
+      if (prev->second.empty()) {
+        it = f.extents.erase(prev);
+      }
+    }
+  }
+  f.extents.erase(it, f.extents.end());
+  f.size = new_size;
+  f.size_truncated = true;
+}
+
+void WalFs::DropOverlay(uint64_t ino) {
+  OverlayShard& shard = ShardFor(ino);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.files.erase(ino);
+}
+
+// --- namespace ops -----------------------------------------------------------
+
+Result<uint64_t> WalFs::Lookup(uint64_t dir_ino, std::string_view name) {
+  std::shared_lock<std::shared_mutex> dlock(drain_mu_);
+  return inner_->Lookup(dir_ino, name);
+}
+
+Result<uint64_t> WalFs::Create(uint64_t dir_ino, std::string_view name, FileType type) {
+  std::shared_lock<std::shared_mutex> dlock(drain_mu_);
+  return inner_->Create(dir_ino, name, type);
+}
+
+Status WalFs::Unlink(uint64_t dir_ino, std::string_view name) {
+  std::shared_lock<std::shared_mutex> dlock(drain_mu_);
+  // Resolve first so the overlay (and any logged-but-unflushed state) for the
+  // victim can be dropped; its log records are voided by the generation check.
+  Result<uint64_t> ino = inner_->Lookup(dir_ino, name);
+  HINFS_RETURN_IF_ERROR(inner_->Unlink(dir_ino, name));
+  if (ino.ok()) {
+    DropOverlay(ino.value());
+  }
+  return OkStatus();
+}
+
+Status WalFs::Rename(uint64_t old_dir, std::string_view old_name, uint64_t new_dir,
+                     std::string_view new_name) {
+  std::shared_lock<std::shared_mutex> dlock(drain_mu_);
+  Result<uint64_t> target = inner_->Lookup(new_dir, new_name);
+  Result<uint64_t> source = inner_->Lookup(old_dir, old_name);
+  HINFS_RETURN_IF_ERROR(inner_->Rename(old_dir, old_name, new_dir, new_name));
+  // rename-replace frees the target inode; drop its overlay unless the
+  // "target" was the source itself (rename onto the same ino is a no-op).
+  if (target.ok() && (!source.ok() || target.value() != source.value())) {
+    DropOverlay(target.value());
+  }
+  return OkStatus();
+}
+
+Result<std::vector<DirEntry>> WalFs::ReadDir(uint64_t dir_ino) {
+  std::shared_lock<std::shared_mutex> dlock(drain_mu_);
+  return inner_->ReadDir(dir_ino);
+}
+
+Result<InodeAttr> WalFs::GetAttr(uint64_t ino) {
+  std::shared_lock<std::shared_mutex> dlock(drain_mu_);
+  Result<InodeAttr> attr = inner_->GetAttr(ino);
+  HINFS_RETURN_IF_ERROR(attr.status());
+  OverlayShard& shard = ShardFor(ino);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.files.find(ino);
+  if (it != shard.files.end()) {
+    attr.value().size = it->second.size;
+    attr.value().mtime_ns = it->second.mtime_ns;
+  }
+  return attr;
+}
+
+// --- data ops ----------------------------------------------------------------
+
+Result<size_t> WalFs::Read(uint64_t ino, uint64_t offset, void* dst, size_t len) {
+  std::shared_lock<std::shared_mutex> dlock(drain_mu_);
+  OverlayShard& shard = ShardFor(ino);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  auto it = shard.files.find(ino);
+  if (it == shard.files.end()) {
+    lock.unlock();
+    return inner_->Read(ino, offset, dst, len);
+  }
+  const FileState& f = it->second;
+  if (len == 0 || offset >= f.size) {
+    return static_cast<size_t>(0);
+  }
+  const size_t n = static_cast<size_t>(std::min<uint64_t>(len, f.size - offset));
+  // Base image from the inner FS (short or absent where only the overlay has
+  // bytes), zero-filled holes, then overlay extents win.
+  auto base = inner_->Read(ino, offset, dst, n);
+  HINFS_RETURN_IF_ERROR(base.status());
+  if (base.value() < n) {
+    std::memset(static_cast<uint8_t*>(dst) + base.value(), 0, n - base.value());
+  }
+  const uint64_t end = offset + n;
+  auto ext = f.extents.lower_bound(offset);
+  if (ext != f.extents.begin()) {
+    ext = std::prev(ext);
+  }
+  for (; ext != f.extents.end() && ext->first < end; ++ext) {
+    const uint64_t ext_end = ext->first + ext->second.size();
+    if (ext_end <= offset) {
+      continue;
+    }
+    const uint64_t copy_begin = std::max(ext->first, offset);
+    const uint64_t copy_end = std::min(ext_end, end);
+    std::memcpy(static_cast<uint8_t*>(dst) + (copy_begin - offset),
+                ext->second.data() + (copy_begin - ext->first), copy_end - copy_begin);
+  }
+  return n;
+}
+
+Result<size_t> WalFs::Write(uint64_t ino, uint64_t offset, const void* src, size_t len,
+                            const WriteOptions& options) {
+  ScopedTimer timer(stat_write_ns_);
+  if (len == 0) {
+    return static_cast<size_t>(0);
+  }
+  // Two tries: if the calling core's region is full, checkpoint (drain +
+  // recycle) and try again with an empty log.
+  for (int attempt = 0; attempt < 2; attempt++) {
+    Result<WalTicket> ticket = WalTicket{};
+    {
+      std::shared_lock<std::shared_mutex> dlock(drain_mu_);
+      OverlayShard& shard = ShardFor(ino);
+      std::unique_lock<std::mutex> lock(shard.mu);
+      // A block-sized-or-larger IN-PLACE overwrite of a file with no logged
+      // state gains nothing from the log: the data is long-lived (it already
+      // exists durably), so it cannot die in the log, and at this size the
+      // log would simply write it twice for the same one fence. Appends and
+      // extends stay logged — new bytes coalesce and often die (temp files,
+      // rotation) before a checkpoint ever copies them out.
+      if (direct_write_bytes_ != 0 && len >= direct_write_bytes_ &&
+          shard.files.find(ino) == shard.files.end()) {
+        Result<InodeAttr> attr = inner_->GetAttr(ino);
+        HINFS_RETURN_IF_ERROR(attr.status());
+        if (attr.value().type == FileType::kRegular && offset + len <= attr.value().size) {
+          lock.unlock();
+          auto wrote = inner_->Write(ino, offset, src, len, options);
+          HINFS_RETURN_IF_ERROR(wrote.status());
+          stats_.Add(kStatWalDirectWrites, 1);
+          if (options.synchronous()) {
+            stat_eager_writes_->fetch_add(1, std::memory_order_relaxed);
+          } else {
+            stat_lazy_writes_->fetch_add(1, std::memory_order_relaxed);
+          }
+          stat_written_bytes_->fetch_add(len, std::memory_order_relaxed);
+          return wrote;
+        }
+      }
+      Result<FileState*> state = FileStateFor(shard, ino);
+      HINFS_RETURN_IF_ERROR(state.status());
+      FileState& f = *state.value();
+      // This write would have gone direct but for leftover logged state on
+      // the file (e.g. a database table overwritten in place right after
+      // being loaded through the log). Log it — correctness — but ask the
+      // checkpoint thread to drain soon so the file's steady-state overwrite
+      // traffic stops being double-written.
+      const bool direct_blocked = direct_write_bytes_ != 0 && len >= direct_write_bytes_ &&
+                                  offset + len <= f.size;
+      // Append while holding the shard lock so record seq order matches
+      // overlay apply order for this file.
+      ticket = wal_->Append(WalRecordType::kData, ino, offset, f.generation, src, len);
+      if (ticket.ok()) {
+        OverlayInsert(f, offset, src, len);
+        f.size = std::max(f.size, offset + len);
+        f.mtime_ns = MonotonicNowNs();
+        f.pending[ticket.value().region] = ticket.value().seq;
+        lock.unlock();
+        if (options.synchronous()) {
+          HINFS_RETURN_IF_ERROR(wal_->Commit(ticket.value(), /*allow_group_wait=*/true));
+          stat_eager_writes_->fetch_add(1, std::memory_order_relaxed);
+        } else {
+          stat_lazy_writes_->fetch_add(1, std::memory_order_relaxed);
+        }
+        stat_written_bytes_->fetch_add(len, std::memory_order_relaxed);
+        if (direct_blocked || wal_->SpaceLow()) {
+          KickCheckpoint();
+        }
+        return len;
+      }
+    }
+    if (ticket.status().code() != ErrorCode::kNoSpace) {
+      return ticket.status();
+    }
+    HINFS_RETURN_IF_ERROR(Checkpoint());
+  }
+  // The write is larger than an empty region: bypass the log entirely. The
+  // checkpoint above already drained this file's overlay, so the inner FS is
+  // the sole authority again.
+  std::unique_lock<std::shared_mutex> dlock(drain_mu_);
+  HINFS_RETURN_IF_ERROR(DrainLocked());
+  stats_.Add(kStatEagerWrites, 1);
+  return inner_->Write(ino, offset, src, len, WriteOptions::EagerPersistent());
+}
+
+Status WalFs::Truncate(uint64_t ino, uint64_t new_size) {
+  for (int attempt = 0; attempt < 2; attempt++) {
+    Result<WalTicket> ticket = WalTicket{};
+    bool logged = false;
+    {
+      std::shared_lock<std::shared_mutex> dlock(drain_mu_);
+      OverlayShard& shard = ShardFor(ino);
+      std::unique_lock<std::mutex> lock(shard.mu);
+      auto it = shard.files.find(ino);
+      if (it == shard.files.end()) {
+        // No logged state for this file: plain pass-through.
+        lock.unlock();
+        return inner_->Truncate(ino, new_size);
+      }
+      FileState& f = it->second;
+      ticket = wal_->Append(WalRecordType::kTruncate, ino, new_size, f.generation, nullptr, 0);
+      if (ticket.ok()) {
+        OverlayTruncate(f, new_size);
+        f.mtime_ns = MonotonicNowNs();
+        f.pending[ticket.value().region] = ticket.value().seq;
+        logged = true;
+      }
+    }
+    if (logged) {
+      // Commit the truncate record BEFORE mutating the inner layout: if we
+      // crash in between, replay re-executes the truncate (idempotent), and
+      // its seq voids any earlier logged data beyond the cut.
+      HINFS_RETURN_IF_ERROR(wal_->Commit(ticket.value(), /*allow_group_wait=*/true));
+      std::shared_lock<std::shared_mutex> dlock(drain_mu_);
+      return inner_->Truncate(ino, new_size);
+    }
+    if (ticket.status().code() != ErrorCode::kNoSpace) {
+      return ticket.status();
+    }
+    HINFS_RETURN_IF_ERROR(Checkpoint());
+  }
+  return Status(ErrorCode::kNoSpace, "wal: truncate record cannot fit in an empty region");
+}
+
+Status WalFs::Fsync(uint64_t ino, const SyncOptions& options) {
+  ScopedTimer timer(stat_fsync_ns_);
+  std::shared_lock<std::shared_mutex> dlock(drain_mu_);
+  std::map<uint32_t, uint64_t> pending;
+  {
+    OverlayShard& shard = ShardFor(ino);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.files.find(ino);
+    if (it != shard.files.end()) {
+      pending.swap(it->second.pending);
+    }
+  }
+  if (pending.empty()) {
+    // Nothing logged since the last sync: whatever the inner FS buffers
+    // (HiNFS's write buffer) still has to go, so forward.
+    return inner_->Fsync(ino, options);
+  }
+  // fsync vs fdatasync is the same persist here — the log commit covers data
+  // and the size/mtime needed to recover it; fdatasync merely documents that
+  // the caller would tolerate less.
+  for (const auto& [region, seq] : pending) {
+    HINFS_RETURN_IF_ERROR(wal_->Commit(WalTicket{region, seq}, options.allow_group_wait));
+  }
+  return OkStatus();
+}
+
+// --- whole-FS ops ------------------------------------------------------------
+
+Status WalFs::SyncFs() {
+  std::shared_lock<std::shared_mutex> dlock(drain_mu_);
+  HINFS_RETURN_IF_ERROR(wal_->CommitAll());
+  return inner_->SyncFs();
+}
+
+Status WalFs::DropCaches() {
+  HINFS_RETURN_IF_ERROR(Checkpoint());
+  return inner_->DropCaches();
+}
+
+Status WalFs::Unmount() {
+  StopCheckpointThread();
+  HINFS_RETURN_IF_ERROR(Checkpoint());
+  HINFS_RETURN_IF_ERROR(inner_->Unmount());
+  // Surface the inner layer's breakdown in this (outermost) registry: device
+  // counters (nvmm_*) verbatim — they are whole-device totals the inner
+  // unmount just mirrored — everything else under an inner_ prefix so nested
+  // timers are not double-counted.
+  for (const auto& [name, value] : inner_->stats().Snapshot()) {
+    if (value == 0) {
+      continue;
+    }
+    if (name.rfind("nvmm_", 0) == 0) {
+      stats_.Add(name, value);
+    } else {
+      stats_.Add("inner_" + name, value);
+    }
+  }
+  return OkStatus();
+}
+
+// --- mmap --------------------------------------------------------------------
+
+Result<uint8_t*> WalFs::Mmap(uint64_t ino, uint64_t offset, size_t len) {
+  // Mmap hands out raw NVMM pointers into the final layout; logged state must
+  // land there first or the mapping would miss it.
+  HINFS_RETURN_IF_ERROR(Checkpoint());
+  std::shared_lock<std::shared_mutex> dlock(drain_mu_);
+  return inner_->Mmap(ino, offset, len);
+}
+
+Status WalFs::Munmap(uint64_t ino) {
+  std::shared_lock<std::shared_mutex> dlock(drain_mu_);
+  return inner_->Munmap(ino);
+}
+
+Status WalFs::Msync(uint64_t ino, uint64_t offset, size_t len) {
+  std::shared_lock<std::shared_mutex> dlock(drain_mu_);
+  return inner_->Msync(ino, offset, len);
+}
+
+// --- checkpointing -----------------------------------------------------------
+
+Status WalFs::Checkpoint() {
+  std::unique_lock<std::shared_mutex> dlock(drain_mu_);
+  return DrainLocked();
+}
+
+Status WalFs::DrainLocked() {
+  // Appends are quiesced (drain_mu_ held exclusively); commit whatever is
+  // outstanding so the log and the overlay agree, then move the overlay into
+  // the final layout and recycle the log. On any error the overlay and log
+  // are left intact — the drain is idempotent and can be retried.
+  HINFS_RETURN_IF_ERROR(wal_->CommitAll());
+  uint64_t bytes = 0;
+  bool any = false;
+  for (OverlayShard& shard : shards_) {
+    for (auto& [ino, f] : shard.files) {
+      for (const auto& [offset, data] : f.extents) {
+        auto wrote =
+            inner_->Write(ino, offset, data.data(), data.size(), WriteOptions::EagerPersistent());
+        HINFS_RETURN_IF_ERROR(wrote.status());
+        bytes += data.size();
+      }
+      // A logged truncate may have resized the file with no extent left to
+      // say so; re-issue it against the final layout. Gated on the truncate
+      // flag so a concurrent direct (bypass) write that extended the inner
+      // file can never be chopped by a stale overlay size.
+      if (f.size_truncated) {
+        Result<InodeAttr> attr = inner_->GetAttr(ino);
+        HINFS_RETURN_IF_ERROR(attr.status());
+        if (attr.value().size != f.size) {
+          HINFS_RETURN_IF_ERROR(inner_->Truncate(ino, f.size));
+        }
+      }
+      any = true;
+    }
+  }
+  HINFS_RETURN_IF_ERROR(wal_->ResetAllRegions());
+  for (OverlayShard& shard : shards_) {
+    shard.files.clear();
+  }
+  if (any) {
+    stats_.Add(kStatWalCheckpoints, 1);
+    stats_.Add(kStatWalCheckpointBytes, bytes);
+  }
+  return OkStatus();
+}
+
+void WalFs::StartCheckpointThread() {
+  if (checkpoint_ms_ == 0) {
+    return;  // checkpoint only on demand (log pressure handled inline)
+  }
+  ckpt_thread_ = std::thread([this] { CheckpointLoop(); });
+}
+
+void WalFs::StopCheckpointThread() {
+  {
+    std::lock_guard<std::mutex> lk(ckpt_mu_);
+    ckpt_stop_ = true;
+  }
+  ckpt_cv_.notify_all();
+  if (ckpt_thread_.joinable()) {
+    ckpt_thread_.join();
+  }
+}
+
+void WalFs::KickCheckpoint() {
+  if (checkpoint_ms_ == 0) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(ckpt_mu_);
+    ckpt_kick_ = true;
+  }
+  ckpt_cv_.notify_one();
+}
+
+void WalFs::CheckpointLoop() {
+  std::unique_lock<std::mutex> lk(ckpt_mu_);
+  while (!ckpt_stop_) {
+    ckpt_cv_.wait_for(lk, std::chrono::milliseconds(checkpoint_ms_),
+                      [this] { return ckpt_stop_ || ckpt_kick_; });
+    if (ckpt_stop_) {
+      break;
+    }
+    ckpt_kick_ = false;
+    lk.unlock();
+    if (wal_->PendingBytes() > 0) {
+      // Background failure cannot be reported to any caller; the log keeps
+      // the data recoverable, so just count it and let the next sync surface
+      // a persistent error.
+      if (!Checkpoint().ok()) {
+        stats_.Add("wal_checkpoint_errors", 1);
+      }
+    }
+    lk.lock();
+  }
+}
+
+}  // namespace hinfs

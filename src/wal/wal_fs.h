@@ -1,0 +1,162 @@
+// WalFs: a transparent FileSystem decorator that absorbs synchronous writes
+// into a per-core NVMM write-ahead log (the NVLog configuration from
+// PAPERS.md: an NVM redo log bolted in front of a conventional FS).
+//
+// Write path: every data write lands in (a) a redo record appended to the
+// calling core's log region and (b) a DRAM overlay extent. A synchronous
+// write (kLogged / kEagerPersistent) additionally group-commits the region —
+// one flush+fence amortized across concurrent committers — and returns; the
+// final-layout update is deferred. Fsync commits the file's outstanding
+// records; it never touches the inner FS while logged state exists. Reads
+// merge the overlay over the inner file. A background checkpoint thread
+// periodically (and on log-pressure) drains overlay extents into the inner
+// FS with eager persistence, then recycles the log regions.
+//
+// Recovery: Mount() replays committed records (in global seq order) into the
+// freshly mounted inner FS. A record applies only if its target inode is
+// live, regular, and its allocation generation matches the record's — which
+// is what makes unlink + inode-number reuse safe without tombstones. The
+// truncate record type both suppresses stale redo data beyond the cut and
+// re-executes a truncate the final layout never received.
+//
+// Lock ordering: drain_mu_ (shared for every file op, exclusive for
+// checkpoint) -> overlay shard mu -> WAL region append_mu. Region commit_mu
+// is only ever taken with no shard lock held. Inner-FS locks nest innermost.
+
+#ifndef SRC_WAL_WAL_FS_H_
+#define SRC_WAL_WAL_FS_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/nvmm/nvmm_device.h"
+#include "src/vfs/file_system.h"
+#include "src/wal/wal_log.h"
+#include "src/wal/wal_options.h"
+
+namespace hinfs {
+
+class WalFs final : public FileSystem {
+ public:
+  // Formats the log carve [wal_base, wal_base + wal_bytes) and fronts
+  // `inner` (already formatted by the caller) with it.
+  static Result<std::unique_ptr<WalFs>> Format(std::unique_ptr<FileSystem> inner,
+                                               NvmmDevice* nvmm, uint64_t wal_base,
+                                               size_t wal_bytes, const WalOptions& options);
+  // Mounts an existing carve, REPLAYS its committed records into `inner`
+  // (already mounted and journal-recovered by the caller), then recycles the
+  // log. On return the inner FS holds every acknowledged write.
+  static Result<std::unique_ptr<WalFs>> Mount(std::unique_ptr<FileSystem> inner,
+                                              NvmmDevice* nvmm, uint64_t wal_base,
+                                              size_t wal_bytes, const WalOptions& options);
+
+  ~WalFs() override;
+
+  std::string Name() const override { return inner_->Name() + "+wal"; }
+  bool SupportsLoggedDurability() const override { return true; }
+
+  Result<uint64_t> Lookup(uint64_t dir_ino, std::string_view name) override;
+  Result<uint64_t> Create(uint64_t dir_ino, std::string_view name, FileType type) override;
+  Status Unlink(uint64_t dir_ino, std::string_view name) override;
+  Status Rename(uint64_t old_dir, std::string_view old_name, uint64_t new_dir,
+                std::string_view new_name) override;
+  Result<std::vector<DirEntry>> ReadDir(uint64_t dir_ino) override;
+  Result<InodeAttr> GetAttr(uint64_t ino) override;
+
+  Result<size_t> Read(uint64_t ino, uint64_t offset, void* dst, size_t len) override;
+  Result<size_t> Write(uint64_t ino, uint64_t offset, const void* src, size_t len,
+                       const WriteOptions& options) override;
+  Status Truncate(uint64_t ino, uint64_t new_size) override;
+  Status Fsync(uint64_t ino, const SyncOptions& options) override;
+  using FileSystem::Fsync;
+
+  Status SyncFs() override;
+  Status DropCaches() override;
+  Status Unmount() override;
+
+  Result<uint8_t*> Mmap(uint64_t ino, uint64_t offset, size_t len) override;
+  Status Munmap(uint64_t ino) override;
+  Status Msync(uint64_t ino, uint64_t offset, size_t len) override;
+
+  // Drains every overlay extent into the inner FS (eager-persistent) and
+  // recycles the log. Public so tests and tools can checkpoint on demand.
+  Status Checkpoint();
+
+  FileSystem* inner() { return inner_.get(); }
+  WalManager* wal() { return wal_.get(); }
+
+ private:
+  // Logged-but-not-checkpointed state of one file. `size` is the logical
+  // size (inner size merged with logged extends/truncates); `pending` maps a
+  // log region to the last seq this file appended there, i.e. what Fsync
+  // must commit.
+  struct FileState {
+    std::map<uint64_t, std::string> extents;  // offset -> bytes, non-overlapping
+    uint64_t size = 0;
+    uint64_t mtime_ns = 0;
+    uint64_t generation = 0;
+    // True once a logged truncate made `size` authoritative over the inner
+    // size; the drain re-issues the truncate only then (extents alone always
+    // land at their own offsets).
+    bool size_truncated = false;
+    std::map<uint32_t, uint64_t> pending;
+  };
+  struct alignas(64) OverlayShard {
+    std::mutex mu;
+    std::unordered_map<uint64_t, FileState> files;
+  };
+  static constexpr size_t kOverlayShards = 16;
+
+  WalFs(std::unique_ptr<FileSystem> inner, NvmmDevice* nvmm);
+
+  OverlayShard& ShardFor(uint64_t ino) { return shards_[ino % kOverlayShards]; }
+  // Finds or creates the overlay state for `ino`, seeding size/generation
+  // from the inner FS on first touch. Caller holds the shard mutex.
+  Result<FileState*> FileStateFor(OverlayShard& shard, uint64_t ino);
+  static void OverlayInsert(FileState& f, uint64_t offset, const void* src, size_t len);
+  static void OverlayTruncate(FileState& f, uint64_t new_size);
+  void DropOverlay(uint64_t ino);
+
+  // The checkpoint body; caller holds drain_mu_ exclusively.
+  Status DrainLocked();
+  Status ReplayIntoInner();
+  void StartCheckpointThread();
+  void StopCheckpointThread();
+  void KickCheckpoint();
+  void CheckpointLoop();
+
+  std::unique_ptr<FileSystem> inner_;
+  NvmmDevice* nvmm_;
+  std::unique_ptr<WalManager> wal_;
+  uint64_t checkpoint_ms_ = 0;
+  size_t direct_write_bytes_ = 0;
+
+  // Hot-path counters resolved once (StatsRegistry::Add is a mutex + string
+  // lookup — measurable at log-append rates on one core).
+  std::atomic<uint64_t>* stat_write_ns_;
+  std::atomic<uint64_t>* stat_fsync_ns_;
+  std::atomic<uint64_t>* stat_eager_writes_;
+  std::atomic<uint64_t>* stat_lazy_writes_;
+  std::atomic<uint64_t>* stat_written_bytes_;
+
+  std::shared_mutex drain_mu_;
+  std::vector<OverlayShard> shards_{kOverlayShards};
+
+  std::mutex ckpt_mu_;
+  std::condition_variable ckpt_cv_;
+  bool ckpt_stop_ = false;
+  bool ckpt_kick_ = false;
+  std::thread ckpt_thread_;
+};
+
+}  // namespace hinfs
+
+#endif  // SRC_WAL_WAL_FS_H_

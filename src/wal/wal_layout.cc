@@ -1,0 +1,65 @@
+#include "src/wal/wal_layout.h"
+
+#include <array>
+#include <cstring>
+
+namespace hinfs {
+
+namespace {
+
+// Slice-by-8: table[0] is the classic byte-at-a-time table; table[k] maps a
+// byte processed k positions earlier in an 8-byte group to its contribution.
+std::array<std::array<uint32_t, 256>, 8> BuildCrcTables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
+  for (uint32_t i = 0; i < 256; i++) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; k++) {
+      c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    tables[0][i] = c;
+  }
+  for (uint32_t i = 0; i < 256; i++) {
+    uint32_t c = tables[0][i];
+    for (int t = 1; t < 8; t++) {
+      c = tables[0][c & 0xFF] ^ (c >> 8);
+      tables[t][i] = c;
+    }
+  }
+  return tables;
+}
+
+}  // namespace
+
+uint32_t WalCrc32(const void* data, size_t len, uint32_t seed) {
+  static const std::array<std::array<uint32_t, 256>, 8> kTables = BuildCrcTables();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  while (len >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, p, sizeof(lo));
+    std::memcpy(&hi, p + 4, sizeof(hi));
+    lo ^= c;
+    c = kTables[7][lo & 0xFF] ^ kTables[6][(lo >> 8) & 0xFF] ^ kTables[5][(lo >> 16) & 0xFF] ^
+        kTables[4][lo >> 24] ^ kTables[3][hi & 0xFF] ^ kTables[2][(hi >> 8) & 0xFF] ^
+        kTables[1][(hi >> 16) & 0xFF] ^ kTables[0][hi >> 24];
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) {
+    c = kTables[0][(c ^ *p++) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t WalRecordCrc(const WalRecordHeader& header, const void* payload, size_t payload_len) {
+  WalRecordHeader scratch = header;
+  scratch.crc = 0;
+  uint32_t c = WalCrc32(&scratch, sizeof(scratch));
+  if (payload_len > 0) {
+    c = WalCrc32(payload, payload_len, c);
+  }
+  return c;
+}
+
+}  // namespace hinfs

@@ -1,0 +1,114 @@
+// On-NVMM layout of the write-ahead log (src/wal/wal_log.h).
+//
+// The log occupies [base, base + total_bytes) at the tail of the device:
+//
+//   [WalSuperblock: 1 block]
+//   [region 0: header block + record area]
+//   [region 1: ...]
+//
+// Each region is a linear (non-wrapping) redo log. Records are appended at
+// `tail` (volatile, in DRAM). How the committed prefix is found at recovery
+// depends on the commit format:
+//
+//  - kChecksum: the commit flushes ONLY the record lines (no header traffic
+//    at all — the cheapest possible commit: one flush call + one fence).
+//    Recovery tail-scans the record area from offset 0, accepting records
+//    while their CRC validates and their epoch matches the region header's;
+//    the first mismatch ends the log. A torn batch breaks on CRC; bytes left
+//    over from before a recycle break on epoch.
+//  - kFence: `durable_tail` in the region header is flushed after the records
+//    fence, so it can never point at torn records; recovery replays exactly
+//    [head, durable_tail) and a CRC mismatch inside it is real corruption.
+//
+// Once a checkpoint drains every logged byte into the real layout, the region
+// is recycled: head/durable_tail reset to 0 and the region `epoch` advances
+// (persisted with one header flush + fence). The epoch bump is what lets
+// recycled space skip zeroing under kChecksum — stale records still have
+// valid CRCs, but carry the old epoch and are rejected by the scan.
+
+#ifndef SRC_WAL_WAL_LAYOUT_H_
+#define SRC_WAL_WAL_LAYOUT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/constants.h"
+
+namespace hinfs {
+
+inline constexpr uint64_t kWalMagic = 0x57414C4653303031ull;  // "WALFS001"
+inline constexpr uint32_t kWalVersion = 2;
+
+// Block 0 of the log carve. Rewritten only at format time.
+struct WalSuperblock {
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  uint32_t commit_format = 0;  // WalCommitFormat as u32
+  uint64_t total_bytes = 0;    // whole carve, superblock included
+  uint64_t region_count = 0;
+  uint64_t region_bytes = 0;  // per region, header block included
+  uint64_t reserved[3] = {0, 0, 0};
+};
+static_assert(sizeof(WalSuperblock) == 64, "one cacheline");
+
+// First cacheline of every region. head/durable_tail are byte offsets into
+// the region's record area; durable_seq is the largest committed global
+// sequence number (both maintained only under kFence — the kChecksum format
+// derives them by scanning). `epoch` advances at every recycle and names
+// which generation of records in the data area is live. All fields are
+// 8-byte and updated via StoreAtomic so a crash can tear the header only at
+// field granularity, never within a field.
+struct WalRegionHeader {
+  uint64_t head = 0;
+  uint64_t durable_tail = 0;
+  uint64_t durable_seq = 0;
+  uint64_t epoch = 0;
+  uint64_t reserved[4] = {0, 0, 0, 0};
+};
+static_assert(sizeof(WalRegionHeader) == 64, "one cacheline");
+
+enum class WalRecordType : uint32_t {
+  // Redo data: payload bytes land at `offset` of file `ino`.
+  kData = 1,
+  // File `ino` was truncated to `offset` bytes; earlier redo data beyond it
+  // is void, and recovery re-executes the truncate if the final layout never
+  // received it. No payload.
+  kTruncate = 2,
+};
+
+// 64-byte record header, immediately followed by the payload (padded to 8
+// bytes). `seq` is global across regions: recovery merges all regions into
+// one replay ordered by seq. `generation` is the target inode's allocation
+// generation (InodeAttr::generation); replay drops records whose generation
+// no longer matches, which is what makes unlink + inode-number reuse safe
+// without tombstones. `epoch` is the region epoch the record was appended
+// under; the kChecksum tail scan rejects records from before the last
+// recycle by it. `crc` covers the header (with crc field zeroed) plus the
+// payload; it is what recovery trusts under the kChecksum commit format.
+struct WalRecordHeader {
+  uint32_t type = 0;
+  uint32_t payload_len = 0;
+  uint64_t seq = 0;
+  uint64_t ino = 0;
+  uint64_t offset = 0;  // file offset (kData) or new size (kTruncate)
+  uint64_t generation = 0;
+  uint32_t crc = 0;
+  uint32_t epoch = 0;  // low 32 bits of the region epoch at append time
+  uint64_t reserved1[2] = {0, 0};
+};
+static_assert(sizeof(WalRecordHeader) == 64, "one cacheline");
+
+inline constexpr uint64_t WalAlignUp8(uint64_t v) { return (v + 7) & ~7ull; }
+
+// CRC-32 (IEEE 802.3 polynomial, bit-reflected), slice-by-8 table-driven.
+// Software-only: the emulator has no hardware CRC. This IS on the logged
+// write path (every record is checksummed before its append), so it is
+// implemented to stream ~8 bytes per step rather than one.
+uint32_t WalCrc32(const void* data, size_t len, uint32_t seed = 0);
+
+// CRC of a record: header with its crc field zeroed, then the payload.
+uint32_t WalRecordCrc(const WalRecordHeader& header, const void* payload, size_t payload_len);
+
+}  // namespace hinfs
+
+#endif  // SRC_WAL_WAL_LAYOUT_H_

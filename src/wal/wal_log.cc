@@ -1,0 +1,402 @@
+#include "src/wal/wal_log.h"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+namespace hinfs {
+
+namespace {
+
+// Smallest record area worth calling a region: fewer, larger regions beat
+// many that fill instantly.
+constexpr uint64_t kMinRegionDataBytes = 64 << 10;
+
+constexpr uint64_t kDurableTailOff = offsetof(WalRegionHeader, durable_tail);
+constexpr uint64_t kDurableSeqOff = offsetof(WalRegionHeader, durable_seq);
+constexpr uint64_t kEpochOff = offsetof(WalRegionHeader, epoch);
+
+uint64_t RecordSpan(size_t payload_len) {
+  return sizeof(WalRecordHeader) + WalAlignUp8(payload_len);
+}
+
+}  // namespace
+
+WalManager::WalManager(NvmmDevice* nvmm, WalCommitFormat format, StatsRegistry* stats)
+    : nvmm_(nvmm),
+      commit_format_(format),
+      stats_(stats),
+      stat_appends_(stats->Counter(kStatWalAppends)),
+      stat_append_bytes_(stats->Counter(kStatWalAppendBytes)),
+      stat_commits_(stats->Counter(kStatWalCommits)),
+      stat_commit_bytes_(stats->Counter(kStatWalCommitBytes)),
+      stat_group_absorbed_(stats->Counter(kStatWalGroupAbsorbed)) {}
+
+uint32_t WalManager::ResolveRegionCount(const WalOptions& options, size_t total_bytes) {
+  uint32_t count = options.regions > 0
+                       ? static_cast<uint32_t>(options.regions)
+                       : std::min(std::max(std::thread::hardware_concurrency(), 1u), 8u);
+  // Clamp so every region keeps a useful record area.
+  while (count > 1) {
+    const uint64_t region_bytes = (total_bytes - kBlockSize) / count;
+    if (region_bytes >= kBlockSize + kMinRegionDataBytes) {
+      break;
+    }
+    count--;
+  }
+  return count;
+}
+
+Status WalManager::InitRegions(uint64_t base, uint64_t region_count, uint64_t region_bytes) {
+  regions_.reserve(region_count);
+  for (uint64_t i = 0; i < region_count; i++) {
+    auto r = std::make_unique<Region>();
+    r->index = static_cast<uint32_t>(i);
+    r->header_addr = base + kBlockSize + i * region_bytes;
+    r->data_addr = r->header_addr + kBlockSize;
+    r->data_bytes = region_bytes - kBlockSize;
+    regions_.push_back(std::move(r));
+  }
+  return OkStatus();
+}
+
+Result<std::unique_ptr<WalManager>> WalManager::Format(NvmmDevice* nvmm, uint64_t base,
+                                                       size_t total_bytes,
+                                                       const WalOptions& options,
+                                                       StatsRegistry* stats) {
+  const uint32_t region_count = ResolveRegionCount(options, total_bytes);
+  if (total_bytes < kBlockSize + region_count * (kBlockSize + kMinRegionDataBytes)) {
+    return Status(ErrorCode::kInvalidArgument, "WAL carve too small");
+  }
+  const uint64_t region_bytes =
+      (total_bytes - kBlockSize) / region_count / kBlockSize * kBlockSize;
+
+  WalSuperblock sb{};
+  sb.magic = kWalMagic;
+  sb.version = kWalVersion;
+  sb.commit_format = static_cast<uint32_t>(options.commit_format);
+  sb.total_bytes = total_bytes;
+  sb.region_count = region_count;
+  sb.region_bytes = region_bytes;
+  HINFS_RETURN_IF_ERROR(nvmm->StorePersistent(base, &sb, sizeof(sb)));
+
+  std::unique_ptr<WalManager> wal(new WalManager(nvmm, options.commit_format, stats));
+  HINFS_RETURN_IF_ERROR(wal->InitRegions(base, region_count, region_bytes));
+  WalRegionHeader fresh{};
+  fresh.epoch = 1;  // matches Region::epoch's initial value
+  for (const auto& r : wal->regions_) {
+    HINFS_RETURN_IF_ERROR(nvmm->StorePersistent(r->header_addr, &fresh, sizeof(fresh)));
+  }
+  return wal;
+}
+
+Result<std::unique_ptr<WalManager>> WalManager::Mount(NvmmDevice* nvmm, uint64_t base,
+                                                      size_t total_bytes,
+                                                      const WalOptions& options,
+                                                      StatsRegistry* stats) {
+  (void)options;  // geometry and commit format are authoritative on-NVMM
+  WalSuperblock sb;
+  HINFS_RETURN_IF_ERROR(nvmm->Load(base, &sb, sizeof(sb)));
+  if (sb.magic != kWalMagic || sb.version != kWalVersion) {
+    return Status(ErrorCode::kInvalidArgument, "not a WAL carve");
+  }
+  if (sb.total_bytes != total_bytes || sb.region_count == 0 ||
+      kBlockSize + sb.region_count * sb.region_bytes > sb.total_bytes) {
+    return Status(ErrorCode::kIoError, "WAL superblock geometry corrupt");
+  }
+  std::unique_ptr<WalManager> wal(
+      new WalManager(nvmm, static_cast<WalCommitFormat>(sb.commit_format), stats));
+  HINFS_RETURN_IF_ERROR(wal->InitRegions(base, sb.region_count, sb.region_bytes));
+  uint64_t max_seq = 0;
+  for (const auto& r : wal->regions_) {
+    WalRegionHeader hdr;
+    HINFS_RETURN_IF_ERROR(nvmm->Load(r->header_addr, &hdr, sizeof(hdr)));
+    if (hdr.durable_tail > r->data_bytes || hdr.head > hdr.durable_tail || hdr.epoch == 0) {
+      return Status(ErrorCode::kIoError, "WAL region header corrupt");
+    }
+    r->epoch = hdr.epoch;
+    // The committed prefix: under kChecksum the scan IS the source of truth
+    // (the commit path never writes the header); under kFence it is exactly
+    // what durable_tail says.
+    uint64_t end_off = hdr.durable_tail;
+    uint64_t region_seq = hdr.durable_seq;
+    if (wal->commit_format_ == WalCommitFormat::kChecksum) {
+      uint64_t scan_seq = 0;
+      HINFS_RETURN_IF_ERROR(wal->ScanRegion(*r, hdr, nullptr, &end_off, &scan_seq));
+      region_seq = std::max(region_seq, scan_seq);
+    }
+    r->tail.store(end_off, std::memory_order_relaxed);
+    r->committed_tail.store(end_off, std::memory_order_relaxed);
+    r->committed_seq.store(region_seq, std::memory_order_relaxed);
+    r->last_seq = region_seq;
+    max_seq = std::max(max_seq, region_seq);
+  }
+  wal->next_seq_.store(max_seq + 1, std::memory_order_relaxed);
+  return wal;
+}
+
+WalManager::Region& WalManager::RegionForThisThread() {
+  // Per-core in spirit: each thread is pinned to one region by arrival order.
+  // (thread_local is process-wide; with several managers alive the index is
+  // still a stable, balanced assignment.)
+  static thread_local uint32_t tls_index = 0xFFFFFFFFu;
+  if (tls_index == 0xFFFFFFFFu) {
+    tls_index = next_thread_region_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return *regions_[tls_index % regions_.size()];
+}
+
+Result<WalTicket> WalManager::Append(WalRecordType type, uint64_t ino, uint64_t offset,
+                                     uint64_t generation, const void* payload,
+                                     size_t payload_len) {
+  Region& r = RegionForThisThread();
+  const uint64_t span = RecordSpan(payload_len);
+
+  std::lock_guard<std::mutex> lock(r.append_mu);
+  const uint64_t tail = r.tail.load(std::memory_order_relaxed);
+  if (tail + span > r.data_bytes) {
+    stats_->Add(kStatWalLogFullStalls, 1);
+    return Status(ErrorCode::kNoSpace, "WAL region full");
+  }
+
+  WalRecordHeader hdr{};
+  hdr.type = static_cast<uint32_t>(type);
+  hdr.payload_len = static_cast<uint32_t>(payload_len);
+  hdr.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  hdr.ino = ino;
+  hdr.offset = offset;
+  hdr.generation = generation;
+  hdr.epoch = static_cast<uint32_t>(r.epoch);
+  hdr.crc = WalRecordCrc(hdr, payload, payload_len);
+
+  // Volatile stores: both land in the "CPU cache" and cost nothing until the
+  // commit leader flushes them.
+  HINFS_RETURN_IF_ERROR(nvmm_->Store(r.data_addr + tail, &hdr, sizeof(hdr)));
+  if (payload_len > 0) {
+    HINFS_RETURN_IF_ERROR(nvmm_->Store(r.data_addr + tail + sizeof(hdr), payload, payload_len));
+  }
+  r.tail.store(tail + span, std::memory_order_relaxed);
+  r.last_seq = hdr.seq;
+
+  stat_appends_->fetch_add(1, std::memory_order_relaxed);
+  stat_append_bytes_->fetch_add(span, std::memory_order_relaxed);
+  return WalTicket{r.index, hdr.seq};
+}
+
+Status WalManager::Commit(const WalTicket& ticket, bool allow_group_wait) {
+  if (ticket.region >= regions_.size()) {
+    return Status(ErrorCode::kInvalidArgument, "bad WAL ticket");
+  }
+  Region& r = *regions_[ticket.region];
+  if (allow_group_wait &&
+      r.committed_seq.load(std::memory_order_acquire) >= ticket.seq) {
+    // A concurrent leader's fence already covered this record.
+    stat_group_absorbed_->fetch_add(1, std::memory_order_relaxed);
+    return OkStatus();
+  }
+  std::lock_guard<std::mutex> lock(r.commit_mu);
+  if (allow_group_wait &&
+      r.committed_seq.load(std::memory_order_acquire) >= ticket.seq) {
+    // We waited behind the leader that committed us: the group-commit win.
+    stat_group_absorbed_->fetch_add(1, std::memory_order_relaxed);
+    return OkStatus();
+  }
+  return CommitRegionLocked(r);
+}
+
+Status WalManager::CommitRegionLocked(Region& r) {
+  uint64_t tail_snap;
+  uint64_t seq_snap;
+  {
+    std::lock_guard<std::mutex> alock(r.append_mu);
+    tail_snap = r.tail.load(std::memory_order_relaxed);
+    seq_snap = r.last_seq;
+  }
+  const uint64_t committed = r.committed_tail.load(std::memory_order_relaxed);
+  if (tail_snap == committed) {
+    // Nothing new (an opted-out-of-group-wait caller insisting on its own
+    // barrier): one fence, no flush.
+    nvmm_->Fence();
+    return OkStatus();
+  }
+
+  if (commit_format_ == WalCommitFormat::kChecksum) {
+    // The cheapest possible commit: the record lines themselves, one flush
+    // call, one fence. No commit marker exists anywhere — recovery's
+    // epoch-validated per-record CRC scan is what bounds the committed
+    // prefix, so a torn batch truncates cleanly at the first bad record.
+    const FlushRange data_range = {r.data_addr + committed,
+                                   static_cast<size_t>(tail_snap - committed)};
+    HINFS_RETURN_IF_ERROR(nvmm_->FlushBatch(&data_range, 1));
+    nvmm_->Fence();
+  } else {
+    // kFence: records must be durable BEFORE the header can point at them.
+    // Publish durable_tail/durable_seq in the header cacheline via 8-byte
+    // atomic stores (a crash tears at field granularity only), then flush
+    // data, fence, flush header, fence.
+    HINFS_RETURN_IF_ERROR(
+        nvmm_->StoreAtomic(r.header_addr + kDurableTailOff, &tail_snap, sizeof(tail_snap)));
+    HINFS_RETURN_IF_ERROR(
+        nvmm_->StoreAtomic(r.header_addr + kDurableSeqOff, &seq_snap, sizeof(seq_snap)));
+    const FlushRange data_range = {r.data_addr + committed,
+                                   static_cast<size_t>(tail_snap - committed)};
+    HINFS_RETURN_IF_ERROR(nvmm_->FlushBatch(&data_range, 1));
+    nvmm_->Fence();
+    HINFS_RETURN_IF_ERROR(nvmm_->Flush(r.header_addr, kCachelineSize));
+    nvmm_->Fence();
+  }
+
+  r.committed_tail.store(tail_snap, std::memory_order_release);
+  r.committed_seq.store(seq_snap, std::memory_order_release);
+  stat_commits_->fetch_add(1, std::memory_order_relaxed);
+  stat_commit_bytes_->fetch_add(tail_snap - committed, std::memory_order_relaxed);
+  return OkStatus();
+}
+
+Status WalManager::CommitAll() {
+  for (auto& r : regions_) {
+    std::lock_guard<std::mutex> lock(r->commit_mu);
+    uint64_t tail_snap;
+    {
+      std::lock_guard<std::mutex> alock(r->append_mu);
+      tail_snap = r->tail.load(std::memory_order_relaxed);
+    }
+    if (tail_snap == r->committed_tail.load(std::memory_order_relaxed)) {
+      continue;
+    }
+    HINFS_RETURN_IF_ERROR(CommitRegionLocked(*r));
+  }
+  return OkStatus();
+}
+
+Status WalManager::ScanRegion(const Region& r, const WalRegionHeader& hdr,
+                              std::vector<WalRecoveredRecord>* out, uint64_t* end_off,
+                              uint64_t* max_seq) {
+  const bool tail_scan = commit_format_ == WalCommitFormat::kChecksum;
+  uint64_t off = tail_scan ? 0 : hdr.head;
+  const uint64_t limit = tail_scan ? r.data_bytes : hdr.durable_tail;
+  uint64_t seq_hi = 0;
+  while (off + sizeof(WalRecordHeader) <= limit) {
+    WalRecordHeader rec;
+    HINFS_RETURN_IF_ERROR(nvmm_->Load(r.data_addr + off, &rec, sizeof(rec)));
+    const bool shape_ok =
+        (rec.type == static_cast<uint32_t>(WalRecordType::kData) ||
+         rec.type == static_cast<uint32_t>(WalRecordType::kTruncate)) &&
+        off + RecordSpan(rec.payload_len) <= limit;
+    // A stale epoch marks bytes from before the last recycle: the clean end
+    // of the tail scan, never an error.
+    const bool epoch_ok = !tail_scan || rec.epoch == static_cast<uint32_t>(hdr.epoch);
+    std::string payload;
+    bool crc_ok = false;
+    if (shape_ok && epoch_ok) {
+      payload.resize(rec.payload_len);
+      if (rec.payload_len > 0) {
+        HINFS_RETURN_IF_ERROR(
+            nvmm_->Load(r.data_addr + off + sizeof(rec), payload.data(), rec.payload_len));
+      }
+      crc_ok = WalRecordCrc(rec, payload.data(), rec.payload_len) == rec.crc;
+    }
+    if (!shape_ok || !epoch_ok || !crc_ok) {
+      if (tail_scan) {
+        // Torn batch or pre-recycle residue: nothing from here on was ever
+        // acknowledged — the fence that would have acknowledged it also
+        // would have made these lines durable — so truncating the scan is
+        // exact, not lossy.
+        break;
+      }
+      // Under kFence the durable_tail is flushed only after the records
+      // fenced; a bad record inside it means real corruption.
+      return Status(ErrorCode::kIoError, "torn record inside fenced WAL prefix");
+    }
+    seq_hi = std::max(seq_hi, rec.seq);
+    if (out != nullptr) {
+      WalRecoveredRecord rr;
+      rr.type = static_cast<WalRecordType>(rec.type);
+      rr.seq = rec.seq;
+      rr.ino = rec.ino;
+      rr.offset = rec.offset;
+      rr.generation = rec.generation;
+      rr.payload = std::move(payload);
+      out->push_back(std::move(rr));
+    }
+    off += RecordSpan(rec.payload_len);
+  }
+  if (end_off != nullptr) {
+    *end_off = off;
+  }
+  if (max_seq != nullptr) {
+    *max_seq = seq_hi;
+  }
+  return OkStatus();
+}
+
+Result<std::vector<WalRecoveredRecord>> WalManager::CommittedRecords() {
+  std::vector<WalRecoveredRecord> out;
+  for (const auto& r : regions_) {
+    WalRegionHeader hdr;
+    HINFS_RETURN_IF_ERROR(nvmm_->Load(r->header_addr, &hdr, sizeof(hdr)));
+    if (hdr.durable_tail > r->data_bytes || hdr.head > hdr.durable_tail) {
+      return Status(ErrorCode::kIoError, "WAL region header corrupt");
+    }
+    HINFS_RETURN_IF_ERROR(ScanRegion(*r, hdr, &out, nullptr, nullptr));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const WalRecoveredRecord& a, const WalRecoveredRecord& b) { return a.seq < b.seq; });
+  return out;
+}
+
+Status WalManager::ResetAllRegions() {
+  std::vector<FlushRange> ranges;
+  uint64_t recycled = 0;
+  for (auto& r : regions_) {
+    std::scoped_lock lock(r->commit_mu, r->append_mu);
+    if (r->tail.load(std::memory_order_relaxed) == 0 &&
+        r->committed_tail.load(std::memory_order_relaxed) == 0) {
+      continue;
+    }
+    const uint64_t zero = 0;
+    HINFS_RETURN_IF_ERROR(nvmm_->StoreAtomic(r->header_addr + offsetof(WalRegionHeader, head),
+                                             &zero, sizeof(zero)));
+    HINFS_RETURN_IF_ERROR(
+        nvmm_->StoreAtomic(r->header_addr + kDurableTailOff, &zero, sizeof(zero)));
+    // durable_seq is a monotonic high-water mark across recycles: it keeps
+    // the next mount's seq allocation above every seq this region ever used,
+    // even under kChecksum where the commit path never writes it.
+    HINFS_RETURN_IF_ERROR(
+        nvmm_->StoreAtomic(r->header_addr + kDurableSeqOff, &r->last_seq, sizeof(r->last_seq)));
+    // Advance the epoch: the stale record bytes (valid CRCs and all) become
+    // unreachable to the tail scan without zeroing a single line.
+    r->epoch++;
+    HINFS_RETURN_IF_ERROR(
+        nvmm_->StoreAtomic(r->header_addr + kEpochOff, &r->epoch, sizeof(r->epoch)));
+    ranges.push_back({r->header_addr, kCachelineSize});
+    r->tail.store(0, std::memory_order_relaxed);
+    r->committed_tail.store(0, std::memory_order_relaxed);
+    recycled++;
+  }
+  if (!ranges.empty()) {
+    HINFS_RETURN_IF_ERROR(nvmm_->FlushBatch(ranges.data(), ranges.size()));
+    nvmm_->Fence();
+    stats_->Add(kStatWalRecycles, recycled);
+  }
+  return OkStatus();
+}
+
+bool WalManager::SpaceLow() const {
+  for (const auto& r : regions_) {
+    if (r->tail.load(std::memory_order_relaxed) > r->data_bytes / 2) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t WalManager::PendingBytes() const {
+  uint64_t total = 0;
+  for (const auto& r : regions_) {
+    total += r->tail.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace hinfs

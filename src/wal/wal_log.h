@@ -1,0 +1,180 @@
+// WalManager: per-core NVMM redo log with leader-based group commit.
+//
+// The manager owns the tail carve of an NvmmDevice (see wal_layout.h) split
+// into per-core regions. Appends are cheap volatile stores into the calling
+// thread's region; durability happens at Commit(), where one thread — the
+// commit leader — flushes every record appended to the region so far and
+// fences ONCE, covering all concurrent committers (they observe the advanced
+// committed_seq and return without touching the device). Under the default
+// kChecksum format that flush covers ONLY the record lines — no commit
+// marker, no header write; recovery finds the committed prefix by an
+// epoch-validated CRC tail scan. That minimal flush+fence, amortized across
+// committers, is the entire point of the log.
+//
+// Lock ordering (see DESIGN.md §8): a region's append_mu may be taken while
+// the caller holds WalFs overlay shard locks; commit_mu is taken with NO
+// other WAL or overlay lock held. append_mu nests inside commit_mu (the
+// leader snapshots the tail under append_mu).
+
+#ifndef SRC_WAL_WAL_LOG_H_
+#define SRC_WAL_WAL_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/nvmm/nvmm_device.h"
+#include "src/wal/wal_layout.h"
+#include "src/wal/wal_options.h"
+
+namespace hinfs {
+
+// Where an Append landed: enough for a later Commit to name what must be
+// durable ("everything in `region` up to and including `seq`").
+struct WalTicket {
+  uint32_t region = 0;
+  uint64_t seq = 0;
+};
+
+// One committed record, decoded at recovery.
+struct WalRecoveredRecord {
+  WalRecordType type = WalRecordType::kData;
+  uint64_t seq = 0;
+  uint64_t ino = 0;
+  uint64_t offset = 0;
+  uint64_t generation = 0;
+  std::string payload;
+};
+
+class WalManager {
+ public:
+  // Formats the carve [base, base + total_bytes) and returns a manager for
+  // it. Counters land in `stats` (the owning WalFs's registry).
+  static Result<std::unique_ptr<WalManager>> Format(NvmmDevice* nvmm, uint64_t base,
+                                                    size_t total_bytes, const WalOptions& options,
+                                                    StatsRegistry* stats);
+  // Mounts a previously formatted carve. Geometry and commit format come from
+  // the on-NVMM superblock. The caller is expected to run CommittedRecords()
+  // + replay + ResetAllRegions() before appending.
+  static Result<std::unique_ptr<WalManager>> Mount(NvmmDevice* nvmm, uint64_t base,
+                                                   size_t total_bytes, const WalOptions& options,
+                                                   StatsRegistry* stats);
+
+  // Appends one record (volatile stores only — durable at the next Commit
+  // covering it). Returns kNoSpace when the calling thread's region is full;
+  // the caller checkpoints and retries. Thread-safe.
+  Result<WalTicket> Append(WalRecordType type, uint64_t ino, uint64_t offset,
+                           uint64_t generation, const void* payload, size_t payload_len);
+
+  // Makes every record of ticket.region with seq <= ticket.seq durable.
+  // With allow_group_wait, rides a concurrent leader's flush+fence when one
+  // already covered this ticket; otherwise always issues its own.
+  Status Commit(const WalTicket& ticket, bool allow_group_wait);
+
+  // Commits every region's appended records (SyncFs / pre-checkpoint).
+  Status CommitAll();
+
+  // All recoverable records across all regions, sorted by global seq. Under
+  // kChecksum this is the epoch-validated CRC tail scan: the longest valid
+  // prefix of the record area — a torn tail batch breaks the scan cleanly,
+  // and (exactly as on real NVMM) an appended-but-uncommitted record whose
+  // lines happened to reach the media MAY be included; it was never
+  // acknowledged, so replaying it is legal. Under kFence a CRC mismatch
+  // inside [head, durable_tail) is impossible by construction and reported
+  // as corruption.
+  Result<std::vector<WalRecoveredRecord>> CommittedRecords();
+
+  // Durably resets every region to empty (head = durable_tail = 0, epoch
+  // advanced) after a checkpoint drained the logged state into the final
+  // layout, recycling the space. The epoch bump voids the stale record bytes
+  // without zeroing them. The caller must have quiesced appends (WalFs holds
+  // its drain lock exclusively).
+  Status ResetAllRegions();
+
+  // Checkpoint pressure hint: true when any region's append cursor passed
+  // half of its record area.
+  bool SpaceLow() const;
+
+  // Bytes appended and not yet recycled, across all regions.
+  uint64_t PendingBytes() const;
+
+  uint32_t region_count() const { return static_cast<uint32_t>(regions_.size()); }
+  WalCommitFormat commit_format() const { return commit_format_; }
+
+ private:
+  struct alignas(64) Region {
+    uint32_t index = 0;        // position in regions_ (== WalTicket::region)
+    uint64_t header_addr = 0;  // device offset of the WalRegionHeader
+    uint64_t data_addr = 0;    // device offset of the record area
+    uint64_t data_bytes = 0;   // record-area capacity
+
+    // Append state, guarded by append_mu. `tail` mirrors into an atomic so
+    // SpaceLow/PendingBytes can read it without the lock. `epoch` changes
+    // only under ResetAllRegions' scoped commit+append lock.
+    std::mutex append_mu;
+    std::atomic<uint64_t> tail{0};
+    uint64_t last_seq = 0;
+    uint64_t epoch = 1;
+
+    // Commit state. committed_tail/committed_seq mirror what a recovery scan
+    // would find durable; readers use them for the group-commit fast path.
+    std::mutex commit_mu;
+    std::atomic<uint64_t> committed_tail{0};
+    std::atomic<uint64_t> committed_seq{0};
+  };
+
+  WalManager(NvmmDevice* nvmm, WalCommitFormat format, StatsRegistry* stats);
+
+  static uint32_t ResolveRegionCount(const WalOptions& options, size_t total_bytes);
+  Status InitRegions(uint64_t base, uint64_t region_count, uint64_t region_bytes);
+  Region& RegionForThisThread();
+
+  // The leader path: flush [committed_tail, tail) with the fence discipline
+  // of commit_format_ (kFence also publishes the header). Caller holds
+  // r.commit_mu.
+  Status CommitRegionLocked(Region& r);
+
+  // Walks one region's valid records. Under kChecksum: epoch+CRC tail scan
+  // from 0. Under kFence: exact [head, durable_tail) decode. Appends decoded
+  // records to `out` (if non-null) and reports the scan end and max seq.
+  Status ScanRegion(const Region& r, const WalRegionHeader& hdr,
+                    std::vector<WalRecoveredRecord>* out, uint64_t* end_off, uint64_t* max_seq);
+
+  NvmmDevice* nvmm_;
+  WalCommitFormat commit_format_;
+  StatsRegistry* stats_;
+  // Hot-path counters resolved once: the registry's by-name Add() takes a
+  // mutex + string lookup, which at log-append rates is real CPU.
+  std::atomic<uint64_t>* stat_appends_;
+  std::atomic<uint64_t>* stat_append_bytes_;
+  std::atomic<uint64_t>* stat_commits_;
+  std::atomic<uint64_t>* stat_commit_bytes_;
+  std::atomic<uint64_t>* stat_group_absorbed_;
+  std::vector<std::unique_ptr<Region>> regions_;
+  std::atomic<uint64_t> next_seq_{1};
+  std::atomic<uint32_t> next_thread_region_{0};
+};
+
+// Stat keys (registered in the owning file system's StatsRegistry).
+inline constexpr char kStatWalAppends[] = "wal_appends";
+inline constexpr char kStatWalAppendBytes[] = "wal_append_bytes";
+inline constexpr char kStatWalCommits[] = "wal_commits";
+inline constexpr char kStatWalCommitBytes[] = "wal_commit_bytes";
+inline constexpr char kStatWalGroupAbsorbed[] = "wal_group_absorbed";
+inline constexpr char kStatWalCheckpoints[] = "wal_checkpoints";
+inline constexpr char kStatWalCheckpointBytes[] = "wal_checkpoint_bytes";
+inline constexpr char kStatWalRecycles[] = "wal_recycles";
+inline constexpr char kStatWalReplayedRecords[] = "wal_replayed_records";
+inline constexpr char kStatWalReplaySkippedRecords[] = "wal_replay_skipped_records";
+inline constexpr char kStatWalLogFullStalls[] = "wal_log_full_stalls";
+inline constexpr char kStatWalDirectWrites[] = "wal_direct_writes";
+
+}  // namespace hinfs
+
+#endif  // SRC_WAL_WAL_LOG_H_

@@ -1,0 +1,60 @@
+// Tunables for the per-core NVMM write-ahead log (src/wal). Kept free of
+// heavy includes so HinfsOptions can embed a WalOptions and the env parsing
+// stays in one place (HinfsOptions::FromEnv).
+
+#ifndef SRC_WAL_WAL_OPTIONS_H_
+#define SRC_WAL_WAL_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hinfs {
+
+// How a log region proves a record batch committed (the pmembench logging
+// study's two classic designs, selectable for ablation):
+//  - kChecksum: every record carries a CRC32 of header+payload; commit flushes
+//    ONLY the record lines — one flush call, one fence, no commit marker or
+//    header write at all. Recovery tail-scans the record area, accepting
+//    records while their CRC validates and their epoch matches the region
+//    header's, so a torn batch is detected by the CRC, not by ordering.
+//  - kFence: commit flushes the records, fences, then flushes the region
+//    header's durable_tail. The header can never point at torn records, so no
+//    per-record checksum is needed. 2 fences per commit.
+enum class WalCommitFormat : uint8_t {
+  kChecksum,
+  kFence,
+};
+
+struct WalOptions {
+  // Per-core log regions. 0 = auto: min(hardware_concurrency, 8), clamped so
+  // every region keeps at least 64 KB of record space.
+  int regions = 0;
+
+  // Total NVMM carved off the end of the device for the log (superblock +
+  // all regions). Sized so short-lived sync writes (log rotation, varmail's
+  // delete-heavy churn) usually die in the log — overwritten or unlinked
+  // before a checkpoint ever copies them into the final layout.
+  size_t total_bytes = 32ull << 20;
+
+  WalCommitFormat commit_format = WalCommitFormat::kChecksum;
+
+  // In-place overwrites of at least this many bytes bypass the log (straight
+  // to the inner FS, original durability options) when the target file has no
+  // logged state. The log exists to absorb SMALL synchronous writes and new
+  // bytes that may die young; a block-sized overwrite of long-lived data
+  // gains nothing from logging — it would be written twice (log, then
+  // checkpoint drain) for the same one fence. Appends/extends always log.
+  // 0 = log everything.
+  size_t direct_write_bytes = 4096;
+
+  // Background checkpoint period. Checkpointing also triggers on demand when
+  // a region fills; the period only bounds replay time after a crash, so it
+  // can be lazy — every drain re-pays the eager-persist cost for bytes that
+  // would otherwise have died in the log. Crash tests set this 0 to keep
+  // cuts deterministic.
+  uint64_t checkpoint_ms = 200;
+};
+
+}  // namespace hinfs
+
+#endif  // SRC_WAL_WAL_OPTIONS_H_

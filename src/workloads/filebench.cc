@@ -173,7 +173,8 @@ Status DeleteFile(Ctx& ctx, FsApi* fs, Rng& rng) {
 Status CreateNewFile(Ctx& ctx, FsApi* fs, size_t size, const std::vector<uint8_t>& payload) {
   const uint64_t id = ctx.next_name->fetch_add(1);
   const std::string dir = "/d" + std::to_string(id % 16 + 1000);
-  if (!fs->Exists(dir)) {
+  HINFS_ASSIGN_OR_RETURN(bool dir_present, fs->Exists(dir));
+  if (!dir_present) {
     Status st = fs->Mkdir(dir);
     if (!st.ok() && !Benign(st)) {
       return st;
@@ -315,7 +316,9 @@ Status VarmailLoop(Ctx& ctx, FsApi* fs, int thread) {
         }
         if (n.ok()) {
           ctx.bytes_written += *n;
-          HINFS_RETURN_IF_ERROR(fs->Fsync(*fd));
+          // Mail delivery only needs the message durable, not the mtime:
+          // fdatasync, like real varmail deployments.
+          HINFS_RETURN_IF_ERROR(fs->Fdatasync(*fd));
           ctx.fsyncs++;
         }
         HINFS_RETURN_IF_ERROR(fs->Close(*fd));
@@ -338,7 +341,7 @@ Status VarmailLoop(Ctx& ctx, FsApi* fs, int thread) {
           Result<size_t> w = fs->Write(*fd, payload.data(), payload.size());
           if (w.ok()) {
             ctx.bytes_written += *w;
-            Status sync_st = fs->Fsync(*fd);
+            Status sync_st = fs->Fdatasync(*fd);
             if (!sync_st.ok() && !Benign(sync_st)) {
               return sync_st;
             }

@@ -2,6 +2,7 @@
 
 #include "src/fs/blockfs/block_fs.h"
 #include "src/fs/pmfs/pmfs_fs.h"
+#include "src/wal/wal_fs.h"
 
 namespace hinfs {
 
@@ -41,9 +42,19 @@ Result<std::unique_ptr<TestBed>> MakeTestBed(FsKind kind, const TestBedConfig& c
   bed->nvmm = std::make_unique<NvmmDevice>(config.nvmm);
 
   HinfsOptions hopts = config.hinfs;
+  PmfsOptions popts = config.pmfs;
+  uint64_t fs_bytes = config.nvmm.size_bytes;
+  if (config.wal) {
+    const uint64_t wal_bytes = hopts.wal.total_bytes;
+    if (wal_bytes + kBlockSize > fs_bytes) {
+      return Status(ErrorCode::kInvalidArgument, "wal carve larger than device");
+    }
+    fs_bytes -= wal_bytes;
+    popts.device_bytes = fs_bytes;
+  }
   switch (kind) {
     case FsKind::kPmfs: {
-      HINFS_ASSIGN_OR_RETURN(auto fs, PmfsFs::Format(bed->nvmm.get(), config.pmfs));
+      HINFS_ASSIGN_OR_RETURN(auto fs, PmfsFs::Format(bed->nvmm.get(), popts));
       bed->fs = std::move(fs);
       break;
     }
@@ -51,31 +62,31 @@ Result<std::unique_ptr<TestBed>> MakeTestBed(FsKind kind, const TestBedConfig& c
       hopts.clfw = false;
       [[fallthrough]];
     case FsKind::kHinfs: {
-      HINFS_ASSIGN_OR_RETURN(auto fs, HinfsFs::Format(bed->nvmm.get(), hopts, config.pmfs));
+      HINFS_ASSIGN_OR_RETURN(auto fs, HinfsFs::Format(bed->nvmm.get(), hopts, popts));
       bed->fs = std::move(fs);
       break;
     }
     case FsKind::kHinfsWb: {
       hopts.eager_checker = false;
-      HINFS_ASSIGN_OR_RETURN(auto fs, HinfsFs::Format(bed->nvmm.get(), hopts, config.pmfs));
+      HINFS_ASSIGN_OR_RETURN(auto fs, HinfsFs::Format(bed->nvmm.get(), hopts, popts));
       bed->fs = std::move(fs);
       break;
     }
     case FsKind::kHinfsFifo: {
       hopts.replacement = HinfsOptions::Replacement::kFifo;
-      HINFS_ASSIGN_OR_RETURN(auto fs, HinfsFs::Format(bed->nvmm.get(), hopts, config.pmfs));
+      HINFS_ASSIGN_OR_RETURN(auto fs, HinfsFs::Format(bed->nvmm.get(), hopts, popts));
       bed->fs = std::move(fs);
       break;
     }
     case FsKind::kExt4Dax:
     case FsKind::kExt2Nvmmbd:
     case FsKind::kExt4Nvmmbd: {
-      const uint64_t blocks = config.nvmm.size_bytes / kBlockSize;
+      const uint64_t blocks = fs_bytes / kBlockSize;
       bed->blockdev = std::make_unique<NvmmBlockDevice>(bed->nvmm.get(), /*first_byte=*/0, blocks);
       BlockFsOptions opts;
       opts.journal = kind != FsKind::kExt2Nvmmbd;
       opts.dax = kind == FsKind::kExt4Dax;
-      opts.max_inodes = config.pmfs.max_inodes;
+      opts.max_inodes = popts.max_inodes;
       opts.page_cache_pages = config.page_cache_pages;
       if (opts.dax) {
         opts.dax_nvmm = bed->nvmm.get();
@@ -85,6 +96,12 @@ Result<std::unique_ptr<TestBed>> MakeTestBed(FsKind kind, const TestBedConfig& c
       bed->fs = std::move(fs);
       break;
     }
+  }
+  if (config.wal) {
+    HINFS_ASSIGN_OR_RETURN(auto fs, WalFs::Format(std::move(bed->fs), bed->nvmm.get(),
+                                                  /*wal_base=*/fs_bytes, hopts.wal.total_bytes,
+                                                  hopts.wal));
+    bed->fs = std::move(fs);
   }
   bed->vfs = std::make_unique<Vfs>(bed->fs.get(), config.sync_mount);
   return bed;

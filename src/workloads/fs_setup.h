@@ -33,6 +33,10 @@ struct TestBedConfig {
   PmfsOptions pmfs;                // inode count, journal size
   size_t page_cache_pages = 0;     // NVMMBD baselines: OS page cache capacity
   bool sync_mount = false;
+  // Front the file system with the NVMM write-ahead log (src/wal/): the
+  // +wal variant of any kind. The log carve (hinfs.wal.total_bytes) comes off
+  // the END of the device; the inner FS is formatted on what remains.
+  bool wal = false;
 };
 
 // A fully wired file system + VFS on freshly formatted emulated devices.

@@ -117,7 +117,7 @@ TEST_P(BlockFsTest, DoubleIndirectFile) {
 TEST_P(BlockFsTest, UnlinkFreesAndForgets) {
   ASSERT_TRUE(vfs_->WriteFile("/victim", std::string(50000, 'v')).ok());
   ASSERT_TRUE(vfs_->Unlink("/victim").ok());
-  EXPECT_FALSE(vfs_->Exists("/victim"));
+  EXPECT_FALSE(vfs_->Exists("/victim").value_or(true));
   // Space is reusable.
   ASSERT_TRUE(vfs_->WriteFile("/again", std::string(50000, 'w')).ok());
 }
@@ -233,7 +233,7 @@ TEST(BlockFsJournalTest, UnsyncedDataLostOnCrash) {
   auto fs = BlockFs::Mount(&dev, opts);
   ASSERT_TRUE(fs.ok());
   Vfs vfs(fs->get());
-  EXPECT_FALSE(vfs.Exists("/gone"));
+  EXPECT_FALSE(vfs.Exists("/gone").value_or(true));
 }
 
 }  // namespace

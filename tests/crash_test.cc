@@ -87,8 +87,8 @@ TEST(PmfsCrashTest, UnlinkIsAtomic) {
   auto fs = PmfsFs::Mount(&nvmm);
   ASSERT_TRUE(fs.ok());
   Vfs vfs(fs->get());
-  EXPECT_TRUE(vfs.Exists("/keep"));
-  EXPECT_FALSE(vfs.Exists("/gone"));
+  EXPECT_TRUE(vfs.Exists("/keep").value_or(false));
+  EXPECT_FALSE(vfs.Exists("/gone").value_or(true));
   // Space from the unlinked file is reusable after recovery.
   ASSERT_TRUE(vfs.WriteFile("/new", std::string(5000, 'n')).ok());
 }

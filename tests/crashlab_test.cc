@@ -37,7 +37,7 @@ std::string FailureDump(const CrashlabReport& r) {
 
 TEST(CrashlabTest, SmallBudgetAllPersonalitiesClean) {
   for (CrashFs fs : {CrashFs::kPmfs, CrashFs::kHinfs, CrashFs::kBlockFsJournal,
-                     CrashFs::kBlockFsDax}) {
+                     CrashFs::kBlockFsDax, CrashFs::kWalPmfs}) {
     for (FlushInstruction flush :
          {FlushInstruction::kClflush, FlushInstruction::kClflushopt}) {
       auto workload = MakeCrashWorkload("mixed", /*seed=*/1);
@@ -66,6 +66,40 @@ TEST(CrashlabTest, AcceptanceSweepThousandStatesZeroViolations) {
       EXPECT_TRUE(report->ok()) << CrashFsName(fs) << "/" << mix << ": "
                                 << FailureDump(*report);
       total_states += report->states_explored;
+    }
+  }
+  EXPECT_GE(total_states, 1000u);
+}
+
+// The logged-durability acceptance sweep: WalFs over PMFS must survive crash
+// cuts through appends (volatile, absent from the image), commits (torn
+// commit records detected by CRC or prevented by the fence format), and the
+// remount-time replay, across every workload mix, both flush instructions,
+// and both commit-record formats — with the fsck validating each replayed
+// inner image and zero oracle violations.
+TEST(CrashlabTest, WalLoggedDurabilitySweepZeroViolations) {
+  size_t total_states = 0;
+  for (WalCommitFormat format : {WalCommitFormat::kChecksum, WalCommitFormat::kFence}) {
+    for (FlushInstruction flush :
+         {FlushInstruction::kClflush, FlushInstruction::kClflushopt}) {
+      for (const std::string& mix : CrashWorkloadMixes()) {
+        auto workload = MakeCrashWorkload(mix, /*seed=*/1);
+        ASSERT_TRUE(workload.ok());
+        CrashlabOptions opts;
+        opts.fs = CrashFs::kWalPmfs;
+        opts.flush_instruction = flush;
+        opts.wal_commit_format = format;
+        opts.max_states_per_cut = 8;
+        opts.max_total_states = 400;
+        auto report = RunCrashlab(*workload, opts);
+        ASSERT_TRUE(report.ok())
+            << mix << "/" << (format == WalCommitFormat::kChecksum ? "checksum" : "fence")
+            << ": " << report.status().ToString();
+        EXPECT_TRUE(report->ok())
+            << mix << "/" << (format == WalCommitFormat::kChecksum ? "checksum" : "fence")
+            << ": " << FailureDump(*report);
+        total_states += report->states_explored;
+      }
     }
   }
   EXPECT_GE(total_states, 1000u);

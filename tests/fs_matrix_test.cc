@@ -37,7 +37,7 @@ TEST_P(FsMatrixTest, BasicLifecycle) {
   ASSERT_TRUE(content.ok());
   EXPECT_EQ(*content, "contents");
   ASSERT_TRUE(vfs->Rename("/dir/file", "/dir/renamed").ok());
-  EXPECT_FALSE(vfs->Exists("/dir/file"));
+  EXPECT_FALSE(vfs->Exists("/dir/file").value_or(true));
   ASSERT_TRUE(vfs->Unlink("/dir/renamed").ok());
   ASSERT_TRUE(vfs->Rmdir("/dir").ok());
   ASSERT_TRUE(vfs->Unmount().ok());

@@ -17,6 +17,7 @@
 #include "src/nvmm/nvmm_device.h"
 #include "src/nvmm/persist_trace.h"
 #include "src/vfs/vfs.h"
+#include "src/wal/wal_fs.h"
 
 namespace hinfs {
 namespace {
@@ -169,6 +170,55 @@ TEST(PersistOrderTest, SkipAppendFenceKnobDropsOneFencePerJournalEntry) {
   // the root dir's first data block, 1 commit).
   EXPECT_EQ(21u, deltas[0]);
   EXPECT_EQ(10u, deltas[1]);
+}
+
+// Pins the whole point of the WAL: a logged fsync costs exactly ONE fence
+// under the checksum commit format (records + header ride one fence epoch)
+// and exactly TWO under the fence format (records fence, then header fence).
+// Compare with the 15-fence eager-persist write pinned above.
+TEST(PersistOrderTest, WalLoggedFsyncFenceCost) {
+  for (const WalCommitFormat format : {WalCommitFormat::kChecksum, WalCommitFormat::kFence}) {
+    NvmmDevice nvmm(TrackedConfig());
+    constexpr uint64_t kWalBytes = 1ull << 20;
+    PmfsOptions popts = SmallPmfs();
+    popts.device_bytes = nvmm.size() - kWalBytes;
+    auto inner = PmfsFs::Format(&nvmm, popts);
+    ASSERT_TRUE(inner.ok()) << inner.status().ToString();
+    WalOptions wopts;
+    wopts.regions = 1;
+    wopts.total_bytes = kWalBytes;
+    wopts.commit_format = format;
+    wopts.checkpoint_ms = 0;  // no background drain perturbing the counts
+    auto fs = WalFs::Format(std::move(*inner), &nvmm, popts.device_bytes, kWalBytes, wopts);
+    ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+    Vfs vfs(fs->get());
+
+    const uint64_t per_commit = format == WalCommitFormat::kChecksum ? 1u : 2u;
+    auto fd = vfs.Open("/w", kRdWr | kCreate);
+    ASSERT_TRUE(fd.ok());
+    std::vector<char> buf(1024, 'w');
+
+    // Buffered write: append only, no persist work at all.
+    EXPECT_EQ(0u, FenceDelta(&nvmm, [&] {
+      ASSERT_TRUE(vfs.Pwrite(*fd, buf.data(), buf.size(), 0).ok());
+    })) << "format " << int(format);
+    // The fsync that makes it recoverable: one group commit.
+    EXPECT_EQ(per_commit, FenceDelta(&nvmm, [&] { ASSERT_TRUE(vfs.Fsync(*fd).ok()); }))
+        << "format " << int(format);
+    // Already committed: a second fsync forwards to PMFS, whose fsync of an
+    // untouched file is the single ordering fence pinned above.
+    EXPECT_EQ(1u, FenceDelta(&nvmm, [&] { ASSERT_TRUE(vfs.Fsync(*fd).ok()); }))
+        << "format " << int(format);
+    ASSERT_TRUE(vfs.Close(*fd).ok());
+
+    // O_SYNC write through the log: append + commit in one call.
+    auto sfd = vfs.Open("/w", kRdWr | kSync);
+    ASSERT_TRUE(sfd.ok());
+    EXPECT_EQ(per_commit, FenceDelta(&nvmm, [&] {
+      ASSERT_TRUE(vfs.Pwrite(*sfd, buf.data(), buf.size(), 4096).ok());
+    })) << "format " << int(format);
+    ASSERT_TRUE(vfs.Close(*sfd).ok());
+  }
 }
 
 }  // namespace

@@ -74,7 +74,7 @@ TEST_F(PmfsTest, UnlinkRemoves) {
   ASSERT_TRUE(vfs_->WriteFile("/gone", "bye").ok());
   const uint64_t free_before = fs_->free_data_blocks();
   ASSERT_TRUE(vfs_->Unlink("/gone").ok());
-  EXPECT_FALSE(vfs_->Exists("/gone"));
+  EXPECT_FALSE(vfs_->Exists("/gone").value_or(true));
   EXPECT_GT(fs_->free_data_blocks(), free_before);  // blocks reclaimed
 }
 
@@ -195,7 +195,7 @@ TEST_F(PmfsTest, RenameMovesFile) {
   ASSERT_TRUE(vfs_->Mkdir("/b").ok());
   ASSERT_TRUE(vfs_->WriteFile("/a/f", "payload").ok());
   ASSERT_TRUE(vfs_->Rename("/a/f", "/b/g").ok());
-  EXPECT_FALSE(vfs_->Exists("/a/f"));
+  EXPECT_FALSE(vfs_->Exists("/a/f").value_or(true));
   auto content = vfs_->ReadFileToString("/b/g");
   ASSERT_TRUE(content.ok());
   EXPECT_EQ(*content, "payload");
@@ -205,7 +205,7 @@ TEST_F(PmfsTest, RenameReplacesTarget) {
   ASSERT_TRUE(vfs_->WriteFile("/x", "new").ok());
   ASSERT_TRUE(vfs_->WriteFile("/y", "old-target").ok());
   ASSERT_TRUE(vfs_->Rename("/x", "/y").ok());
-  EXPECT_FALSE(vfs_->Exists("/x"));
+  EXPECT_FALSE(vfs_->Exists("/x").value_or(true));
   auto content = vfs_->ReadFileToString("/y");
   ASSERT_TRUE(content.ok());
   EXPECT_EQ(*content, "new");

@@ -322,8 +322,8 @@ TEST_F(ServerTest, FullSyscallSurfaceOverTheWire) {
   auto st = client->Stat("/dir/f");
   ASSERT_TRUE(st.ok());
   EXPECT_EQ(st->size, 5u);
-  EXPECT_TRUE(client->Exists("/dir/f"));
-  EXPECT_FALSE(client->Exists("/dir/missing"));
+  EXPECT_TRUE(client->Exists("/dir/f").value_or(false));
+  EXPECT_FALSE(client->Exists("/dir/missing").value_or(true));
 
   auto entries = client->ReadDir("/dir");
   ASSERT_TRUE(entries.ok());
@@ -331,7 +331,7 @@ TEST_F(ServerTest, FullSyscallSurfaceOverTheWire) {
   EXPECT_EQ((*entries)[0].name, "f");
 
   ASSERT_TRUE(client->Rename("/dir/f", "/dir/g").ok());
-  EXPECT_TRUE(client->Exists("/dir/g"));
+  EXPECT_TRUE(client->Exists("/dir/g").value_or(false));
   EXPECT_TRUE(client->SyncFs().ok());
   ASSERT_TRUE(client->Unlink("/dir/g").ok());
   ASSERT_TRUE(client->Rmdir("/dir").ok());

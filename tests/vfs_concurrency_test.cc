@@ -431,7 +431,7 @@ TEST_F(VfsConcurrencyTest, BulkCreateAndSlotReuse) {
   ASSERT_TRUE(after.ok());
   EXPECT_EQ(before->size, after->size) << "freed dirent slots were not reused";
   for (int i = 0; i < kFiles; i++) {
-    ASSERT_TRUE(vfs_->Exists("/bulk" + std::to_string(i)));
+    ASSERT_TRUE(vfs_->Exists("/bulk" + std::to_string(i)).value_or(false));
   }
 }
 

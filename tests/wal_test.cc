@@ -1,0 +1,485 @@
+// Tests for the per-core NVMM write-ahead log (src/wal/): WalManager record
+// mechanics (append / group commit / recycle / torn-record detection under
+// both commit formats) and the WalFs decorator (overlay reads, logged fsync,
+// crash replay with inode-generation filtering, checkpoint drain).
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/stats.h"
+#include "src/fs/pmfs/pmfs_fs.h"
+#include "src/nvmm/nvmm_device.h"
+#include "src/vfs/vfs.h"
+#include "src/wal/wal_fs.h"
+#include "src/wal/wal_log.h"
+#include "src/workloads/fs_setup.h"
+
+namespace hinfs {
+namespace {
+
+constexpr size_t kDevBytes = 32ull << 20;
+constexpr size_t kWalBytes = 1ull << 20;
+
+NvmmConfig FastConfig(bool tracked = false) {
+  NvmmConfig cfg;
+  cfg.size_bytes = kDevBytes;
+  cfg.latency_mode = LatencyMode::kNone;
+  cfg.track_persistence = tracked;
+  return cfg;
+}
+
+WalOptions TestWalOptions(WalCommitFormat format) {
+  WalOptions o;
+  o.regions = 2;
+  o.total_bytes = kWalBytes;
+  o.commit_format = format;
+  o.checkpoint_ms = 0;  // checkpoint only on demand: deterministic tests
+  return o;
+}
+
+// --- WalManager --------------------------------------------------------------
+
+TEST(WalManagerTest, AppendCommitRecoverRecycle) {
+  NvmmDevice nvmm(FastConfig(/*tracked=*/true));
+  StatsRegistry stats;
+  auto wal = WalManager::Format(&nvmm, /*base=*/0, kWalBytes,
+                                TestWalOptions(WalCommitFormat::kChecksum), &stats);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+
+  const std::string a(100, 'a');
+  const std::string b(8, 'b');
+  auto t1 = (*wal)->Append(WalRecordType::kData, /*ino=*/7, /*offset=*/0, /*generation=*/3,
+                           a.data(), a.size());
+  ASSERT_TRUE(t1.ok()) << t1.status().ToString();
+  auto t2 = (*wal)->Append(WalRecordType::kData, 7, 4096, 3, b.data(), b.size());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_GT(t2->seq, t1->seq);
+  ASSERT_TRUE((*wal)->Commit(*t2, /*allow_group_wait=*/true).ok());
+
+  // A third record appended but never committed: its lines were never
+  // flushed, so a crash image cannot contain it and recovery must not see it.
+  auto t3 = (*wal)->Append(WalRecordType::kTruncate, 7, 50, 3, nullptr, 0);
+  ASSERT_TRUE(t3.ok());
+
+  auto image = nvmm.CloneCrashImage();
+  ASSERT_TRUE(image.ok());
+  NvmmDevice crashed(FastConfig(/*tracked=*/true));
+  ASSERT_TRUE(crashed.InstallImage(image->data(), image->size()).ok());
+  StatsRegistry stats2;
+  auto wal2 = WalManager::Mount(&crashed, 0, kWalBytes, WalOptions{}, &stats2);
+  ASSERT_TRUE(wal2.ok()) << wal2.status().ToString();
+  auto recs = (*wal2)->CommittedRecords();
+  ASSERT_TRUE(recs.ok()) << recs.status().ToString();
+  ASSERT_EQ(2u, recs->size());
+  EXPECT_EQ(WalRecordType::kData, (*recs)[0].type);
+  EXPECT_EQ(7u, (*recs)[0].ino);
+  EXPECT_EQ(0u, (*recs)[0].offset);
+  EXPECT_EQ(3u, (*recs)[0].generation);
+  EXPECT_EQ(a, (*recs)[0].payload);
+  EXPECT_EQ(4096u, (*recs)[1].offset);
+  EXPECT_EQ(b, (*recs)[1].payload);
+  EXPECT_LT((*recs)[0].seq, (*recs)[1].seq);
+
+  // Recycling voids everything — including t3's stale bytes, which keep a
+  // valid CRC but now carry the old epoch.
+  ASSERT_TRUE((*wal)->ResetAllRegions().ok());
+  EXPECT_EQ(0u, (*wal)->PendingBytes());
+  auto empty = (*wal)->CommittedRecords();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(WalManagerTest, MountSeesCommittedPrefixOnly) {
+  NvmmDevice nvmm(FastConfig(/*tracked=*/true));
+  StatsRegistry stats;
+  auto wal = WalManager::Format(&nvmm, 0, kWalBytes,
+                                TestWalOptions(WalCommitFormat::kChecksum), &stats);
+  ASSERT_TRUE(wal.ok());
+  const std::string a(64, 'x');
+  auto t1 = (*wal)->Append(WalRecordType::kData, 9, 0, 1, a.data(), a.size());
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE((*wal)->Commit(*t1, true).ok());
+  auto t2 = (*wal)->Append(WalRecordType::kData, 9, 64, 1, a.data(), a.size());
+  ASSERT_TRUE(t2.ok());  // never committed: absent from the crash image
+
+  auto image = nvmm.CloneCrashImage();
+  ASSERT_TRUE(image.ok());
+  NvmmDevice crashed(FastConfig(/*tracked=*/true));
+  ASSERT_TRUE(crashed.InstallImage(image->data(), image->size()).ok());
+  StatsRegistry stats2;
+  auto wal2 = WalManager::Mount(&crashed, 0, kWalBytes, WalOptions{}, &stats2);
+  ASSERT_TRUE(wal2.ok()) << wal2.status().ToString();
+  EXPECT_EQ(WalCommitFormat::kChecksum, (*wal2)->commit_format());
+  auto recs = (*wal2)->CommittedRecords();
+  ASSERT_TRUE(recs.ok());
+  ASSERT_EQ(1u, recs->size());
+  EXPECT_EQ(t1->seq, (*recs)[0].seq);
+}
+
+// Returns the device offset of region 0's record area for a carve at `base`
+// (superblock block, then per-region header block + data).
+uint64_t Region0DataAddr(uint64_t base) { return base + 2 * kBlockSize; }
+
+TEST(WalManagerTest, TornRecordTruncatesScanUnderChecksumFormat) {
+  NvmmDevice nvmm(FastConfig());
+  StatsRegistry stats;
+  auto wal = WalManager::Format(&nvmm, 0, kWalBytes,
+                                TestWalOptions(WalCommitFormat::kChecksum), &stats);
+  ASSERT_TRUE(wal.ok());
+  const std::string a(64, 'a');
+  const std::string b(64, 'b');
+  auto t1 = (*wal)->Append(WalRecordType::kData, 5, 0, 1, a.data(), a.size());
+  ASSERT_TRUE(t1.ok());
+  auto t2 = (*wal)->Append(WalRecordType::kData, 5, 64, 1, b.data(), b.size());
+  ASSERT_TRUE(t2.ok());
+  ASSERT_TRUE((*wal)->Commit(*t2, true).ok());
+
+  // Simulate a torn commit batch: the header line and record 1 reached NVMM
+  // but record 2's payload line did not (possible under clflushopt within one
+  // fence epoch). Recovery must keep record 1 and cleanly drop record 2.
+  const uint64_t rec2_payload = Region0DataAddr(0) + (64 + 64) + 64;
+  const std::string garbage(64, '\0');
+  ASSERT_TRUE(nvmm.StorePersistent(rec2_payload, garbage.data(), garbage.size()).ok());
+
+  StatsRegistry stats2;
+  auto wal2 = WalManager::Mount(&nvmm, 0, kWalBytes, WalOptions{}, &stats2);
+  ASSERT_TRUE(wal2.ok());
+  auto recs = (*wal2)->CommittedRecords();
+  ASSERT_TRUE(recs.ok()) << recs.status().ToString();
+  ASSERT_EQ(1u, recs->size());
+  EXPECT_EQ(a, (*recs)[0].payload);
+}
+
+TEST(WalManagerTest, TornRecordIsCorruptionUnderFenceFormat) {
+  NvmmDevice nvmm(FastConfig());
+  StatsRegistry stats;
+  auto wal = WalManager::Format(&nvmm, 0, kWalBytes,
+                                TestWalOptions(WalCommitFormat::kFence), &stats);
+  ASSERT_TRUE(wal.ok());
+  const std::string a(64, 'a');
+  auto t1 = (*wal)->Append(WalRecordType::kData, 5, 0, 1, a.data(), a.size());
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE((*wal)->Commit(*t1, true).ok());
+
+  // Under the fence format durable_tail is flushed only after the records
+  // fenced, so a bad record inside the durable prefix cannot be a crash
+  // artifact — it must surface as corruption, not silent truncation.
+  const uint64_t rec1_payload = Region0DataAddr(0) + 64;
+  const std::string garbage(64, '\0');
+  ASSERT_TRUE(nvmm.StorePersistent(rec1_payload, garbage.data(), garbage.size()).ok());
+
+  StatsRegistry stats2;
+  auto wal2 = WalManager::Mount(&nvmm, 0, kWalBytes, WalOptions{}, &stats2);
+  ASSERT_TRUE(wal2.ok());
+  auto recs = (*wal2)->CommittedRecords();
+  EXPECT_FALSE(recs.ok());
+  EXPECT_EQ(ErrorCode::kIoError, recs.status().code());
+}
+
+TEST(WalManagerTest, RegionFullReturnsNoSpace) {
+  NvmmDevice nvmm(FastConfig());
+  StatsRegistry stats;
+  WalOptions opts = TestWalOptions(WalCommitFormat::kChecksum);
+  opts.regions = 1;
+  auto wal = WalManager::Format(&nvmm, 0, kWalBytes, opts, &stats);
+  ASSERT_TRUE(wal.ok());
+  const std::string chunk(32 << 10, 'z');
+  Status last = OkStatus();
+  for (int i = 0; i < 64 && last.ok(); i++) {
+    last = (*wal)
+               ->Append(WalRecordType::kData, 1, uint64_t(i) * chunk.size(), 0, chunk.data(),
+                        chunk.size())
+               .status();
+  }
+  EXPECT_EQ(ErrorCode::kNoSpace, last.code());
+  EXPECT_TRUE((*wal)->SpaceLow());
+  EXPECT_GE(stats.Get(kStatWalLogFullStalls), 1u);
+
+  // Recycling makes the same append fit again.
+  ASSERT_TRUE((*wal)->ResetAllRegions().ok());
+  EXPECT_TRUE(
+      (*wal)->Append(WalRecordType::kData, 1, 0, 0, chunk.data(), chunk.size()).ok());
+}
+
+TEST(WalManagerTest, ConcurrentGroupCommit) {
+  NvmmDevice nvmm(FastConfig());
+  StatsRegistry stats;
+  WalOptions opts = TestWalOptions(WalCommitFormat::kChecksum);
+  opts.regions = 1;  // all threads share one region: maximum commit contention
+  opts.total_bytes = 4ull << 20;
+  auto wal = WalManager::Format(&nvmm, 0, opts.total_bytes, opts, &stats);
+  ASSERT_TRUE(wal.ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        uint64_t payload = (uint64_t(t) << 32) | uint64_t(i);
+        auto ticket = (*wal)->Append(WalRecordType::kData, uint64_t(t) + 1,
+                                     uint64_t(i) * 8, 0, &payload, sizeof(payload));
+        if (!ticket.ok() || !(*wal)->Commit(*ticket, true).ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  ASSERT_EQ(0, failures.load());
+
+  auto recs = (*wal)->CommittedRecords();
+  ASSERT_TRUE(recs.ok()) << recs.status().ToString();
+  ASSERT_EQ(size_t(kThreads) * kPerThread, recs->size());
+  for (size_t i = 1; i < recs->size(); i++) {
+    EXPECT_LT((*recs)[i - 1].seq, (*recs)[i].seq);  // strictly increasing, no dups
+  }
+  // Every Commit call either led or was absorbed by a concurrent leader.
+  EXPECT_EQ(uint64_t(kThreads) * kPerThread,
+            stats.Get(kStatWalCommits) + stats.Get(kStatWalGroupAbsorbed));
+}
+
+// --- WalFs -------------------------------------------------------------------
+
+struct WalBed {
+  std::unique_ptr<NvmmDevice> nvmm;
+  std::unique_ptr<WalFs> fs;
+  std::unique_ptr<Vfs> vfs;
+};
+
+WalBed MakeWalPmfsBed(WalCommitFormat format, bool tracked = true) {
+  WalBed bed;
+  bed.nvmm = std::make_unique<NvmmDevice>(FastConfig(tracked));
+  PmfsOptions popts;
+  popts.max_inodes = 1024;
+  popts.journal_bytes = 256 << 10;
+  popts.device_bytes = kDevBytes - kWalBytes;
+  auto inner = PmfsFs::Format(bed.nvmm.get(), popts);
+  EXPECT_TRUE(inner.ok()) << inner.status().ToString();
+  auto fs = WalFs::Format(std::move(*inner), bed.nvmm.get(), kDevBytes - kWalBytes, kWalBytes,
+                          TestWalOptions(format));
+  EXPECT_TRUE(fs.ok()) << fs.status().ToString();
+  bed.fs = std::move(*fs);
+  bed.vfs = std::make_unique<Vfs>(bed.fs.get());
+  return bed;
+}
+
+// Remounts the crash image in `image` and returns a fresh bed (inner journal
+// recovery + WAL replay).
+WalBed RemountFromImage(const std::vector<uint8_t>& image) {
+  WalBed bed;
+  bed.nvmm = std::make_unique<NvmmDevice>(FastConfig(/*tracked=*/true));
+  EXPECT_TRUE(bed.nvmm->InstallImage(image.data(), image.size()).ok());
+  auto inner = PmfsFs::Mount(bed.nvmm.get());
+  EXPECT_TRUE(inner.ok()) << inner.status().ToString();
+  auto fs = WalFs::Mount(std::move(*inner), bed.nvmm.get(), kDevBytes - kWalBytes, kWalBytes,
+                         TestWalOptions(WalCommitFormat::kChecksum));
+  EXPECT_TRUE(fs.ok()) << fs.status().ToString();
+  bed.fs = std::move(*fs);
+  bed.vfs = std::make_unique<Vfs>(bed.fs.get());
+  return bed;
+}
+
+TEST(WalFsTest, ReadsMergeOverlayOverInnerFile) {
+  WalBed bed = MakeWalPmfsBed(WalCommitFormat::kChecksum, /*tracked=*/false);
+  ASSERT_TRUE(bed.vfs->WriteFile("/f", "0123456789").ok());
+  auto fd = bed.vfs->Open("/f", kRdWr);
+  ASSERT_TRUE(fd.ok());
+  // Overwrite the middle and extend past EOF with a hole.
+  ASSERT_TRUE(bed.vfs->Pwrite(*fd, "XY", 2, 4).ok());
+  ASSERT_TRUE(bed.vfs->Pwrite(*fd, "Z", 1, 20).ok());
+  auto st = bed.vfs->Fstat(*fd);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(21u, st->size);
+  std::string out = *bed.vfs->ReadFileToString("/f");
+  ASSERT_EQ(21u, out.size());
+  EXPECT_EQ("0123XY6789", out.substr(0, 10));
+  EXPECT_EQ(std::string(10, '\0'), out.substr(10, 10));
+  EXPECT_EQ('Z', out[20]);
+  ASSERT_TRUE(bed.vfs->Close(*fd).ok());
+
+  // After a checkpoint the inner FS alone must serve the same bytes.
+  ASSERT_TRUE(bed.fs->Checkpoint().ok());
+  EXPECT_EQ(0u, bed.fs->wal()->PendingBytes());
+  std::string drained = *bed.vfs->ReadFileToString("/f");
+  EXPECT_EQ(out, drained);
+  auto inner_attr = bed.fs->inner()->GetAttr(st->ino);
+  ASSERT_TRUE(inner_attr.ok());
+  EXPECT_EQ(21u, inner_attr->size);
+}
+
+TEST(WalFsTest, FsyncedWriteSurvivesCrashViaReplay) {
+  WalBed bed = MakeWalPmfsBed(WalCommitFormat::kChecksum);
+  auto fd = bed.vfs->Open("/durable", kRdWr | kCreate);
+  ASSERT_TRUE(fd.ok());
+  const std::string payload = "committed by fsync through the wal";
+  ASSERT_TRUE(bed.vfs->Pwrite(*fd, payload.data(), payload.size(), 0).ok());
+  ASSERT_TRUE(bed.vfs->Fsync(*fd).ok());
+
+  // A later un-synced write may be lost by the crash; it must not resurrect
+  // as garbage either (it simply was never committed).
+  ASSERT_TRUE(bed.vfs->Pwrite(*fd, "volatile", 8, 4096).ok());
+
+  auto image = bed.nvmm->CloneCrashImage();
+  ASSERT_TRUE(image.ok());
+  WalBed after = RemountFromImage(*image);
+  EXPECT_GE(after.fs->stats().Get(kStatWalReplayedRecords), 1u);
+  std::string out = *after.vfs->ReadFileToString("/durable");
+  EXPECT_EQ(payload, out);
+}
+
+TEST(WalFsTest, UnlinkedFileRecordsAreSkippedAtReplay) {
+  WalBed bed = MakeWalPmfsBed(WalCommitFormat::kChecksum);
+  // Commit records for /victim, then unlink it. The records stay in the log;
+  // replay must drop them (inode freed — generation/liveness check).
+  auto fd = bed.vfs->Open("/victim", kRdWr | kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(bed.vfs->Pwrite(*fd, "doomed", 6, 0).ok());
+  ASSERT_TRUE(bed.vfs->Fsync(*fd).ok());
+  ASSERT_TRUE(bed.vfs->Close(*fd).ok());
+  ASSERT_TRUE(bed.vfs->Unlink("/victim").ok());
+
+  // Reuse the inode slot: a new file that must NOT receive /victim's bytes.
+  auto fd2 = bed.vfs->Open("/fresh", kRdWr | kCreate);
+  ASSERT_TRUE(fd2.ok());
+  ASSERT_TRUE(bed.vfs->Fsync(*fd2).ok());
+
+  auto image = bed.nvmm->CloneCrashImage();
+  ASSERT_TRUE(image.ok());
+  WalBed after = RemountFromImage(*image);
+  EXPECT_FALSE(after.vfs->Exists("/victim").value_or(true));
+  auto fresh = after.vfs->ReadFileToString("/fresh");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(fresh->empty());
+  EXPECT_GE(after.fs->stats().Get(kStatWalReplaySkippedRecords), 1u);
+}
+
+TEST(WalFsTest, TruncateRecordReplaysAndSuppressesRegrow) {
+  WalBed bed = MakeWalPmfsBed(WalCommitFormat::kChecksum);
+  auto fd = bed.vfs->Open("/t", kRdWr | kCreate);
+  ASSERT_TRUE(fd.ok());
+  const std::string big(8192, 'q');
+  ASSERT_TRUE(bed.vfs->Pwrite(*fd, big.data(), big.size(), 0).ok());
+  ASSERT_TRUE(bed.vfs->Fsync(*fd).ok());
+  ASSERT_TRUE(bed.vfs->Ftruncate(*fd, 100).ok());
+  auto st = bed.vfs->Fstat(*fd);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(100u, st->size);
+
+  auto image = bed.nvmm->CloneCrashImage();
+  ASSERT_TRUE(image.ok());
+  WalBed after = RemountFromImage(*image);
+  auto out = after.vfs->ReadFileToString("/t");
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(100u, out->size());  // the 8 KB of logged data must not regrow it
+  EXPECT_EQ(std::string(100, 'q'), *out);
+}
+
+TEST(WalFsTest, LogFullWriteCheckpointsAndRetries) {
+  WalBed bed = MakeWalPmfsBed(WalCommitFormat::kChecksum, /*tracked=*/false);
+  auto fd = bed.vfs->Open("/big", kRdWr | kCreate | kSync);
+  ASSERT_TRUE(fd.ok());
+  // Far more sync-write bytes than the whole 1 MB carve: forces the
+  // checkpoint-and-retry path repeatedly.
+  const std::string chunk(64 << 10, 'w');
+  for (int i = 0; i < 40; i++) {
+    auto n = bed.vfs->Pwrite(*fd, chunk.data(), chunk.size(), uint64_t(i) * chunk.size());
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+    ASSERT_EQ(chunk.size(), *n);
+  }
+  auto st = bed.vfs->Fstat(*fd);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(40u * (64u << 10), st->size);
+  EXPECT_GE(bed.fs->stats().Get(kStatWalCheckpoints), 1u);
+  std::string out = *bed.vfs->ReadFileToString("/big");
+  EXPECT_EQ(st->size, out.size());
+  EXPECT_EQ(chunk, out.substr(0, chunk.size()));
+}
+
+TEST(WalFsTest, UnmountDrainsEverythingIntoInner) {
+  WalBed bed = MakeWalPmfsBed(WalCommitFormat::kChecksum, /*tracked=*/false);
+  ASSERT_TRUE(bed.vfs->WriteFile("/u", "drain me").ok());
+  ASSERT_TRUE(bed.vfs->Unmount().ok());
+  EXPECT_EQ(0u, bed.fs->wal()->PendingBytes());
+  // The inner FS must be independently remountable with the data in place.
+  auto inner = PmfsFs::Mount(bed.nvmm.get());
+  ASSERT_TRUE(inner.ok()) << inner.status().ToString();
+  Vfs inner_vfs(inner->get());
+  EXPECT_EQ("drain me", *inner_vfs.ReadFileToString("/u"));
+}
+
+TEST(WalFsTest, ConcurrentWritersAndFsyncs) {
+  WalBed bed = MakeWalPmfsBed(WalCommitFormat::kChecksum, /*tracked=*/false);
+  constexpr int kThreads = 4;
+  constexpr int kWritesPerThread = 64;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      const std::string path = "/c" + std::to_string(t);
+      auto fd = bed.vfs->Open(path, kRdWr | kCreate);
+      if (!fd.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      std::string block(512, char('a' + t));
+      for (int i = 0; i < kWritesPerThread; i++) {
+        if (!bed.vfs->Pwrite(*fd, block.data(), block.size(), uint64_t(i) * block.size()).ok() ||
+            !bed.vfs->Fdatasync(*fd).ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+      bed.vfs->Close(*fd).ok();
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  ASSERT_EQ(0, failures.load());
+  ASSERT_TRUE(bed.fs->Checkpoint().ok());
+  for (int t = 0; t < kThreads; t++) {
+    auto out = bed.vfs->ReadFileToString("/c" + std::to_string(t));
+    ASSERT_TRUE(out.ok());
+    ASSERT_EQ(size_t(kWritesPerThread) * 512, out->size());
+    EXPECT_EQ(std::string(512, char('a' + t)), out->substr(0, 512));
+  }
+}
+
+TEST(WalFsTest, TestBedWalVariantsMountForEveryBaseline) {
+  for (FsKind kind : {FsKind::kPmfs, FsKind::kHinfs, FsKind::kExt4Dax}) {
+    TestBedConfig cfg;
+    cfg.nvmm = FastConfig();
+    cfg.pmfs.max_inodes = 1024;
+    cfg.pmfs.journal_bytes = 256 << 10;
+    cfg.hinfs.buffer_bytes = 1 << 20;
+    cfg.hinfs.wal.regions = 2;
+    cfg.hinfs.wal.total_bytes = kWalBytes;  // 32 MB test device: default carve is too big
+    cfg.hinfs.wal.checkpoint_ms = 0;
+    cfg.wal = true;
+    auto bed = MakeTestBed(kind, cfg);
+    ASSERT_TRUE(bed.ok()) << FsKindName(kind) << ": " << bed.status().ToString();
+    EXPECT_TRUE((*bed)->fs->SupportsLoggedDurability());
+    EXPECT_NE(std::string::npos, (*bed)->fs->Name().find("+wal")) << (*bed)->fs->Name();
+    auto fd = (*bed)->vfs->Open("/smoke", kRdWr | kCreate);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE((*bed)->vfs->Pwrite(*fd, "hello", 5, 0).ok());
+    ASSERT_TRUE((*bed)->vfs->Fsync(*fd).ok());
+    EXPECT_EQ("hello", *(*bed)->vfs->ReadFileToString("/smoke"));
+    ASSERT_TRUE((*bed)->vfs->Unmount().ok());
+  }
+}
+
+}  // namespace
+}  // namespace hinfs

@@ -239,7 +239,7 @@ TEST(MacroTest, KernelMakeWritesObjects) {
   auto result = RunKernelMake((*bed)->vfs.get(), cfg);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_GT(result->bytes_written, 0u);
-  EXPECT_TRUE((*bed)->vfs->Exists("/obj/vmlinux"));
+  EXPECT_TRUE((*bed)->vfs->Exists("/obj/vmlinux").value_or(false));
 }
 
 }  // namespace

@@ -24,7 +24,7 @@ import sys
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 from plot_bench import load_rows  # noqa: E402  (same row model as the plotter)
 
-LOWER_IS_BETTER = ("_ns", "_ms", "_us", "latency", "time", "bytes_written")
+LOWER_IS_BETTER = ("_ns", "_ms", "_us", "latency", "time", "seconds", "bytes_written")
 HIGHER_IS_BETTER = ("per_sec", "ops", "throughput", "mb_s", "iops")
 
 

@@ -1,8 +1,9 @@
 // crashlab: systematic crash-state exploration from the command line.
 //
-//   crashlab [--fs pmfs|hinfs|blockfs|blockfs-dax] [--mix <name>|all]
+//   crashlab [--fs pmfs|hinfs|blockfs|blockfs-dax|pmfs+wal] [--mix <name>|all]
 //            [--flush clflush|clflushopt] [--seed N] [--states-per-cut N]
 //            [--max-states N] [--json <path>] [--no-fsck]
+//            [--wal-commit checksum|fence]
 //
 // Replays the chosen workload mix(es), enumerates every legal crash state,
 // and remount+fsck+oracle-checks each one. Exit status 1 if any state
@@ -21,9 +22,10 @@ namespace {
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--fs pmfs|hinfs|blockfs|blockfs-dax] [--mix <name>|all]\n"
+               "usage: %s [--fs pmfs|hinfs|blockfs|blockfs-dax|pmfs+wal] [--mix <name>|all]\n"
                "          [--flush clflush|clflushopt] [--seed N] [--states-per-cut N]\n"
                "          [--max-states N] [--json <path>] [--no-fsck]\n"
+               "          [--wal-commit checksum|fence]\n"
                "mixes: ",
                argv0);
   for (const std::string& m : hinfs::CrashWorkloadMixes()) {
@@ -59,8 +61,20 @@ int main(int argc, char** argv) {
         opts.fs = CrashFs::kBlockFsJournal;
       } else if (v == "blockfs-dax") {
         opts.fs = CrashFs::kBlockFsDax;
+      } else if (v == "pmfs+wal" || v == "wal") {
+        opts.fs = CrashFs::kWalPmfs;
       } else {
         std::fprintf(stderr, "error: unknown fs '%s'\n", v.c_str());
+        return 2;
+      }
+    } else if (arg == "--wal-commit") {
+      const std::string v = value();
+      if (v == "checksum") {
+        opts.wal_commit_format = hinfs::WalCommitFormat::kChecksum;
+      } else if (v == "fence") {
+        opts.wal_commit_format = hinfs::WalCommitFormat::kFence;
+      } else {
+        std::fprintf(stderr, "error: unknown commit format '%s'\n", v.c_str());
         return 2;
       }
     } else if (arg == "--mix") {

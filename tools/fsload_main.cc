@@ -109,6 +109,12 @@ class LatencyApi final : public FsApi {
   Status Fsync(int fd) override {
     return Timed([&] { return base_->Fsync(fd); });
   }
+  Status Fdatasync(int fd) override {
+    return Timed([&] { return base_->Fdatasync(fd); });
+  }
+  Status Sync(int fd, const SyncOptions& options) override {
+    return Timed([&] { return base_->Sync(fd, options); });
+  }
   Status Ftruncate(int fd, uint64_t size) override {
     return Timed([&] { return base_->Ftruncate(fd, size); });
   }
@@ -133,7 +139,7 @@ class LatencyApi final : public FsApi {
   Result<std::vector<DirEntry>> ReadDir(std::string_view path) override {
     return Timed([&] { return base_->ReadDir(path); });
   }
-  bool Exists(std::string_view path) override {
+  Result<bool> Exists(std::string_view path) override {
     return Timed([&] { return base_->Exists(path); });
   }
   Status SyncFs() override {

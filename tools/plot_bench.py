@@ -39,10 +39,24 @@ import sys
 RESERVED = ("fs", "personality")
 
 
+def load_config(path):
+    """Returns the bench config block ({} for bare-array or google-benchmark files)."""
+    with open(path, "r") as f:
+        data = json.load(f)
+    if isinstance(data, dict) and "rows" in data:
+        return data.get("config", {})
+    return {}
+
+
 def load_rows(path):
     """Returns a list of normalized row dicts: fs, personality, x_key, x, value_key, value."""
     with open(path, "r") as f:
         data = json.load(f)
+
+    # Benches emit {"config": {...}, "rows": [...]} since the WAL PR; older
+    # recorded baselines are bare arrays. Both normalize to the same rows.
+    if isinstance(data, dict) and "rows" in data:
+        data = data["rows"]
 
     rows = []
     if isinstance(data, dict) and "benchmarks" in data:
@@ -110,6 +124,17 @@ def ascii_plot(title, x_key, value_key, series, width=48):
         for x, v in pts:
             bar = "#" * max(1, int(width * v / peak))
             print(f"    {x_key}={x:<10g} {bar} {v:g}")
+    # Pair each "<fs>+wal" series with its wal-off base and print the ratio,
+    # so the logged-durability speedup is readable straight off the chart.
+    for fs, pts in sorted(series.items()):
+        base = series.get(fs.replace("+wal", "")) if fs.endswith("+wal") else None
+        if not base:
+            continue
+        base_by_x = dict(base)
+        for x, v in pts:
+            if x in base_by_x and base_by_x[x] > 0:
+                print(f"  {fs} vs {fs.replace('+wal', '')} @ {x_key}={x:g}: "
+                      f"{v / base_by_x[x]:.2f}x")
 
 
 def render_delta(base_path, cand_path, out_dir, formats, use_ascii):
@@ -174,6 +199,10 @@ def render_delta(base_path, cand_path, out_dir, formats, use_ascii):
 
 def render(path, out_dir, formats, use_ascii):
     rows = load_rows(path)
+    config = load_config(path)
+    if config:
+        print(f"{path}: config " +
+              " ".join(f"{k}={v}" for k, v in sorted(config.items())))
     base = os.path.splitext(os.path.basename(path))[0]
     made = []
 
