@@ -176,6 +176,7 @@ void WalFs::DropOverlay(uint64_t ino) {
   OverlayShard& shard = ShardFor(ino);
   std::lock_guard<std::mutex> lock(shard.mu);
   shard.files.erase(ino);
+  shard.inner_dirty.erase(ino);
 }
 
 // --- namespace ops -----------------------------------------------------------
@@ -308,6 +309,13 @@ Result<size_t> WalFs::Write(uint64_t ino, uint64_t offset, const void* src, size
           if (options.synchronous()) {
             stat_eager_writes_->fetch_add(1, std::memory_order_relaxed);
           } else {
+            // The bytes may sit in the inner FS's volatile write buffer;
+            // Fsync must forward there even if logged records also exist.
+            // Marked AFTER the inner write so a concurrent Fsync either sees
+            // the mark or already covered the completed write.
+            lock.lock();
+            shard.inner_dirty.insert(ino);
+            lock.unlock();
             stat_lazy_writes_->fetch_add(1, std::memory_order_relaxed);
           }
           stat_written_bytes_->fetch_add(len, std::memory_order_relaxed);
@@ -402,25 +410,67 @@ Status WalFs::Truncate(uint64_t ino, uint64_t new_size) {
 Status WalFs::Fsync(uint64_t ino, const SyncOptions& options) {
   ScopedTimer timer(stat_fsync_ns_);
   std::shared_lock<std::shared_mutex> dlock(drain_mu_);
+  OverlayShard& shard = ShardFor(ino);
+  // COPY pending (don't swap it out): the entries must survive until the
+  // commits below succeed, so a failed commit leaves a retried fsync with
+  // work to do, and a concurrent fsync of the same file cannot observe an
+  // empty map — and return OK — before this caller's flush+fence completes
+  // (it re-commits the same tickets; the group-commit fast path makes the
+  // overlap one atomic load once the leader's fence is durable).
   std::map<uint32_t, uint64_t> pending;
+  bool inner_dirty = false;
   {
-    OverlayShard& shard = ShardFor(ino);
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.files.find(ino);
     if (it != shard.files.end()) {
-      pending.swap(it->second.pending);
+      pending = it->second.pending;
     }
+    // Erase-before-forward: a direct buffered write re-marks after its inner
+    // write completes, so any write this erase uncovers either re-sets the
+    // mark or finished before the inner fsync below and is covered by it.
+    inner_dirty = shard.inner_dirty.erase(ino) > 0;
   }
-  if (pending.empty()) {
-    // Nothing logged since the last sync: whatever the inner FS buffers
-    // (HiNFS's write buffer) still has to go, so forward.
-    return inner_->Fsync(ino, options);
-  }
+  auto restore_dirty = [&] {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.inner_dirty.insert(ino);
+  };
   // fsync vs fdatasync is the same persist here — the log commit covers data
   // and the size/mtime needed to recover it; fdatasync merely documents that
   // the caller would tolerate less.
   for (const auto& [region, seq] : pending) {
-    HINFS_RETURN_IF_ERROR(wal_->Commit(WalTicket{region, seq}, options.allow_group_wait));
+    Status committed = wal_->Commit(WalTicket{region, seq}, options.allow_group_wait);
+    if (!committed.ok()) {
+      if (inner_dirty) {
+        restore_dirty();
+      }
+      return committed;
+    }
+  }
+  if (pending.empty() || inner_dirty) {
+    // Nothing logged since the last sync, or a direct pass-through write
+    // bypassed the log: whatever the inner FS buffers (HiNFS's write buffer)
+    // still has to go, so forward.
+    Status synced = inner_->Fsync(ino, options);
+    if (!synced.ok()) {
+      if (inner_dirty) {
+        restore_dirty();
+      }
+      return synced;
+    }
+  }
+  if (!pending.empty()) {
+    // Everything durable: retire exactly what was committed. A region whose
+    // seq advanced meanwhile keeps its (newer) entry for the next sync.
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.files.find(ino);
+    if (it != shard.files.end()) {
+      for (const auto& [region, seq] : pending) {
+        auto p = it->second.pending.find(region);
+        if (p != it->second.pending.end() && p->second <= seq) {
+          it->second.pending.erase(p);
+        }
+      }
+    }
   }
   return OkStatus();
 }

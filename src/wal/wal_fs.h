@@ -35,6 +35,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/nvmm/nvmm_device.h"
@@ -112,6 +113,11 @@ class WalFs final : public FileSystem {
   struct alignas(64) OverlayShard {
     std::mutex mu;
     std::unordered_map<uint64_t, FileState> files;
+    // Inodes whose buffered writes bypassed the log into the inner FS's
+    // volatile write buffer (the direct pass-through in Write): their next
+    // Fsync must forward to the inner FS even when logged records exist.
+    // Cleared by that forward, or when the inode's overlay is dropped.
+    std::unordered_set<uint64_t> inner_dirty;
   };
   static constexpr size_t kOverlayShards = 16;
 

@@ -84,8 +84,14 @@ Result<std::unique_ptr<WalManager>> WalManager::Format(NvmmDevice* nvmm, uint64_
   HINFS_RETURN_IF_ERROR(wal->InitRegions(base, region_count, region_bytes));
   WalRegionHeader fresh{};
   fresh.epoch = 1;  // matches Region::epoch's initial value
+  // Void each record area's first line: a zeroed record header fails both the
+  // shape and epoch checks, so residue from a previous lifetime of this carve
+  // (which could legitimately carry epoch 1 and valid CRCs) can never be
+  // reached by the first post-format tail scan.
+  WalRecordHeader voided{};
   for (const auto& r : wal->regions_) {
     HINFS_RETURN_IF_ERROR(nvmm->StorePersistent(r->header_addr, &fresh, sizeof(fresh)));
+    HINFS_RETURN_IF_ERROR(nvmm->StorePersistent(r->data_addr, &voided, sizeof(voided)));
   }
   return wal;
 }
@@ -129,6 +135,9 @@ Result<std::unique_ptr<WalManager>> WalManager::Mount(NvmmDevice* nvmm, uint64_t
     r->committed_tail.store(end_off, std::memory_order_relaxed);
     r->committed_seq.store(region_seq, std::memory_order_relaxed);
     r->last_seq = region_seq;
+    // Whatever the scan concluded, current-epoch residue may survive beyond
+    // end_off; the post-replay recycle must retire this epoch.
+    r->needs_epoch_bump = true;
     max_seq = std::max(max_seq, region_seq);
   }
   wal->next_seq_.store(max_seq + 1, std::memory_order_relaxed);
@@ -350,8 +359,11 @@ Status WalManager::ResetAllRegions() {
   uint64_t recycled = 0;
   for (auto& r : regions_) {
     std::scoped_lock lock(r->commit_mu, r->append_mu);
-    if (r->tail.load(std::memory_order_relaxed) == 0 &&
-        r->committed_tail.load(std::memory_order_relaxed) == 0) {
+    // An untouched region can skip the recycle ONLY if its epoch provably
+    // has no records in the record area: any append sets tail, and a mount
+    // pessimistically flags the region (residue beyond the recovered tail
+    // may carry the current epoch).
+    if (r->tail.load(std::memory_order_relaxed) == 0 && !r->needs_epoch_bump) {
       continue;
     }
     const uint64_t zero = 0;
@@ -372,6 +384,7 @@ Status WalManager::ResetAllRegions() {
     ranges.push_back({r->header_addr, kCachelineSize});
     r->tail.store(0, std::memory_order_relaxed);
     r->committed_tail.store(0, std::memory_order_relaxed);
+    r->needs_epoch_bump = false;
     recycled++;
   }
   if (!ranges.empty()) {

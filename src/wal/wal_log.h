@@ -121,6 +121,12 @@ class WalManager {
     std::atomic<uint64_t> tail{0};
     uint64_t last_seq = 0;
     uint64_t epoch = 1;
+    // Set at Mount: the record area may hold current-epoch residue beyond
+    // the recovered tail (e.g. the scan broke at a torn record with intact
+    // same-epoch records past it), so the next recycle must bump the epoch
+    // even if nothing was appended since — otherwise a later scan could run
+    // past fresh records into the residue and replay stale data.
+    bool needs_epoch_bump = false;
 
     // Commit state. committed_tail/committed_seq mirror what a recovery scan
     // would find durable; readers use them for the group-commit fast path.

@@ -14,6 +14,7 @@
 
 #include "src/common/stats.h"
 #include "src/fs/pmfs/pmfs_fs.h"
+#include "src/hinfs/hinfs_fs.h"
 #include "src/nvmm/nvmm_device.h"
 #include "src/vfs/vfs.h"
 #include "src/wal/wal_fs.h"
@@ -182,6 +183,86 @@ TEST(WalManagerTest, TornRecordIsCorruptionUnderFenceFormat) {
   EXPECT_EQ(ErrorCode::kIoError, recs.status().code());
 }
 
+TEST(WalManagerTest, ReformatVoidsPreviousLifetimeRecords) {
+  NvmmDevice nvmm(FastConfig());
+  StatsRegistry stats;
+  auto wal = WalManager::Format(&nvmm, 0, kWalBytes,
+                                TestWalOptions(WalCommitFormat::kChecksum), &stats);
+  ASSERT_TRUE(wal.ok());
+  const std::string a(64, 'a');
+  auto t1 = (*wal)->Append(WalRecordType::kData, 3, 0, 1, a.data(), a.size());
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE((*wal)->Commit(*t1, true).ok());
+
+  // Re-format the same carve. The first lifetime's record sits at offset 0
+  // with epoch 1 and a valid CRC — exactly what a fresh (epoch-1) region
+  // header would accept if format left the record area untouched. The voided
+  // first record line must make it unreachable.
+  StatsRegistry stats2;
+  auto wal2 = WalManager::Format(&nvmm, 0, kWalBytes,
+                                 TestWalOptions(WalCommitFormat::kChecksum), &stats2);
+  ASSERT_TRUE(wal2.ok());
+  auto recs = (*wal2)->CommittedRecords();
+  ASSERT_TRUE(recs.ok()) << recs.status().ToString();
+  EXPECT_TRUE(recs->empty());
+
+  StatsRegistry stats3;
+  auto wal3 = WalManager::Mount(&nvmm, 0, kWalBytes, WalOptions{}, &stats3);
+  ASSERT_TRUE(wal3.ok()) << wal3.status().ToString();
+  auto recs3 = (*wal3)->CommittedRecords();
+  ASSERT_TRUE(recs3.ok());
+  EXPECT_TRUE(recs3->empty());
+}
+
+TEST(WalManagerTest, RecycleAfterTornFirstRecordVoidsSameEpochResidue) {
+  NvmmDevice nvmm(FastConfig());
+  StatsRegistry stats;
+  WalOptions opts = TestWalOptions(WalCommitFormat::kChecksum);
+  opts.regions = 1;
+  auto wal = WalManager::Format(&nvmm, 0, kWalBytes, opts, &stats);
+  ASSERT_TRUE(wal.ok());
+  const std::string a(64, 'a');
+  const std::string b(64, 'b');
+  auto t1 = (*wal)->Append(WalRecordType::kData, 5, 0, 1, a.data(), a.size());
+  ASSERT_TRUE(t1.ok());
+  auto t2 = (*wal)->Append(WalRecordType::kData, 5, 64, 1, b.data(), b.size());
+  ASSERT_TRUE(t2.ok());
+  ASSERT_TRUE((*wal)->Commit(*t2, true).ok());
+
+  // Tear the FIRST record: the tail scan breaks at offset 0 and recovers
+  // nothing, while record 2 survives beyond the break with a valid CRC and
+  // the current epoch.
+  const std::string garbage(64, '\0');
+  ASSERT_TRUE(
+      nvmm.StorePersistent(Region0DataAddr(0) + 64, garbage.data(), garbage.size()).ok());
+
+  StatsRegistry stats2;
+  auto wal2 = WalManager::Mount(&nvmm, 0, kWalBytes, WalOptions{}, &stats2);
+  ASSERT_TRUE(wal2.ok()) << wal2.status().ToString();
+  auto recs = (*wal2)->CommittedRecords();
+  ASSERT_TRUE(recs.ok());
+  EXPECT_TRUE(recs->empty());
+
+  // The post-replay recycle must retire the epoch even though the scan put
+  // the tail at 0 — otherwise the append below reuses it, and the next
+  // recovery runs past the fresh record straight into record 2's stale bytes
+  // and replays them over acknowledged data.
+  ASSERT_TRUE((*wal2)->ResetAllRegions().ok());
+  const std::string c(64, 'c');
+  auto t3 = (*wal2)->Append(WalRecordType::kData, 9, 0, 2, c.data(), c.size());
+  ASSERT_TRUE(t3.ok());
+  ASSERT_TRUE((*wal2)->Commit(*t3, true).ok());
+
+  StatsRegistry stats3;
+  auto wal3 = WalManager::Mount(&nvmm, 0, kWalBytes, WalOptions{}, &stats3);
+  ASSERT_TRUE(wal3.ok()) << wal3.status().ToString();
+  auto recs3 = (*wal3)->CommittedRecords();
+  ASSERT_TRUE(recs3.ok()) << recs3.status().ToString();
+  ASSERT_EQ(1u, recs3->size());
+  EXPECT_EQ(9u, (*recs3)[0].ino);
+  EXPECT_EQ(c, (*recs3)[0].payload);
+}
+
 TEST(WalManagerTest, RegionFullReturnsNoSpace) {
   NvmmDevice nvmm(FastConfig());
   StatsRegistry stats;
@@ -337,6 +418,78 @@ TEST(WalFsTest, FsyncedWriteSurvivesCrashViaReplay) {
   EXPECT_GE(after.fs->stats().Get(kStatWalReplayedRecords), 1u);
   std::string out = *after.vfs->ReadFileToString("/durable");
   EXPECT_EQ(payload, out);
+}
+
+TEST(WalFsTest, FsyncRetiresOnlyCommittedPendingEntries) {
+  // The first fsync must leave the pending bookkeeping usable (entries are
+  // copied and retired after the commit succeeds, not swapped out), so the
+  // second write re-registers and the second fsync commits it.
+  WalBed bed = MakeWalPmfsBed(WalCommitFormat::kChecksum);
+  auto fd = bed.vfs->Open("/seq", kRdWr | kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(bed.vfs->Pwrite(*fd, "one", 3, 0).ok());
+  ASSERT_TRUE(bed.vfs->Fsync(*fd).ok());
+  ASSERT_TRUE(bed.vfs->Pwrite(*fd, "two", 3, 100).ok());
+  ASSERT_TRUE(bed.vfs->Fsync(*fd).ok());
+
+  auto image = bed.nvmm->CloneCrashImage();
+  ASSERT_TRUE(image.ok());
+  WalBed after = RemountFromImage(*image);
+  auto out = after.vfs->ReadFileToString("/seq");
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(103u, out->size());
+  EXPECT_EQ("one", out->substr(0, 3));
+  EXPECT_EQ("two", out->substr(100, 3));
+}
+
+TEST(WalFsTest, FsyncCoversDirectBufferedWritesIntoInner) {
+  // The direct pass-through for large in-place overwrites hands BUFFERED
+  // writes to the inner FS, where HiNFS parks them in its volatile DRAM
+  // write buffer. An fsync that finds logged records must still forward to
+  // the inner FS, or the acknowledged bypass bytes die in the crash.
+  auto nvmm = std::make_unique<NvmmDevice>(FastConfig(/*tracked=*/true));
+  HinfsOptions hopts;
+  hopts.buffer_bytes = 1 << 20;
+  PmfsOptions popts;
+  popts.max_inodes = 1024;
+  popts.journal_bytes = 256 << 10;
+  popts.device_bytes = kDevBytes - kWalBytes;
+  auto inner = HinfsFs::Format(nvmm.get(), hopts, popts);
+  ASSERT_TRUE(inner.ok()) << inner.status().ToString();
+  auto fs = WalFs::Format(std::move(*inner), nvmm.get(), kDevBytes - kWalBytes, kWalBytes,
+                          TestWalOptions(WalCommitFormat::kChecksum));
+  ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+  Vfs vfs(fs->get());
+
+  // Materialize /db at 8 KB in the inner FS and drop its overlay, so the
+  // next large in-place overwrite takes the direct bypass.
+  auto fd = vfs.Open("/db", kRdWr | kCreate);
+  ASSERT_TRUE(fd.ok());
+  const std::string base(8192, 'o');
+  ASSERT_TRUE(vfs.Pwrite(*fd, base.data(), base.size(), 0).ok());
+  ASSERT_TRUE((*fs)->Checkpoint().ok());
+
+  const std::string fresh(4096, 'n');
+  ASSERT_TRUE(vfs.Pwrite(*fd, fresh.data(), fresh.size(), 0).ok());
+  EXPECT_GE((*fs)->stats().Get(kStatWalDirectWrites), 1u);
+  ASSERT_TRUE(vfs.Pwrite(*fd, "x", 1, 5000).ok());  // logged: pending is non-empty
+  ASSERT_TRUE(vfs.Fsync(*fd).ok());
+
+  auto image = nvmm->CloneCrashImage();
+  ASSERT_TRUE(image.ok());
+  auto dev2 = std::make_unique<NvmmDevice>(FastConfig(/*tracked=*/true));
+  ASSERT_TRUE(dev2->InstallImage(image->data(), image->size()).ok());
+  auto inner2 = HinfsFs::Mount(dev2.get(), hopts);
+  ASSERT_TRUE(inner2.ok()) << inner2.status().ToString();
+  auto fs2 = WalFs::Mount(std::move(*inner2), dev2.get(), kDevBytes - kWalBytes, kWalBytes,
+                          TestWalOptions(WalCommitFormat::kChecksum));
+  ASSERT_TRUE(fs2.ok()) << fs2.status().ToString();
+  Vfs vfs2(fs2->get());
+  auto out = vfs2.ReadFileToString("/db");
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(8192u, out->size());
+  EXPECT_EQ(fresh, out->substr(0, fresh.size())) << "fsync-acknowledged bypass bytes lost";
+  EXPECT_EQ('x', (*out)[5000]);
 }
 
 TEST(WalFsTest, UnlinkedFileRecordsAreSkippedAtReplay) {
