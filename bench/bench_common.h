@@ -201,11 +201,15 @@ struct BenchJsonRow {
   double x = 0;
   double value = 0;
   const char* value_key = "ops_per_sec";
+  // QoS tenant the row measures; < 0 (the default) omits the field so the
+  // JSON of non-multi-tenant benches is unchanged.
+  int tenant = -1;
 };
 
 // The JSON document is {"config": {...}, "rows": [...]}: the config block
 // records the env-resolved knobs the run used (bench budget + the WAL knobs
-// from HinfsOptions::FromEnv), so a recorded perf file is self-describing.
+// from HinfsOptions::FromEnv + the HINFS_QOS_* tenant-scheduler knobs), so a
+// recorded perf file is self-describing.
 // plot_bench.py/bench_compare.py accept both this shape and the bare-array
 // form older perf/ baselines use.
 inline bool WriteBenchJson(const std::string& path, const std::vector<BenchJsonRow>& rows) {
@@ -218,23 +222,38 @@ inline bool WriteBenchJson(const std::string& path, const std::vector<BenchJsonR
     return false;
   }
   const HinfsOptions env_opts = HinfsOptions::FromEnv(HinfsOptions{});
+  const qos::QosConfig qos_cfg = qos::QosConfig::FromEnv();
+  std::string qos_weights;
+  for (size_t i = 0; i < qos_cfg.weights.size(); i++) {
+    if (i > 0) {
+      qos_weights += ',';
+    }
+    qos_weights += std::to_string(qos_cfg.weights[i]);
+  }
   std::fprintf(f, "{\n  \"config\": {\"duration_ms\": %llu, \"max_threads\": %d, "
                "\"scale_div\": %zu,\n             \"wal_regions\": %u, "
                "\"wal_bytes\": %zu, \"wal_commit_fmt\": \"%s\", "
-               "\"wal_checkpoint_ms\": %llu, \"wal_direct_min\": %zu},\n",
+               "\"wal_checkpoint_ms\": %llu, \"wal_direct_min\": %zu,\n             "
+               "\"qos_tenants\": %u, \"qos_weights\": \"%s\", "
+               "\"qos_fg_reserve\": %g},\n",
                static_cast<unsigned long long>(BenchDurationMs()), BenchMaxThreads(),
                BenchScaleDiv(), env_opts.wal.regions, env_opts.wal.total_bytes,
                env_opts.wal.commit_format == WalCommitFormat::kChecksum ? "checksum"
                                                                         : "fence",
                static_cast<unsigned long long>(env_opts.wal.checkpoint_ms),
-               env_opts.wal.direct_write_bytes);
+               env_opts.wal.direct_write_bytes, qos_cfg.tenants, qos_weights.c_str(),
+               qos_cfg.fg_reserve);
   std::fprintf(f, "  \"rows\": [\n");
   for (size_t i = 0; i < rows.size(); i++) {
     const BenchJsonRow& r = rows[i];
+    char tenant[32] = "";
+    if (r.tenant >= 0) {
+      std::snprintf(tenant, sizeof(tenant), ", \"tenant\": %d", r.tenant);
+    }
     std::fprintf(f, "  {\"fs\": \"%s\", \"personality\": \"%s\", \"%s\": %g, "
-                 "\"%s\": %.3f}%s\n",
+                 "\"%s\": %.3f%s}%s\n",
                  r.fs.c_str(), r.personality.c_str(), r.x_key, r.x, r.value_key, r.value,
-                 i + 1 < rows.size() ? "," : "");
+                 tenant, i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "]\n}\n");
   std::fclose(f);
@@ -253,6 +272,7 @@ inline TestBedConfig PaperBedConfig(size_t device_bytes = 256ull << 20,
   cfg.nvmm.write_bandwidth_bytes_per_sec = 1ull << 30;
   cfg.hinfs.buffer_bytes = buffer_bytes;
   cfg.hinfs = HinfsOptions::FromEnv(cfg.hinfs);
+  cfg.nvmm.qos = qos::QosConfig::FromEnv(cfg.nvmm.qos);
   cfg.pmfs.max_inodes = 1 << 14;
   // The paper gives the NVMMBD baselines 3 GB of system memory for a 5 GB
   // dataset; scaled down, the page cache holds ~60 % of our ~13 MB dataset.

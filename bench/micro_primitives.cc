@@ -16,6 +16,7 @@
 #include "src/hinfs/cacheline_bitmap.h"
 #include "src/hinfs/dram_buffer.h"
 #include "src/nvmm/nvmm_device.h"
+#include "src/qos/qos_scheduler.h"
 
 namespace hinfs {
 namespace {
@@ -90,33 +91,50 @@ void BM_LineMask(benchmark::State& state) {
 }
 BENCHMARK(BM_LineMask);
 
-// Every NvmmDevice::Flush trips the BandwidthLimiter, so the limiter is the
-// single structure every writeback worker and eager-persistent writer shares.
-// This bench hammers Acquire from concurrent threads and reports the split
-// between the fast path (request fits the burst window, no wait) and the slow
-// path (bucket dry: the caller spins). range(0) is the modeled bandwidth in
-// GB/s: 64 GB/s never runs dry (pure contention measurement), 1 GB/s (the
-// paper default) saturates and exercises the spin path.
+// Every NvmmDevice::Flush trips the bandwidth arbiter, so it is the single
+// structure every writeback worker and eager-persistent writer shares. This
+// bench hammers QosScheduler::Acquire from concurrent threads — even threads
+// charge as foreground tenants (alternating tenant 0/1), odd threads as
+// background writeback traffic — and reports fast (request fits the burst
+// window, no wait) vs slow (bucket dry: the caller spins) acquisitions per
+// traffic class, so the foreground-reserve split is visible in bench-smoke
+// JSON. range(0) is the modeled bandwidth in GB/s: 64 GB/s never runs dry
+// (pure contention measurement), 1 GB/s (the paper default) saturates and
+// exercises the spin + work-conserving-borrow paths.
 void BM_BandwidthAcquire(benchmark::State& state) {
-  static std::unique_ptr<BandwidthLimiter> limiter;
-  static uint64_t fast_base = 0;
-  static uint64_t slow_base = 0;
+  static std::unique_ptr<qos::QosScheduler> sched;
+  static uint64_t bps = 0;
+  static uint64_t fg_fast_base = 0, fg_slow_base = 0;
+  static uint64_t bg_fast_base = 0, bg_slow_base = 0;
   if (state.thread_index() == 0) {
-    const uint64_t bps = static_cast<uint64_t>(state.range(0)) << 30;
-    if (limiter == nullptr || limiter->bytes_per_sec() != bps) {
-      limiter = std::make_unique<BandwidthLimiter>(LatencyMode::kSpin, bps);
+    bps = static_cast<uint64_t>(state.range(0)) << 30;
+    if (sched == nullptr) {
+      qos::QosConfig cfg;
+      cfg.tenants = 2;
+      cfg.fg_reserve = 0.5;
+      sched = std::make_unique<qos::QosScheduler>(LatencyMode::kSpin, cfg);
     }
-    fast_base = limiter->fast_acquires();
-    slow_base = limiter->slow_acquires();
+    fg_fast_base = sched->fg_fast_acquires();
+    fg_slow_base = sched->fg_slow_acquires();
+    bg_fast_base = sched->bg_fast_acquires();
+    bg_slow_base = sched->bg_slow_acquires();
   }
+  const qos::QosContext ctx{
+      static_cast<qos::TenantId>((state.thread_index() / 2) % 2),
+      state.thread_index() % 2 == 1 ? qos::TrafficClass::kBackground
+                                    : qos::TrafficClass::kForeground};
   for (auto _ : state) {
-    limiter->Acquire(kCachelineSize);
+    sched->Acquire(ctx, kCachelineSize, bps);
   }
   if (state.thread_index() == 0) {
-    state.counters["fast_acquires"] =
-        static_cast<double>(limiter->fast_acquires() - fast_base);
-    state.counters["slow_acquires"] =
-        static_cast<double>(limiter->slow_acquires() - slow_base);
+    state.counters["fg_fast_acquires"] =
+        static_cast<double>(sched->fg_fast_acquires() - fg_fast_base);
+    state.counters["fg_slow_acquires"] =
+        static_cast<double>(sched->fg_slow_acquires() - fg_slow_base);
+    state.counters["bg_fast_acquires"] =
+        static_cast<double>(sched->bg_fast_acquires() - bg_fast_base);
+    state.counters["bg_slow_acquires"] =
+        static_cast<double>(sched->bg_slow_acquires() - bg_slow_base);
   }
   state.SetItemsProcessed(state.iterations());
 }

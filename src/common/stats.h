@@ -112,6 +112,16 @@ inline constexpr char kStatSrvQueuedBytes[] = "srv_queued_bytes";
 inline constexpr char kStatSrvProtocolErrors[] = "srv_protocol_errors";
 inline constexpr char kStatSrvBackpressureStalls[] = "srv_backpressure_stalls";
 inline constexpr char kStatSrvRequestsServed[] = "srv_requests_served";
+// QoS scheduler counters (src/qos/qos_scheduler.h). Acquisitions admitted
+// without waiting vs. after a throttle wait, split by traffic class; the
+// per-bucket series (charged bytes, throttle waits/ns, borrowed bytes,
+// instantaneous deficit) live under "qos_t<tenant>_*" for foreground tenants
+// and "qos_bg_*" for the shared background bucket, created by
+// QosScheduler::ExportStats.
+inline constexpr char kStatQosFgFastAcquires[] = "qos_fg_fast_acquires";
+inline constexpr char kStatQosFgSlowAcquires[] = "qos_fg_slow_acquires";
+inline constexpr char kStatQosBgFastAcquires[] = "qos_bg_fast_acquires";
+inline constexpr char kStatQosBgSlowAcquires[] = "qos_bg_slow_acquires";
 
 }  // namespace hinfs
 

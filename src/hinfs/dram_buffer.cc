@@ -6,6 +6,7 @@
 
 #include "src/common/clock.h"
 #include "src/hinfs/cacheline_bitmap.h"
+#include "src/qos/tenant.h"
 
 // The lock-free read path copies frame bytes with no lock held and discards
 // the copy when the entry's seqlock moved. TSan cannot see the seqlock's
@@ -1463,6 +1464,10 @@ void DramBufferManager::ProcessShard(Shard& s) {
 }
 
 void DramBufferManager::WritebackThread(size_t worker) {
+  // Writeback flushes are background traffic: no syscall is blocked on them,
+  // so the QoS scheduler charges them to the shared background bucket instead
+  // of whichever tenant happened to dirty the block.
+  qos::ScopedQosContext qos_ctx(qos::kSystemTenant, qos::TrafficClass::kBackground);
   // Worker w is pinned to shards {w, w+T, w+2T, ...} and sleeps on its own
   // condition variable: a full shard wakes exactly its owner, never the
   // other workers (their kicked flags stay false).

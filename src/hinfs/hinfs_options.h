@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "src/qos/qos_config.h"
 #include "src/wal/wal_options.h"
 
 namespace hinfs {
@@ -81,8 +82,13 @@ struct HinfsOptions {
   //   HINFS_WAL_DIRECT_MIN     write size that bypasses the log (0 = log all)
   // A malformed WAL value aborts the process (exit 2): silently falling back
   // to a default would invalidate the ablation a run was asked to measure.
+  // The HINFS_QOS_* knobs (tenant scheduler, src/qos/qos_config.h) get the
+  // same treatment, including failing fast on unrecognized HINFS_QOS_* names;
+  // their values configure NvmmConfig::qos, not this struct, so FromEnv only
+  // validates them here (see qos::QosConfig::FromEnv for the consumer).
   static HinfsOptions FromEnv() { return FromEnv(HinfsOptions()); }
   static HinfsOptions FromEnv(HinfsOptions base) {
+    qos::QosConfig::CheckQosEnv();
     if (const char* env = std::getenv("HINFS_BUFFER_SHARDS")) {
       base.buffer_shards = std::atoi(env);
     }

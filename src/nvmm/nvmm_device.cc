@@ -10,6 +10,9 @@ NvmmDevice::NvmmDevice(const NvmmConfig& config)
       latency_(config.latency_mode, config.write_latency_ns),
       bandwidth_(config.latency_mode, config.write_bandwidth_bytes_per_sec),
       volatile_image_(new uint8_t[config.size_bytes]()) {
+  if (config.qos.enabled()) {
+    qos_ = std::make_unique<qos::QosScheduler>(config.latency_mode, config.qos);
+  }
   if (config.track_persistence) {
     shadow_image_.reset(new uint8_t[config.size_bytes]());
   }
@@ -104,7 +107,12 @@ Status NvmmDevice::FlushBatch(const FlushRange* ranges, size_t count) {
   // consumed for the full flushed extent — one acquisition for the batch.
   // With CLFLUSHOPT/CLWB the per-line delays overlap and each range pays the
   // write latency once.
-  bandwidth_.Acquire(total_lines * kCachelineSize);
+  if (qos_ != nullptr) {
+    qos_->Acquire(qos::CurrentQosContext(), total_lines * kCachelineSize,
+                  bandwidth_.bytes_per_sec());
+  } else {
+    bandwidth_.Acquire(total_lines * kCachelineSize);
+  }
   for (size_t i = 0; i < count; i++) {
     if (ranges[i].len == 0) {
       continue;

@@ -25,6 +25,8 @@
 #include "src/nvmm/bandwidth_limiter.h"
 #include "src/nvmm/latency_model.h"
 #include "src/nvmm/persist_trace.h"
+#include "src/qos/qos_config.h"
+#include "src/qos/qos_scheduler.h"
 
 namespace hinfs {
 
@@ -54,6 +56,11 @@ struct NvmmConfig {
   uint64_t write_bandwidth_bytes_per_sec = 1ull << 30;  // 1 GB/s, paper default
   FlushInstruction flush_instruction = FlushInstruction::kClflush;
   bool track_persistence = false;  // enable the shadow image for crash tests
+  // Multi-tenant bandwidth scheduling (src/qos/). Disabled by default
+  // (qos.tenants == 0): the device then never constructs a QosScheduler and
+  // bandwidth charges take the exact pre-QoS BandwidthLimiter path, byte for
+  // byte — the accounting-invariance contract of DESIGN.md §3c/§9.
+  qos::QosConfig qos;
 };
 
 class NvmmDevice {
@@ -147,6 +154,11 @@ class NvmmDevice {
   LatencyModel& latency() { return latency_; }
   BandwidthLimiter& bandwidth() { return bandwidth_; }
 
+  // The tenant scheduler when QoS is enabled; null otherwise. Bandwidth knob
+  // sweeps still go through bandwidth().set_bytes_per_sec — the scheduler
+  // reads the rate per charge.
+  qos::QosScheduler* qos() { return qos_.get(); }
+
   // Cumulative traffic counters (Fig. 9's "NVMM write size" series).
   uint64_t flushed_bytes() const { return flushed_bytes_.load(std::memory_order_relaxed); }
   uint64_t loaded_bytes() const { return loaded_bytes_.load(std::memory_order_relaxed); }
@@ -176,6 +188,7 @@ class NvmmDevice {
   FlushInstruction flush_instruction_;
   LatencyModel latency_;
   BandwidthLimiter bandwidth_;
+  std::unique_ptr<qos::QosScheduler> qos_;  // null unless config.qos.enabled()
   std::unique_ptr<uint8_t[]> volatile_image_;
   std::unique_ptr<uint8_t[]> shadow_image_;  // null unless track_persistence
   std::atomic<std::shared_ptr<PersistTrace>> trace_;  // null unless tracing

@@ -1,0 +1,148 @@
+// QoS scheduler configuration + the HINFS_QOS_* environment knobs.
+//
+// QoS is off by default (tenants == 0): NvmmDevice then never constructs a
+// QosScheduler and the charge path is byte-for-byte the pre-QoS
+// BandwidthLimiter::Acquire — the accounting-invariance contract (DESIGN.md
+// §3c) extends to this subsystem. Setting HINFS_QOS_TENANTS=N (1..63) turns
+// the scheduler on with N tenants.
+//
+// Env knobs (read by HinfsOptions::FromEnv via QosConfig::FromEnv):
+//   HINFS_QOS_TENANTS     tenant count (0 disables QoS; max kMaxTenants-1... see
+//                         below); ids beyond the count clamp to the last tenant
+//   HINFS_QOS_WEIGHTS     comma-separated positive per-tenant weights
+//                         (first N apply; unlisted tenants weigh 1)
+//   HINFS_QOS_FG_RESERVE  fraction of device bandwidth reserved for
+//                         foreground traffic, float in (0, 1]; default 0.5
+// A malformed value or an unrecognized HINFS_QOS_* name aborts the process
+// (exit 2), same contract as the HINFS_WAL_* knobs: a typo'd knob silently
+// ignored would invalidate the isolation run it was meant to configure.
+
+#ifndef SRC_QOS_QOS_CONFIG_H_
+#define SRC_QOS_QOS_CONFIG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/qos/tenant.h"
+
+extern "C" char** environ;  // scanned for misspelled HINFS_QOS_* names
+
+namespace hinfs {
+namespace qos {
+
+struct QosConfig {
+  // Number of tenant buckets. 0 = QoS disabled (the scheduler is never
+  // constructed). Tenant ids >= tenants are clamped into range at charge time.
+  uint32_t tenants = 0;
+
+  // Per-tenant weights for sharing the foreground reserve; weights[i] applies
+  // to tenant i, missing entries default to 1. Clients may override their own
+  // weight at handshake (hello weight field).
+  std::vector<uint32_t> weights;
+
+  // Fraction of device write bandwidth the foreground tenant buckets share
+  // (split by weight); background writeback/checkpoint traffic shares the
+  // remaining (1 - fg_reserve). Work conservation lends either side's unused
+  // tokens to the other.
+  double fg_reserve = 0.5;
+
+  bool enabled() const { return tenants > 0; }
+
+  uint32_t WeightOf(TenantId id) const {
+    return id < weights.size() && weights[id] > 0 ? weights[id] : 1;
+  }
+
+  // Applies the HINFS_QOS_* environment to `base`. Validates values AND scans
+  // the environment for unknown HINFS_QOS_-prefixed names, exiting 2 on
+  // either, so misspelled knobs fail fast instead of silently configuring
+  // nothing.
+  static QosConfig FromEnv() { return FromEnv(QosConfig()); }
+  static QosConfig FromEnv(QosConfig base) {
+    CheckQosEnv();
+    if (const char* env = std::getenv("HINFS_QOS_TENANTS")) {
+      base.tenants = static_cast<uint32_t>(ParseQosU64("HINFS_QOS_TENANTS", env));
+      if (base.tenants >= kMaxTenants) {
+        DieBadQosEnv("HINFS_QOS_TENANTS", env);
+      }
+    }
+    if (const char* env = std::getenv("HINFS_QOS_WEIGHTS")) {
+      base.weights.clear();
+      for (const char* p = env; *p != '\0';) {
+        char* end = nullptr;
+        const unsigned long long w = std::strtoull(p, &end, 10);
+        if (end == p || w == 0 || (*end != '\0' && *end != ',')) {
+          DieBadQosEnv("HINFS_QOS_WEIGHTS", env);
+        }
+        base.weights.push_back(static_cast<uint32_t>(w));
+        p = *end == ',' ? end + 1 : end;
+        if (*end == ',' && *p == '\0') {
+          DieBadQosEnv("HINFS_QOS_WEIGHTS", env);  // trailing comma
+        }
+      }
+      if (base.weights.empty()) {
+        DieBadQosEnv("HINFS_QOS_WEIGHTS", env);
+      }
+    }
+    if (const char* env = std::getenv("HINFS_QOS_FG_RESERVE")) {
+      char* end = nullptr;
+      const double r = std::strtod(env, &end);
+      if (end == env || *end != '\0' || !(r > 0.0) || r > 1.0) {
+        DieBadQosEnv("HINFS_QOS_FG_RESERVE", env);
+      }
+      base.fg_reserve = r;
+    }
+    return base;
+  }
+
+  // Fails fast (exit 2) on any environment name starting with HINFS_QOS_ that
+  // is not one of the three knobs above. Safe to call repeatedly; does not
+  // read the knob values.
+  static void CheckQosEnv() {
+    static constexpr const char* kKnown[] = {
+        "HINFS_QOS_TENANTS", "HINFS_QOS_WEIGHTS", "HINFS_QOS_FG_RESERVE"};
+    constexpr size_t kPrefixLen = sizeof("HINFS_QOS_") - 1;
+    for (char** e = environ; e != nullptr && *e != nullptr; e++) {
+      if (std::strncmp(*e, "HINFS_QOS_", kPrefixLen) != 0) {
+        continue;
+      }
+      const char* eq = std::strchr(*e, '=');
+      const size_t name_len = eq != nullptr ? static_cast<size_t>(eq - *e) : std::strlen(*e);
+      bool known = false;
+      for (const char* k : kKnown) {
+        if (name_len == std::strlen(k) && std::strncmp(*e, k, name_len) == 0) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        std::fprintf(stderr, "hinfs: unknown QoS knob \"%.*s\" (supported: "
+                     "HINFS_QOS_TENANTS, HINFS_QOS_WEIGHTS, HINFS_QOS_FG_RESERVE)\n",
+                     static_cast<int>(name_len), *e);
+        std::exit(2);
+      }
+    }
+  }
+
+ private:
+  [[noreturn]] static void DieBadQosEnv(const char* var, const char* value) {
+    std::fprintf(stderr, "hinfs: bad %s=\"%s\"\n", var, value);
+    std::exit(2);
+  }
+  static uint64_t ParseQosU64(const char* var, const char* value) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(value, &end, 10);
+    if (end == value || *end != '\0') {
+      DieBadQosEnv(var, value);
+    }
+    return static_cast<uint64_t>(v);
+  }
+};
+
+}  // namespace qos
+}  // namespace hinfs
+
+#endif  // SRC_QOS_QOS_CONFIG_H_

@@ -1,0 +1,252 @@
+#include "src/qos/qos_scheduler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+
+#include "src/common/clock.h"
+#include "src/common/stats.h"
+
+namespace hinfs {
+namespace qos {
+namespace {
+
+// Same burst window as BandwidthLimiter: one row-buffer write of slack so a
+// small write on an idle bucket never waits.
+constexpr uint64_t kBurstBytes = 64 * 1024;
+
+uint64_t ServiceNs(uint64_t bytes, uint64_t bps) {
+  return bytes * 1'000'000'000ull / bps;
+}
+
+}  // namespace
+
+QosScheduler::QosScheduler(LatencyMode mode, const QosConfig& config)
+    : mode_(mode),
+      num_tenants_(std::max<uint32_t>(1, std::min(config.tenants, kMaxTenants - 1))),
+      fg_reserve_(std::clamp(config.fg_reserve, 0.001, 1.0)),
+      tenants_(num_tenants_) {
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < num_tenants_; i++) {
+    const uint32_t w = config.WeightOf(i);
+    tenants_[i].weight.store(w, std::memory_order_relaxed);
+    total += w;
+  }
+  total_weight_.store(total, std::memory_order_relaxed);
+}
+
+void QosScheduler::SetTenantWeight(TenantId id, uint32_t weight) {
+  id = Clamp(id);
+  const uint64_t w = weight > 0 ? weight : 1;
+  const uint64_t old = tenants_[id].weight.exchange(w, std::memory_order_relaxed);
+  // fetch_add of the (possibly negative) delta in two's complement.
+  total_weight_.fetch_add(w - old, std::memory_order_relaxed);
+}
+
+uint64_t QosScheduler::LeafRate(const Bucket& leaf, bool background,
+                                uint64_t total_bps) const {
+  double rate;
+  if (background) {
+    rate = (1.0 - fg_reserve_) * static_cast<double>(total_bps);
+  } else {
+    const double w = static_cast<double>(leaf.weight.load(std::memory_order_relaxed));
+    const double total_w =
+        static_cast<double>(std::max<uint64_t>(1, total_weight_.load(std::memory_order_relaxed)));
+    rate = fg_reserve_ * static_cast<double>(total_bps) * (w / total_w);
+  }
+  return rate < 1.0 ? 1 : static_cast<uint64_t>(rate);
+}
+
+void QosScheduler::AdvanceGlobal(uint64_t service_ns, uint64_t now) {
+  uint64_t prev = global_tat_.load(std::memory_order_relaxed);
+  uint64_t end;
+  do {
+    end = std::max(prev, now) + service_ns;
+  } while (!global_tat_.compare_exchange_weak(prev, end, std::memory_order_relaxed));
+}
+
+bool QosScheduler::TryBorrowGlobal(uint64_t service_ns, uint64_t burst_ns, uint64_t now) {
+  // GCRA conformance on the PRE-update TAT: the pipe has drained its backlog
+  // to within the burst window, so this request may start now (its own
+  // service time extends the TAT but does not disqualify it — a request
+  // larger than the burst window could otherwise never borrow at all).
+  uint64_t prev = global_tat_.load(std::memory_order_relaxed);
+  uint64_t end;
+  do {
+    if (prev > now + burst_ns) {
+      return false;  // no aggregate slack: someone is using their share
+    }
+    end = std::max(prev, now) + service_ns;
+  } while (!global_tat_.compare_exchange_weak(prev, end, std::memory_order_relaxed));
+  return true;
+}
+
+void QosScheduler::Acquire(const QosContext& ctx, uint64_t bytes, uint64_t total_bps) {
+  if (total_bps == 0 || bytes == 0 || mode_ == LatencyMode::kNone) {
+    return;
+  }
+  const bool background = ctx.cls == TrafficClass::kBackground;
+  Bucket& leaf = background ? background_ : tenants_[Clamp(ctx.tenant)];
+  const uint64_t leaf_bps = LeafRate(leaf, background, total_bps);
+  const uint64_t service_leaf_ns = ServiceNs(bytes, leaf_bps);
+  const uint64_t service_g_ns = ServiceNs(bytes, total_bps);
+  std::atomic<uint64_t>& fast = background ? bg_fast_ : fg_fast_;
+  std::atomic<uint64_t>& slow = background ? bg_slow_ : fg_slow_;
+
+  leaf.charged_bytes.fetch_add(bytes, std::memory_order_relaxed);
+
+  if (mode_ == LatencyMode::kVirtual) {
+    // Deterministic per-leaf single-server queue in simulated time, exactly
+    // the BandwidthLimiter virtual discipline applied to the leaf; the global
+    // TAT still tracks aggregate admitted work for the snapshot.
+    const uint64_t tnow = SimClock::ThreadNowNs();
+    uint64_t prev = leaf.tat_ns.load(std::memory_order_relaxed);
+    uint64_t start, end;
+    do {
+      start = std::max(prev, tnow);
+      end = start + service_leaf_ns;
+    } while (!leaf.tat_ns.compare_exchange_weak(prev, end, std::memory_order_relaxed));
+    AdvanceGlobal(service_g_ns, tnow);
+    if (start > tnow) {
+      slow.fetch_add(1, std::memory_order_relaxed);
+      leaf.throttle_waits.fetch_add(1, std::memory_order_relaxed);
+      leaf.throttle_wait_ns.fetch_add(start - tnow, std::memory_order_relaxed);
+    } else {
+      fast.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (end > tnow) {
+      SimClock::Advance(end - tnow);
+    }
+    return;
+  }
+
+  // Spin mode. Reserve a slot in the leaf with one CAS. Conformance is the
+  // pre-update GCRA check — the leaf's backlog (everything admitted before
+  // us) has drained to within the burst window — so a request of any size is
+  // admitted the moment its predecessors' bytes fit the pipe.
+  const uint64_t leaf_burst_ns = ServiceNs(kBurstBytes, leaf_bps);
+  const uint64_t g_burst_ns = ServiceNs(kBurstBytes, total_bps);
+  const uint64_t now = MonotonicNowNs();
+  uint64_t prev = leaf.tat_ns.load(std::memory_order_relaxed);
+  uint64_t end;
+  do {
+    end = std::max(prev, now) + service_leaf_ns;
+  } while (!leaf.tat_ns.compare_exchange_weak(prev, end, std::memory_order_relaxed));
+
+  if (prev <= now + leaf_burst_ns) {
+    AdvanceGlobal(service_g_ns, now);
+    fast.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  // Leaf is dry. Work conservation: if the aggregate pipe has slack (other
+  // leaves idle), admit against it now and hand the leaf reservation back.
+  if (TryBorrowGlobal(service_g_ns, g_burst_ns, now)) {
+    leaf.tat_ns.fetch_sub(service_leaf_ns, std::memory_order_relaxed);
+    leaf.borrowed_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    fast.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  // Genuinely throttled: wait until our own start time becomes conformant
+  // (the backlog ahead of us, end - service, drains to the burst window),
+  // but keep re-trying the borrow — slack appearing mid-wait (a competitor
+  // went idle) should be picked up immediately, not after this tenant's full
+  // queueing delay.
+  slow.fetch_add(1, std::memory_order_relaxed);
+  leaf.throttle_waits.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t backlog_ns = end - service_leaf_ns;
+  const uint64_t deadline = backlog_ns > leaf_burst_ns ? backlog_ns - leaf_burst_ns : now;
+  uint64_t cur = now;
+  while (cur < deadline) {
+    // A throttled tenant must not burn the core a conformant tenant needs to
+    // issue its next request: far from the deadline, yield the CPU instead of
+    // spinning (BandwidthLimiter spins unconditionally — it models queued
+    // writer threads, not co-scheduled tenants).
+    if (deadline - cur > 10'000) {
+      std::this_thread::yield();
+    } else {
+      SpinFor(100);
+    }
+    cur = MonotonicNowNs();
+    if (TryBorrowGlobal(service_g_ns, g_burst_ns, cur)) {
+      leaf.tat_ns.fetch_sub(service_leaf_ns, std::memory_order_relaxed);
+      leaf.borrowed_bytes.fetch_add(bytes, std::memory_order_relaxed);
+      leaf.throttle_wait_ns.fetch_add(cur - now, std::memory_order_relaxed);
+      return;
+    }
+  }
+  AdvanceGlobal(service_g_ns, cur);
+  leaf.throttle_wait_ns.fetch_add(cur - now, std::memory_order_relaxed);
+}
+
+void QosScheduler::FillSnapshot(const Bucket& leaf, bool background, uint64_t total_bps,
+                                uint64_t now, BucketSnapshot* out) const {
+  out->weight = static_cast<uint32_t>(leaf.weight.load(std::memory_order_relaxed));
+  out->charged_bytes = leaf.charged_bytes.load(std::memory_order_relaxed);
+  out->throttle_waits = leaf.throttle_waits.load(std::memory_order_relaxed);
+  out->throttle_wait_ns = leaf.throttle_wait_ns.load(std::memory_order_relaxed);
+  out->borrowed_bytes = leaf.borrowed_bytes.load(std::memory_order_relaxed);
+  // Deficit: entitlement the bucket is sitting on right now — how far its TAT
+  // lags the clock, converted to bytes at its share rate, capped at the burst
+  // the GCRA would actually honor.
+  const uint64_t tat = leaf.tat_ns.load(std::memory_order_relaxed);
+  if (total_bps > 0 && tat < now) {
+    const uint64_t rate = LeafRate(leaf, background, total_bps);
+    out->deficit_bytes =
+        std::min<uint64_t>(kBurstBytes, (now - tat) / 1'000'000'000.0 * rate);
+  } else {
+    out->deficit_bytes = 0;
+  }
+}
+
+QosScheduler::Snapshot QosScheduler::TakeSnapshot(uint64_t total_bps) const {
+  Snapshot snap;
+  const uint64_t now =
+      mode_ == LatencyMode::kSpin ? MonotonicNowNs() : SimClock::ThreadNowNs();
+  snap.tenants.resize(num_tenants_);
+  for (uint32_t i = 0; i < num_tenants_; i++) {
+    snap.tenants[i].id = i;
+    FillSnapshot(tenants_[i], /*background=*/false, total_bps, now, &snap.tenants[i]);
+  }
+  snap.background.id = kMaxTenants;
+  FillSnapshot(background_, /*background=*/true, total_bps, now, &snap.background);
+  snap.fg_fast = fg_fast_.load(std::memory_order_relaxed);
+  snap.fg_slow = fg_slow_.load(std::memory_order_relaxed);
+  snap.bg_fast = bg_fast_.load(std::memory_order_relaxed);
+  snap.bg_slow = bg_slow_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void QosScheduler::ExportStats(StatsRegistry* stats, uint64_t total_bps) const {
+  const Snapshot snap = TakeSnapshot(total_bps);
+  auto store = [stats](const char* name, uint64_t v) {
+    stats->Counter(name)->store(v, std::memory_order_relaxed);
+  };
+  store(kStatQosFgFastAcquires, snap.fg_fast);
+  store(kStatQosFgSlowAcquires, snap.fg_slow);
+  store(kStatQosBgFastAcquires, snap.bg_fast);
+  store(kStatQosBgSlowAcquires, snap.bg_slow);
+  char name[64];
+  auto store_bucket = [&](const char* prefix, const BucketSnapshot& b) {
+    std::snprintf(name, sizeof(name), "%s_charged_bytes", prefix);
+    store(name, b.charged_bytes);
+    std::snprintf(name, sizeof(name), "%s_throttle_waits", prefix);
+    store(name, b.throttle_waits);
+    std::snprintf(name, sizeof(name), "%s_throttle_wait_ns", prefix);
+    store(name, b.throttle_wait_ns);
+    std::snprintf(name, sizeof(name), "%s_borrowed_bytes", prefix);
+    store(name, b.borrowed_bytes);
+    std::snprintf(name, sizeof(name), "%s_deficit_bytes", prefix);
+    store(name, b.deficit_bytes);
+  };
+  char prefix[32];
+  for (const BucketSnapshot& t : snap.tenants) {
+    std::snprintf(prefix, sizeof(prefix), "qos_t%u", t.id);
+    store_bucket(prefix, t);
+  }
+  store_bucket("qos_bg", snap.background);
+}
+
+}  // namespace qos
+}  // namespace hinfs

@@ -1,0 +1,131 @@
+// QosScheduler: hierarchical weighted token buckets arbitrating the NVMM
+// write-bandwidth pipe among tenants and traffic classes (DESIGN.md §9).
+//
+// Shape: one GCRA leaf bucket per foreground tenant plus one shared background
+// leaf, over one global accounting bucket. Leaf rates are a partition of the
+// device bandwidth B — foreground tenants split fg_reserve * B by weight, the
+// background leaf gets (1 - fg_reserve) * B — so when every leaf is busy the
+// admitted aggregate is exactly B and the leaves alone enforce both isolation
+// and the total. The global bucket never blocks a conformant leaf; it exists
+// for aggregate accounting and for work conservation: a request whose own leaf
+// is dry may be admitted immediately against global slack (bandwidth some
+// other leaf is not using), which is what lets a lone bulk tenant reach the
+// full device rate instead of its share.
+//
+// Every bucket is a single atomic theoretical-arrival-time advanced by CAS,
+// the same lock-free GCRA formulation as BandwidthLimiter (DESIGN.md §3c);
+// there are no locks anywhere on the charge path and no ordering between
+// buckets that could deadlock. A waiter spins on its own leaf deadline and
+// opportunistically re-tries the global borrow while spinning, rolling its
+// leaf reservation back if the borrow wins.
+//
+// Modes mirror BandwidthLimiter: kSpin waits in wall time; kVirtual advances
+// the calling thread's SimClock deterministically through a per-leaf
+// single-server queue (no borrowing — work conservation is a wall-clock
+// concept and would make virtual timings depend on scheduling); kNone is free.
+
+#ifndef SRC_QOS_QOS_SCHEDULER_H_
+#define SRC_QOS_QOS_SCHEDULER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/nvmm/latency_model.h"
+#include "src/qos/qos_config.h"
+#include "src/qos/tenant.h"
+
+namespace hinfs {
+
+class StatsRegistry;
+
+namespace qos {
+
+class QosScheduler {
+ public:
+  QosScheduler(LatencyMode mode, const QosConfig& config);
+
+  QosScheduler(const QosScheduler&) = delete;
+  QosScheduler& operator=(const QosScheduler&) = delete;
+
+  // Charges `bytes` of NVMM write bandwidth to ctx's bucket, blocking (spin
+  // mode) or advancing the caller's SimClock (virtual mode) until admitted.
+  // `total_bps` is the device bandwidth at this instant (read per call so
+  // set_bytes_per_sec sweeps keep working); 0 disables limiting.
+  void Acquire(const QosContext& ctx, uint64_t bytes, uint64_t total_bps);
+
+  // Sets a tenant's weight (hello handshake / --weight). Weight 0 is treated
+  // as 1. Takes effect on subsequent Acquires; never blocks the charge path.
+  void SetTenantWeight(TenantId id, uint32_t weight);
+
+  uint32_t num_tenants() const { return num_tenants_; }
+  double fg_reserve() const { return fg_reserve_; }
+  // Ids from the wire clamp into [0, num_tenants) rather than fault.
+  TenantId Clamp(TenantId id) const { return id < num_tenants_ ? id : num_tenants_ - 1; }
+
+  // Acquisitions admitted without waiting vs. after a throttle wait, split by
+  // traffic class so the foreground-reserve path is observable.
+  uint64_t fg_fast_acquires() const { return fg_fast_.load(std::memory_order_relaxed); }
+  uint64_t fg_slow_acquires() const { return fg_slow_.load(std::memory_order_relaxed); }
+  uint64_t bg_fast_acquires() const { return bg_fast_.load(std::memory_order_relaxed); }
+  uint64_t bg_slow_acquires() const { return bg_slow_.load(std::memory_order_relaxed); }
+
+  struct BucketSnapshot {
+    TenantId id = 0;          // tenant id, or kMaxTenants for the bg bucket
+    uint32_t weight = 1;      // meaningless for the bg bucket
+    uint64_t charged_bytes = 0;
+    uint64_t throttle_waits = 0;
+    uint64_t throttle_wait_ns = 0;
+    uint64_t borrowed_bytes = 0;   // admitted via global slack, not own share
+    uint64_t deficit_bytes = 0;    // instantaneous unused entitlement
+  };
+  struct Snapshot {
+    std::vector<BucketSnapshot> tenants;
+    BucketSnapshot background;
+    uint64_t fg_fast = 0, fg_slow = 0, bg_fast = 0, bg_slow = 0;
+  };
+  Snapshot TakeSnapshot(uint64_t total_bps) const;
+
+  // Mirrors the snapshot into well-known counters (qos_t<i>_charged_bytes,
+  // qos_bg_throttle_waits, ...) so per-tenant numbers land in bench --json
+  // stats like every other subsystem's. Values are stored, not added: calling
+  // twice is idempotent.
+  void ExportStats(StatsRegistry* stats, uint64_t total_bps) const;
+
+ private:
+  struct alignas(64) Bucket {
+    std::atomic<uint64_t> tat_ns{0};  // GCRA theoretical arrival time
+    std::atomic<uint64_t> weight{1};
+    std::atomic<uint64_t> charged_bytes{0};
+    std::atomic<uint64_t> throttle_waits{0};
+    std::atomic<uint64_t> throttle_wait_ns{0};
+    std::atomic<uint64_t> borrowed_bytes{0};
+  };
+
+  // The bucket's share of `total_bps`, >= 1 so service times stay finite.
+  uint64_t LeafRate(const Bucket& leaf, bool background, uint64_t total_bps) const;
+  // Unconditional global-TAT advance (aggregate accounting).
+  void AdvanceGlobal(uint64_t service_ns, uint64_t now);
+  // Conformance-checked global advance: admits against global slack or leaves
+  // the global bucket untouched. Returns true when the borrow was granted.
+  bool TryBorrowGlobal(uint64_t service_ns, uint64_t burst_ns, uint64_t now);
+  void FillSnapshot(const Bucket& leaf, bool background, uint64_t total_bps,
+                    uint64_t now, BucketSnapshot* out) const;
+
+  const LatencyMode mode_;
+  const uint32_t num_tenants_;
+  const double fg_reserve_;
+
+  std::vector<Bucket> tenants_;  // sized num_tenants_, never resized
+  Bucket background_;
+  std::atomic<uint64_t> global_tat_{0};
+  std::atomic<uint64_t> total_weight_{0};
+
+  std::atomic<uint64_t> fg_fast_{0}, fg_slow_{0};
+  std::atomic<uint64_t> bg_fast_{0}, bg_slow_{0};
+};
+
+}  // namespace qos
+}  // namespace hinfs
+
+#endif  // SRC_QOS_QOS_SCHEDULER_H_

@@ -1,0 +1,81 @@
+// Tenant model for the multi-tenant NVMM bandwidth scheduler (DESIGN.md §9).
+//
+// A tenant is a principal the QoS scheduler accounts bandwidth to: one hinfsd
+// client (negotiated at handshake, see src/server/protocol.h kHello), or the
+// local process for in-process beds. Orthogonally, every charge carries a
+// traffic class: foreground (a syscall the tenant is blocked on) or background
+// (writeback workers, WAL checkpointing — work nobody is waiting on). The
+// scheduler gives foreground traffic a configurable reserve of the device
+// bandwidth; background traffic shares the remainder.
+//
+// The current (tenant, class) pair rides a thread-local QosContext instead of
+// a parameter threaded through every FS layer: the charge point is
+// NvmmDevice::FlushBatch, many frames below the syscall entry, and the layers
+// between (buffer manager, WAL, journal) are tenant-agnostic. Server worker
+// threads install the session's tenant around each request; background threads
+// install kBackground once at thread start. A thread that never installs a
+// context charges as tenant 0 foreground, which keeps single-tenant beds
+// behaving exactly like the pre-QoS code.
+
+#ifndef SRC_QOS_TENANT_H_
+#define SRC_QOS_TENANT_H_
+
+#include <cstdint>
+
+namespace hinfs {
+namespace qos {
+
+using TenantId = uint32_t;
+
+// Tenant 0 is the local/system tenant: in-process callers that never
+// negotiated an id, and hinfsd sessions that skipped the hello handshake.
+inline constexpr TenantId kSystemTenant = 0;
+
+// Upper bound on distinct tenants; keeps scheduler state a fixed-size array
+// of padded atomics (no resize, no lock on the charge path).
+inline constexpr uint32_t kMaxTenants = 64;
+
+enum class TrafficClass : uint8_t {
+  kForeground = 0,  // a client is blocked on this charge
+  kBackground = 1,  // writeback / checkpoint traffic, nobody waiting
+};
+
+struct QosContext {
+  TenantId tenant = kSystemTenant;
+  TrafficClass cls = TrafficClass::kForeground;
+};
+
+namespace internal {
+inline QosContext& ThreadQosContext() {
+  thread_local QosContext ctx;
+  return ctx;
+}
+}  // namespace internal
+
+// The calling thread's current charge identity (tenant 0 foreground unless a
+// ScopedQosContext is live).
+inline QosContext CurrentQosContext() { return internal::ThreadQosContext(); }
+
+// RAII installer: charges issued by this thread inside the scope are
+// attributed to (tenant, cls). Nests; the previous context is restored on
+// destruction.
+class ScopedQosContext {
+ public:
+  ScopedQosContext(TenantId tenant, TrafficClass cls)
+      : saved_(internal::ThreadQosContext()) {
+    internal::ThreadQosContext() = QosContext{tenant, cls};
+  }
+  explicit ScopedQosContext(const QosContext& ctx) : ScopedQosContext(ctx.tenant, ctx.cls) {}
+  ~ScopedQosContext() { internal::ThreadQosContext() = saved_; }
+
+  ScopedQosContext(const ScopedQosContext&) = delete;
+  ScopedQosContext& operator=(const ScopedQosContext&) = delete;
+
+ private:
+  QosContext saved_;
+};
+
+}  // namespace qos
+}  // namespace hinfs
+
+#endif  // SRC_QOS_TENANT_H_

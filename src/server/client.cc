@@ -154,6 +154,19 @@ Status Client::Ping(std::string_view payload) {
   return OkStatus();
 }
 
+Result<uint32_t> Client::Hello(uint32_t tenant, uint32_t weight) {
+  Request req;
+  req.opcode = Opcode::kHello;
+  req.flags = kProtocolVersion;
+  req.offset = tenant;
+  req.count = weight;
+  HINFS_ASSIGN_OR_RETURN(Response resp, Call(std::move(req)));
+  if (resp.status != ErrorCode::kOk) {
+    return Status(resp.status, resp.data);
+  }
+  return static_cast<uint32_t>(resp.r0);
+}
+
 Result<int> Client::Open(std::string_view path, uint32_t flags) {
   Request req;
   req.opcode = Opcode::kOpen;

@@ -34,6 +34,13 @@ class Client final : public FsApi {
   // Round-trips an opaque payload through the server.
   Status Ping(std::string_view payload = "ping");
 
+  // Session handshake (protocol v2): announces this connection's tenant id
+  // and, when weight > 0, asks the server to set that tenant's scheduling
+  // weight. Returns the tenant id the server actually granted (clamped; 0 on
+  // a server without QoS). Optional — skipping it leaves the session on the
+  // system tenant.
+  Result<uint32_t> Hello(uint32_t tenant, uint32_t weight = 0);
+
   // Shuts the connection down cleanly. Further calls fail with kIoError.
   void Disconnect();
 

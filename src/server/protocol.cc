@@ -91,6 +91,8 @@ const char* OpcodeName(Opcode op) {
       return "syncfs";
     case Opcode::kFdatasync:
       return "fdatasync";
+    case Opcode::kHello:
+      return "hello";
   }
   return "?";
 }

@@ -82,9 +82,22 @@ enum class Opcode : uint8_t {
   // fdatasync(2); appended so existing clients' opcode bytes keep their
   // meaning. req.flags carries the SyncOptions encoding (see below).
   kFdatasync,
+  // Session handshake (protocol v2): req.flags carries the client's protocol
+  // version, req.offset the requested tenant id, req.count the requested
+  // weight (0 = keep the server-configured weight). Optional — a session that
+  // never says hello charges as the system tenant — and idempotent.
+  // resp.r0 returns the tenant id actually granted (clamped into the
+  // scheduler's range; 0 when the server runs without QoS).
+  kHello,
 };
 inline constexpr uint8_t kMinOpcode = static_cast<uint8_t>(Opcode::kPing);
-inline constexpr uint8_t kMaxOpcode = static_cast<uint8_t>(Opcode::kFdatasync);
+inline constexpr uint8_t kMaxOpcode = static_cast<uint8_t>(Opcode::kHello);
+
+// Bumped to 2 when kHello was appended. Servers accept any version (the
+// protocol is append-only; old clients simply never send the new opcodes),
+// but a client handshaking with a version the server does not know gets
+// kInvalidArgument back rather than a silent misinterpretation.
+inline constexpr uint32_t kProtocolVersion = 2;
 
 // SyncOptions on the wire (req.flags for kFsync/kFdatasync): bit 0 set means
 // the caller opts OUT of group commit (insists on its own flush+fence), so a

@@ -556,6 +556,9 @@ void Server::WorkerLoop() {
     }
     Response resp;
     if (session != nullptr) {
+      // Everything this request charges against the NVMM device (directly or
+      // via group commit) is foreground traffic owned by the session's tenant.
+      qos::ScopedQosContext qos_ctx(session->tenant(), qos::TrafficClass::kForeground);
       resp = Execute(*session, item.req);
       stats_.Add(kStatSrvRequestsServed, 1);
     }
@@ -790,6 +793,22 @@ Response Server::Execute(Session& session, const Request& req) {
       if (!st.ok()) {
         fail(st);
       }
+      break;
+    }
+    case Opcode::kHello: {
+      if (req.flags == 0 || req.flags > kProtocolVersion) {
+        fail(Status(ErrorCode::kInvalidArgument, "unsupported protocol version"));
+        break;
+      }
+      qos::TenantId tenant = qos::kSystemTenant;
+      if (options_.qos != nullptr) {
+        tenant = options_.qos->Clamp(static_cast<qos::TenantId>(req.offset));
+        if (req.count > 0) {
+          options_.qos->SetTenantWeight(tenant, req.count);
+        }
+      }
+      session.set_tenant(tenant);
+      resp.r0 = tenant;
       break;
     }
   }

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "src/common/stats.h"
+#include "src/qos/qos_scheduler.h"
 #include "src/server/protocol.h"
 #include "src/vfs/vfs.h"
 
@@ -61,6 +62,11 @@ struct ServerOptions {
   // In-flight (decoded, not yet responded) request bound per connection.
   size_t max_conn_inflight = 128;
   uint64_t drain_timeout_ms = 5000;
+  // The NVMM device's tenant scheduler (bed->nvmm->qos()); null when QoS is
+  // off. When set, each session's hello-negotiated tenant id is installed as
+  // the worker thread's charge context around request execution, and hello
+  // weight requests are forwarded to the scheduler.
+  qos::QosScheduler* qos = nullptr;
 };
 
 class Server {
@@ -103,8 +109,15 @@ class Server {
     int Release(int client_fd);
     size_t open_count() const;
 
+    // Tenant identity negotiated by kHello; kSystemTenant until then. Atomic
+    // because workers read it on every request while another request on the
+    // same connection may be re-negotiating.
+    qos::TenantId tenant() const { return tenant_.load(std::memory_order_relaxed); }
+    void set_tenant(qos::TenantId id) { tenant_.store(id, std::memory_order_relaxed); }
+
    private:
     Vfs* vfs_;
+    std::atomic<uint32_t> tenant_{qos::kSystemTenant};
     mutable std::mutex mu_;
     int next_client_fd_ = 3;
     std::unordered_map<int, int> fds_;

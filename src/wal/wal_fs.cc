@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/common/clock.h"
+#include "src/qos/tenant.h"
 
 namespace hinfs {
 
@@ -607,6 +608,9 @@ void WalFs::KickCheckpoint() {
 }
 
 void WalFs::CheckpointLoop() {
+  // Checkpoint replay competes with foreground syscalls for NVMM bandwidth;
+  // charge it as background so the QoS foreground reserve applies to it.
+  qos::ScopedQosContext qos_ctx(qos::kSystemTenant, qos::TrafficClass::kBackground);
   std::unique_lock<std::mutex> lk(ckpt_mu_);
   while (!ckpt_stop_) {
     ckpt_cv_.wait_for(lk, std::chrono::milliseconds(checkpoint_ms_),

@@ -3,7 +3,7 @@
 
 Both inputs use the unified row model every bench under bench/ emits (or
 google-benchmark's native JSON from micro_primitives); rows are matched on
-(fs, personality, x_key, x, value_key) and compared:
+(fs, personality, x_key, x, value_key, tenant) and compared:
 
     tools/bench_compare.py perf/BENCH_fig08.pre.json perf/BENCH_fig08.post.json
     tools/bench_compare.py a.json b.json --threshold 10 --fail-on-regression
@@ -40,7 +40,11 @@ def higher_is_better(value_key):
 
 
 def row_key(r):
-    return (r["fs"], r["personality"], r["x_key"], r["x"], r["value_key"])
+    # The tenant id (from multi-tenant benches like fig14) is part of row
+    # identity: the same metric measured for different QoS buckets must not
+    # collapse into one comparison row. Untagged rows carry -1.
+    return (r["fs"], r["personality"], r["x_key"], r["x"], r["value_key"],
+            r.get("tenant", -1))
 
 
 def split_csv(values):
@@ -60,8 +64,16 @@ def make_row_filter(args):
             threads.add(float(tok))
         except ValueError:
             raise SystemExit(f"error: --threads wants numbers, got {tok!r}")
+    tenants = set()
+    for tok in split_csv(args.tenant):
+        try:
+            tenants.add(int(tok))
+        except ValueError:
+            raise SystemExit(f"error: --tenant wants integers, got {tok!r}")
 
     def keep(r):
+        if tenants and r.get("tenant", -1) not in tenants:
+            return False
         if fs and not any(w in r["fs"].lower() for w in fs):
             return False
         if personality and not any(w in r["personality"].lower() for w in personality):
@@ -93,6 +105,9 @@ def main():
     ap.add_argument("--threads", action="append", default=[], metavar="N",
                     help="only compare rows at these thread counts "
                          "(repeatable / comma-separated)")
+    ap.add_argument("--tenant", action="append", default=[], metavar="ID",
+                    help="only compare rows tagged with these QoS tenant ids "
+                         "(repeatable / comma-separated)")
     ap.add_argument("--top", type=int, default=0, metavar="N",
                     help="after the full table, print the N worst regressions "
                          "as a summary")
@@ -108,7 +123,7 @@ def main():
     improvements = []
     lines = []
     for key in sorted(base.keys() & cand.keys()):
-        fs, personality, x_key, x, value_key = key
+        fs, personality, x_key, x, value_key, tenant = key
         b, c = base[key], cand[key]
         if b == 0:
             continue
@@ -121,7 +136,8 @@ def main():
         elif gain >= args.threshold:
             tag = "improved"
             improvements.append(key)
-        lines.append(f"  {fs:<12} {personality:<12} {x_key}={x:<8g} "
+        label = fs if tenant < 0 else f"{fs}[t{tenant}]"
+        lines.append(f"  {label:<12} {personality:<12} {x_key}={x:<8g} "
                      f"{value_key:<16} {b:>14.3f} -> {c:>14.3f}  "
                      f"{pct:+7.2f}%  {tag}")
 
@@ -143,8 +159,9 @@ def main():
     if args.top > 0 and regressions:
         print(f"\nworst {min(args.top, len(regressions))} regression(s):")
         for gain, pct, key, b, c in sorted(regressions)[:args.top]:
-            fs, personality, x_key, x, value_key = key
-            print(f"  {fs:<12} {personality:<12} {x_key}={x:<8g} "
+            fs, personality, x_key, x, value_key, tenant = key
+            label = fs if tenant < 0 else f"{fs}[t{tenant}]"
+            print(f"  {label:<12} {personality:<12} {x_key}={x:<8g} "
                   f"{value_key:<16} {b:>14.3f} -> {c:>14.3f}  {pct:+7.2f}%")
     if args.report_only:
         return 0

@@ -34,6 +34,7 @@
 #include "bench/bench_common.h"
 #include "src/common/clock.h"
 #include "src/common/histogram.h"
+#include "src/qos/tenant.h"
 #include "src/server/client.h"
 #include "src/server/server.h"
 
@@ -182,6 +183,10 @@ void Usage(const char* prog) {
       "in-process server:\n"
       "  --fs <kind>           file system kind (default hinfs)\n"
       "  --workers <n>         server worker threads (default 2)\n\n"
+      "tenancy (servers with HINFS_QOS_TENANTS set):\n"
+      "  --tenant <id>         hello handshake tenant id for every connection\n"
+      "                        (default: no handshake, system tenant)\n"
+      "  --weight <w>          ask the server to set this tenant's weight\n\n"
       "output:\n"
       "  --json <path>         write bench rows (ops_per_sec, p50_ns, p99_ns,\n"
       "                        mean_ns per personality)\n",
@@ -216,6 +221,8 @@ int main(int argc, char** argv) {
   FsKind kind = FsKind::kHinfs;
   int workers = 2;
   std::string json_path;
+  int tenant = -1;  // -1 = no hello handshake
+  uint32_t weight = 0;
 
   for (int i = 1; i < argc; i++) {
     const char* arg = argv[i];
@@ -269,6 +276,19 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(arg, "--workers") == 0) {
       workers = std::atoi(next("--workers"));
+    } else if (std::strcmp(arg, "--tenant") == 0) {
+      tenant = std::atoi(next("--tenant"));
+      if (tenant < 0 || static_cast<uint32_t>(tenant) >= qos::kMaxTenants) {
+        std::fprintf(stderr, "error: --tenant wants 0..%u\n", qos::kMaxTenants - 1);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--weight") == 0) {
+      const int w = std::atoi(next("--weight"));
+      if (w <= 0) {
+        std::fprintf(stderr, "error: --weight wants a positive int\n");
+        return 2;
+      }
+      weight = static_cast<uint32_t>(w);
     } else if (std::strcmp(arg, "--json") == 0) {
       json_path = next("--json");
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
@@ -317,6 +337,7 @@ int main(int argc, char** argv) {
     server::ServerOptions opts;
     opts.unix_path = "/tmp/fsload." + std::to_string(getpid()) + ".sock";
     opts.workers = workers;
+    opts.qos = bed->nvmm->qos();  // null unless HINFS_QOS_TENANTS is set
     inproc = std::make_unique<server::Server>(bed->vfs.get(), opts);
     Status st = inproc->Start();
     if (!st.ok()) {
@@ -360,6 +381,15 @@ int main(int argc, char** argv) {
       if (!c.ok()) {
         std::fprintf(stderr, "error: connect: %s\n", c.status().ToString().c_str());
         return 1;
+      }
+      if (tenant >= 0) {
+        Result<uint32_t> granted =
+            (*c)->Hello(static_cast<uint32_t>(tenant), weight);
+        if (!granted.ok()) {
+          std::fprintf(stderr, "error: hello handshake: %s\n",
+                       granted.status().ToString().c_str());
+          return 1;
+        }
       }
       conns.push_back(std::move(*c));
     }

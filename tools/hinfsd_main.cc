@@ -64,7 +64,10 @@ void Usage(const char* prog) {
       "  --buffer-mb <n>   HiNFS DRAM buffer size in MiB (default 64)\n"
       "  --emulate         inject the paper's NVMM latency model (200 ns spin);\n"
       "                    default is no injected latency\n"
-      "  --stats           print server + fs counters on shutdown\n",
+      "  --stats           print server + fs counters on shutdown\n\n"
+      "multi-tenant QoS (with --emulate): set HINFS_QOS_TENANTS (and optionally\n"
+      "HINFS_QOS_WEIGHTS, HINFS_QOS_FG_RESERVE); clients pick tenants via the\n"
+      "hello handshake (fsload --tenant/--weight)\n",
       prog);
 }
 
@@ -129,6 +132,7 @@ int main(int argc, char** argv) {
   }
   bed_cfg.hinfs.buffer_bytes = buffer_mb << 20;
   bed_cfg.hinfs = HinfsOptions::FromEnv(bed_cfg.hinfs);
+  bed_cfg.nvmm.qos = qos::QosConfig::FromEnv(bed_cfg.nvmm.qos);
   bed_cfg.pmfs.max_inodes = 1 << 14;
   bed_cfg.page_cache_pages = 1280;
 
@@ -143,6 +147,7 @@ int main(int argc, char** argv) {
   opts.unix_path = unix_path;
   opts.tcp_port = tcp_port;
   opts.workers = workers;
+  opts.qos = (*bed)->nvmm->qos();  // null unless HINFS_QOS_TENANTS is set
   server::Server srv((*bed)->vfs.get(), opts);
   Status st = srv.Start();
   if (!st.ok()) {
@@ -169,6 +174,9 @@ int main(int argc, char** argv) {
   std::printf("hinfsd: draining...\n");
   srv.Stop();
   if (print_stats) {
+    if (auto* qos = (*bed)->nvmm->qos()) {
+      qos->ExportStats(&srv.stats(), (*bed)->nvmm->bandwidth().bytes_per_sec());
+    }
     for (const auto& [name, value] : srv.stats().Snapshot()) {
       std::printf("  %-28s %llu\n", name.c_str(), static_cast<unsigned long long>(value));
     }

@@ -36,7 +36,9 @@ import json
 import os
 import sys
 
-RESERVED = ("fs", "personality")
+# Row-identity keys that are never parsed as the sweep variable or a metric.
+# "tenant" tags multi-tenant rows (fig14): same metric, different QoS bucket.
+RESERVED = ("fs", "personality", "tenant")
 
 
 def load_config(path):
@@ -76,6 +78,7 @@ def load_rows(path):
                 "x": x,
                 "value_key": "cpu_time_" + b.get("time_unit", "ns"),
                 "value": float(b.get("cpu_time", 0.0)),
+                "tenant": -1,
             })
         return rows
 
@@ -97,6 +100,7 @@ def load_rows(path):
                 "x": float(r[x_key]),
                 "value_key": value_key,
                 "value": float(r[value_key]),
+                "tenant": int(r.get("tenant", -1)),
             })
     return rows
 
@@ -107,7 +111,12 @@ def group_plots(rows):
     for r in rows:
         key = (r["personality"], r["value_key"], r["x_key"])
         series = plots.setdefault(key, {})
-        series.setdefault(r["fs"], []).append((r["x"], r["value"]))
+        # Tenant-tagged rows get their own series so per-tenant curves of the
+        # same metric don't collapse into one line.
+        label = r["fs"]
+        if r.get("tenant", -1) >= 0:
+            label = f"{label}[t{r['tenant']}]"
+        series.setdefault(label, []).append((r["x"], r["value"]))
     for key, series in sorted(plots.items()):
         for pts in series.values():
             pts.sort()
@@ -140,8 +149,13 @@ def ascii_plot(title, x_key, value_key, series, width=48):
 def render_delta(base_path, cand_path, out_dir, formats, use_ascii):
     """Before/after comparison: ASCII delta table, plus dashed-baseline plots."""
     def index(path):
-        return {(r["personality"], r["value_key"], r["x_key"], r["fs"], r["x"]): r["value"]
-                for r in load_rows(path)}
+        out = {}
+        for r in load_rows(path):
+            fs = r["fs"]
+            if r.get("tenant", -1) >= 0:
+                fs = f"{fs}[t{r['tenant']}]"  # per-tenant rows are their own series
+            out[(r["personality"], r["value_key"], r["x_key"], fs, r["x"])] = r["value"]
+        return out
 
     base, cand = index(base_path), index(cand_path)
     shared = sorted(base.keys() & cand.keys())
